@@ -1,0 +1,685 @@
+(* Benchmark harness: regenerates the data behind every figure and listing of
+   the paper (the walkthrough artefacts) and the quantitative series backing
+   its claims, as indexed in DESIGN.md — one group per experiment id.  Each
+   group prints the reproduced rows/series and times its core operation with
+   Bechamel.
+
+   Run all groups:      dune exec bench/main.exe
+   Run selected groups: dune exec bench/main.exe -- fig7_proof t1_vs_lstar *)
+
+open Bechamel
+open Toolkit
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Run = Mechaml_ts.Run
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+module Witness = Mechaml_mc.Witness
+module Chaos = Mechaml_core.Chaos
+module Synthesis = Mechaml_core.Synthesis
+module Incomplete = Mechaml_core.Incomplete
+module Loop = Mechaml_core.Loop
+module Monitor = Mechaml_legacy.Monitor
+module Blackbox = Mechaml_legacy.Blackbox
+module Mealy = Mechaml_learnlib.Mealy
+module Lstar = Mechaml_learnlib.Lstar
+module Oracle = Mechaml_learnlib.Oracle
+module Wmethod = Mechaml_learnlib.Wmethod
+module Amc = Mechaml_learnlib.Amc
+module Railcab = Mechaml_scenarios.Railcab
+module Protocol = Mechaml_scenarios.Protocol
+module Families = Mechaml_scenarios.Families
+module Pp = Mechaml_util.Pp
+
+(* -- timing helpers ------------------------------------------------------ *)
+
+let measure_tests name tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test_name v acc ->
+        let ns =
+          match Analyze.OLS.estimates v with Some [ t ] -> t | _ -> Float.nan
+        in
+        (test_name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline
+    (Pp.table ~header:[ "operation"; "time/run" ]
+       (List.map
+          (fun (n, ns) ->
+            let human =
+              if Float.is_nan ns then "?"
+              else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ n; human ])
+          rows))
+
+let bench1 name f = measure_tests name [ Test.make ~name (Staged.stage f) ]
+
+let header id title =
+  Printf.printf "\n==[ %s ]== %s\n\n" id title
+
+let verdict_string = function
+  | Loop.Proved -> "proved"
+  | Loop.Real_violation { kind = Loop.Deadlock; confirmed_by_test; _ } ->
+    if confirmed_by_test then "real deadlock (tested)" else "real deadlock (fast)"
+  | Loop.Real_violation { kind = Loop.Property; confirmed_by_test; _ } ->
+    if confirmed_by_test then "real violation (tested)" else "real violation (fast)"
+  | Loop.Exhausted _ -> "exhausted"
+
+(* -- EXP-F3: the chaotic automaton --------------------------------------- *)
+
+let exp_fig3 () =
+  header "EXP-F3" "Chaotic automaton (Definition 8, Fig. 3): size law 2·2^(|I|+|O|)+... ";
+  let rows =
+    List.map
+      (fun (i, o) ->
+        let m =
+          Chaos.chaotic_automaton ~name:"c"
+            ~inputs:(List.init i (Printf.sprintf "i%d"))
+            ~outputs:(List.init o (Printf.sprintf "o%d"))
+        in
+        [
+          string_of_int i;
+          string_of_int o;
+          string_of_int (Automaton.num_states m);
+          string_of_int (Automaton.num_transitions m);
+          string_of_int (2 * (1 lsl (i + o)));
+        ])
+      [ (1, 1); (2, 1); (2, 2); (4, 2); (4, 4) ]
+  in
+  print_endline
+    (Pp.table ~header:[ "|I|"; "|O|"; "states"; "transitions"; "expected 2·2^(|I|+|O|)" ] rows);
+  bench1 "chaotic_automaton(4,2)" (fun () ->
+      ignore
+        (Chaos.chaotic_automaton ~name:"c"
+           ~inputs:[ "a"; "b"; "c"; "d" ]
+           ~outputs:[ "x"; "y" ]))
+
+(* -- EXP-F4: initial synthesis and closure ------------------------------- *)
+
+let exp_fig4 () =
+  header "EXP-F4" "Initial behavior synthesis (Section 3, Fig. 4) for the RailCab rear role";
+  let m0 = Synthesis.initial_model Railcab.box_correct in
+  let a0 = Chaos.closure ~label_of:Railcab.label_of m0 in
+  print_endline
+    (Pp.table
+       ~header:[ "artefact"; "states"; "transitions"; "refusals" ]
+       [
+         [ "M_l^0"; string_of_int (Incomplete.num_states m0);
+           string_of_int (Incomplete.num_transitions m0);
+           string_of_int (Incomplete.num_refusals m0) ];
+         [ "chaos(M_l^0)"; string_of_int (Automaton.num_states a0);
+           string_of_int (Automaton.num_transitions a0); "-" ];
+       ]);
+  bench1 "closure(M_l^0)" (fun () -> ignore (Chaos.closure ~label_of:Railcab.label_of m0))
+
+(* -- EXP-F5: RTSC flattening --------------------------------------------- *)
+
+let exp_fig5 () =
+  header "EXP-F5" "Context model: frontRole RTSC flattened to the Definition 1 automaton (Fig. 5)";
+  let m = Railcab.context in
+  print_endline
+    (Pp.table
+       ~header:[ "role"; "states"; "transitions"; "propositions" ]
+       [
+         [ "frontRole"; string_of_int (Automaton.num_states m);
+           string_of_int (Automaton.num_transitions m);
+           String.concat " " (Mechaml_ts.Universe.to_list m.Automaton.props) ];
+       ]);
+  bench1 "flatten(frontRole)" (fun () ->
+      ignore (Mechaml_muml.Role.automaton Railcab.front_role))
+
+(* -- EXP-L1: the first counterexample ------------------------------------ *)
+
+let exp_listing1_1 () =
+  header "EXP-L1" "First model-checking counterexample on chaos(M_l^0) (Listing 1.1)";
+  let m0 = Synthesis.initial_model Railcab.box_correct in
+  let legacy_props = [ "rearRole.convoy"; "rearRole.noConvoy" ] in
+  let a0 = Chaos.closure ~label_of:Railcab.label_of ~extra_props:legacy_props m0 in
+  let product = Compose.parallel Railcab.context a0 in
+  let weakened = Ctl.weaken_for_chaos ~chaos_prop:Chaos.chaos_prop Railcab.constraint_ in
+  let ce strategy =
+    match
+      Checker.check_conjunction ~strategy product.Compose.auto [ weakened; Ctl.deadlock_free ]
+    with
+    | Checker.Violated { witness; _ } -> Run.length witness
+    | Checker.Holds -> -1
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "strategy"; "product states"; "counterexample length" ]
+       [
+         [ "BFS (shortest)"; string_of_int (Automaton.num_states product.Compose.auto);
+           string_of_int (ce Witness.Bfs_shortest) ];
+         [ "DFS (first)"; string_of_int (Automaton.num_states product.Compose.auto);
+           string_of_int (ce Witness.Dfs_first) ];
+       ]);
+  bench1 "compose+check(iteration 0)" (fun () ->
+      let product = Compose.parallel Railcab.context a0 in
+      ignore
+        (Checker.check_conjunction product.Compose.auto [ weakened; Ctl.deadlock_free ]))
+
+(* -- EXP-F6: fast conflict detection ------------------------------------- *)
+
+let exp_fig6 () =
+  header "EXP-F6" "Conflicting shuttle: fast conflict detection (Fig. 6 / Listing 1.4)";
+  let r = Railcab.run_conflicting () in
+  print_endline
+    (Pp.table
+       ~header:[ "verdict"; "iterations"; "tests"; "test steps"; "states learned" ]
+       [
+         [ verdict_string r.Loop.verdict;
+           string_of_int (List.length r.Loop.iterations);
+           string_of_int r.Loop.tests_executed;
+           string_of_int r.Loop.test_steps_executed;
+           string_of_int r.Loop.states_learned ];
+       ]);
+  bench1 "loop(conflicting shuttle)" (fun () -> ignore (Railcab.run_conflicting ()))
+
+(* -- EXP-F7: iterate to proof -------------------------------------------- *)
+
+let exp_fig7 () =
+  header "EXP-F7" "Correct shuttle: iterative synthesis to a proof (Fig. 7 / Listing 1.5)";
+  let r = Railcab.run_correct () in
+  let rows =
+    List.map
+      (fun (it : Loop.iteration) ->
+        [
+          string_of_int it.Loop.index;
+          string_of_int it.Loop.model_states;
+          string_of_int it.Loop.model_knowledge;
+          string_of_int it.Loop.product_states;
+          (match it.Loop.counterexample with
+          | None -> "proved"
+          | Some (Loop.Deadlock, _) -> Printf.sprintf "deadlock CE len %d" it.Loop.counterexample_length
+          | Some (Loop.Property, _) -> Printf.sprintf "property CE len %d" it.Loop.counterexample_length);
+          (match it.Loop.test with
+          | None -> if it.Loop.probes > 0 then Printf.sprintf "%d probes" it.Loop.probes else "-"
+          | Some t ->
+            Printf.sprintf "%s,+%d facts%s"
+              (if t.Loop.reproduced then "reproduced" else "diverged")
+              t.Loop.knowledge_gained
+              (if it.Loop.probes > 0 then Printf.sprintf ",%d probes" it.Loop.probes else ""));
+        ])
+      r.Loop.iterations
+  in
+  print_endline
+    (Pp.table ~header:[ "iter"; "model states"; "facts"; "product"; "check"; "action" ] rows);
+  Printf.printf "verdict: %s; learned %d/%d states; %d tests (%d steps)\n"
+    (verdict_string r.Loop.verdict) r.Loop.states_learned r.Loop.legacy_state_bound
+    r.Loop.tests_executed r.Loop.test_steps_executed;
+  bench1 "loop(correct shuttle)" (fun () -> ignore (Railcab.run_correct ()))
+
+(* -- EXP-T1: ours vs whole-component learning ---------------------------- *)
+
+let exp_t1 () =
+  header "EXP-T1"
+    "Proof without full learning: lock family, ours vs L* (perfect oracle) + W-suite cost";
+  let rows =
+    List.map
+      (fun (n, depth) ->
+        let box = Families.lock_box ~n in
+        let loop =
+          Loop.run ~label_of:Families.lock_label_of
+            ~context:(Families.lock_context ~n ~depth) ~property:Families.lock_property
+            ~legacy:box ()
+        in
+        let truth =
+          Mealy.of_automaton ~alphabet:Families.lock_alphabet (Families.lock_legacy ~n)
+        in
+        let lstar =
+          Lstar.learn ~box ~alphabet:Families.lock_alphabet
+            ~equivalence:(Lstar.Perfect truth)
+            ~ce_processing:Mechaml_learnlib.Obs_table.Maler_pnueli_suffixes ()
+        in
+        let words, syms =
+          Wmethod.suite_size ~hypothesis:lstar.Lstar.hypothesis ~extra_states:0
+        in
+        [
+          string_of_int n;
+          string_of_int depth;
+          verdict_string loop.Loop.verdict;
+          string_of_int loop.Loop.states_learned;
+          string_of_int loop.Loop.test_steps_executed;
+          string_of_int (Mealy.num_states lstar.Lstar.hypothesis);
+          string_of_int lstar.Lstar.stats.Oracle.symbols;
+          Printf.sprintf "%d/%d" words syms;
+        ])
+      [ (8, 2); (12, 3); (16, 4); (24, 4) ]
+  in
+  print_endline
+    (Pp.table
+       ~header:
+         [ "n"; "depth"; "ours"; "ours:states"; "ours:steps"; "L*:states"; "L*:symbols";
+           "W-suite w/s" ]
+       rows);
+  bench1 "loop(lock n=12 depth=3)" (fun () ->
+      ignore
+        (Loop.run ~label_of:Families.lock_label_of
+           ~context:(Families.lock_context ~n:12 ~depth:3)
+           ~property:Families.lock_property ~legacy:(Families.lock_box ~n:12) ()))
+
+(* -- EXP-T2: context restriction ablation -------------------------------- *)
+
+let exp_t2 () =
+  header "EXP-T2" "Context restriction ablation: lock n=16, sweep the exercised depth";
+  let n = 16 in
+  let rows =
+    List.map
+      (fun depth ->
+        let context = Families.lock_context ~n ~depth in
+        let r =
+          Loop.run ~label_of:Families.lock_label_of ~context
+            ~property:Families.lock_property ~legacy:(Families.lock_box ~n) ()
+        in
+        let coverage =
+          Mechaml_core.Coverage.analyse ~context ~state_bound:(n + 1) r.Loop.final_model
+        in
+        [
+          string_of_int depth;
+          verdict_string r.Loop.verdict;
+          string_of_int (List.length r.Loop.iterations);
+          string_of_int r.Loop.states_learned;
+          string_of_int r.Loop.tests_executed;
+          string_of_int r.Loop.test_steps_executed;
+          Printf.sprintf "%.0f%%"
+            (100. *. Mechaml_core.Coverage.relevant_fraction coverage);
+          Printf.sprintf "%.1f%%"
+            (100. *. Mechaml_core.Coverage.explored_fraction coverage);
+        ])
+      [ 0; 2; 4; 6; 8; 10; 12 ]
+  in
+  print_endline
+    (Pp.table
+       ~header:
+         [ "depth"; "verdict"; "iterations"; "states"; "tests"; "steps"; "relevant known";
+           "of component" ]
+       rows)
+
+(* -- EXP-T3: counterexample strategy ablation ---------------------------- *)
+
+let exp_t3 () =
+  header "EXP-T3"
+    "Counterexample strategy ablation (paper's future work: which counterexample to derive)";
+  let run name f =
+    let bfs = f Witness.Bfs_shortest and dfs = f Witness.Dfs_first in
+    let stats (r : Loop.result) =
+      let ce_total =
+        List.fold_left (fun acc (it : Loop.iteration) -> acc + it.Loop.counterexample_length) 0
+          r.Loop.iterations
+      in
+      ( List.length r.Loop.iterations,
+        r.Loop.test_steps_executed,
+        ce_total,
+        verdict_string r.Loop.verdict )
+    in
+    let bi, bs, bc, bv = stats bfs and di, ds, dc, dv = stats dfs in
+    [
+      [ name; "BFS"; string_of_int bi; string_of_int bs; string_of_int bc; bv ];
+      [ name; "DFS"; string_of_int di; string_of_int ds; string_of_int dc; dv ];
+    ]
+  in
+  let rows =
+    run "railcab-correct" (fun strategy -> Railcab.run_correct ~strategy ())
+    @ run "protocol-correct" (fun strategy -> Protocol.run_correct ~strategy ())
+    @ run "lock n=12 d=3" (fun strategy ->
+          Loop.run ~strategy ~label_of:Families.lock_label_of
+            ~context:(Families.lock_context ~n:12 ~depth:3)
+            ~property:Families.lock_property ~legacy:(Families.lock_box ~n:12) ())
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "scenario"; "strategy"; "iterations"; "test steps"; "sum CE length"; "verdict" ]
+       rows)
+
+(* -- EXP-T4: model checker scalability ------------------------------------ *)
+
+let exp_t4 () =
+  header "EXP-T4" "Model checker scalability: lock compositions of growing depth";
+  let instances =
+    List.map
+      (fun n ->
+        let legacy = Families.lock_legacy ~n in
+        let context = Families.lock_context ~n ~depth:(n - 1) in
+        (n, context, legacy))
+      [ 8; 16; 32; 64; 128 ]
+  in
+  let rows =
+    List.map
+      (fun (n, context, legacy) ->
+        let p = Compose.parallel context legacy in
+        let phi =
+          (* a bounded response obligation exercising the bounded-operator
+             machinery on top of plain deadlock freedom *)
+          Ctl.And (Ctl.deadlock_free, Ctl.Af (Some (Ctl.bounds 0 (2 * n)), Ctl.True))
+        in
+        let holds = Checker.holds p.Compose.auto phi in
+        [
+          string_of_int n;
+          string_of_int (Automaton.num_states p.Compose.auto);
+          string_of_int (Automaton.num_transitions p.Compose.auto);
+          string_of_bool holds;
+        ])
+      instances
+  in
+  print_endline
+    (Pp.table ~header:[ "lock n"; "product states"; "product transitions"; "phi holds" ] rows);
+  measure_tests "mc_scale"
+    (List.map
+       (fun (n, context, legacy) ->
+         Test.make
+           ~name:(Printf.sprintf "compose+check n=%d" n)
+           (Staged.stage (fun () ->
+                let p = Compose.parallel context legacy in
+                ignore (Checker.holds p.Compose.auto Ctl.deadlock_free))))
+       instances)
+
+(* -- EXP-T5: probe effect ------------------------------------------------- *)
+
+let exp_t5 () =
+  header "EXP-T5"
+    "Probe minimisation (Section 5): events recorded under minimal vs full instrumentation";
+  let inputs = [ []; [ "convoyProposalRejected" ]; []; [ "startConvoy" ] ] in
+  let count instrumentation =
+    Monitor.event_count (Monitor.run ~box:Railcab.box_correct ~instrumentation ~inputs)
+  in
+  let minimal = count Monitor.Minimal and full = count Monitor.Full in
+  print_endline
+    (Pp.table
+       ~header:[ "instrumentation"; "events for the Listing 1.5 run"; "purpose" ]
+       [
+         [ "minimal (deployed)"; string_of_int minimal; "messages + periods for replay" ];
+         [ "full (replay only)"; string_of_int full; "adds states + timing, no probe effect" ];
+       ]);
+  bench1 "record+replay(listing 1.5)" (fun () ->
+      ignore (Mechaml_legacy.Replay.observe_full ~box:Railcab.box_correct ~inputs))
+
+(* -- EXP-T6: adaptive model checking -------------------------------------- *)
+
+let exp_t6 () =
+  header "EXP-T6" "Baseline: adaptive model checking (under-approx) vs the loop (over-approx)";
+  let rows =
+    List.concat_map
+      (fun (name, box, context, alphabet, bound, label_of, property) ->
+        let amc = Amc.verify ~box ~context ~alphabet ~state_bound:bound () in
+        let loop = Loop.run ~label_of ~context ~property ~legacy:box () in
+        [
+          [
+            name; "AMC";
+            (match amc.Amc.verdict with
+            | Amc.Holds_up_to_bound _ -> "holds(bound)"
+            | Amc.Real_violation { kind = `Deadlock; _ } -> "real deadlock"
+            | Amc.Real_violation { kind = `Property; _ } -> "real violation");
+            string_of_int amc.Amc.stats.Oracle.output_queries;
+            string_of_int amc.Amc.stats.Oracle.symbols;
+            string_of_int amc.Amc.hypothesis_states;
+          ];
+          [
+            name; "ours";
+            verdict_string loop.Loop.verdict;
+            string_of_int loop.Loop.tests_executed;
+            string_of_int loop.Loop.test_steps_executed;
+            string_of_int loop.Loop.states_learned;
+          ];
+        ])
+      [
+        ( "protocol-correct", Protocol.box_correct, Protocol.receiver,
+          Lstar.alphabet_of_signals Protocol.receiver_to_sender, 5, Protocol.label_of,
+          Ctl.True );
+        ( "protocol-faulty", Protocol.box_fire_and_forget, Protocol.receiver,
+          Lstar.alphabet_of_signals Protocol.receiver_to_sender, 4, Protocol.label_of,
+          Ctl.True );
+        ( "lock n=8 d=2", Families.lock_box ~n:8, Families.lock_context ~n:8 ~depth:2,
+          Families.lock_alphabet, 9, Families.lock_label_of, Ctl.True );
+      ]
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "scenario"; "method"; "verdict"; "queries/tests"; "symbols/steps"; "states" ]
+       rows)
+
+(* -- EXP-T7: conformance testing cost -------------------------------------- *)
+
+let exp_t7 () =
+  header "EXP-T7"
+    "W-method suite size: exponential in the state-count gap (Vasilevskii/Chow, Section 6)";
+  let truth = Mealy.of_automaton ~alphabet:Families.lock_alphabet (Families.lock_legacy ~n:8) in
+  let rows =
+    List.map
+      (fun extra ->
+        let words, syms = Wmethod.suite_size ~hypothesis:truth ~extra_states:extra in
+        [ string_of_int (Mealy.num_states truth); string_of_int extra; string_of_int words;
+          string_of_int syms ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  print_endline
+    (Pp.table ~header:[ "hypothesis states"; "extra states"; "suite words"; "suite symbols" ] rows);
+  bench1 "wmethod_suite(lock8,+2)" (fun () ->
+      ignore (Wmethod.suite ~hypothesis:truth ~extra_states:2))
+
+(* -- EXP-T8: timed watchdog ------------------------------------------------ *)
+
+let exp_t8 () =
+  header "EXP-T8"
+    "Real-time obligations: a clocked watchdog context (invariant x<=3) supervising legacy \
+     controllers";
+  let rows =
+    List.map
+      (fun (name, r) ->
+        [
+          name;
+          verdict_string r.Loop.verdict;
+          string_of_int (List.length r.Loop.iterations);
+          string_of_int r.Loop.states_learned;
+          string_of_int r.Loop.test_steps_executed;
+        ])
+      [
+        ("prompt (beats every 2)", Mechaml_scenarios.Watchdog.run_prompt ());
+        ("sluggish (beats every 5)", Mechaml_scenarios.Watchdog.run_sluggish ());
+      ]
+  in
+  print_endline
+    (Pp.table ~header:[ "controller"; "verdict"; "iterations"; "states"; "test steps" ] rows);
+  bench1 "loop(watchdog/prompt)" (fun () -> ignore (Mechaml_scenarios.Watchdog.run_prompt ()))
+
+(* -- EXP-T9: connector QoS -------------------------------------------------- *)
+
+let exp_t9 () =
+  header "EXP-T9"
+    "Connector QoS ablation: the DistanceCoordination handshake over delayed and lossy channels";
+  let module Remote = Mechaml_scenarios.Railcab_remote in
+  let run name lossy property =
+    let r = Remote.run ~lossy ~property () in
+    [
+      name;
+      verdict_string r.Loop.verdict;
+      string_of_int (List.length r.Loop.iterations);
+      string_of_int r.Loop.states_learned;
+      string_of_int r.Loop.test_steps_executed;
+    ]
+  in
+  let hasty =
+    let r =
+      Loop.run ~label_of:Remote.label_of ~context:Remote.front_hasty_context
+        ~property:Remote.constraint_ ~legacy:Remote.box_remote ()
+    in
+    [
+      "reliable, hasty front (no grace state)";
+      verdict_string r.Loop.verdict;
+      string_of_int (List.length r.Loop.iterations);
+      string_of_int r.Loop.states_learned;
+      string_of_int r.Loop.test_steps_executed;
+    ]
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "configuration"; "verdict"; "iterations"; "states"; "test steps" ]
+       [
+         run "reliable, constraint" false Remote.constraint_;
+         run "reliable, bounded response" false Remote.response_property;
+         run "lossy, bounded response" true Remote.response_property;
+         hasty;
+       ]);
+  bench1 "loop(remote railcab, reliable)" (fun () ->
+      ignore (Remote.run ~lossy:false ~property:Remote.constraint_ ()))
+
+(* -- EXP-T10: batched counterexamples --------------------------------------- *)
+
+let exp_t10 () =
+  header "EXP-T10"
+    "Future-work: several counterexamples per model-checking round (paper, Section 7)";
+  let module Remote = Mechaml_scenarios.Railcab_remote in
+  let row name f =
+    List.map
+      (fun k ->
+        let r = f k in
+        [
+          name;
+          string_of_int k;
+          verdict_string r.Loop.verdict;
+          string_of_int (List.length r.Loop.iterations);
+          string_of_int r.Loop.tests_executed;
+          string_of_int r.Loop.test_steps_executed;
+        ])
+      [ 1; 2; 4 ]
+  in
+  let rows =
+    row "remote railcab" (fun k ->
+        Loop.run ~counterexamples_per_iteration:k ~label_of:Remote.label_of
+          ~context:(Remote.context ~lossy:false) ~property:Remote.constraint_
+          ~legacy:Remote.box_remote ())
+    @ row "lock n=16 d=6" (fun k ->
+          Loop.run ~counterexamples_per_iteration:k ~label_of:Families.lock_label_of
+            ~context:(Families.lock_context ~n:16 ~depth:6)
+            ~property:Families.lock_property ~legacy:(Families.lock_box ~n:16) ())
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "scenario"; "CEs/round"; "verdict"; "MC rounds"; "tests"; "test steps" ]
+       rows)
+
+(* -- EXP-T11: on-the-fly vs materialized checking --------------------------- *)
+
+let exp_t11 () =
+  header "EXP-T11" "On-the-fly product exploration vs materializing the composition";
+  let module Onthefly = Mechaml_mc.Onthefly in
+  let rows =
+    List.map
+      (fun n ->
+        let left = Families.lock_context ~n ~depth:(n - 1) in
+        let right = Families.lock_legacy ~n in
+        let fly = Onthefly.check_safety ~left ~right () in
+        let p = Compose.parallel left right in
+        [
+          string_of_int n;
+          string_of_int fly.Onthefly.pairs_explored;
+          string_of_int (Automaton.num_states p.Compose.auto);
+          (match fly.Onthefly.verdict with
+          | Onthefly.Holds -> "holds"
+          | Onthefly.Bad_state _ -> "bad state"
+          | Onthefly.Deadlocked _ -> "deadlock");
+        ])
+      [ 16; 64; 256 ]
+  in
+  print_endline
+    (Pp.table ~header:[ "lock n"; "pairs explored"; "product states"; "verdict" ] rows);
+  let n = 256 in
+  let left = Families.lock_context ~n ~depth:(n - 1) in
+  let right = Families.lock_legacy ~n in
+  measure_tests "onthefly_vs_materialized"
+    [
+      Test.make ~name:"on-the-fly check"
+        (Staged.stage (fun () -> ignore (Onthefly.check_safety ~left ~right ())));
+      Test.make ~name:"materialize + check"
+        (Staged.stage (fun () ->
+             let p = Compose.parallel left right in
+             ignore (Checker.holds p.Compose.auto Ctl.deadlock_free)));
+    ]
+
+(* -- EXP-T12: counterexample processing in L* ------------------------------- *)
+
+let exp_t12 () =
+  header "EXP-T12"
+    "Observation-table ablation: counterexample processing (Angluin / Maler-Pnueli / Rivest-Schapire)";
+  let rows =
+    List.concat_map
+      (fun n ->
+        let box = Families.lock_box ~n in
+        let truth =
+          Mealy.of_automaton ~alphabet:Families.lock_alphabet (Families.lock_legacy ~n)
+        in
+        List.map
+          (fun (name, processing) ->
+            let r =
+              Lstar.learn ~box ~alphabet:Families.lock_alphabet
+                ~equivalence:(Lstar.Perfect truth) ~ce_processing:processing ()
+            in
+            [
+              string_of_int n;
+              name;
+              string_of_int r.Lstar.rounds;
+              string_of_int r.Lstar.stats.Oracle.output_queries;
+              string_of_int r.Lstar.stats.Oracle.symbols;
+              Printf.sprintf "%dx%d" r.Lstar.table_rows r.Lstar.table_columns;
+            ])
+          [
+            ("Angluin prefixes", Mechaml_learnlib.Obs_table.Angluin_prefixes);
+            ("Maler-Pnueli suffixes", Mechaml_learnlib.Obs_table.Maler_pnueli_suffixes);
+            ("Rivest-Schapire", Mechaml_learnlib.Obs_table.Rivest_schapire);
+          ])
+      [ 8; 12; 16 ]
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "n"; "CE processing"; "rounds"; "queries"; "symbols"; "table (rows x cols)" ]
+       rows)
+
+(* -- main ------------------------------------------------------------------ *)
+
+let groups =
+  [
+    ("fig3", exp_fig3);
+    ("fig4", exp_fig4);
+    ("fig5", exp_fig5);
+    ("listing1_1", exp_listing1_1);
+    ("fig6_conflict", exp_fig6);
+    ("fig7_proof", exp_fig7);
+    ("t1_vs_lstar", exp_t1);
+    ("t2_context", exp_t2);
+    ("t3_strategy", exp_t3);
+    ("t4_mc_scale", exp_t4);
+    ("t5_probe", exp_t5);
+    ("t6_amc", exp_t6);
+    ("t7_wmethod", exp_t7);
+    ("t8_timed", exp_t8);
+    ("t9_qos", exp_t9);
+    ("t10_batch", exp_t10);
+    ("t11_onthefly", exp_t11);
+    ("t12_ce_processing", exp_t12);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst groups
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name groups with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown group %S; available: %s\n" name
+          (String.concat ", " (List.map fst groups));
+        exit 2)
+    selected

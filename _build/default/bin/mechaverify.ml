@@ -1,0 +1,314 @@
+(* mechaverify — command-line front end for the legacy-component integration
+   workflow: run the iterative behavior synthesis on the bundled scenarios,
+   verify patterns, export figures, and compare against the learning
+   baselines. *)
+
+module Loop = Mechaml_core.Loop
+module Incomplete = Mechaml_core.Incomplete
+module Chaos = Mechaml_core.Chaos
+module Witness = Mechaml_mc.Witness
+module Checker = Mechaml_mc.Checker
+module Dot = Mechaml_ts.Dot
+module Railcab = Mechaml_scenarios.Railcab
+module Protocol = Mechaml_scenarios.Protocol
+module Families = Mechaml_scenarios.Families
+module Listing = Mechaml_scenarios.Listing
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose_t =
+  let doc = "Log each iteration of the synthesis loop." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let strategy_t =
+  let doc = "Counterexample search strategy: $(b,bfs) (shortest) or $(b,dfs) (first found)." in
+  let strategy_conv =
+    Arg.enum [ ("bfs", Witness.Bfs_shortest); ("dfs", Witness.Dfs_first) ]
+  in
+  Arg.(value & opt strategy_conv Witness.Bfs_shortest & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let dot_dir_t =
+  let doc = "Write DOT figures (learned model, closure) into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
+
+let save_dot dir name dot =
+  match dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".dot") in
+    Dot.save ~path dot;
+    Format.printf "wrote %s@." path
+
+let report ?(left = "context") ?(right = "legacy") dot_dir (r : Loop.result) =
+  Format.printf "%a@.@." Loop.pp_result r;
+  (match r.Loop.verdict with
+  | Loop.Real_violation { witness; product; _ } ->
+    Format.printf "Counterexample:@.%s@." (Listing.render ~left_name:left ~right_name:right product witness)
+  | _ -> ());
+  Format.printf "Learned model:@.%a@." Incomplete.pp r.Loop.final_model;
+  save_dot dot_dir "learned_model" (Dot.of_automaton (Incomplete.to_automaton r.Loop.final_model));
+  match r.Loop.verdict with Loop.Real_violation _ -> 1 | Loop.Proved -> 0 | Loop.Exhausted _ -> 2
+
+(* -- railcab -- *)
+
+let variant_t names =
+  let doc = Printf.sprintf "Legacy component variant: %s." (String.concat " or " names) in
+  Arg.(value & opt string (List.hd names) & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let railcab_cmd =
+  let run verbose strategy dot_dir variant =
+    setup_logs verbose;
+    let r =
+      match variant with
+      | "correct" -> Railcab.run_correct ~strategy ()
+      | "conflicting" -> Railcab.run_conflicting ~strategy ()
+      | v -> failwith (Printf.sprintf "unknown variant %S (correct|conflicting)" v)
+    in
+    exit (report ~left:"shuttle1" ~right:"shuttle2" dot_dir r)
+  in
+  let doc = "Integrate a legacy rear-role shuttle into the DistanceCoordination pattern." in
+  Cmd.v (Cmd.info "railcab" ~doc)
+    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "conflicting" ])
+
+(* -- protocol -- *)
+
+let protocol_cmd =
+  let run verbose strategy dot_dir variant =
+    setup_logs verbose;
+    let r =
+      match variant with
+      | "correct" -> Protocol.run_correct ~strategy ()
+      | "faulty" -> Protocol.run_fire_and_forget ~strategy ()
+      | v -> failwith (Printf.sprintf "unknown variant %S (correct|faulty)" v)
+    in
+    exit (report ~left:"receiver" ~right:"sender" dot_dir r)
+  in
+  let doc = "Integrate a legacy stop-and-wait sender against the receiver context." in
+  Cmd.v (Cmd.info "protocol" ~doc)
+    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "faulty" ])
+
+(* -- lock -- *)
+
+let lock_cmd =
+  let n_t =
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"Secret length of the lock.")
+  in
+  let depth_t =
+    Arg.(value & opt int 4 & info [ "depth" ] ~docv:"D" ~doc:"Prefix length the context exercises.")
+  in
+  let baseline_t =
+    let doc = "Also run a baseline: $(b,lstar) or $(b,amc)." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"B" ~doc)
+  in
+  let run verbose strategy dot_dir n depth baseline =
+    setup_logs verbose;
+    let r =
+      Loop.run ~strategy ~label_of:Families.lock_label_of
+        ~context:(Families.lock_context ~n ~depth) ~property:Families.lock_property
+        ~legacy:(Families.lock_box ~n) ()
+    in
+    let code = report ~left:"context" ~right:"lock" dot_dir r in
+    (match baseline with
+    | Some "lstar" ->
+      let truth =
+        Mechaml_learnlib.Mealy.of_automaton ~alphabet:Families.lock_alphabet
+          (Families.lock_legacy ~n)
+      in
+      let l =
+        Mechaml_learnlib.Lstar.learn ~box:(Families.lock_box ~n)
+          ~alphabet:Families.lock_alphabet
+          ~equivalence:(Mechaml_learnlib.Lstar.Perfect truth) ()
+      in
+      Format.printf "@.L* baseline: %d states learned, %d output queries, %d symbols@."
+        (Mechaml_learnlib.Mealy.num_states l.Mechaml_learnlib.Lstar.hypothesis)
+        l.Mechaml_learnlib.Lstar.stats.Mechaml_learnlib.Oracle.output_queries
+        l.Mechaml_learnlib.Lstar.stats.Mechaml_learnlib.Oracle.symbols
+    | Some "amc" ->
+      let a =
+        Mechaml_learnlib.Amc.verify ~box:(Families.lock_box ~n)
+          ~context:(Families.lock_context ~n ~depth) ~alphabet:Families.lock_alphabet
+          ~state_bound:(n + 1) ()
+      in
+      Format.printf "@.AMC baseline: %d hypothesis states, %d output queries, %d symbols@."
+        a.Mechaml_learnlib.Amc.hypothesis_states
+        a.Mechaml_learnlib.Amc.stats.Mechaml_learnlib.Oracle.output_queries
+        a.Mechaml_learnlib.Amc.stats.Mechaml_learnlib.Oracle.symbols
+    | Some b -> failwith (Printf.sprintf "unknown baseline %S" b)
+    | None -> ());
+    exit code
+  in
+  let doc = "Integrate a combination-lock legacy component against a prefix-bounded context." in
+  Cmd.v (Cmd.info "lock" ~doc)
+    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ n_t $ depth_t $ baseline_t)
+
+(* -- run: user-supplied models -- *)
+
+let load_automaton path =
+  match Mechaml_ts.Textio.load ~path with
+  | Ok m -> m
+  | Error { line; message } ->
+    Format.eprintf "%s:%d: %s@." path line message;
+    exit 3
+
+let run_cmd =
+  let context_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "context" ] ~docv:"FILE" ~doc:"Context automaton in the textio format.")
+  in
+  let legacy_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "legacy" ] ~docv:"FILE"
+          ~doc:
+            "Legacy component in the textio format (executed as a black box; must be \
+             input-deterministic).")
+  in
+  let property_t =
+    Arg.(
+      value
+      & opt string "true"
+      & info [ "property" ] ~docv:"CCTL"
+          ~doc:"Compositional property, e.g. 'AG (not (a.bad and b.worse))'.")
+  in
+  let prefix_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label-prefix" ] ~docv:"PREFIX"
+          ~doc:
+            "Label learned states hierarchically with this prefix (default: the legacy \
+             automaton's name followed by a dot).")
+  in
+  let knowledge_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "knowledge" ] ~docv:"FILE"
+          ~doc:"Seed the loop with a learned model saved by --save-knowledge (grey-box).")
+  in
+  let save_knowledge_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-knowledge" ] ~docv:"FILE"
+          ~doc:"Persist the final learned model for later sessions.")
+  in
+  let batch_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch" ] ~docv:"K" ~doc:"Counterexamples tested per model-checking round.")
+  in
+  let run verbose strategy dot_dir context_path legacy_path property prefix knowledge
+      save_knowledge batch =
+    setup_logs verbose;
+    let context = load_automaton context_path in
+    let legacy_auto = load_automaton legacy_path in
+    let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
+    let property = Mechaml_logic.Parser.parse_exn property in
+    let prefix =
+      Option.value prefix ~default:(legacy_auto.Mechaml_ts.Automaton.name ^ ".")
+    in
+    let label_of = Mechaml_scenarios.Labels.hierarchical ~prefix in
+    let initial_knowledge =
+      Option.map
+        (fun path ->
+          match Mechaml_core.Knowledge_io.load ~path with
+          | Ok k -> k
+          | Error { line; message } ->
+            Format.eprintf "%s:%d: %s@." path line message;
+            exit 3)
+        knowledge
+    in
+    let r =
+      Loop.run ~strategy ~label_of ?initial_knowledge ~counterexamples_per_iteration:batch
+        ~context ~property ~legacy:box ()
+    in
+    Option.iter
+      (fun path ->
+        Mechaml_core.Knowledge_io.save ~path r.Loop.final_model;
+        Format.printf "learned model saved to %s@." path)
+      save_knowledge;
+    exit
+      (report ~left:context.Mechaml_ts.Automaton.name
+         ~right:legacy_auto.Mechaml_ts.Automaton.name dot_dir r)
+  in
+  let doc = "Run the synthesis loop on user-supplied context and legacy automata files." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ verbose_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
+      $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t)
+
+(* -- learn: whole-component learning baseline on a file -- *)
+
+let learn_cmd =
+  let legacy_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "legacy" ] ~docv:"FILE" ~doc:"Legacy component in the textio format.")
+  in
+  let bound_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"N"
+          ~doc:"Assumed state bound for the W-method oracle (default: the true count).")
+  in
+  let run verbose legacy_path bound =
+    setup_logs verbose;
+    let legacy_auto = load_automaton legacy_path in
+    let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
+    let alphabet =
+      Mechaml_learnlib.Lstar.alphabet_of_signals box.Mechaml_legacy.Blackbox.input_signals
+    in
+    let bound = Option.value bound ~default:box.Mechaml_legacy.Blackbox.state_bound in
+    let r =
+      Mechaml_learnlib.Lstar.learn ~box ~alphabet
+        ~equivalence:(Mechaml_learnlib.Lstar.Wmethod { extra_states = bound })
+        ()
+    in
+    let stats = r.Mechaml_learnlib.Lstar.stats in
+    Format.printf "learned %d states in %d rounds; %d output queries, %d symbols, %d resets@.@."
+      (Mechaml_learnlib.Mealy.num_states r.Mechaml_learnlib.Lstar.hypothesis)
+      r.Mechaml_learnlib.Lstar.rounds stats.Mechaml_learnlib.Oracle.output_queries
+      stats.Mechaml_learnlib.Oracle.symbols stats.Mechaml_learnlib.Oracle.resets;
+    print_string
+      (Mechaml_ts.Textio.print
+         (Mechaml_learnlib.Mealy.to_automaton ~name:(legacy_auto.Mechaml_ts.Automaton.name ^ "_learned")
+            r.Mechaml_learnlib.Lstar.hypothesis))
+  in
+  let doc = "Learn a component's full Mealy model with L* + W-method (the baseline)." in
+  Cmd.v (Cmd.info "learn" ~doc) Term.(const run $ verbose_t $ legacy_t $ bound_t)
+
+(* -- pattern -- *)
+
+let pattern_cmd =
+  let run verbose =
+    setup_logs verbose;
+    match Mechaml_muml.Pattern.verify Railcab.pattern with
+    | Checker.Holds ->
+      Format.printf "DistanceCoordination: constraint, role invariants and deadlock freedom hold.@."
+    | Checker.Violated { formula; explanation; _ } ->
+      Format.printf "violated %s (%s)@." (Mechaml_logic.Ctl.to_string formula) explanation;
+      exit 1
+  in
+  let doc = "Verify the DistanceCoordination pattern upfront (roles only, no legacy code)." in
+  Cmd.v (Cmd.info "pattern" ~doc) Term.(const run $ verbose_t)
+
+let main_cmd =
+  let doc =
+    "combined formal verification and testing for correct legacy component integration"
+  in
+  Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
+    [ railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/faulty_legacy.mli:

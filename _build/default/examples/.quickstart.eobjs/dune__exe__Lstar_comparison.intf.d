@@ -1,0 +1,1 @@
+examples/lstar_comparison.mli:

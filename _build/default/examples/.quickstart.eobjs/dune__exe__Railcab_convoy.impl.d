@@ -1,0 +1,1 @@
+examples/railcab_convoy.ml: Filename Format List Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_muml Mechaml_scenarios Mechaml_ts Sys

@@ -1,0 +1,1 @@
+examples/railcab_convoy.mli:

@@ -1,0 +1,1 @@
+lib/core/chaos.ml: Incomplete List Mechaml_ts Printf String

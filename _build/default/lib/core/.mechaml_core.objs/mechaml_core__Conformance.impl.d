@@ -1,0 +1,1 @@
+lib/core/conformance.ml: Incomplete List Mechaml_ts Mechaml_util Result

@@ -1,0 +1,1 @@
+lib/core/conformance.mli: Incomplete Mechaml_ts

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Format Hashtbl Incomplete List Mechaml_ts

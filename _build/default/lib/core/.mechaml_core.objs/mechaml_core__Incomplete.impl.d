@@ -1,0 +1,1 @@
+lib/core/incomplete.ml: Format List Mechaml_legacy Mechaml_ts Printf String

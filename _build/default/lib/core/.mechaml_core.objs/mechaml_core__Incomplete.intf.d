@@ -1,0 +1,1 @@
+lib/core/incomplete.mli: Format Mechaml_legacy Mechaml_ts

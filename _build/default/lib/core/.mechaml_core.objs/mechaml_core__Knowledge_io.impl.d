@@ -1,0 +1,1 @@
+lib/core/knowledge_io.ml: Buffer Fun Incomplete List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/knowledge_io.mli: Incomplete

@@ -1,0 +1,1 @@
+lib/core/loop.ml: Chaos Format Incomplete List Logs Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts Printf Synthesis

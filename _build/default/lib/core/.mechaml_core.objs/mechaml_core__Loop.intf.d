@@ -1,0 +1,1 @@
+lib/core/loop.mli: Format Incomplete Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts

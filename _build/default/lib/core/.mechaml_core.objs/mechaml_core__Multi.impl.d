@@ -1,0 +1,1 @@
+lib/core/multi.ml: Incomplete List Loop Mechaml_legacy Printf String

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Incomplete Loop Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts

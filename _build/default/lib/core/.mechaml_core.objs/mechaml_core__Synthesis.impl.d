@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Chaos Incomplete Mechaml_legacy

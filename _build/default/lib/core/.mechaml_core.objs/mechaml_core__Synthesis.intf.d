@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Incomplete Mechaml_legacy Mechaml_ts

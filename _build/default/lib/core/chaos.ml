@@ -1,0 +1,118 @@
+module Automaton = Mechaml_ts.Automaton
+
+let chaos_prop = "p_chaos"
+
+let s_all = "s_all"
+
+let s_delta = "s_delta"
+
+let closed_suffix = "@0"
+
+type origin = Core of string | Chaotic
+
+let origin name =
+  if name = s_all || name = s_delta then Chaotic
+  else if String.length name > 2 && String.sub name (String.length name - 2) 2 = closed_suffix
+  then Core (String.sub name 0 (String.length name - 2))
+  else Core name
+
+let check_alphabet inputs outputs =
+  let width = List.length inputs + List.length outputs in
+  if width > 16 then
+    invalid_arg
+      (Printf.sprintf
+         "Chaos: |I| + |O| = %d is too large to enumerate the interaction powerset" width)
+
+(* All subsets of a name list. *)
+let subsets names =
+  List.fold_left
+    (fun acc n -> acc @ List.map (fun s -> n :: s) acc)
+    [ [] ] names
+
+let all_interactions inputs outputs =
+  let ins = subsets inputs and outs = subsets outputs in
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) outs) ins
+
+let chaotic_automaton ~name ~inputs ~outputs =
+  check_alphabet inputs outputs;
+  let b =
+    Automaton.Builder.create ~name ~inputs ~outputs ~props:[ chaos_prop ] ()
+  in
+  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_all);
+  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_delta);
+  List.iter
+    (fun (a, o) ->
+      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_all ();
+      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_delta ())
+    (all_interactions inputs outputs);
+  Automaton.Builder.set_initial b [ s_all; s_delta ];
+  Automaton.Builder.build b
+
+let closure ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomplete.t) =
+  check_alphabet m.Incomplete.input_signals m.Incomplete.output_signals;
+  List.iter
+    (fun s ->
+      if s = s_all || s = s_delta then
+        invalid_arg (Printf.sprintf "Chaos.closure: state name %S collides with a chaos state" s);
+      if String.length s >= 2 && String.sub s (String.length s - 2) 2 = closed_suffix then
+        invalid_arg
+          (Printf.sprintf "Chaos.closure: state name %S collides with the %S copy suffix" s
+             closed_suffix))
+    m.Incomplete.states;
+  let b =
+    Automaton.Builder.create
+      ~name:("chaos(" ^ m.Incomplete.name ^ ")")
+      ~inputs:m.Incomplete.input_signals ~outputs:m.Incomplete.output_signals
+      ~props:(chaos_prop :: List.filter (fun p -> p <> chaos_prop) extra_props)
+      ()
+  in
+  let open_copy s = s and closed_copy s = s ^ closed_suffix in
+  List.iter
+    (fun s ->
+      let props = label_of s in
+      ignore (Automaton.Builder.add_state b ~props (open_copy s));
+      ignore (Automaton.Builder.add_state b ~props (closed_copy s)))
+    m.Incomplete.states;
+  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_all);
+  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_delta);
+  (* Known transitions: each copy can move to each copy of the target
+     (Definition 9, the four ⊎-components over T). *)
+  List.iter
+    (fun (src, (i : Incomplete.interaction), dst) ->
+      let add s d =
+        Automaton.Builder.add_trans b ~src:s ~inputs:i.in_signals ~outputs:i.out_signals ~dst:d ()
+      in
+      add (open_copy src) (open_copy dst);
+      add (open_copy src) (closed_copy dst);
+      add (closed_copy src) (open_copy dst);
+      add (closed_copy src) (closed_copy dst))
+    m.Incomplete.trans;
+  (* Unknown interactions escape to chaos from the open copies: every input
+     set that is neither refused nor already answered, with every output
+     set. *)
+  let out_subsets = subsets m.Incomplete.output_signals in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun a ->
+          let known = Incomplete.known_response m ~state:s ~inputs:a <> None in
+          let refused = Incomplete.refuses m ~state:s ~inputs:a in
+          if (not known) && not refused then
+            List.iter
+              (fun o ->
+                Automaton.Builder.add_trans b ~src:(open_copy s) ~inputs:a ~outputs:o
+                  ~dst:s_all ();
+                Automaton.Builder.add_trans b ~src:(open_copy s) ~inputs:a ~outputs:o
+                  ~dst:s_delta ())
+              out_subsets)
+        (subsets m.Incomplete.input_signals))
+    m.Incomplete.states;
+  (* The embedded chaotic automaton T_c. *)
+  List.iter
+    (fun (a, o) ->
+      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_all ();
+      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_delta ())
+    (all_interactions m.Incomplete.input_signals m.Incomplete.output_signals);
+  Automaton.Builder.set_initial b
+    (List.concat_map (fun q -> [ open_copy q; closed_copy q ]) m.Incomplete.initial);
+  Automaton.Builder.build b

@@ -1,0 +1,58 @@
+(** The chaotic automaton and chaotic closure (Definitions 8–9, Figures 3–4).
+
+    The chaotic automaton is the maximal behaviour over given signal sets: a
+    state [s_∀] that accepts every interaction and a state [s_δ] that blocks
+    every interaction, both initial.  The chaotic closure [chaos(M)] of an
+    incomplete automaton doubles every known state into an [(s,0)] copy (no
+    further extension assumed — refusals possible) and an [(s,1)] copy (every
+    extension assumed — all not-explicitly-excluded interactions lead to
+    chaos).  By Theorem 1, [chaos(M)] is a safe abstraction ([M_r ⊑
+    chaos(M)]) of any component [M_r] that [M] observation-conforms to.
+
+    Deviation from the letter of Definition 9, justified by the paper's
+    determinism assumption (Section 4.3): interactions [(A, B)] for which the
+    response to [A] is already known (with a different [B]), or whose input
+    set [A] is recorded as refused, do not lead to chaos — an
+    input-deterministic component cannot exhibit them.  This is what makes
+    every failed test strictly shrink the unknown region (Theorem 2). *)
+
+val chaos_prop : string
+(** The fresh proposition [p'] labelling the chaotic states (Section 2.7).
+    Formulas must be rewritten with {!Mechaml_logic.Ctl.weaken_for_chaos}
+    before checking an abstraction that embeds chaos states. *)
+
+val s_all : string
+(** State name of [s_∀]. *)
+
+val s_delta : string
+(** State name of [s_δ]. *)
+
+val closed_suffix : string
+(** Suffix distinguishing the [(s,0)] copies; the [(s,1)] copies keep the
+    original state name. *)
+
+val chaotic_automaton :
+  name:string -> inputs:string list -> outputs:string list -> Mechaml_ts.Automaton.t
+(** Definition 8 / Fig. 3.  Raises [Invalid_argument] when
+    [|I| + |O| > 16] — the construction enumerates [℘(I) × ℘(O)]. *)
+
+val closure :
+  ?label_of:(string -> string list) ->
+  ?extra_props:string list ->
+  Incomplete.t ->
+  Mechaml_ts.Automaton.t
+(** [chaos(M)] (Definition 9 with the determinism sharpening above).
+    [label_of] assigns atomic propositions to each known state name (default:
+    none); the chaotic states are labelled with {!chaos_prop} only.
+    [extra_props] declares propositions in the universe even when no learned
+    state carries them yet — the synthesis loop seeds it with the property's
+    legacy-side propositions so that checking is well-defined from iteration
+    0 on.  Raises [Invalid_argument] when a state is named like a chaos state
+    or when the signal alphabet is too large. *)
+
+type origin =
+  | Core of string  (** copy of a known state (either copy), original name *)
+  | Chaotic        (** [s_∀] or [s_δ] *)
+
+val origin : string -> origin
+(** Classify a closure state name. *)

@@ -1,0 +1,50 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+
+type violation =
+  | Unknown_state of string
+  | Missing_transition of string * Incomplete.interaction
+  | Refusal_not_real of string * string list
+  | Initial_mismatch
+
+let check (m : Incomplete.t) (real : Automaton.t) =
+  let ( let* ) = Result.bind in
+  let state_of name =
+    match Automaton.state_index_opt real name with
+    | Some s -> Ok s
+    | None -> Error (Unknown_state name)
+  in
+  let* () =
+    if
+      List.for_all
+        (fun q -> List.exists (fun r -> Automaton.state_name real r = q) real.Automaton.initial)
+        m.Incomplete.initial
+    then Ok ()
+    else Error Initial_mismatch
+  in
+  let* () =
+    List.fold_left
+      (fun acc (src, (i : Incomplete.interaction), dst) ->
+        let* () = acc in
+        let* s = state_of src in
+        let a = Universe.set_of_names real.Automaton.inputs i.in_signals in
+        let b = Universe.set_of_names real.Automaton.outputs i.out_signals in
+        if List.exists (fun d -> Automaton.state_name real d = dst) (Automaton.successors real s a b)
+        then Ok ()
+        else Error (Missing_transition (src, i)))
+      (Ok ()) m.Incomplete.trans
+  in
+  List.fold_left
+    (fun acc (state, inputs) ->
+      let* () = acc in
+      let* s = state_of state in
+      let a = Universe.set_of_names real.Automaton.inputs inputs in
+      let accepts_input =
+        List.exists
+          (fun (t : Automaton.trans) -> Mechaml_util.Bitset.equal t.input a)
+          (Automaton.transitions_from real s)
+      in
+      if accepts_input then Error (Refusal_not_real (state, inputs)) else Ok ())
+    (Ok ()) m.Incomplete.refusals
+
+let conforms m real = Result.is_ok (check m real)

@@ -1,0 +1,22 @@
+(** Observation conformance (Definition 10).
+
+    An incomplete automaton [M] is observation conforming to a concrete
+    component [M_r] iff [\[M\] ⊆ \[M_r\]] — every (state-annotated) run of
+    [M], including its explicit deadlock runs, is a run of [M_r].  Because
+    observations name the real states (deterministic replay probes them),
+    conformance reduces to checking each recorded fact against [M_r].
+
+    This module exists for validation: the synthesis loop never sees [M_r],
+    but the test suite uses {!check} to mechanise Theorem 1 and Lemma 7. *)
+
+type violation =
+  | Unknown_state of string
+  | Missing_transition of string * Incomplete.interaction
+  | Refusal_not_real of string * string list
+      (** [T̄] claims a refusal the concrete component does not exhibit *)
+  | Initial_mismatch
+
+val check : Incomplete.t -> Mechaml_ts.Automaton.t -> (unit, violation) result
+(** The concrete automaton is matched by state {e names}. *)
+
+val conforms : Incomplete.t -> Mechaml_ts.Automaton.t -> bool

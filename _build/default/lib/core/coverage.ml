@@ -1,0 +1,68 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Compose = Mechaml_ts.Compose
+
+type t = {
+  relevant_interactions : int;
+  known_relevant : int;
+  known_facts : int;
+  learned_states : int;
+  state_bound : int;
+  interaction_space : int;
+}
+
+let analyse ~(context : Automaton.t) ~state_bound (m : Incomplete.t) =
+  let learned = Incomplete.to_automaton m in
+  let product = Compose.parallel context learned in
+  let offered = Hashtbl.create 64 in
+  let n = Automaton.num_states product.Compose.auto in
+  for p = 0 to n - 1 do
+    let c = Compose.left_state product p and s = Compose.right_state product p in
+    let state_name = Automaton.state_name learned s in
+    List.iter
+      (fun (t : Automaton.trans) ->
+        (* the input set this context transition would feed the component *)
+        let a =
+          List.filter
+            (fun sig_ -> List.mem sig_ m.Incomplete.input_signals)
+            (Universe.names_of_set context.Automaton.outputs t.output)
+          |> List.sort_uniq compare
+        in
+        Hashtbl.replace offered (state_name, a) ())
+      (Automaton.transitions_from context c)
+  done;
+  let relevant_interactions = Hashtbl.length offered in
+  let known_relevant =
+    Hashtbl.fold
+      (fun (state, inputs) () acc ->
+        if
+          Incomplete.known_response m ~state ~inputs <> None
+          || Incomplete.refuses m ~state ~inputs
+        then acc + 1
+        else acc)
+      offered 0
+  in
+  {
+    relevant_interactions;
+    known_relevant;
+    known_facts = Incomplete.knowledge m;
+    learned_states = Incomplete.num_states m;
+    state_bound;
+    interaction_space = state_bound * (1 lsl List.length m.Incomplete.input_signals);
+  }
+
+let relevant_fraction t =
+  if t.relevant_interactions = 0 then 1.0
+  else float_of_int t.known_relevant /. float_of_int t.relevant_interactions
+
+let explored_fraction t =
+  if t.interaction_space = 0 then 1.0
+  else float_of_int t.known_facts /. float_of_int t.interaction_space
+
+let pp ppf t =
+  Format.fprintf ppf
+    "coverage: %d/%d context-relevant interactions known; %d facts of a %d-fact component \
+     space (%.1f%%); %d/%d states discovered"
+    t.known_relevant t.relevant_interactions t.known_facts t.interaction_space
+    (100.0 *. explored_fraction t)
+    t.learned_states t.state_bound

@@ -1,0 +1,36 @@
+(** Context-relative coverage of a learned model.
+
+    The paper's central efficiency claim is that "the whole behavior of the
+    legacy system is not required but only the relevant part for the
+    collaboration" (Section 6).  This module makes the claim measurable for
+    a concrete run: compose the context with the learned behaviour and count
+    which (state, input set) interactions the context can actually drive the
+    component into — the {e relevant} interactions — and how many of them
+    are already known. *)
+
+type t = {
+  relevant_interactions : int;
+      (** distinct (learned state, input set) pairs the context offers along
+          the reachable part of context ∥ learned model *)
+  known_relevant : int;
+      (** of those, already recorded in T or T̄ *)
+  known_facts : int;     (** |T| + |T̄| overall *)
+  learned_states : int;
+  state_bound : int;     (** the reverse-engineered component bound *)
+  interaction_space : int;
+      (** the whole-component fact space [state_bound × 2^|I|] a full
+          learner would have to certify *)
+}
+
+val analyse :
+  context:Mechaml_ts.Automaton.t -> state_bound:int -> Incomplete.t -> t
+
+val relevant_fraction : t -> float
+(** [known_relevant / relevant_interactions] — 1.0 when the loop has learned
+    everything the context can reach (the state at a [Proved] verdict). *)
+
+val explored_fraction : t -> float
+(** [known_facts / interaction_space] — how little of the whole component was
+    needed. *)
+
+val pp : Format.formatter -> t -> unit

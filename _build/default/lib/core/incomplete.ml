@@ -1,0 +1,160 @@
+module Automaton = Mechaml_ts.Automaton
+module Observation = Mechaml_legacy.Observation
+
+type interaction = { in_signals : string list; out_signals : string list }
+
+let interaction ~inputs ~outputs =
+  { in_signals = List.sort_uniq compare inputs; out_signals = List.sort_uniq compare outputs }
+
+type t = {
+  name : string;
+  input_signals : string list;
+  output_signals : string list;
+  states : string list;
+  initial : string list;
+  trans : (string * interaction * string) list;
+  refusals : (string * string list) list;
+}
+
+let create ~name ~inputs ~outputs ~initial_state =
+  {
+    name;
+    input_signals = inputs;
+    output_signals = outputs;
+    states = [ initial_state ];
+    initial = [ initial_state ];
+    trans = [];
+    refusals = [];
+  }
+
+let check_signals what universe names =
+  List.iter
+    (fun n ->
+      if not (List.mem n universe) then
+        invalid_arg (Printf.sprintf "Incomplete: unknown %s signal %S" what n))
+    names
+
+let norm = List.sort_uniq compare
+
+let known_response t ~state ~inputs =
+  let inputs = norm inputs in
+  List.find_map
+    (fun (s, i, d) ->
+      if s = state && i.in_signals = inputs then Some (i.out_signals, d) else None)
+    t.trans
+
+let refuses t ~state ~inputs =
+  let inputs = norm inputs in
+  List.exists (fun (s, i) -> s = state && i = inputs) t.refusals
+
+let add_state_if_new t s = if List.mem s t.states then t else { t with states = t.states @ [ s ] }
+
+let add_transition t ~src i ~dst =
+  check_signals "input" t.input_signals i.in_signals;
+  check_signals "output" t.output_signals i.out_signals;
+  if refuses t ~state:src ~inputs:i.in_signals then
+    invalid_arg
+      (Printf.sprintf
+         "Incomplete.add_transition: (%s, {%s}) is recorded as refused — T and T̄ inconsistent"
+         src
+         (String.concat "," i.in_signals));
+  match known_response t ~state:src ~inputs:i.in_signals with
+  | Some (outs, d) when outs = i.out_signals && d = dst -> t (* already known *)
+  | Some (outs, d) ->
+    invalid_arg
+      (Printf.sprintf
+         "Incomplete.add_transition: %s already responds to {%s} with {%s} -> %s; observed \
+          {%s} -> %s contradicts input determinism"
+         src
+         (String.concat "," i.in_signals)
+         (String.concat "," outs)
+         d
+         (String.concat "," i.out_signals)
+         dst)
+  | None ->
+    let t = add_state_if_new (add_state_if_new t src) dst in
+    { t with trans = t.trans @ [ (src, i, dst) ] }
+
+let add_refusal t ~state ~inputs =
+  check_signals "input" t.input_signals inputs;
+  let inputs = norm inputs in
+  match known_response t ~state ~inputs with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Incomplete.add_refusal: %s has a known transition on {%s} — T and T̄ inconsistent"
+         state (String.concat "," inputs))
+  | None ->
+    if refuses t ~state ~inputs then t
+    else
+      let t = add_state_if_new t state in
+      { t with refusals = t.refusals @ [ (state, inputs) ] }
+
+let num_states t = List.length t.states
+
+let num_transitions t = List.length t.trans
+
+let num_refusals t = List.length t.refusals
+
+let knowledge t = num_transitions t + num_refusals t
+
+let unknown_measure t ~state_bound =
+  (state_bound * (1 lsl List.length t.input_signals)) - knowledge t
+
+let deterministic t =
+  let keys =
+    List.map (fun (s, i, _) -> (s, i.in_signals)) t.trans @ t.refusals
+  in
+  List.length keys = List.length (List.sort_uniq compare keys)
+
+let complete t =
+  let num_inputs = 1 lsl List.length t.input_signals in
+  List.for_all
+    (fun s ->
+      let known =
+        List.length (List.filter (fun (s', _, _) -> s' = s) t.trans)
+        + List.length (List.filter (fun (s', _) -> s' = s) t.refusals)
+      in
+      known = num_inputs)
+    t.states
+
+let learn_step t ~pre ~inputs ~outputs ~post =
+  add_transition t ~src:pre (interaction ~inputs ~outputs) ~dst:post
+
+let learn_observation t (o : Observation.t) =
+  let t =
+    List.fold_left
+      (fun t (s : Observation.step) ->
+        learn_step t ~pre:s.pre_state ~inputs:s.inputs ~outputs:s.outputs ~post:s.post_state)
+      t o.steps
+  in
+  match o.refused with
+  | None -> t
+  | Some (state, inputs) -> add_refusal t ~state ~inputs
+
+let to_automaton t =
+  let b =
+    Automaton.Builder.create ~name:t.name ~inputs:t.input_signals ~outputs:t.output_signals ()
+  in
+  List.iter (fun s -> ignore (Automaton.Builder.add_state b s)) t.states;
+  List.iter
+    (fun (src, i, dst) ->
+      Automaton.Builder.add_trans b ~src ~inputs:i.in_signals ~outputs:i.out_signals ~dst ())
+    t.trans;
+  Automaton.Builder.set_initial b t.initial;
+  Automaton.Builder.build b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>incomplete %s (%d states, %d transitions, %d refusals)@," t.name
+    (num_states t) (num_transitions t) (num_refusals t);
+  List.iter
+    (fun (src, i, dst) ->
+      Format.fprintf ppf "  %s --{%s}/{%s}--> %s@," src
+        (String.concat "," i.in_signals)
+        (String.concat "," i.out_signals)
+        dst)
+    t.trans;
+  List.iter
+    (fun (s, ins) -> Format.fprintf ppf "  %s refuses {%s}@," s (String.concat "," ins))
+    t.refusals;
+  Format.fprintf ppf "@]"

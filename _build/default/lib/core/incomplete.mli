@@ -1,0 +1,99 @@
+(** Incomplete automata (Definition 6): the learned knowledge about a legacy
+    component.
+
+    An incomplete automaton is [M = (S, I, O, T, T̄, Q)] where [T] holds the
+    {e known} transitions (observed behaviour) and [T̄] the {e known refused}
+    interactions.  A deadlock run is only assumed when explicitly recorded in
+    [T̄], never merely because [T] lacks a transition (Definition 7) — the
+    missing interactions are {e unknown}, and the chaotic closure
+    ({!Chaos.closure}) over-approximates them.
+
+    Because the legacy component is input-deterministic (the paper's standing
+    assumption, Section 4.3: "we only require that the implementation [M_r]
+    is deterministic"), a refusal of an input set [A] refuses every
+    interaction [(A, B)], so [T̄] is recorded at input granularity; likewise a
+    known transition [(s, A, B, s')] rules out every [(s, A, B')] with
+    [B' ≠ B].  Both facts sharpen the closure and are what makes each failed
+    test strictly shrink the unknown set (the Theorem 2 termination
+    argument). *)
+
+type interaction = {
+  in_signals : string list;   (** sorted input signal names, [A] *)
+  out_signals : string list;  (** sorted output signal names, [B] *)
+}
+
+val interaction : inputs:string list -> outputs:string list -> interaction
+
+type t = private {
+  name : string;
+  input_signals : string list;
+  output_signals : string list;
+  states : string list;  (** in discovery order *)
+  initial : string list;
+  trans : (string * interaction * string) list;  (** [T] *)
+  refusals : (string * string list) list;
+      (** [T̄] at input granularity: [(state, refused input set)] *)
+}
+
+val create :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  initial_state:string ->
+  t
+(** The trivial incomplete automaton of Section 3: one known (initial) state,
+    no known transitions, no known refusals — [M_l⁰] (Lemma 4, Fig. 4(a)). *)
+
+val add_transition : t -> src:string -> interaction -> dst:string -> t
+(** Extends [S] with unseen states and [T] with the transition (idempotent).
+    Raises [Invalid_argument] if it would contradict existing knowledge: a
+    recorded refusal of the same [(state, inputs)], or a different response
+    to the same [(state, inputs)] (input determinism). *)
+
+val add_refusal : t -> state:string -> inputs:string list -> t
+(** Extends [T̄].  Raises [Invalid_argument] when [T] already has a transition
+    on [(state, inputs)]: [T] and [T̄] must stay consistent (Definition 6). *)
+
+val known_response : t -> state:string -> inputs:string list -> (string list * string) option
+(** [(outputs, destination)] recorded for this state and input set, if any. *)
+
+val refuses : t -> state:string -> inputs:string list -> bool
+
+val num_states : t -> int
+
+val num_transitions : t -> int
+
+val num_refusals : t -> int
+
+val knowledge : t -> int
+(** [|T| + |T̄|], the strictly-increasing progress measure asserted by the
+    synthesis loop (Theorem 2's termination argument). *)
+
+val unknown_measure : t -> state_bound:int -> int
+(** Upper bound on the facts still to learn:
+    [state_bound × 2^|I| − knowledge].  Strictly monotonically decreasing
+    across learning steps; non-negative while the state bound is honest. *)
+
+val deterministic : t -> bool
+(** At most one entry in [T ∪ T̄] per [(state, input set)] — the
+    input-deterministic strengthening of the paper's Definition 6 notion. *)
+
+val complete : t -> bool
+(** Every [(state, input set)] is either in [T] or refused — no unknown
+    interaction remains (Section 2.6). *)
+
+val learn_step :
+  t -> pre:string -> inputs:string list -> outputs:string list -> post:string -> t
+(** One observed execution step (Definition 11, restricted to the step-wise
+    form produced by deterministic replay).  No-op when already known. *)
+
+val learn_observation : t -> Mechaml_legacy.Observation.t -> t
+(** Merge a full observation: every executed step via {!learn_step}
+    (Definition 11), plus the final refusal if the run blocked
+    (Definition 12). *)
+
+val to_automaton : t -> Mechaml_ts.Automaton.t
+(** The underlying automaton [(S, I, O, T, Q)], without labels — used for
+    DOT export and statistics.  State names are preserved. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type error = { line : int; message : string }
+
+exception Error of error
+
+let fail line message = raise (Error { line; message })
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let print (m : Incomplete.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "incomplete %s\n" m.Incomplete.name;
+  add "inputs %s\n" (String.concat " " m.Incomplete.input_signals);
+  add "outputs %s\n" (String.concat " " m.Incomplete.output_signals);
+  add "initial %s\n" (String.concat " " m.Incomplete.initial);
+  List.iter
+    (fun (src, (i : Incomplete.interaction), dst) ->
+      add "trans %s : %s / %s -> %s\n" src
+        (String.concat " " i.Incomplete.in_signals)
+        (String.concat " " i.Incomplete.out_signals)
+        dst)
+    m.Incomplete.trans;
+  List.iter
+    (fun (state, inputs) -> add "refuse %s : %s\n" state (String.concat " " inputs))
+    m.Incomplete.refusals;
+  Buffer.contents buf
+
+let parse text =
+  let name = ref "knowledge" in
+  let inputs = ref None and outputs = ref None and initial = ref None in
+  let trans = ref [] and refusals = ref [] in
+  let parse_trans lineno rest =
+    let rec split_at sep acc = function
+      | [] -> fail lineno (Printf.sprintf "missing %S in trans line" sep)
+      | t :: rest when t = sep -> (List.rev acc, rest)
+      | t :: rest -> split_at sep (t :: acc) rest
+    in
+    match rest with
+    | src :: ":" :: rest ->
+      let ins, rest = split_at "/" [] rest in
+      let outs, rest = split_at "->" [] rest in
+      (match rest with
+      | [ dst ] -> (src, ins, outs, dst)
+      | _ -> fail lineno "expected exactly one destination state")
+    | _ -> fail lineno "expected 'trans <src> : <inputs> / <outputs> -> <dst>'"
+  in
+  (match
+     List.iteri
+       (fun i line ->
+         let lineno = i + 1 in
+         match tokens (strip_comment line) with
+         | [] -> ()
+         | "incomplete" :: [ n ] -> name := n
+         | "inputs" :: signals -> inputs := Some signals
+         | "outputs" :: signals -> outputs := Some signals
+         | "initial" :: [ s ] -> initial := Some s
+         | "initial" :: _ -> fail lineno "initial takes exactly one state"
+         | "trans" :: rest -> trans := parse_trans lineno rest :: !trans
+         | "refuse" :: state :: ":" :: signals -> refusals := (state, signals) :: !refusals
+         | "refuse" :: _ -> fail lineno "expected 'refuse <state> : <inputs>'"
+         | d :: _ -> fail lineno (Printf.sprintf "unknown directive %S" d))
+       (String.split_on_char '\n' text)
+   with
+  | () -> ()
+  | exception Error e -> raise (Error e));
+  let require what = function Some v -> v | None -> fail 0 (Printf.sprintf "missing %s" what) in
+  let m =
+    Incomplete.create ~name:!name ~inputs:(require "inputs" !inputs)
+      ~outputs:(require "outputs" !outputs)
+      ~initial_state:(require "initial" !initial)
+  in
+  let m =
+    List.fold_left
+      (fun m (src, ins, outs, dst) ->
+        try Incomplete.add_transition m ~src (Incomplete.interaction ~inputs:ins ~outputs:outs) ~dst
+        with Invalid_argument msg -> fail 0 msg)
+      m (List.rev !trans)
+  in
+  List.fold_left
+    (fun m (state, signals) ->
+      try Incomplete.add_refusal m ~state ~inputs:signals
+      with Invalid_argument msg -> fail 0 msg)
+    m (List.rev !refusals)
+
+let parse text = match parse text with m -> Ok m | exception Error e -> Stdlib.Error e
+
+let parse_exn text =
+  match parse text with
+  | Ok m -> m
+  | Error { line; message } ->
+    invalid_arg (Printf.sprintf "Knowledge_io.parse line %d: %s" line message)
+
+let save ~path m =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print m))
+
+let load ~path =
+  let ic = open_in path in
+  let text =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  parse text

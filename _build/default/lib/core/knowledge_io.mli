@@ -1,0 +1,33 @@
+(** Persistence for learned behavioural models.
+
+    What the loop learns about a legacy component is expensive knowledge —
+    every fact cost a test execution.  This module serialises incomplete
+    automata (transitions {e and} refusals) in a line format compatible with
+    {!Mechaml_ts.Textio}, so a later session can seed
+    {!Loop.run}[ ~initial_knowledge] with everything already established
+    (grey-box continuation), and CI can archive the learned models.
+
+    Format, extending the textio directives:
+    {v
+    incomplete shuttle2
+    inputs convoyProposalRejected startConvoy
+    outputs convoyProposal
+    initial noConvoy::default
+    trans noConvoy::default : / convoyProposal -> noConvoy::wait
+    refuse noConvoy::wait :
+    refuse convoy : convoyProposalRejected
+    v}
+    ([refuse <state> : <input signals>] records a T̄ entry; an empty signal
+    list is the refusal of the silent interaction.) *)
+
+type error = { line : int; message : string }
+
+val print : Incomplete.t -> string
+
+val parse : string -> (Incomplete.t, error) result
+
+val parse_exn : string -> Incomplete.t
+
+val save : path:string -> Incomplete.t -> unit
+
+val load : path:string -> (Incomplete.t, error) result

@@ -1,0 +1,412 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Run = Mechaml_ts.Run
+module Compose = Mechaml_ts.Compose
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+module Witness = Mechaml_mc.Witness
+module Blackbox = Mechaml_legacy.Blackbox
+module Observation = Mechaml_legacy.Observation
+
+let log = Logs.Src.create "mechaml.loop" ~doc:"iterative behavior synthesis"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type violation_kind = Deadlock | Property
+
+type verdict =
+  | Proved
+  | Real_violation of {
+      kind : violation_kind;
+      formula : Ctl.t;
+      witness : Run.t;
+      product : Compose.product;
+      confirmed_by_test : bool;
+    }
+  | Exhausted of { iterations : int }
+
+type test_report = {
+  inputs_fed : string list list;
+  reproduced : bool;
+  knowledge_gained : int;
+}
+
+type iteration = {
+  index : int;
+  model_states : int;
+  model_knowledge : int;
+  closure_states : int;
+  product_states : int;
+  counterexample : (violation_kind * Run.t) option;
+  counterexample_length : int;
+  fast_real : bool;
+  test : test_report option;
+  probes : int;
+}
+
+type result = {
+  verdict : verdict;
+  iterations : iteration list;
+  final_model : Incomplete.t;
+  tests_executed : int;
+  test_steps_executed : int;
+  states_learned : int;
+  legacy_state_bound : int;
+}
+
+(* The projection of a product counterexample onto the legacy side, decoded
+   into names: per step the input and output signal names, plus the closure
+   state names visited. *)
+type projected = {
+  step_inputs : string list list;
+  step_outputs : string list list;
+  closure_states : string list;
+}
+
+let project_counterexample (product : Compose.product) witness =
+  let run = Compose.project_right product witness in
+  let closure = product.Compose.right in
+  {
+    step_inputs =
+      List.map
+        (fun (a, _) -> Universe.names_of_set closure.Automaton.inputs a)
+        (Run.trace run);
+    step_outputs =
+      List.map
+        (fun (_, b) -> Universe.names_of_set closure.Automaton.outputs b)
+        (Run.trace run);
+    closure_states = List.map (Automaton.state_name closure) (Run.state_sequence run);
+  }
+
+(* Walk the projected counterexample against the learned model: [true] iff
+   every step is a known transition of T (then the synthesized part of the
+   counterexample is real behaviour — fast conflict detection). *)
+let all_steps_known (model : Incomplete.t) proj =
+  let rec go states ins outs =
+    match (states, ins, outs) with
+    | _ :: [], [], [] -> true
+    | pre :: (post :: _ as rest), i :: ins', o :: outs' -> (
+      match (Chaos.origin pre, Chaos.origin post) with
+      | Chaos.Core pre_core, Chaos.Core post_core -> (
+        match Incomplete.known_response model ~state:pre_core ~inputs:i with
+        | Some (b, d) when b = List.sort_uniq compare o && d = post_core ->
+          go rest ins' outs'
+        | _ -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  go proj.closure_states proj.step_inputs proj.step_outputs
+
+(* Candidate legacy interactions the context offers in a given context state:
+   for each context transition, the legacy must consume the context's outputs
+   on the shared signals and produce the context's inputs on the shared
+   signals (Definition 3). *)
+let candidates_at (context : Automaton.t) (legacy : Blackbox.t) c_state =
+  List.map
+    (fun (t : Automaton.trans) ->
+      let a_cand =
+        List.filter
+          (fun n -> List.mem n legacy.Blackbox.input_signals)
+          (Universe.names_of_set context.Automaton.outputs t.output)
+      in
+      let b_cand =
+        List.filter
+          (fun n -> List.mem n legacy.Blackbox.output_signals)
+          (Universe.names_of_set context.Automaton.inputs t.input)
+      in
+      (List.sort_uniq compare a_cand, List.sort_uniq compare b_cand))
+    (Automaton.transitions_from context c_state)
+  |> List.sort_uniq compare
+
+type candidate_status = Known_impossible | Known_compatible | Unknown
+
+let candidate_status model ~state (a, b) =
+  if Incomplete.refuses model ~state ~inputs:a then Known_impossible
+  else
+    match Incomplete.known_response model ~state ~inputs:a with
+    | Some (b', _) -> if b' = b then Known_compatible else Known_impossible
+    | None -> Unknown
+
+let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterations
+    ?initial_knowledge ?(counterexamples_per_iteration = 1) ~(context : Automaton.t) ~property
+    ~(legacy : Blackbox.t) () =
+  if not (Ctl.is_compositional property) then
+    invalid_arg
+      (Printf.sprintf
+         "Loop.run: property %s is not compositional (Definition 5) — Lemma 5 would not \
+          transfer the verdict to the real system"
+         (Ctl.to_string property));
+  let subset l u = List.for_all (fun n -> Universe.mem u n) l in
+  if not (subset legacy.Blackbox.input_signals context.Automaton.outputs) then
+    invalid_arg "Loop.run: some legacy input signal is not produced by the context";
+  if not (subset legacy.Blackbox.output_signals context.Automaton.inputs) then
+    invalid_arg "Loop.run: some legacy output signal is not consumed by the context";
+  let weakened =
+    Mechaml_logic.Simplify.simplify (Ctl.weaken_for_chaos ~chaos_prop:Chaos.chaos_prop property)
+  in
+  let bound =
+    match max_iterations with
+    | Some n -> n
+    | None ->
+      (legacy.Blackbox.state_bound * (1 lsl List.length legacy.Blackbox.input_signals)) + 1
+  in
+  let tests_executed = ref 0 and test_steps = ref 0 in
+  let observe model inputs =
+    incr tests_executed;
+    test_steps := !test_steps + List.length inputs;
+    let obs = Observation.observe ~box:legacy ~inputs in
+    Incomplete.learn_observation model obs
+  in
+  (* The property's legacy-side propositions must exist in the closure's
+     universe from iteration 0 on, even before any state carrying them is
+     learned; the context-side ones live in the context automaton. *)
+  let legacy_props =
+    List.filter (fun p -> not (Universe.mem context.Automaton.props p)) (Ctl.props property)
+  in
+  let initial_model =
+    match initial_knowledge with
+    | None -> Synthesis.initial_model legacy
+    | Some k ->
+      (* Grey-box seeding: the caller vouches for these facts the way the
+         loop vouches for observations. *)
+      let same l l' = List.sort compare l = List.sort compare l' in
+      if not (same k.Incomplete.input_signals legacy.Blackbox.input_signals) then
+        invalid_arg "Loop.run: initial_knowledge has a different input alphabet";
+      if not (same k.Incomplete.output_signals legacy.Blackbox.output_signals) then
+        invalid_arg "Loop.run: initial_knowledge has a different output alphabet";
+      if k.Incomplete.initial <> [ legacy.Blackbox.initial_state ] then
+        invalid_arg "Loop.run: initial_knowledge has a different initial state";
+      k
+  in
+  let rec iterate model index records =
+    if index >= bound then
+      ( Exhausted { iterations = index },
+        List.rev records,
+        model )
+    else begin
+      let closure = Chaos.closure ~label_of ~extra_props:legacy_props model in
+      let product = Compose.parallel context closure in
+      (* Equation (7): φ ∧ ¬δ.  The property is checked first so that a
+         genuine integration conflict surfaces as a property counterexample
+         (the paper's fast conflict detection, Listing 1.4) rather than as
+         one of the deadlocks the chaotic closure also induces. *)
+      let outcome =
+        Checker.check_conjunction ~strategy product.Compose.auto [ weakened; Ctl.deadlock_free ]
+      in
+      let base =
+        {
+          index;
+          model_states = Incomplete.num_states model;
+          model_knowledge = Incomplete.knowledge model;
+          closure_states = Automaton.num_states closure;
+          product_states = Automaton.num_states product.Compose.auto;
+          counterexample = None;
+          counterexample_length = 0;
+          fast_real = false;
+          test = None;
+          probes = 0;
+        }
+      in
+      match outcome with
+      | Checker.Holds ->
+        Log.info (fun m -> m "iteration %d: property proved" index);
+        (Proved, List.rev (base :: records), model)
+      | Checker.Violated { formula; witness; explanation; complete } ->
+        let kind = if Ctl.equal formula Ctl.deadlock_free then Deadlock else Property in
+        Log.info (fun m ->
+            m "iteration %d: %s counterexample of length %d (%s)" index
+              (match kind with Deadlock -> "deadlock" | Property -> "property")
+              (Run.length witness) explanation);
+        let proj = project_counterexample product witness in
+        let base =
+          {
+            base with
+            counterexample = Some (kind, witness);
+            counterexample_length = Run.length witness;
+          }
+        in
+        let knowledge_before = Incomplete.knowledge model in
+        let finish_real ?(model = model) ~confirmed ~record () =
+          ( Real_violation { kind; formula; witness; product; confirmed_by_test = confirmed },
+            List.rev (record :: records),
+            model )
+        in
+        (* Residual-evidence analysis at the final state: the witness claims
+           the run cannot be extended there (a deadlock, or a blocked
+           maximal run discharging a bounded obligation).  Decide from known
+           facts — or by probing the component — whether the context ∥
+           legacy composition really has no joint move in that state.  All
+           unknown candidates are probed (each probe is a learning step), so
+           a [`Refuted] without new knowledge is impossible for
+           blocking-based evidence. *)
+        let analyse_final model ~final_core ~prefix_inputs =
+          let c_end = Compose.left_state product (Run.final_state witness) in
+          let cands = candidates_at context legacy c_end in
+          let rec go model probes refuted = function
+            | [] -> (model, probes, if refuted then `Refuted else `Confirmed)
+            | cand :: rest -> (
+              match candidate_status model ~state:final_core cand with
+              | Known_impossible -> go model probes refuted rest
+              | Known_compatible -> go model probes true rest
+              | Unknown ->
+                let a, _ = cand in
+                let model = observe model (prefix_inputs @ [ a ]) in
+                let probes = probes + 1 in
+                let refuted =
+                  refuted
+                  || candidate_status model ~state:final_core cand = Known_compatible
+                in
+                go model probes refuted rest)
+          in
+          go model 0 false cands
+        in
+        (* Batched counterexamples (the paper's future-work improvement):
+           before the next model-checking round, also test the other nearest
+           violations of the same property and merge what they teach. *)
+        let learn_extras model =
+          if counterexamples_per_iteration <= 1 then model
+          else
+            List.fold_left
+              (fun model extra ->
+                if Run.final_state extra = Run.final_state witness then model
+                else begin
+                  let proj = project_counterexample product extra in
+                  if all_steps_known model proj then model
+                  else observe model proj.step_inputs
+                end)
+              model
+              (Checker.more_witnesses
+                 ~limit:(counterexamples_per_iteration - 1)
+                 product.Compose.auto formula)
+        in
+        let continue_or_fail model' record =
+          if Incomplete.knowledge model' <= knowledge_before then
+            failwith
+              (Printf.sprintf
+                 "Loop.run: no progress on a counterexample for %s — the witness carries a \
+                  nested temporal obligation the testing step cannot validate; use safety \
+                  (AG of a state predicate) or bounded-response properties"
+                 (Ctl.to_string formula))
+          else iterate (learn_extras model') (index + 1) (record :: records)
+        in
+        if all_steps_known model proj then begin
+          (* The whole synthesized part of the counterexample is learned —
+             hence real — behaviour (fast conflict detection). *)
+          if complete then
+            finish_real ~confirmed:false ~record:{ base with fast_real = true } ()
+          else begin
+            let final_core =
+              match Chaos.origin (List.nth proj.closure_states (Run.length witness)) with
+              | Chaos.Core s -> s
+              | Chaos.Chaotic -> assert false (* all_steps_known excludes chaos *)
+            in
+            let model', probes, status =
+              analyse_final model ~final_core ~prefix_inputs:proj.step_inputs
+            in
+            let record = { base with fast_real = probes = 0; probes } in
+            match status with
+            | `Confirmed -> finish_real ~model:model' ~confirmed:(probes > 0) ~record ()
+            | `Refuted -> continue_or_fail model' record
+          end
+        end
+        else begin
+          (* Counterexample reaches into chaos: run it as a test under
+             deterministic replay (Sections 4.2 / 5). *)
+          let model' = observe model proj.step_inputs in
+          (* Reproduced iff the component produced exactly the expected
+             outputs for every fed input: walk the freshly learned model
+             (which now contains the observation) and compare outputs.  The
+             expected closure states cannot be compared — they are chaotic. *)
+          let reproduced =
+            let rec walk state ins outs =
+              match (ins, outs) with
+              | [], [] -> true
+              | i :: ins', o :: outs' -> (
+                match Incomplete.known_response model' ~state ~inputs:i with
+                | Some (b, d) when b = List.sort_uniq compare o -> walk d ins' outs'
+                | _ -> false)
+              | _ -> false
+            in
+            match model'.Incomplete.initial with
+            | [ q ] -> walk q proj.step_inputs proj.step_outputs
+            | _ -> false
+          in
+          let gained = Incomplete.knowledge model' - knowledge_before in
+          let test =
+            Some { inputs_fed = proj.step_inputs; reproduced; knowledge_gained = gained }
+          in
+          if reproduced then begin
+            if complete then
+              finish_real ~model:model' ~confirmed:true ~record:{ base with test } ()
+            else begin
+              (* The trace reproduced; find the real final state by walking
+                 the learned model, then validate the residual claim there. *)
+              let final_core =
+                let rec walk state = function
+                  | [] -> state
+                  | i :: ins -> (
+                    match Incomplete.known_response model' ~state ~inputs:i with
+                    | Some (_, d) -> walk d ins
+                    | None -> state)
+                in
+                match model'.Incomplete.initial with
+                | [ q ] -> walk q proj.step_inputs
+                | _ -> assert false
+              in
+              let model'', probes, status =
+                analyse_final model' ~final_core ~prefix_inputs:proj.step_inputs
+              in
+              let record = { base with test; probes } in
+              match status with
+              | `Confirmed -> finish_real ~model:model'' ~confirmed:true ~record ()
+              | `Refuted -> continue_or_fail model'' record
+            end
+          end
+          else begin
+            assert (gained > 0);
+            iterate (learn_extras model') (index + 1) ({ base with test } :: records)
+          end
+        end
+    end
+  in
+  let verdict, iterations, final_model = iterate initial_model 0 [] in
+  {
+    verdict;
+    iterations;
+    final_model;
+    tests_executed = !tests_executed;
+    test_steps_executed = !test_steps;
+    states_learned = Incomplete.num_states final_model;
+    legacy_state_bound = legacy.Blackbox.state_bound;
+  }
+
+let pp_iteration ppf (it : iteration) =
+  Format.fprintf ppf
+    "iter %d: model %d states / %d facts; closure %d states; product %d states; %s%s%s"
+    it.index it.model_states it.model_knowledge it.closure_states it.product_states
+    (match it.counterexample with
+    | None -> "proved"
+    | Some (Deadlock, _) -> Printf.sprintf "deadlock CE (len %d)" it.counterexample_length
+    | Some (Property, _) -> Printf.sprintf "property CE (len %d)" it.counterexample_length)
+    (if it.fast_real then "; fast-real" else "")
+    (match it.test with
+    | None -> ""
+    | Some t ->
+      Printf.sprintf "; test %s, +%d facts"
+        (if t.reproduced then "reproduced" else "diverged")
+        t.knowledge_gained)
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun it -> Format.fprintf ppf "%a@," pp_iteration it) r.iterations;
+  (match r.verdict with
+  | Proved ->
+    Format.fprintf ppf "verdict: PROVED after %d iterations (learned %d/%d states)@,"
+      (List.length r.iterations) r.states_learned r.legacy_state_bound
+  | Real_violation { kind; confirmed_by_test; _ } ->
+    Format.fprintf ppf "verdict: REAL %s (%s)@,"
+      (match kind with Deadlock -> "deadlock" | Property -> "property violation")
+      (if confirmed_by_test then "confirmed by test" else "fast conflict detection")
+  | Exhausted { iterations } ->
+    Format.fprintf ppf "verdict: iteration budget exhausted after %d iterations@," iterations);
+  Format.fprintf ppf "tests: %d (%d steps)@]" r.tests_executed r.test_steps_executed

@@ -1,0 +1,99 @@
+(** Iterative behavior synthesis (Section 4, Theorem 2).
+
+    Starting from the initial abstraction [M_a⁰] (Section 3), each iteration:
+
+    + model checks [M_a^c ∥ M_a^i ⊨ φ ∧ ¬δ] (equation 7, Section 4.1) with
+      the property weakened for the chaos states (Section 2.7);
+    + on success stops with {!Proved} — by Lemma 5 the property then holds
+      for the real composition [M_r^c ∥ M_r];
+    + otherwise derives a test from the counterexample (Section 4.2 /
+      Section 5) and executes it against the legacy component under
+      deterministic replay.  A counterexample whose synthesized part consists
+      only of learned behaviour is already real ({e fast conflict detection},
+      Listing 1.4) and skips the test.  A reproduced counterexample is a real
+      integration fault (Lemma 6, no false negatives); a divergent or blocked
+      run is merged into [M_l^{i+1}] (Definitions 11/12, Lemma 7) and the
+      loop continues;
+    + deadlock counterexamples whose trace reproduces additionally probe the
+      interactions the context offers in the final state, either refuting the
+      deadlock (new behaviour learned) or confirming it.
+
+    Every non-final iteration strictly increases [Incomplete.knowledge]
+    (asserted at runtime), which is bounded for a finite-state deterministic
+    legacy component — the loop terminates (Theorem 2). *)
+
+type violation_kind = Deadlock | Property
+
+type verdict =
+  | Proved
+      (** [φ ∧ ¬δ] holds for context ∥ legacy — without having learned the
+          whole legacy component *)
+  | Real_violation of {
+      kind : violation_kind;
+      formula : Mechaml_logic.Ctl.t;
+      witness : Mechaml_ts.Run.t;     (** run of the final iteration's product *)
+      product : Mechaml_ts.Compose.product;
+      confirmed_by_test : bool;
+          (** [false] = fast conflict detection: the violation lies entirely
+              in already-learned behaviour *)
+    }
+  | Exhausted of { iterations : int }
+      (** iteration budget hit (only possible when [max_iterations] is set
+          below the theoretical bound) *)
+
+type test_report = {
+  inputs_fed : string list list;
+  reproduced : bool;
+  knowledge_gained : int;
+}
+
+type iteration = {
+  index : int;  (** 0-based; iteration [i] checks [M_a^i] *)
+  model_states : int;
+  model_knowledge : int;
+  closure_states : int;
+  product_states : int;
+  counterexample : (violation_kind * Mechaml_ts.Run.t) option;  (** [None] = proved *)
+  counterexample_length : int;
+  fast_real : bool;  (** violation recognised as real without testing *)
+  test : test_report option;
+  probes : int;  (** deadlock-refutation probes executed *)
+}
+
+type result = {
+  verdict : verdict;
+  iterations : iteration list;
+  final_model : Incomplete.t;
+  tests_executed : int;
+  test_steps_executed : int;
+  states_learned : int;
+  legacy_state_bound : int;
+}
+
+val run :
+  ?strategy:Mechaml_mc.Witness.strategy ->
+  ?label_of:(string -> string list) ->
+  ?max_iterations:int ->
+  ?initial_knowledge:Incomplete.t ->
+  ?counterexamples_per_iteration:int ->
+  context:Mechaml_ts.Automaton.t ->
+  property:Mechaml_logic.Ctl.t ->
+  legacy:Mechaml_legacy.Blackbox.t ->
+  unit ->
+  result
+(** [context] is the abstract context model [M_a^c] (roles, connectors and
+    peer components already composed into one automaton).  [property] must be
+    compositional in the sense of Definition 5 (checked;
+    [Invalid_argument] otherwise — a non-ACTL property would not be preserved
+    by Lemma 5).  [label_of] maps legacy state names (as probed by
+    deterministic replay) to atomic propositions; it must produce
+    propositions disjoint from the context's.  [max_iterations] defaults to
+    the Theorem 2 bound [state_bound × 2^{|I|} + 1].
+
+    Raises [Invalid_argument] when the legacy interface does not match the
+    context ([I_legacy ⊈ O_context] or [O_legacy ⊈ I_context] would leave
+    unconnected signals the probing step cannot exercise). *)
+
+val pp_iteration : Format.formatter -> iteration -> unit
+
+val pp_result : Format.formatter -> result -> unit

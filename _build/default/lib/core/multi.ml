@@ -1,0 +1,147 @@
+module Blackbox = Mechaml_legacy.Blackbox
+
+let joint_sep = '&'
+
+let sep_string = String.make 1 joint_sep
+
+let joint parts = String.concat sep_string parts
+
+let share (b : Blackbox.t) signals =
+  List.filter (fun s -> List.mem s b.Blackbox.input_signals) signals
+
+let combine (boxes : Blackbox.t list) =
+  if List.length boxes < 2 then invalid_arg "Multi.combine: need at least two components";
+  let all_signals =
+    List.concat_map
+      (fun (b : Blackbox.t) -> b.Blackbox.input_signals @ b.Blackbox.output_signals)
+      boxes
+  in
+  if List.length all_signals <> List.length (List.sort_uniq compare all_signals) then
+    invalid_arg
+      "Multi.combine: components share signal names — legacy-to-legacy links are not supported";
+  List.iter
+    (fun (b : Blackbox.t) ->
+      if String.contains b.Blackbox.initial_state joint_sep then
+        invalid_arg "Multi.combine: state names must not contain '&'")
+    boxes;
+  let connect () =
+    (* A joint step advances every component or none: if a later component
+       refuses its share after earlier ones already advanced, the earlier
+       sessions are rolled back by replaying the accepted history on fresh
+       sessions (refusals never advance a component, so the history is
+       exactly the accepted joint inputs). *)
+    let history : string list list ref = ref [] in
+    let fresh_sessions () =
+      List.map
+        (fun (b : Blackbox.t) ->
+          let s = b.Blackbox.connect () in
+          List.iter (fun past -> ignore (s.Blackbox.step ~inputs:(share b past))) (List.rev !history);
+          (b, s))
+        boxes
+    in
+    let sessions = ref (List.map (fun (b : Blackbox.t) -> (b, b.Blackbox.connect ())) boxes) in
+    let step ~inputs =
+      let rec go acc advanced = function
+        | [] ->
+          history := inputs :: !history;
+          Some (List.concat (List.rev acc))
+        | ((b : Blackbox.t), s) :: rest -> (
+          match s.Blackbox.step ~inputs:(share b inputs) with
+          | Some outs -> go (outs :: acc) (advanced + 1) rest
+          | None ->
+            if advanced > 0 then sessions := fresh_sessions ();
+            None)
+      in
+      go [] 0 !sessions
+    in
+    let probe_state () =
+      joint (List.map (fun ((_ : Blackbox.t), s) -> s.Blackbox.probe_state ()) !sessions)
+    in
+    { Blackbox.step; probe_state }
+  in
+  {
+    Blackbox.name = joint (List.map (fun (b : Blackbox.t) -> b.Blackbox.name) boxes);
+    port = joint (List.map (fun (b : Blackbox.t) -> b.Blackbox.port) boxes);
+    input_signals = List.concat_map (fun (b : Blackbox.t) -> b.Blackbox.input_signals) boxes;
+    output_signals = List.concat_map (fun (b : Blackbox.t) -> b.Blackbox.output_signals) boxes;
+    initial_state = joint (List.map (fun (b : Blackbox.t) -> b.Blackbox.initial_state) boxes);
+    state_bound =
+      List.fold_left (fun acc (b : Blackbox.t) -> acc * b.Blackbox.state_bound) 1 boxes;
+    connect;
+  }
+
+let joint_labels fs name =
+  let parts = String.split_on_char joint_sep name in
+  if List.length parts <> List.length fs then []
+  else List.concat (List.map2 (fun f part -> f part) fs parts)
+
+let split_model ~components (m : Incomplete.t) =
+  let k = List.length components in
+  if k < 2 then invalid_arg "Multi.split_model: need at least two components";
+  let split_state name =
+    let parts = String.split_on_char joint_sep name in
+    if List.length parts = k then parts
+    else invalid_arg (Printf.sprintf "Multi.split_model: state %S is not a %d-tuple" name k)
+  in
+  let project_interaction (b : Blackbox.t) (i : Incomplete.interaction) =
+    Incomplete.interaction
+      ~inputs:(List.filter (fun s -> List.mem s b.Blackbox.input_signals) i.Incomplete.in_signals)
+      ~outputs:
+        (List.filter (fun s -> List.mem s b.Blackbox.output_signals) i.Incomplete.out_signals)
+  in
+  let base =
+    List.map
+      (fun ((b : Blackbox.t), idx) ->
+        let model =
+          Incomplete.create ~name:b.Blackbox.name ~inputs:b.Blackbox.input_signals
+            ~outputs:b.Blackbox.output_signals
+            ~initial_state:(List.nth (split_state (List.hd m.Incomplete.initial)) idx)
+        in
+        (b, idx, ref model))
+      (List.mapi (fun idx b -> (b, idx)) components)
+  in
+  (* Transitions project component-wise; determinism of each component makes
+     the projections consistent. *)
+  List.iter
+    (fun (src, i, dst) ->
+      let src_parts = split_state src and dst_parts = split_state dst in
+      List.iter
+        (fun (b, idx, model) ->
+          model :=
+            Incomplete.add_transition !model ~src:(List.nth src_parts idx)
+              (project_interaction b i) ~dst:(List.nth dst_parts idx))
+        base)
+    m.Incomplete.trans;
+  (* A refusal of the joint interaction is attributed to a component only
+     when every other component demonstrably accepts its share. *)
+  List.iter
+    (fun (state, refused_inputs) ->
+      let parts = split_state state in
+      List.iter
+        (fun (b, idx, model) ->
+          let others_known =
+            List.for_all
+              (fun (b', idx', model') ->
+                idx' = idx
+                || Incomplete.known_response !model' ~state:(List.nth parts idx')
+                     ~inputs:(share b' refused_inputs)
+                   <> None)
+              base
+          in
+          if others_known then
+            model :=
+              Incomplete.add_refusal !model ~state:(List.nth parts idx)
+                ~inputs:(share b refused_inputs))
+        base)
+    m.Incomplete.refusals;
+  List.map (fun ((b : Blackbox.t), _, model) -> (b.Blackbox.name, !model)) base
+
+type result = {
+  loop : Loop.result;
+  component_models : (string * Incomplete.t) list;
+}
+
+let run ?strategy ?label_of ?max_iterations ~context ~property ~legacies () =
+  let box = combine legacies in
+  let loop = Loop.run ?strategy ?label_of ?max_iterations ~context ~property ~legacy:box () in
+  { loop; component_models = split_model ~components:legacies loop.Loop.final_model }

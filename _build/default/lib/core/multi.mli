@@ -1,0 +1,58 @@
+(** Multiple legacy components (the extension sketched in the paper's
+    conclusion, Section 7: "the approach can be extended to multiple legacy
+    components by using the parallel combination of multiple behavioral
+    models; the iterative synthesis will then improve all these models in
+    parallel").
+
+    Components are combined into one virtual black box whose observed
+    behaviour is their synchronous product, and the standard loop runs
+    against it; every learned fact about the product is then split back into
+    per-component incomplete automata, so each component's model improves in
+    parallel, exactly as the paper anticipates.
+
+    Restriction: the combined components must not communicate with each
+    other directly — all their signals connect to the context.  (Direct
+    legacy-to-legacy links would make a single synchronous step of the
+    virtual box depend on its own outputs.) *)
+
+val combine : Mechaml_legacy.Blackbox.t list -> Mechaml_legacy.Blackbox.t
+(** The virtual black box: inputs/outputs are the disjoint unions, a step
+    feeds each component its share of the inputs and joins the outputs, a
+    refusal by any component refuses the joint interaction, and the probed
+    state is the tuple of component states (joined with [&]).  Raises
+    [Invalid_argument] on fewer than two components or overlapping signal
+    alphabets. *)
+
+type result = {
+  loop : Loop.result;  (** the verdict and history of the combined loop *)
+  component_models : (string * Incomplete.t) list;
+      (** the learned product model split back per component, keyed by
+          component name *)
+}
+
+val run :
+  ?strategy:Mechaml_mc.Witness.strategy ->
+  ?label_of:(string -> string list) ->
+  ?max_iterations:int ->
+  context:Mechaml_ts.Automaton.t ->
+  property:Mechaml_logic.Ctl.t ->
+  legacies:Mechaml_legacy.Blackbox.t list ->
+  unit ->
+  result
+(** Like {!Loop.run} on the combined box.  [label_of] receives the joint
+    state name ([s1&s2]); {!joint_labels} builds one from per-component
+    conventions. *)
+
+val joint_labels : (string -> string list) list -> string -> string list
+(** [joint_labels [f1; …; fk]] splits a joint state name on [&] and applies
+    [fi] to the i-th part, concatenating the results. *)
+
+val split_model :
+  components:Mechaml_legacy.Blackbox.t list -> Incomplete.t -> (string * Incomplete.t) list
+(** Project a learned product model onto each component: product states
+    [s1&…&sk] contribute state [si] to the i-th model and transitions
+    project their interactions onto the component's signal alphabet.
+    Which component caused a joint refusal is not observable from outside,
+    so a refusal is attributed to component [i] only when every other
+    component's projected response at its state is already known (it
+    therefore cannot be the refuser). *)

@@ -1,0 +1,7 @@
+module Blackbox = Mechaml_legacy.Blackbox
+
+let initial_model (box : Blackbox.t) =
+  Incomplete.create ~name:box.Blackbox.name ~inputs:box.Blackbox.input_signals
+    ~outputs:box.Blackbox.output_signals ~initial_state:box.Blackbox.initial_state
+
+let initial_abstraction ?label_of box = Chaos.closure ?label_of (initial_model box)

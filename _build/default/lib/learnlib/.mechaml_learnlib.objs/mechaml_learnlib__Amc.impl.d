@@ -1,0 +1,1 @@
+lib/learnlib/amc.ml: List Mealy Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts Obs_table Oracle Printf Wmethod

@@ -1,0 +1,1 @@
+lib/learnlib/amc.mli: Mechaml_legacy Mechaml_logic Mechaml_ts Oracle

@@ -1,0 +1,1 @@
+lib/learnlib/bbc.ml: List Lstar Mealy Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts

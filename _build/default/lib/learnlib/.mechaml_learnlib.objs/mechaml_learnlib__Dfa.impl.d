@@ -1,0 +1,1 @@
+lib/learnlib/dfa.ml: Array Hashtbl List Mechaml_util Printf Queue

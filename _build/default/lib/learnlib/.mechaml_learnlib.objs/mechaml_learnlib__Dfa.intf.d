@@ -1,0 +1,1 @@
+lib/learnlib/dfa.mli:

@@ -1,0 +1,1 @@
+lib/learnlib/dfa_lstar.ml: Array Dfa Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/learnlib/lstar.ml: List Mealy Obs_table Oracle Wmethod

@@ -1,0 +1,1 @@
+lib/learnlib/lstar.mli: Mealy Mechaml_legacy Obs_table Oracle

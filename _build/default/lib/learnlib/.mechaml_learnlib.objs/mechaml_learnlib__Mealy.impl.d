@@ -1,0 +1,1 @@
+lib/learnlib/mealy.ml: Array Format Hashtbl List Mechaml_ts Mechaml_util Printf Queue String

@@ -1,0 +1,1 @@
+lib/learnlib/mealy.mli: Format Mechaml_ts

@@ -1,0 +1,1 @@
+lib/learnlib/obs_table.ml: Array Fun Hashtbl List Mealy Oracle

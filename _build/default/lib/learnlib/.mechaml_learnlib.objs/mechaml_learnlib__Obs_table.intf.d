@@ -1,0 +1,1 @@
+lib/learnlib/obs_table.mli: Mealy Oracle

@@ -1,0 +1,1 @@
+lib/learnlib/oracle.ml: Hashtbl List Mealy Mechaml_legacy

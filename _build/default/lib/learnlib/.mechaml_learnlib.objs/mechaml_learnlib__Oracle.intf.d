@@ -1,0 +1,1 @@
+lib/learnlib/oracle.mli: Mealy Mechaml_legacy

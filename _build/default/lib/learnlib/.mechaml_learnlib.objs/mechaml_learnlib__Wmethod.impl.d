@@ -1,0 +1,1 @@
+lib/learnlib/wmethod.ml: Array Fun List Mealy Option Oracle Queue

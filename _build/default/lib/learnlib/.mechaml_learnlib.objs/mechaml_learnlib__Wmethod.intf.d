@@ -1,0 +1,1 @@
+lib/learnlib/wmethod.mli: Mealy Oracle

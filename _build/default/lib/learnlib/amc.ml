@@ -1,0 +1,123 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Run = Mechaml_ts.Run
+module Compose = Mechaml_ts.Compose
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+
+type verdict =
+  | Holds_up_to_bound of { conformance_words : int }
+  | Real_violation of { kind : [ `Deadlock | `Property ]; inputs : string list list }
+
+type result = {
+  verdict : verdict;
+  rounds : int;
+  hypothesis_states : int;
+  stats : Oracle.stats;
+}
+
+let verify ~box ~context ?(property = Ctl.True) ~alphabet ~state_bound () =
+  List.iter
+    (fun p ->
+      if not (Universe.mem context.Automaton.props p) then
+        invalid_arg
+          (Printf.sprintf
+             "Amc.verify: proposition %S is not a context proposition — AMC's hypothesis \
+              states are unlabelled" p))
+    (Ctl.props property);
+  let oracle = Oracle.create ~box ~alphabet in
+  let table = Obs_table.create oracle in
+  let decode word = List.map (List.nth (Oracle.alphabet oracle)) word in
+  let rec round n =
+    Obs_table.make_closed_and_consistent table;
+    let hyp = Obs_table.hypothesis table in
+    let hyp_auto = Mealy.to_automaton ~name:box.Mechaml_legacy.Blackbox.name hyp in
+    let product = Compose.parallel context hyp_auto in
+    match Checker.check_conjunction product.Compose.auto [ property; Ctl.deadlock_free ] with
+    | Checker.Holds -> (
+      (* The under-approximation passed: nothing is proven until conformance
+         testing validates the hypothesis up to the state bound. *)
+      let extra_states = max 0 (state_bound - Mealy.num_states hyp) in
+      match Wmethod.find_counterexample oracle ~hypothesis:hyp ~extra_states with
+      | Some w ->
+        Obs_table.add_counterexample table w;
+        round (n + 1)
+      | None ->
+        let words, _ = Wmethod.suite_size ~hypothesis:hyp ~extra_states in
+        (Holds_up_to_bound { conformance_words = words }, n, hyp))
+    | Checker.Violated { formula; witness; _ } -> (
+      let projected = Compose.project_right product witness in
+      let word =
+        List.map
+          (fun (a, _) ->
+            Mealy.alphabet_index hyp (Universe.names_of_set hyp_auto.Automaton.inputs a))
+          (Run.trace projected)
+      in
+      let real = Oracle.query oracle word in
+      let predicted = Mealy.run_word hyp word in
+      if real <> predicted then begin
+        (* Spurious counterexample: the word itself refines the hypothesis. *)
+        Obs_table.add_counterexample table word;
+        round (n + 1)
+      end
+      else if not (Ctl.equal formula Ctl.deadlock_free) then
+        (Real_violation { kind = `Property; inputs = decode word }, n, hyp)
+      else begin
+        (* Deadlock claimed at the end of a reproduced trace: every
+           interaction the context offers there must really be impossible. *)
+        let c_end = Compose.left_state product (Run.final_state witness) in
+        let candidates =
+          List.filter_map
+            (fun (t : Automaton.trans) ->
+              let a_names =
+                List.filter
+                  (fun s -> List.mem s box.Mechaml_legacy.Blackbox.input_signals)
+                  (Universe.names_of_set context.Automaton.outputs t.output)
+                |> List.sort compare
+              in
+              let b_names =
+                List.filter
+                  (fun s -> List.mem s box.Mechaml_legacy.Blackbox.output_signals)
+                  (Universe.names_of_set context.Automaton.inputs t.input)
+                |> List.sort compare
+              in
+              match Mealy.alphabet_index hyp a_names with
+              | idx -> Some (idx, b_names)
+              | exception Invalid_argument _ -> None)
+            (Automaton.transitions_from context c_end)
+          |> List.sort_uniq compare
+        in
+        let refinement =
+          List.find_map
+            (fun (a_idx, b_names) ->
+              let probe = word @ [ a_idx ] in
+              let real_out =
+                match List.rev (Oracle.query oracle probe) with o :: _ -> o | [] -> Mealy.Blocked
+              in
+              let hyp_out =
+                match List.rev (Mealy.run_word hyp probe) with o :: _ -> o | [] -> Mealy.Blocked
+              in
+              if real_out <> hyp_out then Some probe
+              else begin
+                (* Hypothesis and reality agree on this candidate; agreement
+                   with a compatible output would contradict the deadlock the
+                   model checker reported. *)
+                assert (real_out <> Mealy.Out b_names);
+                None
+              end)
+            candidates
+        in
+        match refinement with
+        | Some w ->
+          Obs_table.add_counterexample table w;
+          round (n + 1)
+        | None -> (Real_violation { kind = `Deadlock; inputs = decode word }, n, hyp)
+      end)
+  in
+  let verdict, rounds, hyp = round 1 in
+  {
+    verdict;
+    rounds;
+    hypothesis_states = Mealy.num_states hyp;
+    stats = Oracle.stats oracle;
+  }

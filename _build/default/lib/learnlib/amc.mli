@@ -1,0 +1,38 @@
+(** Adaptive model checking (Groce, Peled, Yannakakis — Section 6), the
+    closest related technique: maintain a learned hypothesis of the black
+    box, model check it against the context, validate counterexamples on the
+    real system, and fall back to conformance testing before trusting a
+    positive verdict.
+
+    The structural contrast with the paper's approach (and the point of
+    experiment EXP-T6): AMC's hypothesis is an {e under}-approximation, so a
+    passing model-checking run proves nothing until an exhaustive
+    equivalence/conformance check has been paid for; the paper's chaotic
+    closure is an {e over}-approximation, so a passing run is already a
+    proof.  AMC also works on unlabelled hypothesis states, so it can only
+    check properties over context propositions and deadlock freedom. *)
+
+type verdict =
+  | Holds_up_to_bound of { conformance_words : int }
+      (** the property held and a W-method suite up to the state bound found
+          no discrepancy *)
+  | Real_violation of { kind : [ `Deadlock | `Property ]; inputs : string list list }
+
+type result = {
+  verdict : verdict;
+  rounds : int;  (** model-checking rounds *)
+  hypothesis_states : int;
+  stats : Oracle.stats;
+}
+
+val verify :
+  box:Mechaml_legacy.Blackbox.t ->
+  context:Mechaml_ts.Automaton.t ->
+  ?property:Mechaml_logic.Ctl.t ->
+  alphabet:string list list ->
+  state_bound:int ->
+  unit ->
+  result
+(** [property] defaults to [true] (deadlock freedom alone); its propositions
+    must all belong to the context automaton (hypothesis states carry no
+    labels) — raises [Invalid_argument] otherwise. *)

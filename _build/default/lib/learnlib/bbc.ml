@@ -1,0 +1,44 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Compose = Mechaml_ts.Compose
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+
+type result = {
+  outcome : Checker.outcome;
+  learned : Mealy.t;
+  lstar : Lstar.result;
+}
+
+let verify ~box ~context ?(property = Ctl.True) ?(label_of = fun _ -> []) ~alphabet
+    ~state_bound () =
+  let lstar =
+    Lstar.learn ~box ~alphabet
+      ~equivalence:(Lstar.Wmethod { extra_states = max 0 state_bound })
+      ()
+  in
+  let learned = lstar.Lstar.hypothesis in
+  let auto = Mealy.to_automaton ~name:box.Mechaml_legacy.Blackbox.name learned in
+  (* The hypothesis states are anonymous, so [label_of] rarely has anything
+     to say about them; the property's non-context propositions must still be
+     declared in the universe for the check to be well-defined. *)
+  let auto =
+    let labelled =
+      List.init (Automaton.num_states auto) (fun s ->
+          label_of (Automaton.state_name auto s))
+      |> List.concat
+    in
+    let declared =
+      List.filter
+        (fun p -> not (Universe.mem context.Automaton.props p))
+        (Ctl.props property)
+    in
+    let universe = Universe.of_list (List.sort_uniq compare (labelled @ declared)) in
+    Automaton.relabel auto ~props:universe (fun s ->
+        Universe.set_of_names universe (label_of (Automaton.state_name auto s)))
+  in
+  let product = Compose.parallel context auto in
+  let outcome =
+    Checker.check_conjunction product.Compose.auto [ property; Ctl.deadlock_free ]
+  in
+  { outcome; learned; lstar }

@@ -1,0 +1,28 @@
+(** Black box checking (Peled, Vardi, Yannakakis — Section 6): learn the
+    complete component first — L* with a W-method equivalence oracle up to
+    the state bound — and model check the learned model once.
+
+    This is the "synthesize the whole behavior, then find conflicts"
+    strategy the paper contrasts with; its cost is dominated by the
+    conformance-testing equivalence queries (EXP-T1). *)
+
+type result = {
+  outcome : Mechaml_mc.Checker.outcome;
+  learned : Mealy.t;
+  lstar : Lstar.result;
+}
+
+val verify :
+  box:Mechaml_legacy.Blackbox.t ->
+  context:Mechaml_ts.Automaton.t ->
+  ?property:Mechaml_logic.Ctl.t ->
+  ?label_of:(string -> string list) ->
+  alphabet:string list list ->
+  state_bound:int ->
+  unit ->
+  result
+(** Learns to convergence, then checks [property ∧ ¬δ] on
+    context ∥ learned model.  Unlike AMC, a [label_of] convention may be
+    supplied: learned states are named [h<i>] and carry no semantic names, so
+    by default only context propositions and deadlock freedom are checkable;
+    [label_of] is applied to the hypothesis state names if given. *)

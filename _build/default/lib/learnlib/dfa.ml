@@ -1,0 +1,163 @@
+module Prng = Mechaml_util.Prng
+
+type t = {
+  alphabet : string list;
+  delta : int array array;
+  accepting : bool array;
+  initial : int;
+}
+
+let num_states m = Array.length m.delta
+
+let create ~alphabet ~delta ~accepting ?(initial = 0) () =
+  let n = Array.length delta and k = List.length alphabet in
+  if n = 0 then invalid_arg "Dfa.create: no states";
+  if Array.length accepting <> n then invalid_arg "Dfa.create: accepting length mismatch";
+  if initial < 0 || initial >= n then invalid_arg "Dfa.create: initial out of range";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Dfa.create: row length mismatch";
+      Array.iter (fun d -> if d < 0 || d >= n then invalid_arg "Dfa.create: target out of range") row)
+    delta;
+  { alphabet; delta; accepting; initial }
+
+let symbol_index m s =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Dfa.symbol_index: unknown symbol %S" s)
+    | x :: rest -> if x = s then i else go (i + 1) rest
+  in
+  go 0 m.alphabet
+
+let step m s a = m.delta.(s).(a)
+
+let state_after m w = List.fold_left (fun s a -> step m s a) m.initial w
+
+let accepts m w = m.accepting.(state_after m w)
+
+let accepts_word m w = accepts m (List.map (symbol_index m) w)
+
+let equivalent a b =
+  if a.alphabet <> b.alphabet then invalid_arg "Dfa.equivalent: different alphabets";
+  let k = List.length a.alphabet in
+  let seen = Hashtbl.create 64 and parent = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let start = (a.initial, b.initial) in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  let found = ref None in
+  let check ((sa, sb) as pair) = if a.accepting.(sa) <> b.accepting.(sb) then found := Some pair in
+  check start;
+  while !found = None && not (Queue.is_empty queue) do
+    let ((sa, sb) as pair) = Queue.pop queue in
+    for x = 0 to k - 1 do
+      if !found = None then begin
+        let next = (step a sa x, step b sb x) in
+        if not (Hashtbl.mem seen next) then begin
+          Hashtbl.add seen next ();
+          Hashtbl.add parent next (pair, x);
+          Queue.add next queue;
+          check next
+        end
+      end
+    done
+  done;
+  match !found with
+  | None -> None
+  | Some pair ->
+    let rec unwind p acc =
+      match Hashtbl.find_opt parent p with
+      | None -> acc
+      | Some (p', x) -> unwind p' (x :: acc)
+    in
+    Some (unwind pair [])
+
+let reachable m =
+  let n = num_states m in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(m.initial) <- true;
+  Queue.add m.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun d ->
+        if not seen.(d) then begin
+          seen.(d) <- true;
+          Queue.add d queue
+        end)
+      m.delta.(s)
+  done;
+  seen
+
+(* Moore-style partition refinement restricted to reachable states. *)
+let minimize m =
+  let n = num_states m in
+  let k = List.length m.alphabet in
+  let live = reachable m in
+  let block = Array.make n 0 in
+  for s = 0 to n - 1 do
+    block.(s) <- (if m.accepting.(s) then 1 else 0)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of a state: its block plus the blocks of its successors *)
+    let sigs = Hashtbl.create 32 in
+    let next_block = Array.make n 0 in
+    let fresh = ref 0 in
+    for s = 0 to n - 1 do
+      if live.(s) then begin
+        let signature = (block.(s), Array.to_list (Array.map (fun d -> block.(d)) m.delta.(s))) in
+        let b =
+          match Hashtbl.find_opt sigs signature with
+          | Some b -> b
+          | None ->
+            let b = !fresh in
+            incr fresh;
+            Hashtbl.add sigs signature b;
+            b
+        in
+        next_block.(s) <- b
+      end
+    done;
+    let distinct_before =
+      List.sort_uniq compare (List.filteri (fun s _ -> live.(s)) (Array.to_list block))
+    in
+    if !fresh <> List.length distinct_before then changed := true;
+    for s = 0 to n - 1 do
+      if live.(s) then block.(s) <- next_block.(s)
+    done
+  done;
+  (* renumber blocks densely *)
+  let repr = Hashtbl.create 16 in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if live.(s) && not (Hashtbl.mem repr block.(s)) then begin
+      Hashtbl.add repr block.(s) (!count, s);
+      incr count
+    end
+  done;
+  let id b = fst (Hashtbl.find repr b) in
+  let delta =
+    Array.init !count (fun _ -> Array.make k 0)
+  in
+  let accepting = Array.make !count false in
+  Hashtbl.iter
+    (fun b (i, s) ->
+      ignore b;
+      accepting.(i) <- m.accepting.(s);
+      for x = 0 to k - 1 do
+        delta.(i).(x) <- id block.(step m s x)
+      done)
+    repr;
+  { alphabet = m.alphabet; delta; accepting; initial = id block.(m.initial) }
+
+let complement m = { m with accepting = Array.map not m.accepting }
+
+let random ~seed ~states ~alphabet =
+  if states < 1 then invalid_arg "Dfa.random: states must be positive";
+  let rng = Prng.create ~seed in
+  let k = List.length alphabet in
+  let delta = Array.init states (fun _ -> Array.init k (fun _ -> Prng.int rng states)) in
+  let accepting = Array.init states (fun _ -> Prng.bool rng) in
+  { alphabet; delta; accepting; initial = 0 }

@@ -1,0 +1,47 @@
+(** Deterministic finite automata over a named alphabet — the classical
+    setting of regular inference (Section 6: "it is assumed that the
+    considered black box system can be modeled by a deterministic finite
+    automaton (DFA); the problem is then to identify the regular language
+    L(M)").
+
+    Kept separate from the Mealy machinery: the paper's related-work
+    discussion is phrased over DFAs and languages, and {!Dfa_lstar}
+    implements Angluin's original algorithm verbatim on this type. *)
+
+type t = {
+  alphabet : string list;
+  delta : int array array;   (** [delta.(state).(symbol)] *)
+  accepting : bool array;
+  initial : int;
+}
+
+val create :
+  alphabet:string list -> delta:int array array -> accepting:bool array -> ?initial:int ->
+  unit -> t
+(** Validates shape and ranges. *)
+
+val num_states : t -> int
+
+val symbol_index : t -> string -> int
+
+val step : t -> int -> int -> int
+
+val state_after : t -> int list -> int
+
+val accepts : t -> int list -> bool
+(** Membership of a word (symbol indices). *)
+
+val accepts_word : t -> string list -> bool
+
+val equivalent : t -> t -> int list option
+(** [None] iff same language; otherwise a shortest distinguishing word. *)
+
+val minimize : t -> t
+(** Hopcroft-style partition refinement over the reachable part: the unique
+    minimal DFA of the language (up to state numbering). *)
+
+val complement : t -> t
+
+val random : seed:int -> states:int -> alphabet:string list -> t
+(** Reproducible random DFAs for tests and benchmarks (roughly half the
+    states accepting). *)

@@ -1,0 +1,148 @@
+type teacher = {
+  member : int list -> bool;
+  equiv : Dfa.t -> int list option;
+}
+
+type stats = { membership_queries : int; equivalence_queries : int }
+
+let teacher_of_dfa target =
+  let cache = Hashtbl.create 256 in
+  let membership = ref 0 and equivalence = ref 0 in
+  let member w =
+    match Hashtbl.find_opt cache w with
+    | Some v -> v
+    | None ->
+      incr membership;
+      let v = Dfa.accepts target w in
+      Hashtbl.add cache w v;
+      v
+  in
+  let equiv hyp =
+    incr equivalence;
+    Dfa.equivalent target hyp
+  in
+  ( { member; equiv },
+    fun () -> { membership_queries = !membership; equivalence_queries = !equivalence } )
+
+type result = {
+  hypothesis : Dfa.t;
+  rounds : int;
+  table_rows : int;
+  table_columns : int;
+}
+
+(* The observation table: access words S (prefix-closed), suffixes E
+   (suffix-closed, ε ∈ E), cell (u, e) = member (u · e). *)
+type table = {
+  k : int;
+  member : int list -> bool;
+  mutable access : int list list;
+  mutable suffixes : int list list;
+}
+
+let row t u = List.map (fun e -> t.member (u @ e)) t.suffixes
+
+let rows_equal t u v = row t u = row t v
+
+let extensions t u = List.init t.k (fun a -> u @ [ a ])
+
+let find_unclosed t =
+  List.find_map
+    (fun u ->
+      List.find_map
+        (fun ua -> if List.exists (rows_equal t ua) t.access then None else Some ua)
+        (extensions t u))
+    t.access
+
+let find_inconsistent t =
+  let rec pairs = function
+    | [] -> None
+    | u :: rest ->
+      (match
+         List.find_map
+           (fun v ->
+             if rows_equal t u v then
+               List.find_map
+                 (fun a ->
+                   let ru = row t (u @ [ a ]) and rv = row t (v @ [ a ]) in
+                   let rec diff es xs ys =
+                     match (es, xs, ys) with
+                     | e :: es', x :: xs', y :: ys' ->
+                       if x <> y then Some (a :: e) else diff es' xs' ys'
+                     | _ -> None
+                   in
+                   diff t.suffixes ru rv)
+                 (List.init t.k Fun.id)
+             else None)
+           rest
+       with
+      | Some s -> Some s
+      | None -> pairs rest)
+  in
+  pairs t.access
+
+let close_table t =
+  let continue = ref true in
+  while !continue do
+    match find_unclosed t with
+    | Some ua -> t.access <- t.access @ [ ua ]
+    | None -> (
+      match find_inconsistent t with
+      | Some suffix ->
+        if not (List.mem suffix t.suffixes) then t.suffixes <- t.suffixes @ [ suffix ]
+        else continue := false
+      | None -> continue := false)
+  done
+
+let hypothesis t ~alphabet =
+  let reps =
+    List.fold_left
+      (fun reps u -> if List.exists (rows_equal t u) reps then reps else reps @ [ u ])
+      [] t.access
+  in
+  let state_of u =
+    let rec go i = function
+      | [] -> failwith "Dfa_lstar: table not closed"
+      | v :: rest -> if rows_equal t u v then i else go (i + 1) rest
+    in
+    go 0 reps
+  in
+  let delta =
+    Array.of_list (List.map (fun u -> Array.init t.k (fun a -> state_of (u @ [ a ]))) reps)
+  in
+  let accepting = Array.of_list (List.map (fun u -> t.member u) reps) in
+  Dfa.create ~alphabet ~delta ~accepting ~initial:(state_of []) ()
+
+let add_counterexample t w =
+  (* Angluin's original treatment: every prefix becomes an access word. *)
+  let rec prefixes acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+      let p = match acc with [] -> [ a ] | last :: _ -> last @ [ a ] in
+      prefixes (p :: acc) rest
+  in
+  List.iter
+    (fun p -> if not (List.mem p t.access) then t.access <- t.access @ [ p ])
+    (prefixes [] w)
+
+let learn ~alphabet ~(teacher : teacher) ?(max_rounds = 1000) () =
+  let t =
+    { k = List.length alphabet; member = teacher.member; access = [ [] ]; suffixes = [ [] ] }
+  in
+  let rec go rounds =
+    if rounds > max_rounds then failwith "Dfa_lstar.learn: exceeded max_rounds";
+    close_table t;
+    let hyp = hypothesis t ~alphabet in
+    match teacher.equiv hyp with
+    | None -> (hyp, rounds)
+    | Some w ->
+      add_counterexample t w;
+      go (rounds + 1)
+  in
+  let hypothesis, rounds = go 1 in
+  {
+    hypothesis;
+    rounds;
+    table_rows = List.length t.access * (t.k + 1);
+    table_columns = List.length t.suffixes;
+  }

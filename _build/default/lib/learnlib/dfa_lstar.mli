@@ -1,0 +1,33 @@
+(** Angluin's L* in its original DFA form (Section 6, "Angluin's Algorithm"):
+    a Learner, initially knowing only the alphabet, identifies the regular
+    language L(M) of a black box by membership queries to a Teacher and
+    equivalence queries to an Oracle, organising the answers in an
+    observation table whose row prefixes reach states and whose column
+    suffixes distinguish them.
+
+    The paper quotes the classical bounds: at most [n] equivalence queries
+    and [O(|Σ| n² m)] membership queries for an [n]-state target and
+    counterexamples of length [m]; both are asserted by the test suite. *)
+
+type teacher = {
+  member : int list -> bool;           (** w ∈ L(M)? *)
+  equiv : Dfa.t -> int list option;    (** correct, or a counterexample word *)
+}
+
+type stats = { membership_queries : int; equivalence_queries : int }
+
+val teacher_of_dfa : Dfa.t -> teacher * (unit -> stats)
+(** A counting teacher answering from a known DFA (membership answers are
+    cached, so the count is of {e distinct} queries, as in the classical
+    analysis). *)
+
+type result = {
+  hypothesis : Dfa.t;
+  rounds : int;
+  table_rows : int;
+  table_columns : int;
+}
+
+val learn : alphabet:string list -> teacher:teacher -> ?max_rounds:int -> unit -> result
+(** Runs L* to convergence.  The returned hypothesis is the minimal DFA of
+    the target language. *)

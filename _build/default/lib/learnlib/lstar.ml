@@ -1,0 +1,81 @@
+type equivalence = Wmethod of { extra_states : int } | Perfect of Mealy.t
+
+type result = {
+  hypothesis : Mealy.t;
+  rounds : int;
+  stats : Oracle.stats;
+  table_rows : int;
+  table_columns : int;
+}
+
+(* Rivest–Schapire: re-route the counterexample's prefixes through the
+   hypothesis' access words and locate one suffix on which the behaviours
+   flip; that suffix alone is a new distinguishing column.  Returns [false]
+   when no usable (non-empty) suffix is found — callers fall back to
+   Maler–Pnueli processing, which is always sound. *)
+let rivest_schapire ~oracle ~table ~hyp ~access w =
+  let n = List.length w in
+  let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: r -> drop (k - 1) r in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let tail k l = drop (List.length l - k) l in
+  let beta i =
+    let q = Mealy.state_after hyp (take i w) in
+    let u = List.nth access q in
+    tail (n - i) (Oracle.query oracle (u @ drop i w))
+  in
+  let rec find i =
+    if i >= n - 1 then None
+    else if tail (n - i - 1) (beta i) <> beta (i + 1) then Some (drop (i + 1) w)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some suffix when suffix <> [] ->
+    Obs_table.add_suffix_column table suffix;
+    true
+  | _ -> false
+
+let learn ~box ~alphabet ~equivalence ?ce_processing ?(max_rounds = 1000) () =
+  let oracle = Oracle.create ~box ~alphabet in
+  let table = Obs_table.create oracle in
+  let rec go rounds =
+    if rounds > max_rounds then failwith "Lstar.learn: exceeded max_rounds";
+    Obs_table.make_closed_and_consistent table;
+    let hyp, access = Obs_table.hypothesis_with_access table in
+    let counterexample =
+      match equivalence with
+      | Wmethod { extra_states } -> Wmethod.find_counterexample oracle ~hypothesis:hyp ~extra_states
+      | Perfect truth ->
+        Oracle.count_equivalence_query oracle;
+        Mealy.equivalent truth hyp
+    in
+    match counterexample with
+    | None -> (hyp, rounds)
+    | Some w ->
+      (match ce_processing with
+      | Some Obs_table.Rivest_schapire ->
+        if not (rivest_schapire ~oracle ~table ~hyp ~access w) then
+          Obs_table.add_counterexample ~processing:Obs_table.Maler_pnueli_suffixes table w
+      | processing -> Obs_table.add_counterexample ?processing table w);
+      go (rounds + 1)
+  in
+  let hypothesis, rounds = go 1 in
+  let table_rows, table_columns = Obs_table.size table in
+  { hypothesis; rounds; stats = Oracle.stats oracle; table_rows; table_columns }
+
+let alphabet_of_signals ?(include_empty = true) ?(max_set_size = 1) signals =
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let without = subsets k rest in
+      let with_x =
+        List.filter_map
+          (fun s -> if List.length s < k then Some (x :: s) else None)
+          (subsets k rest)
+      in
+      without @ with_x
+  in
+  subsets max_set_size signals
+  |> List.filter (fun s -> include_empty || s <> [])
+  |> List.map (List.sort compare)
+  |> List.sort_uniq compare
+  |> List.sort (fun a b -> compare (List.length a, a) (List.length b, b))

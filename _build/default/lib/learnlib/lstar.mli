@@ -1,0 +1,41 @@
+(** Angluin's L* (Section 6), the baseline the paper positions itself
+    against: it learns the {e whole} component — requiring an equivalence
+    oracle realised by exhaustive conformance testing — whereas the paper's
+    loop learns only the behaviour the context can exercise and needs no
+    equivalence check at all.
+
+    The target concept is the component's complete Mealy semantics over a
+    chosen input alphabet (refusals observed as {!Mealy.Blocked}). *)
+
+type equivalence =
+  | Wmethod of { extra_states : int }
+      (** conformance testing up to [hypothesis states + extra_states] —
+          the realistic oracle *)
+  | Perfect of Mealy.t
+      (** omniscient comparison against a known ground truth (testing only) *)
+
+type result = {
+  hypothesis : Mealy.t;
+  rounds : int;             (** equivalence queries used *)
+  stats : Oracle.stats;
+  table_rows : int;
+  table_columns : int;
+}
+
+val learn :
+  box:Mechaml_legacy.Blackbox.t ->
+  alphabet:string list list ->
+  equivalence:equivalence ->
+  ?ce_processing:Obs_table.ce_processing ->
+  ?max_rounds:int ->
+  unit ->
+  result
+(** Runs L* to convergence (the equivalence oracle finds no counterexample).
+    [max_rounds] (default [1000]) guards against a dishonest ground truth.
+    Raises [Failure] when exceeded. *)
+
+val alphabet_of_signals :
+  ?include_empty:bool -> ?max_set_size:int -> string list -> string list list
+(** Builds an input alphabet from signal names: all subsets up to
+    [max_set_size] (default 1), optionally including the empty set (default
+    [true] — components may act spontaneously on a silent period). *)

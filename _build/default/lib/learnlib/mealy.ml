@@ -1,0 +1,197 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+
+type output = Blocked | Out of string list
+
+type t = {
+  alphabet : string list list;
+  trans : (output * int) array array;
+  initial : int;
+}
+
+let num_states m = Array.length m.trans
+
+let create ~alphabet ~trans ?(initial = 0) () =
+  let k = List.length alphabet in
+  let n = Array.length trans in
+  if n = 0 then invalid_arg "Mealy.create: no states";
+  if initial < 0 || initial >= n then invalid_arg "Mealy.create: initial state out of range";
+  Array.iteri
+    (fun s row ->
+      if Array.length row <> k then
+        invalid_arg (Printf.sprintf "Mealy.create: state %d has %d entries, expected %d" s
+          (Array.length row) k);
+      Array.iteri
+        (fun a (o, d) ->
+          if d < 0 || d >= n then invalid_arg "Mealy.create: target out of range";
+          if o = Blocked && d <> s then
+            invalid_arg
+              (Printf.sprintf "Mealy.create: blocked symbol %d at state %d must self-loop" a s))
+        row)
+    trans;
+  { alphabet; trans; initial }
+
+let step m s a = m.trans.(s).(a)
+
+let run_word m w =
+  let rec go s acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+      let o, s' = step m s a in
+      go s' (o :: acc) rest
+  in
+  go m.initial [] w
+
+let state_after m w = List.fold_left (fun s a -> snd (step m s a)) m.initial w
+
+let alphabet_index m symbol =
+  let symbol = List.sort_uniq compare symbol in
+  let rec go i = function
+    | [] -> invalid_arg "Mealy.alphabet_index: symbol not in alphabet"
+    | x :: rest -> if List.sort_uniq compare x = symbol then i else go (i + 1) rest
+  in
+  go 0 m.alphabet
+
+let of_automaton ~alphabet (auto : Automaton.t) =
+  if not (Automaton.input_deterministic auto) then
+    invalid_arg "Mealy.of_automaton: automaton is not input-deterministic";
+  let n = Automaton.num_states auto in
+  let k = List.length alphabet in
+  let trans =
+    Array.init n (fun s ->
+        Array.init k (fun ai ->
+            let symbol = List.nth alphabet ai in
+            let a = Universe.set_of_names auto.Automaton.inputs symbol in
+            match
+              List.find_opt
+                (fun (t : Automaton.trans) -> Mechaml_util.Bitset.equal t.input a)
+                (Automaton.transitions_from auto s)
+            with
+            | None -> (Blocked, s)
+            | Some t ->
+              (Out (List.sort compare (Universe.names_of_set auto.Automaton.outputs t.output)), t.dst)))
+  in
+  let initial = match auto.Automaton.initial with [ q ] -> q | _ -> 0 in
+  create ~alphabet ~trans ~initial ()
+
+let to_automaton ?(name = "hypothesis") ?(state_name = Printf.sprintf "h%d") m =
+  let inputs = List.sort_uniq compare (List.concat m.alphabet) in
+  let outputs =
+    Array.to_list m.trans
+    |> List.concat_map (fun row ->
+           Array.to_list row
+           |> List.concat_map (function Out o, _ -> o | Blocked, _ -> []))
+    |> List.sort_uniq compare
+  in
+  let b = Automaton.Builder.create ~name ~inputs ~outputs () in
+  for s = 0 to num_states m - 1 do
+    ignore (Automaton.Builder.add_state b (state_name s))
+  done;
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun ai (o, d) ->
+          match o with
+          | Blocked -> ()
+          | Out outs ->
+            Automaton.Builder.add_trans b ~src:(state_name s) ~inputs:(List.nth m.alphabet ai)
+              ~outputs:outs ~dst:(state_name d) ())
+        row)
+    m.trans;
+  Automaton.Builder.set_initial b [ state_name m.initial ];
+  Automaton.Builder.build b
+
+let equivalent a b =
+  if a.alphabet <> b.alphabet then invalid_arg "Mealy.equivalent: different alphabets";
+  let k = List.length a.alphabet in
+  let seen = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let start = (a.initial, b.initial) in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let ((sa, sb) as pair) = Queue.pop queue in
+    let ai = ref 0 in
+    while !found = None && !ai < k do
+      let oa, da = step a sa !ai and ob, db = step b sb !ai in
+      if oa <> ob then found := Some (pair, !ai)
+      else begin
+        let next = (da, db) in
+        if not (Hashtbl.mem seen next) then begin
+          Hashtbl.add seen next ();
+          Hashtbl.add parent next (pair, !ai);
+          Queue.add next queue
+        end
+      end;
+      incr ai
+    done
+  done;
+  match !found with
+  | None -> None
+  | Some (pair, last) ->
+    let rec unwind p acc =
+      match Hashtbl.find_opt parent p with
+      | None -> acc
+      | Some (p', a) -> unwind p' (a :: acc)
+    in
+    Some (unwind pair [] @ [ last ])
+
+(* Pairwise shortest distinguishing words by fixpoint iteration; the
+   collected set is a characterization set W for the (reachable part of the)
+   machine. *)
+let distinguishing_words m =
+  let n = num_states m in
+  let k = List.length m.alphabet in
+  let dist : int list option array array = Array.make_matrix n n None in
+  (* Base: pairs separated by a single symbol's output. *)
+  for p = 0 to n - 1 do
+    for q = 0 to p - 1 do
+      let rec find a =
+        if a >= k then None
+        else if fst (step m p a) <> fst (step m q a) then Some [ a ]
+        else find (a + 1)
+      in
+      dist.(p).(q) <- find 0
+    done
+  done;
+  let get p q = if p = q then None else if p > q then dist.(p).(q) else dist.(q).(p) in
+  let set p q w = if p > q then dist.(p).(q) <- Some w else dist.(q).(p) <- Some w in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for p = 0 to n - 1 do
+      for q = 0 to p - 1 do
+        if dist.(p).(q) = None then begin
+          let rec find a =
+            if a >= k then None
+            else
+              let _, dp = step m p a and _, dq = step m q a in
+              match get dp dq with Some w -> Some (a :: w) | None -> find (a + 1)
+          in
+          match find 0 with
+          | Some w ->
+            set p q w;
+            changed := true
+          | None -> ()
+        end
+      done
+    done
+  done;
+  let words = ref [] in
+  for p = 0 to n - 1 do
+    for q = 0 to p - 1 do
+      match dist.(p).(q) with
+      | Some w when not (List.mem w !words) -> words := w :: !words
+      | _ -> ()
+    done
+  done;
+  !words
+
+let distinguishing_set m =
+  List.map (fun w -> List.map (List.nth m.alphabet) w) (distinguishing_words m)
+
+let pp_output ppf = function
+  | Blocked -> Format.pp_print_string ppf "⊥"
+  | Out o -> Format.fprintf ppf "{%s}" (String.concat "," o)

@@ -1,0 +1,62 @@
+(** Deterministic Mealy machines — the hypothesis space of the regular
+    inference baselines (Section 6: Angluin's L*, conformance testing,
+    adaptive model checking).
+
+    A legacy component viewed as a black box induces a complete Mealy machine
+    over a finite input alphabet of signal sets: feeding [A] either produces
+    the output signal set [B] and advances, or is refused — observed as
+    {!Blocked} — leaving the component where it was (refusals do not advance
+    the component, matching {!Mechaml_legacy.Blackbox.session}). *)
+
+type output = Blocked | Out of string list  (** sorted output signal names *)
+
+type t = {
+  alphabet : string list list;          (** input symbols: sorted signal sets *)
+  trans : (output * int) array array;   (** [trans.(state).(symbol) = (output, next)] *)
+  initial : int;
+}
+
+val create :
+  alphabet:string list list -> trans:(output * int) array array -> ?initial:int -> unit -> t
+(** Validates shape: every state has exactly [|alphabet|] entries, targets in
+    range, and {!Blocked} entries are self-loops. *)
+
+val num_states : t -> int
+
+val step : t -> int -> int -> output * int
+(** [step m state symbol]. *)
+
+val run_word : t -> int list -> output list
+(** Outputs along a word from the initial state. *)
+
+val state_after : t -> int list -> int
+
+val alphabet_index : t -> string list -> int
+(** Index of a signal set in the alphabet.  Raises [Invalid_argument] when
+    absent. *)
+
+val of_automaton : alphabet:string list list -> Mechaml_ts.Automaton.t -> t
+(** Ground-truth Mealy semantics of an input-deterministic automaton over the
+    given alphabet (inputs outside the alphabet are ignored; refused inputs
+    become {!Blocked} self-loops).  Used by tests and by the benchmark
+    harness to predict baseline costs. *)
+
+val to_automaton :
+  ?name:string -> ?state_name:(int -> string) -> t -> Mechaml_ts.Automaton.t
+(** The automaton of Definition 1 induced by the machine: one transition per
+    non-blocked symbol; {!Blocked} symbols yield no transition (a refusal).
+    Signals are reconstructed from the alphabet and output sets. *)
+
+val equivalent : t -> t -> int list option
+(** [None] when the two machines agree on every word (product BFS); otherwise
+    a shortest distinguishing word. *)
+
+val distinguishing_words : t -> int list list
+(** A characterization set [W] as words of alphabet indices: for every pair
+    of behaviourally distinct states some word in [W] separates them.  Empty
+    when the machine has a single behavioural class. *)
+
+val distinguishing_set : t -> string list list list
+(** {!distinguishing_words} decoded into signal-set words. *)
+
+val pp_output : Format.formatter -> output -> unit

@@ -1,0 +1,152 @@
+type t = {
+  oracle : Oracle.t;
+  k : int;
+  mutable access : int list list; (* S, prefix-closed *)
+  mutable suffixes : int list list; (* E, non-empty words *)
+  (* Row contents are memoized per (access word, suffix-set version): the
+     closedness and consistency sweeps recompute rows heavily. *)
+  row_cache : (int list, int * Mealy.output list list) Hashtbl.t;
+  mutable version : int;
+}
+
+let create oracle =
+  let k = List.length (Oracle.alphabet oracle) in
+  {
+    oracle;
+    k;
+    access = [ [] ];
+    suffixes = List.init k (fun a -> [ a ]);
+    row_cache = Hashtbl.create 256;
+    version = 0;
+  }
+
+(* The row of an access word: its output behaviour on every suffix.  Only the
+   outputs caused by the suffix itself matter. *)
+let row t u =
+  match Hashtbl.find_opt t.row_cache u with
+  | Some (v, r) when v = t.version -> r
+  | _ ->
+    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+    let n = List.length u in
+    let r = List.map (fun e -> drop n (Oracle.query t.oracle (u @ e))) t.suffixes in
+    Hashtbl.replace t.row_cache u (t.version, r);
+    r
+
+let rows_equal t u v = row t u = row t v
+
+let extensions t u = List.init t.k (fun a -> u @ [ a ])
+
+let find_unclosed t =
+  List.find_map
+    (fun u ->
+      List.find_map
+        (fun ua ->
+          if List.exists (fun v -> rows_equal t ua v) t.access then None else Some ua)
+        (extensions t u))
+    t.access
+
+let find_inconsistent t =
+  let rec pairs = function
+    | [] -> None
+    | u :: rest -> (
+      match
+        List.find_map
+          (fun v ->
+            if rows_equal t u v then
+              (* Equal rows must stay equal under every one-symbol extension;
+                 a violation yields the new suffix a·e. *)
+              List.find_map
+                (fun a ->
+                  let ru = row t (u @ [ a ]) and rv = row t (v @ [ a ]) in
+                  let rec first_diff es rus rvs =
+                    match (es, rus, rvs) with
+                    | e :: es', x :: rus', y :: rvs' ->
+                      if x <> y then Some (a :: e) else first_diff es' rus' rvs'
+                    | _ -> None
+                  in
+                  first_diff t.suffixes ru rv)
+                (List.init t.k Fun.id)
+            else None)
+          rest
+      with
+      | Some suffix -> Some suffix
+      | None -> pairs rest)
+  in
+  pairs t.access
+
+let add_suffix t suffix =
+  if not (List.mem suffix t.suffixes) then begin
+    t.suffixes <- t.suffixes @ [ suffix ];
+    t.version <- t.version + 1
+  end
+
+let make_closed_and_consistent t =
+  let continue = ref true in
+  while !continue do
+    match find_unclosed t with
+    | Some ua -> t.access <- t.access @ [ ua ]
+    | None -> (
+      match find_inconsistent t with
+      | Some suffix -> add_suffix t suffix
+      | None -> continue := false)
+  done
+
+let hypothesis_with_access t =
+  (* Distinct rows among the access words become states; the first access
+     word with a given row is its representative. *)
+  let reps =
+    List.fold_left
+      (fun reps u -> if List.exists (fun v -> rows_equal t u v) reps then reps else reps @ [ u ])
+      [] t.access
+  in
+  let state_of u =
+    let rec go i = function
+      | [] -> failwith "Obs_table.hypothesis: table is not closed"
+      | v :: rest -> if rows_equal t u v then i else go (i + 1) rest
+    in
+    go 0 reps
+  in
+  let k = t.k in
+  let trans =
+    Array.of_list
+      (List.map
+         (fun u ->
+           Array.init k (fun a ->
+               let out = Oracle.last_output t.oracle (u @ [ a ]) in
+               let dst = state_of (u @ [ a ]) in
+               match out with
+               | Mealy.Blocked ->
+                 (* A refused symbol leaves the component in place; the
+                    table sees row(u·a) = row(u). *)
+                 (Mealy.Blocked, state_of u)
+               | o -> (o, dst)))
+         reps)
+  in
+  (Mealy.create ~alphabet:(Oracle.alphabet t.oracle) ~trans ~initial:(state_of []) (), reps)
+
+let hypothesis t = fst (hypothesis_with_access t)
+
+let add_suffix_column t suffix = add_suffix t suffix
+
+type ce_processing = Angluin_prefixes | Maler_pnueli_suffixes | Rivest_schapire
+
+let add_counterexample ?(processing = Angluin_prefixes) t w =
+  match processing with
+  | Angluin_prefixes ->
+    let rec prefixes acc = function
+      | [] -> List.rev acc
+      | a :: rest ->
+        let p = match acc with [] -> [ a ] | last :: _ -> last @ [ a ] in
+        prefixes (p :: acc) rest
+    in
+    List.iter
+      (fun p -> if not (List.mem p t.access) then t.access <- t.access @ [ p ])
+      (prefixes [] w)
+  | Maler_pnueli_suffixes | Rivest_schapire ->
+    let rec suffixes = function
+      | [] -> []
+      | _ :: rest as word -> word :: suffixes rest
+    in
+    List.iter (add_suffix t) (suffixes w)
+
+let size t = (List.length t.access * (t.k + 1), List.length t.suffixes)

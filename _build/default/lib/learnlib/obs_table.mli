@@ -1,0 +1,49 @@
+(** Angluin's observation table (Section 6, "Angluin's Algorithm"), in its
+    Mealy-machine form.
+
+    The table's rows are indexed by access words (prefixes leading to states)
+    and its columns by suffixes distinguishing states.  A row's content is
+    the output behaviour of the component after the access word, on each
+    suffix.  When the table is {e closed} (every one-step extension of a row
+    appears among the rows) and {e consistent} (equal rows stay equal under
+    every extension), it induces a hypothesis machine. *)
+
+type t
+
+val create : Oracle.t -> t
+(** [S = {ε}], [E = Σ] (all single-symbol suffixes). *)
+
+val make_closed_and_consistent : t -> unit
+(** Fill the table via output queries until closed and consistent. *)
+
+val hypothesis : t -> Mealy.t
+(** Requires the table to be closed and consistent (call
+    {!make_closed_and_consistent} first); raises [Failure] otherwise. *)
+
+val hypothesis_with_access : t -> Mealy.t * int list list
+(** The hypothesis together with one access word per hypothesis state
+    (index-aligned) — what Rivest–Schapire counterexample processing needs
+    to re-route prefixes through the hypothesis. *)
+
+val add_suffix_column : t -> int list -> unit
+(** Add a distinguishing suffix directly (used by Rivest–Schapire). *)
+
+type ce_processing =
+  | Angluin_prefixes
+      (** all prefixes of the counterexample become access words — Angluin's
+          original treatment (larger table, fewer columns) *)
+  | Maler_pnueli_suffixes
+      (** all suffixes become distinguishing columns — keeps the access set
+          near the true state count (Maler–Pnueli) *)
+  | Rivest_schapire
+      (** locate the single distinguishing suffix by re-routing prefixes
+          through the hypothesis and add only that column.  Needs the
+          hypothesis, so it is realised in {!Lstar.learn}; passed directly to
+          {!add_counterexample} it degrades to {!Maler_pnueli_suffixes}. *)
+
+val add_counterexample : ?processing:ce_processing -> t -> int list -> unit
+(** Merge a distinguishing word returned by an equivalence query.  Default
+    processing is {!Angluin_prefixes}. *)
+
+val size : t -> int * int
+(** (number of access words incl. one-step extensions, number of suffixes). *)

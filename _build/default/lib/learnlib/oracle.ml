@@ -1,0 +1,83 @@
+module Blackbox = Mechaml_legacy.Blackbox
+
+type stats = {
+  output_queries : int;
+  cached_queries : int;
+  resets : int;
+  symbols : int;
+  equivalence_queries : int;
+}
+
+type t = {
+  box : Blackbox.t;
+  alpha : string list list;
+  cache : (int list, Mealy.output list) Hashtbl.t;
+  mutable output_queries : int;
+  mutable cached_queries : int;
+  mutable resets : int;
+  mutable symbols : int;
+  mutable equivalence_queries : int;
+}
+
+let create ~box ~alphabet =
+  {
+    box;
+    alpha = List.map (List.sort_uniq compare) alphabet;
+    cache = Hashtbl.create 256;
+    output_queries = 0;
+    cached_queries = 0;
+    resets = 0;
+    symbols = 0;
+    equivalence_queries = 0;
+  }
+
+let alphabet t = t.alpha
+
+let execute t word =
+  let session = t.box.Blackbox.connect () in
+  t.resets <- t.resets + 1;
+  t.symbols <- t.symbols + List.length word;
+  List.map
+    (fun a ->
+      let inputs = List.nth t.alpha a in
+      match session.Blackbox.step ~inputs with
+      | Some outs -> Mealy.Out (List.sort compare outs)
+      | None -> Mealy.Blocked)
+    word
+
+let query t word =
+  match Hashtbl.find_opt t.cache word with
+  | Some outs ->
+    t.cached_queries <- t.cached_queries + 1;
+    outs
+  | None ->
+    let outs = execute t word in
+    t.output_queries <- t.output_queries + 1;
+    Hashtbl.add t.cache word outs;
+    (* Every prefix of the word was answered along the way: cache them. *)
+    let rec cache_prefixes rev_word rev_outs =
+      match (rev_word, rev_outs) with
+      | _ :: ws, _ :: os ->
+        let w = List.rev ws and o = List.rev os in
+        if not (Hashtbl.mem t.cache w) then Hashtbl.add t.cache w o;
+        cache_prefixes ws os
+      | _ -> ()
+    in
+    cache_prefixes (List.rev word) (List.rev outs);
+    outs
+
+let last_output t word =
+  match List.rev (query t word) with
+  | last :: _ -> last
+  | [] -> invalid_arg "Oracle.last_output: empty word"
+
+let count_equivalence_query t = t.equivalence_queries <- t.equivalence_queries + 1
+
+let stats t =
+  {
+    output_queries = t.output_queries;
+    cached_queries = t.cached_queries;
+    resets = t.resets;
+    symbols = t.symbols;
+    equivalence_queries = t.equivalence_queries;
+  }

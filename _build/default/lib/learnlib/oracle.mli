@@ -1,0 +1,33 @@
+(** The teacher of regular inference (Section 6): answers output queries
+    against the real black-box component and keeps the books the baselines
+    are compared on (number of queries, resets, symbols fed).
+
+    Queries are cached, so repeated prefixes cost nothing — the counters
+    account only for actual executions of the component, which is what the
+    paper's cost discussion is about. *)
+
+type stats = {
+  output_queries : int;   (** distinct words actually executed *)
+  cached_queries : int;   (** answered from the cache *)
+  resets : int;           (** component reconnects *)
+  symbols : int;          (** total input symbols fed *)
+  equivalence_queries : int;
+}
+
+type t
+
+val create : box:Mechaml_legacy.Blackbox.t -> alphabet:string list list -> t
+
+val alphabet : t -> string list list
+
+val query : t -> int list -> Mealy.output list
+(** Outputs along a word of alphabet indices, starting from a fresh reset.
+    A refused symbol yields {!Mealy.Blocked} and leaves the component in
+    place (it does not advance). *)
+
+val last_output : t -> int list -> Mealy.output
+(** Output of the final symbol of a (non-empty) word. *)
+
+val count_equivalence_query : t -> unit
+
+val stats : t -> stats

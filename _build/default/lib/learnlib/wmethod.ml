@@ -1,0 +1,62 @@
+let transition_cover (m : Mealy.t) =
+  let k = List.length m.Mealy.alphabet in
+  (* BFS spanning tree: shortest access word per state. *)
+  let n = Mealy.num_states m in
+  let access = Array.make n None in
+  access.(m.Mealy.initial) <- Some [];
+  let queue = Queue.create () in
+  Queue.add m.Mealy.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let w = Option.get access.(s) in
+    for a = 0 to k - 1 do
+      let _, d = Mealy.step m s a in
+      if access.(d) = None then begin
+        access.(d) <- Some (w @ [ a ]);
+        Queue.add d queue
+      end
+    done
+  done;
+  let accesses = Array.to_list access |> List.filter_map Fun.id in
+  let extensions = List.concat_map (fun w -> List.init k (fun a -> w @ [ a ])) accesses in
+  List.sort_uniq compare (([] :: accesses) @ extensions)
+
+let middles ~k ~extra_states =
+  (* Σ^0 ∪ Σ^1 ∪ … ∪ Σ^extra *)
+  let rec grow acc words = function
+    | 0 -> acc
+    | n ->
+      let longer = List.concat_map (fun w -> List.init k (fun a -> w @ [ a ])) words in
+      grow (acc @ longer) longer (n - 1)
+  in
+  grow [ [] ] [ [] ] extra_states
+
+let characterization m =
+  match Mealy.distinguishing_words m with
+  | [] ->
+    (* A single behavioural class still needs a probe word so the suite
+       exercises outputs; a single symbol suffices. *)
+    if m.Mealy.alphabet = [] then [ [] ] else [ [ 0 ] ]
+  | words -> words
+
+let suite ~hypothesis ~extra_states =
+  let k = List.length hypothesis.Mealy.alphabet in
+  let p = transition_cover hypothesis in
+  let z =
+    List.concat_map
+      (fun mid -> List.map (fun w -> mid @ w) (characterization hypothesis))
+      (middles ~k ~extra_states)
+  in
+  List.concat_map (fun prefix -> List.map (fun suffix -> prefix @ suffix) z) p
+  |> List.sort_uniq compare
+  |> List.sort (fun a b -> compare (List.length a, a) (List.length b, b))
+
+let suite_size ~hypothesis ~extra_states =
+  let words = suite ~hypothesis ~extra_states in
+  (List.length words, List.fold_left (fun acc w -> acc + List.length w) 0 words)
+
+let find_counterexample oracle ~hypothesis ~extra_states =
+  Oracle.count_equivalence_query oracle;
+  List.find_opt
+    (fun word -> Oracle.query oracle word <> Mealy.run_word hypothesis word)
+    (suite ~hypothesis ~extra_states)

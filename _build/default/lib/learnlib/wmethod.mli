@@ -1,0 +1,27 @@
+(** Conformance testing by the W-method (Vasilevskii / Chow), the standard
+    realisation of the equivalence oracle in regular inference (Section 6,
+    "Equivalence Check").
+
+    Given a hypothesis with [n] states and an assumed bound [n + extra] on
+    the black box's states, the suite [P · Σ^{≤extra} · W] (transition cover
+    [P], characterization set [W]) is exhaustive: it finds a distinguishing
+    word whenever the black box and the hypothesis differ within the bound.
+    Its size is what the paper quotes as exponential in the state-count gap
+    — reproduced as experiment EXP-T7. *)
+
+val transition_cover : Mealy.t -> int list list
+(** Prefix-closed: the empty word, an access word per reachable state, and
+    each of those extended by every symbol. *)
+
+val suite : hypothesis:Mealy.t -> extra_states:int -> int list list
+(** The full test suite, deduplicated, short words first. *)
+
+val suite_size : hypothesis:Mealy.t -> extra_states:int -> int * int
+(** (number of words, total symbols) without materialising executions —
+    used by the cost benchmarks. *)
+
+val find_counterexample :
+  Oracle.t -> hypothesis:Mealy.t -> extra_states:int -> int list option
+(** Execute the suite against the black box; the first word on which the
+    outputs differ, or [None] when the suite passes (the hypothesis is
+    correct up to the state bound). *)

@@ -1,0 +1,1 @@
+lib/legacy/blackbox.ml: List Mechaml_ts Mechaml_util Option Printf

@@ -1,0 +1,1 @@
+lib/legacy/blackbox.mli: Mechaml_ts

@@ -1,0 +1,1 @@
+lib/legacy/event.ml: Format List

@@ -1,0 +1,1 @@
+lib/legacy/flaky.ml: Blackbox

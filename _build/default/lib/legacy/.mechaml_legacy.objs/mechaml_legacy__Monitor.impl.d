@@ -1,0 +1,1 @@
+lib/legacy/monitor.ml: Blackbox Event List

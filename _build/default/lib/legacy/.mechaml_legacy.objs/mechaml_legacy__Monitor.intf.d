@@ -1,0 +1,1 @@
+lib/legacy/monitor.mli: Blackbox Event

@@ -1,0 +1,1 @@
+lib/legacy/observation.ml: Blackbox Format List Monitor Replay String

@@ -1,0 +1,1 @@
+lib/legacy/observation.mli: Blackbox Format

@@ -1,0 +1,1 @@
+lib/legacy/replay.ml: Blackbox Event List Monitor Printf

@@ -1,0 +1,1 @@
+lib/legacy/replay.mli: Blackbox Event Monitor

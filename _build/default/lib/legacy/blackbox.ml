@@ -1,0 +1,60 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+
+type session = {
+  step : inputs:string list -> string list option;
+  probe_state : unit -> string;
+}
+
+type t = {
+  name : string;
+  port : string;
+  input_signals : string list;
+  output_signals : string list;
+  initial_state : string;
+  state_bound : int;
+  connect : unit -> session;
+}
+
+let of_automaton ?port ?state_bound (m : Automaton.t) =
+  if not (Automaton.input_deterministic m) then
+    invalid_arg
+      (Printf.sprintf "Blackbox.of_automaton: %s is not input-deterministic" m.Automaton.name);
+  let q0 =
+    match m.Automaton.initial with
+    | [ q ] -> q
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Blackbox.of_automaton: %s must have exactly one initial state"
+           m.Automaton.name)
+  in
+  let connect () =
+    let current = ref q0 in
+    let step ~inputs =
+      let a = Universe.set_of_names m.Automaton.inputs inputs in
+      match
+        List.find_opt
+          (fun (t : Automaton.trans) -> Mechaml_util.Bitset.equal t.input a)
+          (Automaton.transitions_from m !current)
+      with
+      | None -> None
+      | Some t ->
+        current := t.dst;
+        Some (Universe.names_of_set m.Automaton.outputs t.output)
+    in
+    let probe_state () = Automaton.state_name m !current in
+    { step; probe_state }
+  in
+  {
+    name = m.Automaton.name;
+    port = Option.value port ~default:m.Automaton.name;
+    input_signals = Universe.to_list m.Automaton.inputs;
+    output_signals = Universe.to_list m.Automaton.outputs;
+    initial_state = Automaton.state_name m q0;
+    state_bound = Option.value state_bound ~default:(Automaton.num_states m);
+    connect;
+  }
+
+let signals_consistent t inputs outputs =
+  let same names u = List.sort compare names = List.sort compare (Universe.to_list u) in
+  same t.input_signals inputs && same t.output_signals outputs

@@ -1,0 +1,41 @@
+(** The legacy component as the approach sees it.
+
+    The paper assumes of the legacy component [M_r] only that it is a
+    deterministic finite-state component with a known structural interface
+    (signal names), a known initial state and a reverse-engineered upper
+    bound on its state count (Section 3); that it can be reset and driven
+    through its port; and that under deterministic replay its current state
+    can be probed (Section 5).  Everything else — its transition structure —
+    is hidden behind this interface and must be learned. *)
+
+type session = {
+  step : inputs:string list -> string list option;
+      (** Execute one period: feed the input signal set, observe the output
+          signal set, or [None] when the component refuses the interaction
+          (blocks).  A refused interaction does not advance the component. *)
+  probe_state : unit -> string;
+      (** White-box probe naming the current state.  Only meaningful under
+          replay instrumentation; the monitor decides whether to record it. *)
+}
+
+type t = {
+  name : string;
+  port : string;  (** port the component communicates through, e.g. ["rearRole"] *)
+  input_signals : string list;
+  output_signals : string list;
+  initial_state : string;  (** known initial state name (Section 3) *)
+  state_bound : int;
+      (** reverse-engineered upper bound on the number of relevant states *)
+  connect : unit -> session;  (** reset and start a fresh execution *)
+}
+
+val of_automaton : ?port:string -> ?state_bound:int -> Mechaml_ts.Automaton.t -> t
+(** Wraps a deterministic automaton as a black box with hidden state.  The
+    automaton must be input-deterministic and have exactly one initial state
+    (the paper's determinism assumption, Section 4.3); raises
+    [Invalid_argument] otherwise.  [state_bound] defaults to the automaton's
+    state count; [port] defaults to the automaton's name. *)
+
+val signals_consistent : t -> Mechaml_ts.Universe.t -> Mechaml_ts.Universe.t -> bool
+(** The black box's structural interface matches the given input/output
+    universes (by name, order-independent). *)

@@ -1,0 +1,25 @@
+type direction = Incoming | Outgoing
+
+type t =
+  | Message of { name : string; port : string; direction : direction }
+  | Current_state of { name : string }
+  | Timing of { count : int }
+
+let pp ppf = function
+  | Message { name; port; direction } ->
+    Format.fprintf ppf "[Message] name=%S, portName=%S, type=%S" name port
+      (match direction with Incoming -> "incoming" | Outgoing -> "outgoing")
+  | Current_state { name } -> Format.fprintf ppf "[CurrentState] name=%S" name
+  | Timing { count } -> Format.fprintf ppf "[Timing] count=%d" count
+
+let pp_log ppf events =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+    events
+
+let to_string events = Format.asprintf "%a" pp_log events
+
+let messages events =
+  List.filter_map
+    (function Message { name; direction; _ } -> Some (name, direction) | _ -> None)
+    events

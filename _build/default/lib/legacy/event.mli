@@ -1,0 +1,26 @@
+(** Monitoring events (Section 5, Listings 1.2–1.5).
+
+    During the recording phase only the events relevant for deterministic
+    replay are captured: incoming/outgoing messages and the period in which
+    they occurred.  During replay, additional probes — current state and
+    timing — are enabled without any probe effect, because the execution is
+    driven by the recorded data. *)
+
+type direction = Incoming | Outgoing
+
+type t =
+  | Message of { name : string; port : string; direction : direction }
+  | Current_state of { name : string }
+  | Timing of { count : int }  (** period number *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders one event in the paper's listing syntax, e.g.
+    [[Message] name="convoyProposal", portName="rearRole", type="outgoing"]. *)
+
+val pp_log : Format.formatter -> t list -> unit
+(** One event per line. *)
+
+val to_string : t list -> string
+
+val messages : t list -> (string * direction) list
+(** The message events in order, for trace comparison. *)

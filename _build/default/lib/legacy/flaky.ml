@@ -1,0 +1,34 @@
+let nondeterministic ~seed ~flip_every (box : Blackbox.t) =
+  if flip_every < 1 then invalid_arg "Flaky.nondeterministic: flip_every must be positive";
+  (* a single mutable counter shared by all sessions: the same input word
+     can see different behaviour on different runs *)
+  let global = ref seed in
+  let connect () =
+    let session = box.Blackbox.connect () in
+    let step ~inputs =
+      match session.Blackbox.step ~inputs with
+      | None -> None
+      | Some outs ->
+        incr global;
+        if !global mod flip_every = 0 then Some [] else Some outs
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  { box with Blackbox.name = box.Blackbox.name ^ "~flaky"; connect }
+
+let drop_outputs ~every (box : Blackbox.t) =
+  if every < 1 then invalid_arg "Flaky.drop_outputs: every must be positive";
+  let connect () =
+    let session = box.Blackbox.connect () in
+    (* per-session counter: the fault is reproducible, hence deterministic *)
+    let count = ref 0 in
+    let step ~inputs =
+      match session.Blackbox.step ~inputs with
+      | None -> None
+      | Some outs ->
+        incr count;
+        if !count mod every = 0 then Some [] else Some outs
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  { box with Blackbox.name = box.Blackbox.name ^ "~lossy"; connect }

@@ -1,0 +1,24 @@
+(** Fault-injection wrappers around black boxes.
+
+    The approach's guarantees rest on the component being deterministic
+    (Section 4.3) and on replay reproducing recordings (Section 5).  These
+    wrappers let the test suite check that the guardrails actually fire when
+    the assumptions are broken, instead of silently producing wrong verdicts:
+
+    - {!nondeterministic} makes a component occasionally deviate from its
+      base behaviour — {!Replay.replay} must detect the divergence;
+    - {!drop_outputs} makes the port lossy (a probe-effect-like fault) —
+      learning must either diverge visibly or conform, never corrupt. *)
+
+val nondeterministic :
+  seed:int -> flip_every:int -> Blackbox.t -> Blackbox.t
+(** Every [flip_every]-th accepted step (counted across the lifetime of the
+    wrapper, deterministically from [seed]) answers with the base outputs
+    {e dropped}, while the underlying state advances normally — two sessions
+    fed the same inputs can observe different outputs. *)
+
+val drop_outputs : every:int -> Blackbox.t -> Blackbox.t
+(** Deterministically suppresses the outputs of every [every]-th step —
+    still a deterministic component, but one whose observable behaviour
+    disagrees with the wrapped automaton.  Learning it is sound; conformance
+    against the {e base} automaton fails. *)

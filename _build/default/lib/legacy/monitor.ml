@@ -1,0 +1,42 @@
+type instrumentation = Minimal | Full
+
+type outcome = {
+  events : Event.t list;
+  outputs : string list list;
+  states : string list;
+  blocked : string list option;
+}
+
+let run ~(box : Blackbox.t) ~instrumentation ~inputs =
+  let session = box.Blackbox.connect () in
+  let full = instrumentation = Full in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let message direction name =
+    emit (Event.Message { name; port = box.Blackbox.port; direction })
+  in
+  let rec go period pending outputs_acc states_acc =
+    match pending with
+    | [] -> (List.rev outputs_acc, List.rev states_acc, None)
+    | ins :: rest -> (
+      let pre = session.Blackbox.probe_state () in
+      match session.Blackbox.step ~inputs:ins with
+      | None -> (List.rev outputs_acc, List.rev states_acc, Some ins)
+      | Some outs ->
+        if full then emit (Event.Current_state { name = pre });
+        List.iter (message Event.Outgoing) outs;
+        List.iter (message Event.Incoming) ins;
+        if full then emit (Event.Timing { count = period });
+        go (period + 1) rest (outs :: outputs_acc) (session.Blackbox.probe_state () :: states_acc)
+      )
+  in
+  let initial = session.Blackbox.probe_state () in
+  let outputs, states, blocked = go 1 inputs [] [] in
+  {
+    events = List.rev !events;
+    outputs;
+    states = (if full then initial :: states else []);
+    blocked;
+  }
+
+let event_count o = List.length o.events

@@ -1,0 +1,25 @@
+(** Software monitoring of a legacy component under test (Section 5).
+
+    Minimal instrumentation records only what deterministic replay needs —
+    the incoming/outgoing messages and their period numbers (Listing 1.2).
+    Full instrumentation additionally probes the current state and emits
+    timing events (Listing 1.3); on a real target the extra probes would
+    perturb timing (the {e probe effect}), which is why they are only enabled
+    during replay. *)
+
+type instrumentation = Minimal | Full
+
+type outcome = {
+  events : Event.t list;        (** monitoring log in listing order *)
+  outputs : string list list;   (** output signal set of each executed period *)
+  states : string list;         (** states visited (initial first); [Full] only *)
+  blocked : string list option; (** inputs of the refused period, if the run blocked *)
+}
+
+val run :
+  box:Blackbox.t -> instrumentation:instrumentation -> inputs:string list list -> outcome
+(** Connect a fresh session and drive it with one input signal set per
+    period, recording events.  Execution stops at the first refused
+    interaction. *)
+
+val event_count : outcome -> int

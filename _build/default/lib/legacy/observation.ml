@@ -1,0 +1,50 @@
+type step = {
+  pre_state : string;
+  inputs : string list;
+  outputs : string list;
+  post_state : string;
+}
+
+type t = {
+  initial_state : string;
+  steps : step list;
+  refused : (string * string list) option;
+}
+
+let observe ~box ~inputs =
+  let recording, outcome = Replay.observe_full ~box ~inputs in
+  let states = outcome.Monitor.states in
+  let initial_state = match states with s :: _ -> s | [] -> box.Blackbox.initial_state in
+  let rec zip states ins outs acc =
+    match (states, ins, outs) with
+    | pre :: (post :: _ as rest), i :: ins', o :: outs' ->
+      zip rest ins' outs' ({ pre_state = pre; inputs = i; outputs = o; post_state = post } :: acc)
+    | _ -> List.rev acc
+  in
+  let steps = zip states recording.Replay.inputs outcome.Monitor.outputs [] in
+  let refused =
+    match recording.Replay.blocked with
+    | None -> None
+    | Some ins ->
+      let final =
+        match List.rev states with s :: _ -> s | [] -> initial_state
+      in
+      Some (final, ins)
+  in
+  { initial_state; steps; refused }
+
+let length o = List.length o.steps
+
+let output_trace o = List.map (fun s -> s.outputs) o.steps
+
+let pp ppf o =
+  Format.fprintf ppf "@[<v>start %s@," o.initial_state;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s --{%s}/{%s}--> %s@," s.pre_state
+        (String.concat "," s.inputs) (String.concat "," s.outputs) s.post_state)
+    o.steps;
+  (match o.refused with
+  | Some (state, ins) -> Format.fprintf ppf "%s refuses {%s}@," state (String.concat "," ins)
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Structured observations of a legacy component execution — the input to
+    the learning step (Section 4.3).
+
+    An observation is the state-enriched trace obtained by deterministic
+    replay: one step per executed period carrying the pre-state, the
+    interaction and the post-state, optionally terminated by a refused
+    interaction (which becomes a deadlock run, Definition 12). *)
+
+type step = {
+  pre_state : string;
+  inputs : string list;
+  outputs : string list;
+  post_state : string;
+}
+
+type t = {
+  initial_state : string;
+  steps : step list;
+  refused : (string * string list) option;
+      (** [(state, inputs)] of the blocked interaction, if the run blocked *)
+}
+
+val observe : box:Blackbox.t -> inputs:string list list -> t
+(** Record with minimal instrumentation, replay with full instrumentation
+    (see {!Replay}), and if the original run blocked, determine the refusal
+    against the replayed final state. *)
+
+val length : t -> int
+
+val output_trace : t -> string list list
+
+val pp : Format.formatter -> t -> unit

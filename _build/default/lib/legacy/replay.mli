@@ -1,0 +1,27 @@
+(** Platform-independent deterministic replay (Section 5, following the
+    approach of Giese & Henkler 2006).
+
+    Phase one executes the component with minimal instrumentation, recording
+    only the events needed to reproduce the execution: the messages and their
+    period numbers.  Phase two re-executes deterministically from the
+    recording with additional probes (states, timing) enabled; because the
+    replay is driven by the recorded data, the extra instrumentation cannot
+    change the behaviour (no probe effect). *)
+
+type recording = {
+  inputs : string list list;     (** input signal set per period *)
+  minimal_events : Event.t list; (** the Listing 1.2 style log *)
+  blocked : string list option;  (** refused inputs, when the run blocked *)
+}
+
+val record : box:Blackbox.t -> inputs:string list list -> recording
+(** Phase one. *)
+
+val replay : box:Blackbox.t -> recording -> Monitor.outcome
+(** Phase two: re-drive the same component from the recording under full
+    instrumentation.  Raises [Invalid_argument] if the replayed message
+    sequence diverges from the recording — that would mean the component is
+    not deterministic, violating the paper's core assumption. *)
+
+val observe_full : box:Blackbox.t -> inputs:string list list -> recording * Monitor.outcome
+(** Record then replay. *)

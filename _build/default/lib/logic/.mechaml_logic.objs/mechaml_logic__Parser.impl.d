@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Ctl List Printf Stdlib String

@@ -1,0 +1,183 @@
+type bounds = { lo : int; hi : int }
+
+type t =
+  | True
+  | False
+  | Prop of string
+  | Deadlock
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Ax of t
+  | Ex of t
+  | Af of bounds option * t
+  | Ef of bounds option * t
+  | Ag of bounds option * t
+  | Eg of bounds option * t
+  | Au of bounds option * t * t
+  | Eu of bounds option * t * t
+
+let bounds lo hi =
+  if lo < 0 || hi < lo then
+    invalid_arg (Printf.sprintf "Ctl.bounds: invalid interval [%d, %d]" lo hi);
+  { lo; hi }
+
+let ag f = Ag (None, f)
+
+let af f = Af (None, f)
+
+let not_ f = Not f
+
+let ( &&& ) a b = And (a, b)
+
+let ( ||| ) a b = Or (a, b)
+
+let prop p = Prop p
+
+let deadlock_free = Ag (None, Not Deadlock)
+
+let max_delay ~trigger ~target d =
+  Ag (None, Or (Not (Prop trigger), Af (Some (bounds 1 d), Prop target)))
+
+let props f =
+  let rec go acc = function
+    | True | False | Deadlock -> acc
+    | Prop p -> p :: acc
+    | Not f | Ax f | Ex f | Af (_, f) | Ef (_, f) | Ag (_, f) | Eg (_, f) -> go acc f
+    | And (a, b) | Or (a, b) | Implies (a, b) | Au (_, a, b) | Eu (_, a, b) ->
+      go (go acc a) b
+  in
+  List.sort_uniq compare (go [] f)
+
+let rec nnf = function
+  | (True | False | Prop _ | Deadlock) as f -> f
+  | Not f -> neg f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (neg a, nnf b)
+  | Ax f -> Ax (nnf f)
+  | Ex f -> Ex (nnf f)
+  | Af (b, f) -> Af (b, nnf f)
+  | Ef (b, f) -> Ef (b, nnf f)
+  | Ag (b, f) -> Ag (b, nnf f)
+  | Eg (b, f) -> Eg (b, nnf f)
+  | Au (b, f, g) -> Au (b, nnf f, nnf g)
+  | Eu (b, f, g) -> Eu (b, nnf f, nnf g)
+
+and neg = function
+  | True -> False
+  | False -> True
+  | (Prop _ | Deadlock) as f -> Not f
+  | Not f -> nnf f
+  | And (a, b) -> Or (neg a, neg b)
+  | Or (a, b) -> And (neg a, neg b)
+  | Implies (a, b) -> And (nnf a, neg b)
+  | Ax f -> Ex (neg f)
+  | Ex f -> Ax (neg f)
+  | Af (b, f) -> Eg (b, neg f)
+  | Ef (b, f) -> Ag (b, neg f)
+  | Ag (b, f) -> Ef (b, neg f)
+  | Eg (b, f) -> Af (b, neg f)
+  (* ¬(φ U ψ) duals: release.  The release operator is expressed through the
+     available connectives: A¬(φUψ) = ¬E(φUψ); we keep these as negated
+     untils, which stay correct but leave the formula outside NNF proper.
+     The model checker handles them directly, and the ACTL classifier treats
+     a negated E-until as universal. *)
+  | Au (b, f, g) -> Not (Au (b, nnf f, nnf g))
+  | Eu (b, f, g) -> Not (Eu (b, nnf f, nnf g))
+
+let rec is_actl_nnf = function
+  | True | False | Prop _ | Deadlock | Not (Prop _) | Not Deadlock -> true
+  | Not (Eu (_, f, g)) -> is_actl_nnf (nnf (Not f)) && is_actl_nnf (nnf (Not g))
+  | Not _ -> false
+  | And (a, b) | Or (a, b) -> is_actl_nnf a && is_actl_nnf b
+  | Implies _ -> false
+  | Ax f | Af (_, f) | Ag (_, f) -> is_actl_nnf f
+  | Au (_, f, g) -> is_actl_nnf f && is_actl_nnf g
+  | Ex _ | Ef (_, _) | Eg (_, _) | Eu (_, _, _) -> false
+
+let is_actl f = is_actl_nnf (nnf f)
+
+let rec deadlock_polarity_ok = function
+  (* δ must occur only under an odd number of negations (i.e. as ¬δ) for the
+     formula to be preserved when composition removes behaviour. *)
+  | Deadlock -> false
+  | Not Deadlock -> true
+  | True | False | Prop _ | Not (Prop _) -> true
+  | Not f -> deadlock_polarity_ok (nnf (Not f)) || not (mentions_deadlock f)
+  | And (a, b) | Or (a, b) | Implies (a, b) | Au (_, a, b) | Eu (_, a, b) ->
+    deadlock_polarity_ok a && deadlock_polarity_ok b
+  | Ax f | Ex f | Af (_, f) | Ef (_, f) | Ag (_, f) | Eg (_, f) -> deadlock_polarity_ok f
+
+and mentions_deadlock = function
+  | Deadlock -> true
+  | True | False | Prop _ -> false
+  | Not f | Ax f | Ex f | Af (_, f) | Ef (_, f) | Ag (_, f) | Eg (_, f) -> mentions_deadlock f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Au (_, a, b) | Eu (_, a, b) ->
+    mentions_deadlock a || mentions_deadlock b
+
+let is_compositional f =
+  let f' = nnf f in
+  is_actl_nnf f' && deadlock_polarity_ok f'
+
+let weaken_for_chaos ~chaos_prop f =
+  let c = Prop chaos_prop in
+  let rec go = function
+    | True -> True
+    | False -> False
+    | Prop p -> Or (Prop p, c)
+    | Not (Prop p) -> Or (Not (Prop p), c)
+    | Deadlock -> Deadlock
+    | Not Deadlock -> Not Deadlock
+    | Not f -> Not (go f)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Implies (a, b) -> Implies (go a, go b)
+    | Ax f -> Ax (go f)
+    | Ex f -> Ex (go f)
+    | Af (b, f) -> Af (b, go f)
+    | Ef (b, f) -> Ef (b, go f)
+    | Ag (b, f) -> Ag (b, go f)
+    | Eg (b, f) -> Eg (b, go f)
+    | Au (b, f, g) -> Au (b, go f, go g)
+    | Eu (b, f, g) -> Eu (b, go f, go g)
+  in
+  go (nnf f)
+
+let rec size = function
+  | True | False | Prop _ | Deadlock -> 1
+  | Not f | Ax f | Ex f | Af (_, f) | Ef (_, f) | Ag (_, f) | Eg (_, f) -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Au (_, a, b) | Eu (_, a, b) ->
+    1 + size a + size b
+
+let equal (a : t) (b : t) = a = b
+
+let pp_bounds ppf = function
+  | None -> ()
+  | Some { lo; hi } -> Format.fprintf ppf "[%d,%d]" lo hi
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Prop p -> Format.pp_print_string ppf p
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+  | Not f -> Format.fprintf ppf "not %a" pp_atomish f
+  | And (a, b) -> Format.fprintf ppf "%a and %a" pp_atomish a pp_atomish b
+  | Or (a, b) -> Format.fprintf ppf "%a or %a" pp_atomish a pp_atomish b
+  | Implies (a, b) -> Format.fprintf ppf "%a -> %a" pp_atomish a pp_atomish b
+  | Ax f -> Format.fprintf ppf "AX %a" pp_atomish f
+  | Ex f -> Format.fprintf ppf "EX %a" pp_atomish f
+  | Af (b, f) -> Format.fprintf ppf "AF%a %a" pp_bounds b pp_atomish f
+  | Ef (b, f) -> Format.fprintf ppf "EF%a %a" pp_bounds b pp_atomish f
+  | Ag (b, f) -> Format.fprintf ppf "AG%a %a" pp_bounds b pp_atomish f
+  | Eg (b, f) -> Format.fprintf ppf "EG%a %a" pp_bounds b pp_atomish f
+  | Au (b, f, g) -> Format.fprintf ppf "A%a (%a U %a)" pp_bounds b pp f pp g
+  | Eu (b, f, g) -> Format.fprintf ppf "E%a (%a U %a)" pp_bounds b pp f pp g
+
+and pp_atomish ppf f =
+  match f with
+  | True | False | Prop _ | Deadlock -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

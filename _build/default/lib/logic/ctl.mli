@@ -1,0 +1,85 @@
+(** Clocked CTL (CCTL) constraints and invariants (Section 2.1).
+
+    Properties are specified over the shared set of atomic propositions [P].
+    Time bounds on the temporal operators count discrete time units — one per
+    transition (Definition 1).  The special symbol [δ] ({!Deadlock}) holds in
+    states without any outgoing transition, so [¬δ] as a global invariant
+    (written [AG (Not Deadlock)]) expresses deadlock freedom. *)
+
+type bounds = { lo : int; hi : int }
+(** Inclusive discrete-time interval [\[lo, hi\]] with [0 ≤ lo ≤ hi]. *)
+
+type t =
+  | True
+  | False
+  | Prop of string
+  | Deadlock  (** [δ]: the current state has no outgoing transition *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Ax of t
+  | Ex of t
+  | Af of bounds option * t
+  | Ef of bounds option * t
+  | Ag of bounds option * t
+  | Eg of bounds option * t
+  | Au of bounds option * t * t  (** [A(φ U ψ)] *)
+  | Eu of bounds option * t * t
+
+val bounds : int -> int -> bounds
+(** Raises [Invalid_argument] unless [0 ≤ lo ≤ hi]. *)
+
+val ag : t -> t
+(** Unbounded [AG]. *)
+
+val af : t -> t
+
+val not_ : t -> t
+
+val ( &&& ) : t -> t -> t
+
+val ( ||| ) : t -> t -> t
+
+val prop : string -> t
+
+val deadlock_free : t
+(** [AG ¬δ]. *)
+
+val max_delay : trigger:string -> target:string -> int -> t
+(** The paper's canonical compositional constraint
+    [AG(¬p₁ ∨ AF_{\[1,d\]} p₂)] for a maximal delay [d]. *)
+
+val props : t -> string list
+(** [L(φ)]: the atomic propositions occurring in the formula, sorted. *)
+
+val nnf : t -> t
+(** Negation normal form: negations pushed onto propositions and [δ];
+    [Implies] eliminated.  Temporal operators dualize ([¬AGφ ≡ EF¬φ], bounds
+    preserved). *)
+
+val is_actl : t -> bool
+(** [true] iff the NNF contains only [A]-quantified operators — the timed
+    ACTL subset used for pattern constraints and role invariants. *)
+
+val is_compositional : t -> bool
+(** Conservative syntactic check for Definition 5: ACTL formulas (which are
+    preserved by refinement and by composition with disjointly labelled
+    automata) qualify, as does deadlock freedom.  [δ] may only occur
+    negatively. *)
+
+val weaken_for_chaos : chaos_prop:string -> t -> t
+(** The Section 2.7 trick: in NNF, replace every literal [p] by
+    [p ∨ chaos_prop] and [¬p] by [¬p ∨ chaos_prop], so the chaotic states
+    (labelled [chaos_prop]) satisfy every proposition positively and
+    negatively without duplicating them per proposition subset. *)
+
+val size : t -> int
+(** Node count, used by benchmark reporting. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax accepted by {!Parser.parse}. *)
+
+val to_string : t -> string

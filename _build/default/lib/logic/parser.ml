@@ -1,0 +1,251 @@
+type error = { position : int; message : string }
+
+type token =
+  | Ident of string
+  | Int of int
+  | Kw_true
+  | Kw_false
+  | Kw_deadlock
+  | Kw_not
+  | Kw_and
+  | Kw_or
+  | Kw_until
+  | Arrow
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Quant_a (* bare A, as in A (p U q) *)
+  | Quant_e
+  | Tmp of [ `Ax | `Ex | `Af | `Ef | `Ag | `Eg ]
+  | Eof
+
+exception Error of error
+
+let fail position message = raise (Error { position; message })
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.' || c = ':'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit pos t = toks := (pos, t) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit pos Lparen; incr i)
+    else if c = ')' then (emit pos Rparen; incr i)
+    else if c = ',' then (emit pos Comma; incr i)
+    else if c = ']' then (emit pos Rbracket; incr i)
+    else if c = '[' then
+      (* Distinguish "A[] p" (handled at the A/E token) from bounds "[1,5]" —
+         here a bare '[' always opens bounds; "[]" directly after A/E is
+         consumed when lexing the quantifier. *)
+      (emit pos Lbracket; incr i)
+    else if c = '!' then (emit pos Kw_not; incr i)
+    else if c = '&' then begin
+      if !i + 1 < n && s.[!i + 1] = '&' then (emit pos Kw_and; i := !i + 2)
+      else (emit pos Kw_and; incr i)
+    end
+    else if c = '|' then begin
+      if !i + 1 < n && s.[!i + 1] = '|' then (emit pos Kw_or; i := !i + 2)
+      else (emit pos Kw_or; incr i)
+    end
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then (emit pos Arrow; i := !i + 2)
+    else if c = '=' && !i + 1 < n && s.[!i + 1] = '>' then (emit pos Arrow; i := !i + 2)
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do incr j done;
+      emit pos (Int (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      let quant_suffix () =
+        (* A[] / A<> / E[] / E<> *)
+        if !i + 1 < n && s.[!i] = '[' && s.[!i + 1] = ']' then begin
+          i := !i + 2;
+          Some `Box
+        end
+        else if !i + 1 < n && s.[!i] = '<' && s.[!i + 1] = '>' then begin
+          i := !i + 2;
+          Some `Diamond
+        end
+        else None
+      in
+      let tok =
+        match word with
+        | "true" -> Kw_true
+        | "false" -> Kw_false
+        | "deadlock" | "delta" -> Kw_deadlock
+        | "not" -> Kw_not
+        | "and" -> Kw_and
+        | "or" -> Kw_or
+        | "U" -> Kw_until
+        | "AX" -> Tmp `Ax
+        | "EX" -> Tmp `Ex
+        | "AF" -> Tmp `Af
+        | "EF" -> Tmp `Ef
+        | "AG" -> Tmp `Ag
+        | "EG" -> Tmp `Eg
+        | "A" -> (
+          match quant_suffix () with
+          | Some `Box -> Tmp `Ag
+          | Some `Diamond -> Tmp `Af
+          | None -> Quant_a)
+        | "E" -> (
+          match quant_suffix () with
+          | Some `Box -> Tmp `Eg
+          | Some `Diamond -> Tmp `Ef
+          | None -> Quant_e)
+        | w -> Ident w
+      in
+      emit pos tok
+    end
+    else fail pos (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit n Eof;
+  List.rev !toks
+
+type stream = { mutable toks : (int * token) list }
+
+let peek st = match st.toks with [] -> (0, Eof) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok msg =
+  let pos, t = peek st in
+  if t = tok then advance st else fail pos msg
+
+let parse_bounds st =
+  match peek st with
+  | _, Lbracket ->
+    advance st;
+    let lo =
+      match peek st with
+      | _, Int k -> advance st; k
+      | pos, _ -> fail pos "expected lower bound"
+    in
+    expect st Comma "expected ',' in bounds";
+    let hi =
+      match peek st with
+      | _, Int k -> advance st; k
+      | pos, _ -> fail pos "expected upper bound"
+    in
+    expect st Rbracket "expected ']' closing bounds";
+    (try Some (Ctl.bounds lo hi)
+     with Invalid_argument m -> fail 0 m)
+  | _ -> None
+
+let rec parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | _, Arrow ->
+    advance st;
+    let rhs = parse_implies st in
+    Ctl.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | _, Kw_or ->
+      advance st;
+      loop (Ctl.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | _, Kw_and ->
+      advance st;
+      loop (Ctl.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | _, Kw_not ->
+    advance st;
+    Ctl.Not (parse_unary st)
+  | _, Tmp op ->
+    advance st;
+    let b = parse_bounds st in
+    let f = parse_unary st in
+    (match op with
+    | `Ax ->
+      if b <> None then fail 0 "AX does not take bounds";
+      Ctl.Ax f
+    | `Ex ->
+      if b <> None then fail 0 "EX does not take bounds";
+      Ctl.Ex f
+    | `Af -> Ctl.Af (b, f)
+    | `Ef -> Ctl.Ef (b, f)
+    | `Ag -> Ctl.Ag (b, f)
+    | `Eg -> Ctl.Eg (b, f))
+  | _, Quant_a ->
+    advance st;
+    parse_until st ~universal:true
+  | _, Quant_e ->
+    advance st;
+    parse_until st ~universal:false
+  | _ -> parse_atom st
+
+and parse_until st ~universal =
+  let b = parse_bounds st in
+  let pos, _ = peek st in
+  expect st Lparen "expected '(' after path quantifier";
+  let f = parse_implies st in
+  (match peek st with
+  | _, Kw_until -> advance st
+  | p, _ -> fail p "expected 'U' in until formula");
+  let g = parse_implies st in
+  expect st Rparen "expected ')' closing until formula";
+  ignore pos;
+  if universal then Ctl.Au (b, f, g) else Ctl.Eu (b, f, g)
+
+and parse_atom st =
+  match peek st with
+  | _, Kw_true -> advance st; Ctl.True
+  | _, Kw_false -> advance st; Ctl.False
+  | _, Kw_deadlock -> advance st; Ctl.Deadlock
+  | _, Ident p -> advance st; Ctl.Prop p
+  | _, Lparen ->
+    advance st;
+    let f = parse_implies st in
+    expect st Rparen "expected ')'";
+    f
+  | pos, _ -> fail pos "expected a formula"
+
+let parse s =
+  match
+    let st = { toks = tokenize s } in
+    let f = parse_implies st in
+    (match peek st with
+    | _, Eof -> ()
+    | pos, _ -> fail pos "trailing input after formula");
+    f
+  with
+  | f -> Ok f
+  | exception Error e -> Stdlib.Error e
+
+let parse_exn s =
+  match parse s with
+  | Ok f -> f
+  | Error { position; message } ->
+    invalid_arg (Printf.sprintf "Ctl parse error at %d: %s" position message)

@@ -1,0 +1,19 @@
+(** Concrete syntax for CCTL formulas.
+
+    Grammar (precedence low → high): implication [->] (right-assoc),
+    [or]/[||], [and]/[&&], unary.  Unary operators: [not]/[!], [AX], [EX],
+    [AF], [EF], [AG], [EG], each optionally bounded as in [AF[1,5] p];
+    UPPAAL-style [A[] p], [A<> p], [E[] p], [E<> p] are accepted as synonyms
+    for [AG]/[AF]/[EG]/[EF].  Until: [A (p U q)], [E[2,7] (p U q)].  Atoms:
+    [true], [false], [deadlock], parenthesised formulas and proposition names
+    (letters, digits, [_], [.], [:]), e.g. [frontRole.noConvoy] or
+    [noConvoy::default].
+
+    Example from the paper: [AG (not (rearRole.convoy and frontRole.noConvoy))]. *)
+
+type error = { position : int; message : string }
+
+val parse : string -> (Ctl.t, error) Stdlib.result
+
+val parse_exn : string -> Ctl.t
+(** Raises [Invalid_argument] with a located message. *)

@@ -1,0 +1,70 @@
+open Ctl
+
+let rec simplify (f : t) : t =
+  match f with
+  | True | False | Prop _ | Deadlock -> f
+  | Not g -> (
+    match simplify g with
+    | True -> False
+    | False -> True
+    | Not h -> h
+    | g' -> Not g')
+  | And (a, b) -> (
+    match (simplify a, simplify b) with
+    | False, _ | _, False -> False
+    | True, x | x, True -> x
+    | x, y when equal x y -> x
+    | x, y -> And (x, y))
+  | Or (a, b) -> (
+    match (simplify a, simplify b) with
+    | True, _ | _, True -> True
+    | False, x | x, False -> x
+    | x, y when equal x y -> x
+    | x, y -> Or (x, y))
+  | Implies (a, b) -> (
+    match (simplify a, simplify b) with
+    | False, _ -> True
+    | True, y -> y
+    | _, True -> True
+    | x, y when equal x y -> True
+    | x, y -> Implies (x, y))
+  | Ax g -> (
+    match simplify g with
+    | True -> True
+    (* no successor at all: the deadlock proposition *)
+    | False -> Deadlock
+    | g' -> Ax g')
+  | Ex g -> (
+    match simplify g with
+    | False -> False
+    (* some successor exists: exactly ¬δ *)
+    | True -> Not Deadlock
+    | g' -> Ex g')
+  | Af (None, g) -> (
+    match simplify g with True -> True | False -> False | g' -> Af (None, g'))
+  | Ef (None, g) -> (
+    match simplify g with True -> True | False -> False | g' -> Ef (None, g'))
+  | Ag (None, g) -> (
+    match simplify g with True -> True | False -> False | g' -> Ag (None, g'))
+  | Eg (None, g) -> (
+    match simplify g with True -> True | False -> False | g' -> Eg (None, g'))
+  (* bounded operators interact with run length: only fold what stays sound
+     over maximal runs that may end inside the window *)
+  | Af (Some b, g) -> (
+    match simplify g with False -> False | g' -> Af (Some b, g'))
+  | Ef (Some b, g) -> (
+    match simplify g with False -> False | g' -> Ef (Some b, g'))
+  | Ag (Some b, g) -> (
+    match simplify g with True -> True | g' -> Ag (Some b, g'))
+  | Eg (Some b, g) -> (
+    match simplify g with True -> True | g' -> Eg (Some b, g'))
+  | Au (b, p, q) -> (
+    match (b, simplify p, simplify q) with
+    | _, _, False -> False
+    | None, _, True -> True
+    | b', p', q' -> Au (b', p', q'))
+  | Eu (b, p, q) -> (
+    match (b, simplify p, simplify q) with
+    | _, _, False -> False
+    | None, _, True -> True
+    | b', p', q' -> Eu (b', p', q'))

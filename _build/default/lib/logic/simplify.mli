@@ -1,0 +1,16 @@
+(** Semantics-preserving simplification of CCTL formulas.
+
+    The chaos-weakening rewrite (Section 2.7) and mechanical formula
+    construction leave redundancy behind ([φ ∨ φ], constants, double
+    negations); simplification keeps the checker's memo table small and the
+    printed obligations readable.
+
+    All rules are sound for the maximal-run semantics of {!Mechaml_mc.Sat} —
+    in particular, {e bounded} eventualities over [true] are {b not} folded
+    ([AF\[2,3\] true] fails at blocking states), while the unbounded
+    tautologies are ([AG true ≡ true], [EX true ≡ ¬δ], [AX false ≡ δ]). *)
+
+val simplify : Ctl.t -> Ctl.t
+(** Bottom-up constant folding, double-negation elimination, idempotence
+    ([φ ∧ φ ≡ φ]), absorption of neutral elements, and the unbounded
+    temporal tautologies.  Idempotent. *)

@@ -1,0 +1,1 @@
+lib/mc/checker.ml: Array List Mechaml_logic Mechaml_ts Queue Sat Witness

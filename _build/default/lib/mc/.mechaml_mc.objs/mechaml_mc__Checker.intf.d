@@ -1,0 +1,1 @@
+lib/mc/checker.mli: Mechaml_logic Mechaml_ts Witness

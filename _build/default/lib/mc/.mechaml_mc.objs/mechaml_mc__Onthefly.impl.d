@@ -1,0 +1,1 @@
+lib/mc/onthefly.ml: Hashtbl List Mechaml_logic Mechaml_ts Mechaml_util Option Printf Queue

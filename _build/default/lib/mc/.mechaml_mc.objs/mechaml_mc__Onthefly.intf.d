@@ -1,0 +1,1 @@
+lib/mc/onthefly.mli: Mechaml_logic Mechaml_ts

@@ -1,0 +1,1 @@
+lib/mc/sat.ml: Array Hashtbl List Mechaml_logic Mechaml_ts Printf Queue

@@ -1,0 +1,1 @@
+lib/mc/sat.mli: Mechaml_logic Mechaml_ts

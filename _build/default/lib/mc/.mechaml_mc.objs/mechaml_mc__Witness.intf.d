@@ -1,0 +1,1 @@
+lib/mc/witness.mli: Mechaml_logic Mechaml_ts Sat

@@ -1,0 +1,87 @@
+module Automaton = Mechaml_ts.Automaton
+module Ctl = Mechaml_logic.Ctl
+
+type outcome =
+  | Holds
+  | Violated of {
+      formula : Ctl.t;
+      witness : Mechaml_ts.Run.t;
+      explanation : string;
+      complete : bool;
+    }
+
+let check_env env ~strategy f =
+  match Sat.failing_initial env f with
+  | None -> Holds
+  | Some start ->
+    let psi = Ctl.nnf (Ctl.Not f) in
+    let { Witness.run; explanation; complete } = Witness.witness env ~strategy ~start psi in
+    Violated { formula = f; witness = run; explanation; complete }
+
+let check ?(strategy = Witness.Bfs_shortest) m f = check_env (Sat.create m) ~strategy f
+
+let check_conjunction ?(strategy = Witness.Bfs_shortest) m fs =
+  let env = Sat.create m in
+  let rec go = function
+    | [] -> Holds
+    | f :: rest -> ( match check_env env ~strategy f with Holds -> go rest | v -> v)
+  in
+  go fs
+
+let check_with_deadlock_freedom ?(strategy = Witness.Bfs_shortest) m f =
+  check_conjunction ~strategy m [ Ctl.deadlock_free; f ]
+
+let holds m f = match check m f with Holds -> true | Violated _ -> false
+
+(* Is the formula's negation a plain reachability of a state predicate? *)
+let rec state_formula (f : Ctl.t) =
+  match f with
+  | Ctl.True | Ctl.False | Ctl.Prop _ | Ctl.Deadlock -> true
+  | Ctl.Not g -> state_formula g
+  | Ctl.And (a, b) | Ctl.Or (a, b) | Ctl.Implies (a, b) -> state_formula a && state_formula b
+  | _ -> false
+
+let more_witnesses ?(limit = 3) (m : Automaton.t) f =
+  match Ctl.nnf (Ctl.Not f) with
+  | Ctl.Ef (None, bad) when state_formula bad ->
+    let env = Sat.create m in
+    let bad_set = Sat.sat env bad in
+    (* One BFS from the initial states; harvest the nearest [limit] bad
+       states in discovery order, then unwind their parent chains. *)
+    let n = Automaton.num_states m in
+    let parent = Array.make n None in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    let found = ref [] in
+    let consider s = if bad_set.(s) && List.length !found < limit then found := s :: !found in
+    List.iter
+      (fun q ->
+        if not seen.(q) then begin
+          seen.(q) <- true;
+          Queue.add q queue;
+          consider q
+        end)
+      m.Automaton.initial;
+    while List.length !found < limit && not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      List.iter
+        (fun (t : Automaton.trans) ->
+          if not seen.(t.dst) then begin
+            seen.(t.dst) <- true;
+            parent.(t.dst) <- Some (s, (t.input, t.output));
+            Queue.add t.dst queue;
+            consider t.dst
+          end)
+        (Automaton.transitions_from m s)
+    done;
+    List.rev_map
+      (fun target ->
+        let rec unwind s states io =
+          match parent.(s) with
+          | None -> (s :: states, io)
+          | Some (p, ab) -> unwind p (s :: states) (ab :: io)
+        in
+        let states, io = unwind target [] [] in
+        Mechaml_ts.Run.regular ~states ~io)
+      !found
+  | _ -> []

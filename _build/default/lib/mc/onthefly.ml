@@ -1,0 +1,86 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Compose = Mechaml_ts.Compose
+module Bitset = Mechaml_util.Bitset
+module Ctl = Mechaml_logic.Ctl
+
+type trace = {
+  pairs : (Automaton.state * Automaton.state) list;
+  io : Mechaml_ts.Run.io list;
+}
+
+type verdict = Holds | Bad_state of trace | Deadlocked of trace
+
+type result = { verdict : verdict; pairs_explored : int }
+
+let check_safety ~(left : Automaton.t) ~(right : Automaton.t) ?(bad = fun _ _ -> false) () =
+  let joint = Compose.stepper left right in
+  let in_shift = Universe.size left.Automaton.inputs in
+  let out_shift = Universe.size left.Automaton.outputs in
+  let combine (t : Automaton.trans) (t' : Automaton.trans) =
+    ( Bitset.union t.input (Bitset.shift in_shift t'.input),
+      Bitset.union t.output (Bitset.shift out_shift t'.output) )
+  in
+  let seen : (Automaton.state * Automaton.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let parent = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let unwind pair =
+    let rec go pair pairs io =
+      match Hashtbl.find_opt parent pair with
+      | None -> (pair :: pairs, io)
+      | Some (p, ab) -> go p (pair :: pairs) (ab :: io)
+    in
+    let pairs, io = go pair [] [] in
+    { pairs; io }
+  in
+  let verdict = ref None in
+  let visit ?from pair =
+    if !verdict = None && not (Hashtbl.mem seen pair) then begin
+      Hashtbl.add seen pair ();
+      incr explored;
+      (match from with Some (p, ab) -> Hashtbl.add parent pair (p, ab) | None -> ());
+      let l, r = pair in
+      if bad l r then verdict := Some (Bad_state (unwind pair)) else Queue.add pair queue
+    end
+  in
+  List.iter
+    (fun q -> List.iter (fun q' -> visit (q, q')) right.Automaton.initial)
+    left.Automaton.initial;
+  while !verdict = None && not (Queue.is_empty queue) do
+    let pair = Queue.pop queue in
+    match joint pair with
+    | [] -> verdict := Some (Deadlocked (unwind pair))
+    | moves ->
+      List.iter
+        (fun ((t : Automaton.trans), (t' : Automaton.trans)) ->
+          visit ~from:(pair, combine t t') (t.dst, t'.dst))
+        moves
+  done;
+  { verdict = Option.value !verdict ~default:Holds; pairs_explored = !explored }
+
+let violates_invariant ~left ~right ~invariant () =
+  let body =
+    match invariant with
+    | Ctl.Ag (None, body) -> body
+    | _ -> invalid_arg "Onthefly.violates_invariant: the invariant must be an unbounded AG"
+  in
+  let rec eval ls rs (f : Ctl.t) =
+    match f with
+    | Ctl.True -> true
+    | Ctl.False -> false
+    | Ctl.Prop p ->
+      if Universe.mem left.Automaton.props p then Automaton.has_prop left ls p
+      else if Universe.mem right.Automaton.props p then Automaton.has_prop right rs p
+      else
+        invalid_arg
+          (Printf.sprintf "Onthefly.violates_invariant: proposition %S not in either operand" p)
+    | Ctl.Not g -> not (eval ls rs g)
+    | Ctl.And (a, b) -> eval ls rs a && eval ls rs b
+    | Ctl.Or (a, b) -> eval ls rs a || eval ls rs b
+    | Ctl.Implies (a, b) -> (not (eval ls rs a)) || eval ls rs b
+    | Ctl.Deadlock | Ctl.Ax _ | Ctl.Ex _ | Ctl.Af _ | Ctl.Ef _ | Ctl.Ag _ | Ctl.Eg _
+    | Ctl.Au _ | Ctl.Eu _ ->
+      invalid_arg "Onthefly.violates_invariant: the AG body must be a boolean state formula"
+  in
+  check_safety ~left ~right ~bad:(fun ls rs -> not (eval ls rs body)) ()

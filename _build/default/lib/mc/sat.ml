@@ -1,0 +1,209 @@
+module Automaton = Mechaml_ts.Automaton
+module Ctl = Mechaml_logic.Ctl
+
+type env = {
+  auto : Automaton.t;
+  n : int;
+  memo : (Ctl.t, bool array) Hashtbl.t;
+  predecessors : (Automaton.state * Automaton.trans) list array;
+      (** reverse edges: state -> (source, transition) list *)
+}
+
+let create auto =
+  let n = Automaton.num_states auto in
+  let predecessors = Array.make (max n 1) [] in
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (t : Automaton.trans) -> predecessors.(t.dst) <- (s, t) :: predecessors.(t.dst))
+      (Automaton.transitions_from auto s)
+  done;
+  { auto; n; memo = Hashtbl.create 64; predecessors }
+
+let automaton env = env.auto
+
+let all env v = Array.make env.n v
+
+let for_all_succ env sat s =
+  List.for_all (fun (t : Automaton.trans) -> sat.(t.dst)) (Automaton.transitions_from env.auto s)
+
+let exists_succ env sat s =
+  List.exists (fun (t : Automaton.trans) -> sat.(t.dst)) (Automaton.transitions_from env.auto s)
+
+let blocking env s = Automaton.is_blocking env.auto s
+
+(* Least fixpoint for EF: backward closure from the target set. *)
+let backward_closure env target =
+  let out = Array.copy target in
+  let queue = Queue.create () in
+  Array.iteri (fun s b -> if b then Queue.add s queue) target;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (p, _) ->
+        if not out.(p) then begin
+          out.(p) <- true;
+          Queue.add p queue
+        end)
+      env.predecessors.(s)
+  done;
+  out
+
+(* Greatest fixpoint for EG f over maximal runs: start from the f-states and
+   iteratively remove states that are not blocking and have no successor left
+   in the set. *)
+let eg_fixpoint env fset =
+  let out = Array.copy fset in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to env.n - 1 do
+      if out.(s) && (not (blocking env s)) && not (exists_succ env out s) then begin
+        out.(s) <- false;
+        changed := true
+      end
+    done
+  done;
+  out
+
+(* Least fixpoint for A(f U g) over maximal runs: a blocking ¬g state fails. *)
+let au_fixpoint env fset gset =
+  let out = Array.copy gset in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to env.n - 1 do
+      if (not out.(s)) && fset.(s) && (not (blocking env s)) && for_all_succ env out s then begin
+        out.(s) <- true;
+        changed := true
+      end
+    done
+  done;
+  out
+
+let eu_fixpoint env fset gset =
+  let out = Array.copy gset in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to env.n - 1 do
+      if (not out.(s)) && fset.(s) && exists_succ env out s then begin
+        out.(s) <- true;
+        changed := true
+      end
+    done
+  done;
+  out
+
+(* Bounded operators: dynamic programming from the end of the window back to
+   time 0.  [step] computes H_k from H_{k+1} given the elapsed time k. *)
+let bounded_dp env ~hi ~step =
+  let next = ref (Array.make env.n false) in
+  (* H_{hi+1}: initialised by the first call to [step] with k = hi via the
+     seed below.  Seeds differ per operator, so callers pass it in [step]
+     when k = hi + 1 is requested. *)
+  next := step (hi + 1) (all env false);
+  for k = hi downto 0 do
+    next := step k !next
+  done;
+  !next
+
+let af_bounded env { Ctl.lo; hi } fset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env false
+      else
+        Array.init env.n (fun s ->
+            (k >= lo && fset.(s)) || ((not (blocking env s)) && for_all_succ env next s)))
+
+let ef_bounded env { Ctl.lo; hi } fset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env false
+      else Array.init env.n (fun s -> (k >= lo && fset.(s)) || exists_succ env next s))
+
+let ag_bounded env { Ctl.lo; hi } fset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env true
+      else
+        Array.init env.n (fun s ->
+            (k < lo || fset.(s)) && (k >= hi || blocking env s || for_all_succ env next s)))
+
+let eg_bounded env { Ctl.lo; hi } fset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env true
+      else
+        Array.init env.n (fun s ->
+            (k < lo || fset.(s)) && (k >= hi || blocking env s || exists_succ env next s)))
+
+let au_bounded env { Ctl.lo; hi } fset gset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env false
+      else
+        Array.init env.n (fun s ->
+            (k >= lo && gset.(s))
+            || (k < hi && fset.(s) && (not (blocking env s)) && for_all_succ env next s)))
+
+let eu_bounded env { Ctl.lo; hi } fset gset =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then all env false
+      else
+        Array.init env.n (fun s ->
+            (k >= lo && gset.(s)) || (k < hi && fset.(s) && exists_succ env next s)))
+
+let rec sat env (f : Ctl.t) =
+  match Hashtbl.find_opt env.memo f with
+  | Some v -> v
+  | None ->
+    let v = compute env f in
+    Hashtbl.add env.memo f v;
+    v
+
+and compute env (f : Ctl.t) =
+  match f with
+  | True -> all env true
+  | False -> all env false
+  | Prop p ->
+    if not (Mechaml_ts.Universe.mem env.auto.Automaton.props p) then
+      invalid_arg
+        (Printf.sprintf "Mc.Sat: proposition %S not in automaton %s" p env.auto.Automaton.name);
+    Array.init env.n (fun s -> Automaton.has_prop env.auto s p)
+  | Deadlock -> Array.init env.n (fun s -> blocking env s)
+  | Not g ->
+    let sg = sat env g in
+    Array.init env.n (fun s -> not sg.(s))
+  | And (a, b) ->
+    let sa = sat env a and sb = sat env b in
+    Array.init env.n (fun s -> sa.(s) && sb.(s))
+  | Or (a, b) ->
+    let sa = sat env a and sb = sat env b in
+    Array.init env.n (fun s -> sa.(s) || sb.(s))
+  | Implies (a, b) ->
+    let sa = sat env a and sb = sat env b in
+    Array.init env.n (fun s -> (not sa.(s)) || sb.(s))
+  | Ax g ->
+    let sg = sat env g in
+    Array.init env.n (fun s -> for_all_succ env sg s)
+  | Ex g ->
+    let sg = sat env g in
+    Array.init env.n (fun s -> exists_succ env sg s)
+  | Ef (None, g) -> backward_closure env (sat env g)
+  | Ef (Some b, g) -> ef_bounded env b (sat env g)
+  | Af (None, g) -> au_fixpoint env (all env true) (sat env g)
+  | Af (Some b, g) -> af_bounded env b (sat env g)
+  | Ag (None, g) ->
+    (* AG f = ¬EF¬f *)
+    let ef_not = backward_closure env (sat env (Ctl.Not g)) in
+    Array.init env.n (fun s -> not ef_not.(s))
+  | Ag (Some b, g) -> ag_bounded env b (sat env g)
+  | Eg (None, g) -> eg_fixpoint env (sat env g)
+  | Eg (Some b, g) -> eg_bounded env b (sat env g)
+  | Au (None, a, b) -> au_fixpoint env (sat env a) (sat env b)
+  | Au (Some bd, a, b) -> au_bounded env bd (sat env a) (sat env b)
+  | Eu (None, a, b) -> eu_fixpoint env (sat env a) (sat env b)
+  | Eu (Some bd, a, b) -> eu_bounded env bd (sat env a) (sat env b)
+
+let holds_initially env f =
+  let v = sat env f in
+  List.for_all (fun q -> v.(q)) env.auto.Automaton.initial
+
+let failing_initial env f =
+  let v = sat env f in
+  List.find_opt (fun q -> not v.(q)) env.auto.Automaton.initial

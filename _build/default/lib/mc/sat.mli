@@ -1,0 +1,27 @@
+(** Satisfaction sets for CCTL over the explicit state space of an automaton.
+
+    Semantics is over {e maximal} runs: a run is maximal when it is infinite
+    or ends in a blocking state (from which the special proposition [δ]
+    holds).  Bounded operators count discrete time units, one per transition
+    (Definition 1); a maximal run that ends before a bounded obligation's
+    window closes fails eventualities ([AF]/[EF]/[AU]/[EU]) and trivially
+    satisfies the remaining safety obligations ([AG]/[EG]). *)
+
+type env
+(** Memoizes satisfaction sets per subformula for one automaton. *)
+
+val create : Mechaml_ts.Automaton.t -> env
+
+val automaton : env -> Mechaml_ts.Automaton.t
+
+val sat : env -> Mechaml_logic.Ctl.t -> bool array
+(** [sat env f] is the characteristic vector of [{ s | M, s ⊨ f }].  Raises
+    [Invalid_argument] when the formula mentions a proposition absent from
+    the automaton's universe — catching typos beats treating them as
+    false. *)
+
+val holds_initially : env -> Mechaml_logic.Ctl.t -> bool
+(** All initial states satisfy the formula. *)
+
+val failing_initial : env -> Mechaml_logic.Ctl.t -> Mechaml_ts.Automaton.state option
+(** Some initial state violating the formula, if any. *)

@@ -1,0 +1,223 @@
+module Automaton = Mechaml_ts.Automaton
+module Run = Mechaml_ts.Run
+module Ctl = Mechaml_logic.Ctl
+
+type strategy = Bfs_shortest | Dfs_first
+
+type t = { run : Run.t; explanation : string; complete : bool }
+
+(* A path fragment: states s₀ … sₙ with the interactions between them. *)
+type frag = { states : Automaton.state list; io : Run.io list }
+
+let single s = { states = [ s ]; io = [] }
+
+let last_state f = List.nth f.states (List.length f.states - 1)
+
+let join a b =
+  match b.states with
+  | [] -> a
+  | first :: rest ->
+    assert (last_state a = first);
+    { states = a.states @ rest; io = a.io @ b.io }
+
+let step s io t = { states = [ s; t ]; io = [ io ] }
+
+(* Search a path from [from] to a state satisfying [target]; intermediate
+   states (excluding the target) must satisfy [via]. *)
+let search env strategy ~from ~via ~target =
+  let auto = Sat.automaton env in
+  let n = Automaton.num_states auto in
+  if target from then Some (single from)
+  else if not (via from) then None
+  else begin
+    let parent = Array.make n None in
+    let seen = Array.make n false in
+    seen.(from) <- true;
+    let found = ref None in
+    (match strategy with
+    | Bfs_shortest ->
+      let queue = Queue.create () in
+      Queue.add from queue;
+      while !found = None && not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        List.iter
+          (fun (t : Automaton.trans) ->
+            if !found = None && not seen.(t.dst) then begin
+              seen.(t.dst) <- true;
+              parent.(t.dst) <- Some (s, (t.input, t.output));
+              if target t.dst then found := Some t.dst
+              else if via t.dst then Queue.add t.dst queue
+            end)
+          (Automaton.transitions_from auto s)
+      done
+    | Dfs_first ->
+      let rec go s =
+        List.iter
+          (fun (t : Automaton.trans) ->
+            if !found = None && not seen.(t.dst) then begin
+              seen.(t.dst) <- true;
+              parent.(t.dst) <- Some (s, (t.input, t.output));
+              if target t.dst then found := Some t.dst else if via t.dst then go t.dst
+            end)
+          (Automaton.transitions_from auto s)
+      in
+      go from);
+    match !found with
+    | None -> None
+    | Some tgt ->
+      let rec unwind s states io =
+        match parent.(s) with
+        | None -> (s :: states, io)
+        | Some (p, ab) -> unwind p (s :: states) (ab :: io)
+      in
+      let states, io = unwind tgt [] [] in
+      Some { states; io }
+  end
+
+let rec is_state_formula (f : Ctl.t) =
+  match f with
+  | True | False | Prop _ | Deadlock -> true
+  | Not g -> is_state_formula g
+  | And (a, b) | Or (a, b) | Implies (a, b) -> is_state_formula a && is_state_formula b
+  | Ax _ | Ex _ | Af _ | Ef _ | Ag _ | Eg _ | Au _ | Eu _ -> false
+
+let witness env ~strategy ~start psi =
+  let auto = Sat.automaton env in
+  let holds f s = (Sat.sat env f).(s) in
+  if not (holds psi start) then
+    invalid_arg "Witness.witness: formula does not hold at the start state";
+  let notes = ref [] in
+  let note msg = if not (List.mem msg !notes) then notes := msg :: !notes in
+  (* Completeness: does the returned run alone witness the formula, or does
+     the evidence also rely on a residual claim about the final state
+     (blocking, or an obligation that was not unfolded)? *)
+  let complete = ref true in
+  let residual why =
+    complete := false;
+    note why
+  in
+  let fallback s why =
+    residual why;
+    single s
+  in
+  let succ_with s pred =
+    List.find_opt (fun (t : Automaton.trans) -> pred t.dst) (Automaton.transitions_from auto s)
+  in
+  let rec gen s (f : Ctl.t) =
+    match f with
+    | Deadlock ->
+      (* the claim "this state blocks" is about absent behaviour: residual *)
+      residual "evidence relies on the final state blocking";
+      single s
+    | _ when is_state_formula f -> single s
+    | And (a, b) ->
+      (* Both conjuncts hold at [s]; witness the temporal one (or the first
+         if both are temporal — the second is then only asserted). *)
+      if is_state_formula a then gen s b
+      else if is_state_formula b then gen s a
+      else begin
+        residual
+          (Printf.sprintf "conjunct %s holds at %s but is not unfolded in this witness"
+             (Ctl.to_string b) (Automaton.state_name auto s));
+        gen s a
+      end
+    | Or (a, b) -> if holds a s then gen s a else gen s b
+    | Implies (a, b) -> if holds (Ctl.Not a) s then single s else gen s b
+    | Ex g -> (
+      match succ_with s (holds g) with
+      | Some t -> join (step s (t.input, t.output) t.dst) (gen t.dst g)
+      | None -> fallback s "EX witness: no successor found (inconsistent sat set)")
+    | Ef (None, g) -> (
+      match search env strategy ~from:s ~via:(fun _ -> true) ~target:(holds g) with
+      | Some frag -> join frag (gen (last_state frag) g)
+      | None -> fallback s "EF witness: target unreachable (inconsistent sat set)")
+    | Ef (Some b, g) -> bounded_walk s b ~f:Ctl.True ~g ~exist:`F
+    | Eu (None, f1, g) -> (
+      match search env strategy ~from:s ~via:(holds f1) ~target:(holds g) with
+      | Some frag -> join frag (gen (last_state frag) g)
+      | None -> fallback s "EU witness: target unreachable (inconsistent sat set)")
+    | Eu (Some b, f1, g) -> bounded_walk s b ~f:f1 ~g ~exist:`F
+    | Eg (None, g) -> lasso s g
+    | Eg (Some b, g) -> bounded_walk s b ~f:g ~g:Ctl.False ~exist:`G
+    | Not (Au (None, f1, g)) ->
+      (* ¬A(f U g) ≡ E(¬g U (¬f ∧ ¬g)) ∨ EG ¬g *)
+      let left = Ctl.Eu (None, Ctl.Not g, Ctl.And (Ctl.Not f1, Ctl.Not g)) in
+      if holds left s then gen s left else gen s (Ctl.Eg (None, Ctl.Not g))
+    | _ ->
+      fallback s
+        (Printf.sprintf "witness extraction not supported for %s; property fails at this state"
+           (Ctl.to_string f))
+  (* EG lasso: follow successors inside the EG set until a blocking state or a
+     revisit.  A closed loop is complete evidence (it repeats forever); a
+     blocking end is a residual claim about missing behaviour. *)
+  and lasso s g =
+    let inside = Sat.sat env (Ctl.Eg (None, g)) in
+    let seen = Hashtbl.create 16 in
+    let rec go s acc =
+      if Automaton.is_blocking auto s then begin
+        residual
+          (Printf.sprintf "EG evidence ends at the blocking state %s"
+             (Automaton.state_name auto s));
+        acc
+      end
+      else if Hashtbl.mem seen s then begin
+        note (Printf.sprintf "loop closes at state %s" (Automaton.state_name auto s));
+        acc
+      end
+      else begin
+        Hashtbl.add seen s ();
+        match
+          List.find_opt (fun (t : Automaton.trans) -> inside.(t.dst))
+            (Automaton.transitions_from auto s)
+        with
+        | Some t -> go t.dst (join acc (step s (t.input, t.output) t.dst))
+        | None ->
+          residual "EG evidence stops without a qualifying successor";
+          acc
+      end
+    in
+    go s (single s)
+  (* Bounded EF/EU/EG walks guided by the DP satisfaction sets of the
+     residual formulas at each elapsed time.  For `F the walk is complete
+     iff it reaches a goal state; for `G iff it survives the whole window —
+     an early blocking end is a residual claim. *)
+  and bounded_walk s { Ctl.lo; hi } ~f ~g ~exist =
+    let residual_formula k =
+      let b = Ctl.bounds (max 0 (lo - k)) (hi - k) in
+      match exist with
+      | `F -> Ctl.Eu (Some b, f, g)
+      | `G -> Ctl.Eg (Some b, f)
+    in
+    let rec go k s acc =
+      if k > hi then acc
+      else
+        let goal = match exist with `F -> k >= lo && holds g s | `G -> false in
+        if goal then join acc (gen s g)
+        else if k >= hi then acc
+        else if Automaton.is_blocking auto s then begin
+          (match exist with
+          | `F ->
+            residual "bounded eventuality evidence stops at a blocking state"
+          | `G ->
+            if k < hi then
+              residual
+                (Printf.sprintf "bounded EG evidence ends early at the blocking state %s"
+                   (Automaton.state_name auto s)));
+          acc
+        end
+        else begin
+          match succ_with s (fun t -> (Sat.sat env (residual_formula (k + 1))).(t)) with
+          | Some t -> go (k + 1) t.dst (join acc (step s (t.input, t.output) t.dst))
+          | None ->
+            residual "bounded evidence stops without a qualifying successor";
+            acc
+        end
+    in
+    go 0 s (single s)
+  in
+  let frag = gen start psi in
+  let run = Run.regular ~states:frag.states ~io:frag.io in
+  let explanation =
+    match List.rev !notes with [] -> "finite witness" | ns -> String.concat "; " ns
+  in
+  { run; explanation; complete = !complete }

@@ -1,0 +1,39 @@
+(** Counterexample witnesses.
+
+    When a (compositional, universally quantified) property fails, the model
+    checker produces a finite run of the automaton witnessing the existential
+    dual — the counterexample handed to the testing step (Section 4.2,
+    Listing 1.1).  Witnesses exist as finite runs for the fragment the
+    approach needs: reachability of a bad state ([EF]), of a deadlock, and
+    bounded/unbounded [EG]/[EU] lassos.  For connectives outside the
+    supported fragment the witness degenerates to the failing initial state
+    with an explanatory note — the verdict is still correct, only the trace
+    is less informative. *)
+
+type strategy =
+  | Bfs_shortest  (** breadth-first: shortest counterexamples *)
+  | Dfs_first     (** depth-first: first found; ablation EXP-T3 *)
+
+type t = {
+  run : Mechaml_ts.Run.t;
+  explanation : string;
+  complete : bool;
+      (** [true] when the run alone is full evidence for the formula: every
+          obligation is discharged by the states and interactions on the run
+          (including closed lassos, which repeat forever by determinism).
+          [false] when the evidence additionally relies on the final state
+          {e blocking} (a maximal run ending early) or on an obligation the
+          extractor could not unfold — for an abstraction, such residual
+          claims must be validated against the real component before the
+          counterexample may be called real (Section 4.2). *)
+}
+
+val witness :
+  Sat.env ->
+  strategy:strategy ->
+  start:Mechaml_ts.Automaton.state ->
+  Mechaml_logic.Ctl.t ->
+  t
+(** [witness env ~strategy ~start psi] builds a run from [start] witnessing
+    the formula [psi], which must hold at [start] (checked; raises
+    [Invalid_argument] otherwise). *)

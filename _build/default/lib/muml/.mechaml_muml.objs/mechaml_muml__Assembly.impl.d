@@ -1,0 +1,1 @@
+lib/muml/assembly.ml: List Mechaml_ts Mechaml_util Printf

@@ -1,0 +1,1 @@
+lib/muml/assembly.mli: Mechaml_ts

@@ -1,0 +1,1 @@
+lib/muml/component.ml: List Mechaml_ts Printf Role

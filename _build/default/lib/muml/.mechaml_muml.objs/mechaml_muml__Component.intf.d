@@ -1,0 +1,1 @@
+lib/muml/component.mli: Mechaml_ts Role

@@ -1,0 +1,1 @@
+lib/muml/connector.ml: Hashtbl List Mechaml_ts Queue String

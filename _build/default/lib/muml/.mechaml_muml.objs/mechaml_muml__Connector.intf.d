@@ -1,0 +1,1 @@
+lib/muml/connector.mli: Mechaml_ts

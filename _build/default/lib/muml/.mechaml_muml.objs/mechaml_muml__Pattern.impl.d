@@ -1,0 +1,1 @@
+lib/muml/pattern.ml: List Mechaml_logic Mechaml_mc Mechaml_ts Option Printf Role

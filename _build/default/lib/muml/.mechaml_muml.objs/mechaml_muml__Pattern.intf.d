@@ -1,0 +1,1 @@
+lib/muml/pattern.mli: Mechaml_logic Mechaml_mc Mechaml_ts Role

@@ -1,0 +1,1 @@
+lib/muml/role.ml: Mechaml_logic Mechaml_mc Mechaml_rtsc

@@ -1,0 +1,1 @@
+lib/muml/role.mli: Mechaml_logic Mechaml_mc Mechaml_rtsc Mechaml_ts

@@ -1,0 +1,85 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Compose = Mechaml_ts.Compose
+
+type wire = { w_from : string * string; w_to : string * string }
+
+type t = {
+  mutable instances : (string * Automaton.t) list; (* reverse order *)
+  mutable wires : wire list;
+}
+
+let create () = { instances = []; wires = [] }
+
+let add_instance t ~name auto =
+  if List.mem_assoc name t.instances then
+    invalid_arg (Printf.sprintf "Assembly.add_instance: duplicate instance %S" name);
+  t.instances <- (name, auto) :: t.instances
+
+let find_instance t name =
+  match List.assoc_opt name t.instances with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Assembly: unknown instance %S" name)
+
+let wire_name ~from_:(a, sig_out) ~to_:(b, sig_in) =
+  Printf.sprintf "%s.%s>%s.%s" a sig_out b sig_in
+
+let connect t ~from_ ~to_ =
+  let a, sig_out = from_ and b, sig_in = to_ in
+  let producer = find_instance t a and consumer = find_instance t b in
+  if not (Universe.mem producer.Automaton.outputs sig_out) then
+    invalid_arg (Printf.sprintf "Assembly.connect: %s has no output %S" a sig_out);
+  if not (Universe.mem consumer.Automaton.inputs sig_in) then
+    invalid_arg (Printf.sprintf "Assembly.connect: %s has no input %S" b sig_in);
+  List.iter
+    (fun w ->
+      if w.w_from = from_ then
+        invalid_arg (Printf.sprintf "Assembly.connect: output %s.%s already wired" a sig_out);
+      if w.w_to = to_ then
+        invalid_arg (Printf.sprintf "Assembly.connect: input %s.%s already wired" b sig_in))
+    t.wires;
+  t.wires <- { w_from = from_; w_to = to_ } :: t.wires
+
+let build t =
+  match List.rev t.instances with
+  | [] -> invalid_arg "Assembly.build: no instances"
+  | instances ->
+    (* Rename every signal: wired endpoints share the wire's name, the rest
+       are qualified with the instance name. *)
+    let rename_of name =
+      let input s =
+        match List.find_opt (fun w -> w.w_to = (name, s)) t.wires with
+        | Some w -> wire_name ~from_:w.w_from ~to_:w.w_to
+        | None -> name ^ "." ^ s
+      in
+      let output s =
+        match List.find_opt (fun w -> w.w_from = (name, s)) t.wires with
+        | Some w -> wire_name ~from_:w.w_from ~to_:w.w_to
+        | None -> name ^ "." ^ s
+      in
+      (input, output)
+    in
+    (* Qualify propositions only where they would collide across instances. *)
+    let all_props =
+      List.concat_map
+        (fun (_, a) -> Universe.to_list a.Automaton.props)
+        instances
+    in
+    let colliding p = List.length (List.filter (( = ) p) all_props) > 1 in
+    let prepare (name, auto) =
+      let input, output = rename_of name in
+      let auto = Automaton.map_signals auto ~inputs:input ~outputs:output in
+      let needs_qualification =
+        List.exists colliding (Universe.to_list auto.Automaton.props)
+      in
+      if not needs_qualification then auto
+      else begin
+        let props =
+          Universe.of_list
+            (List.map (fun p -> name ^ ":" ^ p) (Universe.to_list auto.Automaton.props))
+        in
+        Automaton.relabel auto ~props (fun s ->
+            Mechaml_util.Bitset.to_int (Automaton.label auto s) |> Mechaml_util.Bitset.of_int_unsafe)
+      end
+    in
+    Compose.parallel_many (List.map prepare instances)

@@ -1,0 +1,38 @@
+(** System assembly: component instances wired port-to-port.
+
+    The composition of Definition 3 matches signals by name; an assembly
+    takes care of the naming.  Every instance's signals are qualified with
+    the instance name ([shuttle1.convoyProposal]); {!connect} joins one
+    instance's output to another instance's input under a shared wire name,
+    so the synchronous composition links exactly the declared pairs and
+    leaves everything else as environment-facing signals.
+
+    Wires are point-to-point — one producer, one consumer — because the
+    composition's input alphabets must stay disjoint (Definition 3);
+    broadcast is modelled with an explicit replicator component. *)
+
+type t
+
+val create : unit -> t
+
+val add_instance : t -> name:string -> Mechaml_ts.Automaton.t -> unit
+(** Raises [Invalid_argument] on duplicate instance names.  When instances
+    share proposition names, their labels are qualified with
+    ["<instance>:"] to keep the composed labelling unambiguous; instances
+    whose propositions are already unique keep them as-is. *)
+
+val connect :
+  t -> from_:string * string -> to_:string * string -> unit
+(** [connect t ~from_:(a, sig_out) ~to_:(b, sig_in)] wires instance [a]'s
+    output [sig_out] to instance [b]'s input [sig_in].  Raises
+    [Invalid_argument] on unknown instances/signals, on direction mismatch,
+    or when either endpoint is already wired. *)
+
+val build : t -> Mechaml_ts.Automaton.t
+(** The synchronous composition of all instances with the declared wiring.
+    Unconnected signals appear qualified ([instance.signal]); wires appear
+    as [a.sig_out>b.sig_in].  Raises [Invalid_argument] when fewer than one
+    instance was added. *)
+
+val wire_name : from_:string * string -> to_:string * string -> string
+(** The name a wire's signal carries in the built automaton. *)

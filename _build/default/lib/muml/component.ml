@@ -1,0 +1,18 @@
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Refinement = Mechaml_ts.Refinement
+
+type t = { name : string; ports : (string * Automaton.t) list }
+
+let make ~name ~ports = { name; ports }
+
+let conforms_to t ~(role : Role.t) =
+  match List.assoc_opt role.Role.name t.ports with
+  | None ->
+    invalid_arg (Printf.sprintf "Component.conforms_to: %s has no port for role %S" t.name role.Role.name)
+  | Some port -> Refinement.check ~concrete:port ~abstract:(Role.automaton role) ()
+
+let behavior t =
+  match t.ports with
+  | [] -> invalid_arg "Component.behavior: component has no ports"
+  | ports -> Compose.parallel_many (List.map snd ports)

@@ -1,0 +1,25 @@
+(** Components and ports (Section "Modeling").
+
+    A component implements one or more pattern roles through its ports; each
+    port behaviour must {e refine} the corresponding role statechart — not
+    add behaviour, not block guaranteed behaviour (Definition 4) — so that
+    the pattern's verified properties carry over (Lemmas 1–3). *)
+
+type t = {
+  name : string;
+  ports : (string * Mechaml_ts.Automaton.t) list;
+      (** (role name, port behaviour) — the port automaton's labels must use
+          the role's prefix so invariants transfer *)
+}
+
+val make : name:string -> ports:(string * Mechaml_ts.Automaton.t) list -> t
+
+val conforms_to :
+  t -> role:Role.t -> Mechaml_ts.Refinement.result
+(** Check that the component's port for [role] refines the role's flattened
+    statechart.  Raises [Invalid_argument] when the component has no port for
+    that role. *)
+
+val behavior : t -> Mechaml_ts.Automaton.t
+(** The parallel composition of all port behaviours — the component's
+    externally visible behaviour. *)

@@ -1,0 +1,52 @@
+module Automaton = Mechaml_ts.Automaton
+
+let channel ~name ?(delay = 1) ?(lossy = false) ~routes () =
+  if delay < 1 then invalid_arg "Connector.channel: delay must be at least 1";
+  if routes = [] then invalid_arg "Connector.channel: no routes";
+  let ins = List.map fst routes and outs = List.map snd routes in
+  if
+    List.length (List.sort_uniq compare ins) <> List.length ins
+    || List.length (List.sort_uniq compare outs) <> List.length outs
+  then invalid_arg "Connector.channel: duplicate route signals";
+  let r = List.length routes in
+  let state_space = int_of_float ((float_of_int (r + 1)) ** float_of_int delay) in
+  if state_space > 10_000 then
+    invalid_arg "Connector.channel: buffer state space exceeds 10_000 configurations";
+  (* A buffer is a list of [delay] slots, oldest first; each slot holds a
+     route index or nothing. *)
+  let slot_name = function None -> "-" | Some i -> fst (List.nth routes i) in
+  let buf_name buf = name ^ "[" ^ String.concat "|" (List.map slot_name buf) ^ "]" in
+  let b = Automaton.Builder.create ~name ~inputs:ins ~outputs:outs () in
+  let seen = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  let visit buf =
+    let n = buf_name buf in
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      ignore (Automaton.Builder.add_state b n);
+      Queue.add buf queue
+    end;
+    n
+  in
+  let empty_buf = List.init delay (fun _ -> None) in
+  let initial = visit empty_buf in
+  while not (Queue.is_empty queue) do
+    let buf = Queue.pop queue in
+    let src = buf_name buf in
+    let head = List.hd buf and tail = List.tl buf in
+    let outputs = match head with None -> [] | Some i -> [ snd (List.nth routes i) ] in
+    let arrivals = None :: List.init r (fun i -> Some i) in
+    List.iter
+      (fun arrival ->
+        let inputs = match arrival with None -> [] | Some i -> [ fst (List.nth routes i) ] in
+        let enqueue slot =
+          let dst = visit (tail @ [ slot ]) in
+          Automaton.Builder.add_trans b ~src ~inputs ~outputs ~dst ()
+        in
+        enqueue arrival;
+        (* A lossy channel may also drop the arriving message. *)
+        if lossy && arrival <> None then enqueue None)
+      arrivals
+  done;
+  Automaton.Builder.set_initial b [ initial ];
+  Automaton.Builder.build b

@@ -1,0 +1,22 @@
+(** Connectors: explicit channel automata modelling delay and reliability of
+    the links between roles (Section "Modeling" — "the behavior of the
+    connector is described by another real-time statechart that is used to
+    model channel delay and reliability").
+
+    A channel carries at most one message per direction slot per time unit.
+    Each route maps an input signal (produced by the sender) to an output
+    signal (consumed by the receiver); distinct names keep the composition
+    alphabets disjoint.  With [delay = d], a message received in period [k]
+    is delivered in period [k + d].  A lossy channel non-deterministically
+    drops messages instead of en-queueing them. *)
+
+val channel :
+  name:string ->
+  ?delay:int ->
+  ?lossy:bool ->
+  routes:(string * string) list ->
+  unit ->
+  Mechaml_ts.Automaton.t
+(** Raises [Invalid_argument] when [delay < 1], routes are empty or
+    duplicated, or the buffer state space would exceed [10_000]
+    configurations. *)

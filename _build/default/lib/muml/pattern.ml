@@ -1,0 +1,31 @@
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+
+type t = {
+  name : string;
+  roles : Role.t list;
+  connector : Automaton.t option;
+  constraint_ : Ctl.t;
+}
+
+let make ~name ~roles ?connector ~constraint_ () = { name; roles; connector; constraint_ }
+
+let compose_all = function
+  | [] -> invalid_arg "Pattern: nothing to compose"
+  | autos -> Compose.parallel_many autos
+
+let composition t =
+  compose_all (List.map Role.automaton t.roles @ Option.to_list t.connector)
+
+let verify t =
+  let invariants = List.filter_map (fun (r : Role.t) -> r.Role.invariant) t.roles in
+  Checker.check_conjunction (composition t)
+    (Ctl.deadlock_free :: t.constraint_ :: invariants)
+
+let context_for t ~role =
+  if not (List.exists (fun (r : Role.t) -> r.Role.name = role) t.roles) then
+    invalid_arg (Printf.sprintf "Pattern.context_for: no role %S in %s" role t.name);
+  let others = List.filter (fun (r : Role.t) -> r.Role.name <> role) t.roles in
+  compose_all (List.map Role.automaton others @ Option.to_list t.connector)

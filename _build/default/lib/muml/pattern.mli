@@ -1,0 +1,35 @@
+(** Coordination patterns (Section "Modeling", Fig. 1).
+
+    A pattern consists of roles, an optional connector between them, and a
+    pattern constraint in timed ACTL restricting the overall behaviour.
+    Constraints, invariants and the known communication partners together are
+    the {e context information} the synthesis loop exploits. *)
+
+type t = {
+  name : string;
+  roles : Role.t list;
+  connector : Mechaml_ts.Automaton.t option;
+  constraint_ : Mechaml_logic.Ctl.t;
+}
+
+val make :
+  name:string ->
+  roles:Role.t list ->
+  ?connector:Mechaml_ts.Automaton.t ->
+  constraint_:Mechaml_logic.Ctl.t ->
+  unit ->
+  t
+
+val composition : t -> Mechaml_ts.Automaton.t
+(** All role automata (and the connector, when present) composed in
+    parallel. *)
+
+val verify : t -> Mechaml_mc.Checker.outcome
+(** Model check the pattern constraint, all role invariants and deadlock
+    freedom on the composition — the upfront verification MECHATRONIC UML
+    performs before components are built. *)
+
+val context_for : t -> role:string -> Mechaml_ts.Automaton.t
+(** The composition of every role {e except} [role] (plus the connector):
+    the abstract context [M_a^c] a legacy component implementing [role] is
+    integrated against.  Raises [Invalid_argument] for unknown roles. *)

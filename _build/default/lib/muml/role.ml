@@ -1,0 +1,14 @@
+module Rtsc = Mechaml_rtsc.Rtsc
+module Ctl = Mechaml_logic.Ctl
+module Checker = Mechaml_mc.Checker
+
+type t = { name : string; behavior : Rtsc.t; invariant : Ctl.t option }
+
+let make ~name ~behavior ?invariant () = { name; behavior; invariant }
+
+let automaton t = Rtsc.flatten ~label_prefix:(t.name ^ ".") t.behavior
+
+let check_invariant t =
+  match t.invariant with
+  | None -> Checker.Holds
+  | Some phi -> Checker.check (automaton t) phi

@@ -1,0 +1,22 @@
+(** Roles of a coordination pattern (Section "Modeling").
+
+    A role's communication behaviour is a real-time statechart; its
+    guaranteed behaviour can be restricted by a role invariant in timed ACTL.
+    The flattened automaton labels every configuration with the (prefixed)
+    hierarchical state names, which is what the pattern constraint and role
+    invariants predicate over. *)
+
+type t = {
+  name : string;
+  behavior : Mechaml_rtsc.Rtsc.t;
+  invariant : Mechaml_logic.Ctl.t option;
+}
+
+val make : name:string -> behavior:Mechaml_rtsc.Rtsc.t -> ?invariant:Mechaml_logic.Ctl.t -> unit -> t
+
+val automaton : t -> Mechaml_ts.Automaton.t
+(** Flattened with label prefix ["<name>."], e.g. [frontRole.noConvoy]. *)
+
+val check_invariant : t -> Mechaml_mc.Checker.outcome
+(** The role automaton in isolation satisfies its invariant (vacuously
+    {!Mechaml_mc.Checker.Holds} when none is declared). *)

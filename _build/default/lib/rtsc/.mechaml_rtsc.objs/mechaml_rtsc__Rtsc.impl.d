@@ -1,0 +1,1 @@
+lib/rtsc/rtsc.ml: Hashtbl List Mechaml_ts Printf Queue String

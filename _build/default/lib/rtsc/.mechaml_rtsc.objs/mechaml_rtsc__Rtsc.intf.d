@@ -1,0 +1,1 @@
+lib/rtsc/rtsc.mli: Mechaml_ts

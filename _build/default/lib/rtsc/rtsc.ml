@@ -1,0 +1,278 @@
+module Automaton = Mechaml_ts.Automaton
+
+type cmp = Lt | Le | Eq | Ge | Gt
+
+type clock_constraint = string * cmp * int
+
+type state_def = {
+  path : string;
+  parent : string option;
+  mutable children : string list;
+  mutable initial_child : string option;
+  idle : bool;
+  invariant : clock_constraint list;
+}
+
+type trans_def = {
+  t_src : string;
+  trigger : string list;
+  effect : string list;
+  guard : clock_constraint list;
+  resets : string list;
+  delay : (int * int) option;
+  urgent : bool;
+  t_dst : string;
+}
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  states : (string, state_def) Hashtbl.t;
+  mutable order : string list; (* reverse declaration order *)
+  mutable clocks : string list; (* reverse declaration order *)
+  mutable root_initial : string option;
+  mutable transitions : trans_def list; (* reverse declaration order *)
+}
+
+let create ~name ~inputs ~outputs () =
+  {
+    name;
+    inputs;
+    outputs;
+    states = Hashtbl.create 16;
+    order = [];
+    clocks = [];
+    root_initial = None;
+    transitions = [];
+  }
+
+let add_clock t c =
+  if List.mem c t.clocks then invalid_arg (Printf.sprintf "Rtsc.add_clock: duplicate clock %S" c);
+  t.clocks <- c :: t.clocks
+
+let find_state t path =
+  match Hashtbl.find_opt t.states path with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Rtsc: unknown state %S in %s" path t.name)
+
+let add_state t ?parent ?(initial = false) ?(idle = false) ?(invariant = []) name =
+  if String.length name = 0 then invalid_arg "Rtsc.add_state: empty name";
+  let path =
+    match parent with
+    | None -> name
+    | Some p ->
+      ignore (find_state t p);
+      p ^ "::" ^ name
+  in
+  if Hashtbl.mem t.states path then
+    invalid_arg (Printf.sprintf "Rtsc.add_state: duplicate state %S" path);
+  let def = { path; parent; children = []; initial_child = None; idle; invariant } in
+  Hashtbl.add t.states path def;
+  t.order <- path :: t.order;
+  (match parent with
+  | None -> if initial then t.root_initial <- Some path
+  | Some p ->
+    let pd = find_state t p in
+    pd.children <- pd.children @ [ path ];
+    if initial then pd.initial_child <- Some path)
+
+(* at declaration time: a state is (currently) a leaf when no child has been
+   declared under it yet; flatten re-validates *)
+let is_leaf_def def _t = def.children = []
+
+let add_transition t ~src ?(trigger = []) ?(effect = []) ?(guard = []) ?(resets = [])
+    ?delay ?(urgent = false) ~dst () =
+  let src_def = find_state t src in
+  ignore (find_state t dst);
+  (match delay with
+  | Some (l, u) ->
+    if l < 0 || u < l then invalid_arg "Rtsc.add_transition: invalid delay interval";
+    if not (is_leaf_def src_def t) then
+      invalid_arg "Rtsc.add_transition: delayed transitions need a leaf source"
+  | None -> if urgent then invalid_arg "Rtsc.add_transition: urgent requires a delay");
+  List.iter
+    (fun s ->
+      if not (List.mem s t.inputs) then
+        invalid_arg (Printf.sprintf "Rtsc.add_transition: unknown input signal %S" s))
+    trigger;
+  List.iter
+    (fun s ->
+      if not (List.mem s t.outputs) then
+        invalid_arg (Printf.sprintf "Rtsc.add_transition: unknown output signal %S" s))
+    effect;
+  List.iter
+    (fun c ->
+      if not (List.mem c t.clocks) then
+        invalid_arg (Printf.sprintf "Rtsc.add_transition: unknown clock %S" c))
+    (resets @ List.map (fun (c, _, _) -> c) guard);
+  t.transitions <-
+    { t_src = src; trigger; effect; guard; resets; delay; urgent; t_dst = dst } :: t.transitions
+
+let is_leaf def = def.children = []
+
+let leaf_paths t =
+  List.rev t.order |> List.filter (fun p -> is_leaf (find_state t p))
+
+(* Descend through initial children until a leaf. *)
+let rec enter t path =
+  let def = find_state t path in
+  if is_leaf def then path
+  else
+    match def.initial_child with
+    | Some c -> enter t c
+    | None -> invalid_arg (Printf.sprintf "Rtsc: composite state %S has no initial child" path)
+
+let rec ancestors t path acc =
+  let def = find_state t path in
+  match def.parent with None -> path :: acc | Some p -> ancestors t p (path :: acc)
+
+let eval_cmp op v k =
+  match op with Lt -> v < k | Le -> v <= k | Eq -> v = k | Ge -> v >= k | Gt -> v > k
+
+let flatten ?(label_prefix = "") t =
+  let root_initial =
+    match t.root_initial with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Rtsc.flatten: %s has no initial state" t.name)
+  in
+  (* Expand [l,u]-delayed transitions (the I/O-interval-structure timing)
+     into an implicit per-source dwell clock: reset on every entry into the
+     source, guarded by l ≤ clock ≤ u, and — for urgent transitions — capped
+     by an implicit invariant clock ≤ u on the source. *)
+  let raw_transitions = List.rev t.transitions in
+  let dwell_clock src = "@" ^ src in
+  let delayed_sources =
+    List.filter_map
+      (fun tr ->
+        match tr.delay with
+        | Some (_, u) ->
+          if not (is_leaf (find_state t tr.t_src)) then
+            invalid_arg
+              (Printf.sprintf "Rtsc.flatten: delayed transition from composite state %S"
+                 tr.t_src);
+          Some (tr.t_src, u, tr.urgent)
+        | None -> None)
+      raw_transitions
+    |> List.fold_left
+         (fun acc (src, u, urgent) ->
+           match List.assoc_opt src acc with
+           | Some (u0, urg0) ->
+             (src, (max u u0, urg0 || urgent)) :: List.remove_assoc src acc
+           | None -> (src, (u, urgent)) :: acc)
+         []
+  in
+  let clocks = List.rev t.clocks @ List.map (fun (src, _) -> dwell_clock src) delayed_sources in
+  let transitions =
+    List.map
+      (fun tr ->
+        let guard =
+          match tr.delay with
+          | Some (l, u) ->
+            tr.guard @ [ (dwell_clock tr.t_src, Ge, l); (dwell_clock tr.t_src, Le, u) ]
+          | None -> tr.guard
+        in
+        let entered = enter t tr.t_dst in
+        let resets =
+          if List.mem_assoc entered delayed_sources then tr.resets @ [ dwell_clock entered ]
+          else tr.resets
+        in
+        { tr with guard; resets })
+      raw_transitions
+  in
+  let implicit_invariant leaf =
+    match List.assoc_opt leaf delayed_sources with
+    | Some (u, true) -> [ (dwell_clock leaf, Le, u) ]
+    | _ -> []
+  in
+  (* Saturation cap per clock: one past the largest constant it is compared
+     against, so the valuation space stays finite without changing any guard
+     or invariant outcome. *)
+  let cap c =
+    let constants =
+      List.concat_map
+        (fun tr -> List.filter_map (fun (c', _, k) -> if c' = c then Some k else None) tr.guard)
+        transitions
+      @ (Hashtbl.fold (fun _ def acc -> def.invariant :: acc) t.states []
+        |> List.concat
+        |> List.filter_map (fun (c', _, k) -> if c' = c then Some k else None))
+    in
+    1 + List.fold_left max 0 constants
+  in
+  let caps = List.map cap clocks in
+  let lookup_clock valuation c =
+    let rec go cs vs =
+      match (cs, vs) with
+      | c' :: _, v :: _ when c' = c -> v
+      | _ :: cs', _ :: vs' -> go cs' vs'
+      | _ -> assert false
+    in
+    go clocks valuation
+  in
+  let eval valuation constraints =
+    List.for_all (fun (c, op, k) -> eval_cmp op (lookup_clock valuation c) k) constraints
+  in
+  let advance ~resets valuation =
+    List.map2
+      (fun (c, v) cap -> if List.mem c resets then 0 else min (v + 1) cap)
+      (List.combine clocks valuation) caps
+  in
+  let config_name (leaf, valuation) =
+    if clocks = [] then leaf
+    else
+      leaf ^ "["
+      ^ String.concat "," (List.map2 (fun c v -> Printf.sprintf "%s=%d" c v) clocks valuation)
+      ^ "]"
+  in
+  let config_props leaf =
+    List.map (fun p -> label_prefix ^ p) (ancestors t leaf [])
+  in
+  let applicable leaf =
+    let ancs = ancestors t leaf [] in
+    List.filter (fun tr -> List.mem tr.t_src ancs) transitions
+  in
+  let invariants_along leaf =
+    List.concat_map (fun p -> (find_state t p).invariant) (ancestors t leaf [])
+    @ implicit_invariant leaf
+  in
+  let b = Automaton.Builder.create ~name:t.name ~inputs:t.inputs ~outputs:t.outputs () in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let visit ((leaf, _valuation) as cfg) =
+    let name = config_name cfg in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      ignore (Automaton.Builder.add_state b ~props:(config_props leaf) name);
+      Queue.add cfg queue
+    end;
+    name
+  in
+  let initial_cfg = (enter t root_initial, List.map (fun _ -> 0) clocks) in
+  let initial_name = visit initial_cfg in
+  while not (Queue.is_empty queue) do
+    let ((leaf, valuation) as cfg) = Queue.pop queue in
+    let src_name = config_name cfg in
+    (* Explicit transitions. *)
+    List.iter
+      (fun tr ->
+        if eval valuation tr.guard then begin
+          let leaf' = enter t tr.t_dst in
+          let valuation' = advance ~resets:tr.resets valuation in
+          let dst_name = visit (leaf', valuation') in
+          Automaton.Builder.add_trans b ~src:src_name ~inputs:tr.trigger ~outputs:tr.effect
+            ~dst:dst_name ()
+        end)
+      (applicable leaf);
+    (* Implicit delay step while idling is allowed and invariants survive the
+       advanced valuation. *)
+    let def = find_state t leaf in
+    if def.idle then begin
+      let valuation' = advance ~resets:[] valuation in
+      if eval valuation' (invariants_along leaf) then begin
+        let dst_name = visit (leaf, valuation') in
+        Automaton.Builder.add_trans b ~src:src_name ~dst:dst_name ()
+      end
+    end
+  done;
+  Automaton.Builder.set_initial b [ initial_name ];
+  Automaton.Builder.build b

@@ -1,0 +1,81 @@
+(** Real-Time Statecharts (RTSC), the behavioural notation of MECHATRONIC
+    UML roles and components, in the discrete-time simplification the paper
+    adopts (Section 2): hierarchical states, transitions with message
+    triggers/effects, and discrete clocks advancing one unit per step.
+
+    A statechart {e flattens} to the automaton model of Definition 1: one
+    automaton state per (leaf state, clock valuation) configuration, one time
+    unit per transition.  Dwelling in a state is an explicit [∅/∅] delay
+    step, permitted only while the state invariant holds — this realises the
+    I/O-interval-structure reading of time the paper inherits from RAVEN.
+
+    Hierarchical state names use [::] paths (e.g. [noConvoy::wait]); a
+    flattened configuration is labelled with the (prefixed) names of {e all}
+    its ancestors, so a pattern constraint over [frontRole.noConvoy] also
+    covers the [answer] substate — exactly how the paper's Listing 1.4
+    counterexample violates the constraint while the front role sits in a
+    substate of [noConvoy]. *)
+
+type cmp = Lt | Le | Eq | Ge | Gt
+
+type clock_constraint = string * cmp * int
+
+type t
+
+val create :
+  name:string -> inputs:string list -> outputs:string list -> unit -> t
+
+val add_clock : t -> string -> unit
+(** Declares a clock (initially 0, advancing one unit per step). *)
+
+val add_state :
+  t ->
+  ?parent:string ->
+  ?initial:bool ->
+  ?idle:bool ->
+  ?invariant:clock_constraint list ->
+  string ->
+  unit
+(** Declares a state with its simple name; its full path is
+    [parent_path::name].  [initial] marks the initial child of its parent
+    (or the chart's initial root state).  [idle] (default [false]) lets the
+    configuration dwell with an [∅/∅] delay step while [invariant] holds.
+    Raises [Invalid_argument] on duplicate paths or unknown parents. *)
+
+val add_transition :
+  t ->
+  src:string ->
+  ?trigger:string list ->
+  ?effect:string list ->
+  ?guard:clock_constraint list ->
+  ?resets:string list ->
+  ?delay:int * int ->
+  ?urgent:bool ->
+  dst:string ->
+  unit ->
+  unit
+(** [src]/[dst] are full paths; a composite [src] fires from every descendant
+    leaf (outer transitions, statechart-style); a composite [dst] enters its
+    initial child recursively.  [trigger] are consumed input signals,
+    [effect] produced output signals — both within the same discrete step
+    (synchronous communication).
+
+    [delay:(l, u)] gives the transition the I/O-interval-structure timing of
+    the paper's reference model (Ruf's RAVEN, cited as the target of the
+    RTSC mapping): it may only fire between [l] and [u] time units after the
+    source state was entered.  Realised by an implicit per-source dwell
+    clock, reset on every entry into the source.  With [urgent:true] the
+    source additionally may not dwell beyond [u] (an implicit invariant),
+    forcing the transition window.  Raises [Invalid_argument] for [l < 0],
+    [u < l], a composite [src], or [urgent] without [delay]. *)
+
+val flatten : ?label_prefix:string -> t -> Mechaml_ts.Automaton.t
+(** Explicit-state flattening restricted to reachable configurations.
+    Configuration names are the leaf path, suffixed with the clock valuation
+    ([…\[x=2\]]) when clocks exist.  Labels: every ancestor path of the leaf,
+    prefixed with [label_prefix] (default ["" ]).  Clock values saturate at
+    one past the largest constant they are compared against.  Raises
+    [Invalid_argument] when no initial root state was declared. *)
+
+val leaf_paths : t -> string list
+(** All declared leaf state paths (testing/statistics). *)

@@ -1,0 +1,1 @@
+lib/scenarios/families.ml: List Mechaml_legacy Mechaml_logic Mechaml_ts Mechaml_util Printf

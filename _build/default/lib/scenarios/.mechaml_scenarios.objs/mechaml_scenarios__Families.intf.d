@@ -1,0 +1,1 @@
+lib/scenarios/families.mli: Mechaml_legacy Mechaml_logic Mechaml_ts

@@ -1,0 +1,1 @@
+lib/scenarios/listing.ml: Buffer List Mechaml_ts Printf String

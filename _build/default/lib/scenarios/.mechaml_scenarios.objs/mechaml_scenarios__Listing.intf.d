@@ -1,0 +1,1 @@
+lib/scenarios/listing.mli: Mechaml_ts

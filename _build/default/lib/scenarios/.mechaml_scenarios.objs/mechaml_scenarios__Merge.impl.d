@@ -1,0 +1,1 @@
+lib/scenarios/merge.ml: Labels Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_muml Mechaml_rtsc Mechaml_ts

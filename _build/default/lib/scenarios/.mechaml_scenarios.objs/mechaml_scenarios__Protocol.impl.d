@@ -1,0 +1,1 @@
+lib/scenarios/protocol.ml: Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_ts

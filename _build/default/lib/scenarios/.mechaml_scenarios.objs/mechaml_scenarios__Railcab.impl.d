@@ -1,0 +1,1 @@
+lib/scenarios/railcab.ml: Labels Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_muml Mechaml_rtsc Mechaml_ts

@@ -1,0 +1,1 @@
+lib/scenarios/railcab.mli: Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_muml Mechaml_ts

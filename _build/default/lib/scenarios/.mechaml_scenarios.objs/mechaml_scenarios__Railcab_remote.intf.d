@@ -1,0 +1,1 @@
+lib/scenarios/railcab_remote.mli: Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts

@@ -1,0 +1,1 @@
+lib/scenarios/watchdog.ml: Labels Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_rtsc Mechaml_ts Printf

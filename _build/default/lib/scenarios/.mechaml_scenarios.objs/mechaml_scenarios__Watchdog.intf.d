@@ -1,0 +1,1 @@
+lib/scenarios/watchdog.mli: Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_ts

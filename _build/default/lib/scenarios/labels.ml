@@ -1,0 +1,13 @@
+let hierarchical ~prefix name =
+  let parts = String.split_on_char ':' name in
+  (* "a::b" splits as ["a"; ""; "b"]: drop the empty separators and rebuild
+     the cumulative paths. *)
+  let segments = List.filter (fun s -> s <> "") parts in
+  let _, acc =
+    List.fold_left
+      (fun (path, acc) seg ->
+        let path = if path = "" then seg else path ^ "::" ^ seg in
+        (path, (prefix ^ path) :: acc))
+      ("", []) segments
+  in
+  List.rev acc

@@ -1,0 +1,10 @@
+(** Labelling conventions shared by the scenarios.
+
+    Legacy component states probed by deterministic replay carry hierarchical
+    names ([noConvoy::wait]); the propositions they satisfy are all their
+    ancestors, qualified with the role prefix — mirroring what
+    {!Mechaml_rtsc.Rtsc.flatten} does for modelled roles. *)
+
+val hierarchical : prefix:string -> string -> string list
+(** [hierarchical ~prefix "a::b::c"] is
+    [\["<prefix>a"; "<prefix>a::b"; "<prefix>a::b::c"\]]. *)

@@ -1,0 +1,50 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Compose = Mechaml_ts.Compose
+module Run = Mechaml_ts.Run
+
+let render ~left_name ~right_name (p : Compose.product) run =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let left = p.Compose.left and right = p.Compose.right in
+  let state_line s =
+    let l, r = (Compose.left_state p s, Compose.right_state p s) in
+    add "%s.%s, %s.%s\n" left_name (Automaton.state_name left l) right_name
+      (Automaton.state_name right r)
+  in
+  let io_line (a, b) =
+    (* Attribute each signal: if the right operand outputs it, the right is
+       the sender; the consumer is whoever has it among its inputs. *)
+    let a_names = Universe.names_of_set p.Compose.auto.Automaton.inputs a in
+    let b_names = Universe.names_of_set p.Compose.auto.Automaton.outputs b in
+    let outputs_of side = Universe.to_list side.Automaton.outputs in
+    let parts =
+      List.filter_map
+        (fun signal ->
+          let sender =
+            if List.mem signal (outputs_of right) then right_name
+            else if List.mem signal (outputs_of left) then left_name
+            else "env"
+          in
+          let receiver = if sender = right_name then left_name else right_name in
+          if List.mem signal a_names || List.mem signal b_names then
+            Some (Printf.sprintf "%s.%s!, %s.%s?" sender signal receiver signal)
+          else None)
+        (List.sort_uniq compare (a_names @ b_names))
+    in
+    match parts with
+    | [] -> add "  (silent period)\n"
+    | _ -> add "%s\n" (String.concat "; " parts)
+  in
+  let rec go states io =
+    match (states, io) with
+    | [ s ], [] -> state_line s
+    | s :: rest, ab :: io' ->
+      state_line s;
+      io_line ab;
+      go rest io'
+    | _ -> ()
+  in
+  go (Run.state_sequence run) (Run.trace run);
+  if run.Run.deadlock then add "  <deadlock>\n";
+  Buffer.contents buf

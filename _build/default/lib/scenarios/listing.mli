@@ -1,0 +1,16 @@
+(** Rendering of counterexamples in the paper's listing style.
+
+    Listing 1.1 prints a product run as alternating lines of state pairs
+    ([shuttle1.noConvoy, shuttle2.s_all]) and message exchanges
+    ([shuttle2.convoyProposal!, shuttle1.convoyProposal?]) — the sender
+    marked with [!], the receiver with [?]. *)
+
+val render :
+  left_name:string ->
+  right_name:string ->
+  Mechaml_ts.Compose.product ->
+  Mechaml_ts.Run.t ->
+  string
+(** [render ~left_name ~right_name product run] names the left operand's
+    states [left_name.<state>] and the right operand's [right_name.<state>];
+    each interaction line lists the signals exchanged, sender first. *)

@@ -1,0 +1,117 @@
+module Automaton = Mechaml_ts.Automaton
+module Rtsc = Mechaml_rtsc.Rtsc
+module Role = Mechaml_muml.Role
+module Pattern = Mechaml_muml.Pattern
+module Blackbox = Mechaml_legacy.Blackbox
+module Loop = Mechaml_core.Loop
+
+let to_feeder x = [ "poll" ^ x; "grant" ^ x; "deny" ^ x ]
+
+let from_feeder x = [ "request" ^ x; "pass" ^ x; "leave" ^ x ]
+
+(* The arbiter polls A and B in turn; a granted feeder owns the section
+   until it leaves. *)
+let arbiter_rtsc () =
+  let c =
+    Rtsc.create ~name:"arbiter"
+      ~inputs:(from_feeder "A" @ from_feeder "B")
+      ~outputs:(to_feeder "A" @ to_feeder "B")
+      ()
+  in
+  let declare x =
+    Rtsc.add_state c ~initial:(x = "A") ("ask" ^ x);
+    Rtsc.add_state c ("wait" ^ x);
+    Rtsc.add_state c ("decide" ^ x);
+    Rtsc.add_state c ("busy" ^ x)
+  in
+  let wire x next =
+    Rtsc.add_transition c ~src:("ask" ^ x) ~effect:[ "poll" ^ x ] ~dst:("wait" ^ x) ();
+    Rtsc.add_transition c ~src:("wait" ^ x) ~trigger:[ "request" ^ x ] ~dst:("decide" ^ x) ();
+    Rtsc.add_transition c ~src:("wait" ^ x) ~trigger:[ "pass" ^ x ] ~dst:("ask" ^ next) ();
+    Rtsc.add_transition c ~src:("decide" ^ x) ~effect:[ "grant" ^ x ] ~dst:("busy" ^ x) ();
+    Rtsc.add_transition c ~src:("decide" ^ x) ~effect:[ "deny" ^ x ] ~dst:("ask" ^ next) ();
+    Rtsc.add_transition c ~src:("busy" ^ x) ~trigger:[ "leave" ^ x ] ~dst:("ask" ^ next) ()
+  in
+  declare "A";
+  declare "B";
+  wire "A" "B";
+  wire "B" "A";
+  c
+
+(* The feeder role: answer polls with a request or a pass, merge only when
+   granted, and leave spontaneously — the arbiter sits in busyX until the
+   leave arrives and never polls meanwhile. *)
+let feeder_rtsc x =
+  let c =
+    Rtsc.create ~name:("feeder" ^ x) ~inputs:(to_feeder x) ~outputs:(from_feeder x) ()
+  in
+  Rtsc.add_state c ~initial:true ~idle:true "idle";
+  Rtsc.add_state c "answer";
+  Rtsc.add_state c "waiting";
+  Rtsc.add_state c "merging";
+  Rtsc.add_transition c ~src:"idle" ~trigger:[ "poll" ^ x ] ~dst:"answer" ();
+  Rtsc.add_transition c ~src:"answer" ~effect:[ "request" ^ x ] ~dst:"waiting" ();
+  Rtsc.add_transition c ~src:"answer" ~effect:[ "pass" ^ x ] ~dst:"idle" ();
+  Rtsc.add_transition c ~src:"waiting" ~trigger:[ "grant" ^ x ] ~dst:"merging" ();
+  Rtsc.add_transition c ~src:"waiting" ~trigger:[ "deny" ^ x ] ~dst:"idle" ();
+  Rtsc.add_transition c ~src:"merging" ~effect:[ "leave" ^ x ] ~dst:"idle" ();
+  c
+
+let arbiter_role = Role.make ~name:"arbiter" ~behavior:(arbiter_rtsc ()) ()
+
+let feeder_a_role = Role.make ~name:"feederA" ~behavior:(feeder_rtsc "A") ()
+
+let feeder_b_role = Role.make ~name:"feederB" ~behavior:(feeder_rtsc "B") ()
+
+let constraint_ =
+  Mechaml_logic.Parser.parse_exn "AG (not (feederA.merging and feederB.merging))"
+
+let pattern =
+  Pattern.make ~name:"MergeCoordination"
+    ~roles:[ arbiter_role; feeder_a_role; feeder_b_role ]
+    ~constraint_ ()
+
+let context = Pattern.context_for pattern ~role:"feederA"
+
+(* Deterministic feeder A implementations. *)
+let feeder_impl ~pushy =
+  let b =
+    Automaton.Builder.create ~name:"feederA" ~inputs:(to_feeder "A")
+      ~outputs:(from_feeder "A") ()
+  in
+  Automaton.Builder.add_trans b ~src:"idle" ~inputs:[ "pollA" ] ~dst:"answer" ();
+  Automaton.Builder.add_trans b ~src:"idle" ~dst:"idle" ();
+  Automaton.Builder.add_trans b ~src:"answer" ~outputs:[ "requestA" ] ~dst:"waiting" ();
+  if pushy then begin
+    (* a sanctioned merge behaves; a denial is treated as a grant: the
+       feeder squats on the section and only backs off at the next poll *)
+    Automaton.Builder.add_trans b ~src:"waiting" ~inputs:[ "grantA" ] ~dst:"merging::granted" ();
+    Automaton.Builder.add_trans b ~src:"waiting" ~inputs:[ "denyA" ] ~dst:"merging::squatting" ();
+    Automaton.Builder.add_trans b ~src:"merging::granted" ~outputs:[ "leaveA" ] ~dst:"idle" ();
+    Automaton.Builder.add_trans b ~src:"merging::squatting" ~dst:"merging::squatting" ();
+    Automaton.Builder.add_trans b ~src:"merging::squatting" ~inputs:[ "pollA" ]
+      ~outputs:[ "leaveA" ] ~dst:"idle" ()
+  end
+  else begin
+    Automaton.Builder.add_trans b ~src:"waiting" ~inputs:[ "grantA" ] ~dst:"merging" ();
+    Automaton.Builder.add_trans b ~src:"waiting" ~inputs:[ "denyA" ] ~dst:"idle" ();
+    Automaton.Builder.add_trans b ~src:"merging" ~outputs:[ "leaveA" ] ~dst:"idle" ()
+  end;
+  Automaton.Builder.set_initial b [ "idle" ];
+  Automaton.Builder.build b
+
+let feeder_correct = feeder_impl ~pushy:false
+
+let feeder_pushy = feeder_impl ~pushy:true
+
+let box_correct = Blackbox.of_automaton ~port:"feederA" feeder_correct
+
+let box_pushy = Blackbox.of_automaton ~port:"feederA" feeder_pushy
+
+let label_of = Labels.hierarchical ~prefix:"feederA."
+
+let run_correct ?strategy () =
+  Loop.run ?strategy ~label_of ~context ~property:constraint_ ~legacy:box_correct ()
+
+let run_pushy ?strategy () =
+  Loop.run ?strategy ~label_of ~context ~property:constraint_ ~legacy:box_pushy ()

@@ -1,0 +1,37 @@
+(** A three-role coordination pattern: two feeder shuttles merging onto a
+    shared track section under an arbiter.
+
+    This exercises the approach with a {e composite} context — the legacy
+    component implements one role, and its context is the composition of the
+    two remaining roles ({!Mechaml_muml.Pattern.context_for}).  The arbiter
+    polls the feeders in turn; a feeder may request the section or pass, the
+    arbiter grants or denies, and the section is exclusive:
+    [AG ¬(feederA.merging ∧ feederB.merging)].
+
+    The faulty feeder implementation treats a denial as a grant — it merges
+    anyway and only backs off when polled again — which lets both feeders
+    occupy the section: a real constraint violation the loop finds by fast
+    conflict detection. *)
+
+val pattern : Mechaml_muml.Pattern.t
+(** MergeCoordination with roles [arbiter], [feederA], [feederB]. *)
+
+val constraint_ : Mechaml_logic.Ctl.t
+
+val context : Mechaml_ts.Automaton.t
+(** [Pattern.context_for pattern ~role:"feederA"]: arbiter ∥ feederB. *)
+
+val feeder_correct : Mechaml_ts.Automaton.t
+
+val feeder_pushy : Mechaml_ts.Automaton.t
+(** Merges on a denial. *)
+
+val box_correct : Mechaml_legacy.Blackbox.t
+
+val box_pushy : Mechaml_legacy.Blackbox.t
+
+val label_of : string -> string list
+
+val run_correct : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result
+
+val run_pushy : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result

@@ -1,0 +1,63 @@
+module Automaton = Mechaml_ts.Automaton
+module Blackbox = Mechaml_legacy.Blackbox
+module Loop = Mechaml_core.Loop
+
+let sender_to_receiver = [ "data0"; "data1" ]
+
+let receiver_to_sender = [ "ack0"; "ack1" ]
+
+let receiver =
+  let b =
+    Automaton.Builder.create ~name:"receiver" ~inputs:sender_to_receiver
+      ~outputs:receiver_to_sender ()
+  in
+  ignore (Automaton.Builder.add_state b ~props:[ "receiver.expect0" ] "expect0");
+  ignore (Automaton.Builder.add_state b ~props:[ "receiver.acking0" ] "acking0");
+  ignore (Automaton.Builder.add_state b ~props:[ "receiver.expect1" ] "expect1");
+  ignore (Automaton.Builder.add_state b ~props:[ "receiver.acking1" ] "acking1");
+  Automaton.Builder.add_trans b ~src:"expect0" ~inputs:[ "data0" ] ~dst:"acking0" ();
+  Automaton.Builder.add_trans b ~src:"acking0" ~outputs:[ "ack0" ] ~dst:"expect1" ();
+  Automaton.Builder.add_trans b ~src:"expect1" ~inputs:[ "data1" ] ~dst:"acking1" ();
+  Automaton.Builder.add_trans b ~src:"acking1" ~outputs:[ "ack1" ] ~dst:"expect0" ();
+  Automaton.Builder.set_initial b [ "expect0" ];
+  Automaton.Builder.build b
+
+let sender_correct =
+  let b =
+    Automaton.Builder.create ~name:"sender" ~inputs:receiver_to_sender
+      ~outputs:sender_to_receiver ()
+  in
+  Automaton.Builder.add_trans b ~src:"send0" ~outputs:[ "data0" ] ~dst:"wait0" ();
+  Automaton.Builder.add_trans b ~src:"wait0" ~inputs:[ "ack0" ] ~dst:"send1" ();
+  Automaton.Builder.add_trans b ~src:"send1" ~outputs:[ "data1" ] ~dst:"wait1" ();
+  Automaton.Builder.add_trans b ~src:"wait1" ~inputs:[ "ack1" ] ~dst:"send0" ();
+  Automaton.Builder.set_initial b [ "send0" ];
+  Automaton.Builder.build b
+
+(* The faulty implementation: streams frames and never consumes an
+   acknowledgement, so the synchronous link jams one period after the first
+   frame. *)
+let sender_fire_and_forget =
+  let b =
+    Automaton.Builder.create ~name:"sender" ~inputs:receiver_to_sender
+      ~outputs:sender_to_receiver ()
+  in
+  Automaton.Builder.add_trans b ~src:"send0" ~outputs:[ "data0" ] ~dst:"send1" ();
+  Automaton.Builder.add_trans b ~src:"send1" ~outputs:[ "data1" ] ~dst:"send0" ();
+  Automaton.Builder.set_initial b [ "send0" ];
+  Automaton.Builder.build b
+
+let box_correct = Blackbox.of_automaton ~port:"link" sender_correct
+
+let box_fire_and_forget = Blackbox.of_automaton ~port:"link" sender_fire_and_forget
+
+let label_of s = [ "sender." ^ s ]
+
+let property =
+  Mechaml_logic.Parser.parse_exn "AG (not (receiver.expect0 and sender.wait1))"
+
+let run_correct ?strategy () =
+  Loop.run ?strategy ~label_of ~context:receiver ~property ~legacy:box_correct ()
+
+let run_fire_and_forget ?strategy () =
+  Loop.run ?strategy ~label_of ~context:receiver ~property ~legacy:box_fire_and_forget ()

@@ -1,0 +1,40 @@
+(** A second integration scenario: a stop-and-wait (alternating-bit style)
+    sender integrated against a receiver context.
+
+    The receiver acknowledges each data frame with the matching
+    acknowledgement in the same period.  The correct sender alternates
+    [data0]/[data1] and waits for each acknowledgement; the faulty
+    "fire-and-forget" sender never consumes acknowledgements — integrating it
+    deadlocks the link, which the synthesis loop detects as a real deadlock
+    after a handful of iterations. *)
+
+val sender_to_receiver : string list
+(** [data0], [data1]. *)
+
+val receiver_to_sender : string list
+(** [ack0], [ack1]. *)
+
+val receiver : Mechaml_ts.Automaton.t
+(** The context [M_a^c]: strictly alternating receiver (labels
+    [receiver.expect0] / [receiver.expect1]). *)
+
+val sender_correct : Mechaml_ts.Automaton.t
+
+val sender_fire_and_forget : Mechaml_ts.Automaton.t
+
+val box_correct : Mechaml_legacy.Blackbox.t
+
+val box_fire_and_forget : Mechaml_legacy.Blackbox.t
+
+val label_of : string -> string list
+(** [sender.] hierarchical labels. *)
+
+val property : Mechaml_logic.Ctl.t
+(** [AG ¬(receiver.expect0 ∧ sender.wait1)]: the receiver cannot be waiting
+    for frame 0 while the sender still waits for the acknowledgement of
+    frame 1 — sequence-number agreement. *)
+
+val run_correct : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result
+
+val run_fire_and_forget :
+  ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result

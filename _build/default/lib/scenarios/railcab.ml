@@ -1,0 +1,119 @@
+module Automaton = Mechaml_ts.Automaton
+module Rtsc = Mechaml_rtsc.Rtsc
+module Role = Mechaml_muml.Role
+module Pattern = Mechaml_muml.Pattern
+module Ctl = Mechaml_logic.Ctl
+module Blackbox = Mechaml_legacy.Blackbox
+module Loop = Mechaml_core.Loop
+
+let rear_to_front = [ "convoyProposal"; "breakConvoyProposal" ]
+
+let front_to_rear =
+  [ "convoyProposalRejected"; "startConvoy"; "breakConvoyProposalRejected"; "breakConvoyAccepted" ]
+
+let front_rtsc () =
+  let c = Rtsc.create ~name:"frontRole" ~inputs:rear_to_front ~outputs:front_to_rear () in
+  Rtsc.add_state c ~initial:true "noConvoy";
+  Rtsc.add_state c ~parent:"noConvoy" ~initial:true ~idle:true "default";
+  Rtsc.add_state c ~parent:"noConvoy" "answer";
+  Rtsc.add_state c "convoy";
+  Rtsc.add_state c ~parent:"convoy" ~initial:true ~idle:true "default";
+  Rtsc.add_state c ~parent:"convoy" "breakAnswer";
+  Rtsc.add_transition c ~src:"noConvoy::default" ~trigger:[ "convoyProposal" ]
+    ~dst:"noConvoy::answer" ();
+  Rtsc.add_transition c ~src:"noConvoy::answer" ~effect:[ "convoyProposalRejected" ]
+    ~dst:"noConvoy::default" ();
+  Rtsc.add_transition c ~src:"noConvoy::answer" ~effect:[ "startConvoy" ] ~dst:"convoy::default" ();
+  Rtsc.add_transition c ~src:"convoy::default" ~trigger:[ "breakConvoyProposal" ]
+    ~dst:"convoy::breakAnswer" ();
+  Rtsc.add_transition c ~src:"convoy::breakAnswer" ~effect:[ "breakConvoyProposalRejected" ]
+    ~dst:"convoy::default" ();
+  Rtsc.add_transition c ~src:"convoy::breakAnswer" ~effect:[ "breakConvoyAccepted" ]
+    ~dst:"noConvoy::default" ();
+  c
+
+(* The rear-role specification mirrors the handshake from the proposing
+   side.  It deliberately has no idle steps: under the refinement of
+   Definition 4 an implementation may only refuse an interaction the role
+   itself can refuse, so every interaction the specification offers is
+   obligated behaviour. *)
+let rear_rtsc () =
+  let c = Rtsc.create ~name:"rearRole" ~inputs:front_to_rear ~outputs:rear_to_front () in
+  Rtsc.add_state c ~initial:true "noConvoy";
+  Rtsc.add_state c ~parent:"noConvoy" ~initial:true "default";
+  Rtsc.add_state c ~parent:"noConvoy" "wait";
+  Rtsc.add_state c "convoy";
+  Rtsc.add_state c ~parent:"convoy" ~initial:true "default";
+  Rtsc.add_state c ~parent:"convoy" "wait";
+  Rtsc.add_transition c ~src:"noConvoy::default" ~effect:[ "convoyProposal" ] ~dst:"noConvoy::wait"
+    ();
+  Rtsc.add_transition c ~src:"noConvoy::wait" ~trigger:[ "convoyProposalRejected" ]
+    ~dst:"noConvoy::default" ();
+  Rtsc.add_transition c ~src:"noConvoy::wait" ~trigger:[ "startConvoy" ] ~dst:"convoy::default" ();
+  Rtsc.add_transition c ~src:"convoy::default" ~effect:[ "breakConvoyProposal" ] ~dst:"convoy::wait"
+    ();
+  Rtsc.add_transition c ~src:"convoy::wait" ~trigger:[ "breakConvoyProposalRejected" ]
+    ~dst:"convoy::default" ();
+  Rtsc.add_transition c ~src:"convoy::wait" ~trigger:[ "breakConvoyAccepted" ]
+    ~dst:"noConvoy::default" ();
+  c
+
+let front_role = Role.make ~name:"frontRole" ~behavior:(front_rtsc ()) ()
+
+let rear_role = Role.make ~name:"rearRole" ~behavior:(rear_rtsc ()) ()
+
+let constraint_ =
+  Mechaml_logic.Parser.parse_exn "AG (not (rearRole.convoy and frontRole.noConvoy))"
+
+let pattern =
+  Pattern.make ~name:"DistanceCoordination" ~roles:[ front_role; rear_role ]
+    ~constraint_ ()
+
+let context = Role.automaton front_role
+
+(* The correct legacy implementation: a deterministic component whose probe
+   state names follow the rear-role hierarchy (as Listing 1.5 shows). *)
+let legacy_correct =
+  let b =
+    Automaton.Builder.create ~name:"shuttle2" ~inputs:front_to_rear ~outputs:rear_to_front ()
+  in
+  Automaton.Builder.add_trans b ~src:"noConvoy::default" ~outputs:[ "convoyProposal" ]
+    ~dst:"noConvoy::wait" ();
+  Automaton.Builder.add_trans b ~src:"noConvoy::wait" ~inputs:[ "convoyProposalRejected" ]
+    ~dst:"noConvoy::default" ();
+  Automaton.Builder.add_trans b ~src:"noConvoy::wait" ~inputs:[ "startConvoy" ]
+    ~dst:"convoy::default" ();
+  Automaton.Builder.add_trans b ~src:"convoy::default" ~outputs:[ "breakConvoyProposal" ]
+    ~dst:"convoy::wait" ();
+  Automaton.Builder.add_trans b ~src:"convoy::wait" ~inputs:[ "breakConvoyProposalRejected" ]
+    ~dst:"convoy::default" ();
+  Automaton.Builder.add_trans b ~src:"convoy::wait" ~inputs:[ "breakConvoyAccepted" ]
+    ~dst:"noConvoy::default" ();
+  Automaton.Builder.set_initial b [ "noConvoy::default" ];
+  Automaton.Builder.build b
+
+(* The paper's faulty component (Fig. 6): it assumes the convoy exists the
+   moment it proposes one, and processes the front role's rejection only
+   after having already reduced its distance. *)
+let legacy_conflicting =
+  let b =
+    Automaton.Builder.create ~name:"shuttle2" ~inputs:front_to_rear ~outputs:rear_to_front ()
+  in
+  Automaton.Builder.add_trans b ~src:"noConvoy" ~outputs:[ "convoyProposal" ] ~dst:"convoy" ();
+  Automaton.Builder.add_trans b ~src:"convoy" ~inputs:[ "convoyProposalRejected" ] ~dst:"noConvoy"
+    ();
+  Automaton.Builder.add_trans b ~src:"convoy" ~inputs:[ "startConvoy" ] ~dst:"convoy" ();
+  Automaton.Builder.set_initial b [ "noConvoy" ];
+  Automaton.Builder.build b
+
+let box_correct = Blackbox.of_automaton ~port:"rearRole" legacy_correct
+
+let box_conflicting = Blackbox.of_automaton ~port:"rearRole" legacy_conflicting
+
+let label_of = Labels.hierarchical ~prefix:"rearRole."
+
+let run_correct ?strategy () =
+  Loop.run ?strategy ~label_of ~context ~property:constraint_ ~legacy:box_correct ()
+
+let run_conflicting ?strategy () =
+  Loop.run ?strategy ~label_of ~context ~property:constraint_ ~legacy:box_conflicting ()

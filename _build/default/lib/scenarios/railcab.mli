@@ -1,0 +1,70 @@
+(** The paper's running example: the RailCab DistanceCoordination pattern
+    (Fig. 1, Fig. 5) and the two legacy rear-role implementations the paper's
+    walkthrough exercises — a conflicting one (Fig. 6 / Listing 1.4) and a
+    correct one (Fig. 7 / Listing 1.5).
+
+    Shuttles coordinate so that convoys only form deliberately: the front
+    role may only reduce its braking force once a convoy is established, so
+    the pattern constraint forbids the rear shuttle to consider itself in a
+    convoy while the front shuttle does not
+    ([AG ¬(rearRole.convoy ∧ frontRole.noConvoy)]). *)
+
+(** {1 Signals} *)
+
+val rear_to_front : string list
+(** [convoyProposal], [breakConvoyProposal]. *)
+
+val front_to_rear : string list
+(** [convoyProposalRejected], [startConvoy], [breakConvoyProposalRejected],
+    [breakConvoyAccepted]. *)
+
+(** {1 Pattern model} *)
+
+val front_role : Mechaml_muml.Role.t
+(** The frontRole real-time statechart of Fig. 5 (hierarchical: [answer] is a
+    substate of [noConvoy], [breakAnswer] of [convoy]). *)
+
+val rear_role : Mechaml_muml.Role.t
+(** The rearRole specification statechart the legacy component should
+    refine. *)
+
+val constraint_ : Mechaml_logic.Ctl.t
+(** The pattern constraint [AG ¬(rearRole.convoy ∧ frontRole.noConvoy)]. *)
+
+val pattern : Mechaml_muml.Pattern.t
+(** DistanceCoordination: both roles plus the constraint (direct wireless
+    link modelled as the synchronous connection; a delayed/lossy connector
+    variant is available through {!Mechaml_muml.Connector}). *)
+
+val context : Mechaml_ts.Automaton.t
+(** [M_a^c]: the front role automaton — the context the legacy rear-role
+    component is integrated against. *)
+
+(** {1 Legacy components} *)
+
+val legacy_correct : Mechaml_ts.Automaton.t
+(** A correct rear-role implementation: proposes, awaits the reply, enters
+    the convoy only on [startConvoy]; proposes breaking and leaves only on
+    [breakConvoyAccepted] (superset of Fig. 7, with the break handshake). *)
+
+val legacy_conflicting : Mechaml_ts.Automaton.t
+(** The paper's faulty implementation: assumes the convoy is established as
+    soon as it proposed it (Fig. 6) — violating the pattern constraint while
+    the front role still deliberates. *)
+
+val box_correct : Mechaml_legacy.Blackbox.t
+
+val box_conflicting : Mechaml_legacy.Blackbox.t
+
+val label_of : string -> string list
+(** Labels for learned rear states: hierarchical, prefixed with
+    [rearRole.]. *)
+
+(** {1 Running the paper's walkthrough} *)
+
+val run_correct : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result
+(** The Fig. 7 / Listing 1.5 walkthrough: iterates to [Proved]. *)
+
+val run_conflicting : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result
+(** The Fig. 6 / Listing 1.4 walkthrough: terminates with a real property
+    violation found by fast conflict detection. *)

@@ -1,0 +1,119 @@
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Rtsc = Mechaml_rtsc.Rtsc
+module Connector = Mechaml_muml.Connector
+module Blackbox = Mechaml_legacy.Blackbox
+module Loop = Mechaml_core.Loop
+
+let rear_tx = [ "convoyProposal_tx"; "breakConvoyProposal_tx" ]
+
+let rear_rx =
+  [
+    "convoyProposalRejected_rx";
+    "startConvoy_rx";
+    "breakConvoyProposalRejected_rx";
+    "breakConvoyAccepted_rx";
+  ]
+
+let legacy_remote =
+  let b = Automaton.Builder.create ~name:"shuttle2" ~inputs:rear_rx ~outputs:rear_tx () in
+  Automaton.Builder.add_trans b ~src:"noConvoy::default" ~outputs:[ "convoyProposal_tx" ]
+    ~dst:"noConvoy::wait" ();
+  (* replies cross a channel: idle deterministically while they are in flight *)
+  Automaton.Builder.add_trans b ~src:"noConvoy::wait" ~dst:"noConvoy::wait" ();
+  Automaton.Builder.add_trans b ~src:"noConvoy::wait" ~inputs:[ "convoyProposalRejected_rx" ]
+    ~dst:"noConvoy::default" ();
+  Automaton.Builder.add_trans b ~src:"noConvoy::wait" ~inputs:[ "startConvoy_rx" ]
+    ~dst:"convoy::default" ();
+  Automaton.Builder.add_trans b ~src:"convoy::default" ~outputs:[ "breakConvoyProposal_tx" ]
+    ~dst:"convoy::wait" ();
+  Automaton.Builder.add_trans b ~src:"convoy::wait" ~dst:"convoy::wait" ();
+  Automaton.Builder.add_trans b ~src:"convoy::wait"
+    ~inputs:[ "breakConvoyProposalRejected_rx" ] ~dst:"convoy::default" ();
+  Automaton.Builder.add_trans b ~src:"convoy::wait" ~inputs:[ "breakConvoyAccepted_rx" ]
+    ~dst:"noConvoy::default" ();
+  Automaton.Builder.set_initial b [ "noConvoy::default" ];
+  Automaton.Builder.build b
+
+let box_remote = Blackbox.of_automaton ~port:"rearRole" legacy_remote
+
+(* The front role for connector-mediated operation.  [grace] controls
+   whether accepting a convoy break passes through the [convoy::leaving]
+   state that covers the in-flight acknowledgement. *)
+let front ~grace =
+  let c =
+    Rtsc.create ~name:"frontRole"
+      ~inputs:[ "convoyProposal"; "breakConvoyProposal" ]
+      ~outputs:
+        [
+          "convoyProposalRejected";
+          "startConvoy";
+          "breakConvoyProposalRejected";
+          "breakConvoyAccepted";
+        ]
+      ()
+  in
+  Rtsc.add_state c ~initial:true "noConvoy";
+  Rtsc.add_state c ~parent:"noConvoy" ~initial:true ~idle:true "default";
+  Rtsc.add_state c ~parent:"noConvoy" "answer";
+  Rtsc.add_state c "convoy";
+  Rtsc.add_state c ~parent:"convoy" ~initial:true ~idle:true "default";
+  Rtsc.add_state c ~parent:"convoy" "breakAnswer";
+  if grace then Rtsc.add_state c ~parent:"convoy" "leaving";
+  Rtsc.add_transition c ~src:"noConvoy::default" ~trigger:[ "convoyProposal" ]
+    ~dst:"noConvoy::answer" ();
+  Rtsc.add_transition c ~src:"noConvoy::answer" ~effect:[ "convoyProposalRejected" ]
+    ~dst:"noConvoy::default" ();
+  Rtsc.add_transition c ~src:"noConvoy::answer" ~effect:[ "startConvoy" ] ~dst:"convoy::default"
+    ();
+  Rtsc.add_transition c ~src:"convoy::default" ~trigger:[ "breakConvoyProposal" ]
+    ~dst:"convoy::breakAnswer" ();
+  Rtsc.add_transition c ~src:"convoy::breakAnswer" ~effect:[ "breakConvoyProposalRejected" ]
+    ~dst:"convoy::default" ();
+  if grace then begin
+    Rtsc.add_transition c ~src:"convoy::breakAnswer" ~effect:[ "breakConvoyAccepted" ]
+      ~dst:"convoy::leaving" ();
+    Rtsc.add_transition c ~src:"convoy::leaving" ~dst:"noConvoy::default" ()
+  end
+  else
+    Rtsc.add_transition c ~src:"convoy::breakAnswer" ~effect:[ "breakConvoyAccepted" ]
+      ~dst:"noConvoy::default" ();
+  Rtsc.flatten ~label_prefix:"frontRole." c
+
+let uplink ~lossy =
+  Connector.channel ~name:"uplink" ~lossy
+    ~routes:
+      [
+        ("convoyProposal_tx", "convoyProposal");
+        ("breakConvoyProposal_tx", "breakConvoyProposal");
+      ]
+    ()
+
+let downlink ~lossy =
+  Connector.channel ~name:"downlink" ~lossy
+    ~routes:
+      [
+        ("convoyProposalRejected", "convoyProposalRejected_rx");
+        ("startConvoy", "startConvoy_rx");
+        ("breakConvoyProposalRejected", "breakConvoyProposalRejected_rx");
+        ("breakConvoyAccepted", "breakConvoyAccepted_rx");
+      ]
+    ()
+
+let context ~lossy =
+  Compose.parallel_many [ front ~grace:true; uplink ~lossy; downlink ~lossy ]
+
+let front_hasty_context =
+  Compose.parallel_many [ front ~grace:false; uplink ~lossy:false; downlink ~lossy:false ]
+
+let constraint_ =
+  Mechaml_logic.Parser.parse_exn "AG (not (rearRole.convoy and frontRole.noConvoy))"
+
+let response_property =
+  Mechaml_logic.Parser.parse_exn
+    "AG ((not rearRole.noConvoy::wait) or AF[1,6] (not rearRole.noConvoy::wait))"
+
+let label_of = Labels.hierarchical ~prefix:"rearRole."
+
+let run ?strategy ~lossy ~property () =
+  Loop.run ?strategy ~label_of ~context:(context ~lossy) ~property ~legacy:box_remote ()

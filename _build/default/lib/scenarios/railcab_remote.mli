@@ -1,0 +1,52 @@
+(** The DistanceCoordination pattern over an explicit wireless connector
+    (Section "Modeling": the connector statechart "models channel delay and
+    reliability, which are of crucial importance for real-time systems").
+
+    Unlike {!Railcab}, where the roles communicate synchronously, here every
+    message crosses a delay-1 channel, so the rear shuttle learns about the
+    front shuttle's decisions one period late.  Two consequences the loop
+    exposes:
+
+    - the front role needs a [convoy::leaving] grace state covering the
+      period its [breakConvoyAccepted] is still in flight — without it the
+      pattern constraint is briefly violated while the rear still believes
+      in the convoy (the variant {!front_hasty_context} demonstrates the
+      resulting {e real} violation);
+    - over a {e lossy} channel the handshake still never deadlocks (both
+      sides idle), but the bounded-response obligation
+      {!response_property} fails for real: a lost proposal leaves the rear
+      waiting beyond any deadline. *)
+
+val legacy_remote : Mechaml_ts.Automaton.t
+(** The rear-role implementation for connector-mediated operation: as
+    {!Railcab.legacy_correct} but idling while replies are in flight.
+    Signals are suffixed [_tx]/[_rx] to route through the channels. *)
+
+val box_remote : Mechaml_legacy.Blackbox.t
+
+val context : lossy:bool -> Mechaml_ts.Automaton.t
+(** frontRole ∥ uplink channel ∥ downlink channel (delay 1 each).  The front
+    role includes the [convoy::leaving] grace state. *)
+
+val front_hasty_context : Mechaml_ts.Automaton.t
+(** The same reliable context but with a front role that leaves [convoy]
+    the moment it sends [breakConvoyAccepted] — the delayed message makes
+    the pattern constraint violable. *)
+
+val constraint_ : Mechaml_logic.Ctl.t
+(** [AG ¬(rearRole.convoy ∧ frontRole.noConvoy)], as in the synchronous
+    pattern. *)
+
+val response_property : Mechaml_logic.Ctl.t
+(** [AG (rearRole.noConvoy::wait → AF\[1,6\] ¬rearRole.noConvoy::wait)]: a
+    proposal is answered within six time units — holds over the reliable
+    channel, fails for real over the lossy one. *)
+
+val label_of : string -> string list
+
+val run :
+  ?strategy:Mechaml_mc.Witness.strategy ->
+  lossy:bool ->
+  property:Mechaml_logic.Ctl.t ->
+  unit ->
+  Mechaml_core.Loop.result

@@ -1,0 +1,50 @@
+module Automaton = Mechaml_ts.Automaton
+module Rtsc = Mechaml_rtsc.Rtsc
+module Blackbox = Mechaml_legacy.Blackbox
+module Loop = Mechaml_core.Loop
+
+let watchdog =
+  let c = Rtsc.create ~name:"watchdog" ~inputs:[ "heartbeat" ] ~outputs:[] () in
+  Rtsc.add_clock c "x";
+  Rtsc.add_state c ~initial:true ~idle:true ~invariant:[ ("x", Rtsc.Le, 3) ] "waiting";
+  Rtsc.add_state c "justFed";
+  Rtsc.add_state c ~idle:true "starved";
+  Rtsc.add_transition c ~src:"waiting" ~trigger:[ "heartbeat" ] ~resets:[ "x" ] ~dst:"justFed" ();
+  Rtsc.add_transition c ~src:"justFed" ~dst:"waiting" ();
+  (* the deadline passes: the invariant forbids further dwelling, and without
+     a heartbeat the only remaining move is the timeout *)
+  Rtsc.add_transition c ~src:"waiting" ~guard:[ ("x", Rtsc.Ge, 3) ] ~dst:"starved" ();
+  Rtsc.flatten ~label_prefix:"watchdog." c
+
+let property = Mechaml_logic.Parser.parse_exn "AG (not watchdog.starved)"
+
+let deadline_property =
+  Mechaml_logic.Parser.parse_exn "AG ((not watchdog.waiting) or AF[1,3] watchdog.justFed)"
+
+(* A controller beating every [period] time units. *)
+let controller ~name ~period =
+  let b = Automaton.Builder.create ~name ~inputs:[] ~outputs:[ "heartbeat" ] () in
+  let state i = Printf.sprintf "tick%d" i in
+  for i = 0 to period - 2 do
+    Automaton.Builder.add_trans b ~src:(state i) ~dst:(state (i + 1)) ()
+  done;
+  Automaton.Builder.add_trans b ~src:(state (period - 1)) ~outputs:[ "heartbeat" ]
+    ~dst:(state 0) ();
+  Automaton.Builder.set_initial b [ state 0 ];
+  Automaton.Builder.build b
+
+let controller_prompt = controller ~name:"controller" ~period:2
+
+let controller_sluggish = controller ~name:"controller" ~period:5
+
+let box_prompt = Blackbox.of_automaton ~port:"heartbeatPort" controller_prompt
+
+let box_sluggish = Blackbox.of_automaton ~port:"heartbeatPort" controller_sluggish
+
+let label_of = Labels.hierarchical ~prefix:"controller."
+
+let run_prompt ?strategy () =
+  Loop.run ?strategy ~label_of ~context:watchdog ~property ~legacy:box_prompt ()
+
+let run_sluggish ?strategy () =
+  Loop.run ?strategy ~label_of ~context:watchdog ~property ~legacy:box_sluggish ()

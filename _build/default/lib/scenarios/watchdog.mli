@@ -1,0 +1,40 @@
+(** A timed integration scenario: a watchdog context with a discrete clock
+    supervises a legacy controller that must emit a heartbeat at least every
+    three time units.
+
+    This exercises the real-time half of the model through the whole loop:
+    the context is a real-time statechart whose invariant ([x ≤ 3]) bounds
+    dwelling, timing is learned implicitly (one transition = one time unit,
+    Definition 1), and a too-slow component surfaces as a {e real} violation
+    of [AG ¬watchdog.starved] — the paper's class of maximal-delay
+    obligations (Section 2.4). *)
+
+val watchdog : Mechaml_ts.Automaton.t
+(** The flattened context: waits with invariant [x ≤ 3], resets the clock on
+    [heartbeat], and escapes to the [starved] state when the deadline
+    passes. *)
+
+val property : Mechaml_logic.Ctl.t
+(** [AG ¬watchdog.starved]. *)
+
+val deadline_property : Mechaml_logic.Ctl.t
+(** The equivalent CCTL maximal-delay obligation
+    [AG(¬watchdog.waiting ∨ AF\[1,3\] watchdog.justFed)] — checkable on the
+    exact composition (used by tests/benches to exercise bounded
+    operators). *)
+
+val controller_prompt : Mechaml_ts.Automaton.t
+(** Beats every second time unit — meets the deadline. *)
+
+val controller_sluggish : Mechaml_ts.Automaton.t
+(** Beats every fourth time unit — misses the deadline. *)
+
+val box_prompt : Mechaml_legacy.Blackbox.t
+
+val box_sluggish : Mechaml_legacy.Blackbox.t
+
+val label_of : string -> string list
+
+val run_prompt : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result
+
+val run_sluggish : ?strategy:Mechaml_mc.Witness.strategy -> unit -> Mechaml_core.Loop.result

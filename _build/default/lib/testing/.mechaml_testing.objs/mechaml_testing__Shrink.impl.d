@@ -1,0 +1,1 @@
+lib/testing/shrink.ml: List Testcase

@@ -1,0 +1,1 @@
+lib/testing/shrink.mli: Mechaml_legacy Testcase

@@ -1,0 +1,1 @@
+lib/testing/testcase.ml: Format List Mechaml_legacy Mechaml_ts Stdlib String

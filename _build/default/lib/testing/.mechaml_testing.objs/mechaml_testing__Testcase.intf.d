@@ -1,0 +1,1 @@
+lib/testing/testcase.mli: Format Mechaml_legacy Mechaml_ts

@@ -1,0 +1,54 @@
+type report = { testcase : Testcase.t; executions : int; removed : int }
+
+let drop_range l ~from ~len =
+  List.filteri (fun i _ -> i < from || i >= from + len) l
+
+let minimize ~box ~keep (t : Testcase.t) =
+  let executions = ref 0 in
+  let try_keep candidate =
+    incr executions;
+    keep (Testcase.execute ~box candidate)
+  in
+  if not (try_keep t) then
+    invalid_arg "Shrink.minimize: the predicate does not hold for the original test";
+  let shrink_pass chunk current =
+    (* try dropping [chunk]-sized windows left to right *)
+    let rec go from current =
+      if from >= List.length current.Testcase.inputs then current
+      else
+        let candidate =
+          {
+            current with
+            Testcase.inputs = drop_range current.Testcase.inputs ~from ~len:chunk;
+            expected_outputs = drop_range current.Testcase.expected_outputs ~from ~len:chunk;
+          }
+        in
+        if List.length candidate.Testcase.inputs < List.length current.Testcase.inputs
+           && try_keep candidate
+        then go from candidate
+        else go (from + 1) current
+    in
+    go 0 current
+  in
+  let rec rounds chunk current =
+    if chunk < 1 then current
+    else
+      let current = shrink_pass chunk current in
+      rounds (chunk / 2) current
+  in
+  (* iterate single-period passes to a fixpoint: 1-minimality *)
+  let rec settle current =
+    let next = shrink_pass 1 current in
+    if List.length next.Testcase.inputs = List.length current.Testcase.inputs then current
+    else settle next
+  in
+  let n = List.length t.Testcase.inputs in
+  (* chunk sizes are powers of two so that every window width down to 1 is
+     attempted (plain halving from n/2 can skip widths) *)
+  let rec pow2 p = if p * 2 <= max 1 (n / 2) then pow2 (p * 2) else p in
+  let result = settle (rounds (pow2 1) t) in
+  {
+    testcase = { result with Testcase.name = t.Testcase.name ^ " (minimized)" };
+    executions = !executions;
+    removed = n - List.length result.Testcase.inputs;
+  }

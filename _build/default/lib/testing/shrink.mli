@@ -1,0 +1,25 @@
+(** Test-input minimisation.
+
+    Counterexample traces grow with the abstraction, not with the essence of
+    the fault; before archiving a failing test (or handing it to a human),
+    shrink it to a minimal input sequence that still exhibits the interesting
+    outcome.  Delta-debugging style: repeatedly drop periods (largest chunks
+    first) while the caller's predicate keeps holding on re-execution under
+    deterministic replay. *)
+
+type report = {
+  testcase : Testcase.t;  (** the minimised test *)
+  executions : int;       (** component runs spent shrinking *)
+  removed : int;          (** periods dropped from the original *)
+}
+
+val minimize :
+  box:Mechaml_legacy.Blackbox.t ->
+  keep:(Testcase.verdict -> bool) ->
+  Testcase.t ->
+  report
+(** [keep] must hold for the original test (checked; raises
+    [Invalid_argument] otherwise) and judges every candidate: a period is
+    dropped — from both the inputs and the expected outputs, which stay in
+    lockstep — only when the shrunk test still satisfies it.  The result is
+    1-minimal: dropping any single remaining period breaks [keep]. *)

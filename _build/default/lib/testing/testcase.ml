@@ -1,0 +1,65 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Run = Mechaml_ts.Run
+module Observation = Mechaml_legacy.Observation
+
+type t = {
+  name : string;
+  inputs : string list list;
+  expected_outputs : string list list;
+}
+
+let of_projected_run ?(name = "counterexample") (side : Automaton.t) run =
+  {
+    name;
+    inputs =
+      List.map (fun (a, _) -> Universe.names_of_set side.Automaton.inputs a) (Run.trace run);
+    expected_outputs =
+      List.map (fun (_, b) -> Universe.names_of_set side.Automaton.outputs b) (Run.trace run);
+  }
+
+type classification =
+  | Reproduced
+  | Diverged of { period : int; expected : string list; observed : string list }
+  | Blocked of { period : int; refused : string list }
+
+type verdict = { classification : classification; observation : Observation.t }
+
+let execute ~box t =
+  let observation = Observation.observe ~box ~inputs:t.inputs in
+  let rec compare period (steps : Observation.step list) expected =
+    match (steps, expected) with
+    | [], [] -> (
+      match observation.Observation.refused with
+      | Some (_, refused) -> Blocked { period; refused }
+      | None -> Reproduced)
+    | [], _ :: _ -> (
+      (* The run stopped early: it must have blocked. *)
+      match observation.Observation.refused with
+      | Some (_, refused) -> Blocked { period; refused }
+      | None -> Blocked { period; refused = [] })
+    | step :: steps', exp :: expected' ->
+      let obs = List.sort_uniq compare_strings step.Observation.outputs in
+      let exp = List.sort_uniq compare_strings exp in
+      if obs = exp then compare (period + 1) steps' expected'
+      else Diverged { period; expected = exp; observed = obs }
+    | _ :: _, [] -> Reproduced
+  and compare_strings (a : string) b = Stdlib.compare a b in
+  { classification = compare 1 observation.Observation.steps t.expected_outputs; observation }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>test %s (%d periods)@," t.name (List.length t.inputs);
+  List.iteri
+    (fun i (ins, outs) ->
+      Format.fprintf ppf "  %d: feed {%s}, expect {%s}@," (i + 1) (String.concat "," ins)
+        (String.concat "," outs))
+    (List.combine t.inputs t.expected_outputs);
+  Format.fprintf ppf "@]"
+
+let pp_classification ppf = function
+  | Reproduced -> Format.pp_print_string ppf "reproduced"
+  | Diverged { period; expected; observed } ->
+    Format.fprintf ppf "diverged at period %d: expected {%s}, observed {%s}" period
+      (String.concat "," expected) (String.concat "," observed)
+  | Blocked { period; refused } ->
+    Format.fprintf ppf "blocked at period %d on {%s}" period (String.concat "," refused)

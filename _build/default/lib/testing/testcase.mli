@@ -1,0 +1,38 @@
+(** Test cases derived from model-checking counterexamples (Section 5).
+
+    A counterexample trace of the composed system, restricted to the legacy
+    component, yields the input vector to drive the component with and the
+    output vector the abstraction predicted.  Executing the test classifies
+    the run: fully reproduced (the counterexample is real), diverged (the
+    component responded differently — new behaviour to learn), or blocked
+    (the component refused an input — a deadlock run to learn). *)
+
+type t = {
+  name : string;
+  inputs : string list list;            (** input signal set per period *)
+  expected_outputs : string list list;  (** the abstraction's prediction *)
+}
+
+val of_projected_run :
+  ?name:string -> Mechaml_ts.Automaton.t -> Mechaml_ts.Run.t -> t
+(** [of_projected_run legacy_side run] decodes a run already projected onto
+    the legacy side (e.g. by {!Mechaml_ts.Compose.project_right}) using that
+    automaton's signal universes. *)
+
+type classification =
+  | Reproduced
+  | Diverged of { period : int; expected : string list; observed : string list }
+  | Blocked of { period : int; refused : string list }
+
+type verdict = {
+  classification : classification;
+  observation : Mechaml_legacy.Observation.t;
+}
+
+val execute : box:Mechaml_legacy.Blackbox.t -> t -> verdict
+(** Run the test under deterministic replay and classify the outcome.
+    Periods are numbered from 1, as in the paper's [Timing] events. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_classification : Format.formatter -> classification -> unit

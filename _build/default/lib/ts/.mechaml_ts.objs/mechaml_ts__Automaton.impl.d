@@ -1,0 +1,1 @@
+lib/ts/automaton.ml: Array Format Hashtbl List Mechaml_util Printf String Universe

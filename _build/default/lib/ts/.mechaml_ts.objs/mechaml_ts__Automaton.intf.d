@@ -1,0 +1,1 @@
+lib/ts/automaton.mli: Format Mechaml_util Universe

@@ -1,0 +1,1 @@
+lib/ts/compose.ml: Array Automaton Hashtbl List Mechaml_util Printf Queue Run Universe

@@ -1,0 +1,1 @@
+lib/ts/compose.mli: Automaton Run

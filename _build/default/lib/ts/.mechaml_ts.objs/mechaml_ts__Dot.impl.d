@@ -1,0 +1,1 @@
+lib/ts/dot.ml: Automaton Buffer Fun Hashtbl List Mechaml_util Printf String Universe

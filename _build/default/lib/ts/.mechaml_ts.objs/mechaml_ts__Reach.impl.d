@@ -1,0 +1,1 @@
+lib/ts/reach.ml: Array Automaton List Queue Run Universe

@@ -1,0 +1,1 @@
+lib/ts/reach.mli: Automaton Run

@@ -1,0 +1,1 @@
+lib/ts/refinement.ml: Array Automaton Hashtbl List Mechaml_util Option Queue Run Simulation Universe

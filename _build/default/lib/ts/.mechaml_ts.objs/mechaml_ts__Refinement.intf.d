@@ -1,0 +1,1 @@
+lib/ts/refinement.mli: Automaton Run Simulation

@@ -1,0 +1,1 @@
+lib/ts/run.ml: Automaton Format List Mechaml_util Printf

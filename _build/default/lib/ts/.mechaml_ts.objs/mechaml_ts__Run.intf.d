@@ -1,0 +1,1 @@
+lib/ts/run.mli: Automaton Format Mechaml_util

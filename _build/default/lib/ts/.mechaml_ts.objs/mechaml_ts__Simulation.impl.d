@@ -1,0 +1,1 @@
+lib/ts/simulation.ml: Array Automaton List Mechaml_util Universe

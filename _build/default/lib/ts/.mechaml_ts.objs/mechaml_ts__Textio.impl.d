@@ -1,0 +1,1 @@
+lib/ts/textio.ml: Automaton Buffer Filename Fun List Printf String Universe

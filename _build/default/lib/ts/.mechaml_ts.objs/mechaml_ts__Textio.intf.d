@@ -1,0 +1,1 @@
+lib/ts/textio.mli: Automaton

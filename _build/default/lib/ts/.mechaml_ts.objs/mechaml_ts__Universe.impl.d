@@ -1,0 +1,1 @@
+lib/ts/universe.ml: Array Hashtbl List Mechaml_util Printf

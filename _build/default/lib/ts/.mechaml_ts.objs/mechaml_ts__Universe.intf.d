@@ -1,0 +1,1 @@
+lib/ts/universe.mli: Format Mechaml_util

@@ -1,0 +1,258 @@
+module Bitset = Mechaml_util.Bitset
+
+type state = int
+
+type trans = { input : Bitset.t; output : Bitset.t; dst : state }
+
+type t = {
+  name : string;
+  inputs : Universe.t;
+  outputs : Universe.t;
+  props : Universe.t;
+  state_names : string array;
+  labels : Bitset.t array;
+  trans : trans list array;
+  initial : state list;
+}
+
+let num_states m = Array.length m.state_names
+
+let num_transitions m = Array.fold_left (fun acc l -> acc + List.length l) 0 m.trans
+
+let state_name m s =
+  if s < 0 || s >= num_states m then
+    invalid_arg (Printf.sprintf "Automaton.state_name: state %d out of range" s);
+  m.state_names.(s)
+
+let state_index_opt m name =
+  let n = num_states m in
+  let rec go i = if i >= n then None else if m.state_names.(i) = name then Some i else go (i + 1) in
+  go 0
+
+let state_index m name =
+  match state_index_opt m name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Automaton.state_index: unknown state %S in %s" name m.name)
+
+let transitions_from m s = m.trans.(s)
+
+let label m s = m.labels.(s)
+
+let has_prop m s p =
+  match Universe.index_opt m.props p with
+  | Some i -> Bitset.mem i m.labels.(s)
+  | None -> false
+
+let is_blocking m s = m.trans.(s) = []
+
+let accepts m s a b =
+  List.exists (fun t -> Bitset.equal t.input a && Bitset.equal t.output b) m.trans.(s)
+
+let successors m s a b =
+  List.filter_map
+    (fun t -> if Bitset.equal t.input a && Bitset.equal t.output b then Some t.dst else None)
+    m.trans.(s)
+
+let deterministic m =
+  let ok = ref true in
+  Array.iter
+    (fun ts ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          let key = (Bitset.to_int t.input, Bitset.to_int t.output) in
+          if Hashtbl.mem seen key then ok := false else Hashtbl.add seen key ())
+        ts)
+    m.trans;
+  !ok
+
+let input_deterministic m =
+  let ok = ref true in
+  Array.iter
+    (fun ts ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          let key = Bitset.to_int t.input in
+          if Hashtbl.mem seen key then ok := false else Hashtbl.add seen key ())
+        ts)
+    m.trans;
+  !ok
+
+let composable a b = Universe.disjoint a.inputs b.inputs && Universe.disjoint a.outputs b.outputs
+
+let orthogonal a b =
+  composable a b && Universe.disjoint a.inputs b.outputs && Universe.disjoint a.outputs b.inputs
+
+let rename m name = { m with name }
+
+let relabel m ~props f =
+  { m with props; labels = Array.init (num_states m) f }
+
+let dedup_trans ts =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      let key = (Bitset.to_int t.input, Bitset.to_int t.output, t.dst) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ts
+
+let restrict m ~inputs ~outputs ~props =
+  let project_trans t =
+    {
+      input = Universe.restrict m.inputs ~to_:inputs t.input;
+      output = Universe.restrict m.outputs ~to_:outputs t.output;
+      dst = t.dst;
+    }
+  in
+  {
+    m with
+    inputs;
+    outputs;
+    props;
+    labels = Array.map (fun l -> Universe.restrict m.props ~to_:props l) m.labels;
+    trans = Array.map (fun ts -> dedup_trans (List.map project_trans ts)) m.trans;
+  }
+
+let map_states m ~f =
+  { m with state_names = Array.init (num_states m) f }
+
+let map_signals m ~inputs ~outputs =
+  {
+    m with
+    inputs = Universe.of_list (List.map inputs (Universe.to_list m.inputs));
+    outputs = Universe.of_list (List.map outputs (Universe.to_list m.outputs));
+  }
+
+module Builder = struct
+  (* the enclosing automaton type is referenced via the result of [build] *)
+
+  type t = {
+    b_name : string;
+    b_inputs : Universe.t;
+    b_outputs : Universe.t;
+    mutable b_props : string list; (* reverse order of first mention *)
+    names : (string, int) Hashtbl.t;
+    mutable rev_states : string list;
+    mutable n : int;
+    state_props : (int, string list ref) Hashtbl.t;
+    mutable rev_trans : (int * string list * string list * int) list;
+    mutable initial : string list;
+    declared_props : string list;
+  }
+
+  let create ~name ~inputs ~outputs ?(props = []) () =
+    {
+      b_name = name;
+      b_inputs = Universe.of_list inputs;
+      b_outputs = Universe.of_list outputs;
+      b_props = List.rev props;
+      names = Hashtbl.create 16;
+      rev_states = [];
+      n = 0;
+      state_props = Hashtbl.create 16;
+      rev_trans = [];
+      initial = [];
+      declared_props = props;
+    }
+
+  let intern_state b name =
+    match Hashtbl.find_opt b.names name with
+    | Some i -> i
+    | None ->
+      let i = b.n in
+      Hashtbl.add b.names name i;
+      b.rev_states <- name :: b.rev_states;
+      b.n <- b.n + 1;
+      Hashtbl.add b.state_props i (ref []);
+      i
+
+  let note_prop b p = if not (List.mem p b.b_props) then b.b_props <- p :: b.b_props
+
+  let add_state b ?(props = []) name =
+    let i = intern_state b name in
+    let cell = Hashtbl.find b.state_props i in
+    List.iter
+      (fun p ->
+        note_prop b p;
+        if not (List.mem p !cell) then cell := p :: !cell)
+      props;
+    i
+
+  let add_trans b ~src ?(inputs = []) ?(outputs = []) ~dst () =
+    let s = intern_state b src in
+    let d = intern_state b dst in
+    (* Validate signal names eagerly so mistakes surface at model-building
+       time rather than during composition. *)
+    List.iter (fun i -> ignore (Universe.index b.b_inputs i)) inputs;
+    List.iter (fun o -> ignore (Universe.index b.b_outputs o)) outputs;
+    b.rev_trans <- (s, inputs, outputs, d) :: b.rev_trans
+
+  let set_initial b names = b.initial <- names
+
+  let build b =
+    if b.initial = [] then
+      invalid_arg (Printf.sprintf "Automaton.Builder.build: %s has no initial state" b.b_name);
+    let props = Universe.of_list (List.rev b.b_props) in
+    let state_names = Array.of_list (List.rev b.rev_states) in
+    let labels =
+      Array.init b.n (fun i ->
+          Universe.set_of_names props !(Hashtbl.find b.state_props i))
+    in
+    let trans = Array.make (max b.n 1) [] in
+    List.iter
+      (fun (s, inputs, outputs, d) ->
+        let t =
+          {
+            input = Universe.set_of_names b.b_inputs inputs;
+            output = Universe.set_of_names b.b_outputs outputs;
+            dst = d;
+          }
+        in
+        trans.(s) <- t :: trans.(s))
+      b.rev_trans;
+    let initial =
+      List.map
+        (fun n ->
+          match Hashtbl.find_opt b.names n with
+          | Some i -> i
+          | None -> invalid_arg (Printf.sprintf "Builder.build: unknown initial state %S" n))
+        b.initial
+    in
+    {
+      name = b.b_name;
+      inputs = b.b_inputs;
+      outputs = b.b_outputs;
+      props;
+      state_names;
+      labels;
+      trans = (if b.n = 0 then [||] else trans);
+      initial;
+    }
+end
+
+let pp_io m ppf (a, b) =
+  Format.fprintf ppf "%a/%a" (Universe.pp_set m.inputs) a (Universe.pp_set m.outputs) b
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>automaton %s@," m.name;
+  Format.fprintf ppf "  inputs:  %s@," (String.concat ", " (Universe.to_list m.inputs));
+  Format.fprintf ppf "  outputs: %s@," (String.concat ", " (Universe.to_list m.outputs));
+  Format.fprintf ppf "  initial: %s@,"
+    (String.concat ", " (List.map (fun s -> m.state_names.(s)) m.initial));
+  Array.iteri
+    (fun s ts ->
+      let lbl = Universe.names_of_set m.props m.labels.(s) in
+      Format.fprintf ppf "  state %s%s@," m.state_names.(s)
+        (if lbl = [] then "" else " [" ^ String.concat ", " lbl ^ "]");
+      List.iter
+        (fun t ->
+          Format.fprintf ppf "    %a -> %s@," (pp_io m) (t.input, t.output)
+            m.state_names.(t.dst))
+        ts)
+    m.trans;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,124 @@
+(** The finite state transition model of Definition 1, extended with the
+    labelling function of Section 2.1.
+
+    An automaton is [M = (S, I, O, T, L, Q)]: a finite state set [S], input
+    signals [I], output signals [O], transitions
+    [T ⊆ S × ℘(I) × ℘(O) × S], a labelling [L : S → ℘(P)] over atomic
+    propositions [P], and initial states [Q].  Each transition takes exactly
+    one discrete time unit. *)
+
+type state = int
+
+type trans = {
+  input : Mechaml_util.Bitset.t;  (** [A ⊆ I], consumed this time unit *)
+  output : Mechaml_util.Bitset.t; (** [B ⊆ O], produced this time unit *)
+  dst : state;
+}
+
+type t = private {
+  name : string;
+  inputs : Universe.t;
+  outputs : Universe.t;
+  props : Universe.t;
+  state_names : string array;
+  labels : Mechaml_util.Bitset.t array; (** [L], indexed by state *)
+  trans : trans list array;             (** outgoing transitions per state *)
+  initial : state list;
+}
+
+val num_states : t -> int
+
+val num_transitions : t -> int
+
+val state_name : t -> state -> string
+
+val state_index : t -> string -> state
+(** Raises [Invalid_argument] on unknown state names. *)
+
+val state_index_opt : t -> string -> state option
+
+val transitions_from : t -> state -> trans list
+
+val label : t -> state -> Mechaml_util.Bitset.t
+
+val has_prop : t -> state -> string -> bool
+(** [has_prop m s p] is [true] iff proposition [p] is in the universe and in
+    [L(s)]. *)
+
+val is_blocking : t -> state -> bool
+(** No outgoing transition at all: the state can only start deadlock runs. *)
+
+val accepts : t -> state -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t -> bool
+(** [accepts m s a b] is [true] iff some transition [(s, a, b, _)] exists. *)
+
+val successors : t -> state -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t -> state list
+(** Destinations of all [(s, a, b, _)] transitions. *)
+
+val deterministic : t -> bool
+(** The paper's notion: at most one successor per [(s, A, B)]. *)
+
+val input_deterministic : t -> bool
+(** The stronger notion required of legacy implementations: for every state
+    and input set [A], at most one pair [(B, s')].  This is what makes the
+    observed behaviour of a test replayable (Section 4.3). *)
+
+val composable : t -> t -> bool
+(** [I ∩ I' = ∅ ∧ O ∩ O' = ∅] (Definition 3). *)
+
+val orthogonal : t -> t -> bool
+(** Additionally [I ∩ O' = ∅ ∧ O ∩ I' = ∅]. *)
+
+val rename : t -> string -> t
+
+val relabel : t -> props:Universe.t -> (state -> Mechaml_util.Bitset.t) -> t
+(** Replace the proposition universe and labelling wholesale. *)
+
+val restrict : t -> inputs:Universe.t -> outputs:Universe.t -> props:Universe.t -> t
+(** Project every transition label and state label onto sub-universes,
+    dropping hidden signals ([M|_{I'/O'/L'}] as used by Lemma 3).  Duplicate
+    transitions arising from the projection are merged. *)
+
+val map_states : t -> f:(state -> string) -> t
+(** Rename states. *)
+
+val map_signals :
+  t -> inputs:(string -> string) -> outputs:(string -> string) -> t
+(** Rename signals (the wiring operation behind
+    {!Mechaml_muml.Assembly}): transition bitsets are untouched because
+    indices are preserved.  Raises [Invalid_argument] if a renaming
+    introduces duplicates within a universe. *)
+
+(** Imperative construction API.  States are created on first mention, so
+    models read like their textual definitions. *)
+module Builder : sig
+  type automaton := t
+
+  type t
+
+  val create :
+    name:string ->
+    inputs:string list ->
+    outputs:string list ->
+    ?props:string list ->
+    unit ->
+    t
+
+  val add_state : t -> ?props:string list -> string -> state
+  (** Declares a state (idempotent); [props] accumulate across calls. *)
+
+  val add_trans :
+    t -> src:string -> ?inputs:string list -> ?outputs:string list -> dst:string -> unit -> unit
+  (** Adds [(src, inputs, outputs, dst)]; unseen states are created with empty
+      label. *)
+
+  val set_initial : t -> string list -> unit
+
+  val build : t -> automaton
+  (** Raises [Invalid_argument] when no initial state was declared. *)
+end
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line textual rendering (states, labels, transitions). *)
+
+val pp_io : t -> Format.formatter -> Mechaml_util.Bitset.t * Mechaml_util.Bitset.t -> unit
+(** Print one [A/B] interaction using the automaton's signal names. *)

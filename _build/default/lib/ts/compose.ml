@@ -1,0 +1,196 @@
+module Bitset = Mechaml_util.Bitset
+
+type product = {
+  auto : Automaton.t;
+  left : Automaton.t;
+  right : Automaton.t;
+  pairs : (Automaton.state * Automaton.state) array;
+}
+
+(* Communication constraint of Definition 3, evaluated on the shared signals:
+   what one side consumes from the other must be exactly what the other
+   produces on the connected signals.  For closed compositions (every output
+   of one operand is an input of the other, as in context ∥ closure) this is
+   literally the paper's (A ∩ O') = B' and (A' ∩ O) = B; for open
+   compositions it lets unconnected signals pass through to the
+   environment. *)
+
+let cross_map from_u to_u =
+  Array.init (Universe.size from_u) (fun i ->
+      match Universe.index_opt to_u (Universe.name from_u i) with
+      | Some j -> j
+      | None -> -1)
+
+let mask_of cross =
+  Array.to_list cross
+  |> List.mapi (fun i j -> (i, j))
+  |> List.filter_map (fun (i, j) -> if j >= 0 then Some i else None)
+  |> Bitset.of_list
+
+let translate cross s = Bitset.fold (fun i acc -> Bitset.add cross.(i) acc) s Bitset.empty
+
+let parallel (left : Automaton.t) (right : Automaton.t) =
+  if not (Automaton.composable left right) then
+    invalid_arg
+      (Printf.sprintf "Compose.parallel: %s and %s are not composable" left.Automaton.name
+         right.Automaton.name);
+  if not (Universe.disjoint left.Automaton.props right.Automaton.props) then
+    invalid_arg "Compose.parallel: proposition universes overlap";
+  let inputs = Universe.union left.inputs right.inputs in
+  let outputs = Universe.union left.outputs right.outputs in
+  let props = Universe.union left.props right.props in
+  let in_shift = Universe.size left.inputs and out_shift = Universe.size left.outputs in
+  (* left-input index -> right-output index (shared signals), etc. *)
+  let li_ro = cross_map left.inputs right.outputs in
+  let lo_ri = cross_map left.outputs right.inputs in
+  let ri_lo = cross_map right.inputs left.outputs in
+  let ro_li = cross_map right.outputs left.inputs in
+  let mask_li = mask_of li_ro (* left inputs connected to right outputs *)
+  and mask_lo = mask_of lo_ri
+  and mask_ri = mask_of ri_lo
+  and mask_ro = mask_of ro_li in
+  let compatible (t : Automaton.trans) (t' : Automaton.trans) =
+    (* (A ∩ O') = B' on shared signals, compared in right-output index space *)
+    Bitset.equal (translate li_ro (Bitset.inter t.input mask_li)) (Bitset.inter t'.output mask_ro)
+    (* (A' ∩ O) = B on shared signals, compared in left-output index space *)
+    && Bitset.equal
+         (translate ri_lo (Bitset.inter t'.input mask_ri))
+         (Bitset.inter t.output mask_lo)
+  in
+  let table : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rev_names = ref [] and rev_labels = ref [] and rev_pairs = ref [] in
+  let n = ref 0 in
+  let queue = Queue.create () in
+  let intern (s, s') =
+    match Hashtbl.find_opt table (s, s') with
+    | Some id -> id
+    | None ->
+      let id = !n in
+      incr n;
+      Hashtbl.add table (s, s') id;
+      rev_names :=
+        (Automaton.state_name left s ^ "," ^ Automaton.state_name right s') :: !rev_names;
+      rev_labels :=
+        Bitset.union (Automaton.label left s)
+          (Bitset.shift (Universe.size left.props) (Automaton.label right s'))
+        :: !rev_labels;
+      rev_pairs := (s, s') :: !rev_pairs;
+      Queue.add (id, s, s') queue;
+      id
+  in
+  let initial =
+    List.concat_map
+      (fun q -> List.map (fun q' -> intern (q, q')) right.initial)
+      left.initial
+  in
+  let rev_trans = ref [] in
+  while not (Queue.is_empty queue) do
+    let id, s, s' = Queue.pop queue in
+    List.iter
+      (fun (t : Automaton.trans) ->
+        List.iter
+          (fun (t' : Automaton.trans) ->
+            if compatible t t' then begin
+              let dst = intern (t.dst, t'.dst) in
+              let input = Bitset.union t.input (Bitset.shift in_shift t'.input) in
+              let output = Bitset.union t.output (Bitset.shift out_shift t'.output) in
+              rev_trans := (id, { Automaton.input; output; dst }) :: !rev_trans
+            end)
+          (Automaton.transitions_from right s'))
+      (Automaton.transitions_from left s)
+  done;
+  let count = !n in
+  let state_names = Array.make count "" in
+  List.iteri (fun i name -> state_names.(count - 1 - i) <- name) !rev_names;
+  let labels = Array.make count Bitset.empty in
+  List.iteri (fun i l -> labels.(count - 1 - i) <- l) !rev_labels;
+  let pairs = Array.make count (0, 0) in
+  List.iteri (fun i p -> pairs.(count - 1 - i) <- p) !rev_pairs;
+  let trans = Array.make (max count 1) [] in
+  List.iter (fun (src, t) -> trans.(src) <- t :: trans.(src)) !rev_trans;
+  let auto : Automaton.t =
+    (* The Automaton type is private; rebuild through the Builder to keep the
+       single construction path. *)
+    let builder =
+      Automaton.Builder.create
+        ~name:(left.Automaton.name ^ "||" ^ right.Automaton.name)
+        ~inputs:(Universe.to_list inputs) ~outputs:(Universe.to_list outputs)
+        ~props:(Universe.to_list props) ()
+    in
+    Array.iteri
+      (fun i name ->
+        ignore
+          (Automaton.Builder.add_state builder
+             ~props:(Universe.names_of_set props labels.(i))
+             name))
+      state_names;
+    Array.iteri
+      (fun src ts ->
+        List.iter
+          (fun (t : Automaton.trans) ->
+            Automaton.Builder.add_trans builder ~src:state_names.(src)
+              ~inputs:(Universe.names_of_set inputs t.input)
+              ~outputs:(Universe.names_of_set outputs t.output)
+              ~dst:state_names.(t.dst) ())
+          ts)
+      (if count = 0 then [||] else trans);
+    Automaton.Builder.set_initial builder (List.map (fun i -> state_names.(i)) initial);
+    Automaton.Builder.build builder
+  in
+  { auto; left; right; pairs }
+
+let parallel_many = function
+  | [] -> invalid_arg "Compose.parallel_many: empty list"
+  | [ m ] -> m
+  | m :: rest -> List.fold_left (fun acc m' -> (parallel acc m').auto) m rest
+
+let left_state p s = fst p.pairs.(s)
+
+let right_state p s = snd p.pairs.(s)
+
+let project side (p : product) (r : Run.t) =
+  let target = match side with `Left -> p.left | `Right -> p.right in
+  let pick = match side with `Left -> fst | `Right -> snd in
+  let states = List.map (fun s -> pick p.pairs.(s)) (Run.state_sequence r) in
+  let io =
+    List.map
+      (fun (a, b) ->
+        ( Universe.restrict p.auto.Automaton.inputs ~to_:target.Automaton.inputs a,
+          Universe.restrict p.auto.Automaton.outputs ~to_:target.Automaton.outputs b ))
+      (Run.trace r)
+  in
+  if r.Run.deadlock then Run.deadlocking ~states ~io else Run.regular ~states ~io
+
+let project_left p r = project `Left p r
+
+let project_right p r = project `Right p r
+
+let stepper (left : Automaton.t) (right : Automaton.t) =
+  if not (Automaton.composable left right) then
+    invalid_arg "Compose.stepper: operands are not composable";
+  let li_ro = cross_map left.inputs right.outputs in
+  let lo_ri = cross_map left.outputs right.inputs in
+  let ri_lo = cross_map right.inputs left.outputs in
+  let ro_li = cross_map right.outputs left.inputs in
+  let mask_li = mask_of li_ro
+  and mask_lo = mask_of lo_ri
+  and mask_ri = mask_of ri_lo
+  and mask_ro = mask_of ro_li in
+  let compatible (t : Automaton.trans) (t' : Automaton.trans) =
+    Bitset.equal (translate li_ro (Bitset.inter t.input mask_li)) (Bitset.inter t'.output mask_ro)
+    && Bitset.equal
+         (translate ri_lo (Bitset.inter t'.input mask_ri))
+         (Bitset.inter t.output mask_lo)
+  in
+  fun (s, s') ->
+    List.concat_map
+      (fun t ->
+        List.filter_map
+          (fun t' -> if compatible t t' then Some (t, t') else None)
+          (Automaton.transitions_from right s'))
+      (Automaton.transitions_from left s)
+
+let find_pair p pair =
+  let n = Array.length p.pairs in
+  let rec go i = if i >= n then None else if p.pairs.(i) = pair then Some i else go (i + 1) in
+  go 0

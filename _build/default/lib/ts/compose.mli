@@ -1,0 +1,51 @@
+(** Parallel composition [M ∥ M'] (Definition 3): synchronous execution with
+    synchronous communication.
+
+    A joint transition [((s₁,s₁'), A'', B'', (s₂,s₂'))] exists iff
+    [(s₁,A,B,s₂) ∈ T] and [(s₁',A',B',s₂') ∈ T'] with [A ∩ O' = B'] and
+    [A' ∩ O = B]; then [A'' = A ∪ A'] and [B'' = B ∪ B'].  Only state pairs
+    reachable from [Q × Q'] are kept, and labels are unioned.  The product
+    retains provenance so runs of the composition can be projected back onto
+    either operand (needed to turn a model-checking counterexample into a test
+    of the legacy component, Section 4.2). *)
+
+type product = private {
+  auto : Automaton.t;
+  left : Automaton.t;
+  right : Automaton.t;
+  pairs : (Automaton.state * Automaton.state) array;
+      (** product state → (left state, right state) *)
+}
+
+val parallel : Automaton.t -> Automaton.t -> product
+(** Raises [Invalid_argument] when the operands are not composable
+    ([I ∩ I' ≠ ∅] or [O ∩ O' ≠ ∅]) or their proposition universes overlap. *)
+
+val parallel_many : Automaton.t list -> Automaton.t
+(** Left fold of {!parallel} over two or more automata, discarding
+    provenance. *)
+
+val project_left : product -> Run.t -> Run.t
+(** Map a run of the product onto the left operand: states via provenance,
+    interactions restricted to the left universes.  The result is a genuine
+    run of the left operand (composition only combines real transitions). *)
+
+val project_right : product -> Run.t -> Run.t
+
+val left_state : product -> Automaton.state -> Automaton.state
+
+val right_state : product -> Automaton.state -> Automaton.state
+
+val find_pair : product -> Automaton.state * Automaton.state -> Automaton.state option
+(** Product state for a (left, right) pair if that pair is reachable. *)
+
+val stepper :
+  Automaton.t ->
+  Automaton.t ->
+  Automaton.state * Automaton.state ->
+  (Automaton.trans * Automaton.trans) list
+(** The joint moves of the parallel composition from a state pair, without
+    materializing the product — the compatible transition pairs per
+    Definition 3.  [stepper left right] precomputes the signal cross-maps, so
+    partial application amortizes the setup over a whole exploration (used by
+    {!Mechaml_mc.Onthefly}). *)

@@ -1,0 +1,10 @@
+(** Graphviz export, used to regenerate the paper's figures (Fig. 3–7). *)
+
+val of_automaton : ?highlight:Automaton.state list -> Automaton.t -> string
+(** DOT digraph: double circles for initial states, state labels show the
+    atomic propositions, edge labels show [A/B] interactions ([*] abbreviates
+    the full interaction set as in the paper's figures when a state has the
+    complete fan-out). *)
+
+val save : path:string -> string -> unit
+(** Write a DOT string to a file. *)

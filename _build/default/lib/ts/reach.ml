@@ -1,0 +1,126 @@
+let reachable (m : Automaton.t) =
+  let n = Automaton.num_states m in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Queue.add s queue
+      end)
+    m.Automaton.initial;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (t : Automaton.trans) ->
+        if not seen.(t.dst) then begin
+          seen.(t.dst) <- true;
+          Queue.add t.dst queue
+        end)
+      (Automaton.transitions_from m s)
+  done;
+  seen
+
+let reachable_count m = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (reachable m)
+
+let blocking_states m =
+  let seen = reachable m in
+  let out = ref [] in
+  Array.iteri (fun s r -> if r && Automaton.is_blocking m s then out := s :: !out) seen;
+  List.rev !out
+
+let prune (m : Automaton.t) =
+  let seen = reachable m in
+  let keep = ref [] in
+  Array.iteri (fun s r -> if r then keep := s :: !keep) seen;
+  let keep = List.rev !keep in
+  let builder =
+    Automaton.Builder.create ~name:m.Automaton.name
+      ~inputs:(Universe.to_list m.inputs) ~outputs:(Universe.to_list m.outputs)
+      ~props:(Universe.to_list m.props) ()
+  in
+  List.iter
+    (fun s ->
+      ignore
+        (Automaton.Builder.add_state builder
+           ~props:(Universe.names_of_set m.props (Automaton.label m s))
+           (Automaton.state_name m s)))
+    keep;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t : Automaton.trans) ->
+          Automaton.Builder.add_trans builder ~src:(Automaton.state_name m s)
+            ~inputs:(Universe.names_of_set m.inputs t.input)
+            ~outputs:(Universe.names_of_set m.outputs t.output)
+            ~dst:(Automaton.state_name m t.dst) ())
+        (Automaton.transitions_from m s))
+    keep;
+  Automaton.Builder.set_initial builder
+    (List.map (Automaton.state_name m) m.Automaton.initial);
+  Automaton.Builder.build builder
+
+let shortest_run_to (m : Automaton.t) pred =
+  let n = Automaton.num_states m in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let found = ref None in
+  List.iter
+    (fun s ->
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Queue.add s queue;
+        if pred s && !found = None then found := Some s
+      end)
+    m.Automaton.initial;
+  while !found = None && not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (t : Automaton.trans) ->
+        if !found = None && not seen.(t.dst) then begin
+          seen.(t.dst) <- true;
+          parent.(t.dst) <- Some (s, (t.input, t.output));
+          if pred t.dst then found := Some t.dst else Queue.add t.dst queue
+        end)
+      (Automaton.transitions_from m s)
+  done;
+  match !found with
+  | None -> None
+  | Some target ->
+    let rec unwind s states io =
+      match parent.(s) with
+      | None -> (s :: states, io)
+      | Some (p, ab) -> unwind p (s :: states) (ab :: io)
+    in
+    let states, io = unwind target [] [] in
+    Some (Run.regular ~states ~io)
+
+let dfs_run_to (m : Automaton.t) pred =
+  let n = Automaton.num_states m in
+  let seen = Array.make n false in
+  let rec go s states io =
+    if pred s then Some (Run.regular ~states:(List.rev (s :: states)) ~io:(List.rev io))
+    else begin
+      seen.(s) <- true;
+      let rec try_trans = function
+        | [] -> None
+        | (t : Automaton.trans) :: rest ->
+          if seen.(t.dst) then try_trans rest
+          else begin
+            match go t.dst (s :: states) ((t.input, t.output) :: io) with
+            | Some r -> Some r
+            | None -> try_trans rest
+          end
+      in
+      try_trans (Automaton.transitions_from m s)
+    end
+  in
+  let rec from_initials = function
+    | [] -> None
+    | q :: rest -> (
+      if seen.(q) then from_initials rest
+      else
+        match go q [] [] with Some r -> Some r | None -> from_initials rest)
+  in
+  from_initials m.Automaton.initial

@@ -1,0 +1,23 @@
+(** Reachability over automata: the state-space sweeps shared by the model
+    checker, the refinement checker and the statistics reported by the
+    benchmark harness. *)
+
+val reachable : Automaton.t -> bool array
+(** Characteristic vector of the states reachable from the initial set. *)
+
+val reachable_count : Automaton.t -> int
+
+val blocking_states : Automaton.t -> Automaton.state list
+(** Reachable states without outgoing transitions (the [δ] witnesses). *)
+
+val prune : Automaton.t -> Automaton.t
+(** Restrict to the reachable sub-automaton (state indices are renumbered,
+    names preserved). *)
+
+val shortest_run_to : Automaton.t -> (Automaton.state -> bool) -> Run.t option
+(** BFS: a shortest regular run from an initial state to a state satisfying
+    the predicate. *)
+
+val dfs_run_to : Automaton.t -> (Automaton.state -> bool) -> Run.t option
+(** Depth-first alternative (first run found, not necessarily shortest); used
+    by the counterexample-strategy ablation (EXP-T3). *)

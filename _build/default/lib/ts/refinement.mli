@@ -1,0 +1,41 @@
+(** The refinement relation [M ⊑ M'] of Definition 4.
+
+    [M ⊑ M'] iff (1) every run of [M] has a run of [M'] with the same
+    observable trace whose final states carry matching labels, and (2) every
+    deadlock run of [M] is also a deadlock run of [M'] — refinement preserves
+    reactivity, not just traces.  Decided exactly by a subset-construction
+    observer of the abstract automaton walked in lockstep with the concrete
+    one.
+
+    [⊑] implies simulation and therefore preserves ACTL formulas; by Lemma 1
+    it additionally preserves deadlock freedom. *)
+
+type failure_reason =
+  | Label_mismatch
+      (** a reachable concrete state has no label-equivalent abstract state
+          reachable on the same trace (violates condition 1) *)
+  | Missing_trace of Run.io
+      (** the concrete automaton performs an interaction no same-trace
+          abstract run can perform (violates condition 1) *)
+  | Unmatched_refusal of Run.io
+      (** the concrete automaton refuses an interaction that every same-trace
+          abstract state accepts (violates condition 2) *)
+
+type result = Refines | Fails of { reason : failure_reason; witness : Run.t }
+    (** [witness] is a run of the concrete automaton exhibiting the failure. *)
+
+val check :
+  ?label_match:Simulation.label_match ->
+  concrete:Automaton.t ->
+  abstract:Automaton.t ->
+  unit ->
+  result
+(** Signal alphabets must agree by name; raises [Invalid_argument]
+    otherwise. *)
+
+val refines :
+  ?label_match:Simulation.label_match ->
+  concrete:Automaton.t ->
+  abstract:Automaton.t ->
+  unit ->
+  bool

@@ -1,0 +1,74 @@
+module Bitset = Mechaml_util.Bitset
+
+type io = Bitset.t * Bitset.t
+
+type t = { states : Automaton.state list; io : io list; deadlock : bool }
+
+let check ~deadlock states io =
+  let ns = List.length states and ni = List.length io in
+  if ns = 0 then invalid_arg "Run: empty state sequence";
+  let expected = if deadlock then ns else ns - 1 in
+  if ni <> expected then
+    invalid_arg
+      (Printf.sprintf "Run: %d states need %d interactions (%s run), got %d" ns expected
+         (if deadlock then "deadlock" else "regular")
+         ni)
+
+let regular ~states ~io =
+  check ~deadlock:false states io;
+  { states; io; deadlock = false }
+
+let deadlocking ~states ~io =
+  check ~deadlock:true states io;
+  { states; io; deadlock = true }
+
+let initial s = { states = [ s ]; io = []; deadlock = false }
+
+let length r = List.length r.io
+
+let final_state r = List.nth r.states (List.length r.states - 1)
+
+let trace r = r.io
+
+let state_sequence r = r.states
+
+let is_run_of m r =
+  let rec steps states io =
+    match (states, io) with
+    | [ _ ], [] -> not r.deadlock
+    | [ s ], [ (a, b) ] when r.deadlock -> not (Automaton.accepts m s a b)
+    | s :: (s' :: _ as rest), (a, b) :: io' ->
+      List.mem s' (Automaton.successors m s a b) && steps rest io'
+    | _ -> false
+  in
+  match r.states with
+  | [] -> false
+  | first :: _ -> List.mem first m.Automaton.initial && steps r.states r.io
+
+let append_step r io dst =
+  if r.deadlock then invalid_arg "Run.append_step: run already deadlocked";
+  { states = r.states @ [ dst ]; io = r.io @ [ io ]; deadlock = false }
+
+let seal_deadlock r io =
+  if r.deadlock then invalid_arg "Run.seal_deadlock: run already deadlocked";
+  { r with io = r.io @ [ io ]; deadlock = true }
+
+let map_states f r = { r with states = List.map f r.states }
+
+let map_io f r = { r with io = List.map f r.io }
+
+let pp m ppf r =
+  let pp_state ppf s = Format.pp_print_string ppf (Automaton.state_name m s) in
+  let rec go states io =
+    match (states, io) with
+    | [ s ], [] -> Format.fprintf ppf "%a@," pp_state s
+    | [ s ], [ ab ] ->
+      Format.fprintf ppf "%a@,%a  <refused>@," pp_state s (Automaton.pp_io m) ab
+    | s :: rest, ab :: io' ->
+      Format.fprintf ppf "%a@,%a@," pp_state s (Automaton.pp_io m) ab;
+      go rest io'
+    | _ -> ()
+  in
+  Format.fprintf ppf "@[<v>";
+  go r.states r.io;
+  Format.fprintf ppf "@]"

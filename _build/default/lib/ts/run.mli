@@ -1,0 +1,54 @@
+(** Runs and traces (Definition 2).
+
+    A {e regular run} is [s₁, A₁/B₁, s₂, …, sₙ] where every step is a
+    transition.  A {e deadlock run} is [s₁, A₁/B₁, …, sₙ, Aₙ/Bₙ] where the
+    final interaction [(sₙ, Aₙ, Bₙ)] has no successor: the component refused
+    it.  [π|_{I/O}] restricts a run to its observable trace and [π|_S] to its
+    state sequence. *)
+
+type io = Mechaml_util.Bitset.t * Mechaml_util.Bitset.t
+
+type t = {
+  states : Automaton.state list; (** [s₁ … sₙ], never empty *)
+  io : io list;
+      (** [A₁/B₁ …]; [length io = length states - 1] for a regular run and
+          [length io = length states] for a deadlock run *)
+  deadlock : bool;
+}
+
+val regular : states:Automaton.state list -> io:io list -> t
+(** Raises [Invalid_argument] if the length invariant is violated. *)
+
+val deadlocking : states:Automaton.state list -> io:io list -> t
+
+val initial : Automaton.state -> t
+(** The trivial run consisting of one state and no interaction. *)
+
+val length : t -> int
+(** Number of interactions. *)
+
+val final_state : t -> Automaton.state
+
+val trace : t -> io list
+(** [π|_{I/O}]. *)
+
+val state_sequence : t -> Automaton.state list
+(** [π|_S]. *)
+
+val is_run_of : Automaton.t -> t -> bool
+(** Checks the run against [T] (and, for deadlock runs, that the final
+    interaction is indeed refused) and that it starts in an initial state. *)
+
+val append_step : t -> io -> Automaton.state -> t
+(** Extend a regular run by one transition.  Raises on deadlock runs. *)
+
+val seal_deadlock : t -> io -> t
+(** Turn a regular run into a deadlock run by a final refused interaction. *)
+
+val map_states : (Automaton.state -> Automaton.state) -> t -> t
+
+val map_io : (io -> io) -> t -> t
+
+val pp : Automaton.t -> Format.formatter -> t -> unit
+(** Render with the automaton's state and signal names, one step per line,
+    in the style of the paper's Listing 1.1. *)

@@ -1,0 +1,25 @@
+(** Simulation preorder [⪯] (Section 2.3/2.4).
+
+    [s ⪯ s'] iff the labels match and every transition of [s] can be matched
+    by a transition of [s'] with the same interaction into related states.
+    Refinement (Definition 4) implies simulation; simulation preserves ACTL
+    formulas. *)
+
+type label_match =
+  | Exact  (** name-set equality [L(s) = L'(s')] *)
+  | Wildcard of string
+      (** abstract states carrying this proposition match any concrete label —
+          the paper's [p'] trick for the chaotic states (Section 2.7) *)
+
+val label_matcher :
+  label_match -> Automaton.t -> Automaton.t -> Automaton.state -> Automaton.state -> bool
+(** [label_matcher lm concrete abstract] compares state labels by proposition
+    {e names} (the universes may order propositions differently), honouring
+    the wildcard.  Shared with {!Refinement}. *)
+
+val simulates :
+  ?label_match:label_match -> concrete:Automaton.t -> abstract:Automaton.t -> unit -> bool
+(** [simulates ~concrete ~abstract ()] decides whether every initial state of
+    [concrete] is simulated by some initial state of [abstract].  The two
+    automata must have identical input and output signal {e names} (order may
+    differ); raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,37 @@
+(** A line-oriented text format for automata, so contexts, legacy component
+    simulations and properties can be kept in files and driven from the CLI
+    without recompiling.
+
+    {v
+    # comment, blank lines ignored
+    automaton lamp
+    inputs press
+    outputs burnt
+    initial off
+    state off props lamp.off        # optional; states may also appear only in trans
+    state dead props lamp.dead
+    trans off : press / -> on       # inputs before '/', outputs after, '->' dst
+    trans on  : press / -> off2
+    trans off2 : press / burnt -> dead
+    trans dead : / -> dead          # empty sets are written as nothing
+    v}
+
+    Signals and propositions are whitespace-separated names.  The [inputs],
+    [outputs] and [initial] directives are mandatory; [automaton] defaults
+    the name to the file name. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Automaton.t, error) result
+(** Parse from a string. *)
+
+val parse_exn : string -> Automaton.t
+
+val load : path:string -> (Automaton.t, error) result
+(** Parse a file ([automaton] name defaults to its basename). *)
+
+val print : Automaton.t -> string
+(** Render in the same format; [parse (print m)] reconstructs [m] up to
+    transition order. *)
+
+val save : path:string -> Automaton.t -> unit

@@ -1,0 +1,62 @@
+module Bitset = Mechaml_util.Bitset
+
+type t = { names : string array; indices : (string, int) Hashtbl.t }
+
+let of_list names =
+  if List.length names > Bitset.max_width then
+    invalid_arg
+      (Printf.sprintf "Universe.of_list: more than %d names" Bitset.max_width);
+  let indices = Hashtbl.create 16 in
+  List.iteri
+    (fun i n ->
+      if Hashtbl.mem indices n then
+        invalid_arg (Printf.sprintf "Universe.of_list: duplicate name %S" n);
+      Hashtbl.add indices n i)
+    names;
+  { names = Array.of_list names; indices }
+
+let empty = of_list []
+
+let size t = Array.length t.names
+
+let mem t n = Hashtbl.mem t.indices n
+
+let index_opt t n = Hashtbl.find_opt t.indices n
+
+let index t n =
+  match index_opt t n with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Universe.index: unknown name %S" n)
+
+let name t i =
+  if i < 0 || i >= size t then
+    invalid_arg (Printf.sprintf "Universe.name: index %d out of range" i);
+  t.names.(i)
+
+let to_list t = Array.to_list t.names
+
+let equal a b = to_list a = to_list b
+
+let disjoint a b = Array.for_all (fun n -> not (mem b n)) a.names
+
+let union a b =
+  if not (disjoint a b) then invalid_arg "Universe.union: universes overlap";
+  of_list (to_list a @ to_list b)
+
+let embed u ~into s =
+  Bitset.fold (fun i acc -> Bitset.add (index into (name u i)) acc) s Bitset.empty
+
+let restrict u ~to_ s =
+  Bitset.fold
+    (fun i acc ->
+      match index_opt to_ (name u i) with
+      | Some j -> Bitset.add j acc
+      | None -> acc)
+    s Bitset.empty
+
+let set_of_names t names =
+  List.fold_left (fun acc n -> Bitset.add (index t n) acc) Bitset.empty names
+
+let names_of_set t s = List.map (name t) (Bitset.elements s)
+
+let pp_set t ppf s = Bitset.pp ~names:(name t) ppf s

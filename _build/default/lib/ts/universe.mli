@@ -1,0 +1,55 @@
+(** Named universes of signals or atomic propositions.
+
+    A universe fixes the correspondence between human-readable names (such as
+    ["convoyProposal"] or ["frontRole.noConvoy"]) and the small integer
+    indices used by {!Mechaml_util.Bitset}.  Every automaton carries three
+    universes: input signals [I], output signals [O] and atomic propositions
+    [P] (Definition 1 extended for property specification, Section 2.1). *)
+
+type t
+
+val of_list : string list -> t
+(** Builds a universe whose indices follow list order.  Raises
+    [Invalid_argument] on duplicate names or when the list exceeds
+    {!Mechaml_util.Bitset.max_width} elements. *)
+
+val empty : t
+
+val size : t -> int
+
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** Raises [Not_found] (with the offending name in the message via
+    [Invalid_argument]) when the name is absent. *)
+
+val index_opt : t -> string -> int option
+
+val name : t -> int -> string
+
+val to_list : t -> string list
+
+val equal : t -> t -> bool
+
+val disjoint : t -> t -> bool
+(** No shared names. *)
+
+val union : t -> t -> t
+(** Concatenation: indices of the left operand are preserved, the right
+    operand's elements follow.  Raises [Invalid_argument] unless the two are
+    disjoint (composability, Definition 3). *)
+
+val embed : t -> into:t -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t
+(** [embed u ~into s] re-indexes a bitset from universe [u] into the (super)
+    universe [into]; every name of [u] must exist in [into]. *)
+
+val restrict : t -> to_:t -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t
+(** [restrict u ~to_ s] keeps only the elements of [s] whose names also occur
+    in [to_], re-indexed into [to_]. *)
+
+val set_of_names : t -> string list -> Mechaml_util.Bitset.t
+(** Bitset of the given names.  Raises on unknown names. *)
+
+val names_of_set : t -> Mechaml_util.Bitset.t -> string list
+
+val pp_set : t -> Format.formatter -> Mechaml_util.Bitset.t -> unit

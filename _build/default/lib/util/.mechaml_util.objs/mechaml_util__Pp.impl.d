@@ -1,0 +1,1 @@
+lib/util/pp.ml: Format List Option String

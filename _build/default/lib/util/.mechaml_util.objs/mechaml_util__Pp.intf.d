@@ -1,0 +1,1 @@
+lib/util/pp.mli: Format

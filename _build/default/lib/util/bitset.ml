@@ -1,0 +1,87 @@
+type t = int
+
+let max_width = 62
+
+let check_index i =
+  if i < 0 || i >= max_width then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0, %d)" i max_width)
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let singleton i =
+  check_index i;
+  1 lsl i
+
+let mem i s = i >= 0 && i < max_width && s land (1 lsl i) <> 0
+
+let add i s =
+  check_index i;
+  s lor (1 lsl i)
+
+let remove i s =
+  check_index i;
+  s land lnot (1 lsl i)
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let equal (a : int) (b : int) = a = b
+
+let compare (a : int) (b : int) = Stdlib.compare a b
+
+let subset a b = a land lnot b = 0
+
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + (s land 1)) (s lsr 1) in
+  count 0 s
+
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let fold f s init =
+  let rec go i acc =
+    if i >= max_width || s lsr i = 0 then acc
+    else if s land (1 lsl i) <> 0 then go (i + 1) (f i acc)
+    else go (i + 1) acc
+  in
+  go 0 init
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let iter f s = fold (fun i () -> f i) s ()
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let full n =
+  if n < 0 || n > max_width then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let all_subsets n =
+  if n < 0 || n > 20 then invalid_arg "Bitset.all_subsets: universe too large";
+  List.init (1 lsl n) (fun i -> i)
+
+let shift k s =
+  let out = fold (fun i acc -> add (i + k) acc) s empty in
+  out
+
+let map f s = fold (fun i acc -> add (f i) acc) s empty
+
+let to_int s = s
+
+let of_int_unsafe i = i
+
+let pp ~names ppf s =
+  let elts = elements s in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf i -> Format.pp_print_string ppf (names i)))
+    elts

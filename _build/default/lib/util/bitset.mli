@@ -1,0 +1,82 @@
+(** Bitsets over small universes (at most 62 elements).
+
+    A bitset is an immutable set of small non-negative integers packed into a
+    single OCaml [int].  They represent the signal subsets [A ⊆ I] and
+    [B ⊆ O] that label transitions of the automata of Definition 1, so set
+    operations must be constant-time: composition, chaotic closure and the
+    model checker all manipulate millions of them. *)
+
+type t = private int
+
+val max_width : int
+(** Largest universe size supported ([62] on 64-bit platforms). *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : int -> t
+(** [singleton i] is [{i}].  Raises [Invalid_argument] if
+    [i < 0 || i >= max_width]. *)
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff [a ⊆ b]. *)
+
+val disjoint : t -> t -> bool
+
+val cardinal : t -> int
+
+val of_list : int list -> t
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (int -> unit) -> t -> unit
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val full : int -> t
+(** [full n] is [{0, …, n-1}]. *)
+
+val all_subsets : int -> t list
+(** [all_subsets n] enumerates ℘({0, …, n-1}) in increasing bit-pattern
+    order; [2^n] elements.  Raises [Invalid_argument] if [n > 20] to guard
+    against accidental blow-ups. *)
+
+val shift : int -> t -> t
+(** [shift k s] translates every element of [s] by [k] (used to embed a set
+    into a larger combined universe).  Raises [Invalid_argument] if any
+    element would leave the supported range. *)
+
+val map : (int -> int) -> t -> t
+(** [map f s] is the image of [s] under [f]; [f] must stay within range. *)
+
+val to_int : t -> int
+(** Raw bit pattern, for hashing and array indexing. *)
+
+val of_int_unsafe : int -> t
+(** Inverse of {!to_int}.  The caller must guarantee the pattern only uses
+    the low {!max_width} bits. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Pretty-print as [{a, b, c}] using [names] for element names. *)

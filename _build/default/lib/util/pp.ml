@@ -1,0 +1,31 @@
+let comma_list pp ppf l =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp ppf l
+
+let semi_list pp ppf l =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp ppf l
+
+let str fmt = Format.asprintf fmt
+
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some cell -> max acc (String.length cell) | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = Option.value ~default:"" (List.nth_opt row c) in
+          cell ^ String.make (w - String.length cell) ' ')
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)

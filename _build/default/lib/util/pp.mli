@@ -1,0 +1,14 @@
+(** Shared pretty-printing helpers used across the library's printers. *)
+
+val comma_list : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit
+(** Print a list with [", "] separators. *)
+
+val semi_list : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit
+(** Print a list with ["; "] separators. *)
+
+val str : ('a, Format.formatter, unit, string) format4 -> 'a
+(** Alias of {!Format.asprintf}. *)
+
+val table : header:string list -> string list list -> string
+(** Render an aligned plain-text table with a header row and a separator
+    line, as used by the benchmark harness to print the reproduced series. *)

@@ -1,0 +1,1 @@
+test/test_amc.ml: Alcotest Families Helpers List Mechaml_core Mechaml_learnlib Mechaml_logic Mechaml_mc Mechaml_scenarios Printf Protocol Railcab

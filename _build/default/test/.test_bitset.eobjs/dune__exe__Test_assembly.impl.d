@@ -1,0 +1,1 @@
+test/test_assembly.ml: Alcotest Helpers List Mechaml_logic Mechaml_mc Mechaml_muml Mechaml_scenarios Mechaml_ts

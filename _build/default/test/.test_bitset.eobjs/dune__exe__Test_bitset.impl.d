@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Format Helpers List Mechaml_util QCheck

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Helpers List Mechaml_core Mechaml_legacy Mechaml_scenarios Mechaml_ts Mechaml_util Printf

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Helpers List Mechaml_ts

@@ -1,0 +1,1 @@
+test/test_connector.ml: Alcotest Helpers List Mechaml_logic Mechaml_mc Mechaml_muml Mechaml_ts Mechaml_util

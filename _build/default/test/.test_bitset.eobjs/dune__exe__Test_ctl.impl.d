@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Helpers List Mechaml_logic Printf

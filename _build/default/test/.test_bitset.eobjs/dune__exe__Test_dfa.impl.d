@@ -1,0 +1,1 @@
+test/test_dfa.ml: Alcotest Helpers List Mechaml_learnlib Printf

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Filename Helpers List Mechaml_core Mechaml_scenarios Mechaml_ts Mechaml_util String Sys

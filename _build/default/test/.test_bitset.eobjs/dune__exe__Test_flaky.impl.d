@@ -1,0 +1,1 @@
+test/test_flaky.ml: Alcotest Helpers Mechaml_core Mechaml_legacy Mechaml_scenarios String

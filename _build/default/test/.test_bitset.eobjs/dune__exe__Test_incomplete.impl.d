@@ -1,0 +1,1 @@
+test/test_incomplete.ml: Alcotest Format Helpers List Mechaml_core Mechaml_legacy Mechaml_ts String

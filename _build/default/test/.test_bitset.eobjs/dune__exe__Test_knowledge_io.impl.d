@@ -1,0 +1,1 @@
+test/test_knowledge_io.ml: Alcotest Filename Helpers List Mechaml_core Mechaml_scenarios Sys

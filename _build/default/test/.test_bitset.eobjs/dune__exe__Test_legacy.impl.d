@@ -1,0 +1,1 @@
+test/test_legacy.ml: Alcotest Format Helpers List Mechaml_legacy Mechaml_ts

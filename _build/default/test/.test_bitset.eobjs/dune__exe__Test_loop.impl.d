@@ -1,0 +1,1 @@
+test/test_loop.ml: Alcotest Families Format Helpers List Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_scenarios Mechaml_testing Mechaml_ts Printf Protocol Railcab String

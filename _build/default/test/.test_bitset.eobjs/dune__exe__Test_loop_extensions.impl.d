@@ -1,0 +1,1 @@
+test/test_loop_extensions.ml: Alcotest Families Helpers List Mechaml_core Mechaml_logic Mechaml_mc Mechaml_scenarios Mechaml_ts Printf Railcab

@@ -1,0 +1,1 @@
+test/test_lstar.ml: Alcotest Families Helpers List Mechaml_learnlib Mechaml_legacy Mechaml_scenarios Printf Protocol Railcab

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Helpers Mechaml_logic Mechaml_mc

@@ -1,0 +1,1 @@
+test/test_mealy.ml: Alcotest Format Helpers List Mechaml_learnlib Mechaml_ts

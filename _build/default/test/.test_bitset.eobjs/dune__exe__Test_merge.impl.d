@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Format Helpers List Mechaml_core Mechaml_legacy Mechaml_mc Mechaml_muml Mechaml_scenarios Mechaml_ts String

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Helpers List Mechaml_core Mechaml_legacy Mechaml_logic Mechaml_ts

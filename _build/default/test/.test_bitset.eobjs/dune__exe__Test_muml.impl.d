@@ -1,0 +1,1 @@
+test/test_muml.ml: Alcotest Helpers Mechaml_logic Mechaml_mc Mechaml_muml Mechaml_rtsc Mechaml_ts

@@ -1,0 +1,1 @@
+test/test_onthefly.ml: Alcotest Helpers List Mechaml_logic Mechaml_mc Mechaml_scenarios Mechaml_ts Printf

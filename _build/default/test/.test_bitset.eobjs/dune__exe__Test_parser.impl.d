@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Helpers Mechaml_logic Printf String

@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Format Helpers List Mechaml_util String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Fun Helpers List Mechaml_core Mechaml_learnlib Mechaml_legacy Mechaml_logic Mechaml_mc Mechaml_scenarios Mechaml_ts Mechaml_util Printf QCheck

@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Helpers List Mechaml_ts Option

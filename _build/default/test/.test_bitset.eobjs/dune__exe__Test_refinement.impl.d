@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Helpers Mechaml_ts

@@ -1,0 +1,1 @@
+test/test_rtsc.ml: Alcotest Fun Helpers List Mechaml_rtsc Mechaml_ts Mechaml_util Printf String

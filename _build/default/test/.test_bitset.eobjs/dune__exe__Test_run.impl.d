@@ -1,0 +1,1 @@
+test/test_run.ml: Alcotest Format Helpers List Mechaml_ts Mechaml_util String

@@ -1,0 +1,1 @@
+test/test_shrink.ml: Alcotest Helpers List Mechaml_legacy Mechaml_scenarios Mechaml_testing Printf

@@ -1,0 +1,1 @@
+test/test_shrink.mli:

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Helpers List Mechaml_logic Mechaml_mc Mechaml_ts Mechaml_util Printf QCheck

@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Helpers Mechaml_ts

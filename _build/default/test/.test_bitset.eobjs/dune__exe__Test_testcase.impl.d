@@ -1,0 +1,1 @@
+test/test_testcase.ml: Alcotest Format Helpers Mechaml_legacy Mechaml_scenarios Mechaml_testing Mechaml_ts String

@@ -1,0 +1,1 @@
+test/test_textio.ml: Alcotest Filename Helpers Mechaml_scenarios Mechaml_ts String Sys

@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Fun Helpers List Mechaml_core Mechaml_logic Mechaml_mc Mechaml_scenarios Mechaml_testing Mechaml_ts

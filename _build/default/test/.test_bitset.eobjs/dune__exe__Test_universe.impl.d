@@ -1,0 +1,1 @@
+test/test_universe.ml: Alcotest Format Helpers List Mechaml_ts Mechaml_util Printf

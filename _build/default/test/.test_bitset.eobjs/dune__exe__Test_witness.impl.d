@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Helpers List Mechaml_logic Mechaml_mc Mechaml_ts String

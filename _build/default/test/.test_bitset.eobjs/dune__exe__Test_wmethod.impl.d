@@ -1,0 +1,1 @@
+test/test_wmethod.ml: Alcotest Families Helpers List Mechaml_learnlib Mechaml_legacy Mechaml_scenarios Protocol

@@ -1,0 +1,27 @@
+(* Shared helpers for the test suite: compact automaton construction and
+   alcotest/qcheck glue. *)
+
+module Automaton = Mechaml_ts.Automaton
+
+(* Build an automaton from a compact description:
+   states: (name, props) list; trans: (src, inputs, outputs, dst) list. *)
+let automaton ?(name = "m") ~inputs ~outputs ?(states = []) ~trans ~initial () =
+  let b = Automaton.Builder.create ~name ~inputs ~outputs () in
+  List.iter (fun (s, props) -> ignore (Automaton.Builder.add_state b ~props s)) states;
+  List.iter
+    (fun (src, ins, outs, dst) ->
+      Automaton.Builder.add_trans b ~src ~inputs:ins ~outputs:outs ~dst ())
+    trans;
+  Automaton.Builder.set_initial b initial;
+  Automaton.Builder.build b
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,116 @@
+module Assembly = Mechaml_muml.Assembly
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Checker = Mechaml_mc.Checker
+module Parser = Mechaml_logic.Parser
+open Helpers
+
+let producer () =
+  automaton ~name:"P" ~inputs:[] ~outputs:[ "out" ]
+    ~states:[ ("p0", [ "sent" ]) ]
+    ~trans:[ ("p0", [], [ "out" ], "p1"); ("p1", [], [], "p1") ]
+    ~initial:[ "p0" ] ()
+
+let consumer () =
+  automaton ~name:"C" ~inputs:[ "in" ] ~outputs:[]
+    ~states:[ ("c1", [ "got" ]) ]
+    ~trans:[ ("c0", [ "in" ], [], "c1"); ("c0", [], [], "c0"); ("c1", [], [], "c1") ]
+    ~initial:[ "c0" ] ()
+
+let wired () =
+  let t = Assembly.create () in
+  Assembly.add_instance t ~name:"a" (producer ());
+  Assembly.add_instance t ~name:"b" (consumer ());
+  Assembly.connect t ~from_:("a", "out") ~to_:("b", "in");
+  t
+
+let unit_tests =
+  [
+    test "wired assembly delivers the message" (fun () ->
+        let sys = Assembly.build (wired ()) in
+        check_bool "consumer gets it" true
+          (Checker.holds sys (Parser.parse_exn "E<> got")));
+    test "wire signals carry the wire name" (fun () ->
+        let sys = Assembly.build (wired ()) in
+        let w = Assembly.wire_name ~from_:("a", "out") ~to_:("b", "in") in
+        check_bool "wire in inputs" true (Universe.mem sys.Automaton.inputs w);
+        check_bool "wire in outputs" true (Universe.mem sys.Automaton.outputs w));
+    test "unconnected signals are qualified with the instance name" (fun () ->
+        let t = Assembly.create () in
+        Assembly.add_instance t ~name:"a" (producer ());
+        Assembly.add_instance t ~name:"b" (consumer ());
+        (* no wiring: signals stay external *)
+        let sys = Assembly.build t in
+        check_bool "a.out external" true (Universe.mem sys.Automaton.outputs "a.out");
+        check_bool "b.in external" true (Universe.mem sys.Automaton.inputs "b.in");
+        (* and with no wiring, the producer's output is never consumed *)
+        check_bool "message still flows to the environment" true
+          (Checker.holds sys (Parser.parse_exn "E<> sent")));
+    test "duplicate instances rejected" (fun () ->
+        let t = Assembly.create () in
+        Assembly.add_instance t ~name:"a" (producer ());
+        match Assembly.add_instance t ~name:"a" (consumer ()) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "direction and existence are validated" (fun () ->
+        let t = Assembly.create () in
+        Assembly.add_instance t ~name:"a" (producer ());
+        Assembly.add_instance t ~name:"b" (consumer ());
+        (match Assembly.connect t ~from_:("a", "nope") ~to_:("b", "in") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unknown output");
+        (match Assembly.connect t ~from_:("a", "out") ~to_:("b", "nope") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unknown input");
+        match Assembly.connect t ~from_:("b", "in") ~to_:("a", "out") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "direction mismatch");
+    test "wires are point-to-point" (fun () ->
+        let t = Assembly.create () in
+        Assembly.add_instance t ~name:"a" (producer ());
+        Assembly.add_instance t ~name:"b" (consumer ());
+        Assembly.add_instance t ~name:"c" (consumer ());
+        Assembly.connect t ~from_:("a", "out") ~to_:("b", "in");
+        match Assembly.connect t ~from_:("a", "out") ~to_:("c", "in") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "output already wired");
+    test "colliding propositions are qualified per instance" (fun () ->
+        let t = Assembly.create () in
+        (* two consumers share the "got" proposition *)
+        Assembly.add_instance t ~name:"a" (producer ());
+        Assembly.add_instance t ~name:"b" (consumer ());
+        Assembly.add_instance t ~name:"c" (consumer ());
+        Assembly.connect t ~from_:("a", "out") ~to_:("b", "in");
+        let sys = Assembly.build t in
+        check_bool "qualified props" true
+          (Universe.mem sys.Automaton.props "b:got" && Universe.mem sys.Automaton.props "c:got");
+        (* b is fed by the wire; c's input is open, so only the environment
+           can trigger it — both remain reachable in the open composition,
+           but under distinct propositions. *)
+        check_bool "b can receive" true (Checker.holds sys (Parser.parse_exn "E<> b:got"));
+        check_bool "c reachable only via its environment-facing input" true
+          (Checker.holds sys (Parser.parse_exn "E<> c:got")));
+    test "the railcab pattern wires through an assembly" (fun () ->
+        (* wire the synchronous roles explicitly and re-verify the constraint *)
+        let t = Assembly.create () in
+        Assembly.add_instance t ~name:"front" Mechaml_scenarios.Railcab.context;
+        Assembly.add_instance t ~name:"rear"
+          (Mechaml_muml.Role.automaton Mechaml_scenarios.Railcab.rear_role);
+        List.iter
+          (fun s -> Assembly.connect t ~from_:("rear", s) ~to_:("front", s))
+          Mechaml_scenarios.Railcab.rear_to_front;
+        List.iter
+          (fun s -> Assembly.connect t ~from_:("front", s) ~to_:("rear", s))
+          Mechaml_scenarios.Railcab.front_to_rear;
+        let sys = Assembly.build t in
+        check_bool "constraint holds" true
+          (Checker.holds sys Mechaml_scenarios.Railcab.constraint_);
+        check_bool "deadlock free" true
+          (Checker.holds sys Mechaml_logic.Ctl.deadlock_free));
+    test "build requires at least one instance" (fun () ->
+        match Assembly.build (Assembly.create ()) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+  ]
+
+let () = Alcotest.run "assembly" [ ("unit", unit_tests) ]

@@ -1,0 +1,114 @@
+module Bitset = Mechaml_util.Bitset
+open Helpers
+
+let elems s = Bitset.elements s
+
+let set l = Bitset.of_list l
+
+let unit_tests =
+  [
+    test "empty has no elements" (fun () ->
+        check_bool "is_empty" true (Bitset.is_empty Bitset.empty);
+        check_int "cardinal" 0 (Bitset.cardinal Bitset.empty);
+        Alcotest.(check (list int)) "elements" [] (elems Bitset.empty));
+    test "singleton" (fun () ->
+        let s = Bitset.singleton 5 in
+        check_bool "mem 5" true (Bitset.mem 5 s);
+        check_bool "mem 4" false (Bitset.mem 4 s);
+        check_int "cardinal" 1 (Bitset.cardinal s));
+    test "add and remove" (fun () ->
+        let s = Bitset.add 3 (Bitset.add 1 Bitset.empty) in
+        Alcotest.(check (list int)) "elements sorted" [ 1; 3 ] (elems s);
+        let s' = Bitset.remove 1 s in
+        Alcotest.(check (list int)) "after remove" [ 3 ] (elems s');
+        check_bool "remove absent is noop" true (Bitset.equal s' (Bitset.remove 10 s')));
+    test "add is idempotent" (fun () ->
+        let s = set [ 2; 4 ] in
+        check_bool "same" true (Bitset.equal s (Bitset.add 2 s)));
+    test "union inter diff" (fun () ->
+        let a = set [ 0; 1; 2 ] and b = set [ 2; 3 ] in
+        Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (elems (Bitset.union a b));
+        Alcotest.(check (list int)) "inter" [ 2 ] (elems (Bitset.inter a b));
+        Alcotest.(check (list int)) "diff" [ 0; 1 ] (elems (Bitset.diff a b)));
+    test "subset and disjoint" (fun () ->
+        check_bool "subset yes" true (Bitset.subset (set [ 1 ]) (set [ 0; 1 ]));
+        check_bool "subset no" false (Bitset.subset (set [ 1; 5 ]) (set [ 0; 1 ]));
+        check_bool "empty subset of empty" true (Bitset.subset Bitset.empty Bitset.empty);
+        check_bool "disjoint yes" true (Bitset.disjoint (set [ 0 ]) (set [ 1 ]));
+        check_bool "disjoint no" false (Bitset.disjoint (set [ 0; 2 ]) (set [ 2 ])));
+    test "full n" (fun () ->
+        Alcotest.(check (list int)) "full 3" [ 0; 1; 2 ] (elems (Bitset.full 3));
+        check_bool "full 0 empty" true (Bitset.is_empty (Bitset.full 0)));
+    test "all_subsets enumerates the powerset" (fun () ->
+        let subs = Bitset.all_subsets 3 in
+        check_int "8 subsets" 8 (List.length subs);
+        check_int "distinct" 8 (List.length (List.sort_uniq compare subs));
+        List.iter
+          (fun s -> check_bool "subset of full" true (Bitset.subset s (Bitset.full 3)))
+          subs);
+    test "all_subsets rejects huge universes" (fun () ->
+        Alcotest.check_raises "too big" (Invalid_argument "Bitset.all_subsets: universe too large")
+          (fun () -> ignore (Bitset.all_subsets 21)));
+    test "shift translates elements" (fun () ->
+        Alcotest.(check (list int)) "shifted" [ 4; 6 ] (elems (Bitset.shift 3 (set [ 1; 3 ]))));
+    test "map" (fun () ->
+        Alcotest.(check (list int)) "mapped" [ 0; 2 ]
+          (elems (Bitset.map (fun i -> i * 2) (set [ 0; 1 ]))));
+    test "fold, iter, for_all, exists" (fun () ->
+        let s = set [ 1; 2; 5 ] in
+        check_int "fold sum" 8 (Bitset.fold ( + ) s 0);
+        let seen = ref [] in
+        Bitset.iter (fun i -> seen := i :: !seen) s;
+        Alcotest.(check (list int)) "iter order" [ 1; 2; 5 ] (List.rev !seen);
+        check_bool "for_all" true (Bitset.for_all (fun i -> i > 0) s);
+        check_bool "exists" true (Bitset.exists (fun i -> i = 5) s);
+        check_bool "not exists" false (Bitset.exists (fun i -> i = 4) s));
+    test "out-of-range indices are rejected" (fun () ->
+        List.iter
+          (fun f ->
+            match f () with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "expected Invalid_argument")
+          [
+            (fun () -> ignore (Bitset.singleton (-1)));
+            (fun () -> ignore (Bitset.singleton 62));
+            (fun () -> ignore (Bitset.add 99 Bitset.empty));
+            (fun () -> ignore (Bitset.full 63));
+          ]);
+    test "mem out of range is false, not an error" (fun () ->
+        check_bool "negative" false (Bitset.mem (-1) (set [ 0 ]));
+        check_bool "too large" false (Bitset.mem 99 (set [ 0 ])));
+    test "pp prints names" (fun () ->
+        let names = function 0 -> "a" | 1 -> "b" | _ -> "?" in
+        check_string "rendering" "{a, b}" (Format.asprintf "%a" (Bitset.pp ~names) (set [ 0; 1 ])));
+  ]
+
+let gen_small = QCheck.Gen.(list_size (int_bound 10) (int_bound 20))
+
+let arb_set =
+  QCheck.make ~print:(fun l -> QCheck.Print.(list int) l) gen_small
+
+let property_tests =
+  [
+    qcheck "of_list/elements roundtrip is sorted dedup" arb_set (fun l ->
+        Bitset.elements (set l) = List.sort_uniq compare l);
+    qcheck "union is commutative" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        Bitset.equal (Bitset.union (set a) (set b)) (Bitset.union (set b) (set a)));
+    qcheck "inter distributes over union" (QCheck.triple arb_set arb_set arb_set)
+      (fun (a, b, c) ->
+        let a = set a and b = set b and c = set c in
+        Bitset.equal (Bitset.inter a (Bitset.union b c))
+          (Bitset.union (Bitset.inter a b) (Bitset.inter a c)));
+    qcheck "diff then union restores superset" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        let a = set a and b = set b in
+        Bitset.equal (Bitset.union (Bitset.diff a b) (Bitset.inter a b)) a);
+    qcheck "cardinal of union with disjoint parts adds" arb_set (fun l ->
+        let a = set l in
+        let shifted = Bitset.shift 21 a in
+        Bitset.cardinal (Bitset.union a shifted) = 2 * Bitset.cardinal a
+        || Bitset.is_empty a);
+    qcheck "to_int/of_int_unsafe roundtrip" arb_set (fun l ->
+        Bitset.equal (set l) (Bitset.of_int_unsafe (Bitset.to_int (set l))));
+  ]
+
+let () = Alcotest.run "bitset" [ ("unit", unit_tests); ("properties", property_tests) ]

@@ -1,0 +1,109 @@
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Run = Mechaml_ts.Run
+module Universe = Mechaml_ts.Universe
+open Helpers
+
+(* A ping/pong pair: left sends ping and expects pong, right mirrors. *)
+let left () =
+  automaton ~name:"L" ~inputs:[ "pong" ] ~outputs:[ "ping" ]
+    ~states:[ ("l0", [ "L.idle" ]) ]
+    ~trans:[ ("l0", [], [ "ping" ], "l1"); ("l1", [ "pong" ], [], "l0") ]
+    ~initial:[ "l0" ] ()
+
+let right () =
+  automaton ~name:"R" ~inputs:[ "ping" ] ~outputs:[ "pong" ]
+    ~states:[ ("r0", [ "R.idle" ]) ]
+    ~trans:[ ("r0", [ "ping" ], [], "r1"); ("r1", [], [ "pong" ], "r0") ]
+    ~initial:[ "r0" ] ()
+
+let unit_tests =
+  [
+    test "ping-pong product has two states and loops" (fun () ->
+        let p = Compose.parallel (left ()) (right ()) in
+        check_int "2 reachable states" 2 (Automaton.num_states p.Compose.auto);
+        check_int "2 transitions" 2 (Automaton.num_transitions p.Compose.auto);
+        check_bool "no deadlock" true
+          (Mechaml_ts.Reach.blocking_states p.Compose.auto = []));
+    test "labels are unioned" (fun () ->
+        let p = Compose.parallel (left ()) (right ()) in
+        check_bool "left label" true (Automaton.has_prop p.Compose.auto 0 "L.idle");
+        check_bool "right label" true (Automaton.has_prop p.Compose.auto 0 "R.idle"));
+    test "provenance maps product states to pairs" (fun () ->
+        let p = Compose.parallel (left ()) (right ()) in
+        check_int "left of initial" 0 (Compose.left_state p 0);
+        check_int "right of initial" 0 (Compose.right_state p 0);
+        Alcotest.(check (option int)) "find_pair" (Some 0) (Compose.find_pair p (0, 0));
+        Alcotest.(check (option int)) "unreachable pair" None (Compose.find_pair p (0, 1)));
+    test "mismatched handshake deadlocks" (fun () ->
+        (* right that never answers: the pair (l1, stuck) is a deadlock *)
+        let mute =
+          automaton ~name:"R" ~inputs:[ "ping" ] ~outputs:[ "pong" ]
+            ~trans:[ ("r0", [ "ping" ], [], "stuck") ]
+            ~initial:[ "r0" ] ()
+        in
+        let p = Compose.parallel (left ()) mute in
+        check_int "deadlocked state exists" 1
+          (List.length (Mechaml_ts.Reach.blocking_states p.Compose.auto)));
+    test "unconsumed output blocks the step" (fun () ->
+        (* left outputs ping but right has no consuming transition: no joint
+           move at all (synchronous lossless communication). *)
+        let deaf =
+          automaton ~name:"R" ~inputs:[ "ping" ] ~outputs:[ "pong" ]
+            ~trans:[ ("r0", [], [], "r0") ]
+            ~initial:[ "r0" ] ()
+        in
+        let p = Compose.parallel (left ()) deaf in
+        check_bool "initial blocks" true (Automaton.is_blocking p.Compose.auto 0));
+    test "composability is checked" (fun () ->
+        match Compose.parallel (left ()) (left ()) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "shared signals must be rejected");
+    test "proposition overlap is checked" (fun () ->
+        let l =
+          automaton ~name:"L" ~inputs:[] ~outputs:[] ~states:[ ("s", [ "p" ]) ]
+            ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        let r =
+          automaton ~name:"R" ~inputs:[] ~outputs:[] ~states:[ ("t", [ "p" ]) ]
+            ~trans:[ ("t", [], [], "t") ] ~initial:[ "t" ] ()
+        in
+        match Compose.parallel l r with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "overlapping props must be rejected");
+    test "orthogonal automata interleave synchronously" (fun () ->
+        let a =
+          automaton ~name:"A" ~inputs:[] ~outputs:[ "u" ]
+            ~trans:[ ("a0", [], [ "u" ], "a1"); ("a1", [], [], "a1") ]
+            ~initial:[ "a0" ] ()
+        in
+        let b =
+          automaton ~name:"B" ~inputs:[] ~outputs:[ "v" ]
+            ~trans:[ ("b0", [], [ "v" ], "b1"); ("b1", [], [], "b1") ]
+            ~initial:[ "b0" ] ()
+        in
+        let p = Compose.parallel a b in
+        (* both must step each tick: a0b0 -> a1b1 -> a1b1 *)
+        check_int "2 states" 2 (Automaton.num_states p.Compose.auto);
+        let t = Automaton.transitions_from p.Compose.auto 0 in
+        check_int "one joint first step" 1 (List.length t);
+        let tr = List.hd t in
+        Alcotest.(check (list string)) "joint outputs" [ "u"; "v" ]
+          (Universe.names_of_set p.Compose.auto.Automaton.outputs tr.Automaton.output));
+    test "project_left/right recover component runs" (fun () ->
+        let p = Compose.parallel (left ()) (right ()) in
+        let tr = List.hd (Automaton.transitions_from p.Compose.auto 0) in
+        let run = Run.regular ~states:[ 0; tr.Automaton.dst ] ~io:[ (tr.Automaton.input, tr.Automaton.output) ] in
+        let lrun = Compose.project_left p run and rrun = Compose.project_right p run in
+        check_bool "left projection is a run of L" true (Run.is_run_of p.Compose.left lrun);
+        check_bool "right projection is a run of R" true (Run.is_run_of p.Compose.right rrun));
+    test "parallel_many composes a chain" (fun () ->
+        let m = Compose.parallel_many [ left (); right () ] in
+        check_int "same as binary product" 2 (Automaton.num_states m));
+    test "parallel_many rejects empty" (fun () ->
+        match Compose.parallel_many [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+  ]
+
+let () = Alcotest.run "compose" [ ("unit", unit_tests) ]

@@ -1,0 +1,75 @@
+module Conformance = Mechaml_core.Conformance
+module Incomplete = Mechaml_core.Incomplete
+module Synthesis = Mechaml_core.Synthesis
+module Blackbox = Mechaml_legacy.Blackbox
+module Observation = Mechaml_legacy.Observation
+open Helpers
+
+let real () = Mechaml_scenarios.Railcab.legacy_correct
+
+let box () = Blackbox.of_automaton (real ())
+
+let i ~inputs ~outputs = Incomplete.interaction ~inputs ~outputs
+
+let unit_tests =
+  [
+    test "the trivial initial model conforms (Lemma 4)" (fun () ->
+        check_bool "conforms" true (Conformance.conforms (Synthesis.initial_model (box ())) (real ())));
+    test "learning real observations preserves conformance (Lemma 7)" (fun () ->
+        let inputs = [ []; [ "convoyProposalRejected" ]; []; [ "startConvoy" ] ] in
+        let obs = Observation.observe ~box:(box ()) ~inputs in
+        let m = Incomplete.learn_observation (Synthesis.initial_model (box ())) obs in
+        check_bool "conforms" true (Conformance.conforms m (real ())));
+    test "a made-up transition violates conformance" (fun () ->
+        let m =
+          Incomplete.add_transition
+            (Synthesis.initial_model (box ()))
+            ~src:"noConvoy::default"
+            (i ~inputs:[ "startConvoy" ] ~outputs:[])
+            ~dst:"convoy::default"
+        in
+        match Conformance.check m (real ()) with
+        | Error (Conformance.Missing_transition _) -> ()
+        | Error _ -> Alcotest.fail "wrong violation"
+        | Ok () -> Alcotest.fail "should not conform");
+    test "a made-up refusal violates conformance" (fun () ->
+        let m =
+          Incomplete.add_refusal (Synthesis.initial_model (box ())) ~state:"noConvoy::default"
+            ~inputs:[]
+        in
+        match Conformance.check m (real ()) with
+        | Error (Conformance.Refusal_not_real _) -> ()
+        | Error _ -> Alcotest.fail "wrong violation"
+        | Ok () -> Alcotest.fail "should not conform");
+    test "an unknown state name is reported" (fun () ->
+        let m =
+          Incomplete.add_transition
+            (Synthesis.initial_model (box ()))
+            ~src:"noConvoy::default"
+            (i ~inputs:[] ~outputs:[ "convoyProposal" ])
+            ~dst:"phantom"
+        in
+        match Conformance.check m (real ()) with
+        | Error (Conformance.Missing_transition _) | Error (Conformance.Unknown_state _) -> ()
+        | Error _ -> Alcotest.fail "wrong violation"
+        | Ok () -> Alcotest.fail "should not conform");
+    test "a wrong initial state is reported" (fun () ->
+        let m =
+          Incomplete.create ~name:"m"
+            ~inputs:(box ()).Blackbox.input_signals
+            ~outputs:(box ()).Blackbox.output_signals
+            ~initial_state:"convoy::default"
+        in
+        match Conformance.check m (real ()) with
+        | Error Conformance.Initial_mismatch -> ()
+        | Error _ -> Alcotest.fail "wrong violation"
+        | Ok () -> Alcotest.fail "initial states differ");
+    test "real refusals conform" (fun () ->
+        (* noConvoy::wait really refuses silence *)
+        let obs = Observation.observe ~box:(box ()) ~inputs:[ []; [] ] in
+        let m = Incomplete.learn_observation (Synthesis.initial_model (box ())) obs in
+        check_int "refusal learned" 1 (Incomplete.num_refusals m);
+        check_bool "conforms" true (Conformance.conforms m (real ())));
+  ]
+
+let () = Alcotest.run "conformance" [ ("unit", unit_tests) ]

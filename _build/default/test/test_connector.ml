@@ -1,0 +1,88 @@
+module Connector = Mechaml_muml.Connector
+module Automaton = Mechaml_ts.Automaton
+module Compose = Mechaml_ts.Compose
+module Universe = Mechaml_ts.Universe
+open Helpers
+
+let routes = [ ("msg_in", "msg_out") ]
+
+let unit_tests =
+  [
+    test "delay-1 channel has empty and full buffer states" (fun () ->
+        let ch = Connector.channel ~name:"ch" ~routes () in
+        check_int "2 states" 2 (Automaton.num_states ch));
+    test "a message is delivered exactly delay steps later" (fun () ->
+        let ch = Connector.channel ~name:"ch" ~delay:2 ~routes () in
+        (* drive by hand: enqueue msg, then two silent steps *)
+        let input m = Universe.set_of_names ch.Automaton.inputs m in
+        let output m = Universe.set_of_names ch.Automaton.outputs m in
+        let s0 = List.hd ch.Automaton.initial in
+        let step s a b =
+          match Automaton.successors ch s a b with
+          | [ d ] -> d
+          | _ -> Alcotest.fail "expected a unique channel move"
+        in
+        (* step 1: msg arrives, nothing delivered *)
+        let s1 = step s0 (input [ "msg_in" ]) (output []) in
+        (* step 2: silence, nothing delivered yet *)
+        let s2 = step s1 (input []) (output []) in
+        (* step 3: silence in, message delivered *)
+        let s3 = step s2 (input []) (output [ "msg_out" ]) in
+        check_int "back to empty" s0 s3);
+    test "reliable channel never drops" (fun () ->
+        let ch = Connector.channel ~name:"ch" ~routes () in
+        (* from the empty state, receiving msg_in has exactly one successor *)
+        let a = Universe.set_of_names ch.Automaton.inputs [ "msg_in" ] in
+        let moves =
+          List.filter
+            (fun (t : Automaton.trans) -> Mechaml_util.Bitset.equal t.input a)
+            (Automaton.transitions_from ch (List.hd ch.Automaton.initial))
+        in
+        check_int "single outcome" 1 (List.length moves));
+    test "lossy channel may drop" (fun () ->
+        let ch = Connector.channel ~name:"ch" ~lossy:true ~routes () in
+        let a = Universe.set_of_names ch.Automaton.inputs [ "msg_in" ] in
+        let moves =
+          List.filter
+            (fun (t : Automaton.trans) -> Mechaml_util.Bitset.equal t.input a)
+            (Automaton.transitions_from ch (List.hd ch.Automaton.initial))
+        in
+        check_int "enqueue or drop" 2 (List.length moves));
+    test "two routes ride the same channel" (fun () ->
+        let ch =
+          Connector.channel ~name:"ch" ~routes:[ ("a_in", "a_out"); ("b_in", "b_out") ] ()
+        in
+        check_int "3 buffer states" 3 (Automaton.num_states ch));
+    test "parameter validation" (fun () ->
+        (match Connector.channel ~name:"ch" ~delay:0 ~routes () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "delay 0");
+        (match Connector.channel ~name:"ch" ~routes:[] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "no routes");
+        (match Connector.channel ~name:"ch" ~routes:[ ("x", "y"); ("x", "z") ] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "duplicate inputs");
+        match Connector.channel ~name:"ch" ~delay:20 ~routes:[ ("a", "b"); ("c", "d") ] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "state space too large");
+    test "channel composes between sender and receiver" (fun () ->
+        (* sender -> channel -> receiver with distinct signal names *)
+        let sender =
+          automaton ~name:"S" ~inputs:[] ~outputs:[ "msg_in" ]
+            ~trans:[ ("s", [], [ "msg_in" ], "t"); ("t", [], [], "t") ]
+            ~initial:[ "s" ] ()
+        in
+        let receiver =
+          automaton ~name:"R" ~inputs:[ "msg_out" ] ~outputs:[]
+            ~states:[ ("got", [ "R.got" ]) ]
+            ~trans:[ ("r", [], [], "r"); ("r", [ "msg_out" ], [], "got"); ("got", [], [], "got") ]
+            ~initial:[ "r" ] ()
+        in
+        let ch = Connector.channel ~name:"ch" ~routes () in
+        let system = Compose.parallel_many [ sender; ch; receiver ] in
+        check_bool "receiver can get the message" true
+          (Mechaml_mc.Checker.holds system (Mechaml_logic.Parser.parse_exn "E<> R.got")));
+  ]
+
+let () = Alcotest.run "connector" [ ("unit", unit_tests) ]

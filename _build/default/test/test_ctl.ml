@@ -1,0 +1,92 @@
+module Ctl = Mechaml_logic.Ctl
+open Helpers
+
+let p = Ctl.Prop "p"
+
+let q = Ctl.Prop "q"
+
+let unit_tests =
+  [
+    test "bounds validation" (fun () ->
+        ignore (Ctl.bounds 0 0);
+        ignore (Ctl.bounds 1 5);
+        (match Ctl.bounds 3 2 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "hi < lo");
+        match Ctl.bounds (-1) 2 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "negative lo");
+    test "props collects and sorts" (fun () ->
+        Alcotest.(check (list string)) "props" [ "a"; "b" ]
+          (Ctl.props (Ctl.And (Ctl.Prop "b", Ctl.Or (Ctl.Prop "a", Ctl.Prop "b")))));
+    test "nnf pushes negation through" (fun () ->
+        check_bool "¬AG p → EF ¬p" true
+          (Ctl.equal (Ctl.nnf (Ctl.Not (Ctl.ag p))) (Ctl.Ef (None, Ctl.Not p)));
+        check_bool "¬(p ∧ q) → ¬p ∨ ¬q" true
+          (Ctl.equal (Ctl.nnf (Ctl.Not (Ctl.And (p, q)))) (Ctl.Or (Ctl.Not p, Ctl.Not q)));
+        check_bool "¬¬p → p" true (Ctl.equal (Ctl.nnf (Ctl.Not (Ctl.Not p))) p);
+        check_bool "implication eliminated" true
+          (Ctl.equal (Ctl.nnf (Ctl.Implies (p, q))) (Ctl.Or (Ctl.Not p, q))));
+    test "nnf preserves bounds under duality" (fun () ->
+        let b = Some (Ctl.bounds 1 4) in
+        check_bool "¬AF[1,4] p → EG[1,4] ¬p" true
+          (Ctl.equal (Ctl.nnf (Ctl.Not (Ctl.Af (b, p)))) (Ctl.Eg (b, Ctl.Not p))));
+    test "is_actl accepts the universal fragment" (fun () ->
+        check_bool "AG" true (Ctl.is_actl (Ctl.ag p));
+        check_bool "AG(¬(p∧q))" true (Ctl.is_actl (Ctl.ag (Ctl.Not (Ctl.And (p, q)))));
+        check_bool "bounded AF" true (Ctl.is_actl (Ctl.Af (Some (Ctl.bounds 1 3), p)));
+        check_bool "AU" true (Ctl.is_actl (Ctl.Au (None, p, q)));
+        check_bool "max_delay pattern" true
+          (Ctl.is_actl (Ctl.max_delay ~trigger:"p" ~target:"q" 5)));
+    test "is_actl rejects existential operators" (fun () ->
+        check_bool "EF" false (Ctl.is_actl (Ctl.Ef (None, p)));
+        check_bool "¬AG (hidden EF)" false (Ctl.is_actl (Ctl.Not (Ctl.ag p)));
+        check_bool "EX" false (Ctl.is_actl (Ctl.Ex p)));
+    test "is_compositional requires negative deadlock polarity" (fun () ->
+        check_bool "AG ¬δ ok" true (Ctl.is_compositional Ctl.deadlock_free);
+        check_bool "AG δ not ok" false (Ctl.is_compositional (Ctl.ag Ctl.Deadlock));
+        check_bool "plain ACTL ok" true (Ctl.is_compositional (Ctl.ag (Ctl.Not p))));
+    test "weaken_for_chaos rewrites literals" (fun () ->
+        let w = Ctl.weaken_for_chaos ~chaos_prop:"c" (Ctl.ag (Ctl.Not (Ctl.And (p, q)))) in
+        (* NNF first: AG(¬p ∨ ¬q); then each literal gains ∨ c. *)
+        let expected =
+          Ctl.Ag
+            ( None,
+              Ctl.Or
+                ( Ctl.Or (Ctl.Not p, Ctl.Prop "c"),
+                  Ctl.Or (Ctl.Not q, Ctl.Prop "c") ) )
+        in
+        check_bool "weakened" true (Ctl.equal w expected));
+    test "weaken_for_chaos leaves deadlock alone" (fun () ->
+        let w = Ctl.weaken_for_chaos ~chaos_prop:"c" Ctl.deadlock_free in
+        check_bool "unchanged" true (Ctl.equal w Ctl.deadlock_free));
+    test "size counts nodes" (fun () ->
+        check_int "atom" 1 (Ctl.size p);
+        check_int "AG(p∧q)" 4 (Ctl.size (Ctl.ag (Ctl.And (p, q)))));
+    test "max_delay builds the canonical CCTL formula" (fun () ->
+        match Ctl.max_delay ~trigger:"t" ~target:"g" 7 with
+        | Ctl.Ag (None, Ctl.Or (Ctl.Not (Ctl.Prop "t"), Ctl.Af (Some b, Ctl.Prop "g"))) ->
+          check_int "lo" 1 b.Ctl.lo;
+          check_int "hi" 7 b.Ctl.hi
+        | _ -> Alcotest.fail "unexpected shape");
+    test "pp/parse roundtrip on printable formulas" (fun () ->
+        let formulas =
+          [
+            Ctl.ag (Ctl.Not (Ctl.And (p, q)));
+            Ctl.Af (Some (Ctl.bounds 1 5), p);
+            Ctl.Au (None, p, q);
+            Ctl.Implies (p, Ctl.Ex q);
+            Ctl.deadlock_free;
+          ]
+        in
+        List.iter
+          (fun f ->
+            let printed = Ctl.to_string f in
+            match Mechaml_logic.Parser.parse printed with
+            | Ok f' -> check_bool ("roundtrip " ^ printed) true (Ctl.equal f f')
+            | Error e ->
+              Alcotest.fail (Printf.sprintf "parse of %S failed: %s" printed e.message))
+          formulas);
+  ]
+
+let () = Alcotest.run "ctl" [ ("unit", unit_tests) ]

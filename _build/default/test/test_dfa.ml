@@ -1,0 +1,119 @@
+module Dfa = Mechaml_learnlib.Dfa
+module Dfa_lstar = Mechaml_learnlib.Dfa_lstar
+open Helpers
+
+let ab = [ "a"; "b" ]
+
+(* L = words with an even number of 'a'. *)
+let even_a =
+  Dfa.create ~alphabet:ab
+    ~delta:[| [| 1; 0 |]; [| 0; 1 |] |]
+    ~accepting:[| true; false |]
+    ()
+
+(* L = words ending in "ab". *)
+let ends_ab =
+  Dfa.create ~alphabet:ab
+    ~delta:[| [| 1; 0 |]; [| 1; 2 |]; [| 1; 0 |] |]
+    ~accepting:[| false; false; true |]
+    ()
+
+let unit_tests =
+  [
+    test "accepts follows transitions" (fun () ->
+        check_bool "ε even" true (Dfa.accepts_word even_a []);
+        check_bool "a odd" false (Dfa.accepts_word even_a [ "a" ]);
+        check_bool "aba even" true (Dfa.accepts_word even_a [ "a"; "b"; "a" ]);
+        check_bool "ends ab" true (Dfa.accepts_word ends_ab [ "b"; "a"; "b" ]);
+        check_bool "ends ba" false (Dfa.accepts_word ends_ab [ "a"; "b"; "a" ]));
+    test "create validates shape" (fun () ->
+        (match Dfa.create ~alphabet:ab ~delta:[| [| 0 |] |] ~accepting:[| true |] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "row too short");
+        match Dfa.create ~alphabet:ab ~delta:[| [| 0; 9 |] |] ~accepting:[| true |] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "target out of range");
+    test "equivalent detects equal and distinct languages" (fun () ->
+        check_bool "self" true (Dfa.equivalent even_a even_a = None);
+        (match Dfa.equivalent even_a ends_ab with
+        | Some w ->
+          check_bool "word distinguishes" true
+            (Dfa.accepts even_a w <> Dfa.accepts ends_ab w)
+        | None -> Alcotest.fail "languages differ"));
+    test "complement flips membership" (fun () ->
+        let c = Dfa.complement even_a in
+        check_bool "ε" false (Dfa.accepts_word c []);
+        check_bool "a" true (Dfa.accepts_word c [ "a" ]);
+        check_bool "not equivalent to original" true (Dfa.equivalent even_a c <> None));
+    test "minimize collapses redundant states" (fun () ->
+        (* duplicate the even_a automaton's states *)
+        let bloated =
+          Dfa.create ~alphabet:ab
+            ~delta:[| [| 1; 2 |]; [| 0; 3 |]; [| 3; 0 |]; [| 2; 1 |] |]
+            ~accepting:[| true; false; true; false |]
+            ()
+        in
+        let m = Dfa.minimize bloated in
+        check_int "2 states" 2 (Dfa.num_states m);
+        check_bool "same language" true (Dfa.equivalent m bloated = None));
+    test "minimize drops unreachable states" (fun () ->
+        let with_orphan =
+          Dfa.create ~alphabet:ab
+            ~delta:[| [| 0; 0 |]; [| 1; 1 |] |]
+            ~accepting:[| true; false |]
+            ()
+        in
+        check_int "1 state" 1 (Dfa.num_states (Dfa.minimize with_orphan)));
+    test "minimize is idempotent on random DFAs" (fun () ->
+        List.iter
+          (fun seed ->
+            let d = Dfa.random ~seed ~states:8 ~alphabet:ab in
+            let m = Dfa.minimize d in
+            check_bool "language preserved" true (Dfa.equivalent d m = None);
+            check_int "idempotent" (Dfa.num_states m) (Dfa.num_states (Dfa.minimize m)))
+          [ 1; 2; 3; 4; 5 ]);
+    test "L* learns the even-a language" (fun () ->
+        let teacher, stats = Dfa_lstar.teacher_of_dfa even_a in
+        let r = Dfa_lstar.learn ~alphabet:ab ~teacher () in
+        check_bool "equivalent" true (Dfa.equivalent even_a r.Dfa_lstar.hypothesis = None);
+        check_int "minimal" 2 (Dfa.num_states r.Dfa_lstar.hypothesis);
+        let s = stats () in
+        check_bool "used membership queries" true (s.Dfa_lstar.membership_queries > 0));
+    test "L* learns ends-ab" (fun () ->
+        let teacher, _ = Dfa_lstar.teacher_of_dfa ends_ab in
+        let r = Dfa_lstar.learn ~alphabet:ab ~teacher () in
+        check_bool "equivalent" true (Dfa.equivalent ends_ab r.Dfa_lstar.hypothesis = None);
+        check_int "minimal (3 states)" 3 (Dfa.num_states r.Dfa_lstar.hypothesis));
+    test "L* learns random DFAs exactly and minimally" (fun () ->
+        List.iter
+          (fun seed ->
+            let target = Dfa.random ~seed ~states:6 ~alphabet:ab in
+            let minimal = Dfa.minimize target in
+            let teacher, stats = Dfa_lstar.teacher_of_dfa target in
+            let r = Dfa_lstar.learn ~alphabet:ab ~teacher () in
+            check_bool
+              (Printf.sprintf "seed %d equivalent" seed)
+              true
+              (Dfa.equivalent target r.Dfa_lstar.hypothesis = None);
+            check_int
+              (Printf.sprintf "seed %d minimal" seed)
+              (Dfa.num_states minimal)
+              (Dfa.num_states r.Dfa_lstar.hypothesis);
+            (* the classical bound: at most n equivalence queries *)
+            let s = stats () in
+            check_bool "≤ n equivalence queries" true
+              (s.Dfa_lstar.equivalence_queries <= Dfa.num_states minimal + 1))
+          (List.init 10 (fun i -> i + 1)));
+    test "membership query growth is polynomial-ish" (fun () ->
+        let queries states seed =
+          let target = Dfa.minimize (Dfa.random ~seed ~states ~alphabet:ab) in
+          let teacher, stats = Dfa_lstar.teacher_of_dfa target in
+          ignore (Dfa_lstar.learn ~alphabet:ab ~teacher ());
+          ((stats ()).Dfa_lstar.membership_queries, Dfa.num_states target)
+        in
+        (* sanity: more states cannot make learning free *)
+        let q1, n1 = queries 4 42 and q2, n2 = queries 16 42 in
+        if n2 > n1 then check_bool "queries grew" true (q2 >= q1));
+  ]
+
+let () = Alcotest.run "dfa" [ ("unit", unit_tests) ]

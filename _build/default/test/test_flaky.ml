@@ -1,0 +1,72 @@
+(* Guardrails: the approach assumes a deterministic component with honest
+   state probes (Sections 4.3/5).  These tests break the assumptions with
+   fault-injection wrappers and check the failure is *detected*, never
+   silently converted into a wrong verdict. *)
+
+module Flaky = Mechaml_legacy.Flaky
+module Replay = Mechaml_legacy.Replay
+module Observation = Mechaml_legacy.Observation
+module Blackbox = Mechaml_legacy.Blackbox
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+let unit_tests =
+  [
+    test "replay detects a nondeterministic component" (fun () ->
+        let box = Flaky.nondeterministic ~seed:0 ~flip_every:2 Railcab.box_correct in
+        (* record with outputs flipped one way; replay sees another *)
+        let inputs = [ []; [ "convoyProposalRejected" ]; [] ] in
+        match
+          let recording = Replay.record ~box ~inputs in
+          Replay.replay ~box recording
+        with
+        | exception Invalid_argument msg ->
+          check_bool "names the component" true
+            (String.length msg > 0)
+        | _ ->
+          (* depending on the phase of the flip counter, a single
+             record/replay pair can coincide; repeating must eventually
+             diverge *)
+          let rec retry n =
+            if n = 0 then Alcotest.fail "nondeterminism never detected"
+            else
+              match
+                let recording = Replay.record ~box ~inputs in
+                Replay.replay ~box recording
+              with
+              | exception Invalid_argument _ -> ()
+              | _ -> retry (n - 1)
+          in
+          retry 10);
+    test "dishonest probes are caught by the determinism check" (fun () ->
+        (* the lossy wrapper is deterministic in (state, step-count) but its
+           probes only report the state: the same probed state answers the
+           same input differently, which Incomplete.add_transition rejects *)
+        let box = Flaky.drop_outputs ~every:3 Railcab.box_correct in
+        let model = Mechaml_core.Synthesis.initial_model box in
+        (* the proposal is emitted on step 1 but suppressed on step 3, both
+           from the same probed state *)
+        let obs =
+          Observation.observe ~box ~inputs:[ []; [ "convoyProposalRejected" ]; [] ]
+        in
+        match Mechaml_core.Incomplete.learn_observation model obs with
+        | exception Invalid_argument msg ->
+          check_bool "mentions determinism" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "contradictory observations accepted");
+    test "wrapper validation" (fun () ->
+        (match Flaky.nondeterministic ~seed:1 ~flip_every:0 Railcab.box_correct with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "flip_every 0 accepted");
+        match Flaky.drop_outputs ~every:0 Railcab.box_correct with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "every 0 accepted");
+    test "wrapped boxes keep the structural interface" (fun () ->
+        let box = Flaky.drop_outputs ~every:3 Railcab.box_correct in
+        Alcotest.(check (list string)) "inputs" Railcab.box_correct.Blackbox.input_signals
+          box.Blackbox.input_signals;
+        check_string "initial" Railcab.box_correct.Blackbox.initial_state
+          box.Blackbox.initial_state);
+  ]
+
+let () = Alcotest.run "flaky" [ ("unit", unit_tests) ]

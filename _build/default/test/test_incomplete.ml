@@ -1,0 +1,120 @@
+module Incomplete = Mechaml_core.Incomplete
+module Automaton = Mechaml_ts.Automaton
+open Helpers
+
+let fresh () =
+  Incomplete.create ~name:"m" ~inputs:[ "x"; "y" ] ~outputs:[ "o" ] ~initial_state:"s0"
+
+let i ~inputs ~outputs = Incomplete.interaction ~inputs ~outputs
+
+let unit_tests =
+  [
+    test "create is the trivial M_l0 of Section 3" (fun () ->
+        let m = fresh () in
+        check_int "one state" 1 (Incomplete.num_states m);
+        check_int "no transitions" 0 (Incomplete.num_transitions m);
+        check_int "no refusals" 0 (Incomplete.num_refusals m);
+        check_int "no knowledge" 0 (Incomplete.knowledge m);
+        check_bool "not complete" false (Incomplete.complete m);
+        check_bool "deterministic" true (Incomplete.deterministic m));
+    test "add_transition discovers states in order" (fun () ->
+        let m = Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" in
+        Alcotest.(check (list string)) "states" [ "s0"; "s1" ] m.Incomplete.states;
+        check_int "knowledge" 1 (Incomplete.knowledge m));
+    test "add_transition is idempotent" (fun () ->
+        let step m = Incomplete.add_transition m ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" in
+        let m = step (step (fresh ())) in
+        check_int "one transition" 1 (Incomplete.num_transitions m));
+    test "interaction normalises signal order" (fun () ->
+        let m = Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "y"; "x" ] ~outputs:[]) ~dst:"s1" in
+        check_bool "lookup with other order" true
+          (Incomplete.known_response m ~state:"s0" ~inputs:[ "x"; "y" ] <> None));
+    test "input determinism is enforced" (fun () ->
+        let m = Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" in
+        match Incomplete.add_transition m ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[ "o" ]) ~dst:"s1" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "conflicting response accepted");
+    test "T and T̄ stay consistent (Definition 6)" (fun () ->
+        let m = Incomplete.add_refusal (fresh ()) ~state:"s0" ~inputs:[ "x" ] in
+        (match Incomplete.add_transition m ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "transition on refused input accepted");
+        let m2 = Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" in
+        match Incomplete.add_refusal m2 ~state:"s0" ~inputs:[ "x" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "refusal on known input accepted");
+    test "unknown signals rejected" (fun () ->
+        match Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "zzz" ] ~outputs:[]) ~dst:"s1" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "refuses and known_response" (fun () ->
+        let m =
+          Incomplete.add_refusal
+            (Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[ "o" ]) ~dst:"s1")
+            ~state:"s1" ~inputs:[ "y" ]
+        in
+        check_bool "refuses" true (Incomplete.refuses m ~state:"s1" ~inputs:[ "y" ]);
+        check_bool "does not refuse" false (Incomplete.refuses m ~state:"s0" ~inputs:[ "x" ]);
+        match Incomplete.known_response m ~state:"s0" ~inputs:[ "x" ] with
+        | Some (outs, dst) ->
+          Alcotest.(check (list string)) "outputs" [ "o" ] outs;
+          check_string "dst" "s1" dst
+        | None -> Alcotest.fail "response should be known");
+    test "unknown_measure decreases with knowledge" (fun () ->
+        let m0 = fresh () in
+        let m1 = Incomplete.add_transition m0 ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s1" in
+        let m2 = Incomplete.add_refusal m1 ~state:"s1" ~inputs:[ "y" ] in
+        let u0 = Incomplete.unknown_measure m0 ~state_bound:4 in
+        let u1 = Incomplete.unknown_measure m1 ~state_bound:4 in
+        let u2 = Incomplete.unknown_measure m2 ~state_bound:4 in
+        check_bool "strictly decreasing" true (u0 > u1 && u1 > u2);
+        check_int "initial budget" 16 u0);
+    test "complete detects full knowledge" (fun () ->
+        (* one state, alphabet {x,y} -> 4 input sets *)
+        let m = Incomplete.create ~name:"m" ~inputs:[ "x"; "y" ] ~outputs:[] ~initial_state:"s" in
+        let m = Incomplete.add_transition m ~src:"s" (i ~inputs:[] ~outputs:[]) ~dst:"s" in
+        let m = Incomplete.add_transition m ~src:"s" (i ~inputs:[ "x" ] ~outputs:[]) ~dst:"s" in
+        let m = Incomplete.add_refusal m ~state:"s" ~inputs:[ "y" ] in
+        check_bool "not yet" false (Incomplete.complete m);
+        let m = Incomplete.add_refusal m ~state:"s" ~inputs:[ "x"; "y" ] in
+        check_bool "complete" true (Incomplete.complete m));
+    test "learn_observation merges steps and refusal (Definitions 11/12)" (fun () ->
+        let obs =
+          {
+            Mechaml_legacy.Observation.initial_state = "s0";
+            steps =
+              [
+                {
+                  Mechaml_legacy.Observation.pre_state = "s0";
+                  inputs = [];
+                  outputs = [ "o" ];
+                  post_state = "s1";
+                };
+                {
+                  Mechaml_legacy.Observation.pre_state = "s1";
+                  inputs = [ "x" ];
+                  outputs = [];
+                  post_state = "s0";
+                };
+              ];
+            refused = Some ("s0", [ "y" ]);
+          }
+        in
+        let m = Incomplete.learn_observation (fresh ()) obs in
+        check_int "2 transitions" 2 (Incomplete.num_transitions m);
+        check_int "1 refusal" 1 (Incomplete.num_refusals m);
+        check_bool "refusal recorded" true (Incomplete.refuses m ~state:"s0" ~inputs:[ "y" ]));
+    test "to_automaton preserves structure" (fun () ->
+        let m =
+          Incomplete.add_transition (fresh ()) ~src:"s0" (i ~inputs:[ "x" ] ~outputs:[ "o" ]) ~dst:"s1"
+        in
+        let a = Incomplete.to_automaton m in
+        check_int "states" 2 (Automaton.num_states a);
+        check_int "transitions" 1 (Automaton.num_transitions a);
+        check_string "initial name" "s0" (Automaton.state_name a (List.hd a.Automaton.initial)));
+    test "pp renders" (fun () ->
+        let m = Incomplete.add_refusal (fresh ()) ~state:"s0" ~inputs:[ "x" ] in
+        check_bool "nonempty" true (String.length (Format.asprintf "%a" Incomplete.pp m) > 0));
+  ]
+
+let () = Alcotest.run "incomplete" [ ("unit", unit_tests) ]

@@ -1,0 +1,68 @@
+module Kio = Mechaml_core.Knowledge_io
+module Incomplete = Mechaml_core.Incomplete
+module Loop = Mechaml_core.Loop
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+let learned () =
+  let r = Railcab.run_correct () in
+  r.Loop.final_model
+
+let unit_tests =
+  [
+    test "print/parse roundtrip preserves the model" (fun () ->
+        let m = learned () in
+        let m' = Kio.parse_exn (Kio.print m) in
+        check_int "states" (Incomplete.num_states m) (Incomplete.num_states m');
+        check_int "transitions" (Incomplete.num_transitions m) (Incomplete.num_transitions m');
+        check_int "refusals" (Incomplete.num_refusals m) (Incomplete.num_refusals m');
+        Alcotest.(check (list string)) "state order" m.Incomplete.states m'.Incomplete.states);
+    test "refusals survive the roundtrip" (fun () ->
+        let m =
+          Incomplete.add_refusal
+            (Incomplete.create ~name:"m" ~inputs:[ "a" ] ~outputs:[] ~initial_state:"s")
+            ~state:"s" ~inputs:[ "a" ]
+        in
+        let m' = Kio.parse_exn (Kio.print m) in
+        check_bool "refusal kept" true (Incomplete.refuses m' ~state:"s" ~inputs:[ "a" ]));
+    test "empty-input refusals are representable" (fun () ->
+        let m =
+          Incomplete.add_refusal
+            (Incomplete.create ~name:"m" ~inputs:[ "a" ] ~outputs:[] ~initial_state:"s")
+            ~state:"s" ~inputs:[]
+        in
+        let m' = Kio.parse_exn (Kio.print m) in
+        check_bool "silent refusal kept" true (Incomplete.refuses m' ~state:"s" ~inputs:[]));
+    test "saved knowledge re-seeds the loop to an immediate proof" (fun () ->
+        let path = Filename.temp_file "mechaml" ".ik" in
+        Kio.save ~path (learned ());
+        let k = match Kio.load ~path with Ok k -> k | Error _ -> Alcotest.fail "load" in
+        Sys.remove path;
+        let r =
+          Loop.run ~label_of:Railcab.label_of ~initial_knowledge:k ~context:Railcab.context
+            ~property:Railcab.constraint_ ~legacy:Railcab.box_correct ()
+        in
+        (match r.Loop.verdict with Loop.Proved -> () | _ -> Alcotest.fail "expected Proved");
+        check_int "no new tests needed" 0 r.Loop.tests_executed;
+        check_int "single model-checking round" 1 (List.length r.Loop.iterations));
+    test "parse errors carry line numbers" (fun () ->
+        (match Kio.parse "inputs a\nbogus\n" with
+        | Error { line; _ } -> check_int "line 2" 2 line
+        | Ok _ -> Alcotest.fail "accepted");
+        match Kio.parse "inputs a\noutputs\ninitial s\ntrans s a / -> t\n" with
+        | Error { line; _ } -> check_int "line 4" 4 line
+        | Ok _ -> Alcotest.fail "accepted");
+    test "inconsistent files are rejected" (fun () ->
+        let text =
+          "inputs a\noutputs\ninitial s\ntrans s : a / -> t\nrefuse s : a\n"
+        in
+        match Kio.parse text with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "T/T̄ conflict accepted");
+    test "missing directives are rejected" (fun () ->
+        match Kio.parse "inputs a\noutputs\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "missing initial accepted");
+  ]
+
+let () = Alcotest.run "knowledge_io" [ ("unit", unit_tests) ]

@@ -1,0 +1,142 @@
+module Lstar = Mechaml_learnlib.Lstar
+module Mealy = Mechaml_learnlib.Mealy
+module Oracle = Mechaml_learnlib.Oracle
+module Blackbox = Mechaml_legacy.Blackbox
+open Mechaml_scenarios
+open Helpers
+
+let learn_exact auto alphabet =
+  let box = Blackbox.of_automaton auto in
+  let truth = Mealy.of_automaton ~alphabet auto in
+  let r = Lstar.learn ~box ~alphabet ~equivalence:(Lstar.Perfect truth) () in
+  (r, truth)
+
+let unit_tests =
+  [
+    test "alphabet_of_signals" (fun () ->
+        Alcotest.(check (list (list string))) "singletons with empty"
+          [ []; [ "a" ]; [ "b" ] ]
+          (Lstar.alphabet_of_signals [ "a"; "b" ]);
+        Alcotest.(check (list (list string))) "without empty"
+          [ [ "a" ] ]
+          (Lstar.alphabet_of_signals ~include_empty:false [ "a" ]);
+        check_int "pairs included" 7
+          (List.length (Lstar.alphabet_of_signals ~max_set_size:2 [ "a"; "b"; "c" ])));
+    test "oracle caches prefixes and counts executions" (fun () ->
+        let box = Blackbox.of_automaton Railcab.legacy_correct in
+        let alphabet = Lstar.alphabet_of_signals Railcab.front_to_rear in
+        let oracle = Oracle.create ~box ~alphabet in
+        let w = [ 0; 2 ] in
+        ignore (Oracle.query oracle w);
+        ignore (Oracle.query oracle [ 0 ]);
+        (* the prefix was cached by the longer query *)
+        let s = Oracle.stats oracle in
+        check_int "one execution" 1 s.Oracle.output_queries;
+        check_int "one cache hit" 1 s.Oracle.cached_queries;
+        check_int "one reset" 1 s.Oracle.resets);
+    test "oracle observes refusals as Blocked without advancing" (fun () ->
+        let box = Blackbox.of_automaton Railcab.legacy_correct in
+        let alphabet = Lstar.alphabet_of_signals Railcab.front_to_rear in
+        let oracle = Oracle.create ~box ~alphabet in
+        (* empty-input twice: first emits the proposal, the second is refused
+           in noConvoy::wait, then startConvoy is accepted from the same
+           state. *)
+        let idx s = Mealy.alphabet_index (Mealy.of_automaton ~alphabet Railcab.legacy_correct) s in
+        let outs = Oracle.query oracle [ idx []; idx []; idx [ "startConvoy" ] ] in
+        check_bool "middle blocked" true (List.nth outs 1 = Mealy.Blocked);
+        check_bool "still accepts start" true (List.nth outs 2 = Mealy.Out []));
+    test "L* learns the RailCab rear component exactly" (fun () ->
+        let alphabet = Lstar.alphabet_of_signals Railcab.front_to_rear in
+        let r, truth = learn_exact Railcab.legacy_correct alphabet in
+        check_bool "equivalent to ground truth" true
+          (Mealy.equivalent truth r.Lstar.hypothesis = None);
+        check_int "minimal state count" 4 (Mealy.num_states r.Lstar.hypothesis));
+    test "L* learns the toggle sender" (fun () ->
+        let alphabet = Lstar.alphabet_of_signals Protocol.receiver_to_sender in
+        let r, truth = learn_exact Protocol.sender_correct alphabet in
+        check_bool "equivalent" true (Mealy.equivalent truth r.Lstar.hypothesis = None));
+    test "L* learns the full lock — all n+1 states" (fun () ->
+        let n = 8 in
+        let r, truth = learn_exact (Families.lock_legacy ~n) Families.lock_alphabet in
+        check_bool "equivalent" true (Mealy.equivalent truth r.Lstar.hypothesis = None);
+        check_int "n+1 states" (n + 1) (Mealy.num_states r.Lstar.hypothesis));
+    test "L* query counts grow with component size" (fun () ->
+        let q n =
+          let r, _ = learn_exact (Families.lock_legacy ~n) Families.lock_alphabet in
+          r.Lstar.stats.Oracle.output_queries
+        in
+        check_bool "monotone-ish growth" true (q 4 < q 8 && q 8 < q 12));
+    test "L* with a W-method oracle converges on small machines" (fun () ->
+        let alphabet = Lstar.alphabet_of_signals Protocol.receiver_to_sender in
+        let box = Blackbox.of_automaton Protocol.sender_correct in
+        let r =
+          Lstar.learn ~box ~alphabet ~equivalence:(Lstar.Wmethod { extra_states = 4 }) ()
+        in
+        let truth = Mealy.of_automaton ~alphabet Protocol.sender_correct in
+        check_bool "equivalent" true (Mealy.equivalent truth r.Lstar.hypothesis = None);
+        check_bool "equivalence queries counted" true (r.Lstar.stats.Oracle.equivalence_queries >= 1));
+    test "all three counterexample treatments learn the lock exactly" (fun () ->
+        let n = 8 in
+        let truth = Mealy.of_automaton ~alphabet:Families.lock_alphabet (Families.lock_legacy ~n) in
+        List.iter
+          (fun processing ->
+            let r =
+              Lstar.learn ~box:(Families.lock_box ~n) ~alphabet:Families.lock_alphabet
+                ~equivalence:(Lstar.Perfect truth) ~ce_processing:processing ()
+            in
+            check_bool "equivalent" true (Mealy.equivalent truth r.Lstar.hypothesis = None);
+            check_int "n+1 states" (n + 1) (Mealy.num_states r.Lstar.hypothesis))
+          [
+            Mechaml_learnlib.Obs_table.Angluin_prefixes;
+            Mechaml_learnlib.Obs_table.Maler_pnueli_suffixes;
+            Mechaml_learnlib.Obs_table.Rivest_schapire;
+          ]);
+    test "Rivest-Schapire adds single columns (one equivalence query per split)" (fun () ->
+        let n = 8 in
+        let truth = Mealy.of_automaton ~alphabet:Families.lock_alphabet (Families.lock_legacy ~n) in
+        let rs =
+          Lstar.learn ~box:(Families.lock_box ~n) ~alphabet:Families.lock_alphabet
+            ~equivalence:(Lstar.Perfect truth)
+            ~ce_processing:Mechaml_learnlib.Obs_table.Rivest_schapire ()
+        in
+        let mp =
+          Lstar.learn ~box:(Families.lock_box ~n) ~alphabet:Families.lock_alphabet
+            ~equivalence:(Lstar.Perfect truth)
+            ~ce_processing:Mechaml_learnlib.Obs_table.Maler_pnueli_suffixes ()
+        in
+        check_bool "more rounds, not more columns" true
+          (rs.Lstar.rounds >= mp.Lstar.rounds && rs.Lstar.table_columns <= mp.Lstar.table_columns));
+    test "Rivest-Schapire on random machines" (fun () ->
+        List.iter
+          (fun seed ->
+            let auto =
+              Families.random_machine ~seed ~states:5 ~inputs:[ "p"; "q" ] ~outputs:[ "r" ]
+            in
+            let alphabet = Lstar.alphabet_of_signals [ "p"; "q" ] in
+            let truth = Mealy.of_automaton ~alphabet auto in
+            let r =
+              Lstar.learn ~box:(Mechaml_legacy.Blackbox.of_automaton auto) ~alphabet
+                ~equivalence:(Lstar.Perfect truth)
+                ~ce_processing:Mechaml_learnlib.Obs_table.Rivest_schapire ()
+            in
+            check_bool
+              (Printf.sprintf "seed %d equivalent" seed)
+              true
+              (Mealy.equivalent truth r.Lstar.hypothesis = None))
+          [ 11; 12; 13; 14; 15 ]);
+    test "learning a random machine exactly" (fun () ->
+        List.iter
+          (fun seed ->
+            let auto =
+              Families.random_machine ~seed ~states:5 ~inputs:[ "p"; "q" ] ~outputs:[ "r" ]
+            in
+            let alphabet = Lstar.alphabet_of_signals [ "p"; "q" ] in
+            let r, truth = learn_exact auto alphabet in
+            check_bool
+              (Printf.sprintf "seed %d equivalent" seed)
+              true
+              (Mealy.equivalent truth r.Lstar.hypothesis = None))
+          [ 1; 2; 3; 4; 5 ]);
+  ]
+
+let () = Alcotest.run "lstar" [ ("unit", unit_tests) ]

@@ -1,0 +1,113 @@
+module Mealy = Mechaml_learnlib.Mealy
+module Automaton = Mechaml_ts.Automaton
+open Helpers
+
+let alphabet = [ []; [ "x" ] ]
+
+(* A two-state toggle: on "x" it alternates outputs. *)
+let toggle () =
+  Mealy.create ~alphabet
+    ~trans:
+      [|
+        [| (Mealy.Out [], 0); (Mealy.Out [ "u" ], 1) |];
+        [| (Mealy.Out [], 1); (Mealy.Out [ "v" ], 0) |];
+      |]
+    ()
+
+let unit_tests =
+  [
+    test "create validates shape" (fun () ->
+        (match Mealy.create ~alphabet ~trans:[| [| (Mealy.Out [], 0) |] |] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "row too short");
+        (match Mealy.create ~alphabet ~trans:[| [| (Mealy.Out [], 5); (Mealy.Out [], 0) |] |] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "target out of range");
+        match
+          Mealy.create ~alphabet ~trans:[| [| (Mealy.Blocked, 0); (Mealy.Out [], 0) |];
+                                           [| (Mealy.Blocked, 0); (Mealy.Out [], 1) |] |] ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "blocked must self-loop");
+    test "step and run_word" (fun () ->
+        let m = toggle () in
+        Alcotest.(check int) "next" 1 (snd (Mealy.step m 0 1));
+        let outs = Mealy.run_word m [ 1; 1; 0; 1 ] in
+        check_bool "alternating outputs" true
+          (outs = [ Mealy.Out [ "u" ]; Mealy.Out [ "v" ]; Mealy.Out [] ; Mealy.Out [ "u" ] ]));
+    test "state_after follows transitions" (fun () ->
+        let m = toggle () in
+        check_int "after xx back to 0" 0 (Mealy.state_after m [ 1; 1 ]);
+        check_int "after x at 1" 1 (Mealy.state_after m [ 1 ]));
+    test "alphabet_index normalises" (fun () ->
+        let m = toggle () in
+        check_int "empty" 0 (Mealy.alphabet_index m []);
+        check_int "x" 1 (Mealy.alphabet_index m [ "x" ]);
+        match Mealy.alphabet_index m [ "zzz" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "of_automaton captures refusals as Blocked" (fun () ->
+        let auto =
+          automaton ~inputs:[ "x" ] ~outputs:[ "u" ]
+            ~trans:[ ("a", [ "x" ], [ "u" ], "b"); ("b", [], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        let m = Mealy.of_automaton ~alphabet auto in
+        (* state a refuses silence, answers x *)
+        check_bool "a blocks on empty" true (fst (Mealy.step m 0 0) = Mealy.Blocked);
+        check_bool "a answers x with u" true (fst (Mealy.step m 0 1) = Mealy.Out [ "u" ]);
+        (* blocked self-loops *)
+        check_int "blocked stays" 0 (snd (Mealy.step m 0 0)));
+    test "to_automaton inverts of_automaton behaviourally" (fun () ->
+        let auto =
+          automaton ~inputs:[ "x" ] ~outputs:[ "u" ]
+            ~trans:[ ("a", [ "x" ], [ "u" ], "b"); ("b", [], [], "a"); ("b", [ "x" ], [], "b") ]
+            ~initial:[ "a" ] ()
+        in
+        let m = Mealy.of_automaton ~alphabet auto in
+        let back = Mealy.to_automaton m in
+        let m2 = Mealy.of_automaton ~alphabet back in
+        check_bool "equivalent" true (Mealy.equivalent m m2 = None));
+    test "equivalent detects differences with a shortest word" (fun () ->
+        let a = toggle () in
+        let b =
+          Mealy.create ~alphabet
+            ~trans:
+              [|
+                [| (Mealy.Out [], 0); (Mealy.Out [ "u" ], 1) |];
+                [| (Mealy.Out [], 1); (Mealy.Out [ "u" ], 0) |];
+              |]
+            ()
+        in
+        (match Mealy.equivalent a b with
+        | Some w -> check_int "differs after two x" 2 (List.length w)
+        | None -> Alcotest.fail "machines differ");
+        check_bool "self equivalent" true (Mealy.equivalent a a = None));
+    test "distinguishing_words separate all states" (fun () ->
+        let m = toggle () in
+        let words = Mealy.distinguishing_words m in
+        check_bool "nonempty" true (words <> []);
+        check_bool "some word separates the two states" true
+          (List.exists
+             (fun w ->
+               let from0 =
+                 List.fold_left
+                   (fun (s, acc) a ->
+                     let o, s' = Mealy.step m s a in
+                     (s', o :: acc))
+                   (0, []) w
+               and from1 =
+                 List.fold_left
+                   (fun (s, acc) a ->
+                     let o, s' = Mealy.step m s a in
+                     (s', o :: acc))
+                   (1, []) w
+               in
+               snd from0 <> snd from1)
+             words));
+    test "pp_output" (fun () ->
+        check_string "blocked" "⊥" (Format.asprintf "%a" Mealy.pp_output Mealy.Blocked);
+        check_string "out" "{a,b}" (Format.asprintf "%a" Mealy.pp_output (Mealy.Out [ "a"; "b" ])));
+  ]
+
+let () = Alcotest.run "mealy" [ ("unit", unit_tests) ]

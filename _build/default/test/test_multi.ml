@@ -1,0 +1,141 @@
+module Multi = Mechaml_core.Multi
+module Loop = Mechaml_core.Loop
+module Incomplete = Mechaml_core.Incomplete
+module Conformance = Mechaml_core.Conformance
+module Blackbox = Mechaml_legacy.Blackbox
+module Automaton = Mechaml_ts.Automaton
+open Helpers
+
+(* Two tiny independent components: a toggle and an echo. *)
+let toggle =
+  automaton ~name:"toggle" ~inputs:[ "flip" ] ~outputs:[ "lit" ]
+    ~trans:
+      [
+        ("off", [ "flip" ], [ "lit" ], "on");
+        ("off", [], [], "off");
+        ("on", [ "flip" ], [], "off");
+        ("on", [], [], "on");
+      ]
+    ~initial:[ "off" ] ()
+
+let echo =
+  automaton ~name:"echo" ~inputs:[ "ping" ] ~outputs:[ "pong" ]
+    ~trans:[ ("e", [ "ping" ], [ "pong" ], "e"); ("e", [], [], "e") ]
+    ~initial:[ "e" ] ()
+
+let box_toggle () = Blackbox.of_automaton toggle
+
+let box_echo () = Blackbox.of_automaton echo
+
+let combined () = Multi.combine [ box_toggle (); box_echo () ]
+
+let unit_tests =
+  [
+    test "combine concatenates interfaces" (fun () ->
+        let c = combined () in
+        Alcotest.(check (list string)) "inputs" [ "flip"; "ping" ] c.Blackbox.input_signals;
+        Alcotest.(check (list string)) "outputs" [ "lit"; "pong" ] c.Blackbox.output_signals;
+        check_string "initial" "off&e" c.Blackbox.initial_state;
+        check_int "bound is the product" 2 c.Blackbox.state_bound);
+    test "combine rejects overlapping signals and single components" (fun () ->
+        (match Multi.combine [ box_toggle (); box_toggle () ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "shared signals");
+        match Multi.combine [ box_toggle () ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "single component");
+    test "joint steps split inputs and join outputs" (fun () ->
+        let s = (combined ()).Blackbox.connect () in
+        (match s.Blackbox.step ~inputs:[ "flip"; "ping" ] with
+        | Some outs -> Alcotest.(check (list string)) "both answered" [ "lit"; "pong" ] outs
+        | None -> Alcotest.fail "both accept");
+        check_string "joint state" "on&e" (s.Blackbox.probe_state ()));
+    test "a refusal by one component refuses the joint step without advancing" (fun () ->
+        (* make the echo refuse: silence is accepted by both, so use a
+           component that refuses silence *)
+        let strict =
+          automaton ~name:"strict" ~inputs:[ "go" ] ~outputs:[ "done" ]
+            ~trans:[ ("s", [ "go" ], [ "done" ], "t"); ("t", [], [], "t") ]
+            ~initial:[ "s" ] ()
+        in
+        let c = Multi.combine [ box_toggle (); Blackbox.of_automaton strict ] in
+        let s = c.Blackbox.connect () in
+        (* toggle accepts flip, strict refuses silence: joint step refused *)
+        check_bool "joint refusal" true (s.Blackbox.step ~inputs:[ "flip" ] = None);
+        (* neither component advanced: a subsequent valid joint step sees the
+           original states *)
+        check_string "state unchanged" "off&s" (s.Blackbox.probe_state ());
+        (match s.Blackbox.step ~inputs:[ "flip"; "go" ] with
+        | Some outs -> Alcotest.(check (list string)) "now both move" [ "lit"; "done" ] outs
+        | None -> Alcotest.fail "should advance");
+        check_string "both advanced" "on&t" (s.Blackbox.probe_state ()));
+    test "joint_labels splits on the separator" (fun () ->
+        let f = Multi.joint_labels [ (fun s -> [ "a." ^ s ]); (fun s -> [ "b." ^ s ]) ] in
+        Alcotest.(check (list string)) "labels" [ "a.x"; "b.y" ] (f "x&y");
+        Alcotest.(check (list string)) "arity mismatch" [] (f "x"));
+    test "multi loop proves the alternating driver and splits the models" (fun () ->
+        let driver =
+          automaton ~name:"driver" ~inputs:[ "lit"; "pong" ] ~outputs:[ "flip"; "ping" ]
+            ~trans:
+              [
+                ("d0", [ "lit" ], [ "flip" ], "d1");
+                ("d1", [ "pong" ], [ "ping" ], "d2");
+                ("d2", [], [ "flip" ], "d0");
+              ]
+            ~initial:[ "d0" ] ()
+        in
+        let r =
+          Multi.run ~context:driver ~property:Mechaml_logic.Ctl.True
+            ~legacies:[ box_toggle (); box_echo () ] ()
+        in
+        (match r.Multi.loop.Loop.verdict with
+        | Loop.Proved -> ()
+        | _ -> Alcotest.fail "expected Proved");
+        let m_toggle = List.assoc "toggle" r.Multi.component_models in
+        let m_echo = List.assoc "echo" r.Multi.component_models in
+        check_bool "toggle model conforms" true (Conformance.conforms m_toggle toggle);
+        check_bool "echo model conforms" true (Conformance.conforms m_echo echo);
+        check_int "toggle fully explored" 2 (Incomplete.num_states m_toggle));
+    test "multi loop finds a real joint deadlock" (fun () ->
+        (* the driver flips twice in a row expecting lit both times; the
+           toggle answers lit only from off *)
+        let driver =
+          automaton ~name:"driver" ~inputs:[ "lit"; "pong" ] ~outputs:[ "flip"; "ping" ]
+            ~trans:
+              [ ("d0", [ "lit" ], [ "flip" ], "d1"); ("d1", [ "lit" ], [ "flip" ], "d0") ]
+            ~initial:[ "d0" ] ()
+        in
+        let r =
+          Multi.run ~context:driver ~property:Mechaml_logic.Ctl.True
+            ~legacies:[ box_toggle (); box_echo () ] ()
+        in
+        match r.Multi.loop.Loop.verdict with
+        | Loop.Real_violation { kind = Loop.Deadlock; _ } -> ()
+        | _ -> Alcotest.fail "expected a real deadlock");
+    test "split_model attributes refusals only when unambiguous" (fun () ->
+        let strict =
+          automaton ~name:"strict" ~inputs:[ "go" ] ~outputs:[ "done" ]
+            ~trans:[ ("s", [ "go" ], [ "done" ], "t"); ("t", [], [], "t") ]
+            ~initial:[ "s" ] ()
+        in
+        let boxes = [ box_toggle (); Blackbox.of_automaton strict ] in
+        let m =
+          Incomplete.create ~name:"joint" ~inputs:[ "flip"; "go" ] ~outputs:[ "lit"; "done" ]
+            ~initial_state:"off&s"
+        in
+        (* known: toggle answers silence at off *)
+        let m =
+          Incomplete.add_transition m ~src:"off&s"
+            (Incomplete.interaction ~inputs:[ "flip"; "go" ] ~outputs:[ "lit"; "done" ])
+            ~dst:"on&t"
+        in
+        let m = Incomplete.add_refusal m ~state:"off&s" ~inputs:[ "flip" ] in
+        let parts = Multi.split_model ~components:boxes m in
+        let m_toggle = List.assoc "toggle" parts and m_strict = List.assoc "strict" parts in
+        (* the toggle's response to flip is known from the transition, so the
+           refusal of {flip} (strict got silence) is attributed to strict *)
+        check_int "strict got the refusal" 1 (Incomplete.num_refusals m_strict);
+        check_int "toggle got none" 0 (Incomplete.num_refusals m_toggle));
+  ]
+
+let () = Alcotest.run "multi" [ ("unit", unit_tests) ]

@@ -1,0 +1,110 @@
+module Role = Mechaml_muml.Role
+module Pattern = Mechaml_muml.Pattern
+module Component = Mechaml_muml.Component
+module Rtsc = Mechaml_rtsc.Rtsc
+module Automaton = Mechaml_ts.Automaton
+module Refinement = Mechaml_ts.Refinement
+module Checker = Mechaml_mc.Checker
+module Parser = Mechaml_logic.Parser
+open Helpers
+
+(* A tiny request/grant pattern: client proposes, server grants. *)
+let client_rtsc () =
+  let c = Rtsc.create ~name:"client" ~inputs:[ "grant" ] ~outputs:[ "request" ] () in
+  Rtsc.add_state c ~initial:true ~idle:true "idle";
+  Rtsc.add_state c "waiting";
+  Rtsc.add_state c ~idle:true "served";
+  Rtsc.add_transition c ~src:"idle" ~effect:[ "request" ] ~dst:"waiting" ();
+  Rtsc.add_transition c ~src:"waiting" ~trigger:[ "grant" ] ~dst:"served" ();
+  c
+
+let server_rtsc () =
+  let c = Rtsc.create ~name:"server" ~inputs:[ "request" ] ~outputs:[ "grant" ] () in
+  Rtsc.add_state c ~initial:true ~idle:true "ready";
+  Rtsc.add_state c "granting";
+  Rtsc.add_transition c ~src:"ready" ~trigger:[ "request" ] ~dst:"granting" ();
+  Rtsc.add_transition c ~src:"granting" ~effect:[ "grant" ] ~dst:"ready" ();
+  c
+
+let client () = Role.make ~name:"client" ~behavior:(client_rtsc ()) ()
+
+let server () = Role.make ~name:"server" ~behavior:(server_rtsc ()) ()
+
+let pattern () =
+  Pattern.make ~name:"RequestGrant"
+    ~roles:[ client (); server () ]
+    ~constraint_:(Parser.parse_exn "AG (not (client.served and server.granting))")
+    ()
+
+let unit_tests =
+  [
+    test "role automaton is prefixed" (fun () ->
+        let m = Role.automaton (client ()) in
+        check_bool "client.idle" true
+          (Automaton.has_prop m (Automaton.state_index m "idle") "client.idle"));
+    test "role invariant checked in isolation" (fun () ->
+        let role =
+          Role.make ~name:"client" ~behavior:(client_rtsc ())
+            ~invariant:(Parser.parse_exn "AG (not (client.idle and client.served))")
+            ()
+        in
+        check_bool "holds" true (Role.check_invariant role = Checker.Holds));
+    test "pattern verify holds for the request/grant pattern" (fun () ->
+        match Pattern.verify (pattern ()) with
+        | Checker.Holds -> ()
+        | Checker.Violated { explanation; _ } -> Alcotest.fail explanation);
+    test "pattern verify reports violated constraints" (fun () ->
+        let bad =
+          Pattern.make ~name:"RequestGrant"
+            ~roles:[ client (); server () ]
+            ~constraint_:(Parser.parse_exn "AG (not client.served)")
+            ()
+        in
+        match Pattern.verify bad with
+        | Checker.Violated _ -> ()
+        | Checker.Holds -> Alcotest.fail "served is reachable");
+    test "composition reaches the served state" (fun () ->
+        let m = Pattern.composition (pattern ()) in
+        check_bool "EF client.served" true
+          (Checker.holds m (Parser.parse_exn "E<> client.served")));
+    test "context_for excludes the named role" (fun () ->
+        let ctx = Pattern.context_for (pattern ()) ~role:"client" in
+        check_bool "has server props" true
+          (Mechaml_ts.Universe.mem ctx.Automaton.props "server.ready");
+        check_bool "no client props" false
+          (Mechaml_ts.Universe.mem ctx.Automaton.props "client.idle"));
+    test "context_for unknown role raises" (fun () ->
+        match Pattern.context_for (pattern ()) ~role:"nobody" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "component port refining its role conforms" (fun () ->
+        (* the role automaton itself is a valid port implementation *)
+        let port = Role.automaton (client ()) in
+        let comp = Component.make ~name:"ClientImpl" ~ports:[ ("client", port) ] in
+        match Component.conforms_to comp ~role:(client ()) with
+        | Refinement.Refines -> ()
+        | Refinement.Fails _ -> Alcotest.fail "role refines itself");
+    test "component adding behaviour does not conform" (fun () ->
+        let rogue =
+          automaton ~name:"rogue" ~inputs:[ "grant" ] ~outputs:[ "request" ]
+            ~states:[ ("idle", [ "client.idle" ]) ]
+            ~trans:
+              [
+                ("idle", [], [ "request" ], "idle");
+                (* sends requests forever without ever waiting: trace not in
+                   the role *)
+              ]
+            ~initial:[ "idle" ] ()
+        in
+        let comp = Component.make ~name:"Rogue" ~ports:[ ("client", rogue) ] in
+        match Component.conforms_to comp ~role:(client ()) with
+        | Refinement.Fails _ -> ()
+        | Refinement.Refines -> Alcotest.fail "rogue must not conform");
+    test "conforms_to without the port raises" (fun () ->
+        let comp = Component.make ~name:"Empty" ~ports:[] in
+        match Component.conforms_to comp ~role:(client ()) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+  ]
+
+let () = Alcotest.run "muml" [ ("unit", unit_tests) ]

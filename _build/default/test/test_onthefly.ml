@@ -1,0 +1,120 @@
+module Onthefly = Mechaml_mc.Onthefly
+module Checker = Mechaml_mc.Checker
+module Compose = Mechaml_ts.Compose
+module Ctl = Mechaml_logic.Ctl
+module Families = Mechaml_scenarios.Families
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+let agrees_with_materialized ~left ~right ~invariant =
+  let fly = Onthefly.violates_invariant ~left ~right ~invariant () in
+  let p = Compose.parallel left right in
+  let materialized =
+    Checker.check_conjunction p.Compose.auto [ invariant; Ctl.deadlock_free ]
+  in
+  match (fly.Onthefly.verdict, materialized) with
+  | Onthefly.Holds, Checker.Holds -> true
+  | Onthefly.Bad_state _, Checker.Violated { formula; _ } -> Ctl.equal formula invariant
+  | Onthefly.Deadlocked _, Checker.Violated { formula; _ } ->
+    Ctl.equal formula Ctl.deadlock_free
+  | _ -> false
+
+let unit_tests =
+  [
+    test "agrees with the materialized checker on the railcab pattern" (fun () ->
+        let labelled =
+          let u = Mechaml_ts.Universe.of_list [ "rearRole.noConvoy"; "rearRole.convoy" ] in
+          Mechaml_ts.Automaton.relabel Railcab.legacy_correct ~props:u (fun s ->
+              Mechaml_ts.Universe.set_of_names u
+                (List.filter
+                   (fun p -> Mechaml_ts.Universe.mem u p)
+                   (Railcab.label_of
+                      (Mechaml_ts.Automaton.state_name Railcab.legacy_correct s))))
+        in
+        check_bool "agrees" true
+          (agrees_with_materialized ~left:Railcab.context ~right:labelled
+             ~invariant:Railcab.constraint_));
+    test "finds the conflicting legacy's violation" (fun () ->
+        let labelled =
+          let u = Mechaml_ts.Universe.of_list [ "rearRole.noConvoy"; "rearRole.convoy" ] in
+          Mechaml_ts.Automaton.relabel Railcab.legacy_conflicting ~props:u (fun s ->
+              Mechaml_ts.Universe.set_of_names u
+                (List.filter
+                   (fun p -> Mechaml_ts.Universe.mem u p)
+                   (Railcab.label_of
+                      (Mechaml_ts.Automaton.state_name Railcab.legacy_conflicting s))))
+        in
+        let r =
+          Onthefly.violates_invariant ~left:Railcab.context ~right:labelled
+            ~invariant:Railcab.constraint_ ()
+        in
+        match r.Onthefly.verdict with
+        | Onthefly.Bad_state trace ->
+          check_int "one step to the violation" 1 (List.length trace.Onthefly.io)
+        | _ -> Alcotest.fail "expected Bad_state");
+    test "finds deadlocks with a shortest trace" (fun () ->
+        let r =
+          Onthefly.check_safety ~left:Mechaml_scenarios.Protocol.receiver
+            ~right:Mechaml_scenarios.Protocol.sender_fire_and_forget ()
+        in
+        match r.Onthefly.verdict with
+        | Onthefly.Deadlocked trace -> check_int "after one period" 1 (List.length trace.Onthefly.io)
+        | _ -> Alcotest.fail "expected Deadlocked");
+    test "agrees with the materialized checker on random instances" (fun () ->
+        List.iter
+          (fun seed ->
+            let legacy =
+              Families.random_machine ~seed ~states:5 ~inputs:[ "u"; "v" ] ~outputs:[ "w" ]
+            in
+            let context =
+              Families.random_context ~seed ~states:3 ~legacy_inputs:[ "u"; "v" ]
+                ~legacy_outputs:[ "w" ]
+            in
+            check_bool
+              (Printf.sprintf "seed %d" seed)
+              true
+              (agrees_with_materialized ~left:context ~right:legacy ~invariant:(Ctl.ag Ctl.True)))
+          (List.init 20 (fun i -> i)));
+    test "early exit explores fewer pairs than the full space" (fun () ->
+        (* lock with a deep context: the deadlock-free sweep visits all pairs,
+           a violation stops at the first bad pair *)
+        let n = 64 in
+        let left = Families.lock_context ~n ~depth:(n - 1) in
+        let right = Families.lock_legacy ~n in
+        let full = Onthefly.check_safety ~left ~right () in
+        check_bool "holds" true (full.Onthefly.verdict = Onthefly.Holds);
+        let early =
+          Onthefly.check_safety ~left ~right
+            ~bad:(fun _ rs -> Mechaml_ts.Automaton.state_name right rs = "locked_3")
+            ()
+        in
+        (match early.Onthefly.verdict with
+        | Onthefly.Bad_state _ -> ()
+        | _ -> Alcotest.fail "locked_3 is reachable");
+        check_bool "explored strictly less" true
+          (early.Onthefly.pairs_explored < full.Onthefly.pairs_explored));
+    test "invariant shape is validated" (fun () ->
+        (match
+           Onthefly.violates_invariant ~left:Railcab.context ~right:Railcab.legacy_correct
+             ~invariant:(Ctl.Ef (None, Ctl.True)) ()
+         with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "non-AG accepted");
+        match
+          Onthefly.violates_invariant ~left:Railcab.context ~right:Railcab.legacy_correct
+            ~invariant:(Ctl.ag (Ctl.af Ctl.True)) ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "temporal body accepted");
+    test "trace pairs form a joint path" (fun () ->
+        let r =
+          Onthefly.check_safety ~left:Mechaml_scenarios.Protocol.receiver
+            ~right:Mechaml_scenarios.Protocol.sender_fire_and_forget ()
+        in
+        match r.Onthefly.verdict with
+        | Onthefly.Deadlocked { pairs; io } ->
+          check_int "one more pair than interactions" (List.length io + 1) (List.length pairs)
+        | _ -> Alcotest.fail "expected Deadlocked");
+  ]
+
+let () = Alcotest.run "onthefly" [ ("unit", unit_tests) ]

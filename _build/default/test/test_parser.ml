@@ -1,0 +1,79 @@
+module Ctl = Mechaml_logic.Ctl
+module Parser = Mechaml_logic.Parser
+open Helpers
+
+let parses s expected =
+  test ("parses: " ^ s) (fun () ->
+      match Parser.parse s with
+      | Ok f -> check_bool "expected AST" true (Ctl.equal f expected)
+      | Error e -> Alcotest.fail (Printf.sprintf "error at %d: %s" e.position e.message))
+
+let rejects s =
+  test ("rejects: " ^ s) (fun () ->
+      match Parser.parse s with
+      | Ok f -> Alcotest.fail ("unexpectedly parsed as " ^ Ctl.to_string f)
+      | Error _ -> ())
+
+let p = Ctl.Prop "p"
+
+let q = Ctl.Prop "q"
+
+let unit_tests =
+  [
+    parses "true" Ctl.True;
+    parses "false" Ctl.False;
+    parses "deadlock" Ctl.Deadlock;
+    parses "delta" Ctl.Deadlock;
+    parses "p" p;
+    parses "frontRole.noConvoy" (Ctl.Prop "frontRole.noConvoy");
+    parses "noConvoy::default" (Ctl.Prop "noConvoy::default");
+    parses "not p" (Ctl.Not p);
+    parses "!p" (Ctl.Not p);
+    parses "p and q" (Ctl.And (p, q));
+    parses "p && q" (Ctl.And (p, q));
+    parses "p or q" (Ctl.Or (p, q));
+    parses "p || q" (Ctl.Or (p, q));
+    parses "p -> q" (Ctl.Implies (p, q));
+    parses "p => q" (Ctl.Implies (p, q));
+    parses "p -> q -> p" (Ctl.Implies (p, Ctl.Implies (q, p)));
+    parses "p and q or p" (Ctl.Or (Ctl.And (p, q), p));
+    parses "p or q and p" (Ctl.Or (p, Ctl.And (q, p)));
+    parses "AG p" (Ctl.ag p);
+    parses "A[] p" (Ctl.ag p);
+    parses "A<> p" (Ctl.af p);
+    parses "E[] p" (Ctl.Eg (None, p));
+    parses "E<> p" (Ctl.Ef (None, p));
+    parses "AX p" (Ctl.Ax p);
+    parses "EX p" (Ctl.Ex p);
+    parses "AF[1,5] p" (Ctl.Af (Some (Ctl.bounds 1 5), p));
+    parses "EG[0,3] p" (Ctl.Eg (Some (Ctl.bounds 0 3), p));
+    parses "A (p U q)" (Ctl.Au (None, p, q));
+    parses "E (p U q)" (Ctl.Eu (None, p, q));
+    parses "A[2,7] (p U q)" (Ctl.Au (Some (Ctl.bounds 2 7), p, q));
+    parses "AG (not (rearRole.convoy and frontRole.noConvoy))"
+      (Ctl.ag (Ctl.Not (Ctl.And (Ctl.Prop "rearRole.convoy", Ctl.Prop "frontRole.noConvoy"))));
+    parses "AG (p -> AF[1,4] q)"
+      (Ctl.ag (Ctl.Implies (p, Ctl.Af (Some (Ctl.bounds 1 4), q))));
+    parses "not not p" (Ctl.Not (Ctl.Not p));
+    parses "AG AF p" (Ctl.ag (Ctl.af p));
+    parses "((p))" p;
+    rejects "";
+    rejects "p and";
+    rejects "(p";
+    rejects "p q";
+    rejects "AF[5,1] p";
+    rejects "AF[1 5] p";
+    rejects "A p U q";
+    rejects "AX[1,2] p";
+    rejects "p # q";
+    test "error positions are reported" (fun () ->
+        match Parser.parse "p and (q" with
+        | Error e -> check_bool "has message" true (String.length e.message > 0)
+        | Ok _ -> Alcotest.fail "should fail");
+    test "parse_exn raises with location" (fun () ->
+        match Parser.parse_exn "and" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+  ]
+
+let () = Alcotest.run "parser" [ ("unit", unit_tests) ]

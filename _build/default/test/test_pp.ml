@@ -1,0 +1,27 @@
+module Pp = Mechaml_util.Pp
+open Helpers
+
+let unit_tests =
+  [
+    test "comma_list" (fun () ->
+        check_string "three" "1, 2, 3"
+          (Format.asprintf "%a" (Pp.comma_list Format.pp_print_int) [ 1; 2; 3 ]);
+        check_string "empty" "" (Format.asprintf "%a" (Pp.comma_list Format.pp_print_int) []));
+    test "semi_list" (fun () ->
+        check_string "two" "a; b"
+          (Format.asprintf "%a" (Pp.semi_list Format.pp_print_string) [ "a"; "b" ]));
+    test "str formats" (fun () -> check_string "interp" "x=3" (Pp.str "x=%d" 3));
+    test "table aligns columns" (fun () ->
+        let rendered = Pp.table ~header:[ "name"; "n" ] [ [ "a"; "1" ]; [ "long"; "23" ] ] in
+        let lines = String.split_on_char '\n' rendered in
+        check_int "4 lines" 4 (List.length lines);
+        (* all lines same width *)
+        let widths = List.map String.length lines in
+        check_bool "uniform width" true
+          (List.for_all (fun w -> w = List.hd widths) widths));
+    test "table tolerates ragged rows" (fun () ->
+        let rendered = Pp.table ~header:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+        check_bool "renders" true (String.length rendered > 0));
+  ]
+
+let () = Alcotest.run "pp" [ ("unit", unit_tests) ]

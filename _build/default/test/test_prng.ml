@@ -1,0 +1,72 @@
+module Prng = Mechaml_util.Prng
+open Helpers
+
+let unit_tests =
+  [
+    test "same seed, same stream" (fun () ->
+        let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+        let xs = List.init 50 (fun _ -> Prng.int a 1000) in
+        let ys = List.init 50 (fun _ -> Prng.int b 1000) in
+        Alcotest.(check (list int)) "streams equal" xs ys);
+    test "different seeds differ" (fun () ->
+        let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+        let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+        check_bool "streams differ" true (xs <> ys));
+    test "copy forks the state" (fun () ->
+        let a = Prng.create ~seed:7 in
+        ignore (Prng.int a 10);
+        let b = Prng.copy a in
+        check_int "same next draw" (Prng.int a 1000) (Prng.int b 1000));
+    test "int respects bounds" (fun () ->
+        let a = Prng.create ~seed:3 in
+        for _ = 1 to 1000 do
+          let v = Prng.int a 7 in
+          check_bool "in range" true (v >= 0 && v < 7)
+        done);
+    test "int rejects non-positive bound" (fun () ->
+        let a = Prng.create ~seed:3 in
+        Alcotest.check_raises "zero" (Invalid_argument "Prng.int: bound must be positive")
+          (fun () -> ignore (Prng.int a 0)));
+    test "float respects bounds" (fun () ->
+        let a = Prng.create ~seed:9 in
+        for _ = 1 to 1000 do
+          let v = Prng.float a 2.5 in
+          check_bool "in range" true (v >= 0.0 && v < 2.5)
+        done);
+    test "bool is not constant" (fun () ->
+        let a = Prng.create ~seed:11 in
+        let draws = List.init 100 (fun _ -> Prng.bool a) in
+        check_bool "sees true" true (List.mem true draws);
+        check_bool "sees false" true (List.mem false draws));
+    test "pick chooses members" (fun () ->
+        let a = Prng.create ~seed:13 in
+        for _ = 1 to 100 do
+          check_bool "member" true (List.mem (Prng.pick a [ 1; 2; 3 ]) [ 1; 2; 3 ])
+        done;
+        Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list") (fun () ->
+            ignore (Prng.pick a [])));
+    test "shuffle permutes" (fun () ->
+        let a = Prng.create ~seed:17 in
+        let l = List.init 30 Fun.id in
+        let s = Prng.shuffle a l in
+        Alcotest.(check (list int)) "same multiset" l (List.sort compare s));
+    test "split yields independent streams" (fun () ->
+        let a = Prng.create ~seed:19 in
+        let b = Prng.split a in
+        let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+        let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+        check_bool "streams differ" true (xs <> ys));
+    test "rough uniformity of int" (fun () ->
+        let a = Prng.create ~seed:23 in
+        let buckets = Array.make 10 0 in
+        for _ = 1 to 10_000 do
+          let v = Prng.int a 10 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.iter
+          (fun c -> check_bool "bucket within 30% of mean" true (c > 700 && c < 1300))
+          buckets);
+  ]
+
+let () = Alcotest.run "prng" [ ("unit", unit_tests) ]

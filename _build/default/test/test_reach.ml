@@ -1,0 +1,82 @@
+module Automaton = Mechaml_ts.Automaton
+module Reach = Mechaml_ts.Reach
+module Run = Mechaml_ts.Run
+open Helpers
+
+let chain () =
+  automaton ~inputs:[ "x" ] ~outputs:[]
+    ~trans:
+      [
+        ("a", [ "x" ], [], "b");
+        ("b", [ "x" ], [], "c");
+        ("orphan", [ "x" ], [], "a");
+        ("c", [], [], "c");
+      ]
+    ~initial:[ "a" ] ()
+
+let unit_tests =
+  [
+    test "reachable excludes orphans" (fun () ->
+        let m = chain () in
+        let r = Reach.reachable m in
+        check_bool "a" true r.(Automaton.state_index m "a");
+        check_bool "c" true r.(Automaton.state_index m "c");
+        check_bool "orphan" false r.(Automaton.state_index m "orphan");
+        check_int "count" 3 (Reach.reachable_count m));
+    test "prune drops unreachable states" (fun () ->
+        let m = Reach.prune (chain ()) in
+        check_int "3 states" 3 (Automaton.num_states m);
+        Alcotest.(check (option int)) "orphan gone" None (Automaton.state_index_opt m "orphan");
+        check_string "names preserved" "a" (Automaton.state_name m 0));
+    test "blocking_states on reachable part only" (fun () ->
+        let m =
+          automaton ~inputs:[] ~outputs:[]
+            ~trans:[ ("a", [], [], "dead"); ("unreached_dead", [], [], "unreached_dead2") ]
+            ~initial:[ "a" ] ()
+        in
+        let blocking = Reach.blocking_states m in
+        check_int "only the reachable dead state" 1 (List.length blocking);
+        check_string "it is 'dead'" "dead" (Automaton.state_name m (List.hd blocking)));
+    test "shortest_run_to finds the shortest" (fun () ->
+        let m = chain () in
+        match Reach.shortest_run_to m (fun s -> Automaton.state_name m s = "c") with
+        | None -> Alcotest.fail "should reach c"
+        | Some r ->
+          check_int "2 steps" 2 (Run.length r);
+          check_bool "is a run" true (Run.is_run_of m r));
+    test "shortest_run_to with unreachable target" (fun () ->
+        let m = chain () in
+        check_bool "none" true
+          (Reach.shortest_run_to m (fun s -> Automaton.state_name m s = "orphan") = None));
+    test "shortest_run_to trivial when initial matches" (fun () ->
+        let m = chain () in
+        match Reach.shortest_run_to m (fun s -> Automaton.state_name m s = "a") with
+        | Some r -> check_int "0 steps" 0 (Run.length r)
+        | None -> Alcotest.fail "initial state matches");
+    test "dfs_run_to finds some run" (fun () ->
+        let m = chain () in
+        match Reach.dfs_run_to m (fun s -> Automaton.state_name m s = "c") with
+        | None -> Alcotest.fail "should reach c"
+        | Some r ->
+          check_bool "is a run" true (Run.is_run_of m r);
+          check_string "ends at c" "c" (Automaton.state_name m (Run.final_state r)));
+    test "dfs may find longer runs than bfs" (fun () ->
+        (* Diamond with a long detour declared first: DFS takes it. *)
+        let m =
+          automaton ~inputs:[] ~outputs:[]
+            ~trans:
+              [
+                ("s", [], [], "long1");
+                ("long1", [], [], "long2");
+                ("long2", [], [], "goal");
+                ("s", [], [], "goal");
+              ]
+            ~initial:[ "s" ] ()
+        in
+        let bfs = Option.get (Reach.shortest_run_to m (fun s -> Automaton.state_name m s = "goal")) in
+        let dfs = Option.get (Reach.dfs_run_to m (fun s -> Automaton.state_name m s = "goal")) in
+        check_int "bfs shortest" 1 (Run.length bfs);
+        check_int "dfs takes the detour" 3 (Run.length dfs));
+  ]
+
+let () = Alcotest.run "reach" [ ("unit", unit_tests) ]

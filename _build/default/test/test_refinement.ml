@@ -1,0 +1,136 @@
+module Refinement = Mechaml_ts.Refinement
+module Simulation = Mechaml_ts.Simulation
+module Run = Mechaml_ts.Run
+open Helpers
+
+let refines ?label_match c a = Refinement.refines ?label_match ~concrete:c ~abstract:a ()
+
+let check_result ?label_match c a =
+  Refinement.check ?label_match ~concrete:c ~abstract:a ()
+
+let unit_tests =
+  [
+    test "reflexivity" (fun () ->
+        let m () =
+          automaton ~inputs:[ "x" ] ~outputs:[ "o" ]
+            ~trans:[ ("a", [ "x" ], [ "o" ], "b"); ("b", [], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        check_bool "M ⊑ M" true (refines (m ()) (m ())));
+    test "restriction of choices is not refinement (deadlock preservation)" (fun () ->
+        (* The abstract automaton always accepts x; the concrete refuses it:
+           the concrete has a deadlock run the abstract lacks — condition 2
+           fails.  This is the reactivity-preserving part of Definition 4. *)
+        let concrete =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [], [], "a"); ("a", [ "x" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        match check_result concrete abstract with
+        | Refinement.Fails { reason = Refinement.Unmatched_refusal _; witness } ->
+          check_bool "witness is a deadlock run" true witness.Run.deadlock
+        | Refinement.Fails _ -> Alcotest.fail "wrong failure reason"
+        | Refinement.Refines -> Alcotest.fail "should not refine");
+    test "restriction is refinement when the abstract may also refuse" (fun () ->
+        (* Non-deterministic abstract: one branch accepts x forever, another
+           stops accepting — the concrete's refusals are then covered. *)
+        let concrete =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "stop") ]
+            ~initial:[ "a" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "a"); ("a", [ "x" ], [], "stop") ]
+            ~initial:[ "a" ] ()
+        in
+        check_bool "refines" true (refines concrete abstract));
+    test "new traces break refinement" (fun () ->
+        let concrete =
+          automaton ~inputs:[ "x"; "y" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "a"); ("a", [ "y" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "x"; "y" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        match check_result concrete abstract with
+        | Refinement.Fails { reason = Refinement.Missing_trace _; witness } ->
+          check_bool "witness ends after the offending step" true (Run.length witness >= 1)
+        | _ -> Alcotest.fail "expected Missing_trace");
+    test "label mismatch detected at the right state" (fun () ->
+        let concrete =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~states:[ ("a", []); ("b", [ "p" ]) ]
+            ~trans:[ ("a", [ "x" ], [], "b"); ("b", [], [], "b") ]
+            ~initial:[ "a" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~states:[ ("a", []); ("b", [ "q" ]) ]
+            ~trans:[ ("a", [ "x" ], [], "b"); ("b", [], [], "b") ]
+            ~initial:[ "a" ] ()
+        in
+        match check_result concrete abstract with
+        | Refinement.Fails { reason = Refinement.Label_mismatch; witness } ->
+          check_int "mismatch one step in" 1 (Run.length witness)
+        | _ -> Alcotest.fail "expected Label_mismatch");
+    test "wildcard labels admit chaos abstractions" (fun () ->
+        let concrete =
+          automaton ~inputs:[] ~outputs:[] ~states:[ ("s", [ "p" ]) ]
+            ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[] ~outputs:[] ~states:[ ("w", [ "pc" ]) ]
+            ~trans:[ ("w", [], [], "w"); ("w", [], [], "dead") ]
+            ~initial:[ "w" ] ()
+        in
+        check_bool "wildcard refinement" true
+          (refines ~label_match:(Simulation.Wildcard "pc") concrete abstract));
+    test "nondeterministic abstract needs the subset construction" (fun () ->
+        (* Trace inclusion holds although no simulation exists: the observer
+           must consider both abstract branches at once.  Labels are empty so
+           only conditions on traces and refusals matter. *)
+        let concrete =
+          automaton ~inputs:[ "a"; "b"; "c" ] ~outputs:[]
+            ~trans:[ ("s", [ "a" ], [], "t"); ("t", [ "b" ], [], "u"); ("t", [ "c" ], [], "u") ]
+            ~initial:[ "s" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "a"; "b"; "c" ] ~outputs:[]
+            ~trans:
+              [
+                ("s", [ "a" ], [], "t1");
+                ("s", [ "a" ], [], "t2");
+                ("t1", [ "b" ], [], "u");
+                ("t1", [ "c" ], [], "u");
+                ("t2", [ "b" ], [], "u");
+                ("t2", [ "c" ], [], "u");
+              ]
+            ~initial:[ "s" ] ()
+        in
+        check_bool "refines via observer" true (refines concrete abstract));
+    test "refinement implies simulation on deterministic abstracts" (fun () ->
+        let concrete =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "b"); ("b", [ "x" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        let abstract =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("s", [ "x" ], [], "s") ]
+            ~initial:[ "s" ] ()
+        in
+        check_bool "refines" true (refines concrete abstract);
+        check_bool "simulates" true
+          (Simulation.simulates ~concrete ~abstract ()));
+  ]
+
+let () = Alcotest.run "refinement" [ ("unit", unit_tests) ]

@@ -1,0 +1,215 @@
+module Rtsc = Mechaml_rtsc.Rtsc
+module Automaton = Mechaml_ts.Automaton
+module Reach = Mechaml_ts.Reach
+open Helpers
+
+let simple_chart () =
+  let c = Rtsc.create ~name:"c" ~inputs:[ "go" ] ~outputs:[ "done" ] () in
+  Rtsc.add_state c ~initial:true ~idle:true "off";
+  Rtsc.add_state c "on";
+  Rtsc.add_transition c ~src:"off" ~trigger:[ "go" ] ~dst:"on" ();
+  Rtsc.add_transition c ~src:"on" ~effect:[ "done" ] ~dst:"off" ();
+  c
+
+let unit_tests =
+  [
+    test "flat chart flattens 1:1" (fun () ->
+        let m = Rtsc.flatten (simple_chart ()) in
+        check_int "2 states" 2 (Automaton.num_states m);
+        (* off: idle self-loop + go; on: done *)
+        check_int "3 transitions" 3 (Automaton.num_transitions m));
+    test "hierarchy: composite entry goes to the initial child" (fun () ->
+        let c = Rtsc.create ~name:"h" ~inputs:[ "in" ] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "top";
+        Rtsc.add_state c ~parent:"top" ~initial:true "first";
+        Rtsc.add_state c ~parent:"top" "second";
+        Rtsc.add_state c "other";
+        Rtsc.add_transition c ~src:"top::first" ~trigger:[ "in" ] ~dst:"top::second" ();
+        Rtsc.add_transition c ~src:"top::second" ~trigger:[ "in" ] ~dst:"other" ();
+        Rtsc.add_transition c ~src:"other" ~trigger:[ "in" ] ~dst:"top" ();
+        let m = Rtsc.flatten c in
+        (* entering "top" lands in top::first *)
+        let other = Automaton.state_index m "other" in
+        let succ =
+          Automaton.successors m other
+            (Mechaml_ts.Universe.set_of_names m.Automaton.inputs [ "in" ])
+            Mechaml_util.Bitset.empty
+        in
+        Alcotest.(check (list string)) "enters initial child" [ "top::first" ]
+          (List.map (Automaton.state_name m) succ));
+    test "labels include all ancestors with the prefix" (fun () ->
+        let c = Rtsc.create ~name:"h" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "a";
+        Rtsc.add_state c ~parent:"a" ~initial:true "b";
+        Rtsc.add_state c ~parent:"a::b" ~initial:true ~idle:true "c";
+        let m = Rtsc.flatten ~label_prefix:"role." c in
+        let s = Automaton.state_index m "a::b::c" in
+        check_bool "role.a" true (Automaton.has_prop m s "role.a");
+        check_bool "role.a::b" true (Automaton.has_prop m s "role.a::b");
+        check_bool "role.a::b::c" true (Automaton.has_prop m s "role.a::b::c"));
+    test "outer transitions fire from descendant leaves" (fun () ->
+        let c = Rtsc.create ~name:"h" ~inputs:[ "abort" ] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "work";
+        Rtsc.add_state c ~parent:"work" ~initial:true ~idle:true "inner";
+        Rtsc.add_state c ~idle:true "stopped";
+        Rtsc.add_transition c ~src:"work" ~trigger:[ "abort" ] ~dst:"stopped" ();
+        let m = Rtsc.flatten c in
+        let inner = Automaton.state_index m "work::inner" in
+        let succ =
+          Automaton.successors m inner
+            (Mechaml_ts.Universe.set_of_names m.Automaton.inputs [ "abort" ])
+            Mechaml_util.Bitset.empty
+        in
+        Alcotest.(check (list string)) "outer abort applies" [ "stopped" ]
+          (List.map (Automaton.state_name m) succ));
+    test "clocks: guard delays a transition" (fun () ->
+        let c = Rtsc.create ~name:"t" ~inputs:[] ~outputs:[ "fire" ] () in
+        Rtsc.add_clock c "x";
+        Rtsc.add_state c ~initial:true ~idle:true "wait";
+        Rtsc.add_state c ~idle:true "fired";
+        Rtsc.add_transition c ~src:"wait" ~effect:[ "fire" ] ~guard:[ ("x", Rtsc.Ge, 2) ]
+          ~dst:"fired" ();
+        let m = Rtsc.flatten c in
+        (* configurations: wait[x=0], wait[x=1], wait[x=2 sat], wait[x=3 cap] ... *)
+        let w0 = Automaton.state_index m "wait[x=0]" in
+        check_int "only idle from x=0" 1 (List.length (Automaton.transitions_from m w0));
+        let w2 = Automaton.state_index m "wait[x=2]" in
+        check_int "idle + fire from x=2" 2 (List.length (Automaton.transitions_from m w2)));
+    test "clocks: invariant forces progress" (fun () ->
+        let c = Rtsc.create ~name:"t" ~inputs:[] ~outputs:[ "fire" ] () in
+        Rtsc.add_clock c "x";
+        Rtsc.add_state c ~initial:true ~idle:true ~invariant:[ ("x", Rtsc.Le, 1) ] "wait";
+        Rtsc.add_state c ~idle:true "fired";
+        Rtsc.add_transition c ~src:"wait" ~effect:[ "fire" ] ~dst:"fired" ();
+        let m = Rtsc.flatten c in
+        (* wait[x=2] must be unreachable: the invariant blocks further delay *)
+        check_bool "x=2 not reachable" true (Automaton.state_index_opt m "wait[x=2]" = None));
+    test "clocks: resets restart the clock" (fun () ->
+        let c = Rtsc.create ~name:"t" ~inputs:[ "tick" ] ~outputs:[] () in
+        Rtsc.add_clock c "x";
+        Rtsc.add_state c ~initial:true ~idle:true "a";
+        Rtsc.add_transition c ~src:"a" ~trigger:[ "tick" ] ~guard:[ ("x", Rtsc.Ge, 1) ]
+          ~resets:[ "x" ] ~dst:"a" ();
+        let m = Rtsc.flatten c in
+        check_bool "reset configuration reachable" true
+          (Automaton.state_index_opt m "a[x=0]" <> None);
+        check_bool "no unbounded growth" true (Automaton.num_states m <= 3));
+    test "clock values saturate at the cap" (fun () ->
+        let c = Rtsc.create ~name:"t" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_clock c "x";
+        Rtsc.add_state c ~initial:true ~idle:true "a";
+        let m = Rtsc.flatten c in
+        (* no constraints: cap is 1, configurations a[x=0], a[x=1] *)
+        check_int "bounded configurations" 2 (Automaton.num_states m);
+        check_bool "all reachable" true (Reach.reachable_count m = 2));
+    test "validation errors" (fun () ->
+        let c = Rtsc.create ~name:"v" ~inputs:[ "i" ] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "a";
+        (match Rtsc.add_state c ~parent:"nope" "b" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unknown parent");
+        (match Rtsc.add_state c "a" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "duplicate");
+        (match Rtsc.add_transition c ~src:"a" ~trigger:[ "zzz" ] ~dst:"a" () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unknown signal");
+        match Rtsc.add_transition c ~src:"a" ~guard:[ ("y", Rtsc.Le, 1) ] ~dst:"a" () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unknown clock");
+    test "flatten requires an initial state" (fun () ->
+        let c = Rtsc.create ~name:"v" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_state c "a";
+        match Rtsc.flatten c with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "composite without initial child is an error on entry" (fun () ->
+        let c = Rtsc.create ~name:"v" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "top";
+        Rtsc.add_state c ~parent:"top" "child";
+        match Rtsc.flatten c with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "interval delay: transition fires only within [l,u]" (fun () ->
+        let c = Rtsc.create ~name:"d" ~inputs:[] ~outputs:[ "fire" ] () in
+        Rtsc.add_state c ~initial:true ~idle:true "wait";
+        Rtsc.add_state c ~idle:true "done";
+        Rtsc.add_transition c ~src:"wait" ~effect:[ "fire" ] ~delay:(2, 3) ~dst:"done" ();
+        let m = Rtsc.flatten c in
+        let fire_enabled v =
+          match Automaton.state_index_opt m (Printf.sprintf "wait[@wait=%d]" v) with
+          | None -> false
+          | Some s ->
+            List.exists
+              (fun (t : Automaton.trans) ->
+                not (Mechaml_util.Bitset.is_empty t.Automaton.output))
+              (Automaton.transitions_from m s)
+        in
+        check_bool "not at 0" false (fire_enabled 0);
+        check_bool "not at 1" false (fire_enabled 1);
+        check_bool "at 2" true (fire_enabled 2);
+        check_bool "at 3" true (fire_enabled 3);
+        (* beyond the window (clock saturates at 4) the guard fails *)
+        check_bool "not at 4" false (fire_enabled 4));
+    test "interval delay: entry resets the dwell clock" (fun () ->
+        let c = Rtsc.create ~name:"d" ~inputs:[ "back" ] ~outputs:[ "fire" ] () in
+        Rtsc.add_state c ~initial:true ~idle:true "wait";
+        Rtsc.add_state c ~idle:true "done";
+        Rtsc.add_transition c ~src:"wait" ~effect:[ "fire" ] ~delay:(1, 2) ~dst:"done" ();
+        Rtsc.add_transition c ~src:"done" ~trigger:[ "back" ] ~dst:"wait" ();
+        let m = Rtsc.flatten c in
+        (* after done --back--> wait, the dwell clock must be 0 again *)
+        check_bool "re-entry lands at @wait=0" true
+          (List.exists
+             (fun s ->
+               Automaton.state_name m s |> fun n ->
+               String.length n >= 4 && String.sub n 0 4 = "wait"
+               && Automaton.has_prop m s "wait")
+             (List.init (Automaton.num_states m) Fun.id));
+        let donecfg =
+          List.find
+            (fun s ->
+              let n = Automaton.state_name m s in
+              String.length n >= 4 && String.sub n 0 4 = "done")
+            (List.init (Automaton.num_states m) Fun.id)
+        in
+        let back =
+          Automaton.successors m donecfg
+            (Mechaml_ts.Universe.set_of_names m.Automaton.inputs [ "back" ])
+            Mechaml_util.Bitset.empty
+        in
+        check_bool "back leads to a reset dwell clock" true
+          (List.exists
+             (fun s ->
+               let n = Automaton.state_name m s in
+               String.length n >= 9 && String.sub n 0 9 = "wait[@wai"
+               && String.sub n (String.index n '=' + 1) 1 = "0")
+             back));
+    test "urgent delay bounds dwelling" (fun () ->
+        let c = Rtsc.create ~name:"d" ~inputs:[] ~outputs:[ "fire" ] () in
+        Rtsc.add_state c ~initial:true ~idle:true "wait";
+        Rtsc.add_state c ~idle:true "done";
+        Rtsc.add_transition c ~src:"wait" ~effect:[ "fire" ] ~delay:(1, 2) ~urgent:true
+          ~dst:"done" ();
+        let m = Rtsc.flatten c in
+        (* the urgency invariant @wait <= 2 makes wait[@wait=3] unreachable *)
+        check_bool "no dwelling past u" true
+          (Automaton.state_index_opt m "wait[@wait=3]" = None));
+    test "delay validation" (fun () ->
+        let c = Rtsc.create ~name:"d" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "s";
+        (match Rtsc.add_transition c ~src:"s" ~delay:(3, 1) ~dst:"s" () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "u < l accepted");
+        match Rtsc.add_transition c ~src:"s" ~urgent:true ~dst:"s" () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "urgent without delay accepted");
+    test "leaf_paths lists leaves in declaration order" (fun () ->
+        let c = Rtsc.create ~name:"v" ~inputs:[] ~outputs:[] () in
+        Rtsc.add_state c ~initial:true "a";
+        Rtsc.add_state c ~parent:"a" ~initial:true ~idle:true "b";
+        Rtsc.add_state c ~idle:true "c";
+        Alcotest.(check (list string)) "leaves" [ "a::b"; "c" ] (Rtsc.leaf_paths c));
+  ]
+
+let () = Alcotest.run "rtsc" [ ("unit", unit_tests) ]

@@ -1,0 +1,78 @@
+module Run = Mechaml_ts.Run
+module Universe = Mechaml_ts.Universe
+module Bitset = Mechaml_util.Bitset
+open Helpers
+
+let m =
+  automaton ~inputs:[ "x" ] ~outputs:[ "y" ]
+    ~trans:[ ("a", [ "x" ], [ "y" ], "b"); ("b", [], [], "a") ]
+    ~initial:[ "a" ] ()
+
+let x = Bitset.singleton 0
+
+let y = Bitset.singleton 0
+
+let e = Bitset.empty
+
+let unit_tests =
+  [
+    test "initial run" (fun () ->
+        let r = Run.initial 0 in
+        check_int "length" 0 (Run.length r);
+        check_int "final" 0 (Run.final_state r);
+        check_bool "valid" true (Run.is_run_of m r));
+    test "regular run validation" (fun () ->
+        let r = Run.regular ~states:[ 0; 1; 0 ] ~io:[ (x, y); (e, e) ] in
+        check_bool "valid" true (Run.is_run_of m r);
+        check_int "length" 2 (Run.length r);
+        check_int "final" 0 (Run.final_state r));
+    test "invalid step rejected by is_run_of" (fun () ->
+        let r = Run.regular ~states:[ 0; 1 ] ~io:[ (e, e) ] in
+        check_bool "wrong io" false (Run.is_run_of m r);
+        let r2 = Run.regular ~states:[ 1; 0 ] ~io:[ (e, e) ] in
+        check_bool "wrong initial" false (Run.is_run_of m r2));
+    test "length invariant enforced" (fun () ->
+        (match Run.regular ~states:[ 0; 1 ] ~io:[] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "regular too few ios");
+        (match Run.deadlocking ~states:[ 0 ] ~io:[] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "deadlock needs final io");
+        match Run.regular ~states:[] ~io:[] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "empty states");
+    test "deadlock run semantics" (fun () ->
+        (* state b refuses x/y *)
+        let r = Run.deadlocking ~states:[ 0; 1 ] ~io:[ (x, y); (x, y) ] in
+        check_bool "valid deadlock run" true (Run.is_run_of m r);
+        (* but b accepts -/-, so that refusal claim is wrong *)
+        let r2 = Run.deadlocking ~states:[ 0; 1 ] ~io:[ (x, y); (e, e) ] in
+        check_bool "claimed refusal actually accepted" false (Run.is_run_of m r2));
+    test "append_step and seal_deadlock" (fun () ->
+        let r = Run.append_step (Run.initial 0) (x, y) 1 in
+        check_int "grew" 1 (Run.length r);
+        let d = Run.seal_deadlock r (x, y) in
+        check_bool "now deadlock" true d.Run.deadlock;
+        (match Run.append_step d (e, e) 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "append after deadlock");
+        match Run.seal_deadlock d (e, e) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "double seal");
+    test "trace and state_sequence project" (fun () ->
+        let r = Run.regular ~states:[ 0; 1 ] ~io:[ (x, y) ] in
+        Alcotest.(check (list int)) "states" [ 0; 1 ] (Run.state_sequence r);
+        check_int "trace length" 1 (List.length (Run.trace r)));
+    test "map_states and map_io" (fun () ->
+        let r = Run.regular ~states:[ 0; 1 ] ~io:[ (x, y) ] in
+        let r' = Run.map_states (fun s -> s + 10) r in
+        Alcotest.(check (list int)) "mapped" [ 10; 11 ] (Run.state_sequence r');
+        let r'' = Run.map_io (fun _ -> (e, e)) r in
+        check_bool "io mapped" true (List.for_all (fun (a, b) -> Bitset.is_empty a && Bitset.is_empty b) (Run.trace r'')));
+    test "pp renders steps" (fun () ->
+        let r = Run.regular ~states:[ 0; 1 ] ~io:[ (x, y) ] in
+        let s = Format.asprintf "%a" (Run.pp m) r in
+        check_bool "nonempty" true (String.length s > 0));
+  ]
+
+let () = Alcotest.run "run" [ ("unit", unit_tests) ]

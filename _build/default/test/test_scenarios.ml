@@ -1,0 +1,124 @@
+module Railcab = Mechaml_scenarios.Railcab
+module Protocol = Mechaml_scenarios.Protocol
+module Families = Mechaml_scenarios.Families
+module Labels = Mechaml_scenarios.Labels
+module Pattern = Mechaml_muml.Pattern
+module Component = Mechaml_muml.Component
+module Checker = Mechaml_mc.Checker
+module Refinement = Mechaml_ts.Refinement
+module Automaton = Mechaml_ts.Automaton
+open Helpers
+
+let box_step session sym = session.Mechaml_legacy.Blackbox.step ~inputs:[ sym ]
+
+let unit_tests =
+  [
+    test "hierarchical labels" (fun () ->
+        Alcotest.(check (list string)) "two levels"
+          [ "r.noConvoy"; "r.noConvoy::wait" ]
+          (Labels.hierarchical ~prefix:"r." "noConvoy::wait");
+        Alcotest.(check (list string)) "flat" [ "r.convoy" ]
+          (Labels.hierarchical ~prefix:"r." "convoy"));
+    test "DistanceCoordination pattern verifies upfront" (fun () ->
+        match Pattern.verify Railcab.pattern with
+        | Checker.Holds -> ()
+        | Checker.Violated { explanation; _ } -> Alcotest.fail explanation);
+    test "the front role alone satisfies reachability sanity" (fun () ->
+        let m = Railcab.context in
+        check_bool "can enter convoy" true
+          (Checker.holds m (Mechaml_logic.Parser.parse_exn "E<> frontRole.convoy")));
+    test "legacy_correct refines the rear role specification" (fun () ->
+        (* label-blind check: the legacy component carries no labels *)
+        let spec =
+          Automaton.relabel
+            (Mechaml_muml.Role.automaton Railcab.rear_role)
+            ~props:Mechaml_ts.Universe.empty
+            (fun _ -> Mechaml_util.Bitset.empty)
+        in
+        match Refinement.check ~concrete:Railcab.legacy_correct ~abstract:spec () with
+        | Refinement.Refines -> ()
+        | Refinement.Fails { reason; _ } ->
+          Alcotest.fail
+            (match reason with
+            | Refinement.Label_mismatch -> "label mismatch"
+            | Refinement.Missing_trace _ -> "missing trace"
+            | Refinement.Unmatched_refusal _ -> "unmatched refusal"));
+    test "legacy_conflicting does NOT refine the rear role" (fun () ->
+        let spec =
+          Automaton.relabel
+            (Mechaml_muml.Role.automaton Railcab.rear_role)
+            ~props:Mechaml_ts.Universe.empty
+            (fun _ -> Mechaml_util.Bitset.empty)
+        in
+        match Refinement.check ~concrete:Railcab.legacy_conflicting ~abstract:spec () with
+        | Refinement.Fails _ -> ()
+        | Refinement.Refines -> Alcotest.fail "the faulty component must not conform");
+    test "exact composition with the correct legacy is deadlock free" (fun () ->
+        let p = Mechaml_ts.Compose.parallel Railcab.context Railcab.legacy_correct in
+        check_bool "no deadlock" true
+          (Checker.holds p.Mechaml_ts.Compose.auto Mechaml_logic.Ctl.deadlock_free));
+    test "exact composition with the conflicting legacy violates the constraint" (fun () ->
+        let labelled =
+          let u = Mechaml_ts.Universe.of_list [ "rearRole.noConvoy"; "rearRole.convoy" ] in
+          Automaton.relabel Railcab.legacy_conflicting ~props:u (fun s ->
+              let name = Automaton.state_name Railcab.legacy_conflicting s in
+              Mechaml_ts.Universe.set_of_names u
+                (List.filter
+                   (fun p -> Mechaml_ts.Universe.mem u p)
+                   (Railcab.label_of name)))
+        in
+        let p = Mechaml_ts.Compose.parallel Railcab.context labelled in
+        check_bool "constraint violated" false
+          (Checker.holds p.Mechaml_ts.Compose.auto Railcab.constraint_));
+    test "both legacy variants are valid black boxes" (fun () ->
+        check_bool "correct deterministic" true
+          (Automaton.input_deterministic Railcab.legacy_correct);
+        check_bool "conflicting deterministic" true
+          (Automaton.input_deterministic Railcab.legacy_conflicting);
+        check_string "port" "rearRole" Railcab.box_correct.Mechaml_legacy.Blackbox.port);
+    test "protocol receiver alternates" (fun () ->
+        let p = Mechaml_ts.Compose.parallel Protocol.receiver Protocol.sender_correct in
+        check_bool "deadlock free" true
+          (Checker.holds p.Mechaml_ts.Compose.auto Mechaml_logic.Ctl.deadlock_free));
+    test "lock secret is reproducible and binary" (fun () ->
+        let s1 = Families.lock_secret ~n:10 and s2 = Families.lock_secret ~n:10 in
+        Alcotest.(check (list string)) "deterministic" s1 s2;
+        check_bool "over a/b" true (List.for_all (fun c -> c = "a" || c = "b") s1));
+    test "lock legacy opens only on the full secret" (fun () ->
+        let n = 5 in
+        let box = Families.lock_box ~n in
+        let session = box.Mechaml_legacy.Blackbox.connect () in
+        let outs =
+          List.map (fun sym -> box_step session sym) (Families.lock_secret ~n)
+        in
+        check_bool "silent until the last" true
+          (List.for_all (fun o -> o = Some []) (List.filteri (fun i _ -> i < n - 1) outs));
+        check_bool "opens at the end" true (List.nth outs (n - 1) = Some [ "open" ]));
+    test "lock context never opens the lock" (fun () ->
+        let n = 6 and depth = 3 in
+        let p =
+          Mechaml_ts.Compose.parallel
+            (Families.lock_context ~n ~depth)
+            (let u = Mechaml_ts.Universe.of_list [ "lock.unlocked" ] in
+             Automaton.relabel (Families.lock_legacy ~n) ~props:u (fun s ->
+                 Mechaml_ts.Universe.set_of_names u
+                   (Families.lock_label_of (Automaton.state_name (Families.lock_legacy ~n) s))))
+        in
+        check_bool "AG not unlocked" true
+          (Checker.holds p.Mechaml_ts.Compose.auto Families.lock_property));
+    test "random machines are valid legacy components" (fun () ->
+        List.iter
+          (fun seed ->
+            let m = Families.random_machine ~seed ~states:6 ~inputs:[ "i" ] ~outputs:[ "o" ] in
+            check_bool "input-deterministic" true (Automaton.input_deterministic m);
+            check_int "requested states" 6 (Automaton.num_states m))
+          [ 1; 2; 3 ]);
+    test "components built from roles pass conformance" (fun () ->
+        let port = Mechaml_muml.Role.automaton Railcab.front_role in
+        let comp = Component.make ~name:"Shuttle" ~ports:[ ("frontRole", port) ] in
+        match Component.conforms_to comp ~role:Railcab.front_role with
+        | Refinement.Refines -> ()
+        | Refinement.Fails _ -> Alcotest.fail "role refines itself");
+  ]
+
+let () = Alcotest.run "scenarios" [ ("unit", unit_tests) ]

@@ -1,0 +1,92 @@
+module Shrink = Mechaml_testing.Shrink
+module Testcase = Mechaml_testing.Testcase
+module Observation = Mechaml_legacy.Observation
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+(* A padded test: reject the proposal twice, then accept — only the last
+   exchange matters for reaching the convoy. *)
+let padded =
+  {
+    Testcase.name = "padded";
+    inputs =
+      [
+        [];
+        [ "convoyProposalRejected" ];
+        [];
+        [ "convoyProposalRejected" ];
+        [];
+        [ "startConvoy" ];
+      ];
+    expected_outputs =
+      [ [ "convoyProposal" ]; []; [ "convoyProposal" ]; []; [ "convoyProposal" ]; [] ];
+  }
+
+let reaches_convoy (v : Testcase.verdict) =
+  match List.rev v.Testcase.observation.Observation.steps with
+  | last :: _ -> last.Observation.post_state = "convoy::default"
+  | [] -> false
+
+let unit_tests =
+  [
+    test "shrinks the padding away" (fun () ->
+        let r = Shrink.minimize ~box:Railcab.box_correct ~keep:reaches_convoy padded in
+        check_int "two periods suffice" 2 (List.length r.Shrink.testcase.Testcase.inputs);
+        check_int "four removed" 4 r.Shrink.removed;
+        check_bool "executions counted" true (r.Shrink.executions > 1));
+    test "the minimized test still satisfies the predicate" (fun () ->
+        let r = Shrink.minimize ~box:Railcab.box_correct ~keep:reaches_convoy padded in
+        let v = Testcase.execute ~box:Railcab.box_correct r.Shrink.testcase in
+        check_bool "still reaches convoy" true (reaches_convoy v));
+    test "result is 1-minimal" (fun () ->
+        let r = Shrink.minimize ~box:Railcab.box_correct ~keep:reaches_convoy padded in
+        let t = r.Shrink.testcase in
+        let n = List.length t.Testcase.inputs in
+        for i = 0 to n - 1 do
+          let drop l = List.filteri (fun j _ -> j <> i) l in
+          let candidate =
+            {
+              t with
+              Testcase.inputs = drop t.Testcase.inputs;
+              expected_outputs = drop t.Testcase.expected_outputs;
+            }
+          in
+          check_bool
+            (Printf.sprintf "dropping period %d breaks it" i)
+            false
+            (reaches_convoy (Testcase.execute ~box:Railcab.box_correct candidate))
+        done);
+    test "an already-minimal test is untouched" (fun () ->
+        let minimal =
+          {
+            Testcase.name = "minimal";
+            inputs = [ []; [ "startConvoy" ] ];
+            expected_outputs = [ [ "convoyProposal" ]; [] ];
+          }
+        in
+        let r = Shrink.minimize ~box:Railcab.box_correct ~keep:reaches_convoy minimal in
+        check_int "nothing removed" 0 r.Shrink.removed);
+    test "predicate must hold initially" (fun () ->
+        match Shrink.minimize ~box:Railcab.box_correct ~keep:(fun _ -> false) padded with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "shrinking a blocked-outcome trace" (fun () ->
+        (* keep = the run still ends blocked on silence in the wait state *)
+        let blocked (v : Testcase.verdict) =
+          match v.Testcase.observation.Observation.refused with
+          | Some ("noConvoy::wait", []) -> true
+          | _ -> false
+        in
+        let long =
+          {
+            Testcase.name = "blocked";
+            inputs = [ []; [ "convoyProposalRejected" ]; []; [] ];
+            expected_outputs = [ [ "convoyProposal" ]; []; [ "convoyProposal" ]; [] ];
+          }
+        in
+        let r = Shrink.minimize ~box:Railcab.box_correct ~keep:blocked long in
+        check_int "two periods suffice (send, then blocked silence)" 2
+          (List.length r.Shrink.testcase.Testcase.inputs));
+  ]
+
+let () = Alcotest.run "shrink" [ ("unit", unit_tests) ]

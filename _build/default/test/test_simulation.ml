@@ -1,0 +1,90 @@
+module Simulation = Mechaml_ts.Simulation
+open Helpers
+
+let sim ?label_match c a = Simulation.simulates ?label_match ~concrete:c ~abstract:a ()
+
+let unit_tests =
+  [
+    test "identical automata simulate" (fun () ->
+        let m () =
+          automaton ~inputs:[ "x" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "b"); ("b", [], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        check_bool "self-simulation" true (sim (m ()) (m ())));
+    test "fewer behaviours simulate more" (fun () ->
+        let small =
+          automaton ~inputs:[ "x"; "y" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        let big =
+          automaton ~inputs:[ "x"; "y" ] ~outputs:[]
+            ~trans:[ ("a", [ "x" ], [], "a"); ("a", [ "y" ], [], "a") ]
+            ~initial:[ "a" ] ()
+        in
+        check_bool "small ⪯ big" true (sim small big);
+        check_bool "big ⪯̸ small" false (sim big small));
+    test "labels must match" (fun () ->
+        let labelled p =
+          automaton ~inputs:[] ~outputs:[] ~states:[ ("s", p) ]
+            ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        check_bool "same label" true (sim (labelled [ "p" ]) (labelled [ "p" ]));
+        check_bool "different label" false (sim (labelled [ "p" ]) (labelled [ "q" ])));
+    test "wildcard label matches anything" (fun () ->
+        let concrete =
+          automaton ~inputs:[] ~outputs:[] ~states:[ ("s", [ "p" ]) ]
+            ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        let chaosish =
+          automaton ~inputs:[] ~outputs:[] ~states:[ ("w", [ "p_chaos" ]) ]
+            ~trans:[ ("w", [], [], "w") ] ~initial:[ "w" ] ()
+        in
+        check_bool "exact fails" false (sim concrete chaosish);
+        check_bool "wildcard succeeds" true
+          (sim ~label_match:(Simulation.Wildcard "p_chaos") concrete chaosish));
+    test "branching distinguishes simulation from trace inclusion" (fun () ->
+        (* Classic: a·(b+c) vs a·b + a·c — same traces, no simulation. *)
+        let committed =
+          automaton ~inputs:[ "a"; "b"; "c" ] ~outputs:[]
+            ~trans:
+              [
+                ("s", [ "a" ], [], "t1");
+                ("s", [ "a" ], [], "t2");
+                ("t1", [ "b" ], [], "u");
+                ("t2", [ "c" ], [], "u");
+              ]
+            ~initial:[ "s" ] ()
+        in
+        let deferred =
+          automaton ~inputs:[ "a"; "b"; "c" ] ~outputs:[]
+            ~trans:[ ("s", [ "a" ], [], "t"); ("t", [ "b" ], [], "u"); ("t", [ "c" ], [], "u") ]
+            ~initial:[ "s" ] ()
+        in
+        check_bool "deferred simulates committed... no: committed ⪯ deferred" true
+          (sim committed deferred);
+        check_bool "deferred ⪯̸ committed" false (sim deferred committed));
+    test "different alphabets are rejected" (fun () ->
+        let a =
+          automaton ~inputs:[ "x" ] ~outputs:[] ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        let b =
+          automaton ~inputs:[ "y" ] ~outputs:[] ~trans:[ ("s", [], [], "s") ] ~initial:[ "s" ] ()
+        in
+        match sim a b with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "alphabet order does not matter" (fun () ->
+        let a =
+          automaton ~inputs:[ "x"; "y" ] ~outputs:[]
+            ~trans:[ ("s", [ "x" ], [], "s") ] ~initial:[ "s" ] ()
+        in
+        let b =
+          automaton ~inputs:[ "y"; "x" ] ~outputs:[]
+            ~trans:[ ("s", [ "x" ], [], "s") ] ~initial:[ "s" ] ()
+        in
+        check_bool "simulates across reordered universes" true (sim a b));
+  ]
+
+let () = Alcotest.run "simulation" [ ("unit", unit_tests) ]

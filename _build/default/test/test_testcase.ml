@@ -1,0 +1,69 @@
+module Testcase = Mechaml_testing.Testcase
+module Blackbox = Mechaml_legacy.Blackbox
+module Run = Mechaml_ts.Run
+module Universe = Mechaml_ts.Universe
+open Helpers
+
+(* Correct rear-role fragment as the device under test. *)
+let machine = Mechaml_scenarios.Railcab.legacy_correct
+
+let box () = Blackbox.of_automaton machine
+
+let tc ~inputs ~expected =
+  { Testcase.name = "t"; inputs; expected_outputs = expected }
+
+let unit_tests =
+  [
+    test "of_projected_run decodes signal names" (fun () ->
+        let io k =
+          ( Universe.set_of_names machine.Mechaml_ts.Automaton.inputs k,
+            Universe.set_of_names machine.Mechaml_ts.Automaton.outputs [ "convoyProposal" ] )
+        in
+        let run = Run.regular ~states:[ 0; 1 ] ~io:[ io [] ] in
+        let t = Testcase.of_projected_run machine run in
+        Alcotest.(check (list (list string))) "inputs" [ [] ] t.Testcase.inputs;
+        Alcotest.(check (list (list string))) "expected" [ [ "convoyProposal" ] ]
+          t.Testcase.expected_outputs);
+    test "reproduced run" (fun () ->
+        let t = tc ~inputs:[ []; [ "startConvoy" ] ] ~expected:[ [ "convoyProposal" ]; [] ] in
+        let v = Testcase.execute ~box:(box ()) t in
+        check_bool "reproduced" true (v.Testcase.classification = Testcase.Reproduced));
+    test "divergence reports the period and both outputs" (fun () ->
+        let t = tc ~inputs:[ [] ] ~expected:[ [ "breakConvoyProposal" ] ] in
+        let v = Testcase.execute ~box:(box ()) t in
+        match v.Testcase.classification with
+        | Testcase.Diverged { period; expected; observed } ->
+          check_int "period 1" 1 period;
+          Alcotest.(check (list string)) "expected" [ "breakConvoyProposal" ] expected;
+          Alcotest.(check (list string)) "observed" [ "convoyProposal" ] observed
+        | _ -> Alcotest.fail "expected divergence");
+    test "blocked run reports the refused period" (fun () ->
+        (* wait refuses silence in period 2 *)
+        let t = tc ~inputs:[ []; [] ] ~expected:[ [ "convoyProposal" ]; [] ] in
+        let v = Testcase.execute ~box:(box ()) t in
+        match v.Testcase.classification with
+        | Testcase.Blocked { period; refused } ->
+          check_int "period 2" 2 period;
+          Alcotest.(check (list string)) "refused silence" [] refused
+        | _ -> Alcotest.fail "expected blocked");
+    test "observation is returned alongside the verdict" (fun () ->
+        let t = tc ~inputs:[ [] ] ~expected:[ [ "convoyProposal" ] ] in
+        let v = Testcase.execute ~box:(box ()) t in
+        check_int "one step observed" 1
+          (Mechaml_legacy.Observation.length v.Testcase.observation));
+    test "expected output order does not matter" (fun () ->
+        (* single-output here, but the comparison is on sorted sets *)
+        let t = tc ~inputs:[ [] ] ~expected:[ [ "convoyProposal" ] ] in
+        let v = Testcase.execute ~box:(box ()) t in
+        check_bool "reproduced" true (v.Testcase.classification = Testcase.Reproduced));
+    test "pp renders" (fun () ->
+        let t = tc ~inputs:[ [] ] ~expected:[ [ "convoyProposal" ] ] in
+        check_bool "nonempty" true (String.length (Format.asprintf "%a" Testcase.pp t) > 0);
+        let v = Testcase.execute ~box:(box ()) t in
+        check_bool "classification renders" true
+          (String.length
+             (Format.asprintf "%a" Testcase.pp_classification v.Testcase.classification)
+          > 0));
+  ]
+
+let () = Alcotest.run "testcase" [ ("unit", unit_tests) ]

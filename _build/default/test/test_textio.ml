@@ -1,0 +1,92 @@
+module Textio = Mechaml_ts.Textio
+module Automaton = Mechaml_ts.Automaton
+module Refinement = Mechaml_ts.Refinement
+open Helpers
+
+let sample =
+  {|# a lamp
+automaton lamp
+inputs press
+outputs burnt
+initial off
+state off props lamp.off
+state dead props lamp.dead
+trans off : press / -> on
+trans on : press / burnt -> dead
+trans dead : / -> dead
+|}
+
+let unit_tests =
+  [
+    test "parses the sample" (fun () ->
+        let m = Textio.parse_exn sample in
+        check_string "name" "lamp" m.Automaton.name;
+        check_int "3 states (off, dead, on)" 3 (Automaton.num_states m);
+        check_int "3 transitions" 3 (Automaton.num_transitions m);
+        check_bool "labels kept" true
+          (Automaton.has_prop m (Automaton.state_index m "dead") "lamp.dead");
+        Alcotest.(check (list int)) "initial" [ Automaton.state_index m "off" ]
+          m.Automaton.initial);
+    test "comments and blank lines are ignored" (fun () ->
+        let m = Textio.parse_exn "automaton x\n\n# hi\ninputs a\noutputs\ninitial s\ntrans s : a / -> s\n" in
+        check_int "1 state" 1 (Automaton.num_states m));
+    test "empty outputs directive means no outputs" (fun () ->
+        let m = Textio.parse_exn "inputs a\noutputs\ninitial s\ntrans s : a / -> s\n" in
+        check_int "no outputs" 0 (Mechaml_ts.Universe.size m.Automaton.outputs));
+    test "roundtrip print/parse preserves behaviour and labels" (fun () ->
+        let original = Mechaml_scenarios.Railcab.legacy_correct in
+        let reparsed = Textio.parse_exn (Textio.print original) in
+        check_bool "refines both ways" true
+          (Refinement.refines ~concrete:original ~abstract:reparsed ()
+          && Refinement.refines ~concrete:reparsed ~abstract:original ()));
+    test "roundtrip keeps propositions" (fun () ->
+        let m =
+          automaton ~inputs:[ "i" ] ~outputs:[ "o" ]
+            ~states:[ ("s", [ "x.p"; "x.q" ]) ]
+            ~trans:[ ("s", [ "i" ], [ "o" ], "s") ]
+            ~initial:[ "s" ] ()
+        in
+        let m' = Textio.parse_exn (Textio.print m) in
+        check_bool "p" true (Automaton.has_prop m' 0 "x.p");
+        check_bool "q" true (Automaton.has_prop m' 0 "x.q"));
+    test "errors carry line numbers" (fun () ->
+        let bad = "inputs a\noutputs\ninitial s\ntrans s a / -> s\n" in
+        match Textio.parse bad with
+        | Error { line; _ } -> check_int "line 4" 4 line
+        | Ok _ -> Alcotest.fail "missing ':' accepted");
+    test "unknown directives are rejected" (fun () ->
+        match Textio.parse "frobnicate x\n" with
+        | Error { line; _ } -> check_int "line 1" 1 line
+        | Ok _ -> Alcotest.fail "accepted");
+    test "missing mandatory directives are rejected" (fun () ->
+        (match Textio.parse "inputs a\noutputs b\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "no initial accepted");
+        match Textio.parse "initial s\noutputs b\ntrans s : / -> s\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "no inputs accepted");
+    test "unknown signals in trans are rejected" (fun () ->
+        match Textio.parse "inputs a\noutputs\ninitial s\ntrans s : zzz / -> s\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted");
+    test "load uses the file name as default automaton name" (fun () ->
+        let path = Filename.temp_file "widget" ".aut" in
+        let oc = open_out path in
+        output_string oc "inputs a\noutputs\ninitial s\ntrans s : a / -> s\n";
+        close_out oc;
+        (match Textio.load ~path with
+        | Ok m ->
+          check_bool "name from file" true
+            (String.length m.Automaton.name > 0 && m.Automaton.name <> "automaton")
+        | Error _ -> Alcotest.fail "should load");
+        Sys.remove path);
+    test "save/load roundtrip" (fun () ->
+        let path = Filename.temp_file "mechaml" ".aut" in
+        Textio.save ~path Mechaml_scenarios.Protocol.sender_correct;
+        (match Textio.load ~path with
+        | Ok m -> check_int "4 states" 4 (Automaton.num_states m)
+        | Error _ -> Alcotest.fail "should load");
+        Sys.remove path);
+  ]
+
+let () = Alcotest.run "textio" [ ("unit", unit_tests) ]

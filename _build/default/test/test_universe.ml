@@ -1,0 +1,72 @@
+module Universe = Mechaml_ts.Universe
+module Bitset = Mechaml_util.Bitset
+open Helpers
+
+let u = Universe.of_list [ "a"; "b"; "c" ]
+
+let unit_tests =
+  [
+    test "size and order" (fun () ->
+        check_int "size" 3 (Universe.size u);
+        check_int "index a" 0 (Universe.index u "a");
+        check_int "index c" 2 (Universe.index u "c");
+        check_string "name 1" "b" (Universe.name u 1));
+    test "mem and index_opt" (fun () ->
+        check_bool "mem b" true (Universe.mem u "b");
+        check_bool "mem z" false (Universe.mem u "z");
+        Alcotest.(check (option int)) "index_opt" (Some 2) (Universe.index_opt u "c");
+        Alcotest.(check (option int)) "index_opt missing" None (Universe.index_opt u "z"));
+    test "unknown lookups raise" (fun () ->
+        (match Universe.index u "nope" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+        match Universe.name u 7 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "duplicates rejected" (fun () ->
+        match Universe.of_list [ "x"; "x" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "too many names rejected" (fun () ->
+        match Universe.of_list (List.init 63 (Printf.sprintf "s%d")) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "equal and disjoint" (fun () ->
+        check_bool "equal self" true (Universe.equal u (Universe.of_list [ "a"; "b"; "c" ]));
+        check_bool "not equal reordered" false (Universe.equal u (Universe.of_list [ "b"; "a"; "c" ]));
+        check_bool "disjoint" true (Universe.disjoint u (Universe.of_list [ "x" ]));
+        check_bool "overlap" false (Universe.disjoint u (Universe.of_list [ "c" ])));
+    test "union preserves left indices" (fun () ->
+        let v = Universe.of_list [ "x"; "y" ] in
+        let w = Universe.union u v in
+        check_int "size" 5 (Universe.size w);
+        check_int "a keeps 0" 0 (Universe.index w "a");
+        check_int "x shifted" 3 (Universe.index w "x"));
+    test "union requires disjoint" (fun () ->
+        match Universe.union u (Universe.of_list [ "c"; "d" ]) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "embed reindexes by name" (fun () ->
+        let small = Universe.of_list [ "c"; "a" ] in
+        let s = Universe.set_of_names small [ "c"; "a" ] in
+        let embedded = Universe.embed small ~into:u s in
+        Alcotest.(check (list string)) "names preserved" [ "a"; "c" ]
+          (Universe.names_of_set u embedded));
+    test "restrict drops foreign names" (fun () ->
+        let big = Universe.of_list [ "a"; "z"; "c" ] in
+        let s = Universe.set_of_names big [ "a"; "z"; "c" ] in
+        let r = Universe.restrict big ~to_:u s in
+        Alcotest.(check (list string)) "kept" [ "a"; "c" ] (Universe.names_of_set u r));
+    test "set_of_names / names_of_set roundtrip" (fun () ->
+        let s = Universe.set_of_names u [ "b"; "a" ] in
+        Alcotest.(check (list string)) "sorted by index" [ "a"; "b" ] (Universe.names_of_set u s);
+        check_int "cardinal" 2 (Bitset.cardinal s));
+    test "pp_set" (fun () ->
+        check_string "render" "{a, c}"
+          (Format.asprintf "%a" (Universe.pp_set u) (Universe.set_of_names u [ "c"; "a" ])));
+    test "empty universe" (fun () ->
+        check_int "size 0" 0 (Universe.size Universe.empty);
+        Alcotest.(check (list string)) "no names" [] (Universe.to_list Universe.empty));
+  ]
+
+let () = Alcotest.run "universe" [ ("unit", unit_tests) ]

@@ -1,0 +1,76 @@
+module Wmethod = Mechaml_learnlib.Wmethod
+module Mealy = Mechaml_learnlib.Mealy
+module Oracle = Mechaml_learnlib.Oracle
+module Lstar = Mechaml_learnlib.Lstar
+module Blackbox = Mechaml_legacy.Blackbox
+open Mechaml_scenarios
+open Helpers
+
+let alphabet = Lstar.alphabet_of_signals Protocol.receiver_to_sender
+
+let truth () = Mealy.of_automaton ~alphabet Protocol.sender_correct
+
+let unit_tests =
+  [
+    test "transition cover reaches every state and transition" (fun () ->
+        let m = truth () in
+        let p = Wmethod.transition_cover m in
+        check_bool "contains epsilon" true (List.mem [] p);
+        (* every state is the endpoint of some cover word *)
+        let reached = List.sort_uniq compare (List.map (Mealy.state_after m) p) in
+        check_int "all states covered" (Mealy.num_states m) (List.length reached);
+        (* prefix-closed-ish: every word's parent is present *)
+        check_bool "extensions present" true
+          (List.length p >= Mealy.num_states m * List.length alphabet));
+    test "suite grows exponentially with extra states (EXP-T7)" (fun () ->
+        let m = truth () in
+        let words0, _ = Wmethod.suite_size ~hypothesis:m ~extra_states:0 in
+        let words1, _ = Wmethod.suite_size ~hypothesis:m ~extra_states:1 in
+        let words2, _ = Wmethod.suite_size ~hypothesis:m ~extra_states:2 in
+        check_bool "monotone" true (words0 < words1 && words1 < words2);
+        (* ratio roughly the alphabet size *)
+        check_bool "exponential-ish" true (words2 > 2 * words0));
+    test "suite passes against the machine itself" (fun () ->
+        let box = Blackbox.of_automaton Protocol.sender_correct in
+        let oracle = Oracle.create ~box ~alphabet in
+        check_bool "no counterexample" true
+          (Wmethod.find_counterexample oracle ~hypothesis:(truth ()) ~extra_states:1 = None));
+    test "suite finds any wrong hypothesis within the bound" (fun () ->
+        (* hypothesis: a one-state machine that answers everything blocked
+           except data0 forever — clearly wrong *)
+        let wrong =
+          Mealy.create ~alphabet
+            ~trans:[| [| (Mealy.Out [ "data0" ], 0); (Mealy.Blocked, 0); (Mealy.Blocked, 0) |] |]
+            ()
+        in
+        let box = Blackbox.of_automaton Protocol.sender_correct in
+        let oracle = Oracle.create ~box ~alphabet in
+        match Wmethod.find_counterexample oracle ~hypothesis:wrong ~extra_states:3 with
+        | Some w ->
+          (* the word indeed distinguishes *)
+          check_bool "distinguishes" true (Oracle.query oracle w <> Mealy.run_word wrong w)
+        | None -> Alcotest.fail "must find a counterexample");
+    test "find_counterexample counts an equivalence query" (fun () ->
+        let box = Blackbox.of_automaton Protocol.sender_correct in
+        let oracle = Oracle.create ~box ~alphabet in
+        ignore (Wmethod.find_counterexample oracle ~hypothesis:(truth ()) ~extra_states:0);
+        check_int "counted" 1 (Oracle.stats oracle).Oracle.equivalence_queries);
+    test "conformance distinguishes lock depths beyond the naive horizon" (fun () ->
+        (* two locks with different secrets agree on short words; the
+           W-method with enough extra states tells them apart *)
+        let n = 4 in
+        let real = Families.lock_legacy ~n in
+        let box = Blackbox.of_automaton real in
+        let oracle = Oracle.create ~box ~alphabet:Families.lock_alphabet in
+        (* hypothesis: a lock that never opens (single locked state) *)
+        let hyp =
+          Mealy.create ~alphabet:Families.lock_alphabet
+            ~trans:[| [| (Mealy.Out [], 0); (Mealy.Out [], 0); (Mealy.Out [], 0) |] |]
+            ()
+        in
+        match Wmethod.find_counterexample oracle ~hypothesis:hyp ~extra_states:n with
+        | Some w -> check_bool "at least n symbols needed" true (List.length w >= n)
+        | None -> Alcotest.fail "the real lock opens");
+  ]
+
+let () = Alcotest.run "wmethod" [ ("unit", unit_tests) ]
