@@ -1,0 +1,23 @@
+# Tier-1 gate: build, tests, and a campaign smoke run.
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Two workers over the four-job matrix: exercises the pool, the memo cache
+# and the report path end-to-end in a few hundred milliseconds.
+smoke: build
+	dune exec bin/mechaverify.exe -- campaign --tiny --jobs 2
+
+check: build test smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

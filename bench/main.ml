@@ -644,6 +644,110 @@ let exp_t12 () =
        ~header:[ "n"; "CE processing"; "rounds"; "queries"; "symbols"; "table (rows x cols)" ]
        rows)
 
+(* -- EXP-T13: campaign engine ------------------------------------------------ *)
+
+let exp_t13 () =
+  header "EXP-T13"
+    "Campaign engine: the bundled scenario matrix on a worker pool, cold vs warm memo cache";
+  let module Campaign = Mechaml_engine.Campaign in
+  let module Cache = Mechaml_engine.Cache in
+  let module Pool = Mechaml_engine.Pool in
+  let module Report = Mechaml_engine.Report in
+  (* worker domains only pay off with cores to run on — read the rows below
+     against this number (a single-core container shows pure pool overhead) *)
+  Printf.printf "recommended worker domains on this machine: %d\n\n" (Pool.recommended_jobs ());
+  let specs = Campaign.bundled () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let shared = Cache.create () in
+  let configs =
+    [
+      ("jobs=1, cold cache", fun () -> Campaign.run ~jobs:1 specs);
+      ("jobs=4, cold cache", fun () -> Campaign.run ~jobs:4 specs);
+      ("jobs=1, warm cache", fun () -> Campaign.run ~jobs:1 ~cache:shared specs);
+      (* the first warm run above filled [shared]; this one replays from it *)
+      ("jobs=4, warm cache", fun () -> Campaign.run ~jobs:4 ~cache:shared specs);
+      ("jobs=1, no cache", fun () -> Campaign.run ~jobs:1 ~memo:false specs);
+    ]
+  in
+  let reference = ref None in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let outcomes, wall = time f in
+        let canonical = Report.canonical outcomes in
+        let identical =
+          match !reference with
+          | None ->
+            reference := Some canonical;
+            "(reference)"
+          | Some r -> string_of_bool (r = canonical)
+        in
+        let ch, cm, kh, km =
+          List.fold_left
+            (fun (ch, cm, kh, km) (o : Campaign.outcome) ->
+              ( ch + o.Campaign.cache.Campaign.closure_hits,
+                cm + o.Campaign.cache.Campaign.closure_misses,
+                kh + o.Campaign.cache.Campaign.check_hits,
+                km + o.Campaign.cache.Campaign.check_misses ))
+            (0, 0, 0, 0) outcomes
+        in
+        let hits = ch + kh and lookups = ch + cm + kh + km in
+        [
+          name;
+          Printf.sprintf "%.1f ms" (wall *. 1e3);
+          (if lookups = 0 then "-" else Printf.sprintf "%d/%d" hits lookups);
+          identical;
+        ])
+      configs
+  in
+  print_endline
+    (Pp.table
+       ~header:[ "configuration"; "wall clock"; "cache hits/lookups"; "verdicts identical" ]
+       rows);
+  (* the bundled matrix is milliseconds-sized, so domain spawn overhead wins;
+     a heavier lock sweep shows the pool paying off *)
+  let heavy =
+    List.map
+      (fun (n, depth) ->
+        Campaign.job
+          ~id:(Printf.sprintf "lock/n%d-d%d" n depth)
+          ~family:"lock"
+          ~context:(Families.lock_context ~n ~depth)
+          ~property:Families.lock_property ~label_of:Families.lock_label_of (fun () ->
+            Families.lock_box ~n))
+      [ (32, 16); (40, 20); (48, 24); (56, 28); (64, 32); (72, 36); (80, 40); (96, 48) ]
+  in
+  let heavy_rows =
+    List.map
+      (fun jobs ->
+        let outcomes, wall = time (fun () -> Campaign.run ~jobs heavy) in
+        let proved =
+          List.length
+            (List.filter (fun (o : Campaign.outcome) -> o.Campaign.verdict = Campaign.Proved)
+               outcomes)
+        in
+        [
+          Printf.sprintf "jobs=%d" jobs;
+          Printf.sprintf "%.1f ms" (wall *. 1e3);
+          Printf.sprintf "%d/%d proved" proved (List.length outcomes);
+        ])
+      [ 1; 2; 4 ]
+  in
+  print_endline
+    (Pp.table ~header:[ "lock sweep (8 heavy jobs)"; "wall clock"; "verdicts" ] heavy_rows);
+  let tiny = Campaign.bundled ~tiny:true () in
+  measure_tests "campaign"
+    [
+      Test.make ~name:"campaign(tiny, jobs=1)"
+        (Staged.stage (fun () -> ignore (Campaign.run ~jobs:1 tiny)));
+      Test.make ~name:"campaign(tiny, jobs=2)"
+        (Staged.stage (fun () -> ignore (Campaign.run ~jobs:2 tiny)));
+    ]
+
 (* -- main ------------------------------------------------------------------ *)
 
 let groups =
@@ -666,6 +770,7 @@ let groups =
     ("t10_batch", exp_t10);
     ("t11_onthefly", exp_t11);
     ("t12_ce_processing", exp_t12);
+    ("t13_campaign", exp_t13);
   ]
 
 let () =

@@ -35,11 +35,19 @@ let dot_dir_t =
   let doc = "Write DOT figures (learned model, closure) into $(docv)." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
 
+(* Create [dir] and any missing parents; tolerate a directory that appears
+   concurrently (e.g. two campaign jobs exporting into the same tree). *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let save_dot dir name dot =
   match dir with
   | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    mkdir_p dir;
     let path = Filename.concat dir (name ^ ".dot") in
     Dot.save ~path dot;
     Format.printf "wrote %s@." path
@@ -289,6 +297,116 @@ let learn_cmd =
   let doc = "Learn a component's full Mealy model with L* + W-method (the baseline)." in
   Cmd.v (Cmd.info "learn" ~doc) Term.(const run $ verbose_t $ legacy_t $ bound_t)
 
+(* -- campaign: batch verification over the bundled scenario matrix -- *)
+
+let campaign_cmd =
+  let module Campaign = Mechaml_engine.Campaign in
+  let module Report = Mechaml_engine.Report in
+  let jobs_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains.  $(b,1) executes sequentially in matrix order; any $(docv) \
+             produces the same verdicts (only timings and per-job cache counters move).")
+  in
+  let report_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON campaign report to $(docv).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the CSV campaign report to $(docv).")
+  in
+  let tiny_t =
+    let doc = "Run the four-job smoke matrix instead of the full bundled one." in
+    Arg.(value & flag & info [ "tiny" ] ~doc)
+  in
+  let select_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "select" ] ~docv:"SUBSTR"
+          ~doc:"Only run jobs whose id contains $(docv) (e.g. $(b,railcab) or $(b,/dfs)).")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Wall-clock budget per job, enforced between loop stages.")
+  in
+  let retries_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Override every job's retry budget for crashed attempts.")
+  in
+  let no_cache_t =
+    let doc = "Disable the memo cache (every job recomputes all closures and checks)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let run verbose jobs report csv tiny select timeout retries no_cache =
+    setup_logs verbose;
+    let input_error msg =
+      Format.eprintf "mechaverify: %s@." msg;
+      exit 3
+    in
+    if jobs < 1 then input_error "--jobs must be at least 1";
+    let specs = Campaign.bundled ~tiny () in
+    let specs =
+      match select with
+      | None -> specs
+      | Some sub -> List.filter (fun s -> contains ~sub s.Campaign.id) specs
+    in
+    if specs = [] then input_error "--select matches no job id";
+    let specs =
+      List.map
+        (fun s ->
+          let s =
+            match timeout with None -> s | Some t -> { s with Campaign.timeout = Some t }
+          in
+          match retries with None -> s | Some k -> { s with Campaign.retries = k })
+        specs
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Campaign.run ~jobs ~memo:(not no_cache) specs in
+    let wall = Unix.gettimeofday () -. t0 in
+    print_endline (Report.table outcomes);
+    Format.printf "%s; %.2f s wall@." (Report.summary ~jobs outcomes) wall;
+    Option.iter
+      (fun path ->
+        Report.save ~path (Report.to_json ~jobs outcomes);
+        Format.printf "wrote %s@." path)
+      report;
+    Option.iter
+      (fun path ->
+        Report.save ~path (Report.to_csv outcomes);
+        Format.printf "wrote %s@." path)
+      csv;
+    exit 0
+  in
+  let doc =
+    "Run a verification campaign: the bundled scenario matrix (scenario × property × \
+     strategy × legacy fault variant) through the synthesis loop, on a worker pool with \
+     memoized model checking."
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ verbose_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
+      $ retries_t $ no_cache_t)
+
 (* -- pattern -- *)
 
 let pattern_cmd =
@@ -309,6 +427,6 @@ let main_cmd =
     "combined formal verification and testing for correct legacy component integration"
   in
   Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
-    [ railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd ]
+    [ railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

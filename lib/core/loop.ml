@@ -128,8 +128,10 @@ let candidate_status model ~state (a, b) =
     | None -> Unknown
 
 let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterations
-    ?initial_knowledge ?(counterexamples_per_iteration = 1) ~(context : Automaton.t) ~property
-    ~(legacy : Blackbox.t) () =
+    ?initial_knowledge ?(counterexamples_per_iteration = 1)
+    ?(on_closure = fun ~model:_ ~compute -> compute ())
+    ?(on_check = fun ~product:_ ~formulas:_ ~compute -> compute ()) ~(context : Automaton.t)
+    ~property ~(legacy : Blackbox.t) () =
   if not (Ctl.is_compositional property) then
     invalid_arg
       (Printf.sprintf
@@ -184,14 +186,19 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
         List.rev records,
         model )
     else begin
-      let closure = Chaos.closure ~label_of ~extra_props:legacy_props model in
+      let closure =
+        on_closure ~model
+          ~compute:(fun () -> Chaos.closure ~label_of ~extra_props:legacy_props model)
+      in
       let product = Compose.parallel context closure in
       (* Equation (7): φ ∧ ¬δ.  The property is checked first so that a
          genuine integration conflict surfaces as a property counterexample
          (the paper's fast conflict detection, Listing 1.4) rather than as
          one of the deadlocks the chaotic closure also induces. *)
+      let formulas = [ weakened; Ctl.deadlock_free ] in
       let outcome =
-        Checker.check_conjunction ~strategy product.Compose.auto [ weakened; Ctl.deadlock_free ]
+        on_check ~product:product.Compose.auto ~formulas
+          ~compute:(fun () -> Checker.check_conjunction ~strategy product.Compose.auto formulas)
       in
       let base =
         {

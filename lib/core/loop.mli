@@ -76,6 +76,15 @@ val run :
   ?max_iterations:int ->
   ?initial_knowledge:Incomplete.t ->
   ?counterexamples_per_iteration:int ->
+  ?on_closure:
+    (model:Incomplete.t ->
+    compute:(unit -> Mechaml_ts.Automaton.t) ->
+    Mechaml_ts.Automaton.t) ->
+  ?on_check:
+    (product:Mechaml_ts.Automaton.t ->
+    formulas:Mechaml_logic.Ctl.t list ->
+    compute:(unit -> Mechaml_mc.Checker.outcome) ->
+    Mechaml_mc.Checker.outcome) ->
   context:Mechaml_ts.Automaton.t ->
   property:Mechaml_logic.Ctl.t ->
   legacy:Mechaml_legacy.Blackbox.t ->
@@ -92,7 +101,15 @@ val run :
 
     Raises [Invalid_argument] when the legacy interface does not match the
     context ([I_legacy ⊈ O_context] or [O_legacy ⊈ I_context] would leave
-    unconnected signals the probing step cannot exercise). *)
+    unconnected signals the probing step cannot exercise).
+
+    [on_closure] and [on_check] intercept the two expensive pure stages of an
+    iteration — building the chaotic closure of the current learned model and
+    model checking the context ∥ closure product.  Both receive the stage's
+    full input plus a [compute] thunk performing the actual work, and must
+    return exactly what [compute] would (e.g. a memoized copy from an
+    earlier, structurally identical call — {!Mechaml_engine.Cache} does
+    this across campaign jobs).  The default hooks just run [compute]. *)
 
 val pp_iteration : Format.formatter -> iteration -> unit
 

@@ -1,0 +1,86 @@
+type t = {
+  mutex : Mutex.t;
+  closures : (string, Mechaml_ts.Automaton.t) Hashtbl.t;
+  checks : (string, Mechaml_mc.Checker.outcome) Hashtbl.t;
+  mutable closure_hits : int;
+  mutable closure_misses : int;
+  mutable check_hits : int;
+  mutable check_misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    closures = Hashtbl.create 64;
+    checks = Hashtbl.create 64;
+    closure_hits = 0;
+    closure_misses = 0;
+    check_hits = 0;
+    check_misses = 0;
+  }
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Lookup and counter updates hold the lock; [compute] does not — memoized
+   work can be long, and serializing it would defeat the worker pool.  Two
+   domains racing on the same fresh key both compute; the first store wins so
+   every caller shares one value. *)
+let find_or_compute t table bump_hit bump_miss ~key compute =
+  match locked t (fun () -> Hashtbl.find_opt table key) with
+  | Some v ->
+    locked t (fun () -> bump_hit ());
+    (v, true)
+  | None ->
+    let v = compute () in
+    let v =
+      locked t (fun () ->
+          bump_miss ();
+          match Hashtbl.find_opt table key with
+          | Some winner -> winner
+          | None ->
+            Hashtbl.add table key v;
+            v)
+    in
+    (v, false)
+
+let closure t ~key compute =
+  find_or_compute t t.closures
+    (fun () -> t.closure_hits <- t.closure_hits + 1)
+    (fun () -> t.closure_misses <- t.closure_misses + 1)
+    ~key compute
+
+let check t ~key compute =
+  find_or_compute t t.checks
+    (fun () -> t.check_hits <- t.check_hits + 1)
+    (fun () -> t.check_misses <- t.check_misses + 1)
+    ~key compute
+
+type stats = {
+  closure_hits : int;
+  closure_misses : int;
+  check_hits : int;
+  check_misses : int;
+  entries : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        closure_hits = t.closure_hits;
+        closure_misses = t.closure_misses;
+        check_hits = t.check_hits;
+        check_misses = t.check_misses;
+        entries = Hashtbl.length t.closures + Hashtbl.length t.checks;
+      })
+
+let hits s = s.closure_hits + s.check_hits
+
+let lookups s = s.closure_hits + s.closure_misses + s.check_hits + s.check_misses
+
+let hit_rate s =
+  let l = lookups s in
+  if l = 0 then 0. else float_of_int (hits s) /. float_of_int l

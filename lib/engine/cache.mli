@@ -1,0 +1,52 @@
+(** Domain-safe memoization for the campaign engine.
+
+    The two expensive pure stages of a synthesis-loop iteration — the chaotic
+    closure of a learned model ({!Mechaml_core.Chaos.closure}) and the
+    model-checking outcome on a product automaton
+    ({!Mechaml_mc.Checker.check_conjunction}) — are deterministic functions
+    of their full structural input.  A cache keyed by a structural digest of
+    that input can therefore only ever return exactly what the computation
+    would have produced: sharing one cache across jobs, iterations or worker
+    domains never changes a verdict, only the time (and the hit counters)
+    taken to reach it.
+
+    Entries repeat across campaign jobs whenever two jobs share a context and
+    iterate through the same learned models — e.g. the same scenario swept
+    under both counterexample strategies, or re-running a matrix against an
+    unchanged component (a warm cache answers every stage). *)
+
+type t
+
+val create : unit -> t
+
+val digest : 'a -> string
+(** Structural digest (MD5 of the marshalled value) used as cache key.  The
+    value must be marshallable — plain data, no closures; all automata,
+    incomplete models and formulas qualify. *)
+
+val closure : t -> key:string -> (unit -> Mechaml_ts.Automaton.t) -> Mechaml_ts.Automaton.t * bool
+(** [closure t ~key compute] returns the cached closure for [key], or runs
+    [compute] and stores the result.  The boolean is [true] on a hit.  Safe
+    to call from several domains; [compute] runs outside the cache lock (two
+    domains racing on the same fresh key may both compute — the first stored
+    value wins and both callers receive it). *)
+
+val check : t -> key:string -> (unit -> Mechaml_mc.Checker.outcome) -> Mechaml_mc.Checker.outcome * bool
+(** Same protocol for model-checking outcomes. *)
+
+type stats = {
+  closure_hits : int;
+  closure_misses : int;
+  check_hits : int;
+  check_misses : int;
+  entries : int;  (** distinct values currently stored *)
+}
+
+val stats : t -> stats
+
+val hits : stats -> int
+
+val lookups : stats -> int
+
+val hit_rate : stats -> float
+(** [hits / lookups]; [0.] when no lookup happened yet. *)

@@ -1,0 +1,296 @@
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Ctl = Mechaml_logic.Ctl
+module Witness = Mechaml_mc.Witness
+module Blackbox = Mechaml_legacy.Blackbox
+module Flaky = Mechaml_legacy.Flaky
+module Loop = Mechaml_core.Loop
+module Incomplete = Mechaml_core.Incomplete
+
+type spec = {
+  id : string;
+  family : string;
+  context : Automaton.t;
+  property : Ctl.t;
+  strategy : Witness.strategy;
+  make_box : unit -> Blackbox.t;
+  label_of : string -> string list;
+  timeout : float option;
+  retries : int;
+  max_iterations : int option;
+}
+
+let job ~id ~family ~context ~property ?(strategy = Witness.Bfs_shortest)
+    ?(label_of = fun _ -> []) ?timeout ?(retries = 0) ?max_iterations make_box =
+  { id; family; context; property; strategy; make_box; label_of; timeout; retries;
+    max_iterations }
+
+type verdict =
+  | Proved
+  | Real_deadlock of { confirmed_by_test : bool }
+  | Real_property of { confirmed_by_test : bool }
+  | Exhausted
+  | Timed_out
+  | Failed of string
+
+type cache_counters = {
+  closure_hits : int;
+  closure_misses : int;
+  check_hits : int;
+  check_misses : int;
+}
+
+type outcome = {
+  spec_id : string;
+  family : string;
+  verdict : verdict;
+  iterations : int;
+  states_learned : int;
+  knowledge : int;
+  tests_executed : int;
+  test_steps : int;
+  attempts : int;
+  duration_s : float;
+  cache : cache_counters;
+}
+
+let verdict_string = function
+  | Proved -> "proved"
+  | Real_deadlock { confirmed_by_test = true } -> "real deadlock (tested)"
+  | Real_deadlock _ -> "real deadlock (fast)"
+  | Real_property { confirmed_by_test = true } -> "real violation (tested)"
+  | Real_property _ -> "real violation (fast)"
+  | Exhausted -> "exhausted"
+  | Timed_out -> "timed out"
+  | Failed _ -> "failed"
+
+let strategy_string = function
+  | Witness.Bfs_shortest -> "bfs"
+  | Witness.Dfs_first -> "dfs"
+
+exception Out_of_time
+(* Internal: unwinds Loop.run from inside a hook when the deadline passed.
+   The loop holds no resources, so unwinding is safe at any stage. *)
+
+let run_spec ?cache (spec : spec) : outcome =
+  let start = Unix.gettimeofday () in
+  let deadline = Option.map (fun budget -> start +. budget) spec.timeout in
+  let closure_hits = ref 0 and closure_misses = ref 0 in
+  let check_hits = ref 0 and check_misses = ref 0 in
+  let guard_deadline () =
+    match deadline with
+    | Some d when Unix.gettimeofday () >= d -> raise Out_of_time
+    | _ -> ()
+  in
+  (* The closure of a learned model also depends on the labelling (identified
+     by the family name) and on the property's legacy-side propositions that
+     the loop seeds into the closure universe — mirror Loop.run's derivation
+     so structurally identical closures, and only those, share a key. *)
+  let legacy_props =
+    List.filter
+      (fun p -> not (Universe.mem spec.context.Automaton.props p))
+      (Ctl.props spec.property)
+  in
+  let on_closure ~model ~compute =
+    guard_deadline ();
+    match cache with
+    | None -> compute ()
+    | Some c ->
+      let key = Cache.digest ("closure", spec.family, legacy_props, model) in
+      let v, hit = Cache.closure c ~key compute in
+      if hit then incr closure_hits else incr closure_misses;
+      v
+  in
+  let on_check ~product ~formulas ~compute =
+    guard_deadline ();
+    match cache with
+    | None -> compute ()
+    | Some c ->
+      let key = Cache.digest ("check", strategy_string spec.strategy, formulas, product) in
+      let v, hit = Cache.check c ~key compute in
+      if hit then incr check_hits else incr check_misses;
+      v
+  in
+  (* One box per job: fault-injection wrappers keep mutable counters, so the
+     instance must be job-local (verdicts independent of sibling scheduling)
+     but shared across retry attempts (a retry continues where the flaky
+     driver left off instead of replaying the identical failure). *)
+  let box = spec.make_box () in
+  let rec attempt k =
+    match
+      Loop.run ~strategy:spec.strategy ~label_of:spec.label_of
+        ?max_iterations:spec.max_iterations ~on_closure ~on_check ~context:spec.context
+        ~property:spec.property ~legacy:box ()
+    with
+    | r -> (k, Ok r)
+    | exception Out_of_time -> (k, Error Timed_out)
+    | exception e ->
+      if k <= spec.retries then attempt (k + 1)
+      else (k, Error (Failed (Printexc.to_string e)))
+  in
+  let attempts, result = attempt 1 in
+  let duration_s = Unix.gettimeofday () -. start in
+  let cache =
+    {
+      closure_hits = !closure_hits;
+      closure_misses = !closure_misses;
+      check_hits = !check_hits;
+      check_misses = !check_misses;
+    }
+  in
+  match result with
+  | Ok r ->
+    let verdict =
+      match r.Loop.verdict with
+      | Loop.Proved -> Proved
+      | Loop.Real_violation { kind = Loop.Deadlock; confirmed_by_test; _ } ->
+        Real_deadlock { confirmed_by_test }
+      | Loop.Real_violation { kind = Loop.Property; confirmed_by_test; _ } ->
+        Real_property { confirmed_by_test }
+      | Loop.Exhausted _ -> Exhausted
+    in
+    {
+      spec_id = spec.id;
+      family = spec.family;
+      verdict;
+      iterations = List.length r.Loop.iterations;
+      states_learned = r.Loop.states_learned;
+      knowledge = Incomplete.knowledge r.Loop.final_model;
+      tests_executed = r.Loop.tests_executed;
+      test_steps = r.Loop.test_steps_executed;
+      attempts;
+      duration_s;
+      cache;
+    }
+  | Error verdict ->
+    {
+      spec_id = spec.id;
+      family = spec.family;
+      verdict;
+      iterations = 0;
+      states_learned = 0;
+      knowledge = 0;
+      tests_executed = 0;
+      test_steps = 0;
+      attempts;
+      duration_s;
+      cache;
+    }
+
+let run ?(jobs = 1) ?cache ?(memo = true) specs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.id then
+        invalid_arg (Printf.sprintf "Campaign.run: duplicate job id %S" s.id);
+      Hashtbl.add seen s.id ())
+    specs;
+  let cache =
+    if not memo then None
+    else Some (match cache with Some c -> c | None -> Cache.create ())
+  in
+  Pool.map ~jobs ~f:(fun spec -> run_spec ?cache spec) (Array.of_list specs)
+  |> Array.to_list
+
+(* -- the bundled matrix -------------------------------------------------- *)
+
+let bundled ?(tiny = false) () =
+  let module R = Mechaml_scenarios.Railcab in
+  let module P = Mechaml_scenarios.Protocol in
+  let module W = Mechaml_scenarios.Watchdog in
+  let module F = Mechaml_scenarios.Families in
+  if tiny then
+    [
+      job ~id:"railcab/correct/constraint/bfs" ~family:"railcab" ~context:R.context
+        ~property:R.constraint_ ~label_of:R.label_of (fun () -> R.box_correct);
+      job ~id:"railcab/conflicting/constraint/bfs" ~family:"railcab" ~context:R.context
+        ~property:R.constraint_ ~label_of:R.label_of (fun () -> R.box_conflicting);
+      job ~id:"protocol/faulty/agreement/bfs" ~family:"protocol" ~context:P.receiver
+        ~property:P.property ~label_of:P.label_of (fun () -> P.box_fire_and_forget);
+      job ~id:"watchdog/prompt/deadline/bfs" ~family:"watchdog" ~context:W.watchdog
+        ~property:W.property ~label_of:W.label_of (fun () -> W.box_prompt);
+    ]
+  else begin
+    let strategies = [ Witness.Bfs_shortest; Witness.Dfs_first ] in
+    let railcab =
+      List.concat_map
+        (fun strategy ->
+          List.concat_map
+            (fun (prop_name, property) ->
+              List.map
+                (fun (variant, box) ->
+                  job
+                    ~id:
+                      (Printf.sprintf "railcab/%s/%s/%s" variant prop_name
+                         (strategy_string strategy))
+                    ~family:"railcab" ~context:R.context ~property ~strategy
+                    ~label_of:R.label_of box)
+                [
+                  ("correct", fun () -> R.box_correct);
+                  ("conflicting", fun () -> R.box_conflicting);
+                ])
+            [ ("constraint", R.constraint_); ("deadlockfree", Ctl.True) ])
+        strategies
+    in
+    let railcab_faults =
+      [
+        (* deterministic lossy port: a fault variant whose dropped proposal
+           genuinely deadlocks the pattern — a reproducible real verdict *)
+        job ~id:"railcab/lossy/constraint/bfs" ~family:"railcab" ~context:R.context
+          ~property:R.constraint_ ~label_of:R.label_of ~retries:1 (fun () ->
+            Flaky.drop_outputs ~every:3 R.box_correct);
+        (* nondeterministic driver: replay divergence crashes an attempt, the
+           retry resumes the flip counter further along — still deterministic
+           per job because the wrapper is job-local *)
+        job ~id:"railcab/flaky/constraint/bfs" ~family:"railcab" ~context:R.context
+          ~property:R.constraint_ ~label_of:R.label_of ~retries:2 (fun () ->
+            Flaky.nondeterministic ~seed:3 ~flip_every:5 R.box_correct);
+      ]
+    in
+    let protocol =
+      List.concat_map
+        (fun (prop_name, property) ->
+          List.map
+            (fun (variant, box) ->
+              job
+                ~id:(Printf.sprintf "protocol/%s/%s/bfs" variant prop_name)
+                ~family:"protocol" ~context:P.receiver ~property ~label_of:P.label_of box)
+            [
+              ("correct", fun () -> P.box_correct);
+              ("faulty", fun () -> P.box_fire_and_forget);
+            ])
+        [ ("agreement", P.property); ("deadlockfree", Ctl.True) ]
+    in
+    let watchdog =
+      List.concat_map
+        (fun strategy ->
+          List.map
+            (fun (variant, box) ->
+              job
+                ~id:
+                  (Printf.sprintf "watchdog/%s/deadline/%s" variant
+                     (strategy_string strategy))
+                ~family:"watchdog" ~context:W.watchdog ~property:W.property ~strategy
+                ~label_of:W.label_of box)
+            [ ("prompt", fun () -> W.box_prompt); ("sluggish", fun () -> W.box_sluggish) ])
+        strategies
+    in
+    let lock =
+      List.map
+        (fun (n, depth, strategy) ->
+          job
+            ~id:
+              (Printf.sprintf "lock/n%d-d%d/locked/%s" n depth (strategy_string strategy))
+            ~family:"lock"
+            ~context:(F.lock_context ~n ~depth)
+            ~property:F.lock_property ~strategy ~label_of:F.lock_label_of (fun () ->
+              F.lock_box ~n))
+        [
+          (12, 3, Witness.Bfs_shortest);
+          (12, 6, Witness.Bfs_shortest);
+          (16, 4, Witness.Bfs_shortest);
+          (16, 4, Witness.Dfs_first);
+        ]
+    in
+    railcab @ railcab_faults @ protocol @ watchdog @ lock
+  end

@@ -1,0 +1,33 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs ~f items =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* each slot is written by exactly one domain: no race *)
+          (results.(i) <-
+            (match f items.(i) with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end

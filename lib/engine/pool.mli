@@ -1,0 +1,18 @@
+(** A fixed worker pool on OCaml 5 domains.
+
+    Work items are claimed from a shared atomic counter, so the pool balances
+    jobs of very different cost (a lock sweep next to a two-iteration railcab
+    run) without any scheduling policy.  With [jobs = 1] no domain is
+    spawned and items run sequentially in order — the deterministic
+    reference execution the campaign tests compare against. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~f items] applies [f] to every item, running at most [jobs]
+    workers concurrently (clamped to [1 .. length items]).  Results keep the
+    input order regardless of completion order.  If an [f] application
+    raises, the remaining items still run; the first raised exception (in
+    item order) is re-raised after all workers have finished, with its
+    original backtrace. *)

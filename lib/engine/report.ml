@@ -1,0 +1,242 @@
+module Pp = Mechaml_util.Pp
+
+(* -- plain-text ----------------------------------------------------------- *)
+
+let human_duration s =
+  if s >= 1. then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.0f us" (s *. 1e6)
+
+let cache_cell (c : Campaign.cache_counters) =
+  let hits = c.Campaign.closure_hits + c.Campaign.check_hits in
+  let lookups = hits + c.Campaign.closure_misses + c.Campaign.check_misses in
+  if lookups = 0 then "-" else Printf.sprintf "%d/%d" hits lookups
+
+let table outcomes =
+  Pp.table
+    ~header:
+      [ "job"; "verdict"; "iters"; "states"; "facts"; "tests"; "steps"; "attempts";
+        "cache h/l"; "time" ]
+    (List.map
+       (fun (o : Campaign.outcome) ->
+         [
+           o.Campaign.spec_id;
+           Campaign.verdict_string o.Campaign.verdict;
+           string_of_int o.Campaign.iterations;
+           string_of_int o.Campaign.states_learned;
+           string_of_int o.Campaign.knowledge;
+           string_of_int o.Campaign.tests_executed;
+           string_of_int o.Campaign.test_steps;
+           string_of_int o.Campaign.attempts;
+           cache_cell o.Campaign.cache;
+           human_duration o.Campaign.duration_s;
+         ])
+       outcomes)
+
+let aggregate outcomes =
+  List.fold_left
+    (fun (ch, cm, kh, km, d) (o : Campaign.outcome) ->
+      ( ch + o.Campaign.cache.Campaign.closure_hits,
+        cm + o.Campaign.cache.Campaign.closure_misses,
+        kh + o.Campaign.cache.Campaign.check_hits,
+        km + o.Campaign.cache.Campaign.check_misses,
+        d +. o.Campaign.duration_s ))
+    (0, 0, 0, 0, 0.) outcomes
+
+let summary ?jobs outcomes =
+  let count p = List.length (List.filter p outcomes) in
+  let proved = count (fun o -> o.Campaign.verdict = Campaign.Proved) in
+  let real =
+    count (fun o ->
+        match o.Campaign.verdict with
+        | Campaign.Real_deadlock _ | Campaign.Real_property _ -> true
+        | _ -> false)
+  in
+  let failed =
+    count (fun o ->
+        match o.Campaign.verdict with
+        | Campaign.Failed _ | Campaign.Timed_out | Campaign.Exhausted -> true
+        | _ -> false)
+  in
+  let ch, cm, kh, km, duration = aggregate outcomes in
+  let hits = ch + kh and lookups = ch + cm + kh + km in
+  Printf.sprintf
+    "%d jobs%s: %d proved, %d real violations, %d failed/timed out/exhausted; cache %d/%d \
+     hits (%.0f%%); %s total loop time"
+    (List.length outcomes)
+    (match jobs with Some j -> Printf.sprintf " on %d workers" j | None -> "")
+    proved real failed hits lookups
+    (if lookups = 0 then 0. else 100. *. float_of_int hits /. float_of_int lookups)
+    (human_duration duration)
+
+(* -- JSON ----------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_verdict_fields (v : Campaign.verdict) =
+  match v with
+  | Campaign.Proved -> [ ("verdict", "\"proved\"") ]
+  | Campaign.Real_deadlock { confirmed_by_test } ->
+    [ ("verdict", "\"real_deadlock\""); ("confirmed_by_test", string_of_bool confirmed_by_test) ]
+  | Campaign.Real_property { confirmed_by_test } ->
+    [ ("verdict", "\"real_property\""); ("confirmed_by_test", string_of_bool confirmed_by_test) ]
+  | Campaign.Exhausted -> [ ("verdict", "\"exhausted\"") ]
+  | Campaign.Timed_out -> [ ("verdict", "\"timed_out\"") ]
+  | Campaign.Failed error ->
+    [ ("verdict", "\"failed\""); ("error", Printf.sprintf "\"%s\"" (json_escape error)) ]
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields) ^ "}"
+
+let json_cache (c : Campaign.cache_counters) =
+  json_obj
+    [
+      ("closure_hits", string_of_int c.Campaign.closure_hits);
+      ("closure_misses", string_of_int c.Campaign.closure_misses);
+      ("check_hits", string_of_int c.Campaign.check_hits);
+      ("check_misses", string_of_int c.Campaign.check_misses);
+    ]
+
+let json_outcome (o : Campaign.outcome) =
+  json_obj
+    ([
+       ("id", Printf.sprintf "\"%s\"" (json_escape o.Campaign.spec_id));
+       ("family", Printf.sprintf "\"%s\"" (json_escape o.Campaign.family));
+     ]
+    @ json_verdict_fields o.Campaign.verdict
+    @ [
+        ("iterations", string_of_int o.Campaign.iterations);
+        ("states_learned", string_of_int o.Campaign.states_learned);
+        ("knowledge", string_of_int o.Campaign.knowledge);
+        ("tests_executed", string_of_int o.Campaign.tests_executed);
+        ("test_steps", string_of_int o.Campaign.test_steps);
+        ("attempts", string_of_int o.Campaign.attempts);
+        ("duration_s", Printf.sprintf "%.6f" o.Campaign.duration_s);
+        ("cache", json_cache o.Campaign.cache);
+      ])
+
+let to_json ?jobs outcomes =
+  let ch, cm, kh, km, duration = aggregate outcomes in
+  let hits = ch + kh and lookups = ch + cm + kh + km in
+  let cache =
+    json_obj
+      [
+        ("closure_hits", string_of_int ch);
+        ("closure_misses", string_of_int cm);
+        ("check_hits", string_of_int kh);
+        ("check_misses", string_of_int km);
+        ( "hit_rate",
+          Printf.sprintf "%.4f"
+            (if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups) );
+      ]
+  in
+  let fields =
+    [ ("schema", "\"mechaml-campaign/1\"") ]
+    @ (match jobs with Some j -> [ ("jobs", string_of_int j) ] | None -> [])
+    @ [
+        ("job_count", string_of_int (List.length outcomes));
+        ("total_duration_s", Printf.sprintf "%.6f" duration);
+        ("cache", cache);
+        ("results", "[\n  " ^ String.concat ",\n  " (List.map json_outcome outcomes) ^ "\n]");
+      ]
+  in
+  "{\n"
+  ^ String.concat ",\n"
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields)
+  ^ "\n}\n"
+
+(* -- CSV ------------------------------------------------------------------ *)
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv outcomes =
+  let header =
+    "id,family,verdict,confirmed_by_test,error,iterations,states_learned,knowledge,\
+     tests_executed,test_steps,attempts,duration_s,closure_hits,closure_misses,check_hits,\
+     check_misses"
+  in
+  let row (o : Campaign.outcome) =
+    let confirmed, error =
+      match o.Campaign.verdict with
+      | Campaign.Real_deadlock { confirmed_by_test } | Campaign.Real_property { confirmed_by_test }
+        ->
+        (string_of_bool confirmed_by_test, "")
+      | Campaign.Failed e -> ("", e)
+      | _ -> ("", "")
+    in
+    let tag =
+      match o.Campaign.verdict with
+      | Campaign.Proved -> "proved"
+      | Campaign.Real_deadlock _ -> "real_deadlock"
+      | Campaign.Real_property _ -> "real_property"
+      | Campaign.Exhausted -> "exhausted"
+      | Campaign.Timed_out -> "timed_out"
+      | Campaign.Failed _ -> "failed"
+    in
+    String.concat ","
+      (List.map csv_field
+         [
+           o.Campaign.spec_id;
+           o.Campaign.family;
+           tag;
+           confirmed;
+           error;
+           string_of_int o.Campaign.iterations;
+           string_of_int o.Campaign.states_learned;
+           string_of_int o.Campaign.knowledge;
+           string_of_int o.Campaign.tests_executed;
+           string_of_int o.Campaign.test_steps;
+           string_of_int o.Campaign.attempts;
+           Printf.sprintf "%.6f" o.Campaign.duration_s;
+           string_of_int o.Campaign.cache.Campaign.closure_hits;
+           string_of_int o.Campaign.cache.Campaign.closure_misses;
+           string_of_int o.Campaign.cache.Campaign.check_hits;
+           string_of_int o.Campaign.cache.Campaign.check_misses;
+         ])
+  in
+  String.concat "\n" (header :: List.map row outcomes) ^ "\n"
+
+(* -- canonical form ------------------------------------------------------- *)
+
+let canonical outcomes =
+  let line (o : Campaign.outcome) =
+    Printf.sprintf "%s|%s|%d|%d|%d|%d|%d|%d" o.Campaign.spec_id
+      (match o.Campaign.verdict with
+      | Campaign.Failed e -> "failed: " ^ e
+      | v -> Campaign.verdict_string v)
+      o.Campaign.iterations o.Campaign.states_learned o.Campaign.knowledge
+      o.Campaign.tests_executed o.Campaign.test_steps o.Campaign.attempts
+  in
+  String.concat "\n" (List.sort compare (List.map line outcomes)) ^ "\n"
+
+(* -- IO ------------------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* a concurrent job created it between the check and the mkdir *)
+      ()
+  end
+
+let save ~path content =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

@@ -1,0 +1,118 @@
+(* Campaign engine: the worker pool, the memo cache and the job runner must
+   never change a verdict — parallelism and caching only move time around.
+   The tests pin that contract: jobs=1 and jobs=4 produce byte-identical
+   canonical reports, a warm cache answers from memory without changing
+   results, and a timed-out job is reported as such without poisoning its
+   siblings. *)
+
+module Campaign = Mechaml_engine.Campaign
+module Cache = Mechaml_engine.Cache
+module Pool = Mechaml_engine.Pool
+module Report = Mechaml_engine.Report
+module Railcab = Mechaml_scenarios.Railcab
+module Flaky = Mechaml_legacy.Flaky
+open Helpers
+
+(* The RailCab slice of the bundled matrix: both fault variants under both
+   strategies, plus the flaky driver exercising the retry path. *)
+let railcab_matrix () =
+  List.filter
+    (fun (s : Campaign.spec) -> s.Campaign.family = "railcab")
+    (Campaign.bundled ())
+
+let correct_job ~id =
+  Campaign.job ~id ~family:"railcab" ~context:Railcab.context
+    ~property:Railcab.constraint_ ~label_of:Railcab.label_of (fun () -> Railcab.box_correct)
+
+let unit_tests =
+  [
+    test "jobs=1 and jobs=4 produce identical verdict sets" (fun () ->
+        let sequential = Campaign.run ~jobs:1 (railcab_matrix ()) in
+        let parallel = Campaign.run ~jobs:4 (railcab_matrix ()) in
+        check_string "canonical reports" (Report.canonical sequential)
+          (Report.canonical parallel));
+    test "a warm cache changes no verdicts and reports hits" (fun () ->
+        let cache = Cache.create () in
+        let cold = Campaign.run ~jobs:1 ~cache (railcab_matrix ()) in
+        let warm = Campaign.run ~jobs:1 ~cache (railcab_matrix ()) in
+        check_string "verdicts unchanged" (Report.canonical cold) (Report.canonical warm);
+        let hits =
+          List.fold_left
+            (fun acc (o : Campaign.outcome) ->
+              acc + o.Campaign.cache.Campaign.closure_hits
+              + o.Campaign.cache.Campaign.check_hits)
+            0 warm
+        in
+        check_bool "warm run hits the cache" true (hits > 0);
+        (* every stage of every deterministic job replays from memory *)
+        let misses =
+          List.fold_left
+            (fun acc (o : Campaign.outcome) ->
+              acc + o.Campaign.cache.Campaign.closure_misses
+              + o.Campaign.cache.Campaign.check_misses)
+            0 warm
+        in
+        check_int "warm run recomputes nothing" 0 misses;
+        check_bool "cache stats agree" true (Cache.hits (Cache.stats cache) >= hits));
+    test "a timed-out job is reported without poisoning siblings" (fun () ->
+        let timed =
+          { (correct_job ~id:"railcab/timed") with Campaign.timeout = Some 0. }
+        in
+        let outcomes =
+          Campaign.run ~jobs:2 [ timed; correct_job ~id:"railcab/healthy" ]
+        in
+        (match outcomes with
+        | [ t; h ] ->
+          check_bool "timed out" true (t.Campaign.verdict = Campaign.Timed_out);
+          check_int "no iteration completed" 0 t.Campaign.iterations;
+          check_bool "sibling proved" true (h.Campaign.verdict = Campaign.Proved)
+        | _ -> Alcotest.fail "expected two outcomes in spec order"));
+    test "crashed attempts are retried and counted" (fun () ->
+        (* a nondeterministic driver trips the replay guardrail on every
+           attempt: all retries are consumed and the failure is reported *)
+        let flaky =
+          Campaign.job ~id:"railcab/flaky" ~family:"railcab" ~context:Railcab.context
+            ~property:Railcab.constraint_ ~label_of:Railcab.label_of ~retries:2 (fun () ->
+              Flaky.nondeterministic ~seed:3 ~flip_every:5 Railcab.box_correct)
+        in
+        match Campaign.run [ flaky ] with
+        | [ o ] ->
+          check_int "attempts = 1 + retries" 3 o.Campaign.attempts;
+          check_bool "failed verdict carries the error" true
+            (match o.Campaign.verdict with
+            | Campaign.Failed e -> String.length e > 0
+            | _ -> false)
+        | _ -> Alcotest.fail "expected one outcome");
+    test "duplicate job ids are rejected" (fun () ->
+        match Campaign.run [ correct_job ~id:"dup"; correct_job ~id:"dup" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "duplicate id accepted");
+    test "pool keeps order and propagates exceptions" (fun () ->
+        let doubled =
+          Pool.map ~jobs:4 ~f:(fun i -> 2 * i) (Array.init 100 (fun i -> i))
+        in
+        check_bool "ordered results" true
+          (Array.to_list doubled = List.init 100 (fun i -> 2 * i));
+        match Pool.map ~jobs:3 ~f:(fun i -> if i = 5 then failwith "boom" else i)
+                (Array.init 8 (fun i -> i))
+        with
+        | exception Failure msg -> check_string "first failure wins" "boom" msg
+        | _ -> Alcotest.fail "exception swallowed");
+    test "json and csv reports carry every job" (fun () ->
+        let outcomes = Campaign.run ~jobs:2 (Campaign.bundled ~tiny:true ()) in
+        let json = Report.to_json ~jobs:2 outcomes in
+        let csv = Report.to_csv outcomes in
+        List.iter
+          (fun (o : Campaign.outcome) ->
+            check_bool ("json has " ^ o.Campaign.spec_id) true
+              (let sub = Printf.sprintf "\"id\": \"%s\"" o.Campaign.spec_id in
+               let n = String.length sub and m = String.length json in
+               let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+               go 0))
+          outcomes;
+        check_int "csv rows = jobs + header" (List.length outcomes + 1)
+          (List.length
+             (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv))));
+  ]
+
+let () = Alcotest.run "engine" [ ("engine", unit_tests) ]
