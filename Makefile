@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke check faults-smoke kill-resume bench clean
 
 all: build
 
@@ -15,6 +15,32 @@ smoke: build
 	dune exec bin/mechaverify.exe -- campaign --tiny --jobs 2
 
 check: build test smoke
+
+# Fault-injection smoke: under injected chaos every job must end in a
+# definite verdict or a graceful degradation — never failed or timed out
+# (retry heals crashes, voting masks lies, the breaker degrades).
+faults-smoke: build
+	dune exec bin/mechaverify.exe -- campaign --tiny --jobs 2 \
+	  --inject crash+flaky --seed 11 --votes 3 --breaker 24 \
+	  --report _build/faults-smoke.json
+	! grep -q '"verdict": "failed"' _build/faults-smoke.json
+	! grep -q '"verdict": "timed_out"' _build/faults-smoke.json
+
+# Kill-and-resume: SIGKILL a journaled run mid-flight, then resume the
+# journal and require the verdict of an uninterrupted run (exit 0 = proved).
+kill-resume: build
+	rm -rf _build/resume && mkdir -p _build/resume
+	dune exec bin/mechaverify.exe -- export --dir _build/resume/aut
+	-timeout -s KILL 0.4 ./_build/default/bin/mechaverify.exe run \
+	  --context _build/resume/aut/railcab_context.aut \
+	  --legacy _build/resume/aut/railcab_legacy_correct.aut \
+	  --property true --inject hang --seed 5 \
+	  --journal _build/resume/kill.journal
+	test -s _build/resume/kill.journal
+	./_build/default/bin/mechaverify.exe run \
+	  --context _build/resume/aut/railcab_context.aut \
+	  --legacy _build/resume/aut/railcab_legacy_correct.aut \
+	  --property true --resume _build/resume/kill.journal
 
 bench:
 	dune exec bench/main.exe

@@ -31,6 +31,65 @@ module Protocol = Mechaml_scenarios.Protocol
 module Families = Mechaml_scenarios.Families
 module Pp = Mechaml_util.Pp
 
+(* -- machine-readable output --------------------------------------------- *)
+
+(* with [--json PATH] every Bechamel estimate, scalar metric and per-group
+   wall clock also lands in a BENCH_*.json file, so CI can diff runs against
+   the committed bench/BENCH_baseline.json instead of eyeballing tables *)
+let json_path : string option ref = ref None
+
+let current_group = ref ""
+
+(* (group, name, value) rows; benchmarks are ns/run, metrics are unitless *)
+let json_benchmarks : (string * string * float) list ref = ref []
+
+let json_metrics : (string * string * float) list ref = ref []
+
+let json_groups : (string * float) list ref = ref []
+
+let json_metric name value =
+  json_metrics := (!current_group, name, value) :: !json_metrics
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_number v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let write_json path =
+  let triples rows =
+    String.concat ",\n"
+      (List.map
+         (fun (group, name, value) ->
+           Printf.sprintf "    {\"group\": \"%s\", \"name\": \"%s\", \"value\": %s}"
+             (json_escape group) (json_escape name) (json_number value))
+         (List.rev rows))
+  in
+  let groups =
+    String.concat ",\n"
+      (List.map
+         (fun (group, wall) ->
+           Printf.sprintf "    {\"id\": \"%s\", \"wall_s\": %s}" (json_escape group)
+             (json_number wall))
+         (List.rev !json_groups))
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"mechaml-bench 1\",\n  \"groups\": [\n%s\n  ],\n  \"benchmarks_ns_per_run\": [\n%s\n  ],\n  \"metrics\": [\n%s\n  ]\n}\n"
+    groups (triples !json_benchmarks) (triples !json_metrics);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 (* -- timing helpers ------------------------------------------------------ *)
 
 let measure_tests name tests =
@@ -49,6 +108,9 @@ let measure_tests name tests =
       results []
     |> List.sort compare
   in
+  List.iter
+    (fun (n, ns) -> json_benchmarks := (!current_group, n, ns) :: !json_benchmarks)
+    rows;
   print_endline
     (Pp.table ~header:[ "operation"; "time/run" ]
        (List.map
@@ -75,6 +137,7 @@ let verdict_string = function
   | Loop.Real_violation { kind = Loop.Property; confirmed_by_test; _ } ->
     if confirmed_by_test then "real violation (tested)" else "real violation (fast)"
   | Loop.Exhausted _ -> "exhausted"
+  | Loop.Degraded _ -> "degraded"
 
 (* -- EXP-F3: the chaotic automaton --------------------------------------- *)
 
@@ -218,6 +281,10 @@ let exp_fig7 () =
   Printf.printf "verdict: %s; learned %d/%d states; %d tests (%d steps)\n"
     (verdict_string r.Loop.verdict) r.Loop.states_learned r.Loop.legacy_state_bound
     r.Loop.tests_executed r.Loop.test_steps_executed;
+  json_metric "iterations" (float_of_int (List.length r.Loop.iterations));
+  json_metric "tests_executed" (float_of_int r.Loop.tests_executed);
+  json_metric "test_steps" (float_of_int r.Loop.test_steps_executed);
+  json_metric "states_learned" (float_of_int r.Loop.states_learned);
   bench1 "loop(correct shuttle)" (fun () -> ignore (Railcab.run_correct ()))
 
 (* -- EXP-T1: ours vs whole-component learning ---------------------------- *)
@@ -696,6 +763,8 @@ let exp_t13 () =
             (0, 0, 0, 0) outcomes
         in
         let hits = ch + kh and lookups = ch + cm + kh + km in
+        json_metric (name ^ ": cache hits") (float_of_int hits);
+        json_metric (name ^ ": cache lookups") (float_of_int lookups);
         [
           name;
           Printf.sprintf "%.1f ms" (wall *. 1e3);
@@ -774,17 +843,32 @@ let groups =
   ]
 
 let () =
+  let rec parse_args = function
+    | [] -> []
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json needs a path, e.g. --json BENCH_run.json\n";
+      exit 2
+    | name :: rest -> name :: parse_args rest
+  in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst groups
+    match parse_args (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst groups
+    | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name groups with
-      | Some f -> f ()
+      | Some f ->
+        current_group := name;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        json_groups := (name, Unix.gettimeofday () -. t0) :: !json_groups
       | None ->
         Printf.eprintf "unknown group %S; available: %s\n" name
           (String.concat ", " (List.map fst groups));
         exit 2)
-    selected
+    selected;
+  Option.iter write_json !json_path

@@ -11,8 +11,11 @@ module Checker = Mechaml_mc.Checker
 module Dot = Mechaml_ts.Dot
 module Railcab = Mechaml_scenarios.Railcab
 module Protocol = Mechaml_scenarios.Protocol
+module Watchdog = Mechaml_scenarios.Watchdog
 module Families = Mechaml_scenarios.Families
 module Listing = Mechaml_scenarios.Listing
+module Faults = Mechaml_legacy.Faults
+module Supervisor = Mechaml_legacy.Supervisor
 open Cmdliner
 
 let setup_logs verbose =
@@ -34,6 +37,60 @@ let strategy_t =
 let dot_dir_t =
   let doc = "Write DOT figures (learned model, closure) into $(docv)." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
+
+(* -- fault injection & supervision (shared by run and campaign) -- *)
+
+let inject_t =
+  let doc =
+    Printf.sprintf
+      "Wrap the legacy driver in a fault profile (%s, or a $(b,+) combination such as \
+       $(b,crash+flaky)).  Implies supervised execution."
+      (String.concat ", " (List.map fst Faults.profiles))
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"PROFILE" ~doc)
+
+let seed_t =
+  let doc = "Seed for fault schedules and supervisor backoff jitter." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let deadline_ms_t =
+  let doc = "Per-query wall-clock deadline (milliseconds) for the supervised driver." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let votes_t =
+  let doc =
+    "Repetitions per driver query; an observation is admitted only once a quorum of votes \
+     agree on it bit-for-bit."
+  in
+  Arg.(value & opt (some int) None & info [ "votes" ] ~docv:"K" ~doc)
+
+let quorum_t =
+  let doc = "Agreeing votes needed to admit an observation (default: majority of --votes)." in
+  Arg.(value & opt (some int) None & info [ "quorum" ] ~docv:"K" ~doc)
+
+let breaker_t =
+  let doc =
+    "Consecutive failed driver attempts before the circuit breaker opens and the run \
+     degrades to the chaotic closure of the knowledge gathered so far."
+  in
+  Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
+
+let policy_of ~deadline_ms ~votes ~quorum ~breaker =
+  match (deadline_ms, votes, quorum, breaker) with
+  | None, None, None, None -> None
+  | _ ->
+    let d = Supervisor.default_policy in
+    Some
+      {
+        d with
+        Supervisor.deadline =
+          (match deadline_ms with
+          | Some ms -> Some (ms /. 1e3)
+          | None -> d.Supervisor.deadline);
+        votes = Option.value votes ~default:d.Supervisor.votes;
+        quorum = (match quorum with Some _ -> quorum | None -> d.Supervisor.quorum);
+        breaker = Option.value breaker ~default:d.Supervisor.breaker;
+      }
 
 (* Create [dir] and any missing parents; tolerate a directory that appears
    concurrently (e.g. two campaign jobs exporting into the same tree). *)
@@ -60,7 +117,11 @@ let report ?(left = "context") ?(right = "legacy") dot_dir (r : Loop.result) =
   | _ -> ());
   Format.printf "Learned model:@.%a@." Incomplete.pp r.Loop.final_model;
   save_dot dot_dir "learned_model" (Dot.of_automaton (Incomplete.to_automaton r.Loop.final_model));
-  match r.Loop.verdict with Loop.Real_violation _ -> 1 | Loop.Proved -> 0 | Loop.Exhausted _ -> 2
+  match r.Loop.verdict with
+  | Loop.Real_violation _ -> 1
+  | Loop.Proved -> 0
+  | Loop.Exhausted _ -> 2
+  | Loop.Degraded _ -> 4
 
 (* -- railcab -- *)
 
@@ -215,12 +276,60 @@ let run_cmd =
       & opt int 1
       & info [ "batch" ] ~docv:"K" ~doc:"Counterexamples tested per model-checking round.")
   in
+  let journal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every executed observation to a crash-safe journal at $(docv) as it \
+             happens (one flushed line per observation).")
+  in
+  let resume_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Replay the journal of an interrupted run into the starting model, then keep \
+             appending to the same file.  A torn final record (killed mid-write) is \
+             tolerated.")
+  in
+  let snapshot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite a knowledge snapshot (write-temp + rename) whenever the \
+             learned model grows; loadable later with --knowledge.")
+  in
   let run verbose strategy dot_dir context_path legacy_path property prefix knowledge
-      save_knowledge batch =
+      save_knowledge batch inject seed deadline_ms votes quorum breaker journal resume
+      snapshot =
     setup_logs verbose;
     let context = load_automaton context_path in
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
+    let box =
+      match inject with
+      | None -> box
+      | Some profile -> (
+        match Faults.of_string ~seed profile with
+        | Ok wrap -> wrap box
+        | Error msg ->
+          Format.eprintf "mechaverify: %s@." msg;
+          exit 3)
+    in
+    let policy = policy_of ~deadline_ms ~votes ~quorum ~breaker in
+    let supervisor =
+      match (inject, policy) with
+      | None, None -> None
+      | _ -> Some (Supervisor.create ~seed ?policy box)
+    in
+    let observe =
+      Option.map (fun sup ~inputs -> Supervisor.observe_hook sup ~inputs) supervisor
+    in
     let property = Mechaml_logic.Parser.parse_exn property in
     let prefix =
       Option.value prefix ~default:(legacy_auto.Mechaml_ts.Automaton.name ^ ".")
@@ -238,13 +347,17 @@ let run_cmd =
     in
     let r =
       Loop.run ~strategy ~label_of ?initial_knowledge ~counterexamples_per_iteration:batch
-        ~context ~property ~legacy:box ()
+        ?observe ?journal ?resume ?snapshot ~context ~property ~legacy:box ()
     in
     Option.iter
       (fun path ->
         Mechaml_core.Knowledge_io.save ~path r.Loop.final_model;
         Format.printf "learned model saved to %s@." path)
       save_knowledge;
+    Option.iter
+      (fun sup ->
+        Format.printf "Supervision:@.%a@." Supervisor.pp_stats (Supervisor.stats sup))
+      supervisor;
     exit
       (report ~left:context.Mechaml_ts.Automaton.name
          ~right:legacy_auto.Mechaml_ts.Automaton.name dot_dir r)
@@ -253,7 +366,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ verbose_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
-      $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t)
+      $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t $ inject_t $ seed_t
+      $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t)
 
 (* -- learn: whole-component learning baseline on a file -- *)
 
@@ -357,13 +471,19 @@ let campaign_cmd =
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
     n = 0 || go 0
   in
-  let run verbose jobs report csv tiny select timeout retries no_cache =
+  let run verbose jobs report csv tiny select timeout retries no_cache inject seed
+      deadline_ms votes quorum breaker =
     setup_logs verbose;
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
       exit 3
     in
     if jobs < 1 then input_error "--jobs must be at least 1";
+    (match inject with
+    | Some profile when Result.is_error (Faults.of_string ~seed profile) ->
+      input_error
+        (match Faults.of_string ~seed profile with Error m -> m | Ok _ -> assert false)
+    | _ -> ());
     let specs = Campaign.bundled ~tiny () in
     let specs =
       match select with
@@ -371,13 +491,22 @@ let campaign_cmd =
       | Some sub -> List.filter (fun s -> contains ~sub s.Campaign.id) specs
     in
     if specs = [] then input_error "--select matches no job id";
+    let policy = policy_of ~deadline_ms ~votes ~quorum ~breaker in
     let specs =
       List.map
         (fun s ->
           let s =
             match timeout with None -> s | Some t -> { s with Campaign.timeout = Some t }
           in
-          match retries with None -> s | Some k -> { s with Campaign.retries = k })
+          let s =
+            match retries with None -> s | Some k -> { s with Campaign.retries = k }
+          in
+          let s =
+            match inject with
+            | None -> s
+            | Some _ -> { s with Campaign.inject = inject; Campaign.seed = seed }
+          in
+          match policy with None -> s | Some _ -> { s with Campaign.policy = policy })
         specs
     in
     let t0 = Unix.gettimeofday () in
@@ -405,7 +534,44 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ verbose_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
-      $ retries_t $ no_cache_t)
+      $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t $ quorum_t
+      $ breaker_t)
+
+(* -- export: bundled scenario automata as textio files -- *)
+
+let export_cmd =
+  let dir_t =
+    Arg.(
+      value
+      & opt string "export"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Directory to write the automata into.")
+  in
+  let run verbose dir =
+    setup_logs verbose;
+    mkdir_p dir;
+    let save name auto =
+      let path = Filename.concat dir (name ^ ".aut") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Mechaml_ts.Textio.print auto));
+      Format.printf "wrote %s@." path
+    in
+    save "railcab_context" Railcab.context;
+    save "railcab_legacy_correct" Railcab.legacy_correct;
+    save "railcab_legacy_conflicting" Railcab.legacy_conflicting;
+    save "protocol_receiver" Protocol.receiver;
+    save "protocol_sender_correct" Protocol.sender_correct;
+    save "protocol_sender_fire_and_forget" Protocol.sender_fire_and_forget;
+    save "watchdog_context" Watchdog.watchdog;
+    save "watchdog_controller_prompt" Watchdog.controller_prompt;
+    save "watchdog_controller_sluggish" Watchdog.controller_sluggish
+  in
+  let doc =
+    "Export the bundled scenario automata as textio files, ready for $(b,mechaverify run) \
+     --context/--legacy (e.g. to drive fault-injected runs with --journal/--resume)."
+  in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ verbose_t $ dir_t)
 
 (* -- pattern -- *)
 
@@ -427,6 +593,9 @@ let main_cmd =
     "combined formal verification and testing for correct legacy component integration"
   in
   Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
-    [ railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd ]
+    [
+      railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd;
+      export_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

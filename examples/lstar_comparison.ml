@@ -33,6 +33,7 @@ let row n depth =
     | Loop.Proved -> "proved"
     | Loop.Real_violation _ -> "violation"
     | Loop.Exhausted _ -> "exhausted"
+    | Loop.Degraded _ -> "degraded"
   in
   (* L* with a perfect equivalence oracle: the lower bound for any
      full-learning approach *)

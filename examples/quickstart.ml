@@ -72,7 +72,8 @@ let () =
       (Automaton.num_states lamp)
       result.Loop.tests_executed
   | Loop.Real_violation _ -> Format.printf "@.Unexpected: a real violation was found.@."
-  | Loop.Exhausted _ -> Format.printf "@.Iteration budget exhausted.@.");
+  | Loop.Exhausted _ -> Format.printf "@.Iteration budget exhausted.@."
+  | Loop.Degraded _ -> Format.printf "@.Unexpected: the driver degraded.@.");
   (* 4. The same loop with a reckless driver that keeps pressing: the
      verification finds the real burn-out, demonstrated by a counterexample
      that replays on the component. *)

@@ -1,0 +1,134 @@
+module Observation = Mechaml_legacy.Observation
+
+let header = "mechaml-journal 1"
+
+let sentinel = ";end"
+
+type error = { line : int; message : string }
+
+exception Error of error
+
+let fail line message = raise (Error { line; message })
+
+let signals names = String.concat "," names
+
+let line_of (obs : Observation.t) =
+  let buf = Buffer.create 128 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "obs %s" obs.Observation.initial_state;
+  List.iter
+    (fun (s : Observation.step) ->
+      add " | %s : %s / %s -> %s" s.Observation.pre_state (signals s.Observation.inputs)
+        (signals s.Observation.outputs) s.Observation.post_state)
+    obs.Observation.steps;
+  (match obs.Observation.refused with
+  | None -> ()
+  | Some (state, inputs) -> add " | refuse %s : %s" state (signals inputs));
+  add " %s" sentinel;
+  Buffer.contents buf
+
+let append ~path obs =
+  let fresh = (not (Sys.file_exists path)) || Unix.((stat path).st_size) = 0 in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if fresh then output_string oc (header ^ "\n");
+      output_string oc (line_of obs ^ "\n");
+      flush oc)
+
+(* -- parsing --------------------------------------------------------------- *)
+
+let split_signals = function "" -> [] | s -> String.split_on_char ',' s
+
+let parse_segment lineno segment =
+  match String.split_on_char ' ' segment |> List.filter (fun t -> t <> "") with
+  | [ "refuse"; state; ":"; ins ] -> `Refuse (state, split_signals ins)
+  | [ "refuse"; state; ":" ] -> `Refuse (state, [])
+  | [ pre; ":"; ins; "/"; outs; "->"; post ] ->
+    `Step
+      {
+        Observation.pre_state = pre;
+        inputs = split_signals ins;
+        outputs = split_signals outs;
+        post_state = post;
+      }
+  | [ pre; ":"; "/"; outs; "->"; post ] ->
+    `Step
+      { Observation.pre_state = pre; inputs = []; outputs = split_signals outs; post_state = post }
+  | [ pre; ":"; ins; "/"; "->"; post ] ->
+    `Step
+      { Observation.pre_state = pre; inputs = split_signals ins; outputs = []; post_state = post }
+  | [ pre; ":"; "/"; "->"; post ] ->
+    `Step { Observation.pre_state = pre; inputs = []; outputs = []; post_state = post }
+  | _ -> fail lineno (Printf.sprintf "malformed observation segment %S" (String.trim segment))
+
+let parse_line lineno line =
+  let body =
+    match String.length line >= 4 && String.sub line 0 4 = "obs " with
+    | true -> String.sub line 4 (String.length line - 4)
+    | false -> fail lineno "expected an 'obs ' record"
+  in
+  match String.split_on_char '|' body with
+  | [] -> fail lineno "empty observation record"
+  | first :: segments ->
+    let initial_state =
+      match String.trim first with
+      | "" -> fail lineno "missing initial state"
+      | s -> s
+    in
+    let steps, refused =
+      List.fold_left
+        (fun (steps, refused) segment ->
+          if refused <> None then fail lineno "refusal must be the final segment";
+          match parse_segment lineno segment with
+          | `Step s -> (s :: steps, refused)
+          | `Refuse r -> (steps, Some r))
+        ([], None) segments
+    in
+    { Observation.initial_state; steps = List.rev steps; refused }
+
+let complete line =
+  let n = String.length line and s = String.length sentinel in
+  n >= s && String.sub line (n - s) s = sentinel
+
+let strip_sentinel line =
+  String.trim (String.sub line 0 (String.length line - String.length sentinel))
+
+let parse text =
+  match String.split_on_char '\n' text with
+  | [] -> fail 1 "empty journal"
+  | h :: rest when String.trim h = header ->
+    (* a crash can tear at most the final record; drop trailing blank lines so
+       the physically-last non-empty line is the only tear candidate *)
+    let numbered =
+      List.mapi (fun i line -> (i + 2, String.trim line)) rest
+      |> List.filter (fun (_, line) -> line <> "")
+    in
+    let rec go obs = function
+      | [] -> (List.rev obs, false)
+      | [ (lineno, line) ] ->
+        if complete line then
+          (List.rev (parse_line lineno (strip_sentinel line) :: obs), false)
+        else (List.rev obs, true)
+      | (lineno, line) :: rest ->
+        if complete line then go (parse_line lineno (strip_sentinel line) :: obs) rest
+        else fail lineno "torn record before end of journal"
+    in
+    go [] numbered
+  | h :: _ -> fail 1 (Printf.sprintf "bad journal header %S (expected %S)" (String.trim h) header)
+
+let parse text =
+  match parse text with
+  | v -> Ok v
+  | exception Error e -> Stdlib.Error e
+
+let load ~path =
+  if not (Sys.file_exists path) then Stdlib.Error { line = 0; message = "no such file" }
+  else
+    let ic = open_in path in
+    let text =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    parse text

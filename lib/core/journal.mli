@@ -1,0 +1,34 @@
+(** Append-only observation journal — crash-safe persistence of every test
+    execution as it happens.
+
+    Each admitted observation costs a real driver execution; if the process
+    dies mid-campaign those executions must not be lost.  The journal writes
+    one self-delimiting line per observation ({!append} flushes before
+    returning), so a crash can tear at most the final record.  {!load}
+    tolerates exactly that: a torn trailing line is dropped (and reported),
+    while corruption anywhere else is an error.
+
+    Format: a [mechaml-journal 1] header, then one line per observation —
+    [obs <initial> | <pre> : <ins> / <outs> -> <post> | ... | refuse <state> : <ins> ;end]
+    with comma-separated signal lists and the [;end] sentinel marking a
+    complete record.
+
+    Replaying a journal through {!Incomplete.learn_observation} reconstructs
+    exactly the knowledge the interrupted run had accumulated, which is what
+    {!Loop.run}[ ~resume] does. *)
+
+type error = { line : int; message : string }
+
+val append : path:string -> Mechaml_legacy.Observation.t -> unit
+(** Append one observation, creating the file (with header) if needed.
+    The record is flushed before returning. *)
+
+val load :
+  path:string -> (Mechaml_legacy.Observation.t list * bool, error) result
+(** [Ok (observations, torn)] — [torn] is [true] when a final partial record
+    (interrupted {!append}) was dropped.  Never raises; a missing file, a bad
+    header or a malformed non-final record is an [Error]. *)
+
+val line_of : Mechaml_legacy.Observation.t -> string
+(** The journal line for one observation, without the trailing newline
+    (exposed for tests). *)

@@ -31,6 +31,9 @@ let print (m : Incomplete.t) =
 let parse text =
   let name = ref "knowledge" in
   let inputs = ref None and outputs = ref None and initial = ref None in
+  let initial_line = ref 0 in
+  (* each entry carries the line it was declared on, so semantic errors
+     detected only once the automaton is assembled still point somewhere *)
   let trans = ref [] and refusals = ref [] in
   let parse_trans lineno rest =
     let rec split_at sep acc = function
@@ -56,10 +59,16 @@ let parse text =
          | "incomplete" :: [ n ] -> name := n
          | "inputs" :: signals -> inputs := Some signals
          | "outputs" :: signals -> outputs := Some signals
-         | "initial" :: [ s ] -> initial := Some s
+         | "initial" :: [ s ] ->
+           initial := Some s;
+           initial_line := lineno
          | "initial" :: _ -> fail lineno "initial takes exactly one state"
-         | "trans" :: rest -> trans := parse_trans lineno rest :: !trans
-         | "refuse" :: state :: ":" :: signals -> refusals := (state, signals) :: !refusals
+         | "trans" :: rest -> trans := (lineno, parse_trans lineno rest) :: !trans
+         | "refuse" :: state :: ":" :: signals ->
+           if List.exists (fun (_, (s, i)) -> s = state && i = signals) !refusals then
+             fail lineno
+               (Printf.sprintf "duplicate refuse entry for state %S" state);
+           refusals := (lineno, (state, signals)) :: !refusals
          | "refuse" :: _ -> fail lineno "expected 'refuse <state> : <inputs>'"
          | d :: _ -> fail lineno (Printf.sprintf "unknown directive %S" d))
        (String.split_on_char '\n' text)
@@ -68,24 +77,30 @@ let parse text =
   | exception Error e -> raise (Error e));
   let require what = function Some v -> v | None -> fail 0 (Printf.sprintf "missing %s" what) in
   let m =
-    Incomplete.create ~name:!name ~inputs:(require "inputs" !inputs)
-      ~outputs:(require "outputs" !outputs)
-      ~initial_state:(require "initial" !initial)
+    try
+      Incomplete.create ~name:!name ~inputs:(require "inputs" !inputs)
+        ~outputs:(require "outputs" !outputs)
+        ~initial_state:(require "initial" !initial)
+    with Invalid_argument msg -> fail !initial_line msg
   in
   let m =
     List.fold_left
-      (fun m (src, ins, outs, dst) ->
+      (fun m (lineno, (src, ins, outs, dst)) ->
         try Incomplete.add_transition m ~src (Incomplete.interaction ~inputs:ins ~outputs:outs) ~dst
-        with Invalid_argument msg -> fail 0 msg)
+        with Invalid_argument msg -> fail lineno msg)
       m (List.rev !trans)
   in
   List.fold_left
-    (fun m (state, signals) ->
+    (fun m (lineno, (state, signals)) ->
       try Incomplete.add_refusal m ~state ~inputs:signals
-      with Invalid_argument msg -> fail 0 msg)
+      with Invalid_argument msg -> fail lineno msg)
     m (List.rev !refusals)
 
-let parse text = match parse text with m -> Ok m | exception Error e -> Stdlib.Error e
+let parse text =
+  match parse text with
+  | m -> Ok m
+  | exception Error e -> Stdlib.Error e
+  | exception Invalid_argument message -> Stdlib.Error { line = 0; message }
 
 let parse_exn text =
   match parse text with
@@ -96,6 +111,18 @@ let parse_exn text =
 let save ~path m =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print m))
+
+(* A crash mid-write must never leave a half-written snapshot where a readable
+   one stood: write to a sibling temp file, then atomically rename over. *)
+let save_atomic ~path m =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (print m);
+      flush oc);
+  Sys.rename tmp path
 
 let load ~path =
   let ic = open_in path in

@@ -21,13 +21,22 @@
     list is the refusal of the silent interaction.) *)
 
 type error = { line : int; message : string }
+(** [line] is 1-based; 0 means the problem is not attributable to a single
+    line (e.g. a missing [inputs] directive). *)
 
 val print : Incomplete.t -> string
 
 val parse : string -> (Incomplete.t, error) result
+(** Never raises: syntax errors, semantic contradictions (conflicting
+    transitions), duplicate [refuse] entries, truncated input and trailing
+    garbage all come back as [Error] with the offending line. *)
 
 val parse_exn : string -> Incomplete.t
 
 val save : path:string -> Incomplete.t -> unit
+
+val save_atomic : path:string -> Incomplete.t -> unit
+(** Write to [path ^ ".tmp"], then rename over [path] — a crash mid-write
+    never clobbers an existing readable snapshot. *)
 
 val load : path:string -> (Incomplete.t, error) result

@@ -24,6 +24,15 @@ type verdict =
       confirmed_by_test : bool;
     }
   | Exhausted of { iterations : int }
+  | Degraded of {
+      reason : string;
+      at_iteration : int;
+      model_states : int;
+      knowledge : int;
+      closure_states : int;
+      proved_on_closure : Ctl.t list;
+      unknown_for_real : Ctl.t list;
+    }
 
 type test_report = {
   inputs_fed : string list list;
@@ -127,11 +136,15 @@ let candidate_status model ~state (a, b) =
     | Some (b', _) -> if b' = b then Known_compatible else Known_impossible
     | None -> Unknown
 
+(* Raised (internally) by the observe wrapper when the supervised driver gives
+   up on a query — caught at the top of [run] to degrade gracefully. *)
+exception Degrade of string
+
 let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterations
     ?initial_knowledge ?(counterexamples_per_iteration = 1)
     ?(on_closure = fun ~model:_ ~compute -> compute ())
-    ?(on_check = fun ~product:_ ~formulas:_ ~compute -> compute ()) ~(context : Automaton.t)
-    ~property ~(legacy : Blackbox.t) () =
+    ?(on_check = fun ~product:_ ~formulas:_ ~compute -> compute ()) ?observe:observe_hook
+    ?journal ?resume ?snapshot ~(context : Automaton.t) ~property ~(legacy : Blackbox.t) () =
   if not (Ctl.is_compositional property) then
     invalid_arg
       (Printf.sprintf
@@ -153,11 +166,28 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       (legacy.Blackbox.state_bound * (1 lsl List.length legacy.Blackbox.input_signals)) + 1
   in
   let tests_executed = ref 0 and test_steps = ref 0 in
+  (* Degradation bookkeeping: the freshest model/iteration seen, so that when
+     the supervised driver gives up mid-iteration nothing already learned is
+     lost from the report. *)
+  let latest_model = ref (Synthesis.initial_model legacy) in
+  let current_index = ref 0 in
+  let latest_records = ref [] in
+  let journal_path = match journal with Some _ -> journal | None -> resume in
+  let raw_observe =
+    match observe_hook with
+    | Some f -> f
+    | None -> fun ~inputs -> Ok (Observation.observe ~box:legacy ~inputs)
+  in
   let observe model inputs =
     incr tests_executed;
     test_steps := !test_steps + List.length inputs;
-    let obs = Observation.observe ~box:legacy ~inputs in
-    Incomplete.learn_observation model obs
+    match raw_observe ~inputs with
+    | Error reason -> raise (Degrade reason)
+    | Ok obs ->
+      (match journal_path with Some path -> Journal.append ~path obs | None -> ());
+      let model = Incomplete.learn_observation model obs in
+      latest_model := model;
+      model
   in
   (* The property's legacy-side propositions must exist in the closure's
      universe from iteration 0 on, even before any state carrying them is
@@ -180,7 +210,49 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
         invalid_arg "Loop.run: initial_knowledge has a different initial state";
       k
   in
+  (* Crash recovery: fold the journalled observations of the interrupted run
+     back into the model.  Replayed observations cost no driver executions,
+     so they are not counted as tests. *)
+  let initial_model =
+    match resume with
+    | None -> initial_model
+    | Some path -> (
+      match Journal.load ~path with
+      | Error { line; message } ->
+        invalid_arg
+          (Printf.sprintf "Loop.run: cannot resume from %s (line %d: %s)" path line message)
+      | Ok (observations, torn) ->
+        if torn then
+          Log.warn (fun m ->
+              m "journal %s: dropped a torn final record (interrupted append)" path);
+        Log.info (fun m ->
+            m "resuming: replaying %d journalled observation(s) from %s"
+              (List.length observations) path);
+        List.fold_left
+          (fun model obs ->
+            try Incomplete.learn_observation model obs
+            with Invalid_argument msg ->
+              invalid_arg
+                (Printf.sprintf
+                   "Loop.run: journal %s contradicts the driver or the seeded knowledge \
+                    (%s) — was it recorded against a different component?"
+                   path msg))
+          initial_model observations)
+  in
+  latest_model := initial_model;
+  let last_snapshot = ref (-1) in
+  let take_snapshot model =
+    match snapshot with
+    | Some path when Incomplete.knowledge model > !last_snapshot ->
+      Knowledge_io.save_atomic ~path model;
+      last_snapshot := Incomplete.knowledge model
+    | _ -> ()
+  in
   let rec iterate model index records =
+    latest_model := model;
+    current_index := index;
+    latest_records := records;
+    take_snapshot model;
     if index >= bound then
       ( Exhausted { iterations = index },
         List.rev records,
@@ -376,7 +448,38 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
         end
     end
   in
-  let verdict, iterations, final_model = iterate initial_model 0 [] in
+  (* Graceful degradation (the robustness analogue of Theorem 1): when the
+     supervisor gives up, the chaotic closure of everything learned so far is
+     still a safe abstraction of the real component, so any formula that
+     holds on context ∥ closure is {e proved} for the real composition even
+     though the driver is gone. *)
+  let degrade reason =
+    let model = !latest_model in
+    let closure = Chaos.closure ~label_of ~extra_props:legacy_props model in
+    let product = Compose.parallel context closure in
+    let proved_on_closure, unknown_for_real =
+      List.partition (Checker.holds product.Compose.auto) [ weakened; Ctl.deadlock_free ]
+    in
+    Log.warn (fun m ->
+        m "degrading after iteration %d: %s (%d of %d obligations proved on the closure)"
+          !current_index reason (List.length proved_on_closure) 2);
+    ( Degraded
+        {
+          reason;
+          at_iteration = !current_index;
+          model_states = Incomplete.num_states model;
+          knowledge = Incomplete.knowledge model;
+          closure_states = Automaton.num_states closure;
+          proved_on_closure;
+          unknown_for_real;
+        },
+      List.rev !latest_records,
+      model )
+  in
+  let verdict, iterations, final_model =
+    try iterate initial_model 0 [] with Degrade reason -> degrade reason
+  in
+  take_snapshot final_model;
   {
     verdict;
     iterations;
@@ -415,5 +518,17 @@ let pp_result ppf (r : result) =
       (match kind with Deadlock -> "deadlock" | Property -> "property violation")
       (if confirmed_by_test then "confirmed by test" else "fast conflict detection")
   | Exhausted { iterations } ->
-    Format.fprintf ppf "verdict: iteration budget exhausted after %d iterations@," iterations);
+    Format.fprintf ppf "verdict: iteration budget exhausted after %d iterations@," iterations
+  | Degraded { reason; at_iteration; model_states; knowledge; proved_on_closure; unknown_for_real; _ }
+    ->
+    Format.fprintf ppf
+      "verdict: DEGRADED at iteration %d — %s@,proved so far (safe on the chaotic closure \
+       of %d states / %d facts): %s@,still unknown for the real component: %s@,"
+      at_iteration reason model_states knowledge
+      (match proved_on_closure with
+      | [] -> "nothing yet"
+      | fs -> String.concat "; " (List.map Ctl.to_string fs))
+      (match unknown_for_real with
+      | [] -> "nothing"
+      | fs -> String.concat "; " (List.map Ctl.to_string fs)));
   Format.fprintf ppf "tests: %d (%d steps)@]" r.tests_executed r.test_steps_executed

@@ -40,6 +40,23 @@ type verdict =
   | Exhausted of { iterations : int }
       (** iteration budget hit (only possible when [max_iterations] is set
           below the theoretical bound) *)
+  | Degraded of {
+      reason : string;  (** why the supervised driver gave up *)
+      at_iteration : int;
+      model_states : int;
+      knowledge : int;  (** facts accumulated before degradation *)
+      closure_states : int;
+      proved_on_closure : Mechaml_logic.Ctl.t list;
+          (** obligations (weakened property, deadlock freedom) that hold on
+              context ∥ closure of the partial knowledge — by Theorem 1 the
+              closure is a safe abstraction, so these hold for the {e real}
+              composition despite the dead driver *)
+      unknown_for_real : Mechaml_logic.Ctl.t list;
+          (** obligations the partial closure cannot discharge *)
+    }
+      (** the driver became unusable (supervisor circuit breaker open) before
+          a definite verdict; the chaotic closure of everything learned so
+          far is reported instead of losing the run *)
 
 type test_report = {
   inputs_fed : string list list;
@@ -85,6 +102,12 @@ val run :
     formulas:Mechaml_logic.Ctl.t list ->
     compute:(unit -> Mechaml_mc.Checker.outcome) ->
     Mechaml_mc.Checker.outcome) ->
+  ?observe:
+    (inputs:string list list ->
+    (Mechaml_legacy.Observation.t, string) Stdlib.result) ->
+  ?journal:string ->
+  ?resume:string ->
+  ?snapshot:string ->
   context:Mechaml_ts.Automaton.t ->
   property:Mechaml_logic.Ctl.t ->
   legacy:Mechaml_legacy.Blackbox.t ->
@@ -109,7 +132,24 @@ val run :
     full input plus a [compute] thunk performing the actual work, and must
     return exactly what [compute] would (e.g. a memoized copy from an
     earlier, structurally identical call — {!Mechaml_engine.Cache} does
-    this across campaign jobs).  The default hooks just run [compute]. *)
+    this across campaign jobs).  The default hooks just run [compute].
+
+    [observe] replaces the raw test-execution step (by default
+    [Observation.observe] against [legacy]); {!Mechaml_legacy.Supervisor}'s
+    [observe_hook] is the intended value.  An [Error reason] makes the run
+    end with {!Degraded} instead of raising — the chaotic closure of the
+    knowledge accumulated so far is still a safe abstraction (Theorem 1), so
+    whatever it proves is reported rather than lost.
+
+    [journal] appends every freshly executed observation to a crash-safe
+    {!Journal} as it happens.  [resume] replays a journal into the starting
+    model before the first iteration (replayed observations are not counted
+    as tests) and — unless [journal] overrides it — keeps appending to the
+    same file, so a run can be killed and resumed repeatedly.  [snapshot]
+    additionally writes an atomic {!Knowledge_io} snapshot of the model
+    whenever its knowledge has grown (and once more on completion).
+    [Invalid_argument] if the resume journal is unreadable or contradicts
+    the driver's behaviour. *)
 
 val pp_iteration : Format.formatter -> iteration -> unit
 

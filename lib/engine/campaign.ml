@@ -4,6 +4,8 @@ module Ctl = Mechaml_logic.Ctl
 module Witness = Mechaml_mc.Witness
 module Blackbox = Mechaml_legacy.Blackbox
 module Flaky = Mechaml_legacy.Flaky
+module Faults = Mechaml_legacy.Faults
+module Supervisor = Mechaml_legacy.Supervisor
 module Loop = Mechaml_core.Loop
 module Incomplete = Mechaml_core.Incomplete
 
@@ -18,18 +20,23 @@ type spec = {
   timeout : float option;
   retries : int;
   max_iterations : int option;
+  inject : string option;
+  seed : int;
+  policy : Supervisor.policy option;
 }
 
 let job ~id ~family ~context ~property ?(strategy = Witness.Bfs_shortest)
-    ?(label_of = fun _ -> []) ?timeout ?(retries = 0) ?max_iterations make_box =
+    ?(label_of = fun _ -> []) ?timeout ?(retries = 0) ?max_iterations ?inject ?(seed = 0)
+    ?policy make_box =
   { id; family; context; property; strategy; make_box; label_of; timeout; retries;
-    max_iterations }
+    max_iterations; inject; seed; policy }
 
 type verdict =
   | Proved
   | Real_deadlock of { confirmed_by_test : bool }
   | Real_property of { confirmed_by_test : bool }
   | Exhausted
+  | Degraded of { reason : string }
   | Timed_out
   | Failed of string
 
@@ -52,6 +59,8 @@ type outcome = {
   attempts : int;
   duration_s : float;
   cache : cache_counters;
+  fault : string option;
+  supervision : Supervisor.stats option;
 }
 
 let verdict_string = function
@@ -61,6 +70,7 @@ let verdict_string = function
   | Real_property { confirmed_by_test = true } -> "real violation (tested)"
   | Real_property _ -> "real violation (fast)"
   | Exhausted -> "exhausted"
+  | Degraded _ -> "degraded"
   | Timed_out -> "timed out"
   | Failed _ -> "failed"
 
@@ -114,21 +124,46 @@ let run_spec ?cache (spec : spec) : outcome =
   (* One box per job: fault-injection wrappers keep mutable counters, so the
      instance must be job-local (verdicts independent of sibling scheduling)
      but shared across retry attempts (a retry continues where the flaky
-     driver left off instead of replaying the identical failure). *)
-  let box = spec.make_box () in
-  let rec attempt k =
-    match
-      Loop.run ~strategy:spec.strategy ~label_of:spec.label_of
-        ?max_iterations:spec.max_iterations ~on_closure ~on_check ~context:spec.context
-        ~property:spec.property ~legacy:box ()
-    with
-    | r -> (k, Ok r)
-    | exception Out_of_time -> (k, Error Timed_out)
-    | exception e ->
-      if k <= spec.retries then attempt (k + 1)
-      else (k, Error (Failed (Printexc.to_string e)))
+     driver left off instead of replaying the identical failure).  The same
+     holds for the supervisor: its breaker state and statistics span the
+     whole job. *)
+  let injected =
+    match spec.inject with
+    | None -> Ok (spec.make_box ())
+    | Some profile ->
+      Result.map
+        (fun inject -> inject (spec.make_box ()))
+        (Faults.of_string ~seed:spec.seed profile)
   in
-  let attempts, result = attempt 1 in
+  let supervisor =
+    match injected with
+    | Error _ -> None
+    | Ok box -> (
+      match (spec.inject, spec.policy) with
+      | None, None -> None
+      | _ -> Some (Supervisor.create ~seed:spec.seed ?policy:spec.policy box))
+  in
+  let attempts, result =
+    match injected with
+    | Error msg -> (0, Error (Failed ("bad fault profile: " ^ msg)))
+    | Ok box ->
+      let observe =
+        Option.map (fun sup ~inputs -> Supervisor.observe_hook sup ~inputs) supervisor
+      in
+      let rec attempt k =
+        match
+          Loop.run ~strategy:spec.strategy ~label_of:spec.label_of
+            ?max_iterations:spec.max_iterations ~on_closure ~on_check ?observe
+            ~context:spec.context ~property:spec.property ~legacy:box ()
+        with
+        | r -> (k, Ok r)
+        | exception Out_of_time -> (k, Error Timed_out)
+        | exception e ->
+          if k <= spec.retries then attempt (k + 1)
+          else (k, Error (Failed (Printexc.to_string e)))
+      in
+      attempt 1
+  in
   let duration_s = Unix.gettimeofday () -. start in
   let cache =
     {
@@ -138,6 +173,7 @@ let run_spec ?cache (spec : spec) : outcome =
       check_misses = !check_misses;
     }
   in
+  let supervision = Option.map Supervisor.stats supervisor in
   match result with
   | Ok r ->
     let verdict =
@@ -148,6 +184,7 @@ let run_spec ?cache (spec : spec) : outcome =
       | Loop.Real_violation { kind = Loop.Property; confirmed_by_test; _ } ->
         Real_property { confirmed_by_test }
       | Loop.Exhausted _ -> Exhausted
+      | Loop.Degraded { reason; _ } -> Degraded { reason }
     in
     {
       spec_id = spec.id;
@@ -161,6 +198,8 @@ let run_spec ?cache (spec : spec) : outcome =
       attempts;
       duration_s;
       cache;
+      fault = spec.inject;
+      supervision;
     }
   | Error verdict ->
     {
@@ -175,6 +214,8 @@ let run_spec ?cache (spec : spec) : outcome =
       attempts;
       duration_s;
       cache;
+      fault = spec.inject;
+      supervision;
     }
 
 let run ?(jobs = 1) ?cache ?(memo = true) specs =
@@ -245,6 +286,19 @@ let bundled ?(tiny = false) () =
         job ~id:"railcab/flaky/constraint/bfs" ~family:"railcab" ~context:R.context
           ~property:R.constraint_ ~label_of:R.label_of ~retries:2 (fun () ->
             Flaky.nondeterministic ~seed:3 ~flip_every:5 R.box_correct);
+        (* supervised chaos: crashes retried, consistent lies outvoted — the
+           verdict is the fault-free one, reached through the supervisor *)
+        job ~id:"railcab/supervised/constraint/bfs" ~family:"railcab" ~context:R.context
+          ~property:R.constraint_ ~label_of:R.label_of ~inject:"crash+flaky" ~seed:11
+          ~policy:
+            { Supervisor.default_policy with retries = 5; votes = 3; breaker = 24 }
+          (fun () -> R.box_correct);
+        (* a bricked driver crashes on every step: the breaker opens and the
+           job degrades to whatever the chaotic closure already proves *)
+        job ~id:"railcab/bricked/constraint/bfs" ~family:"railcab" ~context:R.context
+          ~property:R.constraint_ ~label_of:R.label_of ~inject:"brick" ~seed:1
+          ~policy:{ Supervisor.default_policy with retries = 4; breaker = 3 }
+          (fun () -> R.box_correct);
       ]
     in
     let protocol =

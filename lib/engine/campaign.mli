@@ -26,6 +26,13 @@ type spec = {
   timeout : float option;  (** wall-clock seconds for the whole job *)
   retries : int;  (** extra attempts after a crashed one (not after timeout) *)
   max_iterations : int option;
+  inject : string option;
+      (** fault profile ({!Mechaml_legacy.Faults.of_string}) wrapped around
+          the box — implies supervised execution *)
+  seed : int;  (** fault schedules and supervisor jitter derive from it *)
+  policy : Mechaml_legacy.Supervisor.policy option;
+      (** supervision policy; [None] with [inject] set means
+          {!Mechaml_legacy.Supervisor.default_policy} *)
 }
 
 val job :
@@ -38,16 +45,24 @@ val job :
   ?timeout:float ->
   ?retries:int ->
   ?max_iterations:int ->
+  ?inject:string ->
+  ?seed:int ->
+  ?policy:Mechaml_legacy.Supervisor.policy ->
   (unit -> Mechaml_legacy.Blackbox.t) ->
   spec
 (** Defaults: BFS strategy, no labels, no timeout, no retries, the Theorem 2
-    iteration bound. *)
+    iteration bound, no fault injection, seed 0, default supervision policy
+    (supervision is only active when [inject] or [policy] is given). *)
 
 type verdict =
   | Proved
   | Real_deadlock of { confirmed_by_test : bool }
   | Real_property of { confirmed_by_test : bool }
   | Exhausted
+  | Degraded of { reason : string }
+      (** the supervised driver gave up (circuit breaker / unanswerable
+          query); the loop reported the chaotic closure of the knowledge
+          accumulated so far instead of crashing *)
   | Timed_out  (** the wall-clock budget elapsed (checked between stages) *)
   | Failed of string
       (** every attempt raised; the payload is the last exception — e.g. the
@@ -74,6 +89,10 @@ type outcome = {
   cache : cache_counters;
       (** this job's lookups; under a shared cache and [jobs > 1] the
           hit/miss split depends on sibling scheduling *)
+  fault : string option;  (** the injected fault profile, if any *)
+  supervision : Mechaml_legacy.Supervisor.stats option;
+      (** retry/vote/breaker accounting when the job ran supervised;
+          deterministic per seed, independent of the worker count *)
 }
 
 val verdict_string : verdict -> string
@@ -98,5 +117,6 @@ val bundled : ?tiny:bool -> unit -> spec list
     watchdog and combination-lock families: correct and faulty legacy
     variants, both counterexample strategies, the pattern property next to
     plain deadlock freedom, plus fault-injected railcab drivers exercising
-    the retry path.  [tiny] (default false) selects a four-job smoke matrix
-    for CI. *)
+    the retry path, a supervised chaos job (crashes retried, lies outvoted)
+    and a bricked driver that degrades through the circuit breaker.  [tiny]
+    (default false) selects a four-job smoke matrix for CI. *)

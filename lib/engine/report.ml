@@ -12,16 +12,30 @@ let cache_cell (c : Campaign.cache_counters) =
   let lookups = hits + c.Campaign.closure_misses + c.Campaign.check_misses in
   if lookups = 0 then "-" else Printf.sprintf "%d/%d" hits lookups
 
+(* Compressed retry/vote accounting for the table: "a:7 r:2 v:9 o:1" =
+   attempts, retried, votes held, minority answers outvoted. *)
+let supervision_cell (o : Campaign.outcome) =
+  match o.Campaign.supervision with
+  | None -> "-"
+  | Some s ->
+    Printf.sprintf "a:%d r:%d v:%d o:%d" s.Mechaml_legacy.Supervisor.attempts
+      s.Mechaml_legacy.Supervisor.retried s.Mechaml_legacy.Supervisor.votes_held
+      s.Mechaml_legacy.Supervisor.outvoted
+
+let fault_cell (o : Campaign.outcome) = Option.value o.Campaign.fault ~default:"-"
+
 let table outcomes =
   Pp.table
     ~header:
-      [ "job"; "verdict"; "iters"; "states"; "facts"; "tests"; "steps"; "attempts";
-        "cache h/l"; "time" ]
+      [ "job"; "verdict"; "fault"; "supervision"; "iters"; "states"; "facts"; "tests";
+        "steps"; "attempts"; "cache h/l"; "time" ]
     (List.map
        (fun (o : Campaign.outcome) ->
          [
            o.Campaign.spec_id;
            Campaign.verdict_string o.Campaign.verdict;
+           fault_cell o;
+           supervision_cell o;
            string_of_int o.Campaign.iterations;
            string_of_int o.Campaign.states_learned;
            string_of_int o.Campaign.knowledge;
@@ -52,6 +66,10 @@ let summary ?jobs outcomes =
         | Campaign.Real_deadlock _ | Campaign.Real_property _ -> true
         | _ -> false)
   in
+  let degraded =
+    count (fun o ->
+        match o.Campaign.verdict with Campaign.Degraded _ -> true | _ -> false)
+  in
   let failed =
     count (fun o ->
         match o.Campaign.verdict with
@@ -61,11 +79,11 @@ let summary ?jobs outcomes =
   let ch, cm, kh, km, duration = aggregate outcomes in
   let hits = ch + kh and lookups = ch + cm + kh + km in
   Printf.sprintf
-    "%d jobs%s: %d proved, %d real violations, %d failed/timed out/exhausted; cache %d/%d \
-     hits (%.0f%%); %s total loop time"
+    "%d jobs%s: %d proved, %d real violations, %d degraded, %d failed/timed out/exhausted; \
+     cache %d/%d hits (%.0f%%); %s total loop time"
     (List.length outcomes)
     (match jobs with Some j -> Printf.sprintf " on %d workers" j | None -> "")
-    proved real failed hits lookups
+    proved real degraded failed hits lookups
     (if lookups = 0 then 0. else 100. *. float_of_int hits /. float_of_int lookups)
     (human_duration duration)
 
@@ -94,6 +112,8 @@ let json_verdict_fields (v : Campaign.verdict) =
   | Campaign.Real_property { confirmed_by_test } ->
     [ ("verdict", "\"real_property\""); ("confirmed_by_test", string_of_bool confirmed_by_test) ]
   | Campaign.Exhausted -> [ ("verdict", "\"exhausted\"") ]
+  | Campaign.Degraded { reason } ->
+    [ ("verdict", "\"degraded\""); ("reason", Printf.sprintf "\"%s\"" (json_escape reason)) ]
   | Campaign.Timed_out -> [ ("verdict", "\"timed_out\"") ]
   | Campaign.Failed error ->
     [ ("verdict", "\"failed\""); ("error", Printf.sprintf "\"%s\"" (json_escape error)) ]
@@ -110,6 +130,23 @@ let json_cache (c : Campaign.cache_counters) =
       ("check_misses", string_of_int c.Campaign.check_misses);
     ]
 
+let json_supervision (s : Mechaml_legacy.Supervisor.stats) =
+  json_obj
+    [
+      ("queries", string_of_int s.Mechaml_legacy.Supervisor.queries);
+      ("admitted", string_of_int s.Mechaml_legacy.Supervisor.admitted);
+      ("attempts", string_of_int s.Mechaml_legacy.Supervisor.attempts);
+      ("retried", string_of_int s.Mechaml_legacy.Supervisor.retried);
+      ("crashes", string_of_int s.Mechaml_legacy.Supervisor.crashes);
+      ("refused_connects", string_of_int s.Mechaml_legacy.Supervisor.refused_connects);
+      ("divergences", string_of_int s.Mechaml_legacy.Supervisor.divergences);
+      ("deadline_misses", string_of_int s.Mechaml_legacy.Supervisor.deadline_misses);
+      ("votes_held", string_of_int s.Mechaml_legacy.Supervisor.votes_held);
+      ("outvoted", string_of_int s.Mechaml_legacy.Supervisor.outvoted);
+      ("breaker_trips", string_of_int s.Mechaml_legacy.Supervisor.breaker_trips);
+      ("backoff_slept_s", Printf.sprintf "%.6f" s.Mechaml_legacy.Supervisor.backoff_slept);
+    ]
+
 let json_outcome (o : Campaign.outcome) =
   json_obj
     ([
@@ -117,6 +154,9 @@ let json_outcome (o : Campaign.outcome) =
        ("family", Printf.sprintf "\"%s\"" (json_escape o.Campaign.family));
      ]
     @ json_verdict_fields o.Campaign.verdict
+    @ (match o.Campaign.fault with
+      | None -> []
+      | Some f -> [ ("fault", Printf.sprintf "\"%s\"" (json_escape f)) ])
     @ [
         ("iterations", string_of_int o.Campaign.iterations);
         ("states_learned", string_of_int o.Campaign.states_learned);
@@ -126,7 +166,11 @@ let json_outcome (o : Campaign.outcome) =
         ("attempts", string_of_int o.Campaign.attempts);
         ("duration_s", Printf.sprintf "%.6f" o.Campaign.duration_s);
         ("cache", json_cache o.Campaign.cache);
-      ])
+      ]
+    @
+    match o.Campaign.supervision with
+    | None -> []
+    | Some s -> [ ("supervision", json_supervision s) ])
 
 let to_json ?jobs outcomes =
   let ch, cm, kh, km, duration = aggregate outcomes in
@@ -167,9 +211,10 @@ let csv_field s =
 
 let to_csv outcomes =
   let header =
-    "id,family,verdict,confirmed_by_test,error,iterations,states_learned,knowledge,\
+    "id,family,verdict,confirmed_by_test,error,fault,iterations,states_learned,knowledge,\
      tests_executed,test_steps,attempts,duration_s,closure_hits,closure_misses,check_hits,\
-     check_misses"
+     check_misses,sup_attempts,sup_retried,sup_crashes,sup_divergences,sup_votes_held,\
+     sup_outvoted,sup_breaker_trips"
   in
   let row (o : Campaign.outcome) =
     let confirmed, error =
@@ -178,6 +223,7 @@ let to_csv outcomes =
         ->
         (string_of_bool confirmed_by_test, "")
       | Campaign.Failed e -> ("", e)
+      | Campaign.Degraded { reason } -> ("", reason)
       | _ -> ("", "")
     in
     let tag =
@@ -186,9 +232,16 @@ let to_csv outcomes =
       | Campaign.Real_deadlock _ -> "real_deadlock"
       | Campaign.Real_property _ -> "real_property"
       | Campaign.Exhausted -> "exhausted"
+      | Campaign.Degraded _ -> "degraded"
       | Campaign.Timed_out -> "timed_out"
       | Campaign.Failed _ -> "failed"
     in
+    let sup f =
+      match o.Campaign.supervision with
+      | None -> ""
+      | Some s -> string_of_int (f s)
+    in
+    let open Mechaml_legacy.Supervisor in
     String.concat ","
       (List.map csv_field
          [
@@ -197,6 +250,7 @@ let to_csv outcomes =
            tag;
            confirmed;
            error;
+           Option.value o.Campaign.fault ~default:"";
            string_of_int o.Campaign.iterations;
            string_of_int o.Campaign.states_learned;
            string_of_int o.Campaign.knowledge;
@@ -208,6 +262,13 @@ let to_csv outcomes =
            string_of_int o.Campaign.cache.Campaign.closure_misses;
            string_of_int o.Campaign.cache.Campaign.check_hits;
            string_of_int o.Campaign.cache.Campaign.check_misses;
+           sup (fun s -> s.attempts);
+           sup (fun s -> s.retried);
+           sup (fun s -> s.crashes);
+           sup (fun s -> s.divergences);
+           sup (fun s -> s.votes_held);
+           sup (fun s -> s.outvoted);
+           sup (fun s -> s.breaker_trips);
          ])
   in
   String.concat "\n" (header :: List.map row outcomes) ^ "\n"
@@ -216,11 +277,12 @@ let to_csv outcomes =
 
 let canonical outcomes =
   let line (o : Campaign.outcome) =
-    Printf.sprintf "%s|%s|%d|%d|%d|%d|%d|%d" o.Campaign.spec_id
+    Printf.sprintf "%s|%s|%s|%d|%d|%d|%d|%d|%d" o.Campaign.spec_id
       (match o.Campaign.verdict with
       | Campaign.Failed e -> "failed: " ^ e
+      | Campaign.Degraded { reason } -> "degraded: " ^ reason
       | v -> Campaign.verdict_string v)
-      o.Campaign.iterations o.Campaign.states_learned o.Campaign.knowledge
+      (fault_cell o) o.Campaign.iterations o.Campaign.states_learned o.Campaign.knowledge
       o.Campaign.tests_executed o.Campaign.test_steps o.Campaign.attempts
   in
   String.concat "\n" (List.sort compare (List.map line outcomes)) ^ "\n"

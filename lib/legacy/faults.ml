@@ -1,0 +1,156 @@
+module Prng = Mechaml_util.Prng
+
+exception Driver_crashed of string
+
+exception Connect_refused of string
+
+type injection = Blackbox.t -> Blackbox.t
+
+(* Every combinator draws its fault schedule from a stateless SplitMix stream
+   indexed by an atomic counter: deterministic per seed, no mutable generator
+   to race on when sessions run under the engine's domain pool.  Each
+   combinator salts the seed with a distinct tag so composed faults draw from
+   independent streams even under the same seed. *)
+let salt tag seed = (seed * 1000003) lxor Hashtbl.hash tag
+
+let hit ~seed counter every =
+  Prng.mix_int ~seed (Atomic.fetch_and_add counter 1) every = 0
+
+let rename suffix (box : Blackbox.t) connect =
+  { box with Blackbox.name = box.Blackbox.name ^ suffix; connect }
+
+let crash ~seed ~every (box : Blackbox.t) =
+  if every < 1 then invalid_arg "Faults.crash: every must be positive";
+  let seed = salt "crash" seed in
+  let draws = Atomic.make 0 in
+  let connect () =
+    let session = box.Blackbox.connect () in
+    let step ~inputs =
+      if hit ~seed draws every then
+        raise
+          (Driver_crashed (Printf.sprintf "%s: injected crash mid-step" box.Blackbox.name));
+      session.Blackbox.step ~inputs
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  rename "~crash" box connect
+
+let hang ~seed ~every ~for_s (box : Blackbox.t) =
+  if every < 1 then invalid_arg "Faults.hang: every must be positive";
+  if for_s < 0. then invalid_arg "Faults.hang: for_s must be non-negative";
+  let seed = salt "hang" seed in
+  let draws = Atomic.make 0 in
+  let connect () =
+    let session = box.Blackbox.connect () in
+    let step ~inputs =
+      if hit ~seed draws every then Unix.sleepf for_s;
+      session.Blackbox.step ~inputs
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  rename "~hang" box connect
+
+let connect_refused ~seed ~every (box : Blackbox.t) =
+  if every < 2 then invalid_arg "Faults.connect_refused: every must be at least 2";
+  let seed = salt "refuse" seed in
+  let draws = Atomic.make 0 in
+  let connect () =
+    if hit ~seed draws every then
+      raise
+        (Connect_refused
+           (Printf.sprintf "%s: injected connection refusal" box.Blackbox.name));
+    box.Blackbox.connect ()
+  in
+  rename "~refuse" box connect
+
+(* The lie is drawn once per connect and held for the whole session: a lying
+   session corrupts every answer the same way, so record and replay can agree
+   on a wrong-but-internally-consistent observation — the failure mode only
+   k-of-n repetition voting can mask.  (When only one of the two replay
+   phases lies, the divergence guardrail fires instead and a retry heals
+   it.)  The underlying state advances normally: the fault is transient. *)
+let garbage ~seed ~every (box : Blackbox.t) =
+  if every < 2 then invalid_arg "Faults.garbage: every must be at least 2";
+  let seed = salt "garbage" seed in
+  let draws = Atomic.make 0 in
+  let connect () =
+    let lying = hit ~seed draws every in
+    let session = box.Blackbox.connect () in
+    let step ~inputs =
+      match session.Blackbox.step ~inputs with
+      | None -> None
+      | Some outs when not lying -> Some outs
+      | Some [] -> Some box.Blackbox.output_signals
+      | Some _ -> Some []
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  rename "~garbage" box connect
+
+let stutter ~seed ~every (box : Blackbox.t) =
+  if every < 2 then invalid_arg "Faults.stutter: every must be at least 2";
+  let seed = salt "stutter" seed in
+  let draws = Atomic.make 0 in
+  let connect () =
+    let session = box.Blackbox.connect () in
+    let previous = ref [] in
+    let step ~inputs =
+      match session.Blackbox.step ~inputs with
+      | None -> None
+      | Some outs ->
+        let answer = if hit ~seed draws every then !previous else outs in
+        previous := outs;
+        Some answer
+    in
+    { Blackbox.step; probe_state = session.Blackbox.probe_state }
+  in
+  rename "~stutter" box connect
+
+let all injections box = List.fold_left (fun box inject -> inject box) box injections
+
+(* -- bundled profiles ----------------------------------------------------- *)
+
+let profiles =
+  [
+    ("crash", "roughly one step in 7 raises Driver_crashed");
+    ("hang", "every step sleeps 50 ms (drive past any per-query deadline)");
+    ("refuse", "roughly one connect in 5 raises Connect_refused");
+    ("flaky", "roughly one session in 3 answers consistently wrong (garbage outputs)");
+    ("stutter", "roughly one step in 5 repeats the previous outputs");
+    ("brick", "every step crashes — supervision can only degrade");
+    ("chaos-monkey", "crash + refuse + flaky + stutter together");
+  ]
+
+let rec of_string ~seed name =
+  match String.index_opt name '+' with
+  | Some i ->
+    let left = String.sub name 0 i
+    and right = String.sub name (i + 1) (String.length name - i - 1) in
+    Result.bind (of_string ~seed left) (fun l ->
+        Result.map (fun r -> all [ l; r ]) (of_string ~seed:(seed + 1) right))
+  | None -> (
+    match name with
+    | "crash" -> Ok (crash ~seed ~every:7)
+    | "hang" -> Ok (hang ~seed ~every:1 ~for_s:0.05)
+    | "refuse" -> Ok (connect_refused ~seed ~every:5)
+    | "flaky" -> Ok (garbage ~seed ~every:3)
+    | "stutter" -> Ok (stutter ~seed ~every:5)
+    | "brick" -> Ok (crash ~seed ~every:1)
+    | "chaos-monkey" ->
+      Ok
+        (all
+           [
+             crash ~seed ~every:19;
+             connect_refused ~seed ~every:11;
+             garbage ~seed ~every:5;
+             stutter ~seed ~every:13;
+           ])
+    | _ ->
+      Error
+        (Printf.sprintf "unknown fault profile %S (expected %s, or a + combination)" name
+           (String.concat ", " (List.map fst profiles))))
+
+let of_string_exn ~seed name =
+  match of_string ~seed name with
+  | Ok injection -> injection
+  | Error message -> invalid_arg ("Faults.of_string_exn: " ^ message)

@@ -1,0 +1,66 @@
+(** Composable fault injection for legacy drivers.
+
+    The paper's guarantees assume a deterministic component behind a reliable
+    port (Sections 4.3/5); a deployed legacy driver offers neither.  These
+    combinators wrap a {!Blackbox.t} with the failure modes of a real driver
+    — crashes, hangs, refused connections, transiently corrupted answers —
+    so {!Supervisor} policies and the synthesis loop's degradation path can
+    be exercised reproducibly: every schedule is a pure function of [seed],
+    drawn from a stateless SplitMix stream through an atomic index
+    ({!Mechaml_util.Prng.mix}), so runs are bit-identical across repetitions
+    and domain counts.  Each combinator salts the seed with its own tag:
+    composed faults draw from independent streams.
+
+    Transient faults ({!garbage}, {!stutter}) leave the underlying state
+    advancing normally — they corrupt what is {e observed}, not what {e is} —
+    which is exactly the poison that would silently break
+    observation-conformance (and with it the Theorem 1 safety argument) if a
+    corrupted observation were ever admitted into knowledge.  The
+    {!Supervisor} masks them by repetition voting; crash-like faults
+    ({!crash}, {!hang}, {!connect_refused}) it heals by bounded retry. *)
+
+exception Driver_crashed of string
+(** The driver process died mid-step; the session is gone. *)
+
+exception Connect_refused of string
+(** The driver refused a fresh session. *)
+
+type injection = Blackbox.t -> Blackbox.t
+
+val crash : seed:int -> every:int -> injection
+(** Roughly one step in [every] raises {!Driver_crashed} {e before} the
+    underlying component advances. *)
+
+val hang : seed:int -> every:int -> for_s:float -> injection
+(** Roughly one step in [every] sleeps [for_s] seconds before answering —
+    the step still succeeds, but a supervisor deadline sees it as hung. *)
+
+val connect_refused : seed:int -> every:int -> injection
+(** Roughly one connect in [every] raises {!Connect_refused}.  [every] must
+    be at least 2 (a driver that never connects cannot be supervised into
+    anything but degradation). *)
+
+val garbage : seed:int -> every:int -> injection
+(** Roughly one session in [every] lies {e consistently} for its whole
+    lifetime: non-empty answers are emptied, empty answers report the full
+    output alphabet.  When record and replay sessions disagree, the replay
+    guardrail catches it (retry heals); when both lie, the observation is
+    wrong but internally consistent — only repetition voting masks it. *)
+
+val stutter : seed:int -> every:int -> injection
+(** Roughly one step in [every] repeats the previous step's outputs instead
+    of the fresh ones (initially the empty set). *)
+
+val all : injection list -> injection
+(** Compose, applied left to right (the leftmost wraps closest to the
+    driver). *)
+
+val profiles : (string * string) list
+(** Bundled profile names with one-line descriptions, for [--inject]. *)
+
+val of_string : seed:int -> string -> (injection, string) result
+(** Parse a profile name, or a [+]-separated composition such as
+    ["crash+flaky"] (each member salted with a distinct seed). *)
+
+val of_string_exn : seed:int -> string -> injection
+(** Raises [Invalid_argument] on unknown profiles. *)

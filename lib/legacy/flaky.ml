@@ -1,16 +1,18 @@
 let nondeterministic ~seed ~flip_every (box : Blackbox.t) =
   if flip_every < 1 then invalid_arg "Flaky.nondeterministic: flip_every must be positive";
-  (* a single mutable counter shared by all sessions: the same input word
-     can see different behaviour on different runs *)
-  let global = ref seed in
+  (* a single counter shared by all sessions: the same input word can see
+     different behaviour on different runs.  Atomic because campaign workers
+     may drive sessions of one shared wrapper from several domains — a plain
+     [ref] would lose increments and make even the flip schedule racy. *)
+  let global = Atomic.make seed in
   let connect () =
     let session = box.Blackbox.connect () in
     let step ~inputs =
       match session.Blackbox.step ~inputs with
       | None -> None
       | Some outs ->
-        incr global;
-        if !global mod flip_every = 0 then Some [] else Some outs
+        let count = Atomic.fetch_and_add global 1 + 1 in
+        if count mod flip_every = 0 then Some [] else Some outs
     in
     { Blackbox.step; probe_state = session.Blackbox.probe_state }
   in

@@ -15,7 +15,9 @@ val nondeterministic :
 (** Every [flip_every]-th accepted step (counted across the lifetime of the
     wrapper, deterministically from [seed]) answers with the base outputs
     {e dropped}, while the underlying state advances normally — two sessions
-    fed the same inputs can observe different outputs. *)
+    fed the same inputs can observe different outputs.  The shared counter is
+    atomic: sessions driven from several domains (the campaign worker pool)
+    never lose flips to a data race. *)
 
 val drop_outputs : every:int -> Blackbox.t -> Blackbox.t
 (** Deterministically suppresses the outputs of every [every]-th step —

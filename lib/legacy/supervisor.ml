@@ -1,0 +1,261 @@
+module Prng = Mechaml_util.Prng
+
+let log = Logs.Src.create "mechaml.supervisor" ~doc:"supervised legacy-driver execution"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type policy = {
+  deadline : float option;
+  retries : int;
+  backoff : float;
+  backoff_factor : float;
+  jitter : float;
+  votes : int;
+  quorum : int option;
+  breaker : int;
+}
+
+let default_policy =
+  {
+    deadline = None;
+    retries = 2;
+    backoff = 0.001;
+    backoff_factor = 2.0;
+    jitter = 0.1;
+    votes = 1;
+    quorum = None;
+    breaker = 8;
+  }
+
+type stats = {
+  queries : int;
+  admitted : int;
+  attempts : int;
+  retried : int;
+  crashes : int;
+  refused_connects : int;
+  divergences : int;
+  deadline_misses : int;
+  votes_held : int;
+  outvoted : int;
+  breaker_trips : int;
+  backoff_slept : float;
+}
+
+type t = {
+  box : Blackbox.t;
+  policy : policy;
+  seed : int;
+  sleep : float -> unit;
+  (* supervisor state is job-local (one loop drives it sequentially), so
+     plain mutability is fine; determinism comes from the seeded jitter *)
+  mutable jitter_draws : int;
+  mutable consecutive_failures : int;
+  mutable open_reason : string option;
+  mutable queries : int;
+  mutable admitted : int;
+  mutable attempts : int;
+  mutable retried : int;
+  mutable crashes : int;
+  mutable refused_connects : int;
+  mutable divergences : int;
+  mutable deadline_misses : int;
+  mutable votes_held : int;
+  mutable outvoted : int;
+  mutable breaker_trips : int;
+  mutable backoff_slept : float;
+}
+
+type failure = { reason : string; breaker_open : bool }
+
+let create ?(seed = 0) ?(policy = default_policy) ?(sleep = Unix.sleepf) box =
+  if policy.retries < 0 then invalid_arg "Supervisor.create: retries must be non-negative";
+  if policy.votes < 1 then invalid_arg "Supervisor.create: votes must be positive";
+  let quorum = match policy.quorum with Some k -> k | None -> (policy.votes / 2) + 1 in
+  if quorum < 1 || quorum > policy.votes then
+    invalid_arg "Supervisor.create: quorum must lie in [1, votes]";
+  if policy.breaker < 1 then invalid_arg "Supervisor.create: breaker must be positive";
+  {
+    box;
+    policy;
+    seed;
+    sleep;
+    jitter_draws = 0;
+    consecutive_failures = 0;
+    open_reason = None;
+    queries = 0;
+    admitted = 0;
+    attempts = 0;
+    retried = 0;
+    crashes = 0;
+    refused_connects = 0;
+    divergences = 0;
+    deadline_misses = 0;
+    votes_held = 0;
+    outvoted = 0;
+    breaker_trips = 0;
+    backoff_slept = 0.;
+  }
+
+let box t = t.box
+
+let breaker_open t = t.open_reason <> None
+
+let stats t =
+  {
+    queries = t.queries;
+    admitted = t.admitted;
+    attempts = t.attempts;
+    retried = t.retried;
+    crashes = t.crashes;
+    refused_connects = t.refused_connects;
+    divergences = t.divergences;
+    deadline_misses = t.deadline_misses;
+    votes_held = t.votes_held;
+    outvoted = t.outvoted;
+    breaker_trips = t.breaker_trips;
+    backoff_slept = t.backoff_slept;
+  }
+
+let quorum t = match t.policy.quorum with Some k -> k | None -> (t.policy.votes / 2) + 1
+
+(* One raw driver query: record + replay under a wall-clock deadline, with
+   every way an unreliable driver can fail mapped to a classified error.
+   [Invalid_argument] here can only be the replay-divergence guardrail — the
+   interface checks of [Loop.run] fire before any supervised query. *)
+let attempt t ~inputs =
+  t.attempts <- t.attempts + 1;
+  let t0 = Unix.gettimeofday () in
+  match Observation.observe ~box:t.box ~inputs with
+  | obs -> (
+    match t.policy.deadline with
+    | Some d when Unix.gettimeofday () -. t0 > d ->
+      t.deadline_misses <- t.deadline_misses + 1;
+      Error (Printf.sprintf "deadline exceeded (%.0f ms budget)" (1e3 *. d))
+    | _ -> Ok obs)
+  | exception Faults.Driver_crashed m ->
+    t.crashes <- t.crashes + 1;
+    Error ("driver crashed: " ^ m)
+  | exception Faults.Connect_refused m ->
+    t.refused_connects <- t.refused_connects + 1;
+    Error ("connect refused: " ^ m)
+  | exception Invalid_argument m ->
+    t.divergences <- t.divergences + 1;
+    Error ("replay divergence: " ^ m)
+
+exception Tripped of string
+
+let record_failure t why =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  if t.consecutive_failures >= t.policy.breaker then begin
+    let reason =
+      Printf.sprintf "circuit breaker open after %d consecutive failed queries (last: %s)"
+        t.consecutive_failures why
+    in
+    t.open_reason <- Some reason;
+    t.breaker_trips <- t.breaker_trips + 1;
+    Log.warn (fun m -> m "%s: %s" t.box.Blackbox.name reason);
+    raise (Tripped reason)
+  end
+
+let backoff t k =
+  let u = Prng.mix_float ~seed:t.seed t.jitter_draws 1.0 in
+  t.jitter_draws <- t.jitter_draws + 1;
+  let d =
+    t.policy.backoff
+    *. (t.policy.backoff_factor ** float_of_int k)
+    *. (1. +. (t.policy.jitter *. u))
+  in
+  t.backoff_slept <- t.backoff_slept +. d;
+  t.retried <- t.retried + 1;
+  t.sleep d
+
+(* One vote: retry the raw query with exponential backoff until it succeeds
+   or the per-vote attempt budget is spent.  Raises [Tripped] when the
+   breaker threshold is crossed mid-retry. *)
+let vote t ~inputs =
+  let rec go k =
+    match attempt t ~inputs with
+    | Ok obs ->
+      t.consecutive_failures <- 0;
+      Some obs
+    | Error why ->
+      Log.debug (fun m -> m "%s: attempt failed: %s" t.box.Blackbox.name why);
+      record_failure t why;
+      if k < t.policy.retries then begin
+        backoff t k;
+        go (k + 1)
+      end
+      else None
+  in
+  go 0
+
+let observe t ~inputs =
+  t.queries <- t.queries + 1;
+  match t.open_reason with
+  | Some reason -> Error { reason; breaker_open = true }
+  | None -> (
+    let k = quorum t in
+    let tally : (Observation.t * int ref) list ref = ref [] in
+    let count obs =
+      match List.find_opt (fun (o, _) -> o = obs) !tally with
+      | Some (_, n) ->
+        incr n;
+        !n
+      | None ->
+        tally := !tally @ [ (obs, ref 1) ];
+        1
+    in
+    let rec ballot cast =
+      if cast >= t.policy.votes then None
+      else begin
+        t.votes_held <- t.votes_held + 1;
+        match vote t ~inputs with
+        | None -> ballot (cast + 1)
+        | Some obs -> if count obs >= k then Some obs else ballot (cast + 1)
+      end
+    in
+    match ballot 0 with
+    | Some obs ->
+      t.admitted <- t.admitted + 1;
+      let minority =
+        List.fold_left (fun acc (o, n) -> if o = obs then acc else acc + !n) 0 !tally
+      in
+      if minority > 0 then begin
+        t.outvoted <- t.outvoted + minority;
+        Log.info (fun m ->
+            m "%s: %d minority answer(s) outvoted by a %d-of-%d quorum" t.box.Blackbox.name
+              minority k t.policy.votes)
+      end;
+      Ok obs
+    | None ->
+      let answered = List.fold_left (fun acc (_, n) -> acc + !n) 0 !tally in
+      let reason =
+        if answered = 0 then
+          Printf.sprintf "all %d votes failed after %d attempts each" t.policy.votes
+            (t.policy.retries + 1)
+        else
+          Printf.sprintf
+            "no quorum: %d answers across %d distinct observations (need %d of %d)" answered
+            (List.length !tally) k t.policy.votes
+      in
+      (* an unanswerable query is itself a failure streak contribution; it
+         may also be what finally opens the breaker *)
+      (match record_failure t reason with
+      | () -> ()
+      | exception Tripped _ -> ());
+      Error { reason; breaker_open = breaker_open t }
+    | exception Tripped reason -> Error { reason; breaker_open = true })
+
+let observe_hook t ~inputs =
+  match observe t ~inputs with
+  | Ok obs -> Ok obs
+  | Error { reason; _ } -> Stdlib.Error reason
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<v>queries %d (admitted %d); attempts %d (%d retried, %.1f ms backoff);@ failures: %d \
+     crashes, %d refused connects, %d divergences, %d deadline misses;@ votes %d (%d minority \
+     answers outvoted); breaker trips %d@]"
+    s.queries s.admitted s.attempts s.retried (1e3 *. s.backoff_slept) s.crashes
+    s.refused_connects s.divergences s.deadline_misses s.votes_held s.outvoted s.breaker_trips

@@ -1,0 +1,76 @@
+(** Resilient supervision of unreliable legacy drivers.
+
+    A supervisor stands between the synthesis loop and a {!Blackbox.t} whose
+    driver may crash, hang, refuse connections, or transiently lie
+    ({!Faults}).  Each query runs as a ballot of up to [votes] repetitions;
+    each vote retries a raw record+replay observation up to [1 + retries]
+    times with exponential backoff and deterministic seeded jitter; an
+    observation is admitted only once a [quorum] of votes agree on it
+    bit-for-bit.  Crash-like faults are healed by retry, consistent lies are
+    masked by voting — so every admitted observation is one the fault-free
+    driver would have produced, preserving observation-conformance and with
+    it the Theorem 1 safety argument.
+
+    A circuit breaker opens after [breaker] consecutive failed raw attempts;
+    once open, every further query fails fast with [breaker_open = true] so
+    the loop can degrade gracefully ({!Loop.run} reports the chaotic closure
+    of the knowledge accumulated so far). *)
+
+type policy = {
+  deadline : float option;  (** per-attempt wall-clock budget in seconds *)
+  retries : int;  (** extra attempts per vote after the first *)
+  backoff : float;  (** base backoff before the first retry, seconds *)
+  backoff_factor : float;  (** multiplier per further retry *)
+  jitter : float;  (** max fractional jitter added to each backoff *)
+  votes : int;  (** repetitions per query (1 = no voting) *)
+  quorum : int option;  (** agreeing votes to admit; default majority *)
+  breaker : int;  (** consecutive failed attempts before opening *)
+}
+
+val default_policy : policy
+(** No deadline, 2 retries, 1 ms base backoff doubling with 10% jitter,
+    single vote, breaker at 8 consecutive failures. *)
+
+type stats = {
+  queries : int;  (** calls to {!observe} *)
+  admitted : int;  (** queries that produced an admitted observation *)
+  attempts : int;  (** raw driver observations tried *)
+  retried : int;  (** attempts that were retries (after backoff) *)
+  crashes : int;  (** attempts killed by {!Faults.Driver_crashed} *)
+  refused_connects : int;  (** attempts killed by {!Faults.Connect_refused} *)
+  divergences : int;  (** attempts killed by the replay guardrail *)
+  deadline_misses : int;  (** attempts over the per-attempt deadline *)
+  votes_held : int;  (** votes opened across all ballots *)
+  outvoted : int;  (** minority answers discarded by a quorum *)
+  breaker_trips : int;  (** times the breaker opened *)
+  backoff_slept : float;  (** total backoff requested, seconds *)
+}
+
+type t
+
+type failure = {
+  reason : string;  (** deterministic: counts, never wall-clock times *)
+  breaker_open : bool;  (** further queries will fail fast *)
+}
+
+val create : ?seed:int -> ?policy:policy -> ?sleep:(float -> unit) -> Blackbox.t -> t
+(** [sleep] defaults to [Unix.sleepf]; tests inject a recorder to assert
+    backoff schedules without waiting.  Raises [Invalid_argument] on
+    non-positive [votes] or [breaker], negative [retries], or a quorum
+    outside [1, votes]. *)
+
+val observe : t -> inputs:string list list -> (Observation.t, failure) result
+(** Run one supervised query: ballots, retries, backoff, breaker. *)
+
+val observe_hook : t -> inputs:string list list -> (Observation.t, string) result
+(** {!observe} with the failure collapsed to its reason — the shape
+    {!Loop.run}'s [?observe] hook expects. *)
+
+val box : t -> Blackbox.t
+(** The supervised (possibly fault-injected) black box. *)
+
+val breaker_open : t -> bool
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

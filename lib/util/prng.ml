@@ -43,3 +43,21 @@ let shuffle t l =
   Array.to_list a
 
 let split t = { state = next_int64 t }
+
+(* Stateless access to the same stream: the state after [i + 1] steps is
+   [seed + (i + 1)·γ], so the [i]-th draw needs no mutable generator.  Fault
+   injection uses this with an [Atomic.t] index so concurrent sessions never
+   race on generator state yet stay bit-identical to a sequential run. *)
+let mix ~seed i =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix_int ~seed i bound =
+  if bound <= 0 then invalid_arg "Prng.mix_int: bound must be positive";
+  Int64.to_int (Int64.shift_right_logical (mix ~seed i) 2) mod bound
+
+let mix_float ~seed i bound =
+  let u = Int64.to_float (Int64.shift_right_logical (mix ~seed i) 11) in
+  bound *. u /. 9007199254740992.0 (* 2^53 *)

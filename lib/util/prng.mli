@@ -27,3 +27,17 @@ val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
 (** Derive an independent generator (advances the parent). *)
+
+val mix : seed:int -> int -> int64
+(** [mix ~seed i] is the [i]-th (0-based) value of the stream a generator
+    [create ~seed] would produce — computed statelessly, so concurrent
+    callers indexing through an [Atomic.t] counter need no shared mutable
+    generator and still reproduce the sequential stream bit for bit. *)
+
+val mix_int : seed:int -> int -> int -> int
+(** [mix_int ~seed i bound] maps {!mix}[ ~seed i] uniformly into
+    [0, bound).  [bound] must be positive. *)
+
+val mix_float : seed:int -> int -> float -> float
+(** [mix_float ~seed i bound] maps {!mix}[ ~seed i] uniformly into
+    [0.0, bound). *)

@@ -11,7 +11,13 @@ module Pool = Mechaml_engine.Pool
 module Report = Mechaml_engine.Report
 module Railcab = Mechaml_scenarios.Railcab
 module Flaky = Mechaml_legacy.Flaky
+module Supervisor = Mechaml_legacy.Supervisor
 open Helpers
+
+let contains ~sub text =
+  let n = String.length sub and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+  go 0
 
 (* The RailCab slice of the bundled matrix: both fault variants under both
    strategies, plus the flaky driver exercising the retry path. *)
@@ -113,6 +119,73 @@ let unit_tests =
         check_int "csv rows = jobs + header" (List.length outcomes + 1)
           (List.length
              (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv))));
+    test "supervised fault injection keeps verdicts worker-independent" (fun () ->
+        let supervised =
+          Campaign.job ~id:"inj/chaos" ~family:"railcab" ~context:Railcab.context
+            ~property:Railcab.constraint_ ~label_of:Railcab.label_of
+            ~inject:"crash+flaky" ~seed:11
+            ~policy:{ Supervisor.default_policy with retries = 5; votes = 3; breaker = 24 }
+            (fun () -> Railcab.box_correct)
+        and bricked =
+          Campaign.job ~id:"inj/brick" ~family:"railcab" ~context:Railcab.context
+            ~property:Railcab.constraint_ ~label_of:Railcab.label_of ~inject:"brick"
+            ~seed:1
+            ~policy:{ Supervisor.default_policy with retries = 4; breaker = 3 }
+            (fun () -> Railcab.box_correct)
+        in
+        let matrix = [ supervised; bricked; correct_job ~id:"inj/clean" ] in
+        let sequential = Campaign.run ~jobs:1 matrix in
+        let parallel = Campaign.run ~jobs:2 matrix in
+        check_string "canonical reports" (Report.canonical sequential)
+          (Report.canonical parallel);
+        match sequential with
+        | [ chaos; brick; clean ] ->
+          check_bool "chaos still proves" true (chaos.Campaign.verdict = Campaign.Proved);
+          (match chaos.Campaign.supervision with
+          | Some s ->
+            check_bool "crashes healed" true (s.Supervisor.crashes > 0);
+            check_bool "ballots held" true (s.Supervisor.votes_held > 0)
+          | None -> Alcotest.fail "supervised job lost its stats");
+          (match brick.Campaign.verdict with
+          | Campaign.Degraded { reason } ->
+            check_bool "reason survives" true (String.length reason > 0)
+          | _ -> Alcotest.fail "bricked job must degrade, not fail");
+          (match brick.Campaign.supervision with
+          | Some s -> check_bool "trip counted" true (s.Supervisor.breaker_trips >= 1)
+          | None -> Alcotest.fail "bricked job lost its stats");
+          check_bool "clean sibling unaffected" true
+            (clean.Campaign.verdict = Campaign.Proved);
+          check_bool "clean job reports no fault" true (clean.Campaign.fault = None)
+        | _ -> Alcotest.fail "expected three outcomes in spec order");
+    test "a bad fault profile fails only its own job" (fun () ->
+        let bad =
+          { (correct_job ~id:"inj/bad") with Campaign.inject = Some "nope" }
+        in
+        match Campaign.run ~jobs:2 [ bad; correct_job ~id:"inj/ok" ] with
+        | [ b; ok ] ->
+          check_bool "bad profile is a Failed verdict" true
+            (match b.Campaign.verdict with
+            | Campaign.Failed msg -> contains ~sub:"nope" msg
+            | _ -> false);
+          check_bool "sibling proved" true (ok.Campaign.verdict = Campaign.Proved)
+        | _ -> Alcotest.fail "expected two outcomes");
+    test "degraded verdicts reach every report format" (fun () ->
+        let brick =
+          Campaign.job ~id:"report/brick" ~family:"railcab" ~context:Railcab.context
+            ~property:Railcab.constraint_ ~label_of:Railcab.label_of ~inject:"brick"
+            ~seed:1
+            ~policy:{ Supervisor.default_policy with retries = 2; breaker = 3 }
+            (fun () -> Railcab.box_correct)
+        in
+        let outcomes = Campaign.run [ brick ] in
+        check_bool "table shows the degradation" true
+          (contains ~sub:"degraded" (Report.table outcomes));
+        check_bool "json shows the degradation" true
+          (contains ~sub:"\"verdict\": \"degraded\"" (Report.to_json ~jobs:1 outcomes));
+        check_bool "csv shows the degradation" true
+          (contains ~sub:"degraded" (Report.to_csv outcomes));
+        check_bool "canonical shows the degradation" true
+          (contains ~sub:"degraded" (Report.canonical outcomes)));
   ]
 
 let () = Alcotest.run "engine" [ ("engine", unit_tests) ]

@@ -1,0 +1,130 @@
+(* Fault combinators: schedules must be deterministic per seed (the whole
+   supervision story rests on reproducible chaos), the structural interface
+   must survive wrapping, and each combinator must corrupt exactly the way it
+   advertises — crash raises, refuse raises on connect, garbage lies
+   consistently within a session, stutter repeats the previous answer. *)
+
+module Faults = Mechaml_legacy.Faults
+module Blackbox = Mechaml_legacy.Blackbox
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+(* one state, two inputs: [a] answers [x], [b] answers silence — enough to
+   tell a lie ([garbage] swaps the two) from a stutter (previous answer). *)
+let mini () =
+  Blackbox.of_automaton
+    (automaton ~name:"mini" ~inputs:[ "a"; "b" ] ~outputs:[ "x" ]
+       ~trans:[ ("s", [ "a" ], [ "x" ], "s"); ("s", [ "b" ], [], "s") ]
+       ~initial:[ "s" ] ())
+
+let crash_schedule seed =
+  let box = Faults.crash ~seed ~every:3 (mini ()) in
+  let session = box.Blackbox.connect () in
+  List.filter_map
+    (fun i ->
+      match session.Blackbox.step ~inputs:[ "a" ] with
+      | exception Faults.Driver_crashed _ -> Some i
+      | _ -> None)
+    (List.init 40 Fun.id)
+
+let unit_tests =
+  [
+    test "wrapping preserves the structural interface" (fun () ->
+        let base = Railcab.box_correct in
+        let wrapped = Faults.of_string_exn ~seed:0 "chaos-monkey" base in
+        check_string "initial state" base.Blackbox.initial_state
+          wrapped.Blackbox.initial_state;
+        check_string "port" base.Blackbox.port wrapped.Blackbox.port;
+        check_int "state bound" base.Blackbox.state_bound wrapped.Blackbox.state_bound;
+        Alcotest.(check (list string))
+          "inputs" base.Blackbox.input_signals wrapped.Blackbox.input_signals;
+        Alcotest.(check (list string))
+          "outputs" base.Blackbox.output_signals wrapped.Blackbox.output_signals;
+        check_bool "name marks the injected faults" true
+          (wrapped.Blackbox.name
+          = base.Blackbox.name ^ "~crash~refuse~garbage~stutter"));
+    test "crash schedules are deterministic per seed" (fun () ->
+        let a = crash_schedule 1 and b = crash_schedule 1 in
+        check_bool "some crashes scheduled" true (a <> []);
+        Alcotest.(check (list int)) "same seed, same schedule" a b;
+        check_bool "different seed, different schedule" true
+          (crash_schedule 2 <> a));
+    test "connect_refused raises on the scheduled connects" (fun () ->
+        let refusals () =
+          let box = Faults.connect_refused ~seed:0 ~every:2 (mini ()) in
+          List.filter_map
+            (fun i ->
+              match box.Blackbox.connect () with
+              | exception Faults.Connect_refused _ -> Some i
+              | _ -> None)
+            (List.init 20 Fun.id)
+        in
+        let a = refusals () in
+        check_bool "some refusals scheduled" true (a <> []);
+        check_bool "not every connect refused" true (List.length a < 20);
+        Alcotest.(check (list int)) "deterministic" a (refusals ()));
+    test "a lying session swaps answers consistently" (fun () ->
+        let box = Faults.garbage ~seed:0 ~every:2 (mini ()) in
+        (* hunt for a lying session; within it every answer must be the same
+           deterministic swap — that is what makes the lie survive replay *)
+        let rec hunt n =
+          if n = 0 then Alcotest.fail "no lying session in 50 connects";
+          let session = box.Blackbox.connect () in
+          match session.Blackbox.step ~inputs:[ "a" ] with
+          | Some [] ->
+            Alcotest.(check (option (list string)))
+              "silence answered with all outputs"
+              (Some [ "x" ])
+              (session.Blackbox.step ~inputs:[ "b" ]);
+            Alcotest.(check (option (list string)))
+              "still lying on repeat" (Some [])
+              (session.Blackbox.step ~inputs:[ "a" ])
+          | Some [ "x" ] -> hunt (n - 1) (* honest session, try the next *)
+          | _ -> Alcotest.fail "unexpected answer"
+        in
+        hunt 50);
+    test "stutter answers from the previous step" (fun () ->
+        let box = Faults.stutter ~seed:3 ~every:2 (mini ()) in
+        let session = box.Blackbox.connect () in
+        (* alternate a/b so current and previous outputs always differ; every
+           answer must be one of the two, and at least one must be stale *)
+        let stale = ref 0 in
+        List.iteri
+          (fun i input ->
+            let current = if input = "a" then [ "x" ] else [] in
+            let previous = if i = 0 then [] else if input = "a" then [] else [ "x" ] in
+            match session.Blackbox.step ~inputs:[ input ] with
+            | Some outs when outs = current -> ()
+            | Some outs when outs = previous -> incr stale
+            | _ -> Alcotest.fail "answer is neither current nor previous")
+          (List.init 40 (fun i -> if i mod 2 = 0 then "a" else "b"));
+        check_bool "some answers were stale" true (!stale > 0));
+    test "of_string parses every bundled profile and + compositions" (fun () ->
+        List.iter
+          (fun (name, _) ->
+            match Faults.of_string ~seed:0 name with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.fail (name ^ ": " ^ msg))
+          Faults.profiles;
+        let composed = Faults.of_string_exn ~seed:0 "crash+flaky" (mini ()) in
+        check_string "composition applies left to right" "mini~crash~garbage"
+          composed.Blackbox.name;
+        (match Faults.of_string ~seed:0 "nope" with
+        | Error msg -> check_bool "error names the profile" true (msg <> "")
+        | Ok _ -> Alcotest.fail "unknown profile accepted");
+        match Faults.of_string ~seed:0 "crash+nope" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown profile accepted inside a composition");
+    test "combinators validate their schedules" (fun () ->
+        let rejects f = match f (mini ()) with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "bad schedule accepted"
+        in
+        rejects (Faults.crash ~seed:0 ~every:0);
+        rejects (Faults.garbage ~seed:0 ~every:1);
+        rejects (Faults.stutter ~seed:0 ~every:1);
+        rejects (Faults.connect_refused ~seed:0 ~every:1);
+        rejects (Faults.hang ~seed:0 ~every:1 ~for_s:(-1.)));
+  ]
+
+let () = Alcotest.run "faults" [ ("unit", unit_tests) ]

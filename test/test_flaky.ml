@@ -67,6 +67,32 @@ let unit_tests =
           box.Blackbox.input_signals;
         check_string "initial" Railcab.box_correct.Blackbox.initial_state
           box.Blackbox.initial_state);
+    test "the flip counter loses no updates across domains" (fun () ->
+        (* a one-state driver that accepts every step: 4 domains × 250 steps
+           share the wrapper's flip counter, so exactly ⌊1000/3⌋ answers flip
+           — one lost update and the total comes up short *)
+        let base =
+          Blackbox.of_automaton
+            (automaton ~name:"tick" ~inputs:[] ~outputs:[ "o" ]
+               ~trans:[ ("s", [], [ "o" ], "s") ] ~initial:[ "s" ] ())
+        in
+        let box = Flaky.nondeterministic ~seed:0 ~flip_every:3 base in
+        let flips =
+          Mechaml_engine.Pool.map ~jobs:4
+            ~f:(fun _ ->
+              let session = box.Blackbox.connect () in
+              let n = ref 0 in
+              for _ = 1 to 250 do
+                match session.Blackbox.step ~inputs:[] with
+                | Some [] -> incr n
+                | Some _ -> ()
+                | None -> Alcotest.fail "the always-on driver refused a step"
+              done;
+              !n)
+            (Array.init 4 Fun.id)
+        in
+        check_int "exact flip count under contention" 333
+          (Array.fold_left ( + ) 0 flips));
   ]
 
 let () = Alcotest.run "flaky" [ ("unit", unit_tests) ]

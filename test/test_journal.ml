@@ -1,0 +1,98 @@
+(* The observation journal is the crash-safety story: a run killed mid-flight
+   must lose at most the record being written.  These tests pin the format
+   (roundtrip through append/load), the tear tolerance (only the final line
+   may be partial) and the refusal-to-guess on anything else. *)
+
+module Journal = Mechaml_core.Journal
+module Observation = Mechaml_legacy.Observation
+open Helpers
+
+let obs_plain =
+  {
+    Observation.initial_state = "s0";
+    steps =
+      [
+        { Observation.pre_state = "s0"; inputs = [ "a"; "b" ]; outputs = []; post_state = "s1" };
+        { Observation.pre_state = "s1"; inputs = []; outputs = [ "x"; "y" ]; post_state = "s0" };
+        { Observation.pre_state = "s0"; inputs = []; outputs = []; post_state = "s0" };
+      ];
+    refused = None;
+  }
+
+let obs_refused =
+  {
+    Observation.initial_state = "s0";
+    steps =
+      [ { Observation.pre_state = "s0"; inputs = [ "a" ]; outputs = [ "x" ]; post_state = "s2" } ];
+    refused = Some ("s2", [ "a"; "b" ]);
+  }
+
+let with_journal f =
+  let path = Filename.temp_file "mechaml" ".journal" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let raw_append path line =
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc line;
+  close_out oc
+
+let check_load name expected_torn expected path =
+  match Journal.load ~path with
+  | Ok (observations, torn) ->
+    check_bool (name ^ ": torn flag") expected_torn torn;
+    check_bool (name ^ ": observations") true (observations = expected)
+  | Error { line; message } ->
+    Alcotest.fail (Printf.sprintf "%s: line %d: %s" name line message)
+
+let unit_tests =
+  [
+    test "append/load roundtrips observations exactly" (fun () ->
+        with_journal (fun path ->
+            Journal.append ~path obs_plain;
+            Journal.append ~path obs_refused;
+            check_load "roundtrip" false [ obs_plain; obs_refused ] path));
+    test "a torn final record is dropped and reported" (fun () ->
+        with_journal (fun path ->
+            Journal.append ~path obs_plain;
+            Journal.append ~path obs_refused;
+            (* an interrupted append: no ;end sentinel *)
+            raw_append path "obs s0 | s0 : a / x -> ";
+            check_load "torn tail" true [ obs_plain; obs_refused ] path));
+    test "a torn record before the end is an error" (fun () ->
+        with_journal (fun path ->
+            write path
+              (Printf.sprintf "mechaml-journal 1\nobs s0 | s0 : a / x ->\n%s\n"
+                 (Journal.line_of obs_plain));
+            match Journal.load ~path with
+            | Error { line; _ } -> check_int "offending line" 2 line
+            | Ok _ -> Alcotest.fail "mid-journal tear accepted"));
+    test "a bad header is an error on line 1" (fun () ->
+        with_journal (fun path ->
+            write path "not-a-journal\n";
+            match Journal.load ~path with
+            | Error { line; _ } -> check_int "line" 1 line
+            | Ok _ -> Alcotest.fail "bad header accepted"));
+    test "a missing file is an error, not an exception" (fun () ->
+        match Journal.load ~path:"/nonexistent/mechaml.journal" with
+        | Error { line; _ } -> check_int "not line-attributable" 0 line
+        | Ok _ -> Alcotest.fail "missing file accepted");
+    test "a refusal segment must be final" (fun () ->
+        with_journal (fun path ->
+            write path "mechaml-journal 1\nobs s0 | refuse s0 : a | s0 : / -> s0 ;end\n";
+            match Journal.load ~path with
+            | Error { line; _ } -> check_int "offending line" 2 line
+            | Ok _ -> Alcotest.fail "mid-record refusal accepted"));
+    test "blank lines around records are ignored" (fun () ->
+        with_journal (fun path ->
+            write path
+              (Printf.sprintf "mechaml-journal 1\n\n%s\n\n%s\n\n"
+                 (Journal.line_of obs_plain) (Journal.line_of obs_refused));
+            check_load "blank lines" false [ obs_plain; obs_refused ] path));
+  ]
+
+let () = Alcotest.run "journal" [ ("unit", unit_tests) ]

@@ -63,6 +63,36 @@ let unit_tests =
         match Kio.parse "inputs a\noutputs\n" with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "missing initial accepted");
+    test "a truncated file is an error, never an exception" (fun () ->
+        match Kio.parse "incomplete m\ninputs a\noutpu" with
+        | Error { line; _ } -> check_int "truncated directive line" 3 line
+        | Ok _ -> Alcotest.fail "truncated file accepted");
+    test "trailing garbage is rejected with its line" (fun () ->
+        let text = "inputs a\noutputs\ninitial s\ntrans s : a / -> t\n%%garbage\n" in
+        match Kio.parse text with
+        | Error { line; _ } -> check_int "garbage line" 5 line
+        | Ok _ -> Alcotest.fail "trailing garbage accepted");
+    test "duplicate refuse entries are rejected with their line" (fun () ->
+        let text = "inputs a\noutputs\ninitial s\nrefuse s : a\nrefuse s : a\n" in
+        match Kio.parse text with
+        | Error { line; _ } -> check_int "second refuse line" 5 line
+        | Ok _ -> Alcotest.fail "duplicate refusal accepted");
+    test "save_atomic leaves a loadable snapshot and no temp file" (fun () ->
+        let path = Filename.temp_file "mechaml" ".ik" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let m = learned () in
+            Kio.save_atomic ~path m;
+            check_bool "tmp renamed away" false (Sys.file_exists (path ^ ".tmp"));
+            match Kio.load ~path with
+            | Ok m' ->
+              check_int "states" (Incomplete.num_states m) (Incomplete.num_states m');
+              check_int "transitions" (Incomplete.num_transitions m)
+                (Incomplete.num_transitions m');
+              check_int "refusals" (Incomplete.num_refusals m) (Incomplete.num_refusals m')
+            | Error { line; message } ->
+              Alcotest.fail (Printf.sprintf "line %d: %s" line message)));
   ]
 
 let () = Alcotest.run "knowledge_io" [ ("unit", unit_tests) ]

@@ -95,7 +95,7 @@ let unit_tests =
           | Loop.Proved, Checker.Holds -> true
           | Loop.Real_violation _, Checker.Violated _ -> true
           | Loop.Proved, Checker.Violated _ | Loop.Real_violation _, Checker.Holds -> false
-          | Loop.Exhausted _, _ -> false
+          | Loop.Exhausted _, _ | Loop.Degraded _, _ -> false
         in
         List.iter
           (fun seed -> check_bool (Printf.sprintf "seed %d" seed) true (agree seed))

@@ -195,7 +195,7 @@ let property_tests =
         match r.Loop.verdict with
         | Loop.Proved -> truth
         | Loop.Real_violation _ -> not truth
-        | Loop.Exhausted _ -> false);
+        | Loop.Exhausted _ | Loop.Degraded _ -> false);
     qcheck ~count:30 "Theorem 2 with labelled safety properties" seed_arb (fun seed ->
         let legacy = deterministic_legacy seed in
         let context =
@@ -344,6 +344,7 @@ let property_tests =
           | Loop.Proved -> `P
           | Loop.Real_violation _ -> `V
           | Loop.Exhausted _ -> `E
+          | Loop.Degraded _ -> `D
         in
         verdict 1 = verdict 3);
     qcheck ~count:40 "composition projections are genuine runs" seed_arb (fun seed ->

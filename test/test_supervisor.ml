@@ -1,0 +1,227 @@
+(* Supervision is only worth having if it preserves the paper's guarantees:
+   retry must heal crash-like faults without changing what is learned, voting
+   must only ever admit observations the fault-free driver would have
+   produced (observation-conformance, hence Theorem 1), the breaker must turn
+   a dead driver into a Degraded verdict with a non-empty proved-so-far
+   summary instead of an exception, and the journal/snapshot machinery must
+   make a killed run resumable to the same verdict. *)
+
+module Supervisor = Mechaml_legacy.Supervisor
+module Faults = Mechaml_legacy.Faults
+module Blackbox = Mechaml_legacy.Blackbox
+module Observation = Mechaml_legacy.Observation
+module Loop = Mechaml_core.Loop
+module Kio = Mechaml_core.Knowledge_io
+module Railcab = Mechaml_scenarios.Railcab
+open Helpers
+
+let nosleep _ = ()
+
+(* the bundled supervised-chaos configuration (campaign job
+   railcab/supervised): crashes healed by retry, lying sessions outvoted *)
+let chaos_supervisor () =
+  Supervisor.create ~seed:11
+    ~policy:{ Supervisor.default_policy with retries = 5; votes = 3; breaker = 24 }
+    ~sleep:nosleep
+    (Faults.of_string_exn ~seed:11 "crash+flaky" Railcab.box_correct)
+
+let run_supervised sup =
+  Loop.run ~label_of:Railcab.label_of
+    ~observe:(fun ~inputs -> Supervisor.observe_hook sup ~inputs)
+    ~context:Railcab.context ~property:Railcab.constraint_
+    ~legacy:(Supervisor.box sup) ()
+
+let battery =
+  ([] :: List.map (fun s -> [ s ]) Railcab.box_correct.Blackbox.input_signals)
+  @ [ [] ]
+
+let unit_tests =
+  [
+    test "retry and voting mask chaos: the loop still proves" (fun () ->
+        let sup = chaos_supervisor () in
+        let r = run_supervised sup in
+        (match r.Loop.verdict with
+        | Loop.Proved -> ()
+        | _ -> Alcotest.fail "chaos changed the verdict");
+        let s = Supervisor.stats sup in
+        check_bool "crashes were injected" true (s.Supervisor.crashes > 0);
+        check_bool "retries healed them" true (s.Supervisor.retried > 0);
+        check_bool "every query was answered" true
+          (s.Supervisor.admitted = s.Supervisor.queries);
+        check_bool "breaker stayed closed" false (Supervisor.breaker_open sup));
+    test "supervised verdict and stats are deterministic per seed" (fun () ->
+        let sup1 = chaos_supervisor () and sup2 = chaos_supervisor () in
+        let r1 = run_supervised sup1 and r2 = run_supervised sup2 in
+        check_bool "same verdict" true (r1.Loop.verdict = r2.Loop.verdict);
+        check_int "same tests" r1.Loop.tests_executed r2.Loop.tests_executed;
+        check_bool "same stats, jitter included" true
+          (Supervisor.stats sup1 = Supervisor.stats sup2));
+    test "admitted observations are conformant across 100 seeds" (fun () ->
+        (* the garbage fault lies consistently within a session; only when
+           record and replay both lie does a wrong observation survive the
+           replay guardrail.  Under a unanimous quorum one honest vote in the
+           ballot blocks any lie, so every admitted observation has to be
+           exactly what the fault-free driver produces — an undecided ballot
+           (Error) is always sound. *)
+        let clean = Observation.observe ~box:Railcab.box_correct ~inputs:battery in
+        for seed = 0 to 99 do
+          let sup =
+            Supervisor.create ~seed
+              ~policy:
+                {
+                  Supervisor.default_policy with
+                  retries = 3;
+                  votes = 5;
+                  quorum = Some 5;
+                  breaker = 1000;
+                }
+              ~sleep:nosleep
+              (Faults.garbage ~seed ~every:3 Railcab.box_correct)
+          in
+          match Supervisor.observe sup ~inputs:battery with
+          | Ok obs ->
+            check_bool (Printf.sprintf "seed %d admits only the truth" seed) true
+              (obs = clean)
+          | Error _ -> () (* refusing to answer is always sound *)
+        done);
+    test "a bricked driver degrades with a non-empty closure verdict" (fun () ->
+        let sup =
+          Supervisor.create ~seed:1
+            ~policy:{ Supervisor.default_policy with retries = 4; breaker = 3 }
+            ~sleep:nosleep
+            (Faults.of_string_exn ~seed:1 "brick" Railcab.box_correct)
+        in
+        (match (run_supervised sup).Loop.verdict with
+        | Loop.Degraded { reason; proved_on_closure; unknown_for_real; model_states; _ } ->
+          check_bool "reason names the breaker" true
+            (let sub = "breaker" in
+             let n = String.length sub and m = String.length reason in
+             let rec go i = i + n <= m && (String.sub reason i n = sub || go (i + 1)) in
+             go 0);
+          check_bool "something was proved on the closure" true (proved_on_closure <> []);
+          check_int "all obligations accounted for" 2
+            (List.length proved_on_closure + List.length unknown_for_real);
+          check_bool "the partial model is reported" true (model_states >= 1)
+        | _ -> Alcotest.fail "expected Degraded");
+        check_bool "breaker is open" true (Supervisor.breaker_open sup);
+        check_bool "trip was counted" true
+          ((Supervisor.stats sup).Supervisor.breaker_trips >= 1));
+    test "deadline misses fail the query instead of blocking it" (fun () ->
+        let sup =
+          Supervisor.create ~seed:0
+            ~policy:
+              {
+                Supervisor.default_policy with
+                deadline = Some 0.001;
+                retries = 1;
+                breaker = 4;
+              }
+            ~sleep:nosleep
+            (Faults.hang ~seed:0 ~every:1 ~for_s:0.02 Railcab.box_correct)
+        in
+        (match Supervisor.observe sup ~inputs:[ [] ] with
+        | Error f -> check_bool "reason is non-empty" true (f.Supervisor.reason <> "")
+        | Ok _ -> Alcotest.fail "a 20 ms hang beat a 1 ms deadline");
+        check_bool "misses counted" true
+          ((Supervisor.stats sup).Supervisor.deadline_misses > 0));
+    test "backoff is exponential and fully seeded" (fun () ->
+        let slept = ref [] in
+        let sup =
+          Supervisor.create ~seed:0
+            ~policy:
+              {
+                Supervisor.default_policy with
+                retries = 3;
+                jitter = 0.;
+                breaker = 100;
+              }
+            ~sleep:(fun d -> slept := d :: !slept)
+            (Faults.of_string_exn ~seed:0 "brick" Railcab.box_correct)
+        in
+        (match Supervisor.observe sup ~inputs:[ [] ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "a bricked driver answered");
+        let expected = [ 0.001; 0.002; 0.004 ] in
+        check_int "one sleep per retry" 3 (List.length !slept);
+        List.iter2
+          (fun want got ->
+            check_bool "exponential schedule" true (Float.abs (want -. got) < 1e-9))
+          expected (List.rev !slept);
+        check_bool "total accounted" true
+          (Float.abs ((Supervisor.stats sup).Supervisor.backoff_slept -. 0.007) < 1e-9));
+    test "policies are validated" (fun () ->
+        let rejects policy =
+          match Supervisor.create ~policy Railcab.box_correct with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "bad policy accepted"
+        in
+        rejects { Supervisor.default_policy with retries = -1 };
+        rejects { Supervisor.default_policy with votes = 0 };
+        rejects { Supervisor.default_policy with breaker = 0 };
+        rejects { Supervisor.default_policy with votes = 3; quorum = Some 4 };
+        rejects { Supervisor.default_policy with quorum = Some 0 });
+    test "a killed run resumes from its journal to the same verdict" (fun () ->
+        let journal = Filename.temp_file "mechaml" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove journal)
+          (fun () ->
+            let clean =
+              Loop.run ~label_of:Railcab.label_of ~context:Railcab.context
+                ~property:Railcab.constraint_ ~legacy:Railcab.box_correct ()
+            in
+            check_bool "scenario needs enough tests to interrupt" true
+              (clean.Loop.tests_executed > 2);
+            (* die after two journalled observations, as SIGKILL would *)
+            let queries = ref 0 in
+            let observe ~inputs =
+              incr queries;
+              if !queries > 2 then raise Exit
+              else Ok (Observation.observe ~box:Railcab.box_correct ~inputs)
+            in
+            (match
+               Loop.run ~label_of:Railcab.label_of ~observe ~journal
+                 ~context:Railcab.context ~property:Railcab.constraint_
+                 ~legacy:Railcab.box_correct ()
+             with
+            | exception Exit -> ()
+            | _ -> Alcotest.fail "expected the run to die");
+            let resumed =
+              Loop.run ~label_of:Railcab.label_of ~resume:journal
+                ~context:Railcab.context ~property:Railcab.constraint_
+                ~legacy:Railcab.box_correct ()
+            in
+            check_bool "same verdict" true (resumed.Loop.verdict = clean.Loop.verdict);
+            check_int "replayed observations are not re-executed"
+              (clean.Loop.tests_executed - 2) resumed.Loop.tests_executed));
+    test "snapshots are atomic and re-seed the loop" (fun () ->
+        let path = Filename.temp_file "mechaml" ".ik" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let r =
+              Loop.run ~label_of:Railcab.label_of ~snapshot:path
+                ~context:Railcab.context ~property:Railcab.constraint_
+                ~legacy:Railcab.box_correct ()
+            in
+            (match r.Loop.verdict with
+            | Loop.Proved -> ()
+            | _ -> Alcotest.fail "expected Proved");
+            check_bool "no tmp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+            let k =
+              match Kio.load ~path with
+              | Ok k -> k
+              | Error { line; message } ->
+                Alcotest.fail (Printf.sprintf "snapshot unreadable: line %d: %s" line message)
+            in
+            let reseeded =
+              Loop.run ~label_of:Railcab.label_of ~initial_knowledge:k
+                ~context:Railcab.context ~property:Railcab.constraint_
+                ~legacy:Railcab.box_correct ()
+            in
+            (match reseeded.Loop.verdict with
+            | Loop.Proved -> ()
+            | _ -> Alcotest.fail "reseeded run lost the proof");
+            check_int "snapshot carried all knowledge" 0 reseeded.Loop.tests_executed));
+  ]
+
+let () = Alcotest.run "supervisor" [ ("unit", unit_tests) ]

@@ -74,7 +74,8 @@ let unit_tests =
         match r.Loop.verdict with
         | Loop.Proved -> ()
         | Loop.Real_violation _ -> Alcotest.fail "unsound: reliable channel meets the deadline"
-        | Loop.Exhausted _ -> Alcotest.fail "should terminate");
+        | Loop.Exhausted _ -> Alcotest.fail "should terminate"
+        | Loop.Degraded _ -> Alcotest.fail "no faults injected: must not degrade");
     test "remote railcab: bounded response fails for real over the lossy channel" (fun () ->
         let r = Remote.run ~lossy:true ~property:Remote.response_property () in
         match r.Loop.verdict with
