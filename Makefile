@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume bench clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check clean
 
 all: build
 
@@ -42,8 +42,27 @@ kill-resume: build
 	  --legacy _build/resume/aut/railcab_legacy_correct.aut \
 	  --property true --resume _build/resume/kill.journal
 
+# Observability smoke: a traced, metered campaign must emit a loadable
+# Chrome trace (a well-formed trace_event JSON array) and Prometheus text
+# with no duplicate headers or samples.
+obs-smoke: build
+	rm -rf _build/obs && mkdir -p _build/obs
+	dune exec bin/mechaverify.exe -- campaign --tiny --jobs 2 --log-level quiet \
+	  --trace _build/obs/trace.json --metrics-out _build/obs/metrics.prom
+	dune exec bench/bench_check.exe -- validate-trace _build/obs/trace.json
+	dune exec bench/bench_check.exe -- validate-metrics _build/obs/metrics.prom
+
 bench:
 	dune exec bench/main.exe
+
+# Bench regression check: rerun the machine-readable benchmarks and compare
+# against the committed baseline with 25% slack.  Only slowdowns beyond the
+# slack fail; speedups and new benchmarks are informational (CI runs this
+# non-blocking — shared runners are too noisy for a hard gate).
+bench-check: build
+	dune exec bench/main.exe -- --json _build/BENCH_run.json
+	dune exec bench/bench_check.exe -- compare bench/BENCH_baseline.json \
+	  _build/BENCH_run.json --slack 0.25
 
 clean:
 	dune clean

@@ -83,10 +83,13 @@ let write_json path =
              (json_number wall))
          (List.rev !json_groups))
   in
+  (* the obs registry collected counters/histograms across every group run
+     (--json enables it); its JSON export nests verbatim — it is an object *)
+  let obs = String.trim (Mechaml_obs.Metrics.to_json ()) in
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"schema\": \"mechaml-bench 1\",\n  \"groups\": [\n%s\n  ],\n  \"benchmarks_ns_per_run\": [\n%s\n  ],\n  \"metrics\": [\n%s\n  ]\n}\n"
-    groups (triples !json_benchmarks) (triples !json_metrics);
+    "{\n  \"schema\": \"mechaml-bench 1\",\n  \"groups\": [\n%s\n  ],\n  \"benchmarks_ns_per_run\": [\n%s\n  ],\n  \"metrics\": [\n%s\n  ],\n  \"obs\": %s\n}\n"
+    groups (triples !json_benchmarks) (triples !json_metrics) obs;
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -808,6 +811,36 @@ let exp_t13 () =
   in
   print_endline
     (Pp.table ~header:[ "lock sweep (8 heavy jobs)"; "wall clock"; "verdicts" ] heavy_rows);
+  (* tracing overhead: the full bundled matrix untraced and with span
+     recording on (every iteration, closure, check, driver query and pool
+     task records a span); the acceptance budget for the slowdown is 5%.
+     Interleaved best-of-3 on the ~100ms matrix keeps scheduler noise below
+     the effect being measured (the tiny matrix is too short for that). *)
+  let campaign () = ignore (Campaign.run ~jobs:2 specs) in
+  let untraced = ref infinity and traced = ref infinity in
+  for _ = 1 to 3 do
+    Mechaml_obs.Trace.disable ();
+    let _, off = time campaign in
+    Mechaml_obs.Trace.enable ();
+    Mechaml_obs.Trace.reset ();
+    let _, on_ = time campaign in
+    if off < !untraced then untraced := off;
+    if on_ < !traced then traced := on_
+  done;
+  let spans = Mechaml_obs.Trace.span_count () in
+  Mechaml_obs.Trace.disable ();
+  Mechaml_obs.Trace.reset ();
+  let overhead_pct = 100. *. (!traced -. !untraced) /. !untraced in
+  json_metric "tracing overhead pct" overhead_pct;
+  json_metric "tracing spans per campaign" (float_of_int spans);
+  print_endline
+    (Pp.table
+       ~header:[ "bundled matrix, jobs=2"; "wall clock (best of 3)"; "spans recorded" ]
+       [
+         [ "tracing off"; Printf.sprintf "%.2f ms" (!untraced *. 1e3); "-" ];
+         [ "tracing on"; Printf.sprintf "%.2f ms" (!traced *. 1e3); string_of_int spans ];
+         [ "overhead"; Printf.sprintf "%+.1f%%" overhead_pct; "-" ];
+       ]);
   let tiny = Campaign.bundled ~tiny:true () in
   measure_tests "campaign"
     [
@@ -847,6 +880,9 @@ let () =
     | [] -> []
     | "--json" :: path :: rest ->
       json_path := Some path;
+      (* machine-readable runs also collect the obs registry (counters,
+         histograms) and embed it in the output under "obs" *)
+      Mechaml_obs.Metrics.set_enabled true;
       parse_args rest
     | [ "--json" ] ->
       Printf.eprintf "--json needs a path, e.g. --json BENCH_run.json\n";

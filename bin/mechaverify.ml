@@ -16,15 +16,13 @@ module Families = Mechaml_scenarios.Families
 module Listing = Mechaml_scenarios.Listing
 module Faults = Mechaml_legacy.Faults
 module Supervisor = Mechaml_legacy.Supervisor
+module Obs_log = Mechaml_obs.Log
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
 open Cmdliner
 
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
-
 let verbose_t =
-  let doc = "Log each iteration of the synthesis loop." in
+  let doc = "Log each iteration of the synthesis loop (shorthand for --log-level info)." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let strategy_t =
@@ -100,6 +98,70 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+(* -- observability (shared by every subcommand) -- *)
+
+let log_level_t =
+  let doc =
+    "Progress verbosity: $(b,quiet), $(b,error), $(b,warn), $(b,info) or $(b,debug).  \
+     $(b,quiet) silences the synthesis-loop progress output entirely."
+  in
+  let level_conv =
+    Arg.conv
+      ( (fun s ->
+          match Obs_log.level_of_string s with Ok l -> Ok l | Error m -> Error (`Msg m)),
+        fun ppf l -> Format.pp_print_string ppf (Obs_log.level_to_string l) )
+  in
+  Arg.(value & opt (some level_conv) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let trace_t =
+  let doc =
+    "Record spans of the run (loop iterations, closures, model checks, driver queries, \
+     pool tasks) into $(docv) as a Chrome trace_event JSON array — load it in Perfetto \
+     or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out_t =
+  let doc =
+    "Collect metrics during the run and write them to $(docv) on exit: Prometheus text \
+     exposition format, or JSON when $(docv) ends in $(b,.json)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let save_text ~path body =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body)
+
+(* Outputs are written from [at_exit] so they survive the subcommands' [exit]
+   calls; by then the pool has joined its workers, so the trace buffers are
+   quiescent as [Trace.export] requires. *)
+let setup_obs verbose log_level trace metrics_out =
+  let level =
+    match (log_level, verbose) with
+    | Some l, _ -> l
+    | None, true -> Obs_log.Info
+    | None, false -> Obs_log.Warn
+  in
+  Obs_log.set_level level;
+  Option.iter
+    (fun path ->
+      Trace.enable ();
+      at_exit (fun () -> Trace.write ~path))
+    trace;
+  Option.iter
+    (fun path ->
+      Metrics.set_enabled true;
+      at_exit (fun () ->
+        let body =
+          if Filename.check_suffix path ".json" then Metrics.to_json ()
+          else Metrics.to_prometheus ()
+        in
+        save_text ~path body))
+    metrics_out
+
+let obs_t = Term.(const setup_obs $ verbose_t $ log_level_t $ trace_t $ metrics_out_t)
+
 let save_dot dir name dot =
   match dir with
   | None -> ()
@@ -130,8 +192,7 @@ let variant_t names =
   Arg.(value & opt string (List.hd names) & info [ "variant" ] ~docv:"VARIANT" ~doc)
 
 let railcab_cmd =
-  let run verbose strategy dot_dir variant =
-    setup_logs verbose;
+  let run () strategy dot_dir variant =
     let r =
       match variant with
       | "correct" -> Railcab.run_correct ~strategy ()
@@ -142,13 +203,12 @@ let railcab_cmd =
   in
   let doc = "Integrate a legacy rear-role shuttle into the DistanceCoordination pattern." in
   Cmd.v (Cmd.info "railcab" ~doc)
-    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "conflicting" ])
+    Term.(const run $ obs_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "conflicting" ])
 
 (* -- protocol -- *)
 
 let protocol_cmd =
-  let run verbose strategy dot_dir variant =
-    setup_logs verbose;
+  let run () strategy dot_dir variant =
     let r =
       match variant with
       | "correct" -> Protocol.run_correct ~strategy ()
@@ -159,7 +219,7 @@ let protocol_cmd =
   in
   let doc = "Integrate a legacy stop-and-wait sender against the receiver context." in
   Cmd.v (Cmd.info "protocol" ~doc)
-    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "faulty" ])
+    Term.(const run $ obs_t $ strategy_t $ dot_dir_t $ variant_t [ "correct"; "faulty" ])
 
 (* -- lock -- *)
 
@@ -174,8 +234,7 @@ let lock_cmd =
     let doc = "Also run a baseline: $(b,lstar) or $(b,amc)." in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"B" ~doc)
   in
-  let run verbose strategy dot_dir n depth baseline =
-    setup_logs verbose;
+  let run () strategy dot_dir n depth baseline =
     let r =
       Loop.run ~strategy ~label_of:Families.lock_label_of
         ~context:(Families.lock_context ~n ~depth) ~property:Families.lock_property
@@ -213,7 +272,7 @@ let lock_cmd =
   in
   let doc = "Integrate a combination-lock legacy component against a prefix-bounded context." in
   Cmd.v (Cmd.info "lock" ~doc)
-    Term.(const run $ verbose_t $ strategy_t $ dot_dir_t $ n_t $ depth_t $ baseline_t)
+    Term.(const run $ obs_t $ strategy_t $ dot_dir_t $ n_t $ depth_t $ baseline_t)
 
 (* -- run: user-supplied models -- *)
 
@@ -304,10 +363,9 @@ let run_cmd =
             "Atomically rewrite a knowledge snapshot (write-temp + rename) whenever the \
              learned model grows; loadable later with --knowledge.")
   in
-  let run verbose strategy dot_dir context_path legacy_path property prefix knowledge
+  let run () strategy dot_dir context_path legacy_path property prefix knowledge
       save_knowledge batch inject seed deadline_ms votes quorum breaker journal resume
       snapshot =
-    setup_logs verbose;
     let context = load_automaton context_path in
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
@@ -365,7 +423,7 @@ let run_cmd =
   let doc = "Run the synthesis loop on user-supplied context and legacy automata files." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ verbose_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
+      const run $ obs_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
       $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t $ inject_t $ seed_t
       $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t)
 
@@ -385,8 +443,7 @@ let learn_cmd =
       & info [ "bound" ] ~docv:"N"
           ~doc:"Assumed state bound for the W-method oracle (default: the true count).")
   in
-  let run verbose legacy_path bound =
-    setup_logs verbose;
+  let run () legacy_path bound =
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
     let alphabet =
@@ -409,7 +466,7 @@ let learn_cmd =
             r.Mechaml_learnlib.Lstar.hypothesis))
   in
   let doc = "Learn a component's full Mealy model with L* + W-method (the baseline)." in
-  Cmd.v (Cmd.info "learn" ~doc) Term.(const run $ verbose_t $ legacy_t $ bound_t)
+  Cmd.v (Cmd.info "learn" ~doc) Term.(const run $ obs_t $ legacy_t $ bound_t)
 
 (* -- campaign: batch verification over the bundled scenario matrix -- *)
 
@@ -471,9 +528,8 @@ let campaign_cmd =
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
     n = 0 || go 0
   in
-  let run verbose jobs report csv tiny select timeout retries no_cache inject seed
+  let run () jobs report csv tiny select timeout retries no_cache inject seed
       deadline_ms votes quorum breaker =
-    setup_logs verbose;
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
       exit 3
@@ -533,7 +589,7 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
-      const run $ verbose_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
+      const run $ obs_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
       $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t $ quorum_t
       $ breaker_t)
 
@@ -546,8 +602,7 @@ let export_cmd =
       & opt string "export"
       & info [ "dir" ] ~docv:"DIR" ~doc:"Directory to write the automata into.")
   in
-  let run verbose dir =
-    setup_logs verbose;
+  let run () dir =
     mkdir_p dir;
     let save name auto =
       let path = Filename.concat dir (name ^ ".aut") in
@@ -571,13 +626,12 @@ let export_cmd =
     "Export the bundled scenario automata as textio files, ready for $(b,mechaverify run) \
      --context/--legacy (e.g. to drive fault-injected runs with --journal/--resume)."
   in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ verbose_t $ dir_t)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ obs_t $ dir_t)
 
 (* -- pattern -- *)
 
 let pattern_cmd =
-  let run verbose =
-    setup_logs verbose;
+  let run () =
     match Mechaml_muml.Pattern.verify Railcab.pattern with
     | Checker.Holds ->
       Format.printf "DistanceCoordination: constraint, role invariants and deadlock freedom hold.@."
@@ -586,7 +640,7 @@ let pattern_cmd =
       exit 1
   in
   let doc = "Verify the DistanceCoordination pattern upfront (roles only, no legacy code)." in
-  Cmd.v (Cmd.info "pattern" ~doc) Term.(const run $ verbose_t)
+  Cmd.v (Cmd.info "pattern" ~doc) Term.(const run $ obs_t)
 
 let main_cmd =
   let doc =

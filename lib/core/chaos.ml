@@ -1,4 +1,16 @@
 module Automaton = Mechaml_ts.Automaton
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+
+let m_closure_states =
+  Metrics.histogram "core_closure_states"
+    ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e5 11)
+    ~help:"States per chaotic-closure automaton."
+
+let m_closure_transitions =
+  Metrics.histogram "core_closure_transitions"
+    ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e6 13)
+    ~help:"Transitions per chaotic-closure automaton."
 
 let chaos_prop = "p_chaos"
 
@@ -48,7 +60,7 @@ let chaotic_automaton ~name ~inputs ~outputs =
   Automaton.Builder.set_initial b [ s_all; s_delta ];
   Automaton.Builder.build b
 
-let closure ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomplete.t) =
+let closure_unobserved ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomplete.t) =
   check_alphabet m.Incomplete.input_signals m.Incomplete.output_signals;
   List.iter
     (fun s ->
@@ -116,3 +128,26 @@ let closure ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomplete.t) =
   Automaton.Builder.set_initial b
     (List.concat_map (fun q -> [ open_copy q; closed_copy q ]) m.Incomplete.initial);
   Automaton.Builder.build b
+
+let closure ?label_of ?extra_props (m : Incomplete.t) =
+  let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
+  let auto = closure_unobserved ?label_of ?extra_props m in
+  if t0 <> None || Metrics.enabled () then begin
+    let states = Automaton.num_states auto in
+    (* the transition count walks every adjacency list — worth it for the
+       size histograms, too slow for the per-span fast path when only
+       tracing is on *)
+    if Metrics.enabled () then begin
+      Metrics.observe m_closure_states (float_of_int states);
+      Metrics.observe m_closure_transitions
+        (float_of_int (Automaton.num_transitions auto))
+    end;
+    match t0 with
+    | Some start_us ->
+      Trace.complete ~name:"core.closure" ~start_us
+        ~args:
+          [ ("model", Trace.Str m.Incomplete.name); ("states", Trace.Int states) ]
+        ()
+    | None -> ()
+  end;
+  auto

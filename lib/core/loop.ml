@@ -7,10 +7,24 @@ module Checker = Mechaml_mc.Checker
 module Witness = Mechaml_mc.Witness
 module Blackbox = Mechaml_legacy.Blackbox
 module Observation = Mechaml_legacy.Observation
+module Log = Mechaml_obs.Log
+module Trace = Mechaml_obs.Trace
+module Prof = Mechaml_obs.Prof
+module Metrics = Mechaml_obs.Metrics
+module Clock = Mechaml_obs.Clock
 
-let log = Logs.Src.create "mechaml.loop" ~doc:"iterative behavior synthesis"
+let m_iterations =
+  Metrics.counter "loop_iterations_total" ~help:"Synthesis-loop iterations executed."
 
-module Log = (val Logs.src_log log : Logs.LOG)
+let m_tests =
+  Metrics.counter "loop_tests_total" ~help:"Driver queries executed by the synthesis loop."
+
+let m_test_steps =
+  Metrics.counter "loop_test_steps_total" ~help:"Input steps fed to the driver by the loop."
+
+let m_facts =
+  Metrics.counter "loop_facts_learned_total"
+    ~help:"Knowledge facts learned from driver observations."
 
 type violation_kind = Deadlock | Property
 
@@ -61,6 +75,9 @@ type result = {
   test_steps_executed : int;
   states_learned : int;
   legacy_state_bound : int;
+  closure_seconds : float;
+  check_seconds : float;
+  test_seconds : float;
 }
 
 (* The projection of a product counterexample onto the legacy side, decoded
@@ -166,6 +183,22 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       (legacy.Blackbox.state_bound * (1 lsl List.length legacy.Blackbox.input_signals)) + 1
   in
   let tests_executed = ref 0 and test_steps = ref 0 in
+  (* Per-phase wall-clock accumulators; they feed the report's timing columns
+     so they are maintained whether or not tracing/metrics are on (two
+     [gettimeofday] calls per phase — noise next to the phases themselves). *)
+  let closure_seconds = ref 0. and check_seconds = ref 0. and test_seconds = ref 0. in
+  let timed cell ?(args = []) ~name f =
+    let t0 = Clock.wall () in
+    let note () = cell := !cell +. (Clock.wall () -. t0) in
+    match Prof.phase ~args ~name f with
+    | v ->
+      note ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      note ();
+      Printexc.raise_with_backtrace e bt
+  in
   (* Degradation bookkeeping: the freshest model/iteration seen, so that when
      the supervised driver gives up mid-iteration nothing already learned is
      lost from the report. *)
@@ -181,13 +214,23 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
   let observe model inputs =
     incr tests_executed;
     test_steps := !test_steps + List.length inputs;
-    match raw_observe ~inputs with
-    | Error reason -> raise (Degrade reason)
-    | Ok obs ->
-      (match journal_path with Some path -> Journal.append ~path obs | None -> ());
-      let model = Incomplete.learn_observation model obs in
-      latest_model := model;
-      model
+    Metrics.incr m_tests;
+    Metrics.add m_test_steps (List.length inputs);
+    timed test_seconds ~name:"loop.query"
+      ~args:[ ("steps", Trace.Int (List.length inputs)) ]
+      (fun () ->
+        match raw_observe ~inputs with
+        | Error reason -> raise (Degrade reason)
+        | Ok obs ->
+          (match journal_path with Some path -> Journal.append ~path obs | None -> ());
+          let knowledge_before = Incomplete.knowledge model in
+          let model = Incomplete.learn_observation model obs in
+          let gained = Incomplete.knowledge model - knowledge_before in
+          Metrics.add m_facts gained;
+          if gained > 0 then
+            Trace.instant ~name:"loop.facts" ~args:[ ("gained", Trace.Int gained) ] ();
+          latest_model := model;
+          model)
   in
   (* The property's legacy-side propositions must exist in the closure's
      universe from iteration 0 on, even before any state carrying them is
@@ -248,204 +291,221 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       last_snapshot := Incomplete.knowledge model
     | _ -> ()
   in
+  (* The body of one iteration, factored out of the recursion so that the
+     per-iteration profiling span closes before the next iteration starts
+     (wrapping a recursive call would nest every iteration inside its
+     predecessor's span).  Returns [`Done] with the finished run or
+     [`Continue] with the enriched model. *)
+  let step model index records =
+    let closure =
+      timed closure_seconds ~name:"loop.closure" (fun () ->
+          on_closure ~model
+            ~compute:(fun () -> Chaos.closure ~label_of ~extra_props:legacy_props model))
+    in
+    (* Equation (7): φ ∧ ¬δ.  The property is checked first so that a
+       genuine integration conflict surfaces as a property counterexample
+       (the paper's fast conflict detection, Listing 1.4) rather than as
+       one of the deadlocks the chaotic closure also induces. *)
+    let formulas = [ weakened; Ctl.deadlock_free ] in
+    let product, outcome =
+      timed check_seconds ~name:"loop.check" (fun () ->
+          let product = Compose.parallel context closure in
+          ( product,
+            on_check ~product:product.Compose.auto ~formulas
+              ~compute:(fun () ->
+                Checker.check_conjunction ~strategy product.Compose.auto formulas) ))
+    in
+    let base =
+      {
+        index;
+        model_states = Incomplete.num_states model;
+        model_knowledge = Incomplete.knowledge model;
+        closure_states = Automaton.num_states closure;
+        product_states = Automaton.num_states product.Compose.auto;
+        counterexample = None;
+        counterexample_length = 0;
+        fast_real = false;
+        test = None;
+        probes = 0;
+      }
+    in
+    match outcome with
+    | Checker.Holds ->
+      Log.info (fun m -> m "iteration %d: property proved" index);
+      `Done (Proved, List.rev (base :: records), model)
+    | Checker.Violated { formula; witness; explanation; complete } ->
+      let kind = if Ctl.equal formula Ctl.deadlock_free then Deadlock else Property in
+      Log.info (fun m ->
+          m "iteration %d: %s counterexample of length %d (%s)" index
+            (match kind with Deadlock -> "deadlock" | Property -> "property")
+            (Run.length witness) explanation);
+      let proj = project_counterexample product witness in
+      let base =
+        {
+          base with
+          counterexample = Some (kind, witness);
+          counterexample_length = Run.length witness;
+        }
+      in
+      let knowledge_before = Incomplete.knowledge model in
+      let finish_real ?(model = model) ~confirmed ~record () =
+        `Done
+          ( Real_violation { kind; formula; witness; product; confirmed_by_test = confirmed },
+            List.rev (record :: records),
+            model )
+      in
+      (* Residual-evidence analysis at the final state: the witness claims
+         the run cannot be extended there (a deadlock, or a blocked
+         maximal run discharging a bounded obligation).  Decide from known
+         facts — or by probing the component — whether the context ∥
+         legacy composition really has no joint move in that state.  All
+         unknown candidates are probed (each probe is a learning step), so
+         a [`Refuted] without new knowledge is impossible for
+         blocking-based evidence. *)
+      let analyse_final model ~final_core ~prefix_inputs =
+        let c_end = Compose.left_state product (Run.final_state witness) in
+        let cands = candidates_at context legacy c_end in
+        let rec go model probes refuted = function
+          | [] -> (model, probes, if refuted then `Refuted else `Confirmed)
+          | cand :: rest -> (
+            match candidate_status model ~state:final_core cand with
+            | Known_impossible -> go model probes refuted rest
+            | Known_compatible -> go model probes true rest
+            | Unknown ->
+              let a, _ = cand in
+              let model = observe model (prefix_inputs @ [ a ]) in
+              let probes = probes + 1 in
+              let refuted =
+                refuted
+                || candidate_status model ~state:final_core cand = Known_compatible
+              in
+              go model probes refuted rest)
+        in
+        go model 0 false cands
+      in
+      (* Batched counterexamples (the paper's future-work improvement):
+         before the next model-checking round, also test the other nearest
+         violations of the same property and merge what they teach. *)
+      let learn_extras model =
+        if counterexamples_per_iteration <= 1 then model
+        else
+          List.fold_left
+            (fun model extra ->
+              if Run.final_state extra = Run.final_state witness then model
+              else begin
+                let proj = project_counterexample product extra in
+                if all_steps_known model proj then model
+                else observe model proj.step_inputs
+              end)
+            model
+            (Checker.more_witnesses
+               ~limit:(counterexamples_per_iteration - 1)
+               product.Compose.auto formula)
+      in
+      let continue_or_fail model' record =
+        if Incomplete.knowledge model' <= knowledge_before then
+          failwith
+            (Printf.sprintf
+               "Loop.run: no progress on a counterexample for %s — the witness carries a \
+                nested temporal obligation the testing step cannot validate; use safety \
+                (AG of a state predicate) or bounded-response properties"
+               (Ctl.to_string formula))
+        else `Continue (learn_extras model', record :: records)
+      in
+      if all_steps_known model proj then begin
+        (* The whole synthesized part of the counterexample is learned —
+           hence real — behaviour (fast conflict detection). *)
+        if complete then
+          finish_real ~confirmed:false ~record:{ base with fast_real = true } ()
+        else begin
+          let final_core =
+            match Chaos.origin (List.nth proj.closure_states (Run.length witness)) with
+            | Chaos.Core s -> s
+            | Chaos.Chaotic -> assert false (* all_steps_known excludes chaos *)
+          in
+          let model', probes, status =
+            analyse_final model ~final_core ~prefix_inputs:proj.step_inputs
+          in
+          let record = { base with fast_real = probes = 0; probes } in
+          match status with
+          | `Confirmed -> finish_real ~model:model' ~confirmed:(probes > 0) ~record ()
+          | `Refuted -> continue_or_fail model' record
+        end
+      end
+      else
+        (* Counterexample reaches into chaos: run it as a test under
+           deterministic replay (Sections 4.2 / 5). *)
+        Prof.phase ~name:"loop.test" (fun () ->
+            let model' = observe model proj.step_inputs in
+            (* Reproduced iff the component produced exactly the expected
+               outputs for every fed input: walk the freshly learned model
+               (which now contains the observation) and compare outputs.  The
+               expected closure states cannot be compared — they are chaotic. *)
+            let reproduced =
+              let rec walk state ins outs =
+                match (ins, outs) with
+                | [], [] -> true
+                | i :: ins', o :: outs' -> (
+                  match Incomplete.known_response model' ~state ~inputs:i with
+                  | Some (b, d) when b = List.sort_uniq compare o -> walk d ins' outs'
+                  | _ -> false)
+                | _ -> false
+              in
+              match model'.Incomplete.initial with
+              | [ q ] -> walk q proj.step_inputs proj.step_outputs
+              | _ -> false
+            in
+            let gained = Incomplete.knowledge model' - knowledge_before in
+            let test =
+              Some { inputs_fed = proj.step_inputs; reproduced; knowledge_gained = gained }
+            in
+            if reproduced then begin
+              if complete then
+                finish_real ~model:model' ~confirmed:true ~record:{ base with test } ()
+              else begin
+                (* The trace reproduced; find the real final state by walking
+                   the learned model, then validate the residual claim there. *)
+                let final_core =
+                  let rec walk state = function
+                    | [] -> state
+                    | i :: ins -> (
+                      match Incomplete.known_response model' ~state ~inputs:i with
+                      | Some (_, d) -> walk d ins
+                      | None -> state)
+                  in
+                  match model'.Incomplete.initial with
+                  | [ q ] -> walk q proj.step_inputs
+                  | _ -> assert false
+                in
+                let model'', probes, status =
+                  analyse_final model' ~final_core ~prefix_inputs:proj.step_inputs
+                in
+                let record = { base with test; probes } in
+                match status with
+                | `Confirmed -> finish_real ~model:model'' ~confirmed:true ~record ()
+                | `Refuted -> continue_or_fail model'' record
+              end
+            end
+            else begin
+              assert (gained > 0);
+              `Continue (learn_extras model', { base with test } :: records)
+            end)
+  in
   let rec iterate model index records =
     latest_model := model;
     current_index := index;
     latest_records := records;
     take_snapshot model;
-    if index >= bound then
-      ( Exhausted { iterations = index },
-        List.rev records,
-        model )
+    if index >= bound then (Exhausted { iterations = index }, List.rev records, model)
     else begin
-      let closure =
-        on_closure ~model
-          ~compute:(fun () -> Chaos.closure ~label_of ~extra_props:legacy_props model)
-      in
-      let product = Compose.parallel context closure in
-      (* Equation (7): φ ∧ ¬δ.  The property is checked first so that a
-         genuine integration conflict surfaces as a property counterexample
-         (the paper's fast conflict detection, Listing 1.4) rather than as
-         one of the deadlocks the chaotic closure also induces. *)
-      let formulas = [ weakened; Ctl.deadlock_free ] in
-      let outcome =
-        on_check ~product:product.Compose.auto ~formulas
-          ~compute:(fun () -> Checker.check_conjunction ~strategy product.Compose.auto formulas)
-      in
-      let base =
-        {
-          index;
-          model_states = Incomplete.num_states model;
-          model_knowledge = Incomplete.knowledge model;
-          closure_states = Automaton.num_states closure;
-          product_states = Automaton.num_states product.Compose.auto;
-          counterexample = None;
-          counterexample_length = 0;
-          fast_real = false;
-          test = None;
-          probes = 0;
-        }
-      in
-      match outcome with
-      | Checker.Holds ->
-        Log.info (fun m -> m "iteration %d: property proved" index);
-        (Proved, List.rev (base :: records), model)
-      | Checker.Violated { formula; witness; explanation; complete } ->
-        let kind = if Ctl.equal formula Ctl.deadlock_free then Deadlock else Property in
-        Log.info (fun m ->
-            m "iteration %d: %s counterexample of length %d (%s)" index
-              (match kind with Deadlock -> "deadlock" | Property -> "property")
-              (Run.length witness) explanation);
-        let proj = project_counterexample product witness in
-        let base =
-          {
-            base with
-            counterexample = Some (kind, witness);
-            counterexample_length = Run.length witness;
-          }
-        in
-        let knowledge_before = Incomplete.knowledge model in
-        let finish_real ?(model = model) ~confirmed ~record () =
-          ( Real_violation { kind; formula; witness; product; confirmed_by_test = confirmed },
-            List.rev (record :: records),
-            model )
-        in
-        (* Residual-evidence analysis at the final state: the witness claims
-           the run cannot be extended there (a deadlock, or a blocked
-           maximal run discharging a bounded obligation).  Decide from known
-           facts — or by probing the component — whether the context ∥
-           legacy composition really has no joint move in that state.  All
-           unknown candidates are probed (each probe is a learning step), so
-           a [`Refuted] without new knowledge is impossible for
-           blocking-based evidence. *)
-        let analyse_final model ~final_core ~prefix_inputs =
-          let c_end = Compose.left_state product (Run.final_state witness) in
-          let cands = candidates_at context legacy c_end in
-          let rec go model probes refuted = function
-            | [] -> (model, probes, if refuted then `Refuted else `Confirmed)
-            | cand :: rest -> (
-              match candidate_status model ~state:final_core cand with
-              | Known_impossible -> go model probes refuted rest
-              | Known_compatible -> go model probes true rest
-              | Unknown ->
-                let a, _ = cand in
-                let model = observe model (prefix_inputs @ [ a ]) in
-                let probes = probes + 1 in
-                let refuted =
-                  refuted
-                  || candidate_status model ~state:final_core cand = Known_compatible
-                in
-                go model probes refuted rest)
-          in
-          go model 0 false cands
-        in
-        (* Batched counterexamples (the paper's future-work improvement):
-           before the next model-checking round, also test the other nearest
-           violations of the same property and merge what they teach. *)
-        let learn_extras model =
-          if counterexamples_per_iteration <= 1 then model
-          else
-            List.fold_left
-              (fun model extra ->
-                if Run.final_state extra = Run.final_state witness then model
-                else begin
-                  let proj = project_counterexample product extra in
-                  if all_steps_known model proj then model
-                  else observe model proj.step_inputs
-                end)
-              model
-              (Checker.more_witnesses
-                 ~limit:(counterexamples_per_iteration - 1)
-                 product.Compose.auto formula)
-        in
-        let continue_or_fail model' record =
-          if Incomplete.knowledge model' <= knowledge_before then
-            failwith
-              (Printf.sprintf
-                 "Loop.run: no progress on a counterexample for %s — the witness carries a \
-                  nested temporal obligation the testing step cannot validate; use safety \
-                  (AG of a state predicate) or bounded-response properties"
-                 (Ctl.to_string formula))
-          else iterate (learn_extras model') (index + 1) (record :: records)
-        in
-        if all_steps_known model proj then begin
-          (* The whole synthesized part of the counterexample is learned —
-             hence real — behaviour (fast conflict detection). *)
-          if complete then
-            finish_real ~confirmed:false ~record:{ base with fast_real = true } ()
-          else begin
-            let final_core =
-              match Chaos.origin (List.nth proj.closure_states (Run.length witness)) with
-              | Chaos.Core s -> s
-              | Chaos.Chaotic -> assert false (* all_steps_known excludes chaos *)
-            in
-            let model', probes, status =
-              analyse_final model ~final_core ~prefix_inputs:proj.step_inputs
-            in
-            let record = { base with fast_real = probes = 0; probes } in
-            match status with
-            | `Confirmed -> finish_real ~model:model' ~confirmed:(probes > 0) ~record ()
-            | `Refuted -> continue_or_fail model' record
-          end
-        end
-        else begin
-          (* Counterexample reaches into chaos: run it as a test under
-             deterministic replay (Sections 4.2 / 5). *)
-          let model' = observe model proj.step_inputs in
-          (* Reproduced iff the component produced exactly the expected
-             outputs for every fed input: walk the freshly learned model
-             (which now contains the observation) and compare outputs.  The
-             expected closure states cannot be compared — they are chaotic. *)
-          let reproduced =
-            let rec walk state ins outs =
-              match (ins, outs) with
-              | [], [] -> true
-              | i :: ins', o :: outs' -> (
-                match Incomplete.known_response model' ~state ~inputs:i with
-                | Some (b, d) when b = List.sort_uniq compare o -> walk d ins' outs'
-                | _ -> false)
-              | _ -> false
-            in
-            match model'.Incomplete.initial with
-            | [ q ] -> walk q proj.step_inputs proj.step_outputs
-            | _ -> false
-          in
-          let gained = Incomplete.knowledge model' - knowledge_before in
-          let test =
-            Some { inputs_fed = proj.step_inputs; reproduced; knowledge_gained = gained }
-          in
-          if reproduced then begin
-            if complete then
-              finish_real ~model:model' ~confirmed:true ~record:{ base with test } ()
-            else begin
-              (* The trace reproduced; find the real final state by walking
-                 the learned model, then validate the residual claim there. *)
-              let final_core =
-                let rec walk state = function
-                  | [] -> state
-                  | i :: ins -> (
-                    match Incomplete.known_response model' ~state ~inputs:i with
-                    | Some (_, d) -> walk d ins
-                    | None -> state)
-                in
-                match model'.Incomplete.initial with
-                | [ q ] -> walk q proj.step_inputs
-                | _ -> assert false
-              in
-              let model'', probes, status =
-                analyse_final model' ~final_core ~prefix_inputs:proj.step_inputs
-              in
-              let record = { base with test; probes } in
-              match status with
-              | `Confirmed -> finish_real ~model:model'' ~confirmed:true ~record ()
-              | `Refuted -> continue_or_fail model'' record
-            end
-          end
-          else begin
-            assert (gained > 0);
-            iterate (learn_extras model') (index + 1) ({ base with test } :: records)
-          end
-        end
+      Metrics.incr m_iterations;
+      match
+        Prof.phase ~name:"loop.iteration"
+          ~args:[ ("iteration", Trace.Int index) ]
+          (fun () -> step model index records)
+      with
+      | `Done (verdict, iterations, final) -> (verdict, iterations, final)
+      | `Continue (model', records') -> iterate model' (index + 1) records'
     end
   in
   (* Graceful degradation (the robustness analogue of Theorem 1): when the
@@ -455,10 +515,14 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
      though the driver is gone. *)
   let degrade reason =
     let model = !latest_model in
-    let closure = Chaos.closure ~label_of ~extra_props:legacy_props model in
-    let product = Compose.parallel context closure in
+    let closure =
+      timed closure_seconds ~name:"loop.closure" (fun () ->
+          Chaos.closure ~label_of ~extra_props:legacy_props model)
+    in
     let proved_on_closure, unknown_for_real =
-      List.partition (Checker.holds product.Compose.auto) [ weakened; Ctl.deadlock_free ]
+      timed check_seconds ~name:"loop.check" (fun () ->
+          let product = Compose.parallel context closure in
+          List.partition (Checker.holds product.Compose.auto) [ weakened; Ctl.deadlock_free ])
     in
     Log.warn (fun m ->
         m "degrading after iteration %d: %s (%d of %d obligations proved on the closure)"
@@ -488,6 +552,9 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
     test_steps_executed = !test_steps;
     states_learned = Incomplete.num_states final_model;
     legacy_state_bound = legacy.Blackbox.state_bound;
+    closure_seconds = !closure_seconds;
+    check_seconds = !check_seconds;
+    test_seconds = !test_seconds;
   }
 
 let pp_iteration ppf (it : iteration) =

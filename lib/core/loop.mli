@@ -85,6 +85,13 @@ type result = {
   test_steps_executed : int;
   states_learned : int;
   legacy_state_bound : int;
+  closure_seconds : float;
+      (** wall-clock time spent building chaotic closures (cache lookups
+          included when an [on_closure] hook memoizes) *)
+  check_seconds : float;
+      (** wall-clock time spent composing the product and model checking *)
+  test_seconds : float;
+      (** wall-clock time spent querying the driver (tests and probes) *)
 }
 
 val run :

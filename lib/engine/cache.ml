@@ -1,22 +1,45 @@
+module Metrics = Mechaml_obs.Metrics
+
+let m_hits = Metrics.counter "engine_cache_hits_total" ~help:"Campaign cache lookups answered."
+
+let m_misses =
+  Metrics.counter "engine_cache_misses_total" ~help:"Campaign cache lookups that computed."
+
+let m_evictions =
+  Metrics.counter "engine_cache_evictions_total"
+    ~help:"Entries dropped by the FIFO bound of a capacity-limited cache."
+
+(* Each table keeps its keys in FIFO insertion order so a capacity bound can
+   evict the oldest entry.  Eviction only bounds memory: a dropped entry is
+   recomputed on the next lookup, never answered wrongly. *)
+type 'v table = { entries : (string, 'v) Hashtbl.t; order : string Queue.t }
+
 type t = {
   mutex : Mutex.t;
-  closures : (string, Mechaml_ts.Automaton.t) Hashtbl.t;
-  checks : (string, Mechaml_mc.Checker.outcome) Hashtbl.t;
+  capacity : int option;  (** per-table bound on stored entries *)
+  closures : Mechaml_ts.Automaton.t table;
+  checks : Mechaml_mc.Checker.outcome table;
   mutable closure_hits : int;
   mutable closure_misses : int;
   mutable check_hits : int;
   mutable check_misses : int;
+  mutable evictions : int;
 }
 
-let create () =
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Cache.create: capacity must be positive"
+  | _ -> ());
   {
     mutex = Mutex.create ();
-    closures = Hashtbl.create 64;
-    checks = Hashtbl.create 64;
+    capacity;
+    closures = { entries = Hashtbl.create 64; order = Queue.create () };
+    checks = { entries = Hashtbl.create 64; order = Queue.create () };
     closure_hits = 0;
     closure_misses = 0;
     check_hits = 0;
     check_misses = 0;
+    evictions = 0;
   }
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
@@ -25,26 +48,40 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Called under the lock. *)
+let store t table key v =
+  Hashtbl.add table.entries key v;
+  Queue.add key table.order;
+  match t.capacity with
+  | Some cap when Hashtbl.length table.entries > cap ->
+    let oldest = Queue.pop table.order in
+    Hashtbl.remove table.entries oldest;
+    t.evictions <- t.evictions + 1;
+    Metrics.incr m_evictions
+  | _ -> ()
+
 (* Lookup and counter updates hold the lock; [compute] does not — memoized
    work can be long, and serializing it would defeat the worker pool.  Two
    domains racing on the same fresh key both compute; the first store wins so
    every caller shares one value. *)
 let find_or_compute t table bump_hit bump_miss ~key compute =
-  match locked t (fun () -> Hashtbl.find_opt table key) with
+  match locked t (fun () -> Hashtbl.find_opt table.entries key) with
   | Some v ->
     locked t (fun () -> bump_hit ());
+    Metrics.incr m_hits;
     (v, true)
   | None ->
     let v = compute () in
     let v =
       locked t (fun () ->
           bump_miss ();
-          match Hashtbl.find_opt table key with
+          match Hashtbl.find_opt table.entries key with
           | Some winner -> winner
           | None ->
-            Hashtbl.add table key v;
+            store t table key v;
             v)
     in
+    Metrics.incr m_misses;
     (v, false)
 
 let closure t ~key compute =
@@ -65,6 +102,7 @@ type stats = {
   check_hits : int;
   check_misses : int;
   entries : int;
+  evictions : int;
 }
 
 let stats t =
@@ -74,7 +112,8 @@ let stats t =
         closure_misses = t.closure_misses;
         check_hits = t.check_hits;
         check_misses = t.check_misses;
-        entries = Hashtbl.length t.closures + Hashtbl.length t.checks;
+        entries = Hashtbl.length t.closures.entries + Hashtbl.length t.checks.entries;
+        evictions = t.evictions;
       })
 
 let hits s = s.closure_hits + s.check_hits

@@ -17,7 +17,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the entries stored {e per table} (closures and checks
+    each); when the bound is exceeded the oldest entry is evicted FIFO and
+    counted in {!stats}.  Eviction only bounds memory — a dropped entry is
+    recomputed on its next lookup, never answered wrongly.  Default:
+    unbounded.  Raises [Invalid_argument] when [capacity < 1]. *)
 
 val digest : 'a -> string
 (** Structural digest (MD5 of the marshalled value) used as cache key.  The
@@ -40,6 +45,7 @@ type stats = {
   check_hits : int;
   check_misses : int;
   entries : int;  (** distinct values currently stored *)
+  evictions : int;  (** entries dropped by the capacity bound *)
 }
 
 val stats : t -> stats

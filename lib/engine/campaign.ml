@@ -8,6 +8,7 @@ module Faults = Mechaml_legacy.Faults
 module Supervisor = Mechaml_legacy.Supervisor
 module Loop = Mechaml_core.Loop
 module Incomplete = Mechaml_core.Incomplete
+module Trace = Mechaml_obs.Trace
 
 type spec = {
   id : string;
@@ -58,6 +59,11 @@ type outcome = {
   test_steps : int;
   attempts : int;
   duration_s : float;
+  closure_seconds : float;
+  check_seconds : float;
+  test_seconds : float;
+  max_closure_states : int;
+  max_product_states : int;
   cache : cache_counters;
   fault : string option;
   supervision : Supervisor.stats option;
@@ -82,7 +88,7 @@ exception Out_of_time
 (* Internal: unwinds Loop.run from inside a hook when the deadline passed.
    The loop holds no resources, so unwinding is safe at any stage. *)
 
-let run_spec ?cache (spec : spec) : outcome =
+let run_spec_unobserved ?cache (spec : spec) : outcome =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun budget -> start +. budget) spec.timeout in
   let closure_hits = ref 0 and closure_misses = ref 0 in
@@ -186,6 +192,15 @@ let run_spec ?cache (spec : spec) : outcome =
       | Loop.Exhausted _ -> Exhausted
       | Loop.Degraded { reason; _ } -> Degraded { reason }
     in
+    (* Peak automaton sizes across the run — structural facts of the scenario,
+       deterministic across worker counts, caching and tracing (unlike the
+       timing fields next to them). *)
+    let max_closure_states, max_product_states =
+      List.fold_left
+        (fun (c, p) (it : Loop.iteration) ->
+          (max c it.Loop.closure_states, max p it.Loop.product_states))
+        (0, 0) r.Loop.iterations
+    in
     {
       spec_id = spec.id;
       family = spec.family;
@@ -197,6 +212,11 @@ let run_spec ?cache (spec : spec) : outcome =
       test_steps = r.Loop.test_steps_executed;
       attempts;
       duration_s;
+      closure_seconds = r.Loop.closure_seconds;
+      check_seconds = r.Loop.check_seconds;
+      test_seconds = r.Loop.test_seconds;
+      max_closure_states;
+      max_product_states;
       cache;
       fault = spec.inject;
       supervision;
@@ -213,10 +233,19 @@ let run_spec ?cache (spec : spec) : outcome =
       test_steps = 0;
       attempts;
       duration_s;
+      closure_seconds = 0.;
+      check_seconds = 0.;
+      test_seconds = 0.;
+      max_closure_states = 0;
+      max_product_states = 0;
       cache;
       fault = spec.inject;
       supervision;
     }
+
+let run_spec ?cache (spec : spec) : outcome =
+  Trace.with_span ~name:"campaign.job" ~args:[ ("id", Trace.Str spec.id) ] (fun () ->
+      run_spec_unobserved ?cache spec)
 
 let run ?(jobs = 1) ?cache ?(memo = true) specs =
   let seen = Hashtbl.create 16 in

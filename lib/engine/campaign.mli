@@ -86,6 +86,13 @@ type outcome = {
   test_steps : int;
   attempts : int;
   duration_s : float;
+  closure_seconds : float;  (** wall-clock spent in the closure stage *)
+  check_seconds : float;  (** wall-clock spent composing and model checking *)
+  test_seconds : float;  (** wall-clock spent querying the driver *)
+  max_closure_states : int;
+      (** largest chaotic-closure automaton built by any iteration — a
+          structural fact, deterministic across workers/caching/tracing *)
+  max_product_states : int;  (** largest context ∥ closure product likewise *)
   cache : cache_counters;
       (** this job's lookups; under a shared cache and [jobs > 1] the
           hit/miss split depends on sibling scheduling *)

@@ -1,3 +1,18 @@
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+module Clock = Mechaml_obs.Clock
+
+let m_tasks = Metrics.counter "engine_pool_tasks_total" ~help:"Work items executed by the pool."
+
+let m_queue_wait =
+  Metrics.histogram "engine_pool_queue_wait_seconds"
+    ~help:"Time between pool start and a work item being claimed by a worker."
+
+let m_utilization =
+  Metrics.gauge "engine_pool_utilization"
+    ~help:"Busy-time fraction of the last pool run: sum of per-worker busy seconds over \
+           workers times wall-clock."
+
 let recommended_jobs () = Domain.recommended_domain_count ()
 
 let map ~jobs ~f items =
@@ -7,23 +22,42 @@ let map ~jobs ~f items =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let t_start = Clock.wall () in
+    (* Per-worker busy-time accumulators; slot [w] is written only by worker
+       [w], so no synchronisation — read after the joins below. *)
+    let busy = Array.make jobs 0. in
+    let observing () = Metrics.enabled () || Trace.is_enabled () in
+    let worker w () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          let t0 = if observing () then Clock.wall () else 0. in
+          if t0 > 0. then Metrics.observe m_queue_wait (t0 -. t_start);
+          Metrics.incr m_tasks;
           (* each slot is written by exactly one domain: no race *)
           (results.(i) <-
-            (match f items.(i) with
+            (match
+               Trace.with_span ~name:"pool.task"
+                 ~args:[ ("item", Trace.Int i); ("worker", Trace.Int w) ]
+                 (fun () -> f items.(i))
+             with
             | v -> Some (Ok v)
             | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          if t0 > 0. then busy.(w) <- busy.(w) +. (Clock.wall () -. t0);
           go ()
         end
       in
       go ()
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
     List.iter Domain.join domains;
+    if Metrics.enabled () then begin
+      let elapsed = Clock.wall () -. t_start in
+      if elapsed > 0. then
+        Metrics.set m_utilization
+          (Array.fold_left ( +. ) 0. busy /. (float_of_int jobs *. elapsed))
+    end;
     Array.map
       (function
         | Some (Ok v) -> v

@@ -15,4 +15,12 @@ val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
     input order regardless of completion order.  If an [f] application
     raises, the remaining items still run; the first raised exception (in
     item order) is re-raised after all workers have finished, with its
-    original backtrace. *)
+    original backtrace.
+
+    When observability is on ({!Mechaml_obs.Trace} or
+    {!Mechaml_obs.Metrics}), each item runs inside a [pool.task] span tagged
+    with its index and worker, queue wait feeds the
+    [engine_pool_queue_wait_seconds] histogram, and the run's busy-time
+    fraction is published as the [engine_pool_utilization] gauge.  The
+    sequential [jobs = 1] path records none of this — it is the plain
+    reference execution. *)

@@ -24,11 +24,29 @@ let supervision_cell (o : Campaign.outcome) =
 
 let fault_cell (o : Campaign.outcome) = Option.value o.Campaign.fault ~default:"-"
 
+(* Peak closure/product automaton sizes, "34/118". *)
+let states_cell (o : Campaign.outcome) =
+  if o.Campaign.max_closure_states = 0 && o.Campaign.max_product_states = 0 then "-"
+  else Printf.sprintf "%d/%d" o.Campaign.max_closure_states o.Campaign.max_product_states
+
+(* Per-phase wall-clock split, "c:1.2ms k:8.0ms q:0.3ms" = closure, check
+   (compose + model check), driver queries. *)
+let phases_cell (o : Campaign.outcome) =
+  let total =
+    o.Campaign.closure_seconds +. o.Campaign.check_seconds +. o.Campaign.test_seconds
+  in
+  if total = 0. then "-"
+  else
+    Printf.sprintf "c:%s k:%s q:%s"
+      (human_duration o.Campaign.closure_seconds)
+      (human_duration o.Campaign.check_seconds)
+      (human_duration o.Campaign.test_seconds)
+
 let table outcomes =
   Pp.table
     ~header:
       [ "job"; "verdict"; "fault"; "supervision"; "iters"; "states"; "facts"; "tests";
-        "steps"; "attempts"; "cache h/l"; "time" ]
+        "steps"; "attempts"; "cl/pr states"; "cache h/l"; "phases"; "time" ]
     (List.map
        (fun (o : Campaign.outcome) ->
          [
@@ -42,7 +60,9 @@ let table outcomes =
            string_of_int o.Campaign.tests_executed;
            string_of_int o.Campaign.test_steps;
            string_of_int o.Campaign.attempts;
+           states_cell o;
            cache_cell o.Campaign.cache;
+           phases_cell o;
            human_duration o.Campaign.duration_s;
          ])
        outcomes)
@@ -165,6 +185,11 @@ let json_outcome (o : Campaign.outcome) =
         ("test_steps", string_of_int o.Campaign.test_steps);
         ("attempts", string_of_int o.Campaign.attempts);
         ("duration_s", Printf.sprintf "%.6f" o.Campaign.duration_s);
+        ("closure_seconds", Printf.sprintf "%.6f" o.Campaign.closure_seconds);
+        ("check_seconds", Printf.sprintf "%.6f" o.Campaign.check_seconds);
+        ("test_seconds", Printf.sprintf "%.6f" o.Campaign.test_seconds);
+        ("max_closure_states", string_of_int o.Campaign.max_closure_states);
+        ("max_product_states", string_of_int o.Campaign.max_product_states);
         ("cache", json_cache o.Campaign.cache);
       ]
     @
@@ -204,17 +229,21 @@ let to_json ?jobs outcomes =
 
 (* -- CSV ------------------------------------------------------------------ *)
 
+(* RFC 4180: quote when the field contains a separator, a quote, or a line
+   break (CR as well as LF — a bare CR also breaks naive CSV readers);
+   embedded quotes are doubled. *)
 let csv_field s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
 let to_csv outcomes =
   let header =
     "id,family,verdict,confirmed_by_test,error,fault,iterations,states_learned,knowledge,\
-     tests_executed,test_steps,attempts,duration_s,closure_hits,closure_misses,check_hits,\
-     check_misses,sup_attempts,sup_retried,sup_crashes,sup_divergences,sup_votes_held,\
-     sup_outvoted,sup_breaker_trips"
+     tests_executed,test_steps,attempts,duration_s,closure_seconds,check_seconds,\
+     test_seconds,max_closure_states,max_product_states,closure_hits,closure_misses,\
+     check_hits,check_misses,sup_attempts,sup_retried,sup_crashes,sup_divergences,\
+     sup_votes_held,sup_outvoted,sup_breaker_trips"
   in
   let row (o : Campaign.outcome) =
     let confirmed, error =
@@ -258,6 +287,11 @@ let to_csv outcomes =
            string_of_int o.Campaign.test_steps;
            string_of_int o.Campaign.attempts;
            Printf.sprintf "%.6f" o.Campaign.duration_s;
+           Printf.sprintf "%.6f" o.Campaign.closure_seconds;
+           Printf.sprintf "%.6f" o.Campaign.check_seconds;
+           Printf.sprintf "%.6f" o.Campaign.test_seconds;
+           string_of_int o.Campaign.max_closure_states;
+           string_of_int o.Campaign.max_product_states;
            string_of_int o.Campaign.cache.Campaign.closure_hits;
            string_of_int o.Campaign.cache.Campaign.closure_misses;
            string_of_int o.Campaign.cache.Campaign.check_hits;
@@ -277,13 +311,14 @@ let to_csv outcomes =
 
 let canonical outcomes =
   let line (o : Campaign.outcome) =
-    Printf.sprintf "%s|%s|%s|%d|%d|%d|%d|%d|%d" o.Campaign.spec_id
+    Printf.sprintf "%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d" o.Campaign.spec_id
       (match o.Campaign.verdict with
       | Campaign.Failed e -> "failed: " ^ e
       | Campaign.Degraded { reason } -> "degraded: " ^ reason
       | v -> Campaign.verdict_string v)
       (fault_cell o) o.Campaign.iterations o.Campaign.states_learned o.Campaign.knowledge
-      o.Campaign.tests_executed o.Campaign.test_steps o.Campaign.attempts
+      o.Campaign.max_closure_states o.Campaign.max_product_states o.Campaign.tests_executed
+      o.Campaign.test_steps o.Campaign.attempts
   in
   String.concat "\n" (List.sort compare (List.map line outcomes)) ^ "\n"
 

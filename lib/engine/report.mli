@@ -45,10 +45,16 @@ val to_json : ?jobs:int -> Campaign.outcome list -> string
 val to_csv : Campaign.outcome list -> string
 (** One row per job with the same fields, RFC-4180 quoting. *)
 
+val csv_field : string -> string
+(** RFC-4180 field encoding: returned verbatim unless it contains a comma,
+    double quote, LF or CR, in which case it is wrapped in double quotes with
+    embedded quotes doubled. *)
+
 val canonical : Campaign.outcome list -> string
 (** Deterministic digest: per job a line
-    [id|verdict|iterations|states|knowledge|tests|steps|attempts], sorted by
-    id.  Byte-identical across worker counts and cache states. *)
+    [id|verdict|fault|iterations|states|knowledge|closure|product|tests|steps|attempts],
+    sorted by id ([closure]/[product] are the peak automaton sizes).
+    Byte-identical across worker counts, cache states and tracing. *)
 
 val save : path:string -> string -> unit
 (** Write a serialized report to [path] (parent directories created). *)

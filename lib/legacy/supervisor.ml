@@ -1,8 +1,24 @@
 module Prng = Mechaml_util.Prng
+module Log = Mechaml_obs.Log
+module Metrics = Mechaml_obs.Metrics
 
-let log = Logs.Src.create "mechaml.supervisor" ~doc:"supervised legacy-driver execution"
+let m_retries =
+  Metrics.counter "legacy_supervisor_retries_total"
+    ~help:"Driver query attempts retried after a classified failure."
 
-module Log = (val Logs.src_log log : Logs.LOG)
+let m_crashes =
+  Metrics.counter "legacy_supervisor_crashes_total" ~help:"Driver crashes observed."
+
+let m_votes =
+  Metrics.counter "legacy_supervisor_votes_total" ~help:"Votes held for quorum observation."
+
+let m_outvoted =
+  Metrics.counter "legacy_supervisor_outvoted_total"
+    ~help:"Minority answers discarded by a quorum."
+
+let m_breaker_trips =
+  Metrics.counter "legacy_supervisor_breaker_trips_total"
+    ~help:"Circuit-breaker transitions to open."
 
 type policy = {
   deadline : float option;
@@ -135,6 +151,7 @@ let attempt t ~inputs =
     | _ -> Ok obs)
   | exception Faults.Driver_crashed m ->
     t.crashes <- t.crashes + 1;
+    Metrics.incr m_crashes;
     Error ("driver crashed: " ^ m)
   | exception Faults.Connect_refused m ->
     t.refused_connects <- t.refused_connects + 1;
@@ -154,6 +171,7 @@ let record_failure t why =
     in
     t.open_reason <- Some reason;
     t.breaker_trips <- t.breaker_trips + 1;
+    Metrics.incr m_breaker_trips;
     Log.warn (fun m -> m "%s: %s" t.box.Blackbox.name reason);
     raise (Tripped reason)
   end
@@ -168,6 +186,7 @@ let backoff t k =
   in
   t.backoff_slept <- t.backoff_slept +. d;
   t.retried <- t.retried + 1;
+  Metrics.incr m_retries;
   t.sleep d
 
 (* One vote: retry the raw query with exponential backoff until it succeeds
@@ -210,6 +229,7 @@ let observe t ~inputs =
       if cast >= t.policy.votes then None
       else begin
         t.votes_held <- t.votes_held + 1;
+        Metrics.incr m_votes;
         match vote t ~inputs with
         | None -> ballot (cast + 1)
         | Some obs -> if count obs >= k then Some obs else ballot (cast + 1)
@@ -223,6 +243,7 @@ let observe t ~inputs =
       in
       if minority > 0 then begin
         t.outvoted <- t.outvoted + minority;
+        Metrics.add m_outvoted minority;
         Log.info (fun m ->
             m "%s: %d minority answer(s) outvoted by a %d-of-%d quorum" t.box.Blackbox.name
               minority k t.policy.votes)

@@ -1,5 +1,13 @@
 module Automaton = Mechaml_ts.Automaton
 module Ctl = Mechaml_logic.Ctl
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+
+let m_checks =
+  Metrics.counter "mc_checks_total" ~help:"CTL properties checked (one per formula per model)."
+
+let m_violations =
+  Metrics.counter "mc_violations_total" ~help:"Checked properties that were violated."
 
 type outcome =
   | Holds
@@ -11,12 +19,18 @@ type outcome =
     }
 
 let check_env env ~strategy f =
-  match Sat.failing_initial env f with
-  | None -> Holds
-  | Some start ->
-    let psi = Ctl.nnf (Ctl.Not f) in
-    let { Witness.run; explanation; complete } = Witness.witness env ~strategy ~start psi in
-    Violated { formula = f; witness = run; explanation; complete }
+  let states = Automaton.num_states (Sat.automaton env) in
+  Trace.with_span ~name:"mc.check"
+    ~args:[ ("states", Trace.Int states) ]
+    (fun () ->
+      Metrics.incr m_checks;
+      match Sat.failing_initial env f with
+      | None -> Holds
+      | Some start ->
+        Metrics.incr m_violations;
+        let psi = Ctl.nnf (Ctl.Not f) in
+        let { Witness.run; explanation; complete } = Witness.witness env ~strategy ~start psi in
+        Violated { formula = f; witness = run; explanation; complete })
 
 let check ?(strategy = Witness.Bfs_shortest) m f = check_env (Sat.create m) ~strategy f
 

@@ -3,6 +3,12 @@ module Universe = Mechaml_ts.Universe
 module Compose = Mechaml_ts.Compose
 module Bitset = Mechaml_util.Bitset
 module Ctl = Mechaml_logic.Ctl
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+
+let m_pairs_explored =
+  Metrics.counter "mc_onthefly_pairs_total"
+    ~help:"Product state pairs explored by the on-the-fly safety checker."
 
 type trace = {
   pairs : (Automaton.state * Automaton.state) list;
@@ -13,7 +19,8 @@ type verdict = Holds | Bad_state of trace | Deadlocked of trace
 
 type result = { verdict : verdict; pairs_explored : int }
 
-let check_safety ~(left : Automaton.t) ~(right : Automaton.t) ?(bad = fun _ _ -> false) () =
+let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
+    ?(bad = fun _ _ -> false) () =
   let joint = Compose.stepper left right in
   let in_shift = Universe.size left.Automaton.inputs in
   let out_shift = Universe.size left.Automaton.outputs in
@@ -58,6 +65,20 @@ let check_safety ~(left : Automaton.t) ~(right : Automaton.t) ?(bad = fun _ _ ->
         moves
   done;
   { verdict = Option.value !verdict ~default:Holds; pairs_explored = !explored }
+
+(* The span's interesting argument (pairs explored) is only known afterwards,
+   hence [complete] rather than [with_span]. *)
+let check_safety ~left ~right ?bad () =
+  let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
+  let result = check_safety_unobserved ~left ~right ?bad () in
+  Metrics.add m_pairs_explored result.pairs_explored;
+  (match t0 with
+  | Some start_us ->
+    Trace.complete ~name:"mc.onthefly" ~start_us
+      ~args:[ ("pairs_explored", Trace.Int result.pairs_explored) ]
+      ()
+  | None -> ());
+  result
 
 let violates_invariant ~left ~right ~invariant () =
   let body =

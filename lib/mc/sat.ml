@@ -1,5 +1,19 @@
 module Automaton = Mechaml_ts.Automaton
 module Ctl = Mechaml_logic.Ctl
+module Metrics = Mechaml_obs.Metrics
+
+let m_states_explored =
+  Metrics.counter "mc_states_explored_total"
+    ~help:"States in automata handed to the global model checker (summed at Sat.create)."
+
+let m_fixpoint_sweeps =
+  Metrics.counter "mc_fixpoint_sweeps_total"
+    ~help:"Full-state sweeps performed by the EG/AU/EU fixpoint iterations."
+
+let m_sat_set_size =
+  Metrics.histogram "mc_sat_set_size"
+    ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e6 13)
+    ~help:"Number of satisfying states per computed CTL subformula."
 
 type env = {
   auto : Automaton.t;
@@ -17,6 +31,7 @@ let create auto =
       (fun (t : Automaton.trans) -> predecessors.(t.dst) <- (s, t) :: predecessors.(t.dst))
       (Automaton.transitions_from auto s)
   done;
+  Metrics.add m_states_explored n;
   { auto; n; memo = Hashtbl.create 64; predecessors }
 
 let automaton env = env.auto
@@ -54,8 +69,10 @@ let backward_closure env target =
 let eg_fixpoint env fset =
   let out = Array.copy fset in
   let changed = ref true in
+  let sweeps = ref 0 in
   while !changed do
     changed := false;
+    incr sweeps;
     for s = 0 to env.n - 1 do
       if out.(s) && (not (blocking env s)) && not (exists_succ env out s) then begin
         out.(s) <- false;
@@ -63,14 +80,17 @@ let eg_fixpoint env fset =
       end
     done
   done;
+  Metrics.add m_fixpoint_sweeps !sweeps;
   out
 
 (* Least fixpoint for A(f U g) over maximal runs: a blocking ¬g state fails. *)
 let au_fixpoint env fset gset =
   let out = Array.copy gset in
   let changed = ref true in
+  let sweeps = ref 0 in
   while !changed do
     changed := false;
+    incr sweeps;
     for s = 0 to env.n - 1 do
       if (not out.(s)) && fset.(s) && (not (blocking env s)) && for_all_succ env out s then begin
         out.(s) <- true;
@@ -78,13 +98,16 @@ let au_fixpoint env fset gset =
       end
     done
   done;
+  Metrics.add m_fixpoint_sweeps !sweeps;
   out
 
 let eu_fixpoint env fset gset =
   let out = Array.copy gset in
   let changed = ref true in
+  let sweeps = ref 0 in
   while !changed do
     changed := false;
+    incr sweeps;
     for s = 0 to env.n - 1 do
       if (not out.(s)) && fset.(s) && exists_succ env out s then begin
         out.(s) <- true;
@@ -92,6 +115,7 @@ let eu_fixpoint env fset gset =
       end
     done
   done;
+  Metrics.add m_fixpoint_sweeps !sweeps;
   out
 
 (* Bounded operators: dynamic programming from the end of the window back to
@@ -105,6 +129,7 @@ let bounded_dp env ~hi ~step =
   for k = hi downto 0 do
     next := step k !next
   done;
+  Metrics.add m_fixpoint_sweeps (hi + 2);
   !next
 
 let af_bounded env { Ctl.lo; hi } fset =
@@ -154,6 +179,11 @@ let rec sat env (f : Ctl.t) =
   | None ->
     let v = compute env f in
     Hashtbl.add env.memo f v;
+    (* Counting the set is itself a sweep, so only pay it when collecting. *)
+    if Metrics.enabled () then begin
+      let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v in
+      Metrics.observe m_sat_set_size (float_of_int size)
+    end;
     v
 
 and compute env (f : Ctl.t) =

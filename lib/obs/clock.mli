@@ -1,0 +1,10 @@
+(** Time sources shared by the tracer, the metrics layer and the profiling
+    hooks.  All observability timestamps flow through here so a test (or a
+    future monotonic source) can reason about one clock, not four. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch ([Unix.gettimeofday]). *)
+
+val cpu : unit -> float
+(** Processor seconds consumed by this process ([Sys.time]); under several
+    domains this is the whole process, not the calling domain. *)

@@ -1,0 +1,218 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+(* -- parsing --------------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg = raise (Fail (c.pos, msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error c (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> error c (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar value as UTF-8 (for \uXXXX escapes). *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char b '"'; advance c
+      | Some '\\' -> Buffer.add_char b '\\'; advance c
+      | Some '/' -> Buffer.add_char b '/'; advance c
+      | Some 'b' -> Buffer.add_char b '\b'; advance c
+      | Some 'f' -> Buffer.add_char b '\012'; advance c
+      | Some 'n' -> Buffer.add_char b '\n'; advance c
+      | Some 'r' -> Buffer.add_char b '\r'; advance c
+      | Some 't' -> Buffer.add_char b '\t'; advance c
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.src then error c "truncated \\u escape";
+        let hex = String.sub c.src c.pos 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some u -> add_utf8 b u
+        | None -> error c (Printf.sprintf "bad \\u escape %S" hex));
+        c.pos <- c.pos + 4
+      | _ -> error c "bad escape");
+      go ()
+    | Some ch when Char.code ch < 0x20 -> error c "control character in string"
+    | Some ch ->
+      Buffer.add_char b ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek c with Some ch -> num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> error c "expected , or } in object"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error c "expected , or ] in array"
+      in
+      List (elements [])
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> error c (Printf.sprintf "unexpected character %c" ch)
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length src then
+      Error (Printf.sprintf "offset %d: trailing input" c.pos)
+    else Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "offset %d: %s" pos msg)
+
+(* -- printing -------------------------------------------------------------- *)
+
+let escape_into b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  escape_into b s;
+  Buffer.contents b
+
+let number f =
+  (* NaN has no JSON rendering; [null] keeps the document parseable *)
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_string v =
+  match v with
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> number f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | List vs -> "[" ^ String.concat "," (List.map to_string vs) ^ "]"
+  | Obj kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) kvs)
+    ^ "}"
+
+let member k v = match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_float v = match v with Num f -> Some f | _ -> None
+
+let to_str v = match v with Str s -> Some s | _ -> None

@@ -1,0 +1,38 @@
+(** A minimal JSON value type with a strict parser and printer.
+
+    The observability exporters write JSON by hand for speed; this module is
+    the other direction — validating that an emitted trace or report actually
+    parses (the CI smoke steps and the bench regression checker) without
+    pulling a JSON library into the image.  Numbers are kept as floats, which
+    loses nothing for the metric and timing payloads we emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict RFC-8259 subset: rejects trailing input, control characters in
+    strings, and malformed escapes.  [\uXXXX] escapes are decoded to UTF-8. *)
+
+val to_string : t -> string
+(** Compact one-line rendering; [parse (to_string v)] returns [v] up to
+    float formatting. *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Append the JSON string-escaping of a value (without the quotes) — the
+    streaming building block the exporters use. *)
+
+val number : float -> string
+(** JSON rendering of a float: integral values without a fraction, NaN as
+    [null]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on other constructors. *)
+
+val to_float : t -> float option
+
+val to_str : t -> string option

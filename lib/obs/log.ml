@@ -1,0 +1,47 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let current = Atomic.make Warn
+
+let set_level l = Atomic.set current l
+
+let level () = Atomic.get current
+
+let enabled l = l <> Quiet && rank l <= rank (Atomic.get current)
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" -> Ok Quiet
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ -> Error (Printf.sprintf "unknown log level %S (quiet|error|warn|info|debug)" s)
+
+let default_output l msg =
+  Printf.eprintf "mechaml: [%s] %s\n%!" (level_to_string l) msg
+
+let output = ref default_output
+
+let set_output f = output := f
+
+type 'a msgf = (('a, Format.formatter, unit, unit) format4 -> 'a) -> unit
+
+let msg l (msgf : 'a msgf) =
+  if enabled l then msgf (fun fmt -> Format.kasprintf (fun s -> !output l s) fmt)
+
+let err msgf = msg Error msgf
+
+let warn msgf = msg Warn msgf
+
+let info msgf = msg Info msgf
+
+let debug msgf = msg Debug msgf

@@ -1,0 +1,36 @@
+(** Leveled progress logging for the synthesis loop and its drivers.
+
+    Replaces the ad-hoc [Logs]/[Printf] progress output: one process-wide
+    level, settable from [mechaverify --log-level quiet/info/debug], with
+    [Quiet] actually silencing a run.  The message callback style matches
+    [Logs] ([Log.info (fun m -> m "fmt" …)]) so call sites read the same;
+    formatting cost is only paid when the level is enabled. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+(** Default: [Warn]. *)
+
+val level : unit -> level
+
+val enabled : level -> bool
+(** Would a message at this level be emitted? [enabled Quiet] is [false] —
+    [Quiet] is a threshold, not a message level. *)
+
+val level_of_string : string -> (level, string) result
+
+val level_to_string : level -> string
+
+val set_output : (level -> string -> unit) -> unit
+(** Replace the sink (default: one [mechaml: [level] …] line on stderr).
+    Tests install a collector; a [Quiet] run never calls the sink. *)
+
+type 'a msgf = (('a, Format.formatter, unit, unit) format4 -> 'a) -> unit
+
+val err : 'a msgf -> unit
+
+val warn : 'a msgf -> unit
+
+val info : 'a msgf -> unit
+
+val debug : 'a msgf -> unit

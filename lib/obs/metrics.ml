@@ -1,0 +1,283 @@
+let on = Atomic.make false
+
+let set_enabled b = Atomic.set on b
+
+let enabled () = Atomic.get on
+
+type counter = { c_value : int Atomic.t }
+
+type gauge = { g_value : float Atomic.t }
+
+(* Observations take the histogram's own mutex: histograms sit off the
+   hottest paths (phase ends, closure sizes), and a sum can't be updated
+   atomically without a CAS loop anyway. *)
+type histogram = {
+  bounds : float array;
+  counts : int array;  (* length bounds + 1; last is the +Inf overflow *)
+  mutable sum : float;
+  mutable total : int;
+  h_mutex : Mutex.t;
+}
+
+type kind =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type meta = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  kind : kind;
+}
+
+let registry : (string, meta) Hashtbl.t = Hashtbl.create 64
+
+let registry_mutex = Mutex.create ()
+
+let render_label_value b v =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v
+
+let render_labels labels =
+  if labels = [] then ""
+  else begin
+    let b = Buffer.create 32 in
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        render_label_value b v;
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  end
+
+let key name labels = name ^ render_labels labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Idempotent registration: an existing name/label pair is returned as-is
+   (its kind checked by the caller-specific wrappers below). *)
+let register name labels help make =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      let k = key name labels in
+      match Hashtbl.find_opt registry k with
+      | Some m -> m.kind
+      | None ->
+        let kind = make () in
+        Hashtbl.replace registry k { name; labels; help; kind };
+        kind)
+
+let counter ?(labels = []) ~help name =
+  match register name labels help (fun () -> Counter { c_value = Atomic.make 0 }) with
+  | Counter c -> c
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.counter: %s already registered as a %s" name (kind_name k))
+
+let gauge ?(labels = []) ~help name =
+  match register name labels help (fun () -> Gauge { g_value = Atomic.make 0. }) with
+  | Gauge g -> g
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.gauge: %s already registered as a %s" name (kind_name k))
+
+let log_buckets ~lo ~hi n =
+  if not (lo > 0. && hi > lo && n >= 2) then
+    invalid_arg "Obs.Metrics.log_buckets: need 0 < lo < hi and n >= 2";
+  let ratio = (hi /. lo) ** (1. /. float_of_int (n - 1)) in
+  List.init n (fun i -> lo *. (ratio ** float_of_int i))
+
+let default_buckets = lazy (log_buckets ~lo:1e-6 ~hi:100. 17)
+
+let histogram ?(labels = []) ?buckets ~help name =
+  let bounds =
+    let bs = match buckets with Some bs -> bs | None -> Lazy.force default_buckets in
+    let a = Array.of_list bs in
+    if Array.length a = 0 then invalid_arg "Obs.Metrics.histogram: empty buckets";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= a.(i - 1) then
+          invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing")
+      a;
+    a
+  in
+  let make () =
+    Histogram
+      {
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.;
+        total = 0;
+        h_mutex = Mutex.create ();
+      }
+  in
+  match register name labels help make with
+  | Histogram h -> h
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.histogram: %s already registered as a %s" name (kind_name k))
+
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_value 1)
+
+let add c n = if Atomic.get on && n > 0 then ignore (Atomic.fetch_and_add c.c_value n)
+
+let set g v = if Atomic.get on then Atomic.set g.g_value v
+
+let observe h v =
+  if Atomic.get on then begin
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    Mutex.lock h.h_mutex;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.sum <- h.sum +. v;
+    h.total <- h.total + 1;
+    Mutex.unlock h.h_mutex
+  end
+
+let counter_value c = Atomic.get c.c_value
+
+let gauge_value g = Atomic.get g.g_value
+
+let with_hist h f =
+  Mutex.lock h.h_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) f
+
+let histogram_sum h = with_hist h (fun () -> h.sum)
+
+let histogram_count h = with_hist h (fun () -> h.total)
+
+let bucket_counts h =
+  with_hist h (fun () ->
+      List.init
+        (Array.length h.counts)
+        (fun i ->
+          let bound = if i < Array.length h.bounds then h.bounds.(i) else infinity in
+          (bound, h.counts.(i))))
+
+let sorted_metrics () =
+  Mutex.lock registry_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) ms
+
+(* Prometheus renders every sample value as a float; [%.17g]-style noise is
+   avoided by printing integral values without a fraction. *)
+let prom_float f =
+  if f = infinity then "+Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  let last_header = ref "" in
+  List.iter
+    (fun m ->
+      if m.name <> !last_header then begin
+        last_header := m.name;
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.kind))
+      end;
+      match m.kind with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels) (counter_value c))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+             (prom_float (gauge_value g)))
+      | Histogram h ->
+        let buckets, sum, total =
+          with_hist h (fun () -> (Array.copy h.counts, h.sum, h.total))
+        in
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cumulative := !cumulative + n;
+            let le =
+              if i < Array.length h.bounds then prom_float h.bounds.(i) else "+Inf"
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" m.name
+                 (render_labels (m.labels @ [ ("le", le) ]))
+                 !cumulative))
+          buckets;
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels) (prom_float sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels) total))
+    (sorted_metrics ());
+  Buffer.contents b
+
+let to_json () =
+  let open Json in
+  let labels_json labels = Obj (List.map (fun (k, v) -> (k, Str v)) labels) in
+  let metric m =
+    let base =
+      [ ("name", Str m.name); ("labels", labels_json m.labels); ("kind", Str (kind_name m.kind)) ]
+    in
+    let payload =
+      match m.kind with
+      | Counter c -> [ ("value", Num (float_of_int (counter_value c))) ]
+      | Gauge g -> [ ("value", Num (gauge_value g)) ]
+      | Histogram h ->
+        let buckets =
+          List.map
+            (fun (le, n) ->
+              Obj
+                [
+                  ("le", if le = infinity then Str "+Inf" else Num le);
+                  ("count", Num (float_of_int n));
+                ])
+            (bucket_counts h)
+        in
+        [
+          ("buckets", List buckets);
+          ("sum", Num (histogram_sum h));
+          ("count", Num (float_of_int (histogram_count h)));
+        ]
+    in
+    Obj (base @ payload)
+  in
+  to_string
+    (Obj
+       [
+         ("schema", Str "mechaml-metrics/1");
+         ("metrics", List (List.map metric (sorted_metrics ())));
+       ])
+  ^ "\n"
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun m ->
+      match m.kind with
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.
+      | Histogram h ->
+        with_hist h (fun () ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.sum <- 0.;
+            h.total <- 0))
+    ms

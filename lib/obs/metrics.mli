@@ -1,0 +1,84 @@
+(** A process-wide registry of counters, gauges, and histograms.
+
+    Metrics are registered by name (plus optional static labels) and exported
+    in the Prometheus text exposition format or as JSON.  Registration is
+    idempotent: asking for an existing name/label pair returns the existing
+    metric, so modules can declare their instruments at toplevel or lazily at
+    the call site without coordination.  Re-registering a name as a different
+    kind is a programming error and raises [Invalid_argument].
+
+    Collection is off by default: every mutation ([incr], [add], [set],
+    [observe]) first reads one atomic flag and returns immediately when
+    disabled, so instrumented hot paths pay a load and a branch.  Enable with
+    [set_enabled true] ([mechaverify --metrics-out] and [bench --json] do). *)
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** {1 Instruments} *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : ?labels:(string * string) list -> help:string -> string -> counter
+(** Monotonically increasing count.  By Prometheus convention the name should
+    end in [_total]. *)
+
+val gauge : ?labels:(string * string) list -> help:string -> string -> gauge
+
+val histogram :
+  ?labels:(string * string) list ->
+  ?buckets:float list ->
+  help:string ->
+  string ->
+  histogram
+(** Distribution with cumulative buckets.  [buckets] are the upper bounds
+    (strictly increasing; an implicit [+Inf] bucket is always added).
+    Default: {!log_buckets}[ ~lo:1e-6 ~hi:100. 17], log-scaled seconds from a
+    microsecond to 100s. *)
+
+val log_buckets : lo:float -> hi:float -> int -> float list
+(** [n] geometrically spaced bounds from [lo] to [hi] inclusive — the right
+    shape for latencies and state-space sizes, which span orders of
+    magnitude.  Requires [0 < lo < hi] and [n >= 2]. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Negative amounts are ignored: counters only go up. *)
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading (tests and exporters)} *)
+
+val counter_value : counter -> int
+
+val gauge_value : gauge -> float
+
+val histogram_sum : histogram -> float
+
+val histogram_count : histogram -> int
+
+val bucket_counts : histogram -> (float * int) list
+(** Per-bucket (non-cumulative) counts, one pair per upper bound, the
+    [+Inf] overflow bucket last as [(infinity, n)]. *)
+
+(** {1 Export} *)
+
+val to_prometheus : unit -> string
+(** Text exposition format: one [# HELP]/[# TYPE] header per metric name,
+    samples sorted by name then labels, histograms expanded to
+    [_bucket{le=...}]/[_sum]/[_count]. *)
+
+val to_json : unit -> string
+(** The same data as a JSON object ([{"schema":"mechaml-metrics/1",
+    "metrics":[...]}]); parses with {!Json.parse}. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive).  For tests. *)

@@ -1,0 +1,96 @@
+let phase_seconds name =
+  Metrics.histogram "phase_seconds"
+    ~labels:[ ("phase", name) ]
+    ~help:"Wall-clock duration of instrumented phases, by phase name."
+
+let phase_cpu_seconds name =
+  Metrics.histogram "phase_cpu_seconds"
+    ~labels:[ ("phase", name) ]
+    ~help:"CPU time consumed by instrumented phases, by phase name."
+
+let gc_minor_words name =
+  Metrics.counter "gc_minor_words_total"
+    ~labels:[ ("phase", name) ]
+    ~help:"Words allocated on the minor heap during instrumented phases."
+
+let gc_major_collections name =
+  Metrics.counter "gc_major_collections_total"
+    ~labels:[ ("phase", name) ]
+    ~help:"Major collections completed during instrumented phases."
+
+type instruments = {
+  seconds : Metrics.histogram;
+  cpu_seconds : Metrics.histogram;
+  minor_words : Metrics.counter;
+  major_collections : Metrics.counter;
+}
+
+(* Phase names are a small fixed set, so the registry lookups (a mutex and a
+   hashtable probe each) are paid once per name, not once per phase: the
+   cache is a CAS-maintained assoc list read without synchronisation.
+   Losing the CAS race just re-registers idempotently. *)
+let cache : (string * instruments) list Atomic.t = Atomic.make []
+
+let rec instruments name =
+  match List.assoc_opt name (Atomic.get cache) with
+  | Some i -> i
+  | None ->
+    let i =
+      {
+        seconds = phase_seconds name;
+        cpu_seconds = phase_cpu_seconds name;
+        minor_words = gc_minor_words name;
+        major_collections = gc_major_collections name;
+      }
+    in
+    let seen = Atomic.get cache in
+    if Atomic.compare_and_set cache seen ((name, i) :: seen) then i
+    else instruments name
+
+let phase ?(args = []) ~name f =
+  let tracing = Trace.is_enabled () in
+  let metrics = Metrics.enabled () in
+  if not (tracing || metrics) then f ()
+  else begin
+    let g0 = Gc.quick_stat () in
+    let w0 = Clock.wall () in
+    let c0 = Clock.cpu () in
+    let t0 = if tracing then Trace.now_us () else 0. in
+    let finish () =
+      let wall = Clock.wall () -. w0 in
+      let cpu = Clock.cpu () -. c0 in
+      let g1 = Gc.quick_stat () in
+      let minor_words = g1.minor_words -. g0.minor_words in
+      let major_words = g1.major_words -. g0.major_words in
+      let minors = g1.minor_collections - g0.minor_collections in
+      let majors = g1.major_collections - g0.major_collections in
+      if metrics then begin
+        let i = instruments name in
+        Metrics.observe i.seconds wall;
+        Metrics.observe i.cpu_seconds cpu;
+        Metrics.add i.minor_words (int_of_float minor_words);
+        Metrics.add i.major_collections majors
+      end;
+      if tracing then
+        Trace.complete ~name ~start_us:t0
+          ~args:
+            (args
+            @ [
+                ("wall_s", Trace.Float wall);
+                ("cpu_s", Trace.Float cpu);
+                ("minor_words", Trace.Float minor_words);
+                ("major_words", Trace.Float major_words);
+                ("minor_collections", Trace.Int minors);
+                ("major_collections", Trace.Int majors);
+              ])
+          ()
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end

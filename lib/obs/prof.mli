@@ -1,0 +1,19 @@
+(** Per-phase profiling: wall/CPU time plus GC deltas around a computation.
+
+    [phase ~name f] is [Trace.with_span] plus a [Gc.quick_stat] sample on
+    both sides.  When tracing is on, the span carries [wall_s], [cpu_s],
+    [minor_words], [major_words], and collection counts as arguments; when
+    metrics are on, the duration feeds a [phase_seconds{phase=name}]
+    histogram and the GC deltas feed [gc_minor_words_total]/
+    [gc_major_collections_total] counters.  With both off it is the same
+    check-and-call as a disabled span.
+
+    GC numbers are process-wide, so a phase's deltas include allocation by
+    concurrently running domains; within one domain (the synthesis loop, a
+    pool worker's task) they attribute allocation to phases exactly. *)
+
+val phase : ?args:(string * Trace.arg) list -> name:string -> (unit -> 'a) -> 'a
+
+val phase_seconds : string -> Metrics.histogram
+(** The histogram [phase] feeds for a given phase name — exposed so tests
+    and reports can read back what was recorded. *)

@@ -1,0 +1,169 @@
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+let enabled = Atomic.make false
+
+(* Trace timestamps are microseconds since the first [enable] of the
+   process, so a trace starts near t=0 instead of at the Unix epoch. *)
+let epoch = Atomic.make 0.
+
+let enable () =
+  if Atomic.get epoch = 0. then Atomic.set epoch (Clock.wall ());
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+let is_enabled () = Atomic.get enabled
+
+(* One buffer per domain.  A domain only ever appends to its own buffer
+   (reached through domain-local storage), so recording takes no lock; the
+   global registry is locked only when a domain records its first span. *)
+type buffer = { tid : int; mutable events : string list; mutable count : int }
+
+let registry_mutex = Mutex.create ()
+
+let buffers : buffer list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b = { tid = (Domain.self () :> int); events = []; count = 0 } in
+      Mutex.lock registry_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_mutex;
+      b)
+
+let now_us () = (Clock.wall () -. Atomic.get epoch) *. 1e6
+
+let render_arg b (k, v) =
+  Buffer.add_char b '"';
+  Json.escape_into b k;
+  Buffer.add_string b "\":";
+  match v with
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    (* 9 significant digits: plenty for observability payloads, and far
+       cheaper to format than the round-trippable 17 of [Json.number] *)
+    Buffer.add_string b
+      (if Float.is_integer f then Json.number f else Printf.sprintf "%.9g" f)
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Str s ->
+    Buffer.add_char b '"';
+    Json.escape_into b s;
+    Buffer.add_char b '"'
+
+(* Timestamps carry one decimal digit of microseconds — the clock's own
+   resolution — rendered without going through Printf: format
+   interpretation costs more than the rest of the event put together. *)
+let add_us b us =
+  let tenths = int_of_float ((us *. 10.) +. 0.5) in
+  Buffer.add_string b (string_of_int (tenths / 10));
+  Buffer.add_char b '.';
+  Buffer.add_string b (string_of_int (tenths mod 10))
+
+(* Events are rendered to their final JSON at record time: no retained
+   structure, and export is a concatenation. *)
+let render ~name ~ph ~tid ~ts_us ~dur_us ~args =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"name\":\"";
+  Json.escape_into b name;
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int tid);
+  Buffer.add_string b ",\"ts\":";
+  add_us b ts_us;
+  (match dur_us with
+  | Some d ->
+    Buffer.add_string b ",\"dur\":";
+    add_us b d
+  | None -> ());
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i kv ->
+        if i > 0 then Buffer.add_char b ',';
+        render_arg b kv)
+      args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let record buf ev =
+  buf.events <- ev :: buf.events;
+  buf.count <- buf.count + 1
+
+let with_span ?(args = []) ~name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let buf = Domain.DLS.get key in
+    let t0 = now_us () in
+    let close () =
+      record buf
+        (render ~name ~ph:"X" ~tid:buf.tid ~ts_us:t0 ~dur_us:(Some (now_us () -. t0)) ~args)
+    in
+    match f () with
+    | v ->
+      close ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let complete ?(args = []) ~name ~start_us () =
+  if Atomic.get enabled then begin
+    let buf = Domain.DLS.get key in
+    record buf
+      (render ~name ~ph:"X" ~tid:buf.tid ~ts_us:start_us
+         ~dur_us:(Some (now_us () -. start_us))
+         ~args)
+  end
+
+let instant ?(args = []) ~name () =
+  if Atomic.get enabled then begin
+    let buf = Domain.DLS.get key in
+    record buf (render ~name ~ph:"i" ~tid:buf.tid ~ts_us:(now_us ()) ~dur_us:None ~args)
+  end
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let bs = !buffers in
+  Mutex.unlock registry_mutex;
+  bs
+
+let span_count () = List.fold_left (fun acc b -> acc + b.count) 0 (snapshot ())
+
+let export () =
+  let events =
+    List.concat_map (fun b -> List.rev b.events) (List.rev (snapshot ()))
+  in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "[";
+  List.iteri
+    (fun i ev ->
+      Buffer.add_string out (if i = 0 then "\n" else ",\n");
+      Buffer.add_string out ev)
+    events;
+  Buffer.add_string out "\n]\n";
+  Buffer.contents out
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write ~path =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export ()))
+
+let reset () =
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.count <- 0)
+    (snapshot ())

@@ -1,0 +1,55 @@
+(** Span-based tracing with Chrome [trace_event] export.
+
+    [with_span] wraps a computation in a span; enabled spans record one
+    complete ("ph":"X") event — name, wall-clock timestamp, duration, the
+    recording domain as the thread id, and optional key/value arguments —
+    into a lock-free per-domain buffer (each domain appends only to its own
+    buffer, created on first use; the global registry of buffers is touched
+    once per domain).  When tracing is disabled, [with_span] is a single
+    atomic load and a direct call — instrumentation can stay on hot paths.
+
+    [export] renders everything recorded so far as a JSON array in the
+    Chrome [trace_event] format, loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.  Export and [reset] read the other
+    domains' buffers without synchronisation: call them when the traced
+    workload is quiescent (e.g. after {!Mechaml_engine.Pool.map} has joined
+    its workers), which every in-tree caller does. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+val enable : unit -> unit
+(** Start recording.  The first [enable] of a process fixes the trace epoch
+    (timestamps are microseconds since it). *)
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val with_span : ?args:(string * arg) list -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  The span closes (and is recorded) whether
+    the thunk returns or raises.  Nesting is expressed by containment of the
+    [ts, ts+dur] intervals on one thread id, exactly how the Chrome viewers
+    reconstruct it. *)
+
+val instant : ?args:(string * arg) list -> name:string -> unit -> unit
+(** Record a zero-duration instant event (a point-in-time marker). *)
+
+val now_us : unit -> float
+(** Microseconds since the trace epoch — the timestamp base for [complete]. *)
+
+val complete : ?args:(string * arg) list -> name:string -> start_us:float -> unit -> unit
+(** Record a span from [start_us] to now.  For instrumentation that only
+    knows its arguments after the fact (e.g. {!Prof.phase} attaching GC
+    deltas); prefer [with_span] otherwise — it also closes on exceptions. *)
+
+val span_count : unit -> int
+(** Events recorded (across all domains) since the last [reset]. *)
+
+val export : unit -> string
+(** The recorded events as a Chrome trace JSON array, ending in a newline. *)
+
+val write : path:string -> unit
+(** [export] to a file, creating parent directories. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (buffers stay registered). *)

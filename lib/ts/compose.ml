@@ -1,4 +1,16 @@
 module Bitset = Mechaml_util.Bitset
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+
+let m_product_states =
+  Metrics.histogram "ts_product_states"
+    ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e6 13)
+    ~help:"Reachable states per parallel product construction."
+
+let m_product_transitions =
+  Metrics.histogram "ts_product_transitions"
+    ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e7 15)
+    ~help:"Transitions per parallel product construction."
 
 type product = {
   auto : Automaton.t;
@@ -29,7 +41,7 @@ let mask_of cross =
 
 let translate cross s = Bitset.fold (fun i acc -> Bitset.add cross.(i) acc) s Bitset.empty
 
-let parallel (left : Automaton.t) (right : Automaton.t) =
+let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
   if not (Automaton.composable left right) then
     invalid_arg
       (Printf.sprintf "Compose.parallel: %s and %s are not composable" left.Automaton.name
@@ -138,6 +150,33 @@ let parallel (left : Automaton.t) (right : Automaton.t) =
     Automaton.Builder.build builder
   in
   { auto; left; right; pairs }
+
+let parallel left right =
+  let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
+  let p = parallel_unobserved left right in
+  if t0 <> None || Metrics.enabled () then begin
+    let states = Automaton.num_states p.auto in
+    (* the transition count walks every adjacency list — worth it for the
+       size histograms, too slow for the per-span fast path when only
+       tracing is on *)
+    if Metrics.enabled () then begin
+      Metrics.observe m_product_states (float_of_int states);
+      Metrics.observe m_product_transitions
+        (float_of_int (Automaton.num_transitions p.auto))
+    end;
+    match t0 with
+    | Some start_us ->
+      Trace.complete ~name:"ts.compose" ~start_us
+        ~args:
+          [
+            ("left", Trace.Str left.Automaton.name);
+            ("right", Trace.Str right.Automaton.name);
+            ("states", Trace.Int states);
+          ]
+        ()
+    | None -> ()
+  end;
+  p
 
 let parallel_many = function
   | [] -> invalid_arg "Compose.parallel_many: empty list"

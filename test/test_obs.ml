@@ -1,0 +1,329 @@
+(* Observability layer: the hand-rolled JSON codec, the span tracer, the
+   metrics registry, the profiling hooks and the leveled logger — plus the
+   load-bearing contract that none of it changes a verdict: a traced,
+   metered campaign produces the byte-identical canonical report of a bare
+   one, sequentially and on a pool. *)
+
+module Json = Mechaml_obs.Json
+module Trace = Mechaml_obs.Trace
+module Metrics = Mechaml_obs.Metrics
+module Prof = Mechaml_obs.Prof
+module Log = Mechaml_obs.Log
+module Campaign = Mechaml_engine.Campaign
+module Report = Mechaml_engine.Report
+open Helpers
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let parse_exn s =
+  match Json.parse s with Ok v -> v | Error m -> Alcotest.fail ("parse: " ^ m)
+
+(* every test leaves the process-wide observability state as it found it:
+   disabled, empty buffers, default log level *)
+let pristine f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ();
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Log.set_level Log.Warn;
+      Log.set_output (fun _ _ -> ()))
+    f
+
+let obs_test name f = test name (pristine f)
+
+(* -- json ----------------------------------------------------------------- *)
+
+let json_tests =
+  [
+    test "round trip through to_string and parse" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("a", Json.List [ Json.Num 1.; Json.Num 2.5; Json.Null ]);
+              ("s", Json.Str "he \"said\"\n\ttab");
+              ("b", Json.Bool true);
+              ("neg", Json.Num (-0.125));
+            ]
+        in
+        Alcotest.(check bool) "round trip" true (parse_exn (Json.to_string v) = v));
+    test "parses nested literals and unicode escapes" (fun () ->
+        match parse_exn {|{"k": [true, false, null, "éA"], "n": -1e-3}|} with
+        | Json.Obj [ ("k", Json.List [ Json.Bool true; Json.Bool false; Json.Null; Json.Str s ]); ("n", Json.Num n) ] ->
+          check_string "utf-8 decoded" "\xc3\xa9A" s;
+          check_float "exponent" (-0.001) n
+        | _ -> Alcotest.fail "unexpected shape");
+    test "rejects malformed input" (fun () ->
+        List.iter
+          (fun s ->
+            match Json.parse s with
+            | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+            | Error _ -> ())
+          [ "{"; "[1,]"; "tru"; "\"unterminated"; "\"bad \\x escape\"";
+            "\"ctrl \x01 char\""; "1 2"; "{\"a\" 1}"; "" ]);
+    test "numbers render integral without a fraction, NaN as null" (fun () ->
+        check_string "integral" "42" (Json.number 42.);
+        check_string "nan" "null" (Json.number Float.nan);
+        check_bool "fraction survives" true
+          (parse_exn (Json.number 0.1) = Json.Num 0.1));
+    test "member and coercions" (fun () ->
+        let v = parse_exn {|{"x": 3, "s": "hi"}|} in
+        check_bool "x" true (Option.bind (Json.member "x" v) Json.to_float = Some 3.);
+        check_bool "s" true (Option.bind (Json.member "s" v) Json.to_str = Some "hi");
+        check_bool "missing" true (Json.member "nope" v = None));
+  ]
+
+(* -- trace ---------------------------------------------------------------- *)
+
+let events_of_export () =
+  match parse_exn (Trace.export ()) with
+  | Json.List events -> events
+  | _ -> Alcotest.fail "export is not an array"
+
+let spans_named name events =
+  List.filter
+    (fun e -> Option.bind (Json.member "name" e) Json.to_str = Some name)
+    events
+
+let trace_tests =
+  [
+    obs_test "disabled tracing records nothing and costs no wrapper" (fun () ->
+        check_int "quiescent" 0 (Trace.span_count ());
+        check_int "value passes through" 7 (Trace.with_span ~name:"t" (fun () -> 7));
+        check_int "still nothing" 0 (Trace.span_count ()));
+    obs_test "spans nest by interval containment on one tid" (fun () ->
+        Trace.enable ();
+        Trace.with_span ~name:"outer" (fun () ->
+            Trace.with_span ~name:"inner" (fun () -> ()));
+        let events = events_of_export () in
+        check_int "two spans" 2 (List.length events);
+        let bounds name =
+          match spans_named name events with
+          | [ e ] ->
+            let f k = Option.get (Option.bind (Json.member k e) Json.to_float) in
+            (f "ts", f "ts" +. f "dur")
+          | _ -> Alcotest.fail ("missing span " ^ name)
+        in
+        let os, oe = bounds "outer" and is_, ie = bounds "inner" in
+        check_bool "contained" true (os <= is_ && ie <= oe));
+    obs_test "a raising thunk still records its span and re-raises" (fun () ->
+        Trace.enable ();
+        (match Trace.with_span ~name:"boom" (fun () -> failwith "pop") with
+        | exception Failure m -> check_string "exception preserved" "pop" m
+        | _ -> Alcotest.fail "exception swallowed");
+        check_int "span recorded" 1 (List.length (events_of_export ())));
+    obs_test "args, instants and post-hoc completes land in the export" (fun () ->
+        Trace.enable ();
+        Trace.with_span ~name:"s" ~args:[ ("n", Trace.Int 3); ("ok", Trace.Bool true) ]
+          (fun () -> ());
+        Trace.instant ~name:"mark" ();
+        let t0 = Trace.now_us () in
+        Trace.complete ~name:"late" ~start_us:t0 ~args:[ ("v", Trace.Float 0.5) ] ();
+        let events = events_of_export () in
+        check_int "three events" 3 (List.length events);
+        (match spans_named "s" events with
+        | [ e ] ->
+          let args = Option.get (Json.member "args" e) in
+          check_bool "int arg" true
+            (Option.bind (Json.member "n" args) Json.to_float = Some 3.)
+        | _ -> Alcotest.fail "span s lost");
+        match spans_named "mark" events with
+        | [ e ] ->
+          check_bool "instant phase" true
+            (Option.bind (Json.member "ph" e) Json.to_str = Some "i")
+        | _ -> Alcotest.fail "instant lost");
+    obs_test "spans from spawned domains keep distinct tids" (fun () ->
+        Trace.enable ();
+        Trace.with_span ~name:"main" (fun () -> ());
+        let d =
+          Domain.spawn (fun () -> Trace.with_span ~name:"worker" (fun () -> ()))
+        in
+        Domain.join d;
+        let tid name =
+          match spans_named name (events_of_export ()) with
+          | [ e ] -> Option.get (Option.bind (Json.member "tid" e) Json.to_float)
+          | _ -> Alcotest.fail ("missing span " ^ name)
+        in
+        check_bool "distinct tids" true (tid "main" <> tid "worker"));
+    obs_test "reset drops events, disable stops recording" (fun () ->
+        Trace.enable ();
+        Trace.with_span ~name:"a" (fun () -> ());
+        Trace.reset ();
+        check_int "dropped" 0 (Trace.span_count ());
+        Trace.disable ();
+        Trace.with_span ~name:"b" (fun () -> ());
+        check_int "not recording" 0 (Trace.span_count ()));
+  ]
+
+(* -- metrics -------------------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    obs_test "counters and gauges mutate only while enabled" (fun () ->
+        let c = Metrics.counter ~help:"h" "obs_test_enabled_total" in
+        let g = Metrics.gauge ~help:"h" "obs_test_gauge" in
+        Metrics.incr c;
+        Metrics.set g 5.;
+        check_int "disabled incr dropped" 0 (Metrics.counter_value c);
+        check_float "disabled set dropped" 0. (Metrics.gauge_value g);
+        Metrics.set_enabled true;
+        Metrics.incr c;
+        Metrics.add c 4;
+        Metrics.add c (-7);
+        Metrics.set g 2.5;
+        check_int "incr + add, negatives ignored" 5 (Metrics.counter_value c);
+        check_float "gauge set" 2.5 (Metrics.gauge_value g));
+    obs_test "registration is idempotent; kind mismatch raises" (fun () ->
+        Metrics.set_enabled true;
+        let a = Metrics.counter ~help:"h" "obs_test_idem_total" in
+        let b = Metrics.counter ~help:"h" "obs_test_idem_total" in
+        Metrics.incr a;
+        Metrics.incr b;
+        check_int "same instrument" 2 (Metrics.counter_value a);
+        match Metrics.gauge ~help:"h" "obs_test_idem_total" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "kind mismatch accepted");
+    obs_test "histogram buckets partition observations" (fun () ->
+        Metrics.set_enabled true;
+        let h =
+          Metrics.histogram ~buckets:[ 1.; 10.; 100. ] ~help:"h" "obs_test_hist"
+        in
+        List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 1000. ];
+        check_int "count" 5 (Metrics.histogram_count h);
+        check_float "sum" 1060.5 (Metrics.histogram_sum h);
+        match Metrics.bucket_counts h with
+        | [ (1., 1); (10., 2); (100., 1); (inf, 1) ] when inf = Float.infinity -> ()
+        | counts ->
+          Alcotest.fail
+            (String.concat ";"
+               (List.map (fun (b, n) -> Printf.sprintf "%g:%d" b n) counts)));
+    obs_test "log_buckets spans lo..hi geometrically" (fun () ->
+        match Metrics.log_buckets ~lo:1. ~hi:100. 3 with
+        | [ a; b; c ] ->
+          check_float "lo" 1. a;
+          check_float "mid" 10. b;
+          check_float "hi" 100. c
+        | _ -> Alcotest.fail "expected three bounds");
+    obs_test "prometheus export has one header per name and no duplicate samples"
+      (fun () ->
+        Metrics.set_enabled true;
+        Metrics.incr (Metrics.counter ~help:"h" ~labels:[ ("k", "a") ] "obs_test_lbl_total");
+        Metrics.incr (Metrics.counter ~help:"h" ~labels:[ ("k", "b") ] "obs_test_lbl_total");
+        Metrics.observe (Metrics.histogram ~buckets:[ 1. ] ~help:"h" "obs_test_ph") 0.5;
+        let lines = String.split_on_char '\n' (Metrics.to_prometheus ()) in
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun l ->
+            if l <> "" then begin
+              let key =
+                if String.length l > 0 && l.[0] = '#' then l
+                else
+                  match String.rindex_opt l ' ' with
+                  | Some i -> String.sub l 0 i
+                  | None -> l
+              in
+              check_bool ("unique: " ^ key) false (Hashtbl.mem seen key);
+              Hashtbl.add seen key ()
+            end)
+          lines;
+        check_bool "both label sets exported" true
+          (List.exists (fun l -> l = "obs_test_lbl_total{k=\"a\"} 1") lines
+          && List.exists (fun l -> l = "obs_test_lbl_total{k=\"b\"} 1") lines));
+    obs_test "json export parses and carries the samples" (fun () ->
+        Metrics.set_enabled true;
+        let c = Metrics.counter ~help:"h" "obs_test_json_total" in
+        Metrics.add c 9;
+        let v = parse_exn (Metrics.to_json ()) in
+        check_bool "schema" true
+          (Option.bind (Json.member "schema" v) Json.to_str = Some "mechaml-metrics/1");
+        match Json.member "metrics" v with
+        | Some (Json.List ms) ->
+          check_bool "sample present" true
+            (List.exists
+               (fun m ->
+                 Option.bind (Json.member "name" m) Json.to_str
+                 = Some "obs_test_json_total"
+                 && Option.bind (Json.member "value" m) Json.to_float = Some 9.)
+               ms)
+        | _ -> Alcotest.fail "no metrics array");
+    obs_test "reset zeroes values but keeps registrations" (fun () ->
+        Metrics.set_enabled true;
+        let c = Metrics.counter ~help:"h" "obs_test_reset_total" in
+        Metrics.incr c;
+        Metrics.reset ();
+        check_int "zeroed" 0 (Metrics.counter_value c);
+        Metrics.incr c;
+        check_int "still live" 1 (Metrics.counter_value c));
+  ]
+
+(* -- prof + log ----------------------------------------------------------- *)
+
+let prof_log_tests =
+  [
+    obs_test "phase observes its duration histogram and traces GC deltas" (fun () ->
+        Metrics.set_enabled true;
+        Trace.enable ();
+        check_int "result passes through" 3 (Prof.phase ~name:"obs_test_phase" (fun () -> 3));
+        check_int "one observation" 1
+          (Metrics.histogram_count (Prof.phase_seconds "obs_test_phase"));
+        match spans_named "obs_test_phase" (events_of_export ()) with
+        | [ e ] ->
+          let args = Option.get (Json.member "args" e) in
+          check_bool "wall_s attached" true (Json.member "wall_s" args <> None);
+          check_bool "minor_words attached" true (Json.member "minor_words" args <> None)
+        | _ -> Alcotest.fail "phase span lost");
+    obs_test "log levels filter and quiet silences everything" (fun () ->
+        let hits = ref [] in
+        Log.set_output (fun level msg -> hits := (level, msg) :: !hits);
+        Log.set_level Log.Info;
+        Log.info (fun m -> m "seen %d" 1);
+        Log.debug (fun m -> m "dropped");
+        check_int "info passed, debug filtered" 1 (List.length !hits);
+        check_bool "formatted" true (snd (List.hd !hits) = "seen 1");
+        Log.set_level Log.Quiet;
+        Log.err (fun m -> m "never");
+        check_int "quiet drops even errors" 1 (List.length !hits);
+        check_bool "enabled reflects quiet" false (Log.enabled Log.Error));
+    obs_test "level names round trip" (fun () ->
+        List.iter
+          (fun l ->
+            match Log.level_of_string (Log.level_to_string l) with
+            | Ok l' -> check_bool (Log.level_to_string l) true (l = l')
+            | Error m -> Alcotest.fail m)
+          [ Log.Quiet; Log.Error; Log.Warn; Log.Info; Log.Debug ];
+        check_bool "unknown rejected" true (Result.is_error (Log.level_of_string "loud")));
+  ]
+
+(* -- verdict neutrality --------------------------------------------------- *)
+
+let neutrality_tests =
+  [
+    obs_test "tracing and metrics never change a canonical report" (fun () ->
+        let matrix () = Campaign.bundled ~tiny:true () in
+        let bare = Report.canonical (Campaign.run ~jobs:1 (matrix ())) in
+        List.iter
+          (fun jobs ->
+            Trace.enable ();
+            Metrics.set_enabled true;
+            let observed = Report.canonical (Campaign.run ~jobs (matrix ())) in
+            Trace.disable ();
+            Trace.reset ();
+            Metrics.set_enabled false;
+            let silent = Report.canonical (Campaign.run ~jobs (matrix ())) in
+            check_string
+              (Printf.sprintf "observed jobs=%d = bare" jobs)
+              bare observed;
+            check_string (Printf.sprintf "silent jobs=%d = bare" jobs) bare silent)
+          [ 1; 4 ]);
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json", json_tests);
+      ("trace", trace_tests);
+      ("metrics", metrics_tests);
+      ("prof+log", prof_log_tests);
+      ("neutrality", neutrality_tests);
+    ]

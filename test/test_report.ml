@@ -1,0 +1,53 @@
+(* Report serialization details: RFC-4180 CSV field encoding.  The campaign
+   CSV carries free-form text (job ids, error messages from Failed verdicts,
+   fault profile names), so the quoting rules are load-bearing: a crash
+   message containing a comma or newline must not shear a row. *)
+
+module Report = Mechaml_engine.Report
+open Helpers
+
+let field = Report.csv_field
+
+let unit_tests =
+  [
+    test "plain fields pass through verbatim" (fun () ->
+        check_string "word" "proved" (field "proved");
+        check_string "empty" "" (field "");
+        check_string "spaces ok" "a b c" (field "a b c");
+        check_string "id chars" "railcab/correct/constraint/bfs"
+          (field "railcab/correct/constraint/bfs"));
+    test "a comma forces quoting" (fun () ->
+        check_string "comma" "\"a,b\"" (field "a,b");
+        check_string "leading comma" "\",x\"" (field ",x"));
+    test "embedded quotes are doubled inside a quoted field" (fun () ->
+        check_string "one quote" "\"say \"\"hi\"\"\"" (field "say \"hi\"");
+        check_string "only a quote" "\"\"\"\"" (field "\""));
+    test "newlines and carriage returns force quoting" (fun () ->
+        check_string "lf" "\"line1\nline2\"" (field "line1\nline2");
+        check_string "cr" "\"a\rb\"" (field "a\rb");
+        check_string "crlf" "\"a\r\nb\"" (field "a\r\nb"));
+    test "combined specials stay one field" (fun () ->
+        check_string "all of them" "\"driver crashed: \"\"x,y\"\"\nretrying\""
+          (field "driver crashed: \"x,y\"\nretrying"));
+    test "a quoted error message survives a csv round trip" (fun () ->
+        (* split on unquoted commas, undouble quotes — the consumer side *)
+        let msg = "boom, with \"quotes\" and\na newline" in
+        let encoded = field msg in
+        check_bool "quoted" true (encoded.[0] = '"');
+        let inner = String.sub encoded 1 (String.length encoded - 2) in
+        let buf = Buffer.create 32 in
+        let i = ref 0 in
+        while !i < String.length inner do
+          if inner.[!i] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf inner.[!i];
+            incr i
+          end
+        done;
+        check_string "decodes back" msg (Buffer.contents buf));
+  ]
+
+let () = Alcotest.run "report" [ ("csv_field", unit_tests) ]
