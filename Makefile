@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check bench-speedup clean
 
 all: build
 
@@ -63,6 +63,15 @@ bench-check: build
 	dune exec bench/main.exe -- --json _build/BENCH_run.json
 	dune exec bench/bench_check.exe -- compare bench/BENCH_baseline.json \
 	  _build/BENCH_run.json --slack 0.25
+
+# Perf trajectory (report-only, never fails): speedup factors of the current
+# tree against the committed pre-PR-4 engine snapshot.  Reuses bench-check's
+# fresh run when present so CI pays for one bench sweep, not two.
+bench-speedup: build
+	test -f _build/BENCH_run.json || \
+	  dune exec bench/main.exe -- --json _build/BENCH_run.json
+	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr4.json \
+	  _build/BENCH_run.json
 
 clean:
 	dune clean

@@ -6,6 +6,12 @@
        new and vanished benchmarks are reported but never fail the check,
        so the baseline only needs refreshing when benchmarks are added.
 
+     bench_check speedup BASE NEW
+       Report-only perf trajectory: per-benchmark speedup factors of NEW
+       over BASE and the geometric-mean speedup per group.  Never fails
+       (exit 0 whatever the numbers) — CI prints it next to the blocking
+       compare so a perf PR's claims are auditable from the logs alone.
+
      bench_check validate-trace FILE
        FILE must parse as JSON and be a top-level array of trace_event
        objects, each with a string "name"/"ph" and a numeric "ts" — the
@@ -85,6 +91,55 @@ let compare_cmd base_path new_path slack =
   Printf.printf "ok: %d benchmarks within %.0f%% of %s\n" (List.length fresh)
     (100. *. slack) base_path
 
+(* -- speedup -------------------------------------------------------------- *)
+
+let speedup_cmd base_path new_path =
+  let base = benchmarks base_path (parse_file base_path) in
+  let fresh = benchmarks new_path (parse_file new_path) in
+  (* group -> (sum of log speedups, row count), insertion-ordered *)
+  let stats : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun ((group, name), was) ->
+      match List.assoc_opt (group, name) fresh with
+      | Some now when was > 0. && now > 0. ->
+        incr compared;
+        let s = was /. now in
+        Printf.printf "x%-6.2f  %s/%s: %s -> %s\n" s group name (human_ns was)
+          (human_ns now);
+        let lsum, count =
+          match Hashtbl.find_opt stats group with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0., ref 0) in
+            Hashtbl.add stats group cell;
+            order := group :: !order;
+            cell
+        in
+        lsum := !lsum +. log s;
+        incr count
+      | _ -> ())
+    base;
+  if !compared = 0 then print_endline "speedup: no benchmark appears in both files"
+  else begin
+    print_newline ();
+    let total_lsum = ref 0. and total_count = ref 0 in
+    List.iter
+      (fun group ->
+        let lsum, count = Hashtbl.find stats group in
+        total_lsum := !total_lsum +. !lsum;
+        total_count := !total_count + !count;
+        Printf.printf "group x%-6.2f  %s (%d benchmark%s, geometric mean)\n"
+          (exp (!lsum /. float_of_int !count))
+          group !count
+          (if !count = 1 then "" else "s"))
+      (List.rev !order);
+    Printf.printf "overall x%.2f (%d benchmarks, geometric mean) vs %s\n"
+      (exp (!total_lsum /. float_of_int !total_count))
+      !compared base_path
+  end
+
 (* -- validate-trace ------------------------------------------------------- *)
 
 let validate_trace path =
@@ -143,6 +198,7 @@ let validate_metrics path =
 let usage () =
   prerr_endline
     "usage: bench_check compare BASE NEW [--slack FRACTION]\n\
+    \       bench_check speedup BASE NEW\n\
     \       bench_check validate-trace FILE\n\
     \       bench_check validate-metrics FILE";
   exit 2
@@ -160,6 +216,7 @@ let () =
       | _ -> usage ()
     in
     compare_cmd base fresh slack
+  | [ _; "speedup"; base; fresh ] -> speedup_cmd base fresh
   | [ _; "validate-trace"; path ] -> validate_trace path
   | [ _; "validate-metrics"; path ] -> validate_metrics path
   | _ -> usage ()

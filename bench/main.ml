@@ -899,6 +899,9 @@ let () =
       match List.assoc_opt name groups with
       | Some f ->
         current_group := name;
+        (* full-suite hygiene: don't let one group's garbage (chaos closures,
+           big products) skew the GC behaviour measured in the next *)
+        Gc.compact ();
         let t0 = Unix.gettimeofday () in
         f ();
         json_groups := (name, Unix.gettimeofday () -. t0) :: !json_groups

@@ -1,4 +1,6 @@
 module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Bitset = Mechaml_util.Bitset
 module Trace = Mechaml_obs.Trace
 module Metrics = Mechaml_obs.Metrics
 
@@ -28,37 +30,54 @@ let origin name =
   then Core (String.sub name 0 (String.length name - 2))
   else Core name
 
+let max_alphabet = 20
+
 let check_alphabet inputs outputs =
   let width = List.length inputs + List.length outputs in
-  if width > 16 then
+  if width > max_alphabet then
     invalid_arg
       (Printf.sprintf
          "Chaos: |I| + |O| = %d is too large to enumerate the interaction powerset" width)
 
-(* All subsets of a name list. *)
+(* All subsets of a name list, in increasing bit-pattern order with respect
+   to the list position of each name (the order the closure enumerates
+   interactions in).  Kept as a debugging/inspection helper — the closure
+   itself generates interactions directly as bitset patterns.  Linear in the
+   2^n output size and fully tail-recursive, unlike the former
+   [acc @ List.map ...] accumulation. *)
 let subsets names =
-  List.fold_left
-    (fun acc n -> acc @ List.map (fun s -> n :: s) acc)
-    [ [] ] names
+  List.rev
+    (List.fold_left
+       (fun rev_acc n -> List.rev_append (List.rev_map (fun s -> n :: s) rev_acc) rev_acc)
+       [ [] ] names)
 
-let all_interactions inputs outputs =
-  let ins = subsets inputs and outs = subsets outputs in
-  List.concat_map (fun a -> List.map (fun b -> (a, b)) outs) ins
+(* The powerset enumerations below run over raw bit patterns: subset k of a
+   signal list maps to the bitset with pattern k in its Universe (of_list
+   interns names in list order), and [subsets] enumerates exactly in
+   increasing k — so generated transitions reproduce the Builder-based
+   construction byte for byte, without materializing name lists. *)
 
 let chaotic_automaton ~name ~inputs ~outputs =
   check_alphabet inputs outputs;
-  let b =
-    Automaton.Builder.create ~name ~inputs ~outputs ~props:[ chaos_prop ] ()
-  in
-  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_all);
-  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_delta);
-  List.iter
-    (fun (a, o) ->
-      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_all ();
-      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_delta ())
-    (all_interactions inputs outputs);
-  Automaton.Builder.set_initial b [ s_all; s_delta ];
-  Automaton.Builder.build b
+  let inputs_u = Universe.of_list inputs and outputs_u = Universe.of_list outputs in
+  let props_u = Universe.of_list [ chaos_prop ] in
+  let chaos_label = Universe.set_of_names props_u [ chaos_prop ] in
+  let n_in = 1 lsl Universe.size inputs_u and n_out = 1 lsl Universe.size outputs_u in
+  let trans_all = ref [] in
+  for a = n_in - 1 downto 0 do
+    let input = Bitset.of_int_unsafe a in
+    for o = n_out - 1 downto 0 do
+      let output = Bitset.of_int_unsafe o in
+      trans_all :=
+        { Automaton.input; output; dst = 0 } :: { Automaton.input; output; dst = 1 }
+        :: !trans_all
+    done
+  done;
+  Automaton.of_packed ~assume_unique_names:true ~name ~inputs:inputs_u ~outputs:outputs_u
+    ~props:props_u
+    ~state_names:[| s_all; s_delta |]
+    ~labels:[| chaos_label; chaos_label |]
+    ~trans:[| !trans_all; [] |] ~initial:[ 0; 1 ] ()
 
 let closure_unobserved ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomplete.t) =
   check_alphabet m.Incomplete.input_signals m.Incomplete.output_signals;
@@ -71,72 +90,117 @@ let closure_unobserved ?(label_of = fun _ -> []) ?(extra_props = []) (m : Incomp
           (Printf.sprintf "Chaos.closure: state name %S collides with the %S copy suffix" s
              closed_suffix))
     m.Incomplete.states;
-  let b =
-    Automaton.Builder.create
-      ~name:("chaos(" ^ m.Incomplete.name ^ ")")
-      ~inputs:m.Incomplete.input_signals ~outputs:m.Incomplete.output_signals
-      ~props:(chaos_prop :: List.filter (fun p -> p <> chaos_prop) extra_props)
-      ()
+  let inputs_u = Universe.of_list m.Incomplete.input_signals in
+  let outputs_u = Universe.of_list m.Incomplete.output_signals in
+  let n_in = 1 lsl Universe.size inputs_u and n_out = 1 lsl Universe.size outputs_u in
+  (* Proposition universe: declared props first, then label props in order
+     of first mention over the states (the Builder's note-on-first-mention
+     order). *)
+  let declared = chaos_prop :: List.filter (fun p -> p <> chaos_prop) extra_props in
+  let rev_props = ref (List.rev declared) in
+  let state_props =
+    List.map
+      (fun s ->
+        let ps = label_of s in
+        List.iter (fun p -> if not (List.mem p !rev_props) then rev_props := p :: !rev_props) ps;
+        ps)
+      m.Incomplete.states
   in
-  let open_copy s = s and closed_copy s = s ^ closed_suffix in
-  List.iter
-    (fun s ->
-      let props = label_of s in
-      ignore (Automaton.Builder.add_state b ~props (open_copy s));
-      ignore (Automaton.Builder.add_state b ~props (closed_copy s)))
+  let props_u = Universe.of_list (List.rev !rev_props) in
+  let n_core = List.length m.Incomplete.states in
+  let n = (2 * n_core) + 2 in
+  let all_i = n - 2 and delta_i = n - 1 in
+  let state_names = Array.make n "" in
+  let pos : (string, int) Hashtbl.t = Hashtbl.create (2 * n_core) in
+  List.iteri
+    (fun k s ->
+      Hashtbl.replace pos s k;
+      state_names.(2 * k) <- s;
+      state_names.((2 * k) + 1) <- s ^ closed_suffix)
     m.Incomplete.states;
-  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_all);
-  ignore (Automaton.Builder.add_state b ~props:[ chaos_prop ] s_delta);
+  state_names.(all_i) <- s_all;
+  state_names.(delta_i) <- s_delta;
+  let labels = Array.make n (Universe.set_of_names props_u [ chaos_prop ]) in
+  List.iteri
+    (fun k ps ->
+      let l = Universe.set_of_names props_u ps in
+      labels.(2 * k) <- l;
+      labels.((2 * k) + 1) <- l)
+    state_props;
+  (* Adjacency lists accumulate reversed, flipped once at the end, so the
+     final per-state order is the order transitions are generated in. *)
+  let acc = Array.make n [] in
+  let add s t = acc.(s) <- t :: acc.(s) in
+  (* Index the known inputs and refusals per state up front: the powerset
+     scan below asks "known or refused?" 2^|I| times per state, which used
+     to be a list scan over all of T each. *)
+  let known = Array.init n_core (fun _ -> Hashtbl.create 8) in
+  let refused = Array.init n_core (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (src, (i : Incomplete.interaction), _) ->
+      Hashtbl.replace known.(Hashtbl.find pos src)
+        (Bitset.to_int (Universe.set_of_names inputs_u i.in_signals))
+        ())
+    m.Incomplete.trans;
+  List.iter
+    (fun (s, inputs) ->
+      Hashtbl.replace refused.(Hashtbl.find pos s)
+        (Bitset.to_int (Universe.set_of_names inputs_u inputs))
+        ())
+    m.Incomplete.refusals;
   (* Known transitions: each copy can move to each copy of the target
      (Definition 9, the four ⊎-components over T). *)
   List.iter
     (fun (src, (i : Incomplete.interaction), dst) ->
-      let add s d =
-        Automaton.Builder.add_trans b ~src:s ~inputs:i.in_signals ~outputs:i.out_signals ~dst:d ()
-      in
-      add (open_copy src) (open_copy dst);
-      add (open_copy src) (closed_copy dst);
-      add (closed_copy src) (open_copy dst);
-      add (closed_copy src) (closed_copy dst))
+      let input = Universe.set_of_names inputs_u i.in_signals in
+      let output = Universe.set_of_names outputs_u i.out_signals in
+      let sk = Hashtbl.find pos src and dk = Hashtbl.find pos dst in
+      add (2 * sk) { Automaton.input; output; dst = 2 * dk };
+      add (2 * sk) { Automaton.input; output; dst = (2 * dk) + 1 };
+      add ((2 * sk) + 1) { Automaton.input; output; dst = 2 * dk };
+      add ((2 * sk) + 1) { Automaton.input; output; dst = (2 * dk) + 1 })
     m.Incomplete.trans;
   (* Unknown interactions escape to chaos from the open copies: every input
      set that is neither refused nor already answered, with every output
      set. *)
-  let out_subsets = subsets m.Incomplete.output_signals in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun a ->
-          let known = Incomplete.known_response m ~state:s ~inputs:a <> None in
-          let refused = Incomplete.refuses m ~state:s ~inputs:a in
-          if (not known) && not refused then
-            List.iter
-              (fun o ->
-                Automaton.Builder.add_trans b ~src:(open_copy s) ~inputs:a ~outputs:o
-                  ~dst:s_all ();
-                Automaton.Builder.add_trans b ~src:(open_copy s) ~inputs:a ~outputs:o
-                  ~dst:s_delta ())
-              out_subsets)
-        (subsets m.Incomplete.input_signals))
-    m.Incomplete.states;
+  for k = 0 to n_core - 1 do
+    for a = 0 to n_in - 1 do
+      if not (Hashtbl.mem known.(k) a || Hashtbl.mem refused.(k) a) then begin
+        let input = Bitset.of_int_unsafe a in
+        for o = 0 to n_out - 1 do
+          let output = Bitset.of_int_unsafe o in
+          add (2 * k) { Automaton.input; output; dst = all_i };
+          add (2 * k) { Automaton.input; output; dst = delta_i }
+        done
+      end
+    done
+  done;
   (* The embedded chaotic automaton T_c. *)
-  List.iter
-    (fun (a, o) ->
-      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_all ();
-      Automaton.Builder.add_trans b ~src:s_all ~inputs:a ~outputs:o ~dst:s_delta ())
-    (all_interactions m.Incomplete.input_signals m.Incomplete.output_signals);
-  Automaton.Builder.set_initial b
-    (List.concat_map (fun q -> [ open_copy q; closed_copy q ]) m.Incomplete.initial);
-  Automaton.Builder.build b
+  for a = 0 to n_in - 1 do
+    let input = Bitset.of_int_unsafe a in
+    for o = 0 to n_out - 1 do
+      let output = Bitset.of_int_unsafe o in
+      add all_i { Automaton.input; output; dst = all_i };
+      add all_i { Automaton.input; output; dst = delta_i }
+    done
+  done;
+  let initial =
+    List.concat_map
+      (fun q ->
+        let k = Hashtbl.find pos q in
+        [ 2 * k; (2 * k) + 1 ])
+      m.Incomplete.initial
+  in
+  Automaton.of_packed
+    ~name:("chaos(" ^ m.Incomplete.name ^ ")")
+    ~inputs:inputs_u ~outputs:outputs_u ~props:props_u ~state_names ~labels
+    ~trans:(Array.map List.rev acc) ~initial ()
 
 let closure ?label_of ?extra_props (m : Incomplete.t) =
   let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
   let auto = closure_unobserved ?label_of ?extra_props m in
   if t0 <> None || Metrics.enabled () then begin
     let states = Automaton.num_states auto in
-    (* the transition count walks every adjacency list — worth it for the
-       size histograms, too slow for the per-span fast path when only
-       tracing is on *)
     if Metrics.enabled () then begin
       Metrics.observe m_closure_states (float_of_int states);
       Metrics.observe m_closure_transitions

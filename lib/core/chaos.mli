@@ -31,10 +31,24 @@ val closed_suffix : string
 (** Suffix distinguishing the [(s,0)] copies; the [(s,1)] copies keep the
     original state name. *)
 
+val max_alphabet : int
+(** Largest supported [|I| + |O|] (currently 20): the closure materializes
+    [℘(I) × ℘(O)] transitions out of every chaotic state, so the alphabet
+    width is capped to bound that blow-up.  Interactions are generated
+    directly as bit patterns against the interned interaction table, which
+    is what lets the cap sit at the {!Mechaml_util.Bitset.all_subsets}
+    guard rather than the former 16. *)
+
+val subsets : string list -> string list list
+(** Power set of a name list, in the closure's interaction enumeration
+    order (increasing bit pattern over list positions).  Debug/inspection
+    helper — the closure itself never materializes name lists. *)
+
 val chaotic_automaton :
   name:string -> inputs:string list -> outputs:string list -> Mechaml_ts.Automaton.t
 (** Definition 8 / Fig. 3.  Raises [Invalid_argument] when
-    [|I| + |O| > 16] — the construction enumerates [℘(I) × ℘(O)]. *)
+    [|I| + |O| > max_alphabet] — the construction enumerates
+    [℘(I) × ℘(O)]. *)
 
 val closure :
   ?label_of:(string -> string list) ->

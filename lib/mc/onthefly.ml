@@ -19,52 +19,117 @@ type verdict = Holds | Bad_state of trace | Deadlocked of trace
 
 type result = { verdict : verdict; pairs_explored : int }
 
+(* Dense representation cap: below this many potential state pairs the
+   visited set is a flat bit vector indexed by pair code [l * n_r + r] — one
+   bit per potential pair, so membership tests are mask-and-shift instead of
+   tuple hashing.  2^22 codes is a 512 KiB transient vector at the worst
+   case; parents are tracked per *explored* pair, so sparsely-explored big
+   products stay cheap. *)
+let dense_cap = 1 lsl 22
+
 let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
     ?(bad = fun _ _ -> false) () =
-  let joint = Compose.stepper left right in
+  let join = Compose.joint_iter left right in
   let in_shift = Universe.size left.Automaton.inputs in
   let out_shift = Universe.size left.Automaton.outputs in
   let combine (t : Automaton.trans) (t' : Automaton.trans) =
     ( Bitset.union t.input (Bitset.shift in_shift t'.input),
       Bitset.union t.output (Bitset.shift out_shift t'.output) )
   in
-  let seen : (Automaton.state * Automaton.state, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let parent = Hashtbl.create 1024 in
-  let queue = Queue.create () in
-  let explored = ref 0 in
-  let unwind pair =
-    let rec go pair pairs io =
-      match Hashtbl.find_opt parent pair with
-      | None -> (pair :: pairs, io)
-      | Some (p, ab) -> go p (pair :: pairs) (ab :: io)
+  let n_l = Automaton.num_states left and n_r = Automaton.num_states right in
+  if n_l > 0 && n_r > 0 && n_l * n_r <= dense_cap then begin
+    (* Dense-visited path: one bit per potential pair, parent links only for
+       pairs actually reached.  The interaction along each witness edge is
+       not stored: unwinding re-enumerates the parent's joint moves and
+       takes the first one reaching the child — the same move that recorded
+       the parent when the child was first visited, since visits happen in
+       enumeration order. *)
+    let seen = Mechaml_util.Bitvec.create (n_l * n_r) in
+    let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let explored = ref 0 in
+    let unwind code =
+      let rec chain code acc =
+        let acc = code :: acc in
+        match Hashtbl.find_opt parent code with None -> acc | Some p -> chain p acc
+      in
+      let pairs = List.map (fun c -> (c / n_r, c mod n_r)) (chain code []) in
+      let rec ios = function
+        | (pl, pr) :: ((cl, cr) :: _ as rest) ->
+          let found = ref None in
+          ignore
+            (join (pl, pr) (fun (t : Automaton.trans) (t' : Automaton.trans) ->
+                 if !found = None && t.dst = cl && t'.dst = cr then
+                   found := Some (combine t t')));
+          (match !found with
+          | Some ab -> ab :: ios rest
+          | None -> assert false)
+        | _ -> []
+      in
+      { pairs; io = ios pairs }
     in
-    let pairs, io = go pair [] [] in
-    { pairs; io }
-  in
-  let verdict = ref None in
-  let visit ?from pair =
-    if !verdict = None && not (Hashtbl.mem seen pair) then begin
-      Hashtbl.add seen pair ();
-      incr explored;
-      (match from with Some (p, ab) -> Hashtbl.add parent pair (p, ab) | None -> ());
-      let l, r = pair in
-      if bad l r then verdict := Some (Bad_state (unwind pair)) else Queue.add pair queue
-    end
-  in
-  List.iter
-    (fun q -> List.iter (fun q' -> visit (q, q')) right.Automaton.initial)
-    left.Automaton.initial;
-  while !verdict = None && not (Queue.is_empty queue) do
-    let pair = Queue.pop queue in
-    match joint pair with
-    | [] -> verdict := Some (Deadlocked (unwind pair))
-    | moves ->
-      List.iter
-        (fun ((t : Automaton.trans), (t' : Automaton.trans)) ->
-          visit ~from:(pair, combine t t') (t.dst, t'.dst))
-        moves
-  done;
-  { verdict = Option.value !verdict ~default:Holds; pairs_explored = !explored }
+    let verdict = ref None in
+    let visit ?from code =
+      if !verdict = None && not (Mechaml_util.Bitvec.unsafe_get seen code) then begin
+        Mechaml_util.Bitvec.unsafe_set seen code;
+        (match from with Some p -> Hashtbl.add parent code p | None -> ());
+        incr explored;
+        let l = code / n_r and r = code mod n_r in
+        if bad l r then verdict := Some (Bad_state (unwind code)) else Queue.add code queue
+      end
+    in
+    List.iter
+      (fun q -> List.iter (fun q' -> visit ((q * n_r) + q')) right.Automaton.initial)
+      left.Automaton.initial;
+    while !verdict = None && not (Queue.is_empty queue) do
+      let code = Queue.pop queue in
+      let moves =
+        join
+          (code / n_r, code mod n_r)
+          (fun (t : Automaton.trans) (t' : Automaton.trans) ->
+            visit ~from:code ((t.dst * n_r) + t'.dst))
+      in
+      if moves = 0 then verdict := Some (Deadlocked (unwind code))
+    done;
+    { verdict = Option.value !verdict ~default:Holds; pairs_explored = !explored }
+  end
+  else begin
+    let seen : (Automaton.state * Automaton.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let parent = Hashtbl.create 1024 in
+    let queue = Queue.create () in
+    let explored = ref 0 in
+    let unwind pair =
+      let rec go pair pairs io =
+        match Hashtbl.find_opt parent pair with
+        | None -> (pair :: pairs, io)
+        | Some (p, ab) -> go p (pair :: pairs) (ab :: io)
+      in
+      let pairs, io = go pair [] [] in
+      { pairs; io }
+    in
+    let verdict = ref None in
+    let visit ?from pair =
+      if !verdict = None && not (Hashtbl.mem seen pair) then begin
+        Hashtbl.add seen pair ();
+        incr explored;
+        (match from with Some (p, ab) -> Hashtbl.add parent pair (p, ab) | None -> ());
+        let l, r = pair in
+        if bad l r then verdict := Some (Bad_state (unwind pair)) else Queue.add pair queue
+      end
+    in
+    List.iter
+      (fun q -> List.iter (fun q' -> visit (q, q')) right.Automaton.initial)
+      left.Automaton.initial;
+    while !verdict = None && not (Queue.is_empty queue) do
+      let pair = Queue.pop queue in
+      let moves =
+        join pair (fun (t : Automaton.trans) (t' : Automaton.trans) ->
+            visit ~from:(pair, combine t t') (t.dst, t'.dst))
+      in
+      if moves = 0 then verdict := Some (Deadlocked (unwind pair))
+    done;
+    { verdict = Option.value !verdict ~default:Holds; pairs_explored = !explored }
+  end
 
 (* The span's interesting argument (pairs explored) is only known afterwards,
    hence [complete] rather than [with_span]. *)

@@ -1,5 +1,6 @@
 module Automaton = Mechaml_ts.Automaton
 module Ctl = Mechaml_logic.Ctl
+module Bitvec = Mechaml_util.Bitvec
 module Metrics = Mechaml_obs.Metrics
 
 let m_states_explored =
@@ -8,232 +9,344 @@ let m_states_explored =
 
 let m_fixpoint_sweeps =
   Metrics.counter "mc_fixpoint_sweeps_total"
-    ~help:"Full-state sweeps performed by the EG/AU/EU fixpoint iterations."
+    ~help:
+      "Whole-state-space passes by the fixpoint engine: one per unbounded worklist fixpoint \
+       (its seed scan) and one per bounded-DP step."
+
+let m_worklist_pops =
+  Metrics.counter "mc_worklist_pops_total"
+    ~help:"States popped from the EF/EG/AU/EU fixpoint worklists."
 
 let m_sat_set_size =
   Metrics.histogram "mc_sat_set_size"
     ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e6 13)
     ~help:"Number of satisfying states per computed CTL subformula."
 
+(* Satisfaction sets are bit vectors and both transition directions are CSR
+   (compressed sparse row) arrays: [row]/[dst] come straight from the
+   automaton's packed index, [pred_row]/[pred_src] invert them once at
+   [create].  Parallel edges appear once per transition in both directions,
+   which keeps the successor-counting fixpoints in step with the
+   per-transition quantifiers they replace. *)
 type env = {
   auto : Automaton.t;
   n : int;
-  memo : (Ctl.t, bool array) Hashtbl.t;
-  predecessors : (Automaton.state * Automaton.trans) list array;
-      (** reverse edges: state -> (source, transition) list *)
+  memo : (Ctl.t, Bitvec.t) Hashtbl.t;
+  memo_arr : (Ctl.t, bool array) Hashtbl.t;
+  row : int array;
+  dst : int array;
+  pred_row : int array;
+  pred_src : int array;
+  blocking : Bitvec.t;
 }
 
 let create auto =
   let n = Automaton.num_states auto in
-  let predecessors = Array.make (max n 1) [] in
+  let row = Automaton.Csr.row auto in
+  let dst = Automaton.Csr.dst auto in
+  let total = row.(n) in
+  let pred_row = Array.make (n + 1) 0 in
+  Array.iter (fun d -> pred_row.(d + 1) <- pred_row.(d + 1) + 1) dst;
   for s = 0 to n - 1 do
-    List.iter
-      (fun (t : Automaton.trans) -> predecessors.(t.dst) <- (s, t) :: predecessors.(t.dst))
-      (Automaton.transitions_from auto s)
+    pred_row.(s + 1) <- pred_row.(s + 1) + pred_row.(s)
   done;
+  let fill = Array.copy pred_row in
+  let pred_src = Array.make (max total 1) 0 in
+  for s = 0 to n - 1 do
+    for k = row.(s) to row.(s + 1) - 1 do
+      let d = dst.(k) in
+      pred_src.(fill.(d)) <- s;
+      fill.(d) <- fill.(d) + 1
+    done
+  done;
+  let blocking = Bitvec.init n (fun s -> row.(s + 1) = row.(s)) in
   Metrics.add m_states_explored n;
-  { auto; n; memo = Hashtbl.create 64; predecessors }
+  {
+    auto;
+    n;
+    memo = Hashtbl.create 8;
+    memo_arr = Hashtbl.create 8;
+    row;
+    dst;
+    pred_row;
+    pred_src;
+    blocking;
+  }
 
 let automaton env = env.auto
 
-let all env v = Array.make env.n v
+let blocking env s = Bitvec.unsafe_get env.blocking s
 
-let for_all_succ env sat s =
-  List.for_all (fun (t : Automaton.trans) -> sat.(t.dst)) (Automaton.transitions_from env.auto s)
+let for_all_succ env v s =
+  let hi = env.row.(s + 1) in
+  let k = ref env.row.(s) and ok = ref true in
+  while !ok && !k < hi do
+    if not (Bitvec.unsafe_get v env.dst.(!k)) then ok := false;
+    incr k
+  done;
+  !ok
 
-let exists_succ env sat s =
-  List.exists (fun (t : Automaton.trans) -> sat.(t.dst)) (Automaton.transitions_from env.auto s)
+let exists_succ env v s =
+  let hi = env.row.(s + 1) in
+  let k = ref env.row.(s) and found = ref false in
+  while (not !found) && !k < hi do
+    if Bitvec.unsafe_get v env.dst.(!k) then found := true;
+    incr k
+  done;
+  !found
 
-let blocking env s = Automaton.is_blocking env.auto s
+(* All worklist fixpoints push each state at most once, so a plain int array
+   serves as the stack. *)
+let with_stack env f =
+  let stack = Array.make (max env.n 1) 0 in
+  let sp = ref 0 in
+  let push s =
+    stack.(!sp) <- s;
+    incr sp
+  in
+  let pops = ref 0 in
+  let pop () =
+    decr sp;
+    incr pops;
+    stack.(!sp)
+  in
+  let out = f ~push ~pop ~pending:(fun () -> !sp > 0) in
+  Metrics.add m_worklist_pops !pops;
+  out
 
 (* Least fixpoint for EF: backward closure from the target set. *)
-let backward_closure env target =
-  let out = Array.copy target in
-  let queue = Queue.create () in
-  Array.iteri (fun s b -> if b then Queue.add s queue) target;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
-    List.iter
-      (fun (p, _) ->
-        if not out.(p) then begin
-          out.(p) <- true;
-          Queue.add p queue
-        end)
-      env.predecessors.(s)
-  done;
-  out
+let backward_closure env (target : Bitvec.t) =
+  Metrics.add m_fixpoint_sweeps 1;
+  let out = Bitvec.copy target in
+  with_stack env (fun ~push ~pop ~pending ->
+      Bitvec.iter_true push target;
+      while pending () do
+        let s = pop () in
+        for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
+          let p = env.pred_src.(k) in
+          if not (Bitvec.unsafe_get out p) then begin
+            Bitvec.unsafe_set out p;
+            push p
+          end
+        done
+      done;
+      out)
 
 (* Greatest fixpoint for EG f over maximal runs: start from the f-states and
-   iteratively remove states that are not blocking and have no successor left
-   in the set. *)
-let eg_fixpoint env fset =
-  let out = Array.copy fset in
-  let changed = ref true in
-  let sweeps = ref 0 in
-  while !changed do
-    changed := false;
-    incr sweeps;
-    for s = 0 to env.n - 1 do
-      if out.(s) && (not (blocking env s)) && not (exists_succ env out s) then begin
-        out.(s) <- false;
-        changed := true
-      end
-    done
-  done;
-  Metrics.add m_fixpoint_sweeps !sweeps;
-  out
+   remove states that are not blocking and have no successor left in the
+   set.  [cnt.(s)] tracks the number of successor edges still inside the
+   set; a state is removed exactly when its count reaches zero, and each
+   removal decrements its predecessors — O(E) total instead of repeated
+   whole-space sweeps. *)
+let eg_fixpoint env (fset : Bitvec.t) =
+  Metrics.add m_fixpoint_sweeps 1;
+  let out = Bitvec.copy fset in
+  let cnt = Array.make env.n 0 in
+  with_stack env (fun ~push ~pop ~pending ->
+      for s = 0 to env.n - 1 do
+        if Bitvec.unsafe_get out s then begin
+          let c = ref 0 in
+          for k = env.row.(s) to env.row.(s + 1) - 1 do
+            if Bitvec.unsafe_get out env.dst.(k) then incr c
+          done;
+          cnt.(s) <- !c;
+          if !c = 0 && not (blocking env s) then push s
+        end
+      done;
+      while pending () do
+        let s = pop () in
+        if Bitvec.unsafe_get out s then begin
+          Bitvec.unsafe_clear out s;
+          for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
+            let p = env.pred_src.(k) in
+            if Bitvec.unsafe_get out p then begin
+              cnt.(p) <- cnt.(p) - 1;
+              (* predecessors have outgoing edges, so never blocking *)
+              if cnt.(p) = 0 then push p
+            end
+          done
+        end
+      done;
+      out)
 
-(* Least fixpoint for A(f U g) over maximal runs: a blocking ¬g state fails. *)
-let au_fixpoint env fset gset =
-  let out = Array.copy gset in
-  let changed = ref true in
-  let sweeps = ref 0 in
-  while !changed do
-    changed := false;
-    incr sweeps;
-    for s = 0 to env.n - 1 do
-      if (not out.(s)) && fset.(s) && (not (blocking env s)) && for_all_succ env out s then begin
-        out.(s) <- true;
-        changed := true
-      end
-    done
-  done;
-  Metrics.add m_fixpoint_sweeps !sweeps;
-  out
+(* Least fixpoint for A(f U g) over maximal runs: a blocking ¬g state fails.
+   [bad.(s)] counts successor edges leaving the set; a candidate joins when
+   it hits zero, decrementing its predecessors' counts in turn. *)
+let au_fixpoint env (fset : Bitvec.t) (gset : Bitvec.t) =
+  Metrics.add m_fixpoint_sweeps 1;
+  let out = Bitvec.copy gset in
+  let bad = Array.make env.n 0 in
+  let candidate s =
+    (not (Bitvec.unsafe_get out s))
+    && Bitvec.unsafe_get fset s
+    && (not (blocking env s))
+    && bad.(s) = 0
+  in
+  with_stack env (fun ~push ~pop ~pending ->
+      for s = 0 to env.n - 1 do
+        let c = ref 0 in
+        for k = env.row.(s) to env.row.(s + 1) - 1 do
+          if not (Bitvec.unsafe_get out env.dst.(k)) then incr c
+        done;
+        bad.(s) <- !c
+      done;
+      for s = 0 to env.n - 1 do
+        if candidate s then begin
+          Bitvec.unsafe_set out s;
+          push s
+        end
+      done;
+      while pending () do
+        let s = pop () in
+        for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
+          let p = env.pred_src.(k) in
+          bad.(p) <- bad.(p) - 1;
+          if candidate p then begin
+            Bitvec.unsafe_set out p;
+            push p
+          end
+        done
+      done;
+      out)
 
-let eu_fixpoint env fset gset =
-  let out = Array.copy gset in
-  let changed = ref true in
-  let sweeps = ref 0 in
-  while !changed do
-    changed := false;
-    incr sweeps;
-    for s = 0 to env.n - 1 do
-      if (not out.(s)) && fset.(s) && exists_succ env out s then begin
-        out.(s) <- true;
-        changed := true
-      end
-    done
-  done;
-  Metrics.add m_fixpoint_sweeps !sweeps;
-  out
+(* Least fixpoint for E(f U g): backward closure from g through f-states. *)
+let eu_fixpoint env (fset : Bitvec.t) (gset : Bitvec.t) =
+  Metrics.add m_fixpoint_sweeps 1;
+  let out = Bitvec.copy gset in
+  with_stack env (fun ~push ~pop ~pending ->
+      Bitvec.iter_true push gset;
+      while pending () do
+        let s = pop () in
+        for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
+          let p = env.pred_src.(k) in
+          if (not (Bitvec.unsafe_get out p)) && Bitvec.unsafe_get fset p then begin
+            Bitvec.unsafe_set out p;
+            push p
+          end
+        done
+      done;
+      out)
 
 (* Bounded operators: dynamic programming from the end of the window back to
    time 0.  [step] computes H_k from H_{k+1} given the elapsed time k. *)
 let bounded_dp env ~hi ~step =
-  let next = ref (Array.make env.n false) in
-  (* H_{hi+1}: initialised by the first call to [step] with k = hi via the
-     seed below.  Seeds differ per operator, so callers pass it in [step]
-     when k = hi + 1 is requested. *)
-  next := step (hi + 1) (all env false);
+  let next = ref (step (hi + 1) (Bitvec.create env.n)) in
   for k = hi downto 0 do
     next := step k !next
   done;
   Metrics.add m_fixpoint_sweeps (hi + 2);
   !next
 
-let af_bounded env { Ctl.lo; hi } fset =
+let af_bounded env { Ctl.lo; hi } (fset : Bitvec.t) =
   bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env false
+      if k = hi + 1 then Bitvec.create env.n
       else
-        Array.init env.n (fun s ->
-            (k >= lo && fset.(s)) || ((not (blocking env s)) && for_all_succ env next s)))
+        Bitvec.init env.n (fun s ->
+            (k >= lo && Bitvec.unsafe_get fset s)
+            || ((not (blocking env s)) && for_all_succ env next s)))
 
-let ef_bounded env { Ctl.lo; hi } fset =
+let ef_bounded env { Ctl.lo; hi } (fset : Bitvec.t) =
   bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env false
-      else Array.init env.n (fun s -> (k >= lo && fset.(s)) || exists_succ env next s))
-
-let ag_bounded env { Ctl.lo; hi } fset =
-  bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env true
+      if k = hi + 1 then Bitvec.create env.n
       else
-        Array.init env.n (fun s ->
-            (k < lo || fset.(s)) && (k >= hi || blocking env s || for_all_succ env next s)))
+        Bitvec.init env.n (fun s ->
+            (k >= lo && Bitvec.unsafe_get fset s) || exists_succ env next s))
 
-let eg_bounded env { Ctl.lo; hi } fset =
+let ag_bounded env { Ctl.lo; hi } (fset : Bitvec.t) =
   bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env true
+      if k = hi + 1 then Bitvec.create_full env.n
       else
-        Array.init env.n (fun s ->
-            (k < lo || fset.(s)) && (k >= hi || blocking env s || exists_succ env next s)))
+        Bitvec.init env.n (fun s ->
+            (k < lo || Bitvec.unsafe_get fset s)
+            && (k >= hi || blocking env s || for_all_succ env next s)))
 
-let au_bounded env { Ctl.lo; hi } fset gset =
+let eg_bounded env { Ctl.lo; hi } (fset : Bitvec.t) =
   bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env false
+      if k = hi + 1 then Bitvec.create_full env.n
       else
-        Array.init env.n (fun s ->
-            (k >= lo && gset.(s))
-            || (k < hi && fset.(s) && (not (blocking env s)) && for_all_succ env next s)))
+        Bitvec.init env.n (fun s ->
+            (k < lo || Bitvec.unsafe_get fset s)
+            && (k >= hi || blocking env s || exists_succ env next s)))
 
-let eu_bounded env { Ctl.lo; hi } fset gset =
+let au_bounded env { Ctl.lo; hi } (fset : Bitvec.t) (gset : Bitvec.t) =
   bounded_dp env ~hi ~step:(fun k next ->
-      if k = hi + 1 then all env false
+      if k = hi + 1 then Bitvec.create env.n
       else
-        Array.init env.n (fun s ->
-            (k >= lo && gset.(s)) || (k < hi && fset.(s) && exists_succ env next s)))
+        Bitvec.init env.n (fun s ->
+            (k >= lo && Bitvec.unsafe_get gset s)
+            || (k < hi
+               && Bitvec.unsafe_get fset s
+               && (not (blocking env s))
+               && for_all_succ env next s)))
 
-let rec sat env (f : Ctl.t) =
+let eu_bounded env { Ctl.lo; hi } (fset : Bitvec.t) (gset : Bitvec.t) =
+  bounded_dp env ~hi ~step:(fun k next ->
+      if k = hi + 1 then Bitvec.create env.n
+      else
+        Bitvec.init env.n (fun s ->
+            (k >= lo && Bitvec.unsafe_get gset s)
+            || (k < hi && Bitvec.unsafe_get fset s && exists_succ env next s)))
+
+let rec sat_vec env (f : Ctl.t) =
   match Hashtbl.find_opt env.memo f with
   | Some v -> v
   | None ->
     let v = compute env f in
     Hashtbl.add env.memo f v;
     (* Counting the set is itself a sweep, so only pay it when collecting. *)
-    if Metrics.enabled () then begin
-      let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v in
-      Metrics.observe m_sat_set_size (float_of_int size)
-    end;
+    if Metrics.enabled () then
+      Metrics.observe m_sat_set_size (float_of_int (Bitvec.count v));
     v
 
 and compute env (f : Ctl.t) =
   match f with
-  | True -> all env true
-  | False -> all env false
+  | True -> Bitvec.create_full env.n
+  | False -> Bitvec.create env.n
   | Prop p ->
-    if not (Mechaml_ts.Universe.mem env.auto.Automaton.props p) then
+    (match Mechaml_ts.Universe.index_opt env.auto.Automaton.props p with
+    | None ->
       invalid_arg
-        (Printf.sprintf "Mc.Sat: proposition %S not in automaton %s" p env.auto.Automaton.name);
-    Array.init env.n (fun s -> Automaton.has_prop env.auto s p)
-  | Deadlock -> Array.init env.n (fun s -> blocking env s)
-  | Not g ->
-    let sg = sat env g in
-    Array.init env.n (fun s -> not sg.(s))
-  | And (a, b) ->
-    let sa = sat env a and sb = sat env b in
-    Array.init env.n (fun s -> sa.(s) && sb.(s))
-  | Or (a, b) ->
-    let sa = sat env a and sb = sat env b in
-    Array.init env.n (fun s -> sa.(s) || sb.(s))
-  | Implies (a, b) ->
-    let sa = sat env a and sb = sat env b in
-    Array.init env.n (fun s -> (not sa.(s)) || sb.(s))
+        (Printf.sprintf "Mc.Sat: proposition %S not in automaton %s" p env.auto.Automaton.name)
+    | Some i ->
+      Bitvec.init env.n (fun s -> Mechaml_util.Bitset.mem i (Automaton.label env.auto s)))
+  | Deadlock -> Bitvec.copy env.blocking
+  | Not g -> Bitvec.lognot (sat_vec env g)
+  | And (a, b) -> Bitvec.logand (sat_vec env a) (sat_vec env b)
+  | Or (a, b) -> Bitvec.logor (sat_vec env a) (sat_vec env b)
+  | Implies (a, b) -> Bitvec.logimplies (sat_vec env a) (sat_vec env b)
   | Ax g ->
-    let sg = sat env g in
-    Array.init env.n (fun s -> for_all_succ env sg s)
+    let sg = sat_vec env g in
+    Bitvec.init env.n (fun s -> for_all_succ env sg s)
   | Ex g ->
-    let sg = sat env g in
-    Array.init env.n (fun s -> exists_succ env sg s)
-  | Ef (None, g) -> backward_closure env (sat env g)
-  | Ef (Some b, g) -> ef_bounded env b (sat env g)
-  | Af (None, g) -> au_fixpoint env (all env true) (sat env g)
-  | Af (Some b, g) -> af_bounded env b (sat env g)
+    let sg = sat_vec env g in
+    Bitvec.init env.n (fun s -> exists_succ env sg s)
+  | Ef (None, g) -> backward_closure env (sat_vec env g)
+  | Ef (Some b, g) -> ef_bounded env b (sat_vec env g)
+  | Af (None, g) -> au_fixpoint env (Bitvec.create_full env.n) (sat_vec env g)
+  | Af (Some b, g) -> af_bounded env b (sat_vec env g)
   | Ag (None, g) ->
     (* AG f = ¬EF¬f *)
-    let ef_not = backward_closure env (sat env (Ctl.Not g)) in
-    Array.init env.n (fun s -> not ef_not.(s))
-  | Ag (Some b, g) -> ag_bounded env b (sat env g)
-  | Eg (None, g) -> eg_fixpoint env (sat env g)
-  | Eg (Some b, g) -> eg_bounded env b (sat env g)
-  | Au (None, a, b) -> au_fixpoint env (sat env a) (sat env b)
-  | Au (Some bd, a, b) -> au_bounded env bd (sat env a) (sat env b)
-  | Eu (None, a, b) -> eu_fixpoint env (sat env a) (sat env b)
-  | Eu (Some bd, a, b) -> eu_bounded env bd (sat env a) (sat env b)
+    Bitvec.lognot (backward_closure env (sat_vec env (Ctl.Not g)))
+  | Ag (Some b, g) -> ag_bounded env b (sat_vec env g)
+  | Eg (None, g) -> eg_fixpoint env (sat_vec env g)
+  | Eg (Some b, g) -> eg_bounded env b (sat_vec env g)
+  | Au (None, a, b) -> au_fixpoint env (sat_vec env a) (sat_vec env b)
+  | Au (Some bd, a, b) -> au_bounded env bd (sat_vec env a) (sat_vec env b)
+  | Eu (None, a, b) -> eu_fixpoint env (sat_vec env a) (sat_vec env b)
+  | Eu (Some bd, a, b) -> eu_bounded env bd (sat_vec env a) (sat_vec env b)
+
+let sat env f =
+  match Hashtbl.find_opt env.memo_arr f with
+  | Some a -> a
+  | None ->
+    let a = Bitvec.to_bool_array (sat_vec env f) in
+    Hashtbl.add env.memo_arr f a;
+    a
 
 let holds_initially env f =
-  let v = sat env f in
-  List.for_all (fun q -> v.(q)) env.auto.Automaton.initial
+  let v = sat_vec env f in
+  List.for_all (fun q -> Bitvec.get v q) env.auto.Automaton.initial
 
 let failing_initial env f =
-  let v = sat env f in
-  List.find_opt (fun q -> not v.(q)) env.auto.Automaton.initial
+  let v = sat_vec env f in
+  List.find_opt (fun q -> not (Bitvec.get v q)) env.auto.Automaton.initial

@@ -20,6 +20,11 @@ val sat : env -> Mechaml_logic.Ctl.t -> bool array
     the automaton's universe — catching typos beats treating them as
     false. *)
 
+val sat_vec : env -> Mechaml_logic.Ctl.t -> Mechaml_util.Bitvec.t
+(** Same set as {!sat}, as the memoized bit vector the fixpoint engine
+    computes internally — no [bool array] conversion.  Callers must not
+    mutate the result. *)
+
 val holds_initially : env -> Mechaml_logic.Ctl.t -> bool
 (** All initial states satisfy the formula. *)
 

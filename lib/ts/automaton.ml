@@ -4,6 +4,40 @@ type state = int
 
 type trans = { input : Bitset.t; output : Bitset.t; dst : state }
 
+(* Interaction interning: every distinct (A, B) transition label gets a small
+   dense id.  When |I| + |O| fits a single word the key is the packed bit
+   pattern (no allocation on lookup); otherwise fall back to structural
+   hashing of the pair. *)
+type inter_tbl =
+  | Packed of { shift : int; tbl : (int, int) Hashtbl.t }
+  | Pairs of (int * int, int) Hashtbl.t
+
+type csr = {
+  row : int array;            (* n+1 offsets into the flat arrays *)
+  f_input : Bitset.t array;   (* per-state segments, stably sorted by id *)
+  f_output : Bitset.t array;
+  f_dst : int array;
+  f_inter : int array;
+  adj_inter : int array;      (* interaction id per transition, adjacency order *)
+  inter_tbl : inter_tbl;
+  inter_io : (Bitset.t * Bitset.t) array; (* id -> (input, output) *)
+}
+
+(* Both halves of the index are derived on first access — many automata are
+   intermediate construction results (flattening, projection, products) that
+   are only ever walked through their adjacency lists and never looked up by
+   name.  Constructors that must report duplicate state names ([of_packed]
+   without [assume_unique_names]) still build the name table eagerly, and
+   [Builder.build] donates its intern table instead of rebuilding one.  The
+   cells are atomic once-cells rather than [Lazy.t] because automata are
+   shared across campaign worker domains: a racing force builds the same
+   pure content twice and compare-and-set picks one winner, where a
+   concurrent [Lazy.force] would raise. *)
+type index = {
+  name_cell : (string, int) Hashtbl.t option Atomic.t; (* state name -> first index *)
+  csr_cell : csr option Atomic.t;
+}
+
 type t = {
   name : string;
   inputs : Universe.t;
@@ -13,21 +47,162 @@ type t = {
   labels : Bitset.t array;
   trans : trans list array;
   initial : state list;
+  index : index;
 }
+
+let inter_find it a b =
+  match it with
+  | Packed { shift; tbl } ->
+    Hashtbl.find_opt tbl ((Bitset.to_int a lsl shift) lor Bitset.to_int b)
+  | Pairs tbl -> Hashtbl.find_opt tbl (Bitset.to_int a, Bitset.to_int b)
+
+let inter_add it a b id =
+  match it with
+  | Packed { shift; tbl } ->
+    Hashtbl.add tbl ((Bitset.to_int a lsl shift) lor Bitset.to_int b) id
+  | Pairs tbl -> Hashtbl.add tbl (Bitset.to_int a, Bitset.to_int b) id
+
+let build_name_tbl ~dup_ok ~name state_names =
+  let name_tbl = Hashtbl.create (2 * Array.length state_names + 1) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem name_tbl s then begin
+        if not dup_ok then
+          invalid_arg
+            (Printf.sprintf "Automaton.of_packed: duplicate state name %S in %s" s name)
+      end
+      else Hashtbl.add name_tbl s i)
+    state_names;
+  name_tbl
+
+let build_csr ~in_width ~out_width ~n ~trans =
+  let row = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    row.(s + 1) <- row.(s) + List.length trans.(s)
+  done;
+  let total = row.(n) in
+  let inter_tbl =
+    if in_width + out_width <= Bitset.max_width then
+      Packed { shift = out_width; tbl = Hashtbl.create 16 }
+    else Pairs (Hashtbl.create 16)
+  in
+  let rev_io = ref [] and n_inter = ref 0 in
+  let intern a b =
+    match inter_find inter_tbl a b with
+    | Some id -> id
+    | None ->
+      let id = !n_inter in
+      incr n_inter;
+      inter_add inter_tbl a b id;
+      rev_io := (a, b) :: !rev_io;
+      id
+  in
+  (* First pass in adjacency-list order, then a stable per-segment sort by
+     interaction id: transitions sharing a label keep their list order, so
+     [successors] still enumerates destinations in declaration order. *)
+  let a_input = Array.make total Bitset.empty in
+  let a_output = Array.make total Bitset.empty in
+  let a_dst = Array.make total 0 in
+  let a_inter = Array.make total 0 in
+  for s = 0 to n - 1 do
+    let k = ref row.(s) in
+    List.iter
+      (fun t ->
+        a_input.(!k) <- t.input;
+        a_output.(!k) <- t.output;
+        a_dst.(!k) <- t.dst;
+        a_inter.(!k) <- intern t.input t.output;
+        incr k)
+      trans.(s)
+  done;
+  (* Adjacency lists whose ids already come out non-decreasing (the common
+     case: builders and products emit few, distinct labels per state) need
+     no permutation at all — the pass-1 arrays serve as both views. *)
+  let sorted = ref true in
+  for s = 0 to n - 1 do
+    for k = row.(s) + 1 to row.(s + 1) - 1 do
+      if a_inter.(k - 1) > a_inter.(k) then sorted := false
+    done
+  done;
+  let inter_io = Array.of_list (List.rev !rev_io) in
+  if !sorted then
+    {
+      row;
+      f_input = a_input;
+      f_output = a_output;
+      f_dst = a_dst;
+      f_inter = a_inter;
+      adj_inter = a_inter;
+      inter_tbl;
+      inter_io;
+    }
+  else begin
+    let perm = Array.init total Fun.id in
+    for s = 0 to n - 1 do
+      let lo = row.(s) and hi = row.(s + 1) in
+      if hi - lo > 1 then begin
+        let seg = Array.sub perm lo (hi - lo) in
+        Array.sort
+          (fun i j ->
+            let c = compare a_inter.(i) a_inter.(j) in
+            if c <> 0 then c else compare i j)
+          seg;
+        Array.blit seg 0 perm lo (hi - lo)
+      end
+    done;
+    {
+      row;
+      f_input = Array.map (fun i -> a_input.(i)) perm;
+      f_output = Array.map (fun i -> a_output.(i)) perm;
+      f_dst = Array.map (fun i -> a_dst.(i)) perm;
+      f_inter = Array.map (fun i -> a_inter.(i)) perm;
+      adj_inter = a_inter;
+      inter_tbl;
+      inter_io;
+    }
+  end
+
+let make_with_tbl ~name_tbl ~name ~inputs ~outputs ~props ~state_names ~labels ~trans ~initial =
+  let index = { name_cell = Atomic.make name_tbl; csr_cell = Atomic.make None } in
+  { name; inputs; outputs; props; state_names; labels; trans; initial; index }
+
+let make ~dup_ok ~name ~inputs ~outputs ~props ~state_names ~labels ~trans ~initial =
+  (* With [dup_ok] nothing can fail, so the table is derived on demand;
+     otherwise build it now to surface duplicates at construction time. *)
+  let name_tbl =
+    if dup_ok then None else Some (build_name_tbl ~dup_ok ~name state_names)
+  in
+  make_with_tbl ~name_tbl ~name ~inputs ~outputs ~props ~state_names ~labels ~trans ~initial
 
 let num_states m = Array.length m.state_names
 
-let num_transitions m = Array.fold_left (fun acc l -> acc + List.length l) 0 m.trans
+let name_tbl m =
+  match Atomic.get m.index.name_cell with
+  | Some t -> t
+  | None ->
+    let t = build_name_tbl ~dup_ok:true ~name:m.name m.state_names in
+    ignore (Atomic.compare_and_set m.index.name_cell None (Some t));
+    (match Atomic.get m.index.name_cell with Some t -> t | None -> assert false)
+
+let csr m =
+  match Atomic.get m.index.csr_cell with
+  | Some c -> c
+  | None ->
+    let c =
+      build_csr ~in_width:(Universe.size m.inputs) ~out_width:(Universe.size m.outputs)
+        ~n:(num_states m) ~trans:m.trans
+    in
+    ignore (Atomic.compare_and_set m.index.csr_cell None (Some c));
+    (match Atomic.get m.index.csr_cell with Some c -> c | None -> assert false)
+
+let num_transitions m = (csr m).row.(num_states m)
 
 let state_name m s =
   if s < 0 || s >= num_states m then
     invalid_arg (Printf.sprintf "Automaton.state_name: state %d out of range" s);
   m.state_names.(s)
 
-let state_index_opt m name =
-  let n = num_states m in
-  let rec go i = if i >= n then None else if m.state_names.(i) = name then Some i else go (i + 1) in
-  go 0
+let state_index_opt m name = Hashtbl.find_opt (name_tbl m) name
 
 let state_index m name =
   match state_index_opt m name with
@@ -45,25 +220,47 @@ let has_prop m s p =
 
 let is_blocking m s = m.trans.(s) = []
 
+let interaction_id m a b = inter_find (csr m).inter_tbl a b
+
+let num_interactions m = Array.length (csr m).inter_io
+
+let interaction_io m id = (csr m).inter_io.(id)
+
+(* Lowest k in [lo, hi) with f_inter.(k) >= id. *)
+let lower_bound f_inter lo hi id =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if f_inter.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let accepts m s a b =
-  List.exists (fun t -> Bitset.equal t.input a && Bitset.equal t.output b) m.trans.(s)
+  match interaction_id m a b with
+  | None -> false
+  | Some id ->
+    let ix = csr m in
+    let k = lower_bound ix.f_inter ix.row.(s) ix.row.(s + 1) id in
+    k < ix.row.(s + 1) && ix.f_inter.(k) = id
 
 let successors m s a b =
-  List.filter_map
-    (fun t -> if Bitset.equal t.input a && Bitset.equal t.output b then Some t.dst else None)
-    m.trans.(s)
+  match interaction_id m a b with
+  | None -> []
+  | Some id ->
+    let ix = csr m in
+    let hi = ix.row.(s + 1) in
+    let k = lower_bound ix.f_inter ix.row.(s) hi id in
+    let rec collect k = if k < hi && ix.f_inter.(k) = id then ix.f_dst.(k) :: collect (k + 1) else [] in
+    collect k
 
 let deterministic m =
+  let ix = csr m in
   let ok = ref true in
-  Array.iter
-    (fun ts ->
-      let seen = Hashtbl.create 8 in
-      List.iter
-        (fun t ->
-          let key = (Bitset.to_int t.input, Bitset.to_int t.output) in
-          if Hashtbl.mem seen key then ok := false else Hashtbl.add seen key ())
-        ts)
-    m.trans;
+  for s = 0 to num_states m - 1 do
+    for k = ix.row.(s) to ix.row.(s + 1) - 2 do
+      if ix.f_inter.(k) = ix.f_inter.(k + 1) then ok := false
+    done
+  done;
   !ok
 
 let input_deterministic m =
@@ -109,17 +306,16 @@ let restrict m ~inputs ~outputs ~props =
       dst = t.dst;
     }
   in
-  {
-    m with
-    inputs;
-    outputs;
-    props;
-    labels = Array.map (fun l -> Universe.restrict m.props ~to_:props l) m.labels;
-    trans = Array.map (fun ts -> dedup_trans (List.map project_trans ts)) m.trans;
-  }
+  make ~dup_ok:true ~name:m.name ~inputs ~outputs ~props ~state_names:m.state_names
+    ~labels:(Array.map (fun l -> Universe.restrict m.props ~to_:props l) m.labels)
+    ~trans:(Array.map (fun ts -> dedup_trans (List.map project_trans ts)) m.trans)
+    ~initial:m.initial
 
 let map_states m ~f =
-  { m with state_names = Array.init (num_states m) f }
+  let state_names = Array.init (num_states m) f in
+  (* transitions are untouched: the CSR carries over and the name lookup
+     table is rederived on demand from the new names *)
+  { m with state_names; index = { name_cell = Atomic.make None; csr_cell = m.index.csr_cell } }
 
 let map_signals m ~inputs ~outputs =
   {
@@ -128,10 +324,45 @@ let map_signals m ~inputs ~outputs =
     outputs = Universe.of_list (List.map outputs (Universe.to_list m.outputs));
   }
 
+let of_packed ?(assume_unique_names = false) ~name ~inputs ~outputs ~props ~state_names ~labels
+    ~trans ~initial () =
+  let n = Array.length state_names in
+  if Array.length labels <> n || Array.length trans <> n then
+    invalid_arg (Printf.sprintf "Automaton.of_packed: array lengths disagree in %s" name);
+  if initial = [] then
+    invalid_arg (Printf.sprintf "Automaton.of_packed: %s has no initial state" name);
+  List.iter
+    (fun q ->
+      if q < 0 || q >= n then
+        invalid_arg (Printf.sprintf "Automaton.of_packed: initial state %d out of range in %s" q name))
+    initial;
+  Array.iter
+    (List.iter (fun t ->
+         if t.dst < 0 || t.dst >= n then
+           invalid_arg
+             (Printf.sprintf "Automaton.of_packed: destination %d out of range in %s" t.dst name)))
+    trans;
+  make ~dup_ok:assume_unique_names ~name ~inputs ~outputs ~props ~state_names ~labels ~trans
+    ~initial
+
+module Csr = struct
+  let row m = (csr m).row
+
+  let input m = (csr m).f_input
+
+  let output m = (csr m).f_output
+
+  let dst m = (csr m).f_dst
+
+  let inter m = (csr m).f_inter
+
+  let adj_inter m = (csr m).adj_inter
+end
+
 module Builder = struct
   (* the enclosing automaton type is referenced via the result of [build] *)
 
-  type t = {
+  type b = {
     b_name : string;
     b_inputs : Universe.t;
     b_outputs : Universe.t;
@@ -144,6 +375,8 @@ module Builder = struct
     mutable initial : string list;
     declared_props : string list;
   }
+
+  type t = b
 
   let create ~name ~inputs ~outputs ?(props = []) () =
     {
@@ -223,16 +456,14 @@ module Builder = struct
           | None -> invalid_arg (Printf.sprintf "Builder.build: unknown initial state %S" n))
         b.initial
     in
-    {
-      name = b.b_name;
-      inputs = b.b_inputs;
-      outputs = b.b_outputs;
-      props;
-      state_names;
-      labels;
-      trans = (if b.n = 0 then [||] else trans);
-      initial;
-    }
+    (* [b.names] maps exactly the interned state names to their indices, so a
+       copy (no rehashing) doubles as the automaton's lookup table —
+       uniqueness is guaranteed by interning, no validation needed.  Copied
+       because the builder stays usable after [build]. *)
+    make_with_tbl ~name_tbl:(Some (Hashtbl.copy b.names)) ~name:b.b_name ~inputs:b.b_inputs
+      ~outputs:b.b_outputs ~props ~state_names ~labels
+      ~trans:(if b.n = 0 then [||] else trans)
+      ~initial
 end
 
 let pp_io m ppf (a, b) =

@@ -15,6 +15,15 @@ type trans = {
   dst : state;
 }
 
+type index
+(** Packed acceleration structure: a state-name lookup table (built — and
+    duplicate names validated — eagerly at construction) plus a CSR
+    (compressed sparse row) copy of the transition relation with per-state
+    segments stably sorted by interned interaction id, derived on first
+    indexed access so construction-only intermediates never pay for it.
+    Purely derived data — it never disagrees with [trans]; the on-demand
+    build is safe to race across domains. *)
+
 type t = private {
   name : string;
   inputs : Universe.t;
@@ -24,6 +33,7 @@ type t = private {
   labels : Mechaml_util.Bitset.t array; (** [L], indexed by state *)
   trans : trans list array;             (** outgoing transitions per state *)
   initial : state list;
+  index : index;
 }
 
 val num_states : t -> int
@@ -87,6 +97,61 @@ val map_signals :
     {!Mechaml_muml.Assembly}): transition bitsets are untouched because
     indices are preserved.  Raises [Invalid_argument] if a renaming
     introduces duplicates within a universe. *)
+
+val of_packed :
+  ?assume_unique_names:bool ->
+  name:string ->
+  inputs:Universe.t ->
+  outputs:Universe.t ->
+  props:Universe.t ->
+  state_names:string array ->
+  labels:Mechaml_util.Bitset.t array ->
+  trans:trans list array ->
+  initial:state list ->
+  unit ->
+  t
+(** Raw constructor for callers that already hold index-space data
+    ({!Compose}, {!Mechaml_core.Chaos}), bypassing the name-interning
+    {!Builder} round trip.  All bitsets must already live in the given
+    universes; adjacency lists are taken as-is (their order is the
+    enumeration order of {!transitions_from}).  Raises [Invalid_argument] on
+    mismatched array lengths, out-of-range states, an empty initial list, or
+    duplicate state names.  [assume_unique_names] skips the duplicate check
+    (and defers building the name lookup table to first use) for callers
+    that guarantee uniqueness themselves, e.g. by generating the names. *)
+
+val interaction_id : t -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t -> int option
+(** Interned id of the interaction [(A, B)], if any transition of the
+    automaton carries that exact label.  Ids are dense in
+    [0, num_interactions). *)
+
+val num_interactions : t -> int
+
+val interaction_io : t -> int -> Mechaml_util.Bitset.t * Mechaml_util.Bitset.t
+(** Inverse of {!interaction_id}. *)
+
+(** Read-only views of the packed transition relation, for hot loops that
+    want arrays instead of lists ({!Mechaml_mc.Sat}'s fixpoints, the
+    on-the-fly checker).  Transition [k] of state [s] lives at flat offsets
+    [row.(s) <= k < row.(s+1)]; segments are stably sorted by interaction
+    id, so equal-labelled transitions keep adjacency-list order.  Callers
+    must not mutate the returned arrays. *)
+module Csr : sig
+  val row : t -> int array
+
+  val input : t -> Mechaml_util.Bitset.t array
+
+  val output : t -> Mechaml_util.Bitset.t array
+
+  val dst : t -> int array
+
+  val inter : t -> int array
+
+  val adj_inter : t -> int array
+  (** Interaction id per transition in {e adjacency-list} order (the order
+      {!transitions_from} enumerates), indexed by [row s + position]. The
+      other flat arrays are per-segment sorted by id; this one is not. *)
+end
 
 (** Imperative construction API.  States are created on first mention, so
     models read like their textual definitions. *)

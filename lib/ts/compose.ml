@@ -41,6 +41,160 @@ let mask_of cross =
 
 let translate cross s = Bitset.fold (fun i acc -> Bitset.add cross.(i) acc) s Bitset.empty
 
+
+(* Hash join over the communication constraint.  Every transition projects
+   onto its shared-signal footprint — the pair of constraint sides, both
+   expressed in a common index space: [A ∩ O'] translated to right-output
+   indices paired with [B ∩ I'] in left-output indices on the left, and
+   symmetrically [B' ∩ I] / [A' ∩ O] on the right.  Two transitions are
+   compatible iff their footprints coincide, so bucketing one operand's
+   transitions by footprint finds all partners by lookup instead of the
+   former O(|T_l| × |T_r|) nested scan per state pair.  Narrow right-hand
+   fan-outs skip the bucket table entirely — a linear scan over a cached
+   key array beats hashing when there are only a handful of candidates,
+   which is the common case outside chaos closures.  Both paths preserve
+   adjacency-list order, so joint moves are enumerated exactly as the
+   nested scan did.  Per-state caches amortize key computation across a
+   whole product construction / on-the-fly exploration. *)
+let small_fanout = 8
+let make_join (left : Automaton.t) (right : Automaton.t) =
+  if not (Automaton.composable left right) then
+    invalid_arg
+      (Printf.sprintf "Compose.joint_iter: %s and %s are not composable" left.Automaton.name
+         right.Automaton.name);
+  let li_ro = cross_map left.inputs right.outputs in
+  let lo_ri = cross_map left.outputs right.inputs in
+  let ri_lo = cross_map right.inputs left.outputs in
+  let ro_li = cross_map right.outputs left.inputs in
+  let mask_li = mask_of li_ro
+  and mask_lo = mask_of lo_ri
+  and mask_ri = mask_of ri_lo
+  and mask_ro = mask_of ro_li in
+  let lo_w = Universe.size left.Automaton.outputs in
+  let ro_w = Universe.size right.Automaton.outputs in
+  if lo_w + ro_w <= Bitset.max_width then begin
+    (* Footprint packs into one word: allocation-free int keys.  Keys depend
+       only on the transition label, so they are memoized per interned
+       interaction id — packed keys are non-negative, leaving -1 free as the
+       not-yet-computed sentinel.  Transitions then resolve their key with
+       one array read via the adjacency-order id table. *)
+    let lkbi = Array.make (max (Automaton.num_interactions left) 1) (-1) in
+    let rkbi = Array.make (max (Automaton.num_interactions right) 1) (-1) in
+    let lkey_id iid =
+      let k = Array.unsafe_get lkbi iid in
+      if k >= 0 then k
+      else begin
+        let a, b = Automaton.interaction_io left iid in
+        let k =
+          (Bitset.to_int (translate li_ro (Bitset.inter a mask_li)) lsl lo_w)
+          lor Bitset.to_int (Bitset.inter b mask_lo)
+        in
+        lkbi.(iid) <- k;
+        k
+      end
+    in
+    let rkey_id iid =
+      let k = Array.unsafe_get rkbi iid in
+      if k >= 0 then k
+      else begin
+        let a, b = Automaton.interaction_io right iid in
+        let k =
+          (Bitset.to_int (Bitset.inter b mask_ro) lsl lo_w)
+          lor Bitset.to_int (translate ri_lo (Bitset.inter a mask_ri))
+        in
+        rkbi.(iid) <- k;
+        k
+      end
+    in
+    let row_l = Automaton.Csr.row left and ai_l = Automaton.Csr.adj_inter left in
+    let row_r = Automaton.Csr.row right and ai_r = Automaton.Csr.adj_inter right in
+    let rcache : (int, Automaton.trans list) Hashtbl.t option array =
+      Array.make (Automaton.num_states right) None
+    in
+    let buckets s' =
+      match rcache.(s') with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create (2 * (row_r.(s' + 1) - row_r.(s'))) in
+        let j = ref row_r.(s') in
+        List.iter
+          (fun t' ->
+            let k = rkey_id (Array.unsafe_get ai_r !j) in
+            incr j;
+            Hashtbl.replace h k
+              (t' :: Option.value (Hashtbl.find_opt h k) ~default:[]))
+          (Automaton.transitions_from right s');
+        Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) h;
+        rcache.(s') <- Some h;
+        h
+    in
+    fun (s, s') f ->
+      let count = ref 0 in
+      let rn = row_r.(s' + 1) - row_r.(s') in
+      if rn <= small_fanout then begin
+        (* narrow fan-out: nested scan over adjacency lists, memoized keys *)
+        let i = ref row_l.(s) in
+        List.iter
+          (fun t ->
+            let k = lkey_id (Array.unsafe_get ai_l !i) in
+            incr i;
+            let j = ref row_r.(s') in
+            List.iter
+              (fun t' ->
+                (if rkey_id (Array.unsafe_get ai_r !j) = k then begin
+                   incr count;
+                   f t t'
+                 end);
+                incr j)
+              (Automaton.transitions_from right s'))
+          (Automaton.transitions_from left s)
+      end
+      else begin
+        let h = buckets s' in
+        let i = ref row_l.(s) in
+        List.iter
+          (fun t ->
+            let k = lkey_id (Array.unsafe_get ai_l !i) in
+            incr i;
+            match Hashtbl.find_opt h k with
+            | None -> ()
+            | Some ts' ->
+              List.iter
+                (fun t' ->
+                  incr count;
+                  f t t')
+                ts')
+          (Automaton.transitions_from left s)
+      end;
+      !count
+  end
+  else begin
+    (* > 62 connected output signals: fall back to the direct scan *)
+    let compatible (t : Automaton.trans) (t' : Automaton.trans) =
+      Bitset.equal
+        (translate li_ro (Bitset.inter t.input mask_li))
+        (Bitset.inter t'.output mask_ro)
+      && Bitset.equal
+           (translate ri_lo (Bitset.inter t'.input mask_ri))
+           (Bitset.inter t.output mask_lo)
+    in
+    fun (s, s') f ->
+      let count = ref 0 in
+      List.iter
+        (fun t ->
+          List.iter
+            (fun t' ->
+              if compatible t t' then begin
+                incr count;
+                f t t'
+              end)
+            (Automaton.transitions_from right s'))
+        (Automaton.transitions_from left s);
+      !count
+  end
+
+let joint_iter = make_join
+
 let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
   if not (Automaton.composable left right) then
     invalid_arg
@@ -52,102 +206,120 @@ let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
   let outputs = Universe.union left.outputs right.outputs in
   let props = Universe.union left.props right.props in
   let in_shift = Universe.size left.inputs and out_shift = Universe.size left.outputs in
-  (* left-input index -> right-output index (shared signals), etc. *)
-  let li_ro = cross_map left.inputs right.outputs in
-  let lo_ri = cross_map left.outputs right.inputs in
-  let ri_lo = cross_map right.inputs left.outputs in
-  let ro_li = cross_map right.outputs left.inputs in
-  let mask_li = mask_of li_ro (* left inputs connected to right outputs *)
-  and mask_lo = mask_of lo_ri
-  and mask_ri = mask_of ri_lo
-  and mask_ro = mask_of ro_li in
-  let compatible (t : Automaton.trans) (t' : Automaton.trans) =
-    (* (A ∩ O') = B' on shared signals, compared in right-output index space *)
-    Bitset.equal (translate li_ro (Bitset.inter t.input mask_li)) (Bitset.inter t'.output mask_ro)
-    (* (A' ∩ O) = B on shared signals, compared in left-output index space *)
-    && Bitset.equal
-         (translate ri_lo (Bitset.inter t'.input mask_ri))
-         (Bitset.inter t.output mask_lo)
-  in
-  let table : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
-  let rev_names = ref [] and rev_labels = ref [] and rev_pairs = ref [] in
+  let lp_size = Universe.size left.props in
+  let join = make_join left right in
+  (* Pairs pack into one int key (products beyond 2^62 states are unbuildable
+     anyway), so interning never allocates a tuple; per-state data lives in
+     growable arrays rather than reversed lists, and because ids are handed
+     out in discovery order a cursor over those arrays doubles as the BFS
+     queue. *)
+  let nr = Automaton.num_states right in
+  let table : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let cap = ref 16 in
+  let names = ref (Array.make !cap "") in
+  let labs = ref (Array.make !cap Bitset.empty) in
+  let pl = ref (Array.make !cap 0) in
+  let pr = ref (Array.make !cap 0) in
+  let outs = ref (Array.make !cap []) in
   let n = ref 0 in
-  let queue = Queue.create () in
-  let intern (s, s') =
-    match Hashtbl.find_opt table (s, s') with
+  let grow () =
+    let c = 2 * !cap in
+    let g a z =
+      let b = Array.make c z in
+      Array.blit !a 0 b 0 !n;
+      a := b
+    in
+    g names "";
+    g labs Bitset.empty;
+    g pl 0;
+    g pr 0;
+    g outs [];
+    cap := c
+  in
+  let intern s s' =
+    let key = (s * nr) + s' in
+    match Hashtbl.find_opt table key with
     | Some id -> id
     | None ->
       let id = !n in
-      incr n;
-      Hashtbl.add table (s, s') id;
-      rev_names :=
-        (Automaton.state_name left s ^ "," ^ Automaton.state_name right s') :: !rev_names;
-      rev_labels :=
-        Bitset.union (Automaton.label left s)
-          (Bitset.shift (Universe.size left.props) (Automaton.label right s'))
-        :: !rev_labels;
-      rev_pairs := (s, s') :: !rev_pairs;
-      Queue.add (id, s, s') queue;
+      if id = !cap then grow ();
+      Hashtbl.add table key id;
+      !names.(id) <- Automaton.state_name left s ^ "," ^ Automaton.state_name right s';
+      !labs.(id) <-
+        Bitset.union (Automaton.label left s) (Bitset.shift lp_size (Automaton.label right s'));
+      !pl.(id) <- s;
+      !pr.(id) <- s';
+      n := id + 1;
       id
   in
   let initial =
-    List.concat_map
-      (fun q -> List.map (fun q' -> intern (q, q')) right.initial)
-      left.initial
+    List.concat_map (fun q -> List.map (fun q' -> intern q q') right.initial) left.initial
   in
-  let rev_trans = ref [] in
-  while not (Queue.is_empty queue) do
-    let id, s, s' = Queue.pop queue in
-    List.iter
-      (fun (t : Automaton.trans) ->
-        List.iter
-          (fun (t' : Automaton.trans) ->
-            if compatible t t' then begin
-              let dst = intern (t.dst, t'.dst) in
-              let input = Bitset.union t.input (Bitset.shift in_shift t'.input) in
-              let output = Bitset.union t.output (Bitset.shift out_shift t'.output) in
-              rev_trans := (id, { Automaton.input; output; dst }) :: !rev_trans
-            end)
-          (Automaton.transitions_from right s'))
-      (Automaton.transitions_from left s)
+  let cursor = ref 0 in
+  while !cursor < !n do
+    let id = !cursor in
+    incr cursor;
+    let s = !pl.(id) and s' = !pr.(id) in
+    let acc = ref [] in
+    ignore
+      (join (s, s') (fun (t : Automaton.trans) (t' : Automaton.trans) ->
+           let dst = intern t.dst t'.dst in
+           let input = Bitset.union t.input (Bitset.shift in_shift t'.input) in
+           let output = Bitset.union t.output (Bitset.shift out_shift t'.output) in
+           acc := { Automaton.input; output; dst } :: !acc));
+    !outs.(id) <- List.rev !acc
   done;
   let count = !n in
-  let state_names = Array.make count "" in
-  List.iteri (fun i name -> state_names.(count - 1 - i) <- name) !rev_names;
-  let labels = Array.make count Bitset.empty in
-  List.iteri (fun i l -> labels.(count - 1 - i) <- l) !rev_labels;
-  let pairs = Array.make count (0, 0) in
-  List.iteri (fun i p -> pairs.(count - 1 - i) <- p) !rev_pairs;
-  let trans = Array.make (max count 1) [] in
-  List.iter (fun (src, t) -> trans.(src) <- t :: trans.(src)) !rev_trans;
+  let state_names = Array.sub !names 0 count in
+  let labels = Array.sub !labs 0 count in
+  let pairs = Array.init count (fun i -> (!pl.(i), !pr.(i))) in
+  let trans = Array.sub !outs 0 count in
   let auto : Automaton.t =
-    (* The Automaton type is private; rebuild through the Builder to keep the
-       single construction path. *)
-    let builder =
-      Automaton.Builder.create
-        ~name:(left.Automaton.name ^ "||" ^ right.Automaton.name)
-        ~inputs:(Universe.to_list inputs) ~outputs:(Universe.to_list outputs)
-        ~props:(Universe.to_list props) ()
+    (* Product names split unambiguously at the first ',' when no left
+       operand name contains one, so uniqueness of the (s, s') pairs carries
+       over to the concatenated names and [of_packed] can skip its duplicate
+       check (and eager name-table build) entirely.  Otherwise let it
+       validate — a collision falls through to the Builder merge below. *)
+    let assume_unique_names =
+      not (Array.exists (fun nm -> String.contains nm ',') left.Automaton.state_names)
     in
-    Array.iteri
-      (fun i name ->
-        ignore
-          (Automaton.Builder.add_state builder
-             ~props:(Universe.names_of_set props labels.(i))
-             name))
-      state_names;
-    Array.iteri
-      (fun src ts ->
-        List.iter
-          (fun (t : Automaton.trans) ->
-            Automaton.Builder.add_trans builder ~src:state_names.(src)
-              ~inputs:(Universe.names_of_set inputs t.input)
-              ~outputs:(Universe.names_of_set outputs t.output)
-              ~dst:state_names.(t.dst) ())
-          ts)
-      (if count = 0 then [||] else trans);
-    Automaton.Builder.set_initial builder (List.map (fun i -> state_names.(i)) initial);
-    Automaton.Builder.build builder
+    match
+      Automaton.of_packed ~assume_unique_names
+        ~name:(left.Automaton.name ^ "||" ^ right.Automaton.name)
+        ~inputs ~outputs ~props ~state_names ~labels ~trans ~initial ()
+    with
+    | auto -> auto
+    | exception Invalid_argument _ -> begin
+      (* Distinct pairs can concatenate to the same name (only when operand
+         names themselves contain ','); the Builder interns by name and
+         merges such states, which is what this constructor always did —
+         keep that behaviour on the slow path. *)
+      let builder =
+        Automaton.Builder.create
+          ~name:(left.Automaton.name ^ "||" ^ right.Automaton.name)
+          ~inputs:(Universe.to_list inputs) ~outputs:(Universe.to_list outputs)
+          ~props:(Universe.to_list props) ()
+      in
+      Array.iteri
+        (fun i name ->
+          ignore
+            (Automaton.Builder.add_state builder
+               ~props:(Universe.names_of_set props labels.(i))
+               name))
+        state_names;
+      Array.iteri
+        (fun src ts ->
+          List.iter
+            (fun (t : Automaton.trans) ->
+              Automaton.Builder.add_trans builder ~src:state_names.(src)
+                ~inputs:(Universe.names_of_set inputs t.input)
+                ~outputs:(Universe.names_of_set outputs t.output)
+                ~dst:state_names.(t.dst) ())
+            ts)
+        trans;
+      Automaton.Builder.set_initial builder (List.map (fun i -> state_names.(i)) initial);
+      Automaton.Builder.build builder
+    end
   in
   { auto; left; right; pairs }
 
@@ -205,29 +377,11 @@ let project_left p r = project `Left p r
 let project_right p r = project `Right p r
 
 let stepper (left : Automaton.t) (right : Automaton.t) =
-  if not (Automaton.composable left right) then
-    invalid_arg "Compose.stepper: operands are not composable";
-  let li_ro = cross_map left.inputs right.outputs in
-  let lo_ri = cross_map left.outputs right.inputs in
-  let ri_lo = cross_map right.inputs left.outputs in
-  let ro_li = cross_map right.outputs left.inputs in
-  let mask_li = mask_of li_ro
-  and mask_lo = mask_of lo_ri
-  and mask_ri = mask_of ri_lo
-  and mask_ro = mask_of ro_li in
-  let compatible (t : Automaton.trans) (t' : Automaton.trans) =
-    Bitset.equal (translate li_ro (Bitset.inter t.input mask_li)) (Bitset.inter t'.output mask_ro)
-    && Bitset.equal
-         (translate ri_lo (Bitset.inter t'.input mask_ri))
-         (Bitset.inter t.output mask_lo)
-  in
-  fun (s, s') ->
-    List.concat_map
-      (fun t ->
-        List.filter_map
-          (fun t' -> if compatible t t' then Some (t, t') else None)
-          (Automaton.transitions_from right s'))
-      (Automaton.transitions_from left s)
+  let join = make_join left right in
+  fun pair ->
+    let rev = ref [] in
+    ignore (join pair (fun t t' -> rev := (t, t') :: !rev));
+    List.rev !rev
 
 let find_pair p pair =
   let n = Array.length p.pairs in

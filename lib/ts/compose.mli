@@ -47,5 +47,21 @@ val stepper :
 (** The joint moves of the parallel composition from a state pair, without
     materializing the product — the compatible transition pairs per
     Definition 3.  [stepper left right] precomputes the signal cross-maps, so
-    partial application amortizes the setup over a whole exploration (used by
-    {!Mechaml_mc.Onthefly}). *)
+    partial application amortizes the setup over a whole exploration. *)
+
+val joint_iter :
+  Automaton.t ->
+  Automaton.t ->
+  Automaton.state * Automaton.state ->
+  (Automaton.trans -> Automaton.trans -> unit) ->
+  int
+(** Allocation-light variant of {!stepper}: applies the callback to every
+    compatible transition pair (in {!stepper}'s enumeration order — left
+    adjacency order outer, right adjacency order inner) and returns the
+    number of joint moves.  Compatibility is decided by comparing
+    shared-signal footprint keys memoized per interned interaction id;
+    narrow right fan-outs are joined by direct scan, wide ones (chaos
+    states) through per-state hash buckets cached across calls — so
+    composition and on-the-fly exploration visit a state pair in O(moves)
+    rather than O(|T_l| × |T_r|) where it matters.  Used by
+    {!Mechaml_mc.Onthefly}. *)

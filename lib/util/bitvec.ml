@@ -1,0 +1,125 @@
+(* 63 bits per word: the full non-tag width of an OCaml int, so word indices
+   and shifts stay branch-free native-int arithmetic. *)
+let bits = 63
+
+type t = { len : int; words : int array }
+
+let nwords n = (n + bits - 1) / bits
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create: negative length";
+  { len = n; words = Array.make (nwords n) 0 }
+
+let length v = v.len
+
+let copy v = { len = v.len; words = Array.copy v.words }
+
+(* Mask for the partial last word; [lnot 0] when the length is a multiple of
+   [bits] (also the n = 0 case, where there is no word to mask). *)
+let last_mask n =
+  let r = n mod bits in
+  if r = 0 then lnot 0 else (1 lsl r) - 1
+
+let create_full n =
+  let v = create n in
+  let w = Array.length v.words in
+  Array.fill v.words 0 w (lnot 0);
+  if w > 0 then v.words.(w - 1) <- v.words.(w - 1) land last_mask n;
+  v
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Bitvec: index %d out of bounds [0, %d)" i v.len)
+
+let get v i =
+  check v i;
+  v.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let set v i =
+  check v i;
+  v.words.(i / bits) <- v.words.(i / bits) lor (1 lsl (i mod bits))
+
+let clear v i =
+  check v i;
+  v.words.(i / bits) <- v.words.(i / bits) land lnot (1 lsl (i mod bits))
+
+let unsafe_get v i = Array.unsafe_get v.words (i / bits) land (1 lsl (i mod bits)) <> 0
+
+let unsafe_set v i =
+  let w = i / bits in
+  Array.unsafe_set v.words w (Array.unsafe_get v.words w lor (1 lsl (i mod bits)))
+
+let unsafe_clear v i =
+  let w = i / bits in
+  Array.unsafe_set v.words w (Array.unsafe_get v.words w land lnot (1 lsl (i mod bits)))
+
+let init n f =
+  let v = create n in
+  for i = 0 to n - 1 do
+    if f i then v.words.(i / bits) <- v.words.(i / bits) lor (1 lsl (i mod bits))
+  done;
+  v
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+let count v = Array.fold_left (fun acc w -> acc + popcount w) 0 v.words
+
+let is_empty v = Array.for_all (fun w -> w = 0) v.words
+
+let same_len a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
+
+let map2 f a b =
+  same_len a b;
+  let out = { len = a.len; words = Array.make (Array.length a.words) 0 } in
+  for i = 0 to Array.length a.words - 1 do
+    out.words.(i) <- f a.words.(i) b.words.(i)
+  done;
+  out
+
+let logand a b = map2 ( land ) a b
+
+let logor a b = map2 ( lor ) a b
+
+let logandnot a b = map2 (fun x y -> x land lnot y) a b
+
+let mask_last v =
+  let w = Array.length v.words in
+  if w > 0 then v.words.(w - 1) <- v.words.(w - 1) land last_mask v.len;
+  v
+
+let logimplies a b = mask_last (map2 (fun x y -> lnot x lor y) a b)
+
+let lognot a = mask_last { len = a.len; words = Array.map lnot a.words }
+
+let iter_true f v =
+  for wi = 0 to Array.length v.words - 1 do
+    let w = ref v.words.(wi) in
+    let base = wi * bits in
+    while !w <> 0 do
+      let lsb = !w land - !w in
+      (* index of the isolated low bit: count trailing zeros by shifting *)
+      let i = ref 0 and m = ref lsb in
+      while !m land 1 = 0 do
+        m := !m lsr 1;
+        incr i
+      done;
+      f (base + !i);
+      w := !w land (!w - 1)
+    done
+  done
+
+let to_bool_array v = Array.init v.len (fun i -> v.words.(i / bits) land (1 lsl (i mod bits)) <> 0)
+
+let of_bool_array a =
+  let v = create (Array.length a) in
+  Array.iteri (fun i b -> if b then v.words.(i / bits) <- v.words.(i / bits) lor (1 lsl (i mod bits))) a;
+  v

@@ -1,0 +1,67 @@
+(** Mutable bit vectors over arbitrarily large index spaces.
+
+    {!Bitset} packs signal subsets into a single [int] and is capped at 62
+    elements; state spaces of products and chaotic closures routinely exceed
+    that.  [Bitvec] is the companion representation for {e state} sets: a
+    fixed-length mutable vector of bits packed 63 per word, used by the model
+    checker for satisfaction sets and visited/frontier sets so that the
+    boolean connectives become word-parallel loops instead of per-state
+    array traversals.
+
+    All binary operations require operands of equal length and raise
+    [Invalid_argument] otherwise.  Unused bits of the last word are kept
+    zero, so {!equal} and {!count} are plain word comparisons. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n] ([n >= 0]). *)
+
+val create_full : int -> t
+(** [create_full n] has all [n] bits set. *)
+
+val init : int -> (int -> bool) -> t
+
+val length : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> bool
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val unsafe_get : t -> int -> bool
+(** No bounds check — for hot loops whose indices are known in range. *)
+
+val unsafe_set : t -> int -> unit
+
+val unsafe_clear : t -> int -> unit
+
+val equal : t -> t -> bool
+
+val count : t -> int
+(** Number of set bits. *)
+
+val is_empty : t -> bool
+
+val lognot : t -> t
+
+val logand : t -> t -> t
+
+val logor : t -> t -> t
+
+val logandnot : t -> t -> t
+(** [logandnot a b] is [a ∧ ¬b] — set difference. *)
+
+val logimplies : t -> t -> t
+(** [logimplies a b] is [¬a ∨ b]. *)
+
+val iter_true : (int -> unit) -> t -> unit
+(** Apply to every set index, in increasing order. *)
+
+val to_bool_array : t -> bool array
+
+val of_bool_array : bool array -> t

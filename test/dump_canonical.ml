@@ -1,0 +1,14 @@
+(* Regenerates test/campaign_seed.canonical — the golden canonical report of
+   the bundled campaign matrix that the kernel-equivalence suite compares
+   against.  Run after an intentional change to the matrix or the canonical
+   format:
+
+     dune exec test/dump_canonical.exe > test/campaign_seed.canonical
+
+   The golden file pins verdicts, iteration counts, learned-state counts and
+   the structural closure/product sizes, so any state-space-engine change
+   that silently alters semantics (not just speed) fails test_equiv. *)
+
+let () =
+  let outcomes = Mechaml_engine.Campaign.run ~jobs:1 (Mechaml_engine.Campaign.bundled ()) in
+  print_string (Mechaml_engine.Report.canonical outcomes)

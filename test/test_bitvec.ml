@@ -1,0 +1,75 @@
+(* Unit and property tests for the word-packed mutable bit vector backing the
+   model checker's sat-sets and visited sets. *)
+
+module Bitvec = Mechaml_util.Bitvec
+open Helpers
+
+let unit_tests =
+  [
+    test "create starts all-clear, create_full all-set" (fun () ->
+        let v = Bitvec.create 100 in
+        check_int "empty count" 0 (Bitvec.count v);
+        check_bool "is_empty" true (Bitvec.is_empty v);
+        let f = Bitvec.create_full 100 in
+        check_int "full count" 100 (Bitvec.count f);
+        for i = 0 to 99 do
+          check_bool "full bit" true (Bitvec.get f i)
+        done);
+    test "set/clear round-trip across word boundaries" (fun () ->
+        let v = Bitvec.create 200 in
+        List.iter (fun i -> Bitvec.set v i) [ 0; 62; 63; 64; 125; 126; 199 ];
+        check_int "count" 7 (Bitvec.count v);
+        Bitvec.clear v 63;
+        check_bool "cleared" false (Bitvec.get v 63);
+        check_bool "neighbour kept" true (Bitvec.get v 64);
+        check_int "count after clear" 6 (Bitvec.count v));
+    test "lognot respects the trailing partial word" (fun () ->
+        let v = Bitvec.create 70 in
+        Bitvec.set v 3;
+        let n = Bitvec.lognot v in
+        check_int "complement count" 69 (Bitvec.count n);
+        check_bool "flipped" false (Bitvec.get n 3);
+        check_bool "in-range high bit" true (Bitvec.get n 69));
+    test "binary operations on mismatched lengths raise" (fun () ->
+        let a = Bitvec.create 10 and b = Bitvec.create 11 in
+        match Bitvec.logand a b with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected raise");
+    test "iter_true enumerates in increasing order" (fun () ->
+        let v = Bitvec.create 130 in
+        let expect = [ 1; 5; 62; 63; 64; 129 ] in
+        List.iter (Bitvec.set v) expect;
+        let got = ref [] in
+        Bitvec.iter_true (fun i -> got := i :: !got) v;
+        Alcotest.(check (list int)) "members" expect (List.rev !got));
+  ]
+
+let prop_tests =
+  [
+    qcheck "of_bool_array/to_bool_array round-trips"
+      QCheck.(array_of_size Gen.(int_range 0 300) bool)
+      (fun a -> Bitvec.to_bool_array (Bitvec.of_bool_array a) = a);
+    qcheck "logical ops agree with pointwise booleans"
+      QCheck.(
+        pair (array_of_size Gen.(int_range 1 200) bool) (array_of_size Gen.(int_range 1 200) bool))
+      (fun (a, b) ->
+        let n = min (Array.length a) (Array.length b) in
+        let a = Array.sub a 0 n and b = Array.sub b 0 n in
+        let va = Bitvec.of_bool_array a and vb = Bitvec.of_bool_array b in
+        Bitvec.to_bool_array (Bitvec.logand va vb) = Array.map2 ( && ) a b
+        && Bitvec.to_bool_array (Bitvec.logor va vb) = Array.map2 ( || ) a b
+        && Bitvec.to_bool_array (Bitvec.logandnot va vb)
+           = Array.map2 (fun x y -> x && not y) a b);
+    qcheck "count equals the number of set booleans"
+      QCheck.(array_of_size Gen.(int_range 0 300) bool)
+      (fun a ->
+        Bitvec.count (Bitvec.of_bool_array a)
+        = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 a);
+    qcheck "equal is structural"
+      QCheck.(array_of_size Gen.(int_range 0 200) bool)
+      (fun a ->
+        let v = Bitvec.of_bool_array a and w = Bitvec.of_bool_array a in
+        Bitvec.equal v w);
+  ]
+
+let () = Alcotest.run "bitvec" [ ("unit", unit_tests); ("prop", prop_tests) ]

@@ -22,10 +22,16 @@ let unit_tests =
         check_bool "chaos proposition set" true
           (Automaton.has_prop m s_delta Chaos.chaos_prop));
     test "alphabet size guard" (fun () ->
-        let many = List.init 17 (Printf.sprintf "s%d") in
+        let many = List.init (Chaos.max_alphabet + 1) (Printf.sprintf "s%d") in
         match Chaos.chaotic_automaton ~name:"c" ~inputs:many ~outputs:[] with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected raise");
+    test "17-wide alphabets fit under the raised cap" (fun () ->
+        (* 17 signals used to exceed the hard |I| + |O| <= 16 limit *)
+        let many = List.init 17 (Printf.sprintf "s%d") in
+        let m = Chaos.chaotic_automaton ~name:"c" ~inputs:many ~outputs:[] in
+        check_int "one transition per interaction and chaos target" (2 * (1 lsl 17))
+          (Automaton.num_transitions m));
     test "closure of the trivial model matches Fig. 4(b)" (fun () ->
         let m = Incomplete.create ~name:"m" ~inputs:[ "x" ] ~outputs:[ "o" ] ~initial_state:"s0" in
         let c = Chaos.closure m in

@@ -1,0 +1,59 @@
+(* Kernel-equivalence suite: the state-space engine rewrite (packed automata,
+   bucketed products, bitset fixpoints) must be a pure speedup.  These tests
+   pin the observable behaviour of the whole pipeline to the seed engine:
+
+   - the canonical report of the bundled campaign matrix is byte-identical to
+     the committed golden file [campaign_seed.canonical] (regenerate it with
+     [dune exec test/dump_canonical.exe] only after an *intentional* matrix
+     or format change);
+   - worker count does not leak into results: jobs:1 and jobs:4 agree on the
+     per-job Loop verdicts and on the whole canonical report. *)
+
+module Campaign = Mechaml_engine.Campaign
+module Report = Mechaml_engine.Report
+open Helpers
+
+(* [dune runtest] runs in [_build/default/test] next to the (dep-declared)
+   golden file; [dune exec test/test_equiv.exe] runs from the project root. *)
+let golden_file =
+  if Sys.file_exists "campaign_seed.canonical" then "campaign_seed.canonical"
+  else "test/campaign_seed.canonical"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One campaign execution per worker count, shared by all assertions. *)
+let sequential = lazy (Campaign.run ~jobs:1 (Campaign.bundled ()))
+
+let parallel = lazy (Campaign.run ~jobs:4 (Campaign.bundled ()))
+
+let verdict_lines outcomes =
+  List.map
+    (fun (o : Campaign.outcome) ->
+      Printf.sprintf "%s %s" o.spec_id (Campaign.verdict_string o.verdict))
+    outcomes
+
+let unit_tests =
+  [
+    test "bundled matrix matches the seed golden report byte for byte" (fun () ->
+        check_string "canonical vs committed golden" (read_file golden_file)
+          (Report.canonical (Lazy.force sequential)));
+    test "jobs:4 reproduces the sequential Loop verdicts job by job" (fun () ->
+        Alcotest.(check (list string))
+          "verdicts jobs:1 = jobs:4"
+          (verdict_lines (Lazy.force sequential))
+          (verdict_lines (Lazy.force parallel)));
+    test "jobs:4 reproduces the sequential canonical report" (fun () ->
+        check_string "canonical jobs:1 = jobs:4"
+          (Report.canonical (Lazy.force sequential))
+          (Report.canonical (Lazy.force parallel)));
+    test "tiny matrix is deterministic across repeated runs" (fun () ->
+        let a = Report.canonical (Campaign.run ~jobs:2 (Campaign.bundled ~tiny:true ())) in
+        let b = Report.canonical (Campaign.run ~jobs:2 (Campaign.bundled ~tiny:true ())) in
+        check_string "run-to-run" a b);
+  ]
+
+let () = Alcotest.run "equiv" [ ("unit", unit_tests) ]
