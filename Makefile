@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check bench-speedup clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check bench-speedup bench-speedup-pr5 clean
 
 all: build
 
@@ -71,6 +71,17 @@ bench-speedup: build
 	test -f _build/BENCH_run.json || \
 	  dune exec bench/main.exe -- --json _build/BENCH_run.json
 	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr4.json \
+	  _build/BENCH_run.json
+
+# Incremental re-verification trajectory (report-only, never fails): speedup
+# factors of the current tree against the snapshot taken just before the
+# incremental engine landed.  Groups new since that snapshot (e.g.
+# t14_loop_incremental itself) are skipped with a warning rather than
+# aggregated.  Reuses bench-check's fresh run when present.
+bench-speedup-pr5: build
+	test -f _build/BENCH_run.json || \
+	  dune exec bench/main.exe -- --json _build/BENCH_run.json
+	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr5.json \
 	  _build/BENCH_run.json
 
 clean:

@@ -8,9 +8,11 @@
 
      bench_check speedup BASE NEW
        Report-only perf trajectory: per-benchmark speedup factors of NEW
-       over BASE and the geometric-mean speedup per group.  Never fails
-       (exit 0 whatever the numbers) — CI prints it next to the blocking
-       compare so a perf PR's claims are auditable from the logs alone.
+       over BASE and the geometric-mean speedup per group.  Groups present
+       in only one snapshot are skipped with a warning (they used to reach
+       the zero-row geometric mean and print NaN).  Never fails (exit 0
+       whatever the numbers) — CI prints it next to the blocking compare so
+       a perf PR's claims are auditable from the logs alone.
 
      bench_check validate-trace FILE
        FILE must parse as JSON and be a top-level array of trace_event
@@ -40,27 +42,12 @@ let parse_file path =
 
 (* -- compare -------------------------------------------------------------- *)
 
-(* (group, name) -> ns/run rows of a bench --json file *)
 let benchmarks path json =
-  match Json.member "benchmarks_ns_per_run" json with
-  | Some (Json.List rows) ->
-    List.filter_map
-      (fun row ->
-        match
-          ( Option.bind (Json.member "group" row) Json.to_str,
-            Option.bind (Json.member "name" row) Json.to_str,
-            Option.bind (Json.member "value" row) Json.to_float )
-        with
-        | Some g, Some n, Some v -> Some ((g, n), v)
-        | _ -> None (* a null value: the estimate was NaN on that run *))
-      rows
-  | _ -> fail "%s: no \"benchmarks_ns_per_run\" array (not a bench --json file?)" path
+  match Bench_check_lib.benchmarks json with
+  | Ok rows -> rows
+  | Error m -> fail "%s: %s" path m
 
-let human_ns ns =
-  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-  else Printf.sprintf "%.0f ns" ns
+let human_ns = Bench_check_lib.human_ns
 
 let compare_cmd base_path new_path slack =
   let base = benchmarks base_path (parse_file base_path) in
@@ -96,49 +83,27 @@ let compare_cmd base_path new_path slack =
 let speedup_cmd base_path new_path =
   let base = benchmarks base_path (parse_file base_path) in
   let fresh = benchmarks new_path (parse_file new_path) in
-  (* group -> (sum of log speedups, row count), insertion-ordered *)
-  let stats : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
-  let order = ref [] in
-  let compared = ref 0 in
+  let r = Bench_check_lib.speedup ~base ~fresh in
   List.iter
-    (fun ((group, name), was) ->
-      match List.assoc_opt (group, name) fresh with
-      | Some now when was > 0. && now > 0. ->
-        incr compared;
-        let s = was /. now in
-        Printf.printf "x%-6.2f  %s/%s: %s -> %s\n" s group name (human_ns was)
-          (human_ns now);
-        let lsum, count =
-          match Hashtbl.find_opt stats group with
-          | Some cell -> cell
-          | None ->
-            let cell = (ref 0., ref 0) in
-            Hashtbl.add stats group cell;
-            order := group :: !order;
-            cell
-        in
-        lsum := !lsum +. log s;
-        incr count
-      | _ -> ())
-    base;
-  if !compared = 0 then print_endline "speedup: no benchmark appears in both files"
-  else begin
+    (fun (row : Bench_check_lib.row) ->
+      Printf.printf "x%-6.2f  %s/%s: %s -> %s\n" row.factor row.group row.name
+        (human_ns row.was) (human_ns row.now))
+    r.Bench_check_lib.rows;
+  List.iter
+    (fun (group, reason) -> Printf.printf "warning  %s skipped: %s\n" group reason)
+    r.Bench_check_lib.skipped;
+  match r.Bench_check_lib.overall with
+  | None -> print_endline "speedup: no benchmark appears in both files"
+  | Some overall ->
     print_newline ();
-    let total_lsum = ref 0. and total_count = ref 0 in
     List.iter
-      (fun group ->
-        let lsum, count = Hashtbl.find stats group in
-        total_lsum := !total_lsum +. !lsum;
-        total_count := !total_count + !count;
-        Printf.printf "group x%-6.2f  %s (%d benchmark%s, geometric mean)\n"
-          (exp (!lsum /. float_of_int !count))
-          group !count
-          (if !count = 1 then "" else "s"))
-      (List.rev !order);
+      (fun (g : Bench_check_lib.group_speedup) ->
+        Printf.printf "group x%-6.2f  %s (%d benchmark%s, geometric mean)\n" g.g_geomean
+          g.g_group g.g_benchmarks
+          (if g.g_benchmarks = 1 then "" else "s"))
+      r.Bench_check_lib.groups;
     Printf.printf "overall x%.2f (%d benchmarks, geometric mean) vs %s\n"
-      (exp (!total_lsum /. float_of_int !total_count))
-      !compared base_path
-  end
+      overall.Bench_check_lib.g_geomean overall.Bench_check_lib.g_benchmarks base_path
 
 (* -- validate-trace ------------------------------------------------------- *)
 

@@ -36,6 +36,24 @@ let dot_dir_t =
   let doc = "Write DOT figures (learned model, closure) into $(docv)." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
 
+(* -- incremental re-verification (shared by run and campaign) -- *)
+
+let no_incremental_t =
+  let doc =
+    "Recompute the chaotic closure, the parallel product and every CCTL fixpoint from \
+     scratch each iteration instead of patching the previous iteration's results.  \
+     Verdicts are identical either way; this only trades speed for simpler profiling."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let incremental_debug_t =
+  let doc =
+    "Cross-check incremental re-verification: recompute every patched closure and \
+     warm-started fixpoint from scratch as well and abort on any divergence.  Slower \
+     than both modes combined; a correctness harness, not a production setting."
+  in
+  Arg.(value & flag & info [ "incremental-debug" ] ~doc)
+
 (* -- fault injection & supervision (shared by run and campaign) -- *)
 
 let inject_t =
@@ -365,7 +383,7 @@ let run_cmd =
   in
   let run () strategy dot_dir context_path legacy_path property prefix knowledge
       save_knowledge batch inject seed deadline_ms votes quorum breaker journal resume
-      snapshot =
+      snapshot no_incremental incremental_debug =
     let context = load_automaton context_path in
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
@@ -405,7 +423,8 @@ let run_cmd =
     in
     let r =
       Loop.run ~strategy ~label_of ?initial_knowledge ~counterexamples_per_iteration:batch
-        ?observe ?journal ?resume ?snapshot ~context ~property ~legacy:box ()
+        ?observe ?journal ?resume ?snapshot ~incremental:(not no_incremental)
+        ~incremental_debug ~context ~property ~legacy:box ()
     in
     Option.iter
       (fun path ->
@@ -425,7 +444,8 @@ let run_cmd =
     Term.(
       const run $ obs_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
       $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t $ inject_t $ seed_t
-      $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t)
+      $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t
+      $ no_incremental_t $ incremental_debug_t)
 
 (* -- learn: whole-component learning baseline on a file -- *)
 
@@ -529,7 +549,7 @@ let campaign_cmd =
     n = 0 || go 0
   in
   let run () jobs report csv tiny select timeout retries no_cache inject seed
-      deadline_ms votes quorum breaker =
+      deadline_ms votes quorum breaker no_incremental incremental_debug =
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
       exit 3
@@ -566,7 +586,10 @@ let campaign_cmd =
         specs
     in
     let t0 = Unix.gettimeofday () in
-    let outcomes = Campaign.run ~jobs ~memo:(not no_cache) specs in
+    let outcomes =
+      Campaign.run ~jobs ~memo:(not no_cache) ~incremental:(not no_incremental)
+        ~incremental_debug specs
+    in
     let wall = Unix.gettimeofday () -. t0 in
     print_endline (Report.table outcomes);
     Format.printf "%s; %.2f s wall@." (Report.summary ~jobs outcomes) wall;
@@ -591,7 +614,7 @@ let campaign_cmd =
     Term.(
       const run $ obs_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
       $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t $ quorum_t
-      $ breaker_t)
+      $ breaker_t $ no_incremental_t $ incremental_debug_t)
 
 (* -- export: bundled scenario automata as textio files -- *)
 

@@ -70,3 +70,66 @@ type origin =
 
 val origin : string -> origin
 (** Classify a closure state name. *)
+
+(** {2 Incremental closure}
+
+    The synthesis loop re-derives [chaos(M)] every iteration even though one
+    iteration changes only a handful of facts.  An {!inc} handle keeps the
+    construction's indexes (state positions, known/refused input patterns,
+    adjacency rows) alive so that {!update} patches the previous closure:
+    only the copies of states that gained a fact are rebuilt (a known edge
+    appears, escapes to [s_∀]/[s_δ] disappear), everything else is shared —
+    including the CSR index, spliced via {!Mechaml_ts.Automaton.patch}.  The
+    result is structurally identical to a fresh {!closure} (state numbering,
+    adjacency order, labels), which keeps witnesses, products and therefore
+    verdicts byte-for-byte independent of incremental mode. *)
+
+type inc
+(** Mutable incremental-closure handle for one growing incomplete model. *)
+
+val inc_closure :
+  ?label_of:(string -> string list) -> ?extra_props:string list -> Incomplete.t -> inc
+(** Build the closure from scratch (exactly {!closure}) and wrap it in a
+    handle for later {!update}s. *)
+
+val update : ?debug:bool -> inc -> Incomplete.t -> unit
+(** Patch the handle's closure to match the grown model.  The model must be
+    the same one the handle was built from, extended append-only (as
+    {!Incomplete.add_transition}/[add_refusal] do — the loop's only mutation
+    path); the delta is recovered from element counts.  With [debug] a fresh
+    closure is also built and compared structurally — [Failure] on any
+    divergence.  Raises like {!closure} on invalid new state names. *)
+
+val adopt :
+  ?label_of:(string -> string list) ->
+  ?extra_props:string list ->
+  prev:inc option ->
+  Incomplete.t ->
+  Mechaml_ts.Automaton.t ->
+  inc
+(** Rebuild a handle around an existing closure automaton of the given model
+    — the memo-cache path, where a hook returned the automaton without
+    running the construction.  With [prev] (the handle for the model before
+    this iteration) the dirty-state delta is still computed exactly, so
+    product patching composes with cache replay; without it every state is
+    conservatively dirty.  [label_of]/[extra_props] are only consulted when
+    [prev] is [None]. *)
+
+val auto : inc -> Mechaml_ts.Automaton.t
+(** The handle's current closure. *)
+
+val delta_edges : inc -> int
+(** Transitions rebuilt by the last {!update} (0 after a fresh build, an
+    {!adopt}, or an empty delta). *)
+
+val total_delta_edges : inc -> int
+(** Sum of {!delta_edges} over the handle's lifetime. *)
+
+val dirty_states : inc -> int list
+(** Closure states whose adjacency rows changed in the last {!update} (or
+    every core copy after a fresh build / conservative {!adopt}), sorted.
+    Indices of core copies are stable across updates, which is what lets
+    {!Mechaml_ts.Compose.Inc} key its pair cache on them. *)
+
+val grew : inc -> bool
+(** The last {!update} added core states (shifting [s_∀]/[s_δ]). *)

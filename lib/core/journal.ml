@@ -6,6 +6,8 @@ let sentinel = ";end"
 
 type error = { line : int; message : string }
 
+type record = Obs of Observation.t | Iter of int
+
 exception Error of error
 
 let fail line message = raise (Error { line; message })
@@ -27,15 +29,21 @@ let line_of (obs : Observation.t) =
   add " %s" sentinel;
   Buffer.contents buf
 
-let append ~path obs =
+let iter_line_of index = Printf.sprintf "iter %d refuted %s" index sentinel
+
+let append_line ~path line =
   let fresh = (not (Sys.file_exists path)) || Unix.((stat path).st_size) = 0 in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       if fresh then output_string oc (header ^ "\n");
-      output_string oc (line_of obs ^ "\n");
+      output_string oc (line ^ "\n");
       flush oc)
+
+let append ~path obs = append_line ~path (line_of obs)
+
+let append_iteration ~path index = append_line ~path (iter_line_of index)
 
 (* -- parsing --------------------------------------------------------------- *)
 
@@ -63,12 +71,7 @@ let parse_segment lineno segment =
     `Step { Observation.pre_state = pre; inputs = []; outputs = []; post_state = post }
   | _ -> fail lineno (Printf.sprintf "malformed observation segment %S" (String.trim segment))
 
-let parse_line lineno line =
-  let body =
-    match String.length line >= 4 && String.sub line 0 4 = "obs " with
-    | true -> String.sub line 4 (String.length line - 4)
-    | false -> fail lineno "expected an 'obs ' record"
-  in
+let parse_obs_line lineno body =
   match String.split_on_char '|' body with
   | [] -> fail lineno "empty observation record"
   | first :: segments ->
@@ -87,6 +90,22 @@ let parse_line lineno line =
         ([], None) segments
     in
     { Observation.initial_state; steps = List.rev steps; refused }
+
+let parse_line lineno line =
+  let starts prefix =
+    let p = String.length prefix in
+    String.length line >= p && String.sub line 0 p = prefix
+  in
+  if starts "obs " then
+    Obs (parse_obs_line lineno (String.sub line 4 (String.length line - 4)))
+  else if starts "iter " then
+    match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+    | [ "iter"; index; "refuted" ] -> (
+      match int_of_string_opt index with
+      | Some i when i >= 0 -> Iter i
+      | _ -> fail lineno (Printf.sprintf "bad iteration index %S" index))
+    | _ -> fail lineno "malformed 'iter' record"
+  else fail lineno "expected an 'obs ' or 'iter ' record"
 
 let complete line =
   let n = String.length line and s = String.length sentinel in
@@ -123,7 +142,7 @@ let parse text =
   | v -> Ok v
   | exception Error e -> Stdlib.Error e
 
-let load ~path =
+let load_all ~path =
   if not (Sys.file_exists path) then Stdlib.Error { line = 0; message = "no such file" }
   else
     let ic = open_in path in
@@ -132,3 +151,9 @@ let load ~path =
           really_input_string ic (in_channel_length ic))
     in
     parse text
+
+let load ~path =
+  Result.map
+    (fun (records, torn) ->
+      (List.filter_map (function Obs o -> Some o | Iter _ -> None) records, torn))
+    (load_all ~path)

@@ -8,26 +8,39 @@
     tolerates exactly that: a torn trailing line is dropped (and reported),
     while corruption anywhere else is an error.
 
-    Format: a [mechaml-journal 1] header, then one line per observation —
+    Format: a [mechaml-journal 1] header, then one line per record, each
+    closed by the [;end] sentinel.  Observations read
     [obs <initial> | <pre> : <ins> / <outs> -> <post> | ... | refuse <state> : <ins> ;end]
-    with comma-separated signal lists and the [;end] sentinel marking a
-    complete record.
+    with comma-separated signal lists; iteration verdicts read
+    [iter <index> refuted ;end] and mark a synthesis-loop iteration whose
+    counterexample was refuted (the run continued past it).
 
     Replaying a journal through {!Incomplete.learn_observation} reconstructs
-    exactly the knowledge the interrupted run had accumulated, which is what
-    {!Loop.run}[ ~resume] does. *)
+    exactly the knowledge the interrupted run had accumulated, and the last
+    iteration record tells {!Loop.run}[ ~resume] which iteration to resume
+    counting from. *)
 
 type error = { line : int; message : string }
+
+type record = Obs of Mechaml_legacy.Observation.t | Iter of int
 
 val append : path:string -> Mechaml_legacy.Observation.t -> unit
 (** Append one observation, creating the file (with header) if needed.
     The record is flushed before returning. *)
 
+val append_iteration : path:string -> int -> unit
+(** Append an iteration-verdict record ([iter <index> refuted]), creating the
+    file (with header) if needed; flushed before returning. *)
+
 val load :
   path:string -> (Mechaml_legacy.Observation.t list * bool, error) result
 (** [Ok (observations, torn)] — [torn] is [true] when a final partial record
-    (interrupted {!append}) was dropped.  Never raises; a missing file, a bad
-    header or a malformed non-final record is an [Error]. *)
+    (interrupted append) was dropped.  Iteration records are skipped.  Never
+    raises; a missing file, a bad header or a malformed non-final record is
+    an [Error]. *)
+
+val load_all : path:string -> (record list * bool, error) result
+(** Like {!load} but returns every record in order. *)
 
 val line_of : Mechaml_legacy.Observation.t -> string
 (** The journal line for one observation, without the trailing newline

@@ -4,6 +4,7 @@ module Run = Mechaml_ts.Run
 module Compose = Mechaml_ts.Compose
 module Ctl = Mechaml_logic.Ctl
 module Checker = Mechaml_mc.Checker
+module Sat = Mechaml_mc.Sat
 module Witness = Mechaml_mc.Witness
 module Blackbox = Mechaml_legacy.Blackbox
 module Observation = Mechaml_legacy.Observation
@@ -78,6 +79,9 @@ type result = {
   closure_seconds : float;
   check_seconds : float;
   test_seconds : float;
+  closure_delta_edges : int;
+  product_states_reused : int;
+  sat_seed_hit_rate : float;
 }
 
 (* The projection of a product counterexample onto the legacy side, decoded
@@ -161,7 +165,8 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
     ?initial_knowledge ?(counterexamples_per_iteration = 1)
     ?(on_closure = fun ~model:_ ~compute -> compute ())
     ?(on_check = fun ~product:_ ~formulas:_ ~compute -> compute ()) ?observe:observe_hook
-    ?journal ?resume ?snapshot ~(context : Automaton.t) ~property ~(legacy : Blackbox.t) () =
+    ?journal ?resume ?snapshot ?(incremental = true) ?(incremental_threshold = 128)
+    ?(incremental_debug = false) ~(context : Automaton.t) ~property ~(legacy : Blackbox.t) () =
   if not (Ctl.is_compositional property) then
     invalid_arg
       (Printf.sprintf
@@ -254,33 +259,46 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       k
   in
   (* Crash recovery: fold the journalled observations of the interrupted run
-     back into the model.  Replayed observations cost no driver executions,
-     so they are not counted as tests. *)
-  let initial_model =
+     back into the model, and skip straight past every iteration whose
+     refutation the journal already recorded — their learning is in the
+     replayed observations, so re-counting them would double-charge the
+     iteration budget.  Replayed observations cost no driver executions, so
+     they are not counted as tests. *)
+  let initial_model, start_index =
     match resume with
-    | None -> initial_model
+    | None -> (initial_model, 0)
     | Some path -> (
-      match Journal.load ~path with
+      match Journal.load_all ~path with
       | Error { line; message } ->
         invalid_arg
           (Printf.sprintf "Loop.run: cannot resume from %s (line %d: %s)" path line message)
-      | Ok (observations, torn) ->
+      | Ok (records, torn) ->
         if torn then
           Log.warn (fun m ->
               m "journal %s: dropped a torn final record (interrupted append)" path);
+        let observations =
+          List.filter_map (function Journal.Obs o -> Some o | Journal.Iter _ -> None) records
+        in
+        let last_iter =
+          List.fold_left
+            (fun acc -> function Journal.Iter i -> max acc i | Journal.Obs _ -> acc)
+            (-1) records
+        in
         Log.info (fun m ->
-            m "resuming: replaying %d journalled observation(s) from %s"
-              (List.length observations) path);
-        List.fold_left
-          (fun model obs ->
-            try Incomplete.learn_observation model obs
-            with Invalid_argument msg ->
-              invalid_arg
-                (Printf.sprintf
-                   "Loop.run: journal %s contradicts the driver or the seeded knowledge \
-                    (%s) — was it recorded against a different component?"
-                   path msg))
-          initial_model observations)
+            m "resuming: replaying %d journalled observation(s) from %s, continuing at \
+               iteration %d"
+              (List.length observations) path (last_iter + 1));
+        ( List.fold_left
+            (fun model obs ->
+              try Incomplete.learn_observation model obs
+              with Invalid_argument msg ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Loop.run: journal %s contradicts the driver or the seeded knowledge \
+                      (%s) — was it recorded against a different component?"
+                     path msg))
+            initial_model observations,
+          last_iter + 1 ))
   in
   latest_model := initial_model;
   let last_snapshot = ref (-1) in
@@ -291,6 +309,24 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       last_snapshot := Incomplete.knowledge model
     | _ -> ()
   in
+  (* Incremental re-verification state, threaded across iterations: the
+     chaotic-closure handle (delta closure), the product cache (re-explores
+     only pairs whose closure projection changed) and the previous
+     iteration's converged checker environment (warm-started fixpoints).
+     All three produce results byte-identical to the from-scratch path;
+     [incremental_debug] additionally recomputes each stage cold and fails
+     on any divergence. *)
+  let chaos_inc : Chaos.inc option ref = ref None in
+  let prod_inc : Compose.Inc.t option ref = ref None in
+  let prev_env : Sat.env option ref = ref None in
+  (* Below [incremental_threshold] closure transitions a from-scratch rebuild
+     is cheaper than maintaining the caches, so the machinery stays dormant
+     until the state space outgrows the gate — and then stays on (the closure
+     only grows).  Either path produces identical results. *)
+  let inc_live = ref (incremental_threshold <= 0) in
+  let delta_edges_total = ref 0 in
+  let product_reused_total = ref 0 in
+  let seed_hits = ref 0 and seed_total = ref 0 in
   (* The body of one iteration, factored out of the recursion so that the
      per-iteration profiling span closes before the next iteration starts
      (wrapping a recursive call would nest every iteration inside its
@@ -300,8 +336,38 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
     let closure =
       timed closure_seconds ~name:"loop.closure" (fun () ->
           on_closure ~model
-            ~compute:(fun () -> Chaos.closure ~label_of ~extra_props:legacy_props model))
+            ~compute:(fun () ->
+              if not (incremental && !inc_live) then
+                Chaos.closure ~label_of ~extra_props:legacy_props model
+              else begin
+                let inc =
+                  match !chaos_inc with
+                  | Some inc ->
+                    Chaos.update ~debug:incremental_debug inc model;
+                    inc
+                  | None -> Chaos.inc_closure ~label_of ~extra_props:legacy_props model
+                in
+                chaos_inc := Some inc;
+                Chaos.auto inc
+              end))
     in
+    if incremental then begin
+      if (not !inc_live) && Automaton.num_transitions closure >= incremental_threshold then
+        inc_live := true;
+      if !inc_live then begin
+        (* When the [on_closure] hook replayed a memoized closure (or the
+           gate just flipped), [compute] never ran the handle — rebuild it
+           around the existing automaton, keeping the previous handle so the
+           dirty delta stays exact. *)
+        let inc =
+          match !chaos_inc with
+          | Some inc when Chaos.auto inc == closure -> inc
+          | prev -> Chaos.adopt ~label_of ~extra_props:legacy_props ~prev model closure
+        in
+        chaos_inc := Some inc;
+        delta_edges_total := !delta_edges_total + Chaos.delta_edges inc
+      end
+    end;
     (* Equation (7): φ ∧ ¬δ.  The property is checked first so that a
        genuine integration conflict surfaces as a property counterexample
        (the paper's fast conflict detection, Listing 1.4) rather than as
@@ -309,11 +375,61 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
     let formulas = [ weakened; Ctl.deadlock_free ] in
     let product, outcome =
       timed check_seconds ~name:"loop.check" (fun () ->
-          let product = Compose.parallel context closure in
-          ( product,
+          let product, prod_stats =
+            match (incremental && !inc_live, !chaos_inc) with
+            | true, Some inc ->
+              let pinc =
+                match !prod_inc with
+                | Some p -> p
+                | None ->
+                  let p = Compose.Inc.create context in
+                  prod_inc := Some p;
+                  p
+              in
+              (* Core closure copies keep their indices across updates; only
+                 [s_∀]/[s_δ] shift when the core grows, so they key by
+                 distance from the end. *)
+              let n = Automaton.num_states closure in
+              let stable_key r = if r >= n - 2 then r - n else r in
+              let resolve k = if k < 0 then n + k else k in
+              let p, stats =
+                Compose.Inc.parallel pinc ~right:closure ~dirty:(Chaos.dirty_states inc)
+                  ~stable_key ~resolve
+              in
+              product_reused_total := !product_reused_total + stats.Compose.Inc.reused;
+              (p, Some stats)
+            | _ -> (Compose.parallel context closure, None)
+          in
+          let env_used = ref None in
+          let outcome =
             on_check ~product:product.Compose.auto ~formulas
               ~compute:(fun () ->
-                Checker.check_conjunction ~strategy product.Compose.auto formulas) ))
+                let env =
+                  match (prod_stats, !prev_env) with
+                  | Some stats, Some prev ->
+                    Sat.create_warm ~debug:incremental_debug ~prev
+                      ~old_of:stats.Compose.Inc.old_of ~dirty:stats.Compose.Inc.dirty
+                      product.Compose.auto
+                  | _ -> Sat.create product.Compose.auto
+                in
+                env_used := Some env;
+                Checker.check_conjunction_env ~strategy env formulas)
+          in
+          (match !env_used with
+          | Some env ->
+            (match Sat.warm_stats env with
+            | Some (h, t) ->
+              seed_hits := !seed_hits + h;
+              seed_total := !seed_total + t
+            | None -> ())
+          | None -> ());
+          (* A memoized check verdict leaves no converged environment behind;
+             the next iteration cold-starts its fixpoints.  Environments from
+             below the size gate are dropped too — their product was built
+             without the pair cache, so no [old_of] map relates its states to
+             the next product's. *)
+          prev_env := (if incremental && !inc_live then !env_used else None);
+          (product, outcome))
     in
     let base =
       {
@@ -505,7 +621,13 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
           (fun () -> step model index records)
       with
       | `Done (verdict, iterations, final) -> (verdict, iterations, final)
-      | `Continue (model', records') -> iterate model' (index + 1) records'
+      | `Continue (model', records') ->
+        (* The iteration's counterexample was refuted and its learning is
+           journalled above this record, so a resumed run can skip it. *)
+        (match journal_path with
+        | Some path -> Journal.append_iteration ~path index
+        | None -> ());
+        iterate model' (index + 1) records'
     end
   in
   (* Graceful degradation (the robustness analogue of Theorem 1): when the
@@ -541,7 +663,7 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
       model )
   in
   let verdict, iterations, final_model =
-    try iterate initial_model 0 [] with Degrade reason -> degrade reason
+    try iterate initial_model start_index [] with Degrade reason -> degrade reason
   in
   take_snapshot final_model;
   {
@@ -555,6 +677,10 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
     closure_seconds = !closure_seconds;
     check_seconds = !check_seconds;
     test_seconds = !test_seconds;
+    closure_delta_edges = !delta_edges_total;
+    product_states_reused = !product_reused_total;
+    sat_seed_hit_rate =
+      (if !seed_total = 0 then 0. else float_of_int !seed_hits /. float_of_int !seed_total);
   }
 
 let pp_iteration ppf (it : iteration) =

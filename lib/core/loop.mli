@@ -92,6 +92,17 @@ type result = {
       (** wall-clock time spent composing the product and model checking *)
   test_seconds : float;
       (** wall-clock time spent querying the driver (tests and probes) *)
+  closure_delta_edges : int;
+      (** transitions rebuilt by incremental closure updates over the whole
+          run (0 when [incremental] is off — everything was rebuilt, nothing
+          was {e patched}) *)
+  product_states_reused : int;
+      (** product-state visits whose joint moves were served from the
+          incremental composition cache, summed over all iterations *)
+  sat_seed_hit_rate : float;
+      (** fraction of unbounded fixpoint computations that were warm-started
+          from the previous iteration's converged sets ([0.] when
+          [incremental] is off or no fixpoint was seedable) *)
 }
 
 val run :
@@ -115,6 +126,9 @@ val run :
   ?journal:string ->
   ?resume:string ->
   ?snapshot:string ->
+  ?incremental:bool ->
+  ?incremental_threshold:int ->
+  ?incremental_debug:bool ->
   context:Mechaml_ts.Automaton.t ->
   property:Mechaml_logic.Ctl.t ->
   legacy:Mechaml_legacy.Blackbox.t ->
@@ -149,14 +163,35 @@ val run :
     whatever it proves is reported rather than lost.
 
     [journal] appends every freshly executed observation to a crash-safe
-    {!Journal} as it happens.  [resume] replays a journal into the starting
-    model before the first iteration (replayed observations are not counted
-    as tests) and — unless [journal] overrides it — keeps appending to the
-    same file, so a run can be killed and resumed repeatedly.  [snapshot]
-    additionally writes an atomic {!Knowledge_io} snapshot of the model
-    whenever its knowledge has grown (and once more on completion).
-    [Invalid_argument] if the resume journal is unreadable or contradicts
-    the driver's behaviour. *)
+    {!Journal} as it happens, plus an iteration-verdict record each time a
+    counterexample is refuted and the loop moves on.  [resume] replays a
+    journal into the starting model before the first iteration (replayed
+    observations are not counted as tests), resumes iteration counting after
+    the last recorded iteration instead of re-charging the budget for work
+    already journalled, and — unless [journal] overrides it — keeps
+    appending to the same file, so a run can be killed and resumed
+    repeatedly.  [snapshot] additionally writes an atomic {!Knowledge_io}
+    snapshot of the model whenever its knowledge has grown (and once more on
+    completion).  [Invalid_argument] if the resume journal is unreadable or
+    contradicts the driver's behaviour.
+
+    [incremental] (default [true]) re-verifies incrementally across
+    iterations: the chaotic closure is patched rather than rebuilt
+    ({!Chaos.update}), the product is re-explored only where the closure
+    changed ({!Mechaml_ts.Compose.Inc}) and the checker's unbounded
+    fixpoints are warm-started from the previous iteration's converged sets
+    ({!Mechaml_mc.Sat.create_warm}).  Every stage is byte-identical to the
+    from-scratch path — same closures, products, witnesses and verdicts —
+    so the flag is purely a performance switch; [incremental_debug]
+    additionally recomputes each stage from scratch and raises [Failure] on
+    any divergence (for tests).
+
+    [incremental_threshold] (default 128) keeps the incremental machinery
+    dormant while the closure has fewer transitions than this — on tiny
+    state spaces a from-scratch rebuild is cheaper than maintaining the
+    caches.  Once some iteration's closure reaches the threshold the
+    machinery engages for the rest of the run (the closure only grows).
+    [0] forces it on from the first iteration. *)
 
 val pp_iteration : Format.formatter -> iteration -> unit
 

@@ -64,6 +64,9 @@ type outcome = {
   test_seconds : float;
   max_closure_states : int;
   max_product_states : int;
+  closure_delta_edges : int;
+  product_states_reused : int;
+  sat_seed_hit_rate : float;
   cache : cache_counters;
   fault : string option;
   supervision : Supervisor.stats option;
@@ -88,7 +91,8 @@ exception Out_of_time
 (* Internal: unwinds Loop.run from inside a hook when the deadline passed.
    The loop holds no resources, so unwinding is safe at any stage. *)
 
-let run_spec_unobserved ?cache (spec : spec) : outcome =
+let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false)
+    (spec : spec) : outcome =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun budget -> start +. budget) spec.timeout in
   let closure_hits = ref 0 and closure_misses = ref 0 in
@@ -160,7 +164,8 @@ let run_spec_unobserved ?cache (spec : spec) : outcome =
         match
           Loop.run ~strategy:spec.strategy ~label_of:spec.label_of
             ?max_iterations:spec.max_iterations ~on_closure ~on_check ?observe
-            ~context:spec.context ~property:spec.property ~legacy:box ()
+            ~incremental ~incremental_debug ~context:spec.context
+            ~property:spec.property ~legacy:box ()
         with
         | r -> (k, Ok r)
         | exception Out_of_time -> (k, Error Timed_out)
@@ -217,6 +222,9 @@ let run_spec_unobserved ?cache (spec : spec) : outcome =
       test_seconds = r.Loop.test_seconds;
       max_closure_states;
       max_product_states;
+      closure_delta_edges = r.Loop.closure_delta_edges;
+      product_states_reused = r.Loop.product_states_reused;
+      sat_seed_hit_rate = r.Loop.sat_seed_hit_rate;
       cache;
       fault = spec.inject;
       supervision;
@@ -238,16 +246,19 @@ let run_spec_unobserved ?cache (spec : spec) : outcome =
       test_seconds = 0.;
       max_closure_states = 0;
       max_product_states = 0;
+      closure_delta_edges = 0;
+      product_states_reused = 0;
+      sat_seed_hit_rate = 0.;
       cache;
       fault = spec.inject;
       supervision;
     }
 
-let run_spec ?cache (spec : spec) : outcome =
+let run_spec ?cache ?incremental ?incremental_debug (spec : spec) : outcome =
   Trace.with_span ~name:"campaign.job" ~args:[ ("id", Trace.Str spec.id) ] (fun () ->
-      run_spec_unobserved ?cache spec)
+      run_spec_unobserved ?cache ?incremental ?incremental_debug spec)
 
-let run ?(jobs = 1) ?cache ?(memo = true) specs =
+let run ?(jobs = 1) ?cache ?(memo = true) ?incremental ?incremental_debug specs =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun s ->
@@ -259,7 +270,9 @@ let run ?(jobs = 1) ?cache ?(memo = true) specs =
     if not memo then None
     else Some (match cache with Some c -> c | None -> Cache.create ())
   in
-  Pool.map ~jobs ~f:(fun spec -> run_spec ?cache spec) (Array.of_list specs)
+  Pool.map ~jobs
+    ~f:(fun spec -> run_spec ?cache ?incremental ?incremental_debug spec)
+    (Array.of_list specs)
   |> Array.to_list
 
 (* -- the bundled matrix -------------------------------------------------- *)

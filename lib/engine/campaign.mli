@@ -93,6 +93,16 @@ type outcome = {
       (** largest chaotic-closure automaton built by any iteration — a
           structural fact, deterministic across workers/caching/tracing *)
   max_product_states : int;  (** largest context ∥ closure product likewise *)
+  closure_delta_edges : int;
+      (** transitions patched into the chaotic closure across incremental
+          updates ({!Mechaml_core.Loop.result.closure_delta_edges}); 0 when
+          the job ran from scratch *)
+  product_states_reused : int;
+      (** product states whose outgoing moves were replayed from the previous
+          iteration's product instead of re-joined *)
+  sat_seed_hit_rate : float;
+      (** fraction of seedable CCTL fixpoints warm-started from the previous
+          iteration's converged sat-sets (0 when nothing was seedable) *)
   cache : cache_counters;
       (** this job's lookups; under a shared cache and [jobs > 1] the
           hit/miss split depends on sibling scheduling *)
@@ -106,13 +116,20 @@ val verdict_string : verdict -> string
 
 val strategy_string : Mechaml_mc.Witness.strategy -> string
 
-val run_spec : ?cache:Cache.t -> spec -> outcome
+val run_spec :
+  ?cache:Cache.t -> ?incremental:bool -> ?incremental_debug:bool -> spec -> outcome
 (** Execute one job: build the box, run the loop (memoized through [cache]
     when given), enforcing the timeout between stages and retrying crashed
     attempts up to [retries] times.  Never raises: crashes and timeouts
-    become verdicts. *)
+    become verdicts.  [incremental] (default [true]) selects the loop's
+    incremental re-verification engine; verdicts and canonical reports are
+    identical either way ({!Mechaml_core.Loop.run}), so memo-cache keys and
+    hits are unaffected.  [incremental_debug] recomputes every reused stage
+    from scratch and fails on divergence. *)
 
-val run : ?jobs:int -> ?cache:Cache.t -> ?memo:bool -> spec list -> outcome list
+val run :
+  ?jobs:int -> ?cache:Cache.t -> ?memo:bool -> ?incremental:bool ->
+  ?incremental_debug:bool -> spec list -> outcome list
 (** Run a campaign on [jobs] worker domains (default 1; [1] executes
     sequentially in list order).  All jobs share one cache — [cache] to
     reuse a warm one across campaigns, [memo:false] to disable memoization

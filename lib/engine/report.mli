@@ -8,8 +8,17 @@
       runs and worker counts;
     - {!canonical} carries only the deterministic fields — two campaigns
       over the same matrix are byte-identical there regardless of [jobs],
-      cache warmth or machine load.  The engine tests compare campaigns
-      through it. *)
+      cache warmth, machine load or incremental re-verification mode.  The
+      engine tests compare campaigns through it.
+
+    The incremental-reuse counters ([closure_delta_edges],
+    [product_states_reused], [sat_seed_hit_rate]) appear in the table, JSON
+    and CSV outputs but deliberately {e not} in {!canonical}: they describe
+    how a result was computed, not what it is, and differ between
+    [incremental] on and off while the verdicts do not.  Like the cache
+    counters they also depend on worker scheduling — a closure served by
+    the shared memo cache contributes no delta edges, and which job
+    computes first varies with [jobs]. *)
 
 val table : Campaign.outcome list -> string
 (** Aligned plain-text per-job table ({!Mechaml_util.Pp.table}). *)

@@ -34,13 +34,15 @@ let check_env env ~strategy f =
 
 let check ?(strategy = Witness.Bfs_shortest) m f = check_env (Sat.create m) ~strategy f
 
-let check_conjunction ?(strategy = Witness.Bfs_shortest) m fs =
-  let env = Sat.create m in
+let check_conjunction_env ?(strategy = Witness.Bfs_shortest) env fs =
   let rec go = function
     | [] -> Holds
     | f :: rest -> ( match check_env env ~strategy f with Holds -> go rest | v -> v)
   in
   go fs
+
+let check_conjunction ?(strategy = Witness.Bfs_shortest) m fs =
+  check_conjunction_env ~strategy (Sat.create m) fs
 
 let check_with_deadlock_freedom ?(strategy = Witness.Bfs_shortest) m f =
   check_conjunction ~strategy m [ Ctl.deadlock_free; f ]

@@ -26,6 +26,12 @@ val check_conjunction :
     checking the conjunction because satisfaction sets are shared through one
     environment and witnesses stay per-property. *)
 
+val check_conjunction_env :
+  ?strategy:Witness.strategy -> Sat.env -> Mechaml_logic.Ctl.t list -> outcome
+(** {!check_conjunction} against a caller-supplied environment — the hook
+    that lets the synthesis loop pass a {!Sat.create_warm} environment and
+    keep it for the next iteration's warm start. *)
+
 val check_with_deadlock_freedom :
   ?strategy:Witness.strategy -> Mechaml_ts.Automaton.t -> Mechaml_logic.Ctl.t -> outcome
 (** [φ ∧ ¬δ], the combined obligation of equation (7): the property itself

@@ -24,7 +24,15 @@ type result = { verdict : verdict; pairs_explored : int }
    bit per potential pair, so membership tests are mask-and-shift instead of
    tuple hashing.  2^22 codes is a 512 KiB transient vector at the worst
    case; parents are tracked per *explored* pair, so sparsely-explored big
-   products stay cheap. *)
+   products stay cheap.
+
+   Incremental note: unlike {!Sat}'s warm-started fixpoints, the on-the-fly
+   search keeps no state across synthesis iterations — its visited set is
+   intrinsically tied to the current exploration's parent links (the trace
+   reconstruction walks them), so a seeded visited set would yield orphaned
+   counterexample paths.  Each call is a cold start by design; the loop's
+   incremental machinery amortizes the product and the global checker
+   instead. *)
 let dense_cap = 1 lsl 22
 
 let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)

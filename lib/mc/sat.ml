@@ -22,6 +22,14 @@ let m_sat_set_size =
     ~buckets:(Metrics.log_buckets ~lo:1. ~hi:1e6 13)
     ~help:"Number of satisfying states per computed CTL subformula."
 
+let m_seeded_fixpoints =
+  Metrics.counter "mc_warm_seeded_fixpoints_total"
+    ~help:"Unbounded fixpoint computations warm-started from a previous converged sat set."
+
+let m_seedable_fixpoints =
+  Metrics.counter "mc_warm_seedable_fixpoints_total"
+    ~help:"Unbounded fixpoint computations in warm environments (seeded or not)."
+
 (* Satisfaction sets are bit vectors and both transition directions are CSR
    (compressed sparse row) arrays: [row]/[dst] come straight from the
    automaton's packed index, [pred_row]/[pred_src] invert them once at
@@ -38,6 +46,27 @@ type env = {
   pred_row : int array;
   pred_src : int array;
   blocking : Bitvec.t;
+  mutable warm : warm option;
+}
+
+(* Warm-start state, present when the env was created with {!create_warm}.
+   [w_mask] holds the states on which the previous product's converged sat
+   bits are exact: a state is masked iff it cannot reach (and is not itself)
+   a state whose outgoing row changed or that is new — on such states the
+   old and new reachable subgraphs are isomorphic with equal labels, so for
+   EVERY CTL subformula the old bit transfers verbatim.  Least fixpoints are
+   then seeded with the transferred bits (a subset of the final set, so the
+   worklist converges to the same fixpoint from much closer); greatest
+   fixpoints (EG) and the bounded dynamic programs recompute cold — their
+   iteration shapes gain nothing from a partial seed, and staying cold keeps
+   the soundness argument one-sided. *)
+and warm = {
+  w_prev : env;
+  w_old_of : int array;
+  w_mask : Bitvec.t;
+  w_debug : bool;
+  mutable w_hits : int;
+  mutable w_total : int;
 }
 
 let create auto =
@@ -71,6 +100,7 @@ let create auto =
     pred_row;
     pred_src;
     blocking;
+    warm = None;
   }
 
 let automaton env = env.auto
@@ -114,12 +144,17 @@ let with_stack env f =
   Metrics.add m_worklist_pops !pops;
   out
 
-(* Least fixpoint for EF: backward closure from the target set. *)
-let backward_closure env (target : Bitvec.t) =
+(* Least fixpoint for EF: backward closure from the target set.  [seed] must
+   be a subset of the final closure; seeded states enter the initial
+   worklist, so the closure is only explored outward from the frontier the
+   seed does not already cover. *)
+let backward_closure ?seed env (target : Bitvec.t) =
   Metrics.add m_fixpoint_sweeps 1;
-  let out = Bitvec.copy target in
+  let out =
+    match seed with None -> Bitvec.copy target | Some s -> Bitvec.logor target s
+  in
   with_stack env (fun ~push ~pop ~pending ->
-      Bitvec.iter_true push target;
+      Bitvec.iter_true push out;
       while pending () do
         let s = pop () in
         for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
@@ -172,9 +207,13 @@ let eg_fixpoint env (fset : Bitvec.t) =
 (* Least fixpoint for A(f U g) over maximal runs: a blocking ¬g state fails.
    [bad.(s)] counts successor edges leaving the set; a candidate joins when
    it hits zero, decrementing its predecessors' counts in turn. *)
-let au_fixpoint env (fset : Bitvec.t) (gset : Bitvec.t) =
+let au_fixpoint ?seed env (fset : Bitvec.t) (gset : Bitvec.t) =
   Metrics.add m_fixpoint_sweeps 1;
-  let out = Bitvec.copy gset in
+  (* a seed (subset of the final set) joins [out] before the bad counts are
+     taken, so counts are consistent and no propagation is owed for it *)
+  let out =
+    match seed with None -> Bitvec.copy gset | Some s -> Bitvec.logor gset s
+  in
   let bad = Array.make env.n 0 in
   let candidate s =
     (not (Bitvec.unsafe_get out s))
@@ -210,11 +249,13 @@ let au_fixpoint env (fset : Bitvec.t) (gset : Bitvec.t) =
       out)
 
 (* Least fixpoint for E(f U g): backward closure from g through f-states. *)
-let eu_fixpoint env (fset : Bitvec.t) (gset : Bitvec.t) =
+let eu_fixpoint ?seed env (fset : Bitvec.t) (gset : Bitvec.t) =
   Metrics.add m_fixpoint_sweeps 1;
-  let out = Bitvec.copy gset in
+  let out =
+    match seed with None -> Bitvec.copy gset | Some s -> Bitvec.logor gset s
+  in
   with_stack env (fun ~push ~pop ~pending ->
-      Bitvec.iter_true push gset;
+      Bitvec.iter_true push out;
       while pending () do
         let s = pop () in
         for k = env.pred_row.(s) to env.pred_row.(s + 1) - 1 do
@@ -287,6 +328,66 @@ let eu_bounded env { Ctl.lo; hi } (fset : Bitvec.t) (gset : Bitvec.t) =
             (k >= lo && Bitvec.unsafe_get gset s)
             || (k < hi && Bitvec.unsafe_get fset s && exists_succ env next s)))
 
+let create_warm ?(debug = false) ~prev ~old_of ~dirty auto =
+  let env = create auto in
+  if Array.length old_of <> env.n then
+    invalid_arg "Mc.Sat.create_warm: old_of length does not match the automaton";
+  let dirty_vec = Bitvec.create env.n in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= env.n then invalid_arg "Mc.Sat.create_warm: dirty state out of range";
+      Bitvec.unsafe_set dirty_vec s)
+    dirty;
+  (* Exactness region: states that cannot reach any changed-or-new state.
+     Every masked state must have an old counterpart — new states are
+     required to be in [dirty], hence outside the mask. *)
+  let mask = Bitvec.lognot (backward_closure env dirty_vec) in
+  Bitvec.iter_true
+    (fun s ->
+      if old_of.(s) < 0 then
+        invalid_arg "Mc.Sat.create_warm: unmapped state outside the dirty region")
+    mask;
+  env.warm <-
+    Some { w_prev = prev; w_old_of = old_of; w_mask = mask; w_debug = debug; w_hits = 0; w_total = 0 };
+  env
+
+let warm_stats env =
+  match env.warm with None -> None | Some w -> Some (w.w_hits, w.w_total)
+
+(* Transfer the previous env's converged bits for [key] onto the exactness
+   mask — the seed handed to the least fixpoints.  [invert] transfers the
+   complement (for AG, whose inner closure computes EF¬g = ¬AG g). *)
+let seed_for ?(invert = false) env key =
+  match env.warm with
+  | None -> None
+  | Some w ->
+    w.w_total <- w.w_total + 1;
+    Metrics.incr m_seedable_fixpoints;
+    (match Hashtbl.find_opt w.w_prev.memo key with
+    | None -> None
+    | Some old_v ->
+      w.w_hits <- w.w_hits + 1;
+      Metrics.incr m_seeded_fixpoints;
+      let s = Bitvec.create env.n in
+      Bitvec.iter_true
+        (fun i ->
+          let o = w.w_old_of.(i) in
+          if o >= 0 && Bitvec.get old_v o <> invert then Bitvec.unsafe_set s i)
+        w.w_mask;
+      Some s)
+
+(* With [debug] every seeded fixpoint is recomputed cold and compared —
+   the warm path must be bit-for-bit equivalent, not just verdict-equal. *)
+let checked env name run seed =
+  let fast = run (Some seed) in
+  (match env.warm with
+  | Some w when w.w_debug ->
+    let cold = run None in
+    if not (Bitvec.equal cold fast) then
+      failwith (Printf.sprintf "Mc.Sat: warm-start divergence in %s fixpoint" name)
+  | _ -> ());
+  fast
+
 let rec sat_vec env (f : Ctl.t) =
   match Hashtbl.find_opt env.memo f with
   | Some v -> v
@@ -320,19 +421,46 @@ and compute env (f : Ctl.t) =
   | Ex g ->
     let sg = sat_vec env g in
     Bitvec.init env.n (fun s -> exists_succ env sg s)
-  | Ef (None, g) -> backward_closure env (sat_vec env g)
+  | Ef (None, g) -> (
+    let sg = sat_vec env g in
+    match seed_for env f with
+    | None -> backward_closure env sg
+    | Some s -> checked env "EF" (fun seed -> backward_closure ?seed env sg) s)
   | Ef (Some b, g) -> ef_bounded env b (sat_vec env g)
-  | Af (None, g) -> au_fixpoint env (Bitvec.create_full env.n) (sat_vec env g)
+  | Af (None, g) -> (
+    let sg = sat_vec env g in
+    let full = Bitvec.create_full env.n in
+    match seed_for env f with
+    | None -> au_fixpoint env full sg
+    | Some s -> checked env "AF" (fun seed -> au_fixpoint ?seed env full sg) s)
   | Af (Some b, g) -> af_bounded env b (sat_vec env g)
-  | Ag (None, g) ->
-    (* AG f = ¬EF¬f *)
-    Bitvec.lognot (backward_closure env (sat_vec env (Ctl.Not g)))
+  | Ag (None, g) -> (
+    (* AG f = ¬EF¬f; the seed for the inner closure is the complement of the
+       previous AG set *)
+    let sng = sat_vec env (Ctl.Not g) in
+    match seed_for ~invert:true env f with
+    | None -> Bitvec.lognot (backward_closure env sng)
+    | Some s ->
+      checked env "AG"
+        (fun seed -> Bitvec.lognot (backward_closure ?seed env sng))
+        s)
   | Ag (Some b, g) -> ag_bounded env b (sat_vec env g)
-  | Eg (None, g) -> eg_fixpoint env (sat_vec env g)
+  | Eg (None, g) ->
+    (* greatest fixpoint: stays cold — seeding from below is unsound and a
+       sound superset seed would not shrink the removal cascade *)
+    eg_fixpoint env (sat_vec env g)
   | Eg (Some b, g) -> eg_bounded env b (sat_vec env g)
-  | Au (None, a, b) -> au_fixpoint env (sat_vec env a) (sat_vec env b)
+  | Au (None, a, b) -> (
+    let sa = sat_vec env a and sb = sat_vec env b in
+    match seed_for env f with
+    | None -> au_fixpoint env sa sb
+    | Some s -> checked env "AU" (fun seed -> au_fixpoint ?seed env sa sb) s)
   | Au (Some bd, a, b) -> au_bounded env bd (sat_vec env a) (sat_vec env b)
-  | Eu (None, a, b) -> eu_fixpoint env (sat_vec env a) (sat_vec env b)
+  | Eu (None, a, b) -> (
+    let sa = sat_vec env a and sb = sat_vec env b in
+    match seed_for env f with
+    | None -> eu_fixpoint env sa sb
+    | Some s -> checked env "EU" (fun seed -> eu_fixpoint ?seed env sa sb) s)
   | Eu (Some bd, a, b) -> eu_bounded env bd (sat_vec env a) (sat_vec env b)
 
 let sat env f =

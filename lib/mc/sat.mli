@@ -12,6 +12,33 @@ type env
 
 val create : Mechaml_ts.Automaton.t -> env
 
+val create_warm :
+  ?debug:bool ->
+  prev:env ->
+  old_of:int array ->
+  dirty:Mechaml_ts.Automaton.state list ->
+  Mechaml_ts.Automaton.t ->
+  env
+(** Warm-started environment for an automaton derived from [prev]'s by
+    localized change — the synthesis loop's product sequence.  [old_of]
+    maps each state to its counterpart in [prev]'s automaton ([-1] if none);
+    [dirty] lists the states whose outgoing transitions may differ from
+    their counterpart's (new states included).  On the {e exactness region}
+    — states that cannot reach any dirty state — the counterpart's converged
+    satisfaction bits are provably identical for every CTL subformula, so
+    unbounded least fixpoints ([EF]/[AF]/[AG]/[AU]/[EU]) are seeded with the
+    transferred bits and only explore outward from the seam.  [EG] and the
+    bounded operators recompute cold.  Verdicts and sat sets are bit-for-bit
+    those of a cold {!create}; [debug] recomputes every seeded fixpoint cold
+    and raises [Failure] on any divergence.  Raises [Invalid_argument] when
+    [old_of]/[dirty] are inconsistent with the automaton (wrong length,
+    out-of-range state, or an unmapped state outside the dirty region). *)
+
+val warm_stats : env -> (int * int) option
+(** [(seeded, seedable)] counts of unbounded fixpoint computations in a
+    warm environment — the seed hit rate is [seeded / seedable].  [None]
+    for cold environments. *)
+
 val automaton : env -> Mechaml_ts.Automaton.t
 
 val sat : env -> Mechaml_logic.Ctl.t -> bool array

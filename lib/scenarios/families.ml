@@ -10,12 +10,17 @@ let other = function "a" -> "b" | _ -> "a"
 
 let locked i = Printf.sprintf "locked_%d" i
 
-let lock_legacy ~n =
+let spare_input_names k = List.init k (Printf.sprintf "sp_i%d")
+
+let spare_output_names k = List.init k (Printf.sprintf "sp_o%d")
+
+let lock_legacy_gen ~n ~extra_inputs ~extra_outputs =
   if n < 1 then invalid_arg "Families.lock_legacy: n must be positive";
   let secret = lock_secret ~n in
   let b =
-    Automaton.Builder.create ~name:(Printf.sprintf "lock%d" n) ~inputs:[ "a"; "b" ]
-      ~outputs:[ "open" ] ()
+    Automaton.Builder.create ~name:(Printf.sprintf "lock%d" n)
+      ~inputs:([ "a"; "b" ] @ extra_inputs)
+      ~outputs:("open" :: extra_outputs) ()
   in
   List.iteri
     (fun i sym ->
@@ -34,16 +39,24 @@ let lock_legacy ~n =
   Automaton.Builder.set_initial b [ locked 0 ];
   Automaton.Builder.build b
 
+let lock_legacy ~n = lock_legacy_gen ~n ~extra_inputs:[] ~extra_outputs:[]
+
 let lock_box ~n = Blackbox.of_automaton ~port:"lockPort" (lock_legacy ~n)
 
-let lock_context ~n ~depth =
+let wide_lock_box ~n ~spares:(ki, ko) =
+  Blackbox.of_automaton ~port:"lockPort"
+    (lock_legacy_gen ~n ~extra_inputs:(spare_input_names ki)
+       ~extra_outputs:(spare_output_names ko))
+
+let lock_context_gen ~n ~depth ~extra_inputs ~extra_outputs =
   if depth < 0 || depth >= n then
     invalid_arg "Families.lock_context: depth must satisfy 0 <= depth < n";
   let secret = lock_secret ~n in
   let b =
     Automaton.Builder.create
       ~name:(Printf.sprintf "lockContext%d" depth)
-      ~inputs:[ "open" ] ~outputs:[ "a"; "b" ] ()
+      ~inputs:("open" :: extra_outputs)
+      ~outputs:([ "a"; "b" ] @ extra_inputs) ()
   in
   let state i = Printf.sprintf "c%d" i in
   List.iteri
@@ -57,6 +70,20 @@ let lock_context ~n ~depth =
     ~dst:(state 0) ();
   Automaton.Builder.set_initial b [ state 0 ];
   Automaton.Builder.build b
+
+let lock_context ~n ~depth = lock_context_gen ~n ~depth ~extra_inputs:[] ~extra_outputs:[]
+
+(* Same protocol as the plain lock, but the interface declares [ki] unused
+   input and [ko] unused output signals.  The chaotic closure must still
+   enumerate ℘(I) × ℘(O) escapes out of every open copy, so each spare
+   signal doubles the closure's per-state escape fan-out while the learned
+   protocol — and with it the iteration count — stays that of the plain
+   lock.  This is the regime where incremental re-verification pays:
+   per-iteration knowledge deltas are a handful of facts against a closure
+   of tens of thousands of transitions. *)
+let wide_lock_context ~n ~depth ~spares:(ki, ko) =
+  lock_context_gen ~n ~depth ~extra_inputs:(spare_input_names ki)
+    ~extra_outputs:(spare_output_names ko)
 
 let lock_property = Mechaml_logic.Parser.parse_exn "AG (not lock.unlocked)"
 

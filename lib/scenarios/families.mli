@@ -24,6 +24,20 @@ val lock_context : n:int -> depth:int -> Mechaml_ts.Automaton.t
     repeatedly plays that prefix and then deliberately resets with a wrong
     symbol.  It could consume [open] but never causes it. *)
 
+val wide_lock_box : n:int -> spares:int * int -> Mechaml_legacy.Blackbox.t
+(** The same lock, but its interface additionally declares [(ki, ko)] spare
+    input/output signals no transition ever uses.  Each spare doubles the
+    chaotic closure's escape fan-out (℘(I) × ℘(O)) while the learned
+    protocol — and hence the synthesis iteration count — stays that of
+    {!lock_box}: big closures, small per-iteration deltas, the regime that
+    exercises incremental re-verification.  [|I| + |O|] must stay within
+    {!Mechaml_core.Chaos.max_alphabet}. *)
+
+val wide_lock_context : n:int -> depth:int -> spares:int * int -> Mechaml_ts.Automaton.t
+(** {!lock_context} with the matching spare signals declared (a context must
+    produce every legacy input and consume every legacy output); its
+    transitions never exercise them. *)
+
 val lock_property : Mechaml_logic.Ctl.t
 (** [AG ¬ lock.unlocked] — provable for every context with [depth < n]. *)
 

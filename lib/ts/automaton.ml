@@ -162,6 +162,104 @@ let build_csr ~in_width ~out_width ~n ~trans =
     }
   end
 
+(* Splice a new CSR out of an old one: segments of clean states are blitted
+   (destinations remapped through [dst_map]), only dirty segments intern
+   their transitions — against a copy of the old interaction table, so ids
+   of surviving interactions are preserved and the blitted segments stay
+   per-segment sorted.  Interaction ids therefore differ from what a fresh
+   [build_csr] would assign (stale ids linger, new ones append at the end),
+   which is unobservable: every consumer either walks the adjacency lists
+   ([adj_inter] keeps list order) or treats the sorted view as a set. *)
+let patch_csr ~old_csr ~n ~trans ~dirty ~old_of ~dst_map =
+  let old_row = old_csr.row in
+  let row = Array.make (n + 1) 0 in
+  for s = 0 to n - 1 do
+    let len =
+      if dirty.(s) then List.length trans.(s)
+      else begin
+        let o = old_of.(s) in
+        old_row.(o + 1) - old_row.(o)
+      end
+    in
+    row.(s + 1) <- row.(s) + len
+  done;
+  let total = row.(n) in
+  let inter_tbl =
+    match old_csr.inter_tbl with
+    | Packed { shift; tbl } -> Packed { shift; tbl = Hashtbl.copy tbl }
+    | Pairs tbl -> Pairs (Hashtbl.copy tbl)
+  in
+  let rev_io = ref [] and n_inter = ref (Array.length old_csr.inter_io) in
+  let intern a b =
+    match inter_find inter_tbl a b with
+    | Some id -> id
+    | None ->
+      let id = !n_inter in
+      incr n_inter;
+      inter_add inter_tbl a b id;
+      rev_io := (a, b) :: !rev_io;
+      id
+  in
+  let f_input = Array.make total Bitset.empty in
+  let f_output = Array.make total Bitset.empty in
+  let f_dst = Array.make total 0 in
+  let f_inter = Array.make total 0 in
+  let adj_inter = Array.make total 0 in
+  for s = 0 to n - 1 do
+    let lo = row.(s) in
+    let len = row.(s + 1) - lo in
+    if not dirty.(s) then begin
+      let o = old_of.(s) in
+      let olo = old_row.(o) in
+      Array.blit old_csr.f_input olo f_input lo len;
+      Array.blit old_csr.f_output olo f_output lo len;
+      Array.blit old_csr.f_inter olo f_inter lo len;
+      Array.blit old_csr.adj_inter olo adj_inter lo len;
+      for k = 0 to len - 1 do
+        f_dst.(lo + k) <- dst_map old_csr.f_dst.(olo + k)
+      done
+    end
+    else begin
+      (* pass 1 in adjacency-list order *)
+      let k = ref lo in
+      List.iter
+        (fun t ->
+          f_input.(!k) <- t.input;
+          f_output.(!k) <- t.output;
+          f_dst.(!k) <- t.dst;
+          let id = intern t.input t.output in
+          f_inter.(!k) <- id;
+          adj_inter.(!k) <- id;
+          incr k)
+        trans.(s);
+      (* stable per-segment sort by interaction id, as [build_csr] does *)
+      let sorted = ref true in
+      for k = lo + 1 to lo + len - 1 do
+        if f_inter.(k - 1) > f_inter.(k) then sorted := false
+      done;
+      if not !sorted then begin
+        let perm = Array.init len (fun i -> lo + i) in
+        Array.sort
+          (fun i j ->
+            let c = compare adj_inter.(i) adj_inter.(j) in
+            if c <> 0 then c else compare i j)
+          perm;
+        let gi = Array.map (fun i -> f_input.(i)) perm in
+        let go = Array.map (fun i -> f_output.(i)) perm in
+        let gd = Array.map (fun i -> f_dst.(i)) perm in
+        let gt = Array.map (fun i -> adj_inter.(i)) perm in
+        Array.blit gi 0 f_input lo len;
+        Array.blit go 0 f_output lo len;
+        Array.blit gd 0 f_dst lo len;
+        Array.blit gt 0 f_inter lo len
+      end
+    end
+  done;
+  let inter_io =
+    Array.append old_csr.inter_io (Array.of_list (List.rev !rev_io))
+  in
+  { row; f_input; f_output; f_dst; f_inter; adj_inter; inter_tbl; inter_io }
+
 let make_with_tbl ~name_tbl ~name ~inputs ~outputs ~props ~state_names ~labels ~trans ~initial =
   let index = { name_cell = Atomic.make name_tbl; csr_cell = Atomic.make None } in
   { name; inputs; outputs; props; state_names; labels; trans; initial; index }
@@ -344,6 +442,50 @@ let of_packed ?(assume_unique_names = false) ~name ~inputs ~outputs ~props ~stat
     trans;
   make ~dup_ok:assume_unique_names ~name ~inputs ~outputs ~props ~state_names ~labels ~trans
     ~initial
+
+let patch ~old ~name ~props ~state_names ~labels ~trans ~initial ~dirty ~old_of ~dst_map () =
+  let n = Array.length state_names in
+  if Array.length labels <> n || Array.length trans <> n || Array.length dirty <> n
+     || Array.length old_of <> n
+  then invalid_arg (Printf.sprintf "Automaton.patch: array lengths disagree in %s" name);
+  if initial = [] then invalid_arg (Printf.sprintf "Automaton.patch: %s has no initial state" name);
+  List.iter
+    (fun q ->
+      if q < 0 || q >= n then
+        invalid_arg (Printf.sprintf "Automaton.patch: initial state %d out of range in %s" q name))
+    initial;
+  let old_n = num_states old in
+  Array.iteri
+    (fun s o ->
+      if (not dirty.(s)) && (o < 0 || o >= old_n) then
+        invalid_arg
+          (Printf.sprintf "Automaton.patch: clean state %d has no valid old index in %s" s name))
+    old_of;
+  (* only dirty rows carry unvalidated destinations; clean rows were checked
+     when [old] was built and are remapped wholesale *)
+  Array.iteri
+    (fun s ts ->
+      if dirty.(s) then
+        List.iter
+          (fun t ->
+            if t.dst < 0 || t.dst >= n then
+              invalid_arg
+                (Printf.sprintf "Automaton.patch: destination %d out of range in %s" t.dst name))
+          ts)
+    trans;
+  let c = patch_csr ~old_csr:(csr old) ~n ~trans ~dirty ~old_of ~dst_map in
+  let index = { name_cell = Atomic.make None; csr_cell = Atomic.make (Some c) } in
+  {
+    name;
+    inputs = old.inputs;
+    outputs = old.outputs;
+    props;
+    state_names;
+    labels;
+    trans;
+    initial;
+    index;
+  }
 
 module Csr = struct
   let row m = (csr m).row

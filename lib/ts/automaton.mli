@@ -120,6 +120,38 @@ val of_packed :
     (and defers building the name lookup table to first use) for callers
     that guarantee uniqueness themselves, e.g. by generating the names. *)
 
+val patch :
+  old:t ->
+  name:string ->
+  props:Universe.t ->
+  state_names:string array ->
+  labels:Mechaml_util.Bitset.t array ->
+  trans:trans list array ->
+  initial:state list ->
+  dirty:bool array ->
+  old_of:int array ->
+  dst_map:(state -> state) ->
+  unit ->
+  t
+(** Incremental sibling of {!of_packed} for callers that derive the new
+    automaton from an [old] one by changing only a few states' adjacency
+    lists ({!Mechaml_core.Chaos}[.update]).  Signal universes are inherited
+    from [old].  For every state [s] with [dirty.(s) = false] the caller
+    asserts that [trans.(s)] lists exactly the transitions of old state
+    [old_of.(s)] with each destination pushed through [dst_map] (same
+    labels, same order); the CSR index is then spliced — clean segments are
+    blitted from [old]'s index with destinations remapped, and only dirty
+    segments intern their transitions (against a copy of [old]'s
+    interaction table, so surviving interaction ids are preserved and
+    blitted segments remain sorted).  Interaction ids and per-segment
+    sorted order may therefore differ from a fresh {!of_packed} build;
+    both are internal to the index — adjacency lists, state numbering and
+    all set-valued queries are identical.  Like
+    [of_packed ~assume_unique_names:true], state-name uniqueness is the
+    caller's obligation.  Raises [Invalid_argument] on length mismatches,
+    out-of-range dirty destinations or initial states, or a clean state
+    whose [old_of] is out of range. *)
+
 val interaction_id : t -> Mechaml_util.Bitset.t -> Mechaml_util.Bitset.t -> int option
 (** Interned id of the interaction [(A, B)], if any transition of the
     automaton carries that exact label.  Ids are dense in

@@ -195,7 +195,15 @@ let make_join (left : Automaton.t) (right : Automaton.t) =
 
 let joint_iter = make_join
 
-let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
+(* BFS core of the product construction, parameterized over the joint-move
+   enumerator so the incremental path below can substitute cached successor
+   lists for live hash joins: [moves s s' emit] must call
+   [emit input output l_dst r_dst] once per joint move of the pair, with the
+   already-combined interaction label, in {!make_join}'s enumeration order.
+   Everything observable about the product (state numbering, names, labels,
+   adjacency order) is fixed by the emitted moves, which is what lets the
+   incremental layer guarantee byte-identical products. *)
+let bfs_product ~moves (left : Automaton.t) (right : Automaton.t) =
   if not (Automaton.composable left right) then
     invalid_arg
       (Printf.sprintf "Compose.parallel: %s and %s are not composable" left.Automaton.name
@@ -205,9 +213,7 @@ let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
   let inputs = Universe.union left.inputs right.inputs in
   let outputs = Universe.union left.outputs right.outputs in
   let props = Universe.union left.props right.props in
-  let in_shift = Universe.size left.inputs and out_shift = Universe.size left.outputs in
   let lp_size = Universe.size left.props in
-  let join = make_join left right in
   (* Pairs pack into one int key (products beyond 2^62 states are unbuildable
      anyway), so interning never allocates a tuple; per-state data lives in
      growable arrays rather than reversed lists, and because ids are handed
@@ -261,12 +267,9 @@ let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
     incr cursor;
     let s = !pl.(id) and s' = !pr.(id) in
     let acc = ref [] in
-    ignore
-      (join (s, s') (fun (t : Automaton.trans) (t' : Automaton.trans) ->
-           let dst = intern t.dst t'.dst in
-           let input = Bitset.union t.input (Bitset.shift in_shift t'.input) in
-           let output = Bitset.union t.output (Bitset.shift out_shift t'.output) in
-           acc := { Automaton.input; output; dst } :: !acc));
+    moves s s' (fun input output l_dst r_dst ->
+        let dst = intern l_dst r_dst in
+        acc := { Automaton.input; output; dst } :: !acc);
     !outs.(id) <- List.rev !acc
   done;
   let count = !n in
@@ -323,10 +326,26 @@ let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
   in
   { auto; left; right; pairs }
 
-let parallel left right =
-  let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
-  let p = parallel_unobserved left right in
-  if t0 <> None || Metrics.enabled () then begin
+(* Joint-move enumerator over a live hash join: the combined interaction
+   label is assembled on the fly by shifting the right operand's signals past
+   the left operand's universe. *)
+let join_moves (left : Automaton.t) (right : Automaton.t) =
+  let in_shift = Universe.size left.Automaton.inputs in
+  let out_shift = Universe.size left.Automaton.outputs in
+  let join = make_join left right in
+  fun s s' emit ->
+    ignore
+      (join (s, s') (fun (t : Automaton.trans) (t' : Automaton.trans) ->
+           emit
+             (Bitset.union t.input (Bitset.shift in_shift t'.input))
+             (Bitset.union t.output (Bitset.shift out_shift t'.output))
+             t.dst t'.dst))
+
+let parallel_unobserved (left : Automaton.t) (right : Automaton.t) =
+  bfs_product ~moves:(join_moves left right) left right
+
+let observe_product ~start_us (p : product) =
+  if start_us <> None || Metrics.enabled () then begin
     let states = Automaton.num_states p.auto in
     (* the transition count walks every adjacency list — worth it for the
        size histograms, too slow for the per-span fast path when only
@@ -336,18 +355,23 @@ let parallel left right =
       Metrics.observe m_product_transitions
         (float_of_int (Automaton.num_transitions p.auto))
     end;
-    match t0 with
+    match start_us with
     | Some start_us ->
       Trace.complete ~name:"ts.compose" ~start_us
         ~args:
           [
-            ("left", Trace.Str left.Automaton.name);
-            ("right", Trace.Str right.Automaton.name);
+            ("left", Trace.Str p.left.Automaton.name);
+            ("right", Trace.Str p.right.Automaton.name);
             ("states", Trace.Int states);
           ]
         ()
     | None -> ()
-  end;
+  end
+
+let parallel left right =
+  let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
+  let p = parallel_unobserved left right in
+  observe_product ~start_us:t0 p;
   p
 
 let parallel_many = function
@@ -387,3 +411,116 @@ let find_pair p pair =
   let n = Array.length p.pairs in
   let rec go i = if i >= n then None else if p.pairs.(i) = pair then Some i else go (i + 1) in
   go 0
+
+(* Incremental product reconstruction across a sequence of right operands
+   that differ only in a few states' adjacency rows — the synthesis loop's
+   context ∥ chaos(M_i) sequence.  The BFS itself is re-run every iteration
+   (state numbering must stay byte-identical, and the reachable region can
+   both grow and shrink), but the expensive part of each visit — the hash
+   join over the pair's transitions — is served from a cache keyed by
+   (left state, stable right key) and invalidated by the caller's dirty set.
+   Cached moves store destinations as stable right keys too, so entries
+   survive right-operand reindexing (the chaos states shift when the core
+   grows); the caller translates keys back per call via [resolve]. *)
+module Inc = struct
+  type move = {
+    mv_input : Bitset.t;
+    mv_output : Bitset.t;
+    mv_ldst : int;
+    mv_rkey : int;
+  }
+
+  type entry = { e_version : int; e_moves : move array }
+
+  type stats = {
+    old_of : int array;
+    dirty : int list;
+    reused : int;
+    total : int;
+  }
+
+  type t = {
+    inc_left : Automaton.t;
+    cache : (int * int, entry) Hashtbl.t;
+    last_dirty : (int, int) Hashtbl.t; (* stable key → version last invalidated *)
+    mutable version : int;
+    mutable prev_ids : (int * int, int) Hashtbl.t; (* (l, stable key) → prior product id *)
+  }
+
+  let m_reused =
+    Metrics.counter "ts_product_pairs_reused_total"
+      ~help:"Product state visits whose joint moves were served from the incremental cache."
+
+  let create left =
+    {
+      inc_left = left;
+      cache = Hashtbl.create 1024;
+      last_dirty = Hashtbl.create 64;
+      version = 0;
+      prev_ids = Hashtbl.create 16;
+    }
+
+  let left_operand inc = inc.inc_left
+
+  let parallel inc ~right ~dirty ~stable_key ~resolve =
+    let left = inc.inc_left in
+    inc.version <- inc.version + 1;
+    let v = inc.version in
+    List.iter (fun r -> Hashtbl.replace inc.last_dirty (stable_key r) v) dirty;
+    let live = lazy (join_moves left right) in
+    let reused = ref 0 in
+    let moves s s' emit =
+      let skey = stable_key s' in
+      let hit =
+        match Hashtbl.find_opt inc.cache (s, skey) with
+        | Some e
+          when e.e_version
+               >= Option.value (Hashtbl.find_opt inc.last_dirty skey) ~default:0 ->
+          incr reused;
+          Array.iter
+            (fun m -> emit m.mv_input m.mv_output m.mv_ldst (resolve m.mv_rkey))
+            e.e_moves;
+          true
+        | _ -> false
+      in
+      if not hit then begin
+        let acc = ref [] in
+        (Lazy.force live) s s' (fun input output l_dst r_dst ->
+            acc :=
+              {
+                mv_input = input;
+                mv_output = output;
+                mv_ldst = l_dst;
+                mv_rkey = stable_key r_dst;
+              }
+              :: !acc;
+            emit input output l_dst r_dst);
+        Hashtbl.replace inc.cache (s, skey)
+          { e_version = v; e_moves = Array.of_list (List.rev !acc) }
+      end
+    in
+    let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
+    let p = bfs_product ~moves left right in
+    observe_product ~start_us:t0 p;
+    let count = Array.length p.pairs in
+    let old_of = Array.make count (-1) in
+    let new_ids = Hashtbl.create (2 * count) in
+    let dirty_new = ref [] in
+    for id = count - 1 downto 0 do
+      let l, r = p.pairs.(id) in
+      let skey = stable_key r in
+      Hashtbl.replace new_ids (l, skey) id;
+      (match Hashtbl.find_opt inc.prev_ids (l, skey) with
+      | Some o -> old_of.(id) <- o
+      | None -> ());
+      let row_changed =
+        match Hashtbl.find_opt inc.last_dirty skey with
+        | Some dv -> dv = v
+        | None -> false
+      in
+      if row_changed || old_of.(id) < 0 then dirty_new := id :: !dirty_new
+    done;
+    inc.prev_ids <- new_ids;
+    Metrics.add m_reused !reused;
+    (p, { old_of; dirty = !dirty_new; reused = !reused; total = count })
+end

@@ -65,3 +65,53 @@ val joint_iter :
     composition and on-the-fly exploration visit a state pair in O(moves)
     rather than O(|T_l| × |T_r|) where it matters.  Used by
     {!Mechaml_mc.Onthefly}. *)
+
+(** Incremental product reconstruction across a sequence of right operands
+    that differ only in a few states' adjacency rows — the synthesis loop's
+    [context ∥ chaos(M_i)] sequence.  Each call re-runs the reachability BFS
+    (numbering must stay byte-identical to {!parallel} and the reachable
+    region can shrink as escapes to chaos disappear), but joint-move
+    enumeration per visited pair — the dominant cost against a chaos closure
+    — is served from a cache invalidated only for the caller's dirty right
+    states.  The resulting product is structurally identical to
+    [parallel left right]. *)
+module Inc : sig
+  type t
+  (** Cache handle, tied to one left operand. *)
+
+  type stats = {
+    old_of : int array;
+        (** per new-product state, the previous product's state with the same
+            (left, stable right key) pair, or [-1] if none — the correlation
+            that lets {!Mechaml_mc.Sat} warm-start fixpoints *)
+    dirty : int list;
+        (** new-product states that are new or whose right projection was
+            dirty this call: outside this set (and the states that reach it),
+            the old product's subgraph is isomorphic *)
+    reused : int;  (** visited pairs whose moves came from the cache *)
+    total : int;  (** product states *)
+  }
+
+  val create : Automaton.t -> t
+  (** [create left] — subsequent {!parallel} calls compose this operand. *)
+
+  val parallel :
+    t ->
+    right:Automaton.t ->
+    dirty:Automaton.state list ->
+    stable_key:(Automaton.state -> int) ->
+    resolve:(int -> Automaton.state) ->
+    product * stats
+  (** Compose against the next right operand.  [dirty] lists the right
+      states (of {e this} operand) whose adjacency rows differ from the
+      previous call's operand — for chaos closures,
+      {!Mechaml_core.Chaos.dirty_states}.  [stable_key] must injectively
+      name right states so that a state keeps its key across operands even
+      when indices shift (core closure copies are index-stable; [s_∀]/[s_δ]
+      map to negative keys), and [resolve] inverts it for the current
+      operand.  Correctness requires exactly the contract the chaos closure
+      provides: equal keys ⇒ same adjacency row (up to key-stable
+      destinations and unchanged interaction labels) unless listed dirty. *)
+
+  val left_operand : t -> Automaton.t
+end

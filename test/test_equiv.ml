@@ -1,16 +1,31 @@
 (* Kernel-equivalence suite: the state-space engine rewrite (packed automata,
-   bucketed products, bitset fixpoints) must be a pure speedup.  These tests
-   pin the observable behaviour of the whole pipeline to the seed engine:
+   bucketed products, bitset fixpoints) and the incremental re-verification
+   engine (delta closures, product patching, warm-started fixpoints) must be
+   pure speedups.  These tests pin the observable behaviour of the whole
+   pipeline to the seed engine:
 
    - the canonical report of the bundled campaign matrix is byte-identical to
      the committed golden file [campaign_seed.canonical] (regenerate it with
      [dune exec test/dump_canonical.exe] only after an *intentional* matrix
      or format change);
    - worker count does not leak into results: jobs:1 and jobs:4 agree on the
-     per-job Loop verdicts and on the whole canonical report. *)
+     per-job Loop verdicts and on the whole canonical report;
+   - incremental mode does not leak into results either: incremental on/off
+     × jobs 1/4 all produce the same canonical report, and qcheck properties
+     drive random learning sequences through [Chaos.update] and whole random
+     scenarios through [Loop.run] in both modes. *)
 
 module Campaign = Mechaml_engine.Campaign
 module Report = Mechaml_engine.Report
+module Loop = Mechaml_core.Loop
+module Incomplete = Mechaml_core.Incomplete
+module Chaos = Mechaml_core.Chaos
+module Automaton = Mechaml_ts.Automaton
+module Universe = Mechaml_ts.Universe
+module Families = Mechaml_scenarios.Families
+module Blackbox = Mechaml_legacy.Blackbox
+module Ctl = Mechaml_logic.Ctl
+module Prng = Mechaml_util.Prng
 open Helpers
 
 (* [dune runtest] runs in [_build/default/test] next to the (dep-declared)
@@ -25,10 +40,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* One campaign execution per worker count, shared by all assertions. *)
+(* One campaign execution per (worker count × incremental mode), shared by
+   all assertions. *)
 let sequential = lazy (Campaign.run ~jobs:1 (Campaign.bundled ()))
 
 let parallel = lazy (Campaign.run ~jobs:4 (Campaign.bundled ()))
+
+let scratch_sequential =
+  lazy (Campaign.run ~jobs:1 ~incremental:false (Campaign.bundled ()))
+
+let scratch_parallel =
+  lazy (Campaign.run ~jobs:4 ~incremental:false (Campaign.bundled ()))
 
 let verdict_lines outcomes =
   List.map
@@ -56,4 +78,118 @@ let unit_tests =
         check_string "run-to-run" a b);
   ]
 
-let () = Alcotest.run "equiv" [ ("unit", unit_tests) ]
+(* -- incremental ≡ from-scratch ------------------------------------------- *)
+
+let neutrality_tests =
+  [
+    test "incremental off reproduces the Loop verdicts job by job" (fun () ->
+        Alcotest.(check (list string))
+          "verdicts incremental on = off"
+          (verdict_lines (Lazy.force sequential))
+          (verdict_lines (Lazy.force scratch_sequential)));
+    test "incremental on/off x jobs 1/4 agree on the canonical report" (fun () ->
+        let reference = Report.canonical (Lazy.force sequential) in
+        check_string "incremental off, jobs:1" reference
+          (Report.canonical (Lazy.force scratch_sequential));
+        check_string "incremental off, jobs:4" reference
+          (Report.canonical (Lazy.force scratch_parallel)));
+  ]
+
+(* Structural automaton identity — the incremental contract is not just
+   language equivalence but byte-identical construction (state numbering,
+   adjacency order, labels), which is what keeps witnesses and verdicts
+   independent of the mode. *)
+let same_auto (a : Automaton.t) (b : Automaton.t) =
+  a.Automaton.name = b.Automaton.name
+  && a.Automaton.state_names = b.Automaton.state_names
+  && Array.for_all2 Mechaml_util.Bitset.equal a.Automaton.labels b.Automaton.labels
+  && a.Automaton.trans = b.Automaton.trans
+  && a.Automaton.initial = b.Automaton.initial
+  && Universe.to_list a.Automaton.props = Universe.to_list b.Automaton.props
+
+(* A random learning sequence: grow an incomplete automaton fact by fact the
+   way the loop does (append-only transitions and refusals), skipping facts
+   that would contradict recorded knowledge. *)
+let chaos_update_chain_prop seed =
+  let rng = Prng.create ~seed in
+  let pool = [| "s0"; "s1"; "s2"; "s3"; "s4" |] in
+  let subset l = List.filter (fun _ -> Prng.bool rng) l in
+  let label_of s = if s = "s1" then [ "odd" ] else [] in
+  let extra_props = [ "odd" ] in
+  let m =
+    ref
+      (Incomplete.create ~name:"q" ~inputs:[ "a"; "b" ] ~outputs:[ "x" ]
+         ~initial_state:"s0")
+  in
+  let inc = Chaos.inc_closure ~label_of ~extra_props !m in
+  for _ = 1 to 12 do
+    (try
+       let src = pool.(Prng.int rng (Array.length pool)) in
+       let inputs = subset [ "a"; "b" ] in
+       if Prng.bool rng then
+         let dst = pool.(Prng.int rng (Array.length pool)) in
+         let outputs = subset [ "x" ] in
+         m := Incomplete.add_transition !m ~src (Incomplete.interaction ~inputs ~outputs) ~dst
+       else m := Incomplete.add_refusal !m ~state:src ~inputs
+     with Invalid_argument _ -> (* contradicts recorded knowledge: skip *) ());
+    Chaos.update inc !m;
+    if not (same_auto (Chaos.auto inc) (Chaos.closure ~label_of ~extra_props !m)) then
+      QCheck.Test.fail_reportf "patched closure diverged from fresh closure (seed %d)" seed
+  done;
+  true
+
+(* Whole-loop equivalence on random scenarios: verdict and the per-iteration
+   record trail (sizes, counterexample path) must not depend on the mode. *)
+let iteration_signature (it : Loop.iteration) =
+  Printf.sprintf "%d:%d:%d:%d:%d:%b:%d" it.Loop.index it.Loop.model_states
+    it.Loop.model_knowledge it.Loop.closure_states it.Loop.product_states it.Loop.fast_real
+    it.Loop.probes
+
+let verdict_tag = function
+  | Loop.Proved -> "proved"
+  | Loop.Real_violation { kind = Loop.Deadlock; _ } -> "deadlock"
+  | Loop.Real_violation { kind = Loop.Property; _ } -> "property"
+  | Loop.Exhausted _ -> "exhausted"
+  | Loop.Degraded _ -> "degraded"
+
+let loop_equivalence_prop seed =
+  let inputs = [ "i0"; "i1"; "i2" ] and outputs = [ "o0"; "o1" ] in
+  let legacy =
+    Families.random_machine ~seed ~states:(4 + (seed mod 5)) ~inputs ~outputs
+  in
+  let context =
+    Families.random_context ~seed ~states:(6 + (seed mod 7)) ~legacy_inputs:inputs
+      ~legacy_outputs:outputs
+  in
+  (* threshold 0 forces the caches on from the first iteration — the random
+     scenarios are small, and the size gate must not quietly turn the
+     machinery under test back into the scratch path *)
+  let go incremental =
+    Loop.run ~label_of:(fun _ -> []) ~context ~property:Ctl.deadlock_free
+      ~legacy:(Blackbox.of_automaton ~port:"p" legacy) ~incremental
+      ~incremental_threshold:0 ()
+  in
+  let on_ = go true and off = go false in
+  let trail r = List.map iteration_signature r.Loop.iterations in
+  if verdict_tag on_.Loop.verdict <> verdict_tag off.Loop.verdict then
+    QCheck.Test.fail_reportf "verdict differs (seed %d): %s vs %s" seed
+      (verdict_tag on_.Loop.verdict) (verdict_tag off.Loop.verdict);
+  if trail on_ <> trail off then
+    QCheck.Test.fail_reportf "iteration records differ (seed %d)" seed;
+  true
+
+let property_tests =
+  [
+    qcheck ~count:40 "Chaos.update chain is structurally a fresh closure"
+      QCheck.small_nat chaos_update_chain_prop;
+    qcheck ~count:15 "incremental Loop.run matches scratch Loop.run"
+      QCheck.small_nat loop_equivalence_prop;
+  ]
+
+let () =
+  Alcotest.run "equiv"
+    [
+      ("unit", unit_tests);
+      ("incremental-neutrality", neutrality_tests);
+      ("incremental-properties", property_tests);
+    ]
