@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke bench bench-check bench-speedup bench-speedup-pr5 clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke bench bench-check bench-speedup bench-speedup-pr5 clean
 
 all: build
 
@@ -51,6 +51,12 @@ obs-smoke: build
 	  --trace _build/obs/trace.json --metrics-out _build/obs/metrics.prom
 	dune exec bench/bench_check.exe -- validate-trace _build/obs/trace.json
 	dune exec bench/bench_check.exe -- validate-metrics _build/obs/metrics.prom
+
+# Verification-service smoke: daemon up on an ephemeral port, two concurrent
+# tenants stream identical verdicts, /metrics scrapes the serve_* series,
+# SIGTERM drains clean within the deadline and leaves a cache snapshot.
+serve-smoke: build
+	bash scripts/serve_smoke.sh
 
 bench:
 	dune exec bench/main.exe

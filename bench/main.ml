@@ -930,6 +930,91 @@ let exp_t14 () =
         (Staged.stage (fun () -> ignore (run ~incremental:false)));
     ]
 
+(* -- EXP-T15: verification service ----------------------------------------- *)
+
+let exp_t15 () =
+  header "EXP-T15"
+    "Verification service: sustained campaign submissions against the mechaserve daemon, \
+     cold vs warm shared cache";
+  let module Server = Mechaml_serve.Server in
+  let module Client = Mechaml_serve.Client in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let srv = Server.start { Server.default with Server.workers = 4 } in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+      let submit ?(tenant = "bench") ?select () =
+        match Client.submit ep ~tenant ~tiny:true ?select () with
+        | Ok outcomes -> outcomes
+        | Error e -> failwith (Client.error_string e)
+      in
+      let submit_lock ?tenant () =
+        match Client.submit ep ?tenant ~select:"lock/n96" () with
+        | Ok outcomes -> outcomes
+        | Error e -> failwith (Client.error_string e)
+      in
+      (* one tiny submission first warms the HTTP/scheduler path (and the
+         tiny families' cache entries) without touching the lock family, so
+         the cold row below isolates cache-cold verification compute *)
+      ignore (submit ());
+      (* the heavy lock instance's cost is closure construction and model
+         checking — exactly the stages the shared cache memoizes, so the
+         cold/warm gap is what a persistent warm daemon buys over paying the
+         cold cache in a fresh process per campaign *)
+      let _, cold = time (fun () -> submit_lock ()) in
+      let warm_n = 20 in
+      let _, warm_total =
+        time (fun () ->
+            for _ = 1 to warm_n do
+              ignore (submit_lock ())
+            done)
+      in
+      let warm = warm_total /. float_of_int warm_n in
+      (* sustained request rate on the tiny matrix: per-request protocol and
+         scheduling overhead, single client then two concurrent clients *)
+      let n = 25 in
+      let _, tiny_total = time (fun () -> for _ = 1 to n do ignore (submit ()) done) in
+      let _, conc_total =
+        time (fun () ->
+            let client tenant () =
+              for _ = 1 to n do
+                ignore (submit ~tenant ())
+              done
+            in
+            let d1 = Domain.spawn (client "bench-a") in
+            let d2 = Domain.spawn (client "bench-b") in
+            Domain.join d1;
+            Domain.join d2)
+      in
+      let rps wall reqs = float_of_int reqs /. wall in
+      print_endline
+        (Pp.table
+           ~header:[ "configuration"; "wall clock"; "requests/sec" ]
+           [
+             [ "lock/n96, cold cache"; Printf.sprintf "%.2f ms" (cold *. 1e3);
+               Printf.sprintf "%.1f" (rps cold 1) ];
+             [ Printf.sprintf "lock/n96, warm cache (avg of %d)" warm_n;
+               Printf.sprintf "%.2f ms" (warm *. 1e3);
+               Printf.sprintf "%.1f" (rps warm 1) ];
+             [ Printf.sprintf "tiny matrix, %d submissions" n;
+               Printf.sprintf "%.1f ms" (tiny_total *. 1e3);
+               Printf.sprintf "%.1f" (rps tiny_total n) ];
+             [ Printf.sprintf "tiny matrix, 2 clients x %d" n;
+               Printf.sprintf "%.1f ms" (conc_total *. 1e3);
+               Printf.sprintf "%.1f" (rps conc_total (2 * n)) ];
+           ]);
+      Printf.printf "\nwarm cache requests/sec gain over cold: %.2fx\n" (cold /. warm);
+      json_metric "cold lock submission s" cold;
+      json_metric "warm lock submission s" warm;
+      json_metric "warm speedup vs cold" (cold /. warm);
+      json_metric "warm requests per sec" (rps tiny_total n);
+      json_metric "concurrent requests per sec" (rps conc_total (2 * n)))
+
 (* -- main ------------------------------------------------------------------ *)
 
 let groups =
@@ -954,6 +1039,7 @@ let groups =
     ("t12_ce_processing", exp_t12);
     ("t13_campaign", exp_t13);
     ("t14_loop_incremental", exp_t14);
+    ("t15_serve", exp_t15);
   ]
 
 let () =

@@ -665,6 +665,255 @@ let pattern_cmd =
   let doc = "Verify the DistanceCoordination pattern upfront (roles only, no legacy code)." in
   Cmd.v (Cmd.info "pattern" ~doc) Term.(const run $ obs_t)
 
+(* -- serve: the persistent verification daemon -- *)
+
+let host_t =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_t ~default ~doc = Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let module Server = Mechaml_serve.Server in
+  let workers_t =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing verification jobs.")
+  in
+  let handlers_t =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "handlers" ] ~docv:"N" ~doc:"Connection-handler domains.")
+  in
+  let queue_bound_t =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admission control: submissions beyond $(docv) queued jobs are answered \
+             $(b,429) with a $(b,Retry-After) hint.")
+  in
+  let inflight_cap_t =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "inflight-cap" ] ~docv:"N"
+          ~doc:"Per-tenant cap on concurrently running jobs.")
+  in
+  let weight_t =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "weight" ] ~docv:"TENANT=W"
+          ~doc:
+            "Round-robin weight for a tenant (repeatable); a weight-3 tenant gets ~3x \
+             the job slots of a weight-1 tenant under contention.")
+  in
+  let cache_capacity_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"LRU bound on the shared memo cache (default: unbounded).")
+  in
+  let snapshot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Cache snapshot: loaded at startup when present, rewritten atomically on \
+             shutdown (and every --snapshot-every seconds), so a restarted daemon comes \
+             back warm.")
+  in
+  let snapshot_every_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "snapshot-every" ] ~docv:"SEC"
+          ~doc:"Also snapshot the cache periodically (requires --snapshot).")
+  in
+  let drain_deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drain-deadline" ] ~docv:"SEC"
+          ~doc:
+            "On SIGTERM/SIGINT, discard jobs still queued after $(docv) seconds \
+             (running jobs always finish; their clients get stand-in failed verdicts).")
+  in
+  let run () host port workers handlers queue_bound inflight_cap weights cache_capacity
+      snapshot snapshot_every drain_deadline =
+    let srv =
+      Server.start
+        {
+          Server.host;
+          port;
+          workers;
+          handlers;
+          queue_bound;
+          inflight_cap;
+          weights;
+          cache_capacity;
+          snapshot;
+          snapshot_every_s = snapshot_every;
+        }
+    in
+    Format.printf "mechaserve listening on %s:%d@." host (Server.port srv);
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_requested) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Format.printf "mechaserve draining...@.";
+    Server.stop ?drain_deadline_s:drain_deadline srv;
+    Format.printf "mechaserve stopped@.";
+    exit 0
+  in
+  let doc =
+    "Run the persistent verification daemon: campaigns over HTTP with streamed verdicts, \
+     a shared warm memo cache (optionally snapshot-persisted across restarts), \
+     multi-tenant fair scheduling and admission control."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ obs_t $ host_t
+      $ port_t ~default:0 ~doc:"Port to listen on ($(b,0) picks an ephemeral one)."
+      $ workers_t $ handlers_t $ queue_bound_t $ inflight_cap_t $ weight_t
+      $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t)
+
+(* -- submit: client for a running daemon -- *)
+
+let submit_cmd =
+  let module Client = Mechaml_serve.Client in
+  let module Wire = Mechaml_serve.Wire in
+  let module Campaign = Mechaml_engine.Campaign in
+  let module Report = Mechaml_engine.Report in
+  let tenant_t =
+    Arg.(
+      value
+      & opt string "anon"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant name for fair scheduling.")
+  in
+  let tiny_t =
+    let doc = "Submit the four-job smoke matrix instead of the full bundled one." in
+    Arg.(value & flag & info [ "tiny" ] ~doc)
+  in
+  let select_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "select" ] ~docv:"SUBSTR"
+          ~doc:"Only submit jobs whose id contains $(docv).")
+  in
+  let id_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "id" ] ~docv:"JOB" ~doc:"Submit exactly this job id (repeatable).")
+  in
+  let report_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON campaign report to $(docv).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the CSV campaign report to $(docv).")
+  in
+  let canonical_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "canonical" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic canonical digest to $(docv) — byte-identical to a \
+             local $(b,mechaverify campaign) over the same matrix.")
+  in
+  let run () host port tenant tiny select ids report csv canonical =
+    let ids = match ids with [] -> None | l -> Some l in
+    let ep = { Client.host; port } in
+    let on_event = function
+      | Wire.Accepted { jobs } -> Format.printf "accepted %d jobs@." jobs
+      | Wire.Verdict { outcome; _ } ->
+        Format.printf "  %-44s %s@." outcome.Campaign.spec_id
+          (Campaign.verdict_string outcome.Campaign.verdict)
+      | Wire.Done { cache_entries; cache_hit_rate; _ } ->
+        Format.printf "done; daemon cache: %d entries, %.0f%% hit rate@." cache_entries
+          (100. *. cache_hit_rate)
+    in
+    match Client.submit ep ~tenant ~tiny ?select ?ids ~on_event () with
+    | Error e ->
+      Format.eprintf "mechaverify: %s@." (Client.error_string e);
+      exit 4
+    | Ok outcomes ->
+      print_endline (Report.table outcomes);
+      Format.printf "%s@." (Report.summary outcomes);
+      Option.iter
+        (fun path ->
+          Report.save ~path (Report.to_json outcomes);
+          Format.printf "wrote %s@." path)
+        report;
+      Option.iter
+        (fun path ->
+          Report.save ~path (Report.to_csv outcomes);
+          Format.printf "wrote %s@." path)
+        csv;
+      Option.iter
+        (fun path ->
+          Report.save ~path (Report.canonical outcomes);
+          Format.printf "wrote %s@." path)
+        canonical;
+      exit 0
+  in
+  let doc =
+    "Submit a campaign to a running $(b,mechaverify serve) daemon and stream the verdicts \
+     back; the table, reports and canonical digest match a local $(b,mechaverify \
+     campaign) over the same matrix."
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ obs_t $ host_t
+      $ port_t ~default:8484 ~doc:"Daemon port."
+      $ tenant_t $ tiny_t $ select_t $ id_t $ report_t $ csv_t $ canonical_t)
+
+(* -- probe: daemon liveness and stats -- *)
+
+let probe_cmd =
+  let module Client = Mechaml_serve.Client in
+  let metrics_t =
+    let doc = "Print the Prometheus /metrics scrape instead of /v1/stats." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run () host port metrics =
+    match Mechaml_serve.Client.connect ~host ~port () with
+    | Error e ->
+      Format.eprintf "mechaverify: %s@." (Client.error_string e);
+      exit 4
+    | Ok ep -> (
+      let fetched = if metrics then Client.metrics ep else Result.map snd (Client.get ep "/v1/stats") in
+      match fetched with
+      | Ok body ->
+        print_string body;
+        exit 0
+      | Error e ->
+        Format.eprintf "mechaverify: %s@." (Client.error_string e);
+        exit 4)
+  in
+  let doc = "Check a running daemon: liveness probe, then its stats (or metrics) body." in
+  Cmd.v (Cmd.info "probe" ~doc)
+    Term.(const run $ obs_t $ host_t $ port_t ~default:8484 ~doc:"Daemon port." $ metrics_t)
+
 let main_cmd =
   let doc =
     "combined formal verification and testing for correct legacy component integration"
@@ -672,7 +921,7 @@ let main_cmd =
   Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
     [
       railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd;
-      export_cmd;
+      export_cmd; serve_cmd; submit_cmd; probe_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

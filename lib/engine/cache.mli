@@ -19,10 +19,21 @@ type t
 
 val create : ?capacity:int -> unit -> t
 (** [capacity] bounds the entries stored {e per table} (closures and checks
-    each); when the bound is exceeded the oldest entry is evicted FIFO and
-    counted in {!stats}.  Eviction only bounds memory — a dropped entry is
-    recomputed on its next lookup, never answered wrongly.  Default:
-    unbounded.  Raises [Invalid_argument] when [capacity < 1]. *)
+    each); when the bound is exceeded the {e least-recently-used} entry is
+    evicted and counted in {!stats}.  Recency is touch-on-hit: every lookup
+    that answers from the cache moves its entry to the front, so a shared
+    long-lived cache (the [mechaverify serve] daemon) keeps the entries the
+    traffic actually reuses rather than the oldest-inserted ones.
+
+    {b Behaviour change (PR 6):} eviction used to be FIFO by insertion
+    order; hits now refresh recency, so a hot entry survives capacity
+    pressure that would previously have dropped it.  The [evictions]
+    counter semantics are unchanged — one increment per entry dropped by
+    the capacity bound.
+
+    Eviction only bounds memory — a dropped entry is recomputed on its next
+    lookup, never answered wrongly.  Default: unbounded.  Raises
+    [Invalid_argument] when [capacity < 1]. *)
 
 val digest : 'a -> string
 (** Structural digest (MD5 of the marshalled value) used as cache key.  The
@@ -32,9 +43,11 @@ val digest : 'a -> string
 val closure : t -> key:string -> (unit -> Mechaml_ts.Automaton.t) -> Mechaml_ts.Automaton.t * bool
 (** [closure t ~key compute] returns the cached closure for [key], or runs
     [compute] and stores the result.  The boolean is [true] on a hit.  Safe
-    to call from several domains; [compute] runs outside the cache lock (two
-    domains racing on the same fresh key may both compute — the first stored
-    value wins and both callers receive it). *)
+    to call from several domains; [compute] runs outside the cache lock.  Two
+    domains racing on the same fresh key may both compute: the first stored
+    value wins for future lookups, but each computing caller gets back the
+    value its own [compute] returned, so physical identity between the two is
+    preserved on the computing path. *)
 
 val check : t -> key:string -> (unit -> Mechaml_mc.Checker.outcome) -> Mechaml_mc.Checker.outcome * bool
 (** Same protocol for model-checking outcomes. *)
@@ -56,3 +69,23 @@ val lookups : stats -> int
 
 val hit_rate : stats -> float
 (** [hits / lookups]; [0.] when no lookup happened yet. *)
+
+(** {2 Persistence}
+
+    A long-running daemon snapshots its cache so a restart comes back warm.
+    Snapshots carry only the memoized entries (keys, values, recency order)
+    — the hit/miss counters start from zero in the loading process. *)
+
+val save : t -> path:string -> unit
+(** Atomically snapshot every entry to [path] (write-temp + rename, parent
+    directory created): a crash mid-save leaves the previous snapshot
+    intact.  Safe to call concurrently with lookups; the snapshot is a
+    consistent point-in-time view. *)
+
+val load : t -> path:string -> (int, string) result
+(** Restore a {!save} snapshot into [t], preserving recency order; returns
+    the number of entries restored.  A capacity-bounded cache keeps only the
+    most recent [capacity] entries per table.  Entries already present in
+    [t] win over snapshot entries under the same key.  [Error] on a missing,
+    foreign or corrupt file — never raises, the cache is usable either
+    way. *)

@@ -102,7 +102,13 @@ let parse_number c =
   | Some f -> f
   | None -> error c (Printf.sprintf "bad number %S" s)
 
-let rec parse_value c =
+(* The daemon feeds this parser bytes straight off a socket, so recursion
+   depth must be bounded: without the cap a few kilobytes of '[' characters
+   would blow the stack, and [Stack_overflow] is not caught by [parse]. *)
+let max_depth = 512
+
+let rec parse_value c depth =
+  if depth > max_depth then error c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> error c "unexpected end of input"
@@ -119,7 +125,7 @@ let rec parse_value c =
         let k = parse_string c in
         skip_ws c;
         expect c ':';
-        let v = parse_value c in
+        let v = parse_value c (depth + 1) in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -141,7 +147,7 @@ let rec parse_value c =
     end
     else begin
       let rec elements acc =
-        let v = parse_value c in
+        let v = parse_value c (depth + 1) in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -163,7 +169,7 @@ let rec parse_value c =
 
 let parse src =
   let c = { src; pos = 0 } in
-  match parse_value c with
+  match parse_value c 0 with
   | v ->
     skip_ws c;
     if c.pos <> String.length src then

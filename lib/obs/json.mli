@@ -16,7 +16,10 @@ type t =
 
 val parse : string -> (t, string) result
 (** Strict RFC-8259 subset: rejects trailing input, control characters in
-    strings, and malformed escapes.  [\uXXXX] escapes are decoded to UTF-8. *)
+    strings, and malformed escapes.  [\uXXXX] escapes are decoded to UTF-8.
+    Nesting beyond 512 levels is an error, never a [Stack_overflow] — the
+    verification daemon runs this parser on untrusted bytes, so every
+    malformed input must come back as [Error], not an exception. *)
 
 val to_string : t -> string
 (** Compact one-line rendering; [parse (to_string v)] returns [v] up to

@@ -1,0 +1,133 @@
+module Json = Mechaml_obs.Json
+module Campaign = Mechaml_engine.Campaign
+
+type endpoint = {
+  host : string;
+  port : int;
+}
+
+type error =
+  | Busy of float
+  | Http_error of int * string
+  | Protocol of string
+  | Connection of string
+
+let error_string = function
+  | Busy retry -> Printf.sprintf "daemon busy, retry after %.2fs" retry
+  | Http_error (status, body) -> Printf.sprintf "HTTP %d: %s" status body
+  | Protocol msg -> "protocol error: " ^ msg
+  | Connection msg -> "connection error: " ^ msg
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+
+let with_conn ep f =
+  try
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (resolve ep.host, ep.port))
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    let c = Http.conn fd in
+    Fun.protect ~finally:(fun () -> Http.close c) (fun () -> f c)
+  with
+  | Unix.Unix_error (e, _, _) -> Error (Connection (Unix.error_message e))
+  | Not_found -> Error (Connection ("cannot resolve host " ^ ep.host))
+  | Http.Closed -> Error (Connection "peer closed the connection")
+  | Http.Bad msg -> Error (Protocol msg)
+
+let get ep path =
+  with_conn ep (fun c ->
+      Http.write_request c ~meth:"GET" ~path "";
+      let head = Http.read_response_head c in
+      Ok (head.Http.status, Http.read_body c head))
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let ep = { host; port } in
+  match get ep "/healthz" with
+  | Ok (200, _) -> Ok ep
+  | Ok (status, body) -> Error (Http_error (status, String.trim body))
+  | Error _ as e -> e
+
+let metrics ep =
+  match get ep "/metrics" with
+  | Ok (200, body) -> Ok body
+  | Ok (status, body) -> Error (Http_error (status, String.trim body))
+  | Error _ as e -> e
+
+let submit ep ?(tenant = "anon") ?(tiny = false) ?select ?ids ?on_event () =
+  with_conn ep (fun c ->
+      let body = Json.to_string (Wire.encode_submit { Wire.tiny; select; ids }) in
+      Http.write_request c ~meth:"POST" ~path:"/v1/campaign"
+        ~headers:[ ("content-type", "application/json"); ("x-tenant", tenant) ]
+        body;
+      let head = Http.read_response_head c in
+      if head.Http.status = 429 then begin
+        let retry =
+          match Http.resp_header head "retry-after" with
+          | Some s -> Option.value (float_of_string_opt s) ~default:1.
+          | None -> 1.
+        in
+        ignore (Http.read_body c head);
+        Error (Busy retry)
+      end
+      else if head.Http.status <> 200 then
+        Error (Http_error (head.Http.status, String.trim (Http.read_body c head)))
+      else if Http.resp_header head "transfer-encoding" <> Some "chunked" then
+        Error (Protocol "expected a chunked verdict stream")
+      else begin
+        (* ndjson events can split across chunk boundaries: keep the
+           unterminated tail in [buf] and parse only complete lines *)
+        let buf = Buffer.create 1024 in
+        let verdicts = Hashtbl.create 16 in
+        let expected = ref None in
+        let finished = ref false in
+        let err = ref None in
+        let handle_line line =
+          if String.trim line <> "" && !err = None then
+            match Result.bind (Json.parse line) Wire.decode_event with
+            | Error e -> err := Some (Protocol ("bad event: " ^ e))
+            | Ok ev -> (
+              Option.iter (fun f -> f ev) on_event;
+              match ev with
+              | Wire.Accepted { jobs } -> expected := Some jobs
+              | Wire.Verdict { index; outcome } -> Hashtbl.replace verdicts index outcome
+              | Wire.Done _ -> finished := true)
+        in
+        let rec read_stream () =
+          match Http.read_chunk c with
+          | None -> ()
+          | Some data ->
+            Buffer.add_string buf data;
+            let s = Buffer.contents buf in
+            let rec split from =
+              match String.index_from_opt s from '\n' with
+              | Some i ->
+                handle_line (String.sub s from (i - from));
+                split (i + 1)
+              | None -> String.sub s from (String.length s - from)
+            in
+            let rest = split 0 in
+            Buffer.clear buf;
+            Buffer.add_string buf rest;
+            read_stream ()
+        in
+        read_stream ();
+        handle_line (Buffer.contents buf);
+        match !err with
+        | Some e -> Error e
+        | None ->
+          if not !finished then Error (Protocol "stream ended before the done event")
+          else begin
+            let n = Option.value !expected ~default:(Hashtbl.length verdicts) in
+            let rec collect i acc =
+              if i < 0 then Ok acc
+              else
+                match Hashtbl.find_opt verdicts i with
+                | Some o -> collect (i - 1) (o :: acc)
+                | None -> Error (Protocol (Printf.sprintf "missing verdict %d of %d" i n))
+            in
+            collect (n - 1) []
+          end
+      end)

@@ -1,0 +1,43 @@
+(** Blocking client for the verification daemon — one connection per call,
+    mirroring the server's [Connection: close] discipline.  Used by the
+    [mechaverify submit] subcommand, the end-to-end equivalence tests and
+    the [t15_serve] bench group. *)
+
+type endpoint = {
+  host : string;
+  port : int;
+}
+
+type error =
+  | Busy of float  (** 429: queue full, retry after this many seconds *)
+  | Http_error of int * string  (** any other non-200 status, with body *)
+  | Protocol of string  (** the daemon answered bytes we cannot parse *)
+  | Connection of string  (** socket-level failure (refused, reset, EOF) *)
+
+val error_string : error -> string
+
+val connect : ?host:string -> port:int -> unit -> (endpoint, error) result
+(** Probe [GET /healthz] once (default host [127.0.0.1]); the returned
+    endpoint is just the address — no connection is held open. *)
+
+val submit :
+  endpoint ->
+  ?tenant:string ->
+  ?tiny:bool ->
+  ?select:string ->
+  ?ids:string list ->
+  ?on_event:(Wire.event -> unit) ->
+  unit ->
+  (Mechaml_engine.Campaign.outcome list, error) result
+(** Submit a campaign over the bundled matrix ([tiny], [select], [ids] as in
+    {!Wire.submit}; tenant default ["anon"]) and block until every verdict
+    streamed back.  [on_event] sees each {!Wire.event} as it arrives
+    (progress reporting); the returned outcomes are in matrix order, exactly
+    what {!Mechaml_engine.Campaign.run} would have produced for the same
+    specs. *)
+
+val get : endpoint -> string -> (int * string, error) result
+(** One [GET] request; returns status and body.  For [/v1/stats] and tests. *)
+
+val metrics : endpoint -> (string, error) result
+(** Scrape [GET /metrics]; [Ok] is the Prometheus text body. *)

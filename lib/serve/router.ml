@@ -1,0 +1,206 @@
+module Json = Mechaml_obs.Json
+module Metrics = Mechaml_obs.Metrics
+module Trace = Mechaml_obs.Trace
+module Log = Mechaml_obs.Log
+module Cache = Mechaml_engine.Cache
+module Campaign = Mechaml_engine.Campaign
+
+let m_requests =
+  Metrics.counter "serve_requests_total" ~help:"HTTP requests handled by the daemon."
+
+let m_campaigns =
+  Metrics.counter "serve_campaigns_total" ~help:"Campaign submissions accepted."
+
+let m_http_errors =
+  Metrics.counter "serve_http_errors_total"
+    ~help:"Requests answered with a 4xx/5xx status."
+
+let m_cache_hit_rate =
+  Metrics.gauge "serve_cache_hit_rate"
+    ~help:"Hit rate of the shared verification cache since daemon start."
+
+let m_cache_entries =
+  Metrics.gauge "serve_cache_entries" ~help:"Entries in the shared verification cache."
+
+let m_uptime = Metrics.gauge "serve_uptime_seconds" ~help:"Seconds since daemon start."
+
+type ctx = {
+  cache : Cache.t;
+  sched : Scheduler.t;
+  started_at : float;
+}
+
+let refresh_gauges ctx =
+  let s = Cache.stats ctx.cache in
+  Metrics.set m_cache_hit_rate (Cache.hit_rate s);
+  Metrics.set m_cache_entries (float_of_int s.Cache.entries);
+  Metrics.set m_uptime (Unix.gettimeofday () -. ctx.started_at)
+
+let json_response conn ~status v =
+  Http.respond conn ~status
+    ~headers:[ ("content-type", "application/json") ]
+    (Json.to_string v ^ "\n")
+
+let error_response conn ~status ?(headers = []) msg =
+  Metrics.incr m_http_errors;
+  Http.respond conn ~status
+    ~headers:(("content-type", "application/json") :: headers)
+    (Json.to_string (Json.Obj [ ("error", Json.Str msg) ]) ^ "\n")
+
+(* -- GET /v1/stats ---------------------------------------------------------- *)
+
+let stats_body ctx =
+  let c = Cache.stats ctx.cache in
+  let s = Scheduler.stats ctx.sched in
+  Json.Obj
+    [
+      ("schema", Json.Str "mechaml-serve-stats/1");
+      ("uptime_s", Json.Num (Unix.gettimeofday () -. ctx.started_at));
+      ("queued", Json.Num (float_of_int s.Scheduler.queued));
+      ("running", Json.Num (float_of_int s.Scheduler.running));
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun (name, queued, inflight) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("queued", Json.Num (float_of_int queued));
+                   ("inflight", Json.Num (float_of_int inflight));
+                 ])
+             s.Scheduler.tenants) );
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Num (float_of_int c.Cache.entries));
+            ("closure_hits", Json.Num (float_of_int c.Cache.closure_hits));
+            ("closure_misses", Json.Num (float_of_int c.Cache.closure_misses));
+            ("check_hits", Json.Num (float_of_int c.Cache.check_hits));
+            ("check_misses", Json.Num (float_of_int c.Cache.check_misses));
+            ("evictions", Json.Num (float_of_int c.Cache.evictions));
+            ("hit_rate", Json.Num (Cache.hit_rate c));
+          ] );
+    ]
+
+(* -- POST /v1/campaign ------------------------------------------------------ *)
+
+(* A drain deadline may drop a queued job without running it; the stream
+   still owes the client one verdict per accepted job, so the discard hook
+   pushes this stand-in. *)
+let discarded_outcome (spec : Campaign.spec) =
+  {
+    Campaign.spec_id = spec.Campaign.id;
+    family = spec.Campaign.family;
+    verdict = Campaign.Failed "discarded: daemon drained before the job ran";
+    iterations = 0;
+    states_learned = 0;
+    knowledge = 0;
+    tests_executed = 0;
+    test_steps = 0;
+    attempts = 0;
+    duration_s = 0.;
+    closure_seconds = 0.;
+    check_seconds = 0.;
+    test_seconds = 0.;
+    max_closure_states = 0;
+    max_product_states = 0;
+    closure_delta_edges = 0;
+    product_states_reused = 0;
+    sat_seed_hit_rate = 0.;
+    cache = { closure_hits = 0; closure_misses = 0; check_hits = 0; check_misses = 0 };
+    fault = spec.Campaign.inject;
+    supervision = None;
+  }
+
+(* The streaming loop: jobs land on the scheduler, workers push outcomes
+   into a request-local queue, and this (connection-handler) domain drains
+   the queue into chunked ndjson events as they arrive.  If the client goes
+   away mid-stream the write raises; the jobs keep running — their results
+   land in a queue nobody reads, which is garbage-collected once the last
+   job finished.  The shared cache keeps everything they computed. *)
+let campaign ctx conn (req : Http.request) =
+  match Json.parse req.Http.body with
+  | Error e -> error_response conn ~status:400 ("invalid JSON body: " ^ e)
+  | Ok body -> (
+    match Result.bind (Wire.decode_submit body) Wire.resolve with
+    | Error e -> error_response conn ~status:400 e
+    | Ok specs ->
+      let tenant = Option.value (Http.header req "x-tenant") ~default:"anon" in
+      let n = List.length specs in
+      let results = Queue.create () in
+      let rmutex = Mutex.create () in
+      let rcond = Condition.create () in
+      let push i o =
+        Mutex.lock rmutex;
+        Queue.add (i, o) results;
+        Condition.signal rcond;
+        Mutex.unlock rmutex
+      in
+      let jobs =
+        List.mapi
+          (fun i spec ->
+            Scheduler.job
+              ~on_discard:(fun () -> push i (discarded_outcome spec))
+              (fun () -> push i (Campaign.run_spec ~cache:ctx.cache spec)))
+          specs
+      in
+      (match Scheduler.submit ctx.sched ~tenant jobs with
+      | Error (Scheduler.Busy { retry_after_s }) ->
+        error_response conn ~status:429
+          ~headers:
+            [ ("retry-after", string_of_int (int_of_float (Float.ceil retry_after_s))) ]
+          (Printf.sprintf "queue full, retry after %.2fs" retry_after_s)
+      | Error Scheduler.Draining ->
+        error_response conn ~status:503 "daemon is draining"
+      | Ok () ->
+        Metrics.incr m_campaigns;
+        Log.info (fun m -> m "serve: accepted %d jobs from tenant %s" n tenant);
+        let send ev = Http.chunk conn (Json.to_string (Wire.encode_event ev) ^ "\n") in
+        Http.start_chunked conn ~status:200
+          ~headers:[ ("content-type", "application/x-ndjson") ]
+          ();
+        send (Wire.Accepted { jobs = n });
+        let received = ref 0 in
+        while !received < n do
+          let i, o =
+            Mutex.lock rmutex;
+            while Queue.is_empty results do
+              Condition.wait rcond rmutex
+            done;
+            let x = Queue.pop results in
+            Mutex.unlock rmutex;
+            x
+          in
+          incr received;
+          send (Wire.Verdict { index = i; outcome = o })
+        done;
+        let cs = Cache.stats ctx.cache in
+        send
+          (Wire.Done
+             {
+               jobs = n;
+               cache_entries = cs.Cache.entries;
+               cache_hit_rate = Cache.hit_rate cs;
+             });
+        Http.finish_chunked conn))
+
+(* -- dispatch --------------------------------------------------------------- *)
+
+let handle ctx conn (req : Http.request) =
+  Metrics.incr m_requests;
+  Trace.with_span ~name:"serve.request"
+    ~args:[ ("method", Trace.Str req.Http.meth); ("path", Trace.Str req.Http.path) ]
+    (fun () ->
+      match (req.Http.meth, req.Http.path) with
+      | "GET", "/healthz" ->
+        Http.respond conn ~status:200 ~headers:[ ("content-type", "text/plain") ] "ok\n"
+      | "GET", "/metrics" ->
+        refresh_gauges ctx;
+        Http.respond conn ~status:200
+          ~headers:[ ("content-type", "text/plain; version=0.0.4") ]
+          (Metrics.to_prometheus ())
+      | "GET", "/v1/stats" -> json_response conn ~status:200 (stats_body ctx)
+      | "POST", "/v1/campaign" -> campaign ctx conn req
+      | _, ("/healthz" | "/metrics" | "/v1/stats" | "/v1/campaign") ->
+        error_response conn ~status:405 "method not allowed"
+      | _ -> error_response conn ~status:404 "no such endpoint")

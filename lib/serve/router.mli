@@ -1,0 +1,26 @@
+(** Request dispatch for the verification daemon.
+
+    Endpoints:
+
+    - [GET /healthz] — liveness, ["ok\n"];
+    - [GET /metrics] — the process {!Mechaml_obs.Metrics} registry in
+      Prometheus text exposition format (server gauges refreshed on
+      scrape);
+    - [GET /v1/stats] — queue/tenant/cache stats as JSON;
+    - [POST /v1/campaign] — submit a campaign ({!Wire.submit} body, tenant
+      from the [x-tenant] header, default ["anon"]); streams
+      newline-delimited {!Wire.event} JSON as a chunked response while jobs
+      run, or answers [429 + Retry-After] / [503] under admission control.
+
+    Anything else is [404]; a known path with the wrong verb is [405]. *)
+
+type ctx = {
+  cache : Mechaml_engine.Cache.t;  (** shared across every request *)
+  sched : Scheduler.t;
+  started_at : float;
+}
+
+val handle : ctx -> Http.conn -> Http.request -> unit
+(** Serve one request and write the full response.  Raises only on
+    connection-level I/O failures ([Unix_error], {!Http.Closed}) — protocol
+    errors are answered with 4xx/5xx. *)

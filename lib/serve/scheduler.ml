@@ -1,0 +1,273 @@
+module Log = Mechaml_obs.Log
+module Metrics = Mechaml_obs.Metrics
+module Trace = Mechaml_obs.Trace
+
+let m_jobs =
+  Metrics.counter "serve_jobs_total" ~help:"Jobs executed by the daemon scheduler."
+
+let m_rejected =
+  Metrics.counter "serve_rejected_total"
+    ~help:"Submissions rejected by admission control (queue bound or drain)."
+
+let m_queue_depth =
+  Metrics.gauge "serve_queue_depth" ~help:"Jobs queued in the daemon scheduler."
+
+let m_running = Metrics.gauge "serve_jobs_running" ~help:"Jobs currently on a worker."
+
+type job = {
+  run : unit -> unit;
+  on_discard : unit -> unit;
+}
+
+let job ?(on_discard = Fun.id) run = { run; on_discard }
+
+type tenant = {
+  name : string;
+  weight : int;
+  jobs : job Queue.t;
+  mutable inflight : int;
+  mutable credits : int;
+  mutable busy_s : float;  (** total worker seconds spent on this tenant *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (** a job or a shutdown became available *)
+  idle : Condition.t;  (** a job finished or the queue emptied *)
+  workers : int;
+  queue_bound : int;
+  inflight_cap : int;
+  weights : (string * int) list;
+  by_name : (string, tenant) Hashtbl.t;
+  mutable tenants : tenant array;  (** submission order, grows append-only *)
+  mutable cursor : int;  (** round-robin position into [tenants] *)
+  mutable queued : int;
+  mutable running : int;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable ewma_job_s : float;  (** 0. until the first job completes *)
+  mutable domains : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Called under the lock. *)
+let tenant_of t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some tnt -> tnt
+  | None ->
+    let weight = max 1 (Option.value (List.assoc_opt name t.weights) ~default:1) in
+    let tnt =
+      { name; weight; jobs = Queue.create (); inflight = 0; credits = weight; busy_s = 0. }
+    in
+    Hashtbl.add t.by_name name tnt;
+    t.tenants <- Array.append t.tenants [| tnt |];
+    tnt
+
+(* Weighted round-robin dequeue, called under the lock.  A tenant is
+   eligible when it has queued work and a free in-flight slot; the cursor
+   advances past the chosen tenant so equal-weight tenants interleave.  Two
+   passes: first honouring the per-round credits, then — when every
+   eligible tenant is out of credit — refilling all credits and taking the
+   first eligible tenant of the new round. *)
+let take_next t =
+  if t.queued = 0 then None
+  else begin
+    let n = Array.length t.tenants in
+    let eligible tnt = Queue.length tnt.jobs > 0 && tnt.inflight < t.inflight_cap in
+    let pick tnt i =
+      t.cursor <- (i + 1) mod n;
+      tnt.credits <- tnt.credits - 1;
+      t.queued <- t.queued - 1;
+      tnt.inflight <- tnt.inflight + 1;
+      t.running <- t.running + 1;
+      Some (tnt, Queue.pop tnt.jobs)
+    in
+    let scan ~spend_credits =
+      let rec go k =
+        if k >= n then None
+        else begin
+          let i = (t.cursor + k) mod n in
+          let tnt = t.tenants.(i) in
+          if eligible tnt && ((not spend_credits) || tnt.credits > 0) then pick tnt i
+          else go (k + 1)
+        end
+      in
+      go 0
+    in
+    match scan ~spend_credits:true with
+    | Some _ as got -> got
+    | None ->
+      (* every eligible tenant exhausted its round: start a new round *)
+      Array.iter (fun tnt -> tnt.credits <- tnt.weight) t.tenants;
+      scan ~spend_credits:false
+  end
+
+let worker t w () =
+  let rec loop () =
+    let job =
+      locked t (fun () ->
+          let rec await () =
+            if t.stopped then None
+            else
+              match take_next t with
+              | Some _ as got ->
+                Metrics.set m_queue_depth (float_of_int t.queued);
+                Metrics.set m_running (float_of_int t.running);
+                got
+              | None ->
+                Condition.wait t.work t.mutex;
+                await ()
+          in
+          await ())
+    in
+    match job with
+    | None -> ()
+    | Some (tnt, j) ->
+      let t0 = Unix.gettimeofday () in
+      (try
+         Trace.with_span ~name:"serve.job"
+           ~args:[ ("tenant", Trace.Str tnt.name); ("worker", Trace.Int w) ]
+           j.run
+       with e ->
+         Log.warn (fun m ->
+             m "scheduler: job for tenant %s raised %s" tnt.name (Printexc.to_string e)));
+      let dt = Unix.gettimeofday () -. t0 in
+      Metrics.incr m_jobs;
+      locked t (fun () ->
+          tnt.inflight <- tnt.inflight - 1;
+          tnt.busy_s <- tnt.busy_s +. dt;
+          t.running <- t.running - 1;
+          t.ewma_job_s <-
+            (if t.ewma_job_s = 0. then dt else (0.8 *. t.ewma_job_s) +. (0.2 *. dt));
+          Metrics.set m_running (float_of_int t.running);
+          Metrics.set
+            (Metrics.gauge "serve_tenant_busy_seconds"
+               ~labels:[ ("tenant", tnt.name) ]
+               ~help:"Worker seconds spent on this tenant's jobs.")
+            tnt.busy_s;
+          (* an in-flight slot freed: a capped tenant may be schedulable now *)
+          Condition.broadcast t.work;
+          Condition.broadcast t.idle);
+      loop ()
+  in
+  loop ()
+
+let create ?(workers = 4) ?(queue_bound = 256) ?(inflight_cap = 64) ?(weights = []) () =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be positive";
+  if queue_bound < 0 then invalid_arg "Scheduler.create: queue_bound must be non-negative";
+  if inflight_cap < 1 then invalid_arg "Scheduler.create: inflight_cap must be positive";
+  List.iter
+    (fun (name, w) ->
+      if w < 1 then
+        invalid_arg (Printf.sprintf "Scheduler.create: weight for %s must be positive" name))
+    weights;
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      workers;
+      queue_bound;
+      inflight_cap;
+      weights;
+      by_name = Hashtbl.create 8;
+      tenants = [||];
+      cursor = 0;
+      queued = 0;
+      running = 0;
+      draining = false;
+      stopped = false;
+      ewma_job_s = 0.;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun w -> Domain.spawn (worker t w));
+  t
+
+type rejection = Busy of { retry_after_s : float } | Draining
+
+let submit t ~tenant jobs =
+  let n = List.length jobs in
+  let result =
+    locked t (fun () ->
+        if t.draining then Error Draining
+        else if t.queued + n > t.queue_bound then begin
+          (* hint: how long until the backlog ahead of this batch clears,
+             assuming the observed per-job duration spread over the pool *)
+          let per_job = if t.ewma_job_s = 0. then 0.05 else t.ewma_job_s in
+          let backlog = float_of_int (t.queued + t.running) in
+          let retry =
+            Float.min 60. (Float.max 0.05 (backlog *. per_job /. float_of_int t.workers))
+          in
+          Error (Busy { retry_after_s = retry })
+        end
+        else begin
+          let tnt = tenant_of t tenant in
+          List.iter (fun job -> Queue.add job tnt.jobs) jobs;
+          t.queued <- t.queued + n;
+          Metrics.set m_queue_depth (float_of_int t.queued);
+          Condition.broadcast t.work;
+          Ok ()
+        end)
+  in
+  (match result with Error _ -> Metrics.incr m_rejected | Ok () -> ());
+  result
+
+type stats = {
+  queued : int;
+  running : int;
+  tenants : (string * int * int) list;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        queued = t.queued;
+        running = t.running;
+        tenants =
+          Array.to_list
+            (Array.map
+               (fun tnt -> (tnt.name, Queue.length tnt.jobs, tnt.inflight))
+               t.tenants);
+      })
+
+let drain ?deadline_s t =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
+  let domains =
+    locked t (fun () ->
+        t.draining <- true;
+        Condition.broadcast t.work;
+        let rec wait () =
+          if t.queued > 0 || t.running > 0 then begin
+            (match deadline with
+            | Some d when Unix.gettimeofday () >= d && t.queued > 0 ->
+              (* deadline passed: abandon what never started; running jobs
+                 still finish below *)
+              Log.warn (fun m ->
+                  m "scheduler: drain deadline hit, discarding %d queued jobs" t.queued);
+              Array.iter
+                (fun tnt ->
+                  Queue.iter
+                    (fun j -> try j.on_discard () with _ -> ())
+                    tnt.jobs;
+                  Queue.clear tnt.jobs)
+                t.tenants;
+              t.queued <- 0
+            | _ -> ());
+            if t.queued > 0 || t.running > 0 then begin
+              Condition.wait t.idle t.mutex;
+              wait ()
+            end
+          end
+        in
+        wait ();
+        t.stopped <- true;
+        Condition.broadcast t.work;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join domains

@@ -1,0 +1,70 @@
+(** A multi-tenant fair job scheduler on a fixed pool of OCaml 5 domains —
+    the daemon's execution engine.
+
+    Unlike {!Mechaml_engine.Pool.map}, which runs one batch to completion,
+    this pool is persistent: worker domains live for the daemon's lifetime
+    and drain a set of per-tenant queues.  Three production concerns are
+    handled at the dequeue point:
+
+    - {b weighted round-robin}: tenants are visited in submission order,
+      each spending up to [weight] credits per round before the round
+      resets, so a tenant with weight 3 gets ~3x the job slots of a
+      weight-1 tenant under contention — but an idle tenant never blocks
+      anyone (work-conserving);
+    - {b per-tenant in-flight caps}: no tenant occupies more than
+      [inflight_cap] workers at once, so a burst from one client cannot
+      monopolize the pool even between rounds;
+    - {b admission control}: the total queue is bounded; a submission that
+      would overflow it is rejected with a retry hint derived from the
+      observed job duration (EWMA), which the server surfaces as
+      [429 Retry-After].
+
+    Jobs are opaque thunks; a raising job is caught and logged, never fatal
+    to its worker. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_bound:int ->
+  ?inflight_cap:int ->
+  ?weights:(string * int) list ->
+  unit ->
+  t
+(** Spawn [workers] worker domains (default 4).  [queue_bound] (default 256)
+    bounds the total queued jobs across tenants; [inflight_cap] (default 64)
+    bounds one tenant's concurrently running jobs; [weights] assigns
+    round-robin weights per tenant name (default 1; entries for unknown
+    tenants are kept for when they first appear).  Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+type job
+
+val job : ?on_discard:(unit -> unit) -> (unit -> unit) -> job
+(** A unit of work.  [on_discard] (default a no-op) fires if the job is
+    dropped unrun by a {!drain} deadline — the submitter's chance to unblock
+    anything waiting on the job's result. *)
+
+type rejection =
+  | Busy of { retry_after_s : float }  (** queue bound hit *)
+  | Draining  (** shutdown in progress, no new work *)
+
+val submit : t -> tenant:string -> job list -> (unit, rejection) result
+(** Enqueue a batch of jobs for [tenant] — all or nothing: the batch is
+    rejected whole when it would overflow the queue bound.  Never blocks. *)
+
+type stats = {
+  queued : int;  (** jobs waiting across all tenants *)
+  running : int;  (** jobs currently on a worker *)
+  tenants : (string * int * int) list;
+      (** per tenant: (name, queued, in-flight), submission order *)
+}
+
+val stats : t -> stats
+
+val drain : ?deadline_s:float -> t -> unit
+(** Graceful shutdown: reject new submissions, run every queued job to
+    completion, then stop and join the workers.  With [deadline_s], jobs
+    still queued when the deadline expires are discarded (running jobs are
+    always allowed to finish — verification stages cannot be interrupted
+    midway).  Idempotent. *)

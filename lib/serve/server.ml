@@ -1,0 +1,202 @@
+module Log = Mechaml_obs.Log
+module Metrics = Mechaml_obs.Metrics
+module Cache = Mechaml_engine.Cache
+
+let m_connections =
+  Metrics.counter "serve_connections_total" ~help:"TCP connections accepted."
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  handlers : int;
+  queue_bound : int;
+  inflight_cap : int;
+  weights : (string * int) list;
+  cache_capacity : int option;
+  snapshot : string option;
+  snapshot_every_s : float option;
+}
+
+let default =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    handlers = 4;
+    queue_bound = 256;
+    inflight_cap = 64;
+    weights = [];
+    cache_capacity = None;
+    snapshot = None;
+    snapshot_every_s = None;
+  }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  cache : Cache.t;
+  sched : Scheduler.t;
+  snapshot : string option;
+  stopping : bool Atomic.t;
+  cmutex : Mutex.t;
+  cready : Condition.t;
+  conns : Unix.file_descr Queue.t;
+  mutable acceptor_d : unit Domain.t option;
+  mutable handler_ds : unit Domain.t list;
+  mutable snapshot_d : unit Domain.t option;
+}
+
+(* The acceptor polls with a short select timeout instead of blocking in
+   accept: closing a listening socket does not reliably wake a blocked
+   accept on Linux, so shutdown is signalled through [stopping] and observed
+   within one poll interval. *)
+let acceptor srv () =
+  let fd = srv.listen_fd in
+  while not (Atomic.get srv.stopping) do
+    let readable =
+      try (match Unix.select [ fd ] [] [] 0.2 with [], _, _ -> false | _ -> true)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if readable then
+      try
+        let c, _ = Unix.accept fd in
+        Unix.clear_nonblock c;
+        Metrics.incr m_connections;
+        Mutex.lock srv.cmutex;
+        Queue.add c srv.conns;
+        Condition.signal srv.cready;
+        Mutex.unlock srv.cmutex
+      with
+      | Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+        ->
+        ()
+      | Unix.Unix_error _ when Atomic.get srv.stopping -> ()
+  done
+
+let serve_conn ctx fd =
+  let c = Http.conn fd in
+  (try
+     let req = Http.read_request c in
+     Router.handle ctx c req
+   with
+  | Http.Closed -> ()
+  | Http.Bad msg -> ( try Http.respond c ~status:400 (msg ^ "\n") with _ -> ())
+  | Unix.Unix_error _ -> ()
+  | e ->
+    Log.warn (fun m -> m "serve: handler raised %s" (Printexc.to_string e));
+    ( try Http.respond c ~status:500 "internal error\n" with _ -> ()));
+  Http.close c
+
+let handler srv ctx () =
+  let rec loop () =
+    let next =
+      Mutex.lock srv.cmutex;
+      let rec await () =
+        if not (Queue.is_empty srv.conns) then Some (Queue.pop srv.conns)
+        else if Atomic.get srv.stopping then None
+        else begin
+          Condition.wait srv.cready srv.cmutex;
+          await ()
+        end
+      in
+      let r = await () in
+      Mutex.unlock srv.cmutex;
+      r
+    in
+    match next with
+    | None -> ()
+    | Some fd ->
+      serve_conn ctx fd;
+      loop ()
+  in
+  loop ()
+
+let snapshotter srv ~every ~path () =
+  let rec loop elapsed =
+    if not (Atomic.get srv.stopping) then begin
+      Unix.sleepf 0.2;
+      let elapsed = elapsed +. 0.2 in
+      if elapsed >= every then begin
+        Cache.save srv.cache ~path;
+        loop 0.
+      end
+      else loop elapsed
+    end
+  in
+  loop 0.
+
+let start cfg =
+  (* a daemon that exposes /metrics collects them, no opt-in flag needed *)
+  Metrics.set_enabled true;
+  let cache = Cache.create ?capacity:cfg.cache_capacity () in
+  (match cfg.snapshot with
+  | Some path when Sys.file_exists path -> (
+    match Cache.load cache ~path with
+    | Ok n -> Log.info (fun m -> m "serve: restored %d cache entries from %s" n path)
+    | Error e -> Log.warn (fun m -> m "serve: ignoring cache snapshot %s: %s" path e))
+  | _ -> ());
+  let sched =
+    Scheduler.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound
+      ~inflight_cap:cfg.inflight_cap ~weights:cfg.weights ()
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.set_nonblock fd;
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+  in
+  let srv =
+    {
+      listen_fd = fd;
+      bound_port;
+      cache;
+      sched;
+      snapshot = cfg.snapshot;
+      stopping = Atomic.make false;
+      cmutex = Mutex.create ();
+      cready = Condition.create ();
+      conns = Queue.create ();
+      acceptor_d = None;
+      handler_ds = [];
+      snapshot_d = None;
+    }
+  in
+  let ctx = { Router.cache; sched; started_at = Unix.gettimeofday () } in
+  srv.acceptor_d <- Some (Domain.spawn (acceptor srv));
+  srv.handler_ds <- List.init (max 1 cfg.handlers) (fun _ -> Domain.spawn (handler srv ctx));
+  (match (cfg.snapshot, cfg.snapshot_every_s) with
+  | Some path, Some every when every > 0. ->
+    srv.snapshot_d <- Some (Domain.spawn (snapshotter srv ~every ~path))
+  | _ -> ());
+  Log.info (fun m -> m "serve: listening on %s:%d" cfg.host bound_port);
+  srv
+
+let port srv = srv.bound_port
+
+let cache srv = srv.cache
+
+let stop ?drain_deadline_s srv =
+  if not (Atomic.exchange srv.stopping true) then begin
+    Option.iter Domain.join srv.acceptor_d;
+    srv.acceptor_d <- None;
+    (* jobs first: streaming handlers block on their verdicts *)
+    Scheduler.drain ?deadline_s:drain_deadline_s srv.sched;
+    Mutex.lock srv.cmutex;
+    Condition.broadcast srv.cready;
+    Mutex.unlock srv.cmutex;
+    List.iter Domain.join srv.handler_ds;
+    srv.handler_ds <- [];
+    Option.iter Domain.join srv.snapshot_d;
+    srv.snapshot_d <- None;
+    (try Unix.close srv.listen_fd with _ -> ());
+    Option.iter (fun path -> Cache.save srv.cache ~path) srv.snapshot;
+    Log.info (fun m -> m "serve: drained and stopped")
+  end

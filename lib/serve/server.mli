@@ -1,0 +1,49 @@
+(** The verification daemon: a listening socket, an acceptor domain, a pool
+    of connection-handler domains and a {!Scheduler} of job-worker domains,
+    all sharing one {!Mechaml_engine.Cache}.
+
+    Lifecycle: {!start} binds and begins serving immediately; {!stop} is the
+    graceful drain — stop accepting, finish every queued and running job
+    (streaming their verdicts to connected clients), serve the connections
+    already accepted, join every domain, and write a final cache snapshot.
+    The daemon never restarts in-process; a new {!start} builds a new one
+    (warm again, via the snapshot). *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port — read it back with {!port} *)
+  workers : int;  (** scheduler job domains *)
+  handlers : int;  (** connection-handler domains *)
+  queue_bound : int;  (** admission control: max queued jobs *)
+  inflight_cap : int;  (** per-tenant concurrent-job cap *)
+  weights : (string * int) list;  (** per-tenant round-robin weights *)
+  cache_capacity : int option;  (** LRU bound on the shared cache *)
+  snapshot : string option;
+      (** cache snapshot path: loaded (if present) at {!start}, written by
+          {!stop} and every [snapshot_every_s] *)
+  snapshot_every_s : float option;  (** periodic snapshot interval *)
+}
+
+val default : config
+(** [127.0.0.1:0], 4 workers, 4 handlers, queue bound 256, in-flight cap 64,
+    no weights, unbounded cache, no snapshot. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the domains.  Raises [Unix.Unix_error] when the
+    address cannot be bound.  A snapshot that exists but fails to load is
+    logged and ignored (the daemon starts cold).  Enables
+    {!Mechaml_obs.Metrics} collection process-wide — a daemon that exposes
+    [/metrics] always collects. *)
+
+val port : t -> int
+(** The bound port (resolves [port = 0]). *)
+
+val cache : t -> Mechaml_engine.Cache.t
+
+val stop : ?drain_deadline_s:float -> t -> unit
+(** Graceful drain, in order: stop accepting, {!Scheduler.drain} (with the
+    deadline, if any — queued jobs past it stream stand-in [Failed]
+    verdicts), serve and close the already-accepted connections, join every
+    domain, write the final snapshot.  Idempotent. *)

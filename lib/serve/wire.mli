@@ -1,0 +1,52 @@
+(** The JSON wire format of the verification service, built on the strict
+    {!Mechaml_obs.Json} codec (no external JSON dependency).
+
+    Campaign jobs carry driver closures ([make_box]), so arbitrary specs
+    cannot cross a socket; a submission instead {e names} jobs out of the
+    bundled matrix ({!Mechaml_engine.Campaign.bundled}) — the whole matrix,
+    the tiny smoke matrix, a substring selection, or an explicit id list —
+    and the daemon resolves the names back to runnable specs.  Outcomes
+    travel fully serialized, so a client reconstructs
+    {!Mechaml_engine.Campaign.outcome} values whose canonical report
+    ({!Mechaml_engine.Report.canonical}) is byte-identical to a local
+    [Campaign.run] over the same specs. *)
+
+module Json := Mechaml_obs.Json
+
+type submit = {
+  tiny : bool;  (** select the four-job smoke matrix *)
+  select : string option;  (** keep only job ids containing this substring *)
+  ids : string list option;  (** explicit job ids (matrix order preserved) *)
+}
+
+val submit : ?tiny:bool -> ?select:string -> ?ids:string list -> unit -> submit
+
+val encode_submit : submit -> Json.t
+
+val decode_submit : Json.t -> (submit, string) result
+(** Unknown fields are ignored; wrongly-typed known fields are errors. *)
+
+val resolve : submit -> (Mechaml_engine.Campaign.spec list, string) result
+(** Resolve against the bundled matrix.  [Error] when the selection matches
+    nothing or an explicit id is unknown. *)
+
+val encode_outcome : Mechaml_engine.Campaign.outcome -> Json.t
+
+val decode_outcome : Json.t -> (Mechaml_engine.Campaign.outcome, string) result
+(** Inverse of {!encode_outcome}: every field the canonical report reads is
+    restored exactly; measured fields (durations) round-trip as floats. *)
+
+(** One line of the campaign response stream (newline-delimited JSON inside
+    a chunked body). *)
+type event =
+  | Accepted of { jobs : int }
+      (** submission admitted; [jobs] verdicts will follow *)
+  | Verdict of { index : int; outcome : Mechaml_engine.Campaign.outcome }
+      (** one job finished ([index] is its position in the resolved spec
+          list; events arrive in completion order) *)
+  | Done of { jobs : int; cache_entries : int; cache_hit_rate : float }
+      (** all verdicts delivered, with a glimpse of the shared cache *)
+
+val encode_event : event -> Json.t
+
+val decode_event : Json.t -> (event, string) result

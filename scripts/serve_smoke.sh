@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mechaserve daemon (make serve-smoke):
+#
+#   1. start `mechaverify serve` on an ephemeral port with a cache snapshot;
+#   2. run two concurrent `mechaverify submit` clients under distinct
+#      tenants and require byte-identical canonical digests from both;
+#   3. scrape /v1/stats and /metrics and require the serve_* series;
+#   4. SIGTERM the daemon and require a clean drain within a deadline,
+#      a zero exit status and a non-empty cache snapshot on disk.
+#
+# The daemon binary is the dune-built mechaverify; override BIN/DIR to point
+# elsewhere.  Any failing step fails the script (set -e) with the daemon log
+# dumped for diagnosis.
+set -euo pipefail
+
+BIN=${BIN:-./_build/default/bin/mechaverify.exe}
+DIR=${DIR:-_build/serve-smoke}
+DRAIN_DEADLINE_S=${DRAIN_DEADLINE_S:-10}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+fail() {
+  echo "serve-smoke: $1" >&2
+  echo "--- daemon log ---" >&2
+  cat "$DIR/daemon.log" >&2 || true
+  exit 1
+}
+
+"$BIN" serve --port 0 --workers 2 --handlers 2 \
+  --snapshot "$DIR/cache.snap" >"$DIR/daemon.log" 2>&1 &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+# the daemon prints its ephemeral port once the listener is up
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^mechaserve listening on [^:]*:\([0-9][0-9]*\)$/\1/p' \
+    "$DIR/daemon.log" | head -n 1)
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2>/dev/null || fail "daemon died before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never reported a listening port"
+
+"$BIN" probe --port "$PORT" >"$DIR/stats.json"
+grep -q '"schema":"mechaml-serve-stats/1"' "$DIR/stats.json" \
+  || fail "/v1/stats did not return the stats schema"
+
+# two concurrent clients under distinct tenants; both must finish and agree
+"$BIN" submit --port "$PORT" --tiny --tenant smoke-a \
+  --canonical "$DIR/a.canonical" >"$DIR/a.out" 2>&1 &
+CA=$!
+"$BIN" submit --port "$PORT" --tiny --tenant smoke-b \
+  --canonical "$DIR/b.canonical" >"$DIR/b.out" 2>&1 &
+CB=$!
+wait "$CA" || fail "client smoke-a failed: $(cat "$DIR/a.out")"
+wait "$CB" || fail "client smoke-b failed: $(cat "$DIR/b.out")"
+grep -q "proved" "$DIR/a.out" || fail "client smoke-a saw no proved verdict"
+cmp -s "$DIR/a.canonical" "$DIR/b.canonical" \
+  || fail "concurrent clients disagree on the canonical digest"
+
+"$BIN" probe --port "$PORT" --metrics >"$DIR/metrics.prom"
+for series in serve_requests_total serve_connections_total serve_jobs_total \
+  serve_queue_depth serve_cache_hit_rate; do
+  grep -q "^$series" "$DIR/metrics.prom" || fail "/metrics lacks $series"
+done
+
+# clean SIGTERM drain: daemon must exit 0 within the deadline and leave a
+# cache snapshot behind for the next (warm) life
+kill -TERM "$PID"
+deadline=$((DRAIN_DEADLINE_S * 10))
+for _ in $(seq 1 "$deadline"); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$PID" 2>/dev/null && fail "daemon did not drain within ${DRAIN_DEADLINE_S}s"
+wait "$PID" || fail "daemon exited nonzero after SIGTERM"
+trap - EXIT
+grep -q "mechaserve stopped" "$DIR/daemon.log" || fail "daemon log lacks clean stop line"
+test -s "$DIR/cache.snap" || fail "no cache snapshot written on shutdown"
+
+echo "serve-smoke: OK (port $PORT, 2 concurrent tenants, drained clean)"

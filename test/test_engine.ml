@@ -188,4 +188,134 @@ let unit_tests =
           (contains ~sub:"degraded" (Report.canonical outcomes)));
   ]
 
-let () = Alcotest.run "engine" [ ("engine", unit_tests) ]
+(* -- cache eviction and persistence ---------------------------------------- *)
+
+let tiny_auto name =
+  automaton ~name ~inputs:[ "i" ] ~outputs:[ "o" ]
+    ~trans:[ ("s", [ "i" ], [ "o" ], "s") ]
+    ~initial:[ "s" ] ()
+
+let cache_tests =
+  [
+    test "eviction is LRU with touch-on-hit, not FIFO" (fun () ->
+        let c = Cache.create ~capacity:2 () in
+        let get key = Cache.closure c ~key (fun () -> tiny_auto key) in
+        ignore (get "a");
+        ignore (get "b");
+        (* a hit refreshes recency: "a" becomes MRU, "b" the LRU *)
+        let _, hit = get "a" in
+        check_bool "a answers from the cache" true hit;
+        (* inserting "c" over capacity evicts "b"; FIFO would evict "a" *)
+        ignore (get "c");
+        let _, hit_a = get "a" in
+        check_bool "the touched entry survived capacity pressure" true hit_a;
+        let _, hit_b = get "b" in
+        check_bool "the least-recently-used entry was evicted" false hit_b;
+        check_bool "evictions counted" true ((Cache.stats c).Cache.evictions >= 1));
+    test "a losing racer keeps its own computed value" (fun () ->
+        (* Two domains racing on one fresh key both compute; the first store
+           wins for future lookups, but the loser must get back the object its
+           own [compute] returned — Loop's incremental-closure handle compares
+           it physically against the handle's automaton, and swapping in the
+           winner's structurally identical copy made the handle derive an
+           empty dirty delta and serve stale product rows.  A re-entrant
+           [compute] plays the winner deterministically. *)
+        let c = Cache.create () in
+        let winner = tiny_auto "racer" in
+        let mine = tiny_auto "racer" in
+        let got, hit =
+          Cache.closure c ~key:"k"
+            (fun () ->
+              ignore (Cache.closure c ~key:"k" (fun () -> winner));
+              mine)
+        in
+        check_bool "reported as a miss" false hit;
+        check_bool "loser's own value returned" true (got == mine);
+        let stored, hit = Cache.closure c ~key:"k" (fun () -> assert false) in
+        check_bool "later lookups hit" true hit;
+        check_bool "first store won" true (stored == winner));
+    test "snapshot save/load restores entries without counters" (fun () ->
+        let c = Cache.create () in
+        ignore (Cache.closure c ~key:"k1" (fun () -> tiny_auto "k1"));
+        ignore (Cache.closure c ~key:"k2" (fun () -> tiny_auto "k2"));
+        let path = Filename.temp_file "mechaml_cache" ".snap" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            Cache.save c ~path;
+            let fresh = Cache.create () in
+            (match Cache.load fresh ~path with
+            | Ok n -> check_int "entries restored" 2 n
+            | Error e -> Alcotest.fail e);
+            let s = Cache.stats fresh in
+            check_int "restored entries visible" 2 s.Cache.entries;
+            check_int "counters start from zero" 0 (Cache.lookups s);
+            let v, hit =
+              Cache.closure fresh ~key:"k1" (fun () ->
+                  Alcotest.fail "restored entry recomputed")
+            in
+            check_bool "restored entry hits" true hit;
+            check_string "restored value intact" "k1"
+              v.Mechaml_ts.Automaton.name));
+    test "a capacity-bounded load keeps the most recent entries" (fun () ->
+        let big = Cache.create () in
+        List.iter
+          (fun key -> ignore (Cache.closure big ~key (fun () -> tiny_auto key)))
+          [ "old"; "mid"; "new" ];
+        let path = Filename.temp_file "mechaml_cache" ".snap" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            Cache.save big ~path;
+            let small = Cache.create ~capacity:2 () in
+            (match Cache.load small ~path with
+            | Ok n -> check_int "capacity entries restored" 2 n
+            | Error e -> Alcotest.fail e);
+            let hit key =
+              snd (Cache.closure small ~key (fun () -> tiny_auto key))
+            in
+            check_bool "newest survives" true (hit "new");
+            check_bool "second newest survives" true (hit "mid");
+            check_int "truncation is not eviction churn" 0
+              (Cache.stats small).Cache.evictions));
+    test "loading a missing or corrupt snapshot is an error, not a crash" (fun () ->
+        let c = Cache.create () in
+        (match Cache.load c ~path:"/nonexistent/mechaml.snap" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "missing file loaded");
+        let path = Filename.temp_file "mechaml_cache" ".snap" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            output_string oc "not a cache snapshot at all";
+            close_out oc;
+            (match Cache.load c ~path with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "foreign file loaded");
+            (* correct header, garbage payload *)
+            let oc = open_out_bin path in
+            output_string oc "mechaml-cache 1\ngarbage payload";
+            close_out oc;
+            match Cache.load c ~path with
+            | Error _ -> check_int "cache unharmed" 0 (Cache.stats c).Cache.entries
+            | Ok _ -> Alcotest.fail "corrupt payload loaded"));
+    test "existing entries win over snapshot entries under the same key" (fun () ->
+        let donor = Cache.create () in
+        ignore (Cache.closure donor ~key:"shared" (fun () -> tiny_auto "from_snapshot"));
+        let path = Filename.temp_file "mechaml_cache" ".snap" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            Cache.save donor ~path;
+            let live = Cache.create () in
+            ignore (Cache.closure live ~key:"shared" (fun () -> tiny_auto "live"));
+            (match Cache.load live ~path with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            let v, hit = Cache.closure live ~key:"shared" (fun () -> tiny_auto "x") in
+            check_bool "hit" true hit;
+            check_string "live value kept" "live" v.Mechaml_ts.Automaton.name));
+  ]
+
+let () = Alcotest.run "engine" [ ("engine", unit_tests); ("cache", cache_tests) ]

@@ -186,10 +186,53 @@ let property_tests =
       QCheck.small_nat loop_equivalence_prop;
   ]
 
+(* -- daemon neutrality ------------------------------------------------------
+
+   Serving a campaign through the mechaserve daemon (wire codec, scheduler,
+   shared warm cache, streamed verdicts) is yet another thing that must not
+   leak into results: the outcomes a client reassembles from the chunked
+   event stream must produce the same canonical report as a local
+   [Campaign.run] over the same matrix — whatever the worker count, and with
+   two clients sharing one daemon (and its cache) concurrently. *)
+
+module Server = Mechaml_serve.Server
+module Client = Mechaml_serve.Client
+
+let with_daemon ~workers f =
+  let srv = Server.start { Server.default with Server.workers } in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f { Client.host = "127.0.0.1"; port = Server.port srv })
+
+let submit_exn ?tenant ep =
+  match Client.submit ep ?tenant () with
+  | Ok outcomes -> outcomes
+  | Error e -> Alcotest.fail (Client.error_string e)
+
+let daemon_tests =
+  [
+    test "daemon-served full matrix matches the local canonical report (workers 1 and 4)"
+      (fun () ->
+        let reference = Report.canonical (Lazy.force sequential) in
+        with_daemon ~workers:1 (fun ep ->
+            check_string "daemon workers:1" reference (Report.canonical (submit_exn ep)));
+        with_daemon ~workers:4 (fun ep ->
+            check_string "daemon workers:4" reference (Report.canonical (submit_exn ep))));
+    test "two concurrent clients of one daemon both match the local report" (fun () ->
+        let reference = Report.canonical (Lazy.force sequential) in
+        with_daemon ~workers:4 (fun ep ->
+            let d1 = Domain.spawn (fun () -> submit_exn ~tenant:"alice" ep) in
+            let d2 = Domain.spawn (fun () -> submit_exn ~tenant:"bob" ep) in
+            let a = Domain.join d1 and b = Domain.join d2 in
+            check_string "client 1" reference (Report.canonical a);
+            check_string "client 2" reference (Report.canonical b)));
+  ]
+
 let () =
   Alcotest.run "equiv"
     [
       ("unit", unit_tests);
       ("incremental-neutrality", neutrality_tests);
       ("incremental-properties", property_tests);
+      ("daemon-neutrality", daemon_tests);
     ]

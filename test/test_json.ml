@@ -1,0 +1,164 @@
+(* Obs.Json is the wire codec of the verification daemon: it parses bytes
+   from the network, so every malformed input — truncated bodies, absurd
+   nesting, bad escapes — must come back as [Error], never as an uncaught
+   exception, and everything the printer emits must parse back to the same
+   value. *)
+
+module Json = Mechaml_obs.Json
+open Helpers
+
+(* -- generators ------------------------------------------------------------ *)
+
+(* Random values of bounded depth.  Numbers are 53-bit-safe integers so the
+   round trip is exact ([to_string]/[parse] only guarantee equality up to
+   float formatting). *)
+let value_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Num (float_of_int n)) (int_range (-1_000_000) 1_000_000);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 20));
+        map (fun s -> Json.Str s) (string_size (int_bound 20));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 8)) (value (depth - 1)))) );
+        ]
+  in
+  value 4
+
+let arbitrary_value = QCheck.make ~print:Json.to_string value_gen
+
+(* -- properties ------------------------------------------------------------ *)
+
+let roundtrip_prop v =
+  match Json.parse (Json.to_string v) with
+  | Ok v' when v' = v -> true
+  | Ok v' ->
+    QCheck.Test.fail_reportf "reparse changed the value:\n  %s\n  %s" (Json.to_string v)
+      (Json.to_string v')
+  | Error e -> QCheck.Test.fail_reportf "printer output rejected: %s" e
+
+(* Whatever bytes arrive, [parse] returns — [Ok] or [Error], never raises. *)
+let total_prop s =
+  match Json.parse s with Ok _ | Error _ -> true
+
+(* Truncating valid JSON anywhere must never raise either, and a strict
+   prefix of a scalar-free compound value must fail to parse. *)
+let truncation_prop v =
+  let s = Json.to_string v in
+  let n = String.length s in
+  for i = 0 to n - 1 do
+    match Json.parse (String.sub s 0 i) with Ok _ | Error _ -> ()
+  done;
+  true
+
+let property_tests =
+  [
+    qcheck ~count:500 "print/parse round trip" arbitrary_value roundtrip_prop;
+    qcheck ~count:500 "parse is total on arbitrary bytes"
+      QCheck.(make Gen.(string_size (int_bound 64)))
+      total_prop;
+    qcheck ~count:200 "parse is total on every truncation" arbitrary_value
+      truncation_prop;
+  ]
+
+(* -- malformed-input suite ------------------------------------------------- *)
+
+let rejects name input =
+  test name (fun () ->
+      match Json.parse input with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "accepted %S as %s" input (Json.to_string v))
+
+let accepts name input expected =
+  test name (fun () ->
+      match Json.parse input with
+      | Ok v -> check_string name expected (Json.to_string v)
+      | Error e -> Alcotest.failf "rejected %S: %s" input e)
+
+let malformed_tests =
+  [
+    rejects "empty input" "";
+    rejects "whitespace only" "  \t\n";
+    rejects "truncated object" "{\"a\": 1";
+    rejects "truncated array" "[1, 2";
+    rejects "truncated string" "\"abc";
+    rejects "truncated literal" "tru";
+    rejects "truncated number" "-";
+    rejects "missing value after colon" "{\"a\":}";
+    rejects "missing colon" "{\"a\" 1}";
+    rejects "trailing comma in array" "[1,]";
+    rejects "trailing comma in object" "{\"a\":1,}";
+    rejects "trailing garbage" "{} x";
+    rejects "two top-level values" "1 2";
+    rejects "bad escape" "\"\\q\"";
+    rejects "truncated unicode escape" "\"\\u12\"";
+    rejects "non-hex unicode escape" "\"\\uzzzz\"";
+    rejects "raw control character in string" "\"a\x01b\"";
+    rejects "raw newline in string" "\"a\nb\"";
+    rejects "unquoted key" "{a: 1}";
+    rejects "single quotes" "'a'";
+    rejects "leading plus on number" "+1";
+    rejects "hex number" "0x10";
+    rejects "lone surrogate-free backslash" "\"\\\"";
+    accepts "escapes decode" {|"\u0041\n\t\\"|} "\"A\\n\\t\\\\\"";
+    accepts "nested structures parse" {|{"a":[1,{"b":[]}],"c":null}|}
+      {|{"a":[1,{"b":[]}],"c":null}|};
+  ]
+
+(* -- nesting depth --------------------------------------------------------- *)
+
+let nested ~depth =
+  String.concat "" (List.init depth (fun _ -> "["))
+  ^ "1"
+  ^ String.concat "" (List.init depth (fun _ -> "]"))
+
+let depth_tests =
+  [
+    test "512 levels of nesting parse" (fun () ->
+        match Json.parse (nested ~depth:512) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "rejected depth 512: %s" e);
+    test "513 levels are an error, not a crash" (fun () ->
+        match Json.parse (nested ~depth:513) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted beyond the depth cap");
+    test "100k open brackets error instead of overflowing the stack" (fun () ->
+        match Json.parse (String.make 100_000 '[') with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted unterminated deep nesting");
+    test "deep objects are bounded too" (fun () ->
+        let b = Buffer.create 8192 in
+        for _ = 1 to 1000 do
+          Buffer.add_string b "{\"k\":"
+        done;
+        Buffer.add_string b "1";
+        for _ = 1 to 1000 do
+          Buffer.add_char b '}'
+        done;
+        match Json.parse (Buffer.contents b) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted 1000-deep object");
+  ]
+
+let () =
+  Alcotest.run "json"
+    [
+      ("properties", property_tests);
+      ("malformed", malformed_tests);
+      ("depth", depth_tests);
+    ]

@@ -1,0 +1,375 @@
+(* The verification daemon: wire codec round trips, fair scheduling,
+   admission control, the HTTP surface, and cache snapshot persistence
+   across a daemon restart.  Servers bind an ephemeral loopback port per
+   test and are always drained before the test returns. *)
+
+module Server = Mechaml_serve.Server
+module Client = Mechaml_serve.Client
+module Scheduler = Mechaml_serve.Scheduler
+module Wire = Mechaml_serve.Wire
+module Http = Mechaml_serve.Http
+module Json = Mechaml_obs.Json
+module Campaign = Mechaml_engine.Campaign
+module Report = Mechaml_engine.Report
+module Cache = Mechaml_engine.Cache
+open Helpers
+
+let contains ~sub text =
+  let n = String.length sub and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* -- wire ------------------------------------------------------------------ *)
+
+(* Outcomes with real payloads: the tiny matrix plus a supervised degraded
+   job and a failed one, so every verdict arm of the codec is exercised. *)
+let sample_outcomes =
+  lazy
+    (let tiny = Campaign.run (Campaign.bundled ~tiny:true ()) in
+     let extra =
+       Campaign.run
+         [
+           Campaign.job ~id:"wire/brick" ~family:"railcab"
+             ~context:Mechaml_scenarios.Railcab.context
+             ~property:Mechaml_scenarios.Railcab.constraint_
+             ~label_of:Mechaml_scenarios.Railcab.label_of ~inject:"brick" ~seed:1
+             ~policy:
+               {
+                 Mechaml_legacy.Supervisor.default_policy with
+                 retries = 2;
+                 breaker = 3;
+               }
+             (fun () -> Mechaml_scenarios.Railcab.box_correct);
+           {
+             (Campaign.job ~id:"wire/bad" ~family:"railcab"
+                ~context:Mechaml_scenarios.Railcab.context
+                ~property:Mechaml_scenarios.Railcab.constraint_
+                ~label_of:Mechaml_scenarios.Railcab.label_of (fun () ->
+                  Mechaml_scenarios.Railcab.box_correct))
+             with
+             Campaign.inject = Some "nope";
+           };
+         ]
+     in
+     tiny @ extra)
+
+let wire_tests =
+  [
+    test "outcomes round-trip through the wire codec" (fun () ->
+        List.iter
+          (fun (o : Campaign.outcome) ->
+            let json = Json.to_string (Wire.encode_outcome o) in
+            match Result.bind (Json.parse json) Wire.decode_outcome with
+            | Error e -> Alcotest.failf "%s: decode failed: %s" o.Campaign.spec_id e
+            | Ok o' ->
+              check_string ("canonical of " ^ o.Campaign.spec_id)
+                (Report.canonical [ o ]) (Report.canonical [ o' ]);
+              check_bool ("full record of " ^ o.Campaign.spec_id) true (o = o'))
+          (Lazy.force sample_outcomes));
+    test "events round-trip" (fun () ->
+        let events =
+          Wire.Accepted { jobs = 7 }
+          :: Wire.Done { jobs = 7; cache_entries = 42; cache_hit_rate = 0.625 }
+          :: List.mapi
+               (fun i o -> Wire.Verdict { index = i; outcome = o })
+               (Lazy.force sample_outcomes)
+        in
+        List.iter
+          (fun ev ->
+            let json = Json.to_string (Wire.encode_event ev) in
+            match Result.bind (Json.parse json) Wire.decode_event with
+            | Ok ev' -> check_bool json true (ev = ev')
+            | Error e -> Alcotest.failf "decode failed on %s: %s" json e)
+          events);
+    test "submit round-trips and resolves against the bundled matrix" (fun () ->
+        let s = Wire.submit ~tiny:true ~select:"watchdog" () in
+        (match
+           Result.bind (Json.parse (Json.to_string (Wire.encode_submit s)))
+             Wire.decode_submit
+         with
+        | Ok s' -> check_bool "submit" true (s = s')
+        | Error e -> Alcotest.fail e);
+        match Wire.resolve s with
+        | Ok [ spec ] -> check_bool "watchdog job" true (contains ~sub:"watchdog" spec.Campaign.id)
+        | Ok specs -> Alcotest.failf "expected one job, got %d" (List.length specs)
+        | Error e -> Alcotest.fail e);
+    test "explicit ids resolve in matrix order; unknown ids are errors" (fun () ->
+        let all = List.map (fun s -> s.Campaign.id) (Campaign.bundled ~tiny:true ()) in
+        let reversed = List.rev all in
+        (match Wire.resolve (Wire.submit ~tiny:true ~ids:reversed ()) with
+        | Ok specs ->
+          Alcotest.(check (list string))
+            "matrix order restored" all
+            (List.map (fun s -> s.Campaign.id) specs)
+        | Error e -> Alcotest.fail e);
+        match Wire.resolve (Wire.submit ~ids:[ "no/such/job" ] ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown id accepted");
+    test "selection matching nothing is an error" (fun () ->
+        match Wire.resolve (Wire.submit ~select:"zzz-no-match" ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "empty selection accepted");
+  ]
+
+(* -- scheduler ------------------------------------------------------------- *)
+
+let scheduler_tests =
+  [
+    test "equal-weight tenants alternate under one worker" (fun () ->
+        let sched = Scheduler.create ~workers:1 () in
+        let order = ref [] in
+        let omutex = Mutex.create () in
+        let record name () =
+          Mutex.lock omutex;
+          order := name :: !order;
+          Mutex.unlock omutex
+        in
+        let gate = Mutex.create () in
+        Mutex.lock gate;
+        (* park the single worker so both tenants queue up behind it *)
+        let blocker =
+          Scheduler.job (fun () ->
+              Mutex.lock gate;
+              Mutex.unlock gate)
+        in
+        (match Scheduler.submit sched ~tenant:"a" [ blocker ] with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "blocker rejected");
+        let batch name = List.init 3 (fun _ -> Scheduler.job (record name)) in
+        (match
+           ( Scheduler.submit sched ~tenant:"a" (batch "a"),
+             Scheduler.submit sched ~tenant:"b" (batch "b") )
+         with
+        | Ok (), Ok () -> ()
+        | _ -> Alcotest.fail "batch rejected");
+        Mutex.unlock gate;
+        Scheduler.drain sched;
+        let order = List.rev !order in
+        check_int "all jobs ran" 6 (List.length order);
+        let rec alternates = function
+          | x :: y :: rest ->
+            check_bool "no tenant runs twice in a row while both have work" true
+              (x <> y);
+            alternates (y :: rest)
+          | _ -> ()
+        in
+        (* the tail may repeat once one tenant is drained; the first four
+           picks have both tenants queued, so they must alternate *)
+        alternates (List.filteri (fun i _ -> i < 4) order));
+    test "in-flight cap keeps one tenant from monopolizing the pool" (fun () ->
+        let sched = Scheduler.create ~workers:4 ~inflight_cap:1 () in
+        let running = Atomic.make 0 in
+        let peak = Atomic.make 0 in
+        let job () =
+          let now = Atomic.fetch_and_add running 1 + 1 in
+          let rec bump () =
+            let p = Atomic.get peak in
+            if now > p && not (Atomic.compare_and_set peak p now) then bump ()
+          in
+          bump ();
+          Unix.sleepf 0.02;
+          ignore (Atomic.fetch_and_add running (-1))
+        in
+        (match
+           Scheduler.submit sched ~tenant:"greedy"
+             (List.init 6 (fun _ -> Scheduler.job job))
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "rejected");
+        Scheduler.drain sched;
+        check_int "never more than the cap in flight" 1 (Atomic.get peak));
+    test "queue bound rejects the whole batch with a retry hint" (fun () ->
+        let sched = Scheduler.create ~workers:1 ~queue_bound:2 () in
+        let gate = Mutex.create () in
+        Mutex.lock gate;
+        ignore
+          (Scheduler.submit sched ~tenant:"a"
+             [
+               Scheduler.job (fun () ->
+                   Mutex.lock gate;
+                   Mutex.unlock gate);
+             ]);
+        (match
+           Scheduler.submit sched ~tenant:"a" [ Scheduler.job (fun () -> ()) ]
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "within bound rejected");
+        (match
+           Scheduler.submit sched ~tenant:"a"
+             (List.init 2 (fun _ -> Scheduler.job (fun () -> ())))
+         with
+        | Error (Scheduler.Busy { retry_after_s }) ->
+          check_bool "positive retry hint" true (retry_after_s > 0.)
+        | Ok () -> Alcotest.fail "overflow accepted"
+        | Error Scheduler.Draining -> Alcotest.fail "not draining yet");
+        Mutex.unlock gate;
+        Scheduler.drain sched;
+        match Scheduler.submit sched ~tenant:"a" [ Scheduler.job (fun () -> ()) ] with
+        | Error Scheduler.Draining -> ()
+        | _ -> Alcotest.fail "drained scheduler accepted work");
+    test "a raising job is contained; drain is idempotent" (fun () ->
+        let sched = Scheduler.create ~workers:2 () in
+        let ran = Atomic.make 0 in
+        ignore
+          (Scheduler.submit sched ~tenant:"x"
+             [
+               Scheduler.job (fun () -> failwith "boom");
+               Scheduler.job (fun () -> ignore (Atomic.fetch_and_add ran 1));
+             ]);
+        Scheduler.drain sched;
+        Scheduler.drain sched;
+        check_int "healthy job still ran" 1 (Atomic.get ran));
+  ]
+
+(* -- HTTP server ----------------------------------------------------------- *)
+
+let with_server ?(cfg = Server.default) f =
+  let srv = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let raw_request ~port ~meth ~path ?headers body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let c = Http.conn fd in
+  Fun.protect
+    ~finally:(fun () -> Http.close c)
+    (fun () ->
+      Http.write_request c ~meth ~path ?headers body;
+      let head = Http.read_response_head c in
+      (head.Http.status, Http.read_body c head))
+
+let server_tests =
+  [
+    test "healthz answers and unknown routes are 404/405" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            (match Client.connect ~port () with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_string e));
+            let status path = fst (raw_request ~port ~meth:"GET" ~path "") in
+            check_int "404 for unknown path" 404 (status "/nope");
+            check_int "405 for wrong verb" 405
+              (fst (raw_request ~port ~meth:"POST" ~path:"/healthz" ""))));
+    test "malformed submissions are 400, never a hang" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            let post body =
+              fst (raw_request ~port ~meth:"POST" ~path:"/v1/campaign" body)
+            in
+            check_int "bad JSON" 400 (post "{not json");
+            check_int "mistyped field" 400 (post {|{"matrix": 5}|});
+            check_int "unknown matrix" 400 (post {|{"matrix": "weird"}|});
+            check_int "mistyped ids" 400 (post {|{"ids": "railcab"}|});
+            check_int "unknown job id" 400 (post {|{"ids": ["no/such/job"]}|})));
+    test "a daemon-served campaign equals the local run" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            let ep = { Client.host = "127.0.0.1"; port } in
+            match Client.submit ep ~tiny:true () with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok outcomes ->
+              check_string "canonical daemon = local"
+                (Report.canonical (Campaign.run (Campaign.bundled ~tiny:true ())))
+                (Report.canonical outcomes)));
+    test "two concurrent clients both get full, identical verdict sets" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            let ep = { Client.host = "127.0.0.1"; port } in
+            let submit tenant () = Client.submit ep ~tenant ~tiny:true () in
+            let d1 = Domain.spawn (submit "alice") in
+            let d2 = Domain.spawn (submit "bob") in
+            match (Domain.join d1, Domain.join d2) with
+            | Ok a, Ok b ->
+              check_string "identical canonical reports" (Report.canonical a)
+                (Report.canonical b);
+              check_int "alice got every verdict" 4 (List.length a)
+            | Error e, _ | _, Error e -> Alcotest.fail (Client.error_string e)));
+    test "a full queue answers 429 with Retry-After" (fun () ->
+        let cfg = { Server.default with Server.queue_bound = 0 } in
+        with_server ~cfg (fun srv ->
+            let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+            match Client.submit ep ~tiny:true () with
+            | Error (Client.Busy retry) ->
+              check_bool "positive retry hint" true (retry > 0.)
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok _ -> Alcotest.fail "over-bound submission accepted"));
+    test "metrics scrape exposes the server series" (fun () ->
+        with_server (fun srv ->
+            let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+            (match Client.submit ep ~tiny:true ~select:"watchdog" () with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_string e));
+            match Client.metrics ep with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok body ->
+              List.iter
+                (fun series ->
+                  check_bool ("scrape has " ^ series) true (contains ~sub:series body))
+                [
+                  "serve_requests_total";
+                  "serve_connections_total";
+                  "serve_jobs_total";
+                  "serve_queue_depth";
+                  "serve_cache_hit_rate";
+                  "serve_tenant_busy_seconds";
+                ]));
+    test "stats endpoint reports tenants and cache as JSON" (fun () ->
+        with_server (fun srv ->
+            let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+            (match Client.submit ep ~tenant:"carol" ~tiny:true ~select:"watchdog" () with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_string e));
+            match Client.get ep "/v1/stats" with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok (status, body) ->
+              check_int "200" 200 status;
+              (match Json.parse body with
+              | Error e -> Alcotest.failf "stats not JSON: %s" e
+              | Ok v ->
+                check_bool "schema" true
+                  (Json.member "schema" v = Some (Json.Str "mechaml-serve-stats/1"));
+                check_bool "tenant listed" true (contains ~sub:"carol" body))));
+  ]
+
+(* -- snapshot persistence across a restart --------------------------------- *)
+
+let persistence_tests =
+  [
+    test "a restarted daemon answers from the restored cache" (fun () ->
+        let snapshot = Filename.temp_file "mechaserve" ".snap" in
+        Sys.remove snapshot;
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists snapshot then Sys.remove snapshot)
+          (fun () ->
+            let cfg = { Server.default with Server.snapshot = Some snapshot } in
+            (* first life: compute, snapshot on stop *)
+            with_server ~cfg (fun srv ->
+                let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+                match Client.submit ep ~tiny:true () with
+                | Ok _ -> ()
+                | Error e -> Alcotest.fail (Client.error_string e));
+            check_bool "snapshot written" true (Sys.file_exists snapshot);
+            (* second life: the cache comes back warm and the same matrix
+               answers from memory — the hit counters prove it *)
+            with_server ~cfg (fun srv ->
+                let restored = (Cache.stats (Server.cache srv)).Cache.entries in
+                check_bool "entries restored at startup" true (restored > 0);
+                let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+                match Client.submit ep ~tiny:true () with
+                | Error e -> Alcotest.fail (Client.error_string e)
+                | Ok outcomes ->
+                  check_string "verdicts unchanged by the restore"
+                    (Report.canonical (Campaign.run (Campaign.bundled ~tiny:true ())))
+                    (Report.canonical outcomes);
+                  let s = Cache.stats (Server.cache srv) in
+                  check_bool "warm hits after restart" true (Cache.hits s > 0))))
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("wire", wire_tests);
+      ("scheduler", scheduler_tests);
+      ("server", server_tests);
+      ("persistence", persistence_tests);
+    ]
