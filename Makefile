@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke bench bench-check bench-speedup bench-speedup-pr5 clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke serve-chaos bench bench-check bench-speedup bench-speedup-pr5 clean
 
 all: build
 
@@ -57,6 +57,13 @@ obs-smoke: build
 # SIGTERM drains clean within the deadline and leaves a cache snapshot.
 serve-smoke: build
 	bash scripts/serve_smoke.sh
+
+# Chaos equivalence gate: a seeded fault proxy (delays, torn writes, resets,
+# response garbage) between retrying clients and the daemon; verdicts must
+# stay byte-identical to a fault-free run, every job must execute exactly
+# once, and a SIGKILL mid-campaign must recover through the write-ahead log.
+serve-chaos: build
+	bash scripts/serve_chaos.sh
 
 bench:
 	dune exec bench/main.exe

@@ -1015,6 +1015,96 @@ let exp_t15 () =
       json_metric "warm requests per sec" (rps tiny_total n);
       json_metric "concurrent requests per sec" (rps conc_total (2 * n)))
 
+(* -- EXP-T16: resilience overhead ------------------------------------------- *)
+
+(* The self-healing machinery (deadline watchdog, WAL journaling, quarantine
+   bookkeeping) rides on every job; this measures what it costs when nothing
+   goes wrong — the only regime where its cost matters.  Self-contained
+   on-vs-off in one process: interleaved rounds against two daemons, one
+   bare, one with deadlines + WAL, on the same warm cache.  The min-of-rounds
+   ratio damps scheduler noise; the guard asserts the overhead stays small. *)
+let exp_t16 () =
+  header "EXP-T16"
+    "Resilience overhead: tiny-matrix submission throughput with the deadline watchdog \
+     and write-ahead log on vs off";
+  let module Server = Mechaml_serve.Server in
+  let module Client = Mechaml_serve.Client in
+  let wal = Filename.temp_file "mechaserve-bench" ".wal" in
+  Sys.remove wal;
+  let bare = Server.start { Server.default with Server.workers = 4 } in
+  let guarded =
+    Server.start
+      {
+        Server.default with
+        Server.workers = 4;
+        job_deadline_s = Some 60.;
+        wal = Some wal;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop bare;
+      Server.stop guarded;
+      if Sys.file_exists wal then Sys.remove wal)
+    (fun () ->
+      let submit srv =
+        let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+        match Client.submit ep ~tenant:"bench" ~tiny:true () with
+        | Ok _ -> ()
+        | Error e -> failwith (Client.error_string e)
+      in
+      (* warm both caches and both HTTP paths before timing anything *)
+      submit bare;
+      submit guarded;
+      let n = 15 in
+      let round srv =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          submit srv
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      (* best-of over interleaved rounds, sampling adaptively: a round is
+         ~20ms, so one scheduler hiccup on the guarded side fakes a big
+         ratio.  Best-of is monotone, so extra rounds can only converge the
+         ratio toward the true floor — a systematic regression stays above
+         budget no matter how long we sample, transient noise does not. *)
+      let min_rounds = 5 and max_rounds = 24 in
+      let best_off = ref infinity and best_on = ref infinity in
+      let rounds = ref 0 in
+      while
+        !rounds < min_rounds
+        || (!rounds < max_rounds && !best_on /. !best_off > 1.05)
+      do
+        incr rounds;
+        best_off := Float.min !best_off (round bare);
+        best_on := Float.min !best_on (round guarded)
+      done;
+      let rounds = !rounds in
+      let overhead = !best_on /. !best_off in
+      let rps wall = float_of_int n /. wall in
+      print_endline
+        (Pp.table
+           ~header:[ "configuration"; "wall clock"; "requests/sec" ]
+           [
+             [ Printf.sprintf "bare daemon, %d submissions (best of %d)" n rounds;
+               Printf.sprintf "%.1f ms" (!best_off *. 1e3);
+               Printf.sprintf "%.1f" (rps !best_off) ];
+             [ "watchdog + WAL";
+               Printf.sprintf "%.1f ms" (!best_on *. 1e3);
+               Printf.sprintf "%.1f" (rps !best_on) ];
+             [ "overhead"; Printf.sprintf "%.3fx" overhead; "-" ];
+           ]);
+      json_metric "resilience overhead ratio" overhead;
+      json_metric "bare requests per sec" (rps !best_off);
+      json_metric "guarded requests per sec" (rps !best_on);
+      (* the watchdog ticks off-path and the WAL appends without fsync: when
+         nothing fails, self-healing must cost noise, not throughput *)
+      if overhead > 1.05 then
+        Printf.printf
+          "\nWARNING: resilience overhead %.3fx exceeds the 1.05x budget\n" overhead;
+      assert (overhead <= 1.05))
+
 (* -- main ------------------------------------------------------------------ *)
 
 let groups =
@@ -1040,6 +1130,7 @@ let groups =
     ("t13_campaign", exp_t13);
     ("t14_loop_incremental", exp_t14);
     ("t15_serve", exp_t15);
+    ("t16_resilience", exp_t16);
   ]
 
 let () =

@@ -514,6 +514,15 @@ let campaign_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the CSV campaign report to $(docv).")
   in
+  let canonical_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "canonical" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic canonical digest to $(docv) — independent of worker \
+             count, caching and timings, so runs can be compared byte-for-byte.")
+  in
   let tiny_t =
     let doc = "Run the four-job smoke matrix instead of the full bundled one." in
     Arg.(value & flag & info [ "tiny" ] ~doc)
@@ -548,7 +557,7 @@ let campaign_cmd =
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
     n = 0 || go 0
   in
-  let run () jobs report csv tiny select timeout retries no_cache inject seed
+  let run () jobs report csv canonical tiny select timeout retries no_cache inject seed
       deadline_ms votes quorum breaker no_incremental incremental_debug =
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
@@ -603,6 +612,11 @@ let campaign_cmd =
         Report.save ~path (Report.to_csv outcomes);
         Format.printf "wrote %s@." path)
       csv;
+    Option.iter
+      (fun path ->
+        Report.save ~path (Report.canonical outcomes);
+        Format.printf "wrote %s@." path)
+      canonical;
     exit 0
   in
   let doc =
@@ -612,9 +626,9 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
-      const run $ obs_t $ jobs_t $ report_t $ csv_t $ tiny_t $ select_t $ timeout_t
-      $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t $ quorum_t
-      $ breaker_t $ no_incremental_t $ incremental_debug_t)
+      const run $ obs_t $ jobs_t $ report_t $ csv_t $ canonical_t $ tiny_t $ select_t
+      $ timeout_t $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t
+      $ quorum_t $ breaker_t $ no_incremental_t $ incremental_debug_t)
 
 (* -- export: bundled scenario automata as textio files -- *)
 
@@ -747,8 +761,60 @@ let serve_cmd =
             "On SIGTERM/SIGINT, discard jobs still queued after $(docv) seconds \
              (running jobs always finish; their clients get stand-in failed verdicts).")
   in
+  let job_deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "job-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Default per-job execution deadline: the job's wall-clock budget is clamped \
+             to $(docv) and a watchdog abandons it (stand-in failed verdict, poison \
+             strike) if it overruns anyway.  Submissions can override per request.")
+  in
+  let wal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead log: accepted submissions and verdicts are journaled to $(docv) \
+             and a restarted daemon re-runs only the jobs that had no verdict yet.")
+  in
+  let io_timeout_t =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-connection socket read/write deadline ($(b,0) disables): a slow or dead \
+             peer costs a handler domain at most this long.")
+  in
+  let max_pending_t =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Accepted-but-unserved connection cap; excess connections are closed.")
+  in
+  let quarantine_strikes_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quarantine-strikes" ] ~docv:"K"
+          ~doc:"Timeouts/watchdog kills before a job spec is quarantined (default 2).")
+  in
+  let quarantine_ttl_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quarantine-ttl" ] ~docv:"SEC"
+          ~doc:
+            "How long a quarantined spec is refused (stand-in failed verdicts) before it \
+             may run again (default 300).")
+  in
   let run () host port workers handlers queue_bound inflight_cap weights cache_capacity
-      snapshot snapshot_every drain_deadline =
+      snapshot snapshot_every drain_deadline job_deadline wal io_timeout max_pending
+      quarantine_strikes quarantine_ttl =
     let srv =
       Server.start
         {
@@ -762,6 +828,12 @@ let serve_cmd =
           cache_capacity;
           snapshot;
           snapshot_every_s = snapshot_every;
+          job_deadline_s = job_deadline;
+          wal;
+          io_timeout_s = (if io_timeout <= 0. then None else Some io_timeout);
+          max_pending;
+          quarantine_strikes;
+          quarantine_ttl_s = quarantine_ttl;
         }
     in
     Format.printf "mechaserve listening on %s:%d@." host (Server.port srv);
@@ -787,7 +859,9 @@ let serve_cmd =
       const run $ obs_t $ host_t
       $ port_t ~default:0 ~doc:"Port to listen on ($(b,0) picks an ephemeral one)."
       $ workers_t $ handlers_t $ queue_bound_t $ inflight_cap_t $ weight_t
-      $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t)
+      $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t
+      $ job_deadline_t $ wal_t $ io_timeout_t $ max_pending_t $ quarantine_strikes_t
+      $ quarantine_ttl_t)
 
 (* -- submit: client for a running daemon -- *)
 
@@ -840,7 +914,41 @@ let submit_cmd =
             "Write the deterministic canonical digest to $(docv) — byte-identical to a \
              local $(b,mechaverify campaign) over the same matrix.")
   in
-  let run () host port tenant tiny select ids report csv canonical =
+  let key_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:
+            "Idempotency key: resubmitting the same $(docv) attaches to the original \
+             submission and replays its verdicts instead of re-running anything.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:"Per-job execution deadline, overriding the daemon default.")
+  in
+  let retry_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry a failed submission up to $(docv) times with exponential backoff \
+             (requires $(b,--key); after a torn stream the verdicts already computed are \
+             collected from $(b,/v1/jobs) instead of re-run).")
+  in
+  let io_timeout_t =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SEC"
+          ~doc:"Socket read/write deadline per connection ($(b,0) disables).")
+  in
+  let run () host port tenant tiny select ids report csv canonical key deadline retry
+      io_timeout =
     let ids = match ids with [] -> None | l -> Some l in
     let ep = { Client.host; port } in
     let on_event = function
@@ -852,7 +960,24 @@ let submit_cmd =
         Format.printf "done; daemon cache: %d entries, %.0f%% hit rate@." cache_entries
           (100. *. cache_hit_rate)
     in
-    match Client.submit ep ~tenant ~tiny ?select ?ids ~on_event () with
+    let io_timeout_s = if io_timeout <= 0. then None else Some io_timeout in
+    let result =
+      if retry > 0 then begin
+        match key with
+        | None ->
+          Format.eprintf "mechaverify: --retry requires --key@.";
+          exit 3
+        | Some key ->
+          Client.submit_with_retry ep ~attempts:(retry + 1) ~tenant ~tiny ?select ?ids
+            ~key ?deadline_s:deadline
+            ~io_timeout_s:(Option.value io_timeout_s ~default:30.)
+            ~on_event ()
+      end
+      else
+        Client.submit ep ~tenant ~tiny ?select ?ids ?key ?deadline_s:deadline
+          ?io_timeout_s ~on_event ()
+    in
+    match result with
     | Error e ->
       Format.eprintf "mechaverify: %s@." (Client.error_string e);
       exit 4
@@ -885,7 +1010,73 @@ let submit_cmd =
     Term.(
       const run $ obs_t $ host_t
       $ port_t ~default:8484 ~doc:"Daemon port."
-      $ tenant_t $ tiny_t $ select_t $ id_t $ report_t $ csv_t $ canonical_t)
+      $ tenant_t $ tiny_t $ select_t $ id_t $ report_t $ csv_t $ canonical_t $ key_t
+      $ deadline_t $ retry_t $ io_timeout_t)
+
+(* -- chaos-proxy: seeded fault injection between client and daemon -- *)
+
+let chaos_proxy_cmd =
+  let module Chaosproxy = Mechaml_serve.Chaosproxy in
+  let target_host_t =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "target-host" ] ~docv:"ADDR" ~doc:"Daemon address to forward to.")
+  in
+  let target_port_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "target-port" ] ~docv:"PORT" ~doc:"Daemon port to forward to.")
+  in
+  let seed_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-schedule seed: the whole misbehaviour is a pure function of it, so a \
+             failing run reproduces exactly.")
+  in
+  let faults_t =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "faults" ] ~docv:"KINDS"
+          ~doc:
+            "$(b,+)-separated fault kinds to inject \
+             ($(b,delay)|$(b,torn)|$(b,reset)|$(b,garbage)), or $(b,all).")
+  in
+  let run () host port target_host target_port seed faults =
+    match Chaosproxy.of_string faults with
+    | Error e ->
+      Format.eprintf "mechaverify: %s@." e;
+      exit 3
+    | Ok kinds ->
+      let p = Chaosproxy.start ~host ~port ~target_host ~target_port ~seed ~kinds () in
+      Format.printf "mechachaos listening on %s:%d@." host (Chaosproxy.port p);
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      while not (Atomic.get stop_requested) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Format.printf "mechachaos stopping...@.";
+      Chaosproxy.stop p;
+      Format.printf "mechachaos stopped@.";
+      exit 0
+  in
+  let doc =
+    "Run a seeded fault-injection proxy in front of a $(b,mechaverify serve) daemon: \
+     delays, torn writes, connection resets and response garbage, deterministically \
+     derived from $(b,--seed) — the harness behind $(b,make serve-chaos)."
+  in
+  Cmd.v (Cmd.info "chaos-proxy" ~doc)
+    Term.(
+      const run $ obs_t $ host_t
+      $ port_t ~default:0 ~doc:"Port to listen on ($(b,0) picks an ephemeral one)."
+      $ target_host_t $ target_port_t $ seed_t $ faults_t)
 
 (* -- probe: daemon liveness and stats -- *)
 
@@ -921,7 +1112,7 @@ let main_cmd =
   Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
     [
       railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd;
-      export_cmd; serve_cmd; submit_cmd; probe_cmd;
+      export_cmd; serve_cmd; submit_cmd; probe_cmd; chaos_proxy_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

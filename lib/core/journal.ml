@@ -12,9 +12,97 @@ exception Error of error
 
 let fail line message = raise (Error { line; message })
 
+(* -- generic line journal --------------------------------------------------- *)
+
+(* The crash-safety discipline — a versioned header, one flushed
+   self-delimiting line per record, a [;end] sentinel so a torn final line
+   is recognised and dropped — is independent of what the lines say.  The
+   observation journal below and the verification daemon's write-ahead log
+   ({!Mechaml_serve}) both sit on this module. *)
+module Lines = struct
+  let complete line =
+    let n = String.length line and s = String.length sentinel in
+    n >= s && String.sub line (n - s) s = sentinel
+
+  let strip line =
+    String.trim (String.sub line 0 (String.length line - String.length sentinel))
+
+  let append ~path ~header line =
+    if String.contains line '\n' then
+      invalid_arg "Journal.Lines.append: record must be a single line";
+    let fresh = (not (Sys.file_exists path)) || Unix.((stat path).st_size) = 0 in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        if fresh then output_string oc (header ^ "\n");
+        output_string oc (line ^ " " ^ sentinel ^ "\n");
+        flush oc)
+
+  (* A persistent handle for hot-path journals (the daemon's WAL appends
+     several records per job): same record format and same flush-per-record
+     crash guarantee, without an open/close round trip per line. *)
+  type appender = out_channel
+
+  let appender ~path ~header =
+    let fresh = (not (Sys.file_exists path)) || Unix.((stat path).st_size) = 0 in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    if fresh then begin
+      output_string oc (header ^ "\n");
+      flush oc
+    end;
+    oc
+
+  let append_line oc line =
+    if String.contains line '\n' then
+      invalid_arg "Journal.Lines.append_line: record must be a single line";
+    output_string oc (line ^ " " ^ sentinel ^ "\n");
+    flush oc
+
+  let close_appender = close_out
+
+  let of_text ~header:expected text =
+    match String.split_on_char '\n' text with
+    | h :: rest when String.trim h = expected ->
+      (* a crash can tear at most the final record; drop trailing blank lines
+         so the physically-last non-empty line is the only tear candidate *)
+      let numbered =
+        List.mapi (fun i line -> (i + 2, String.trim line)) rest
+        |> List.filter (fun (_, line) -> line <> "")
+      in
+      let rec go acc = function
+        | [] -> (List.rev acc, false)
+        | [ (lineno, line) ] ->
+          if complete line then (List.rev ((lineno, strip line) :: acc), false)
+          else (List.rev acc, true)
+        | (lineno, line) :: rest ->
+          if complete line then go ((lineno, strip line) :: acc) rest
+          else fail lineno "torn record before end of journal"
+      in
+      go [] numbered
+    | h :: _ ->
+      fail 1
+        (Printf.sprintf "bad journal header %S (expected %S)" (String.trim h) expected)
+    | [] -> fail 1 "empty journal"
+
+  let load ~path ~header =
+    if not (Sys.file_exists path) then Stdlib.Error { line = 0; message = "no such file" }
+    else begin
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match of_text ~header text with
+      | v -> Ok v
+      | exception Error e -> Stdlib.Error e
+    end
+end
+
 let signals names = String.concat "," names
 
-let line_of (obs : Observation.t) =
+let body_of (obs : Observation.t) =
   let buf = Buffer.create 128 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "obs %s" obs.Observation.initial_state;
@@ -26,24 +114,14 @@ let line_of (obs : Observation.t) =
   (match obs.Observation.refused with
   | None -> ()
   | Some (state, inputs) -> add " | refuse %s : %s" state (signals inputs));
-  add " %s" sentinel;
   Buffer.contents buf
 
-let iter_line_of index = Printf.sprintf "iter %d refuted %s" index sentinel
+let line_of obs = body_of obs ^ " " ^ sentinel
 
-let append_line ~path line =
-  let fresh = (not (Sys.file_exists path)) || Unix.((stat path).st_size) = 0 in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      if fresh then output_string oc (header ^ "\n");
-      output_string oc (line ^ "\n");
-      flush oc)
+let append ~path obs = Lines.append ~path ~header (body_of obs)
 
-let append ~path obs = append_line ~path (line_of obs)
-
-let append_iteration ~path index = append_line ~path (iter_line_of index)
+let append_iteration ~path index =
+  Lines.append ~path ~header (Printf.sprintf "iter %d refuted" index)
 
 (* -- parsing --------------------------------------------------------------- *)
 
@@ -107,50 +185,13 @@ let parse_line lineno line =
     | _ -> fail lineno "malformed 'iter' record"
   else fail lineno "expected an 'obs ' or 'iter ' record"
 
-let complete line =
-  let n = String.length line and s = String.length sentinel in
-  n >= s && String.sub line (n - s) s = sentinel
-
-let strip_sentinel line =
-  String.trim (String.sub line 0 (String.length line - String.length sentinel))
-
-let parse text =
-  match String.split_on_char '\n' text with
-  | [] -> fail 1 "empty journal"
-  | h :: rest when String.trim h = header ->
-    (* a crash can tear at most the final record; drop trailing blank lines so
-       the physically-last non-empty line is the only tear candidate *)
-    let numbered =
-      List.mapi (fun i line -> (i + 2, String.trim line)) rest
-      |> List.filter (fun (_, line) -> line <> "")
-    in
-    let rec go obs = function
-      | [] -> (List.rev obs, false)
-      | [ (lineno, line) ] ->
-        if complete line then
-          (List.rev (parse_line lineno (strip_sentinel line) :: obs), false)
-        else (List.rev obs, true)
-      | (lineno, line) :: rest ->
-        if complete line then go (parse_line lineno (strip_sentinel line) :: obs) rest
-        else fail lineno "torn record before end of journal"
-    in
-    go [] numbered
-  | h :: _ -> fail 1 (Printf.sprintf "bad journal header %S (expected %S)" (String.trim h) header)
-
-let parse text =
-  match parse text with
-  | v -> Ok v
-  | exception Error e -> Stdlib.Error e
-
 let load_all ~path =
-  if not (Sys.file_exists path) then Stdlib.Error { line = 0; message = "no such file" }
-  else
-    let ic = open_in path in
-    let text =
-      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-          really_input_string ic (in_channel_length ic))
-    in
-    parse text
+  match Lines.load ~path ~header with
+  | Stdlib.Error _ as e -> e
+  | Ok (lines, torn) -> (
+    match List.map (fun (lineno, line) -> parse_line lineno line) lines with
+    | records -> Ok (records, torn)
+    | exception Error e -> Stdlib.Error e)
 
 let load ~path =
   Result.map

@@ -24,6 +24,43 @@ type error = { line : int; message : string }
 
 type record = Obs of Mechaml_legacy.Observation.t | Iter of int
 
+(** The crash-safety discipline alone — versioned header, one flushed
+    self-delimiting [;end]-terminated line per record, torn-tail-tolerant
+    loading — independent of the observation format, for other append-only
+    logs (the verification daemon's write-ahead log sits on this). *)
+module Lines : sig
+  val append : path:string -> header:string -> string -> unit
+  (** Append one record body (the [;end] sentinel is added here), creating
+      the file with [header] if needed; flushed before returning.  Raises
+      [Invalid_argument] when the body contains a newline. *)
+
+  type appender
+  (** A persistent append handle: same record format and flush-per-record
+      crash guarantee as {!append}, without an open/close round trip per
+      line.  For hot-path journals that write many records per request
+      (the verification daemon's write-ahead log). *)
+
+  val appender : path:string -> header:string -> appender
+  (** Open [path] for appending (creating it with [header] if missing or
+      empty) and keep it open.  The handle lives until {!close_appender}
+      or process exit; records written through it are flushed
+      individually, so a crash still tears at most the final line. *)
+
+  val append_line : appender -> string -> unit
+  (** Append one record body through the handle (the [;end] sentinel is
+      added here); flushed before returning.  Raises [Invalid_argument]
+      when the body contains a newline. *)
+
+  val close_appender : appender -> unit
+
+  val load :
+    path:string -> header:string -> ((int * string) list * bool, error) result
+  (** [Ok (lines, torn)]: the complete records as [(line_number, body)] in
+      file order, sentinel stripped; [torn] is [true] when a final partial
+      record (interrupted append) was dropped.  A missing file, a bad
+      header or a torn non-final record is an [Error]. *)
+end
+
 val append : path:string -> Mechaml_legacy.Observation.t -> unit
 (** Append one observation, creating the file (with header) if needed.
     The record is flushed before returning. *)

@@ -1,0 +1,237 @@
+module Log = Mechaml_obs.Log
+module Prng = Mechaml_util.Prng
+
+type kind = Delay | Torn | Reset | Garbage
+
+let all_kinds = [ Delay; Torn; Reset; Garbage ]
+
+let kind_string = function
+  | Delay -> "delay"
+  | Torn -> "torn"
+  | Reset -> "reset"
+  | Garbage -> "garbage"
+
+let of_string s =
+  match String.trim s with
+  | "all" -> Ok all_kinds
+  | s ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+        match String.trim part with
+        | "delay" -> go (Delay :: acc) rest
+        | "torn" -> go (Torn :: acc) rest
+        | "reset" -> go (Reset :: acc) rest
+        | "garbage" -> go (Garbage :: acc) rest
+        | other -> Error (Printf.sprintf "unknown fault kind %S (delay|torn|reset|garbage|all)" other))
+    in
+    go [] (String.split_on_char '+' s)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  target : Unix.sockaddr;
+  seed : int;
+  kinds : kind list;
+  counter : int Atomic.t;  (** indexes the stateless PRNG: one draw per chunk *)
+  stopping : bool Atomic.t;
+  omutex : Mutex.t;
+  mutable open_fds : Unix.file_descr list;  (** closed at {!stop} to unblock forwarders *)
+  mutable acceptor_d : unit Domain.t option;
+  mutable conn_ds : unit Domain.t list;
+}
+
+let port p = p.bound_port
+
+let track p fd =
+  Mutex.lock p.omutex;
+  p.open_fds <- fd :: p.open_fds;
+  Mutex.unlock p.omutex
+
+let untrack p fd =
+  Mutex.lock p.omutex;
+  p.open_fds <- List.filter (fun f -> f != fd) p.open_fds;
+  Mutex.unlock p.omutex
+
+let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One fresh draw per call — the schedule is a pure function of (seed, draw
+   index), so a given seed misbehaves identically on every run. *)
+let draw p bound =
+  let i = Atomic.fetch_and_add p.counter 1 in
+  (i, Prng.mix_int ~seed:p.seed i bound)
+
+let enabled p k = List.mem k p.kinds
+
+(* What to do with one forwarded chunk.  Corruption (garbage) only fires
+   towards the client: requests travel over TCP whose checksums make silent
+   request corruption unrepresentable, while a response mangled by a buggy
+   middlebox is exactly what the client's retry path must survive. *)
+type action = Pass | Delayed of float | Tear of float | Cut | Mangle
+
+let decide p ~downstream =
+  let i, d = draw p 100 in
+  if d < 2 && enabled p Reset then Cut
+  else if d < 6 && downstream && enabled p Garbage then Mangle
+  else if d < 20 && enabled p Torn then Tear (Prng.mix_float ~seed:p.seed i 0.02)
+  else if d < 50 && enabled p Delay then Delayed (Prng.mix_float ~seed:p.seed i 0.03)
+  else Pass
+
+let write_all fd bytes len =
+  let sent = ref 0 in
+  while !sent < len do
+    match Unix.write fd bytes !sent (len - !sent) with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let garbage_bytes p =
+  let i, n = draw p 192 in
+  let len = 64 + n in
+  Bytes.init len (fun j -> Char.chr (Prng.mix_int ~seed:p.seed (i + j + 1) 256))
+
+(* Copy [src] to [dst] chunk by chunk, injecting one fault decision per
+   chunk.  Returns when the stream ends, a fault cuts it, or {!stop} closes
+   the descriptors under us. *)
+let forward p ~downstream src dst =
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error _ -> `Broken
+    | 0 -> `Eof
+    | n -> (
+      match decide p ~downstream with
+      | Cut ->
+        Log.info (fun m -> m "chaos: cutting a %s stream" (if downstream then "response" else "request"));
+        `Cut
+      | Mangle ->
+        Log.info (fun m -> m "chaos: mangling a response stream");
+        let g = garbage_bytes p in
+        (try write_all dst g (Bytes.length g) with Unix.Unix_error _ -> ());
+        `Cut
+      | Delayed s -> (
+        Unix.sleepf s;
+        match write_all dst buf n with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> `Broken)
+      | Tear s -> (
+        (* split the write at an arbitrary byte boundary with a pause in
+           between — a peer that assumes one read per message breaks here *)
+        let half = max 1 (n / 2) in
+        match
+          write_all dst buf half;
+          Unix.sleepf s;
+          write_all dst (Bytes.sub buf half (n - half)) (n - half)
+        with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> `Broken)
+      | Pass -> (
+        match write_all dst buf n with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> `Broken))
+  in
+  let outcome = loop () in
+  (match outcome with
+  | `Eof -> ( try Unix.shutdown dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+  | `Cut | `Broken ->
+    quiet_close src;
+    quiet_close dst);
+  outcome
+
+let handle_conn p client =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> quiet_close client
+  | server -> (
+    match Unix.connect server p.target with
+    | exception Unix.Unix_error _ ->
+      quiet_close server;
+      quiet_close client
+    | () ->
+      track p client;
+      track p server;
+      (* upstream copy runs in its own domain; this one handles downstream *)
+      let up = Domain.spawn (fun () -> ignore (forward p ~downstream:false client server)) in
+      ignore (forward p ~downstream:true server client);
+      Domain.join up;
+      untrack p client;
+      untrack p server;
+      quiet_close client;
+      quiet_close server)
+
+let acceptor p () =
+  let fd = p.listen_fd in
+  while not (Atomic.get p.stopping) do
+    let readable =
+      try (match Unix.select [ fd ] [] [] 0.2 with [], _, _ -> false | _ -> true)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if readable then
+      try
+        let c, _ = Unix.accept fd in
+        Unix.clear_nonblock c;
+        p.conn_ds <- Domain.spawn (fun () -> handle_conn p c) :: p.conn_ds
+      with
+      | Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+        ->
+        ()
+      | Unix.Unix_error _ when Atomic.get p.stopping -> ()
+  done
+
+let start ?(host = "127.0.0.1") ?(port = 0) ~target_host ~target_port ~seed
+    ?(kinds = all_kinds) () =
+  let target =
+    let addr =
+      try Unix.inet_addr_of_string target_host
+      with _ -> (Unix.gethostbyname target_host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (addr, target_port)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.set_nonblock fd;
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let p =
+    {
+      listen_fd = fd;
+      bound_port;
+      target;
+      seed;
+      kinds;
+      counter = Atomic.make 0;
+      stopping = Atomic.make false;
+      omutex = Mutex.create ();
+      open_fds = [];
+      acceptor_d = None;
+      conn_ds = [];
+    }
+  in
+  p.acceptor_d <- Some (Domain.spawn (acceptor p));
+  Log.info (fun m ->
+      m "chaos: proxying %s:%d -> %s:%d (seed %d, faults %s)" host bound_port target_host
+        target_port seed
+        (String.concat "+" (List.map kind_string kinds)));
+  p
+
+let stop p =
+  if not (Atomic.exchange p.stopping true) then begin
+    Option.iter Domain.join p.acceptor_d;
+    p.acceptor_d <- None;
+    (try Unix.close p.listen_fd with _ -> ());
+    (* unblock forwarders parked in [read] on live connections *)
+    Mutex.lock p.omutex;
+    let fds = p.open_fds in
+    p.open_fds <- [];
+    Mutex.unlock p.omutex;
+    List.iter quiet_close fds;
+    List.iter Domain.join p.conn_ds;
+    p.conn_ds <- []
+  end

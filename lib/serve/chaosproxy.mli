@@ -1,0 +1,53 @@
+(** A seeded socket-level fault-injection proxy — the network analogue of
+    {!Mechaml_legacy.Faults} for the verification daemon.
+
+    The proxy sits between a client and the daemon and misbehaves on
+    purpose, one decision per forwarded chunk, drawn from a stateless
+    splittable PRNG: the whole fault schedule is a pure function of the
+    seed, so a failing run reproduces exactly.  Fault kinds compose like
+    fault profiles do ([delay+torn+reset]):
+
+    - {e delay} — hold a chunk for up to 30ms;
+    - {e torn} — split a chunk into two writes with a pause between them,
+      breaking any peer that assumes one read per message;
+    - {e reset} — close both sides mid-stream;
+    - {e garbage} — replace the rest of a {e response} with random bytes and
+      cut the connection (requests are never corrupted: TCP checksums make
+      silent request corruption unrepresentable, and the daemon answering
+      400 to a mangled submission would be correct behaviour, not a bug).
+
+    The chaos equivalence gate ([make serve-chaos]) drives real submissions
+    through this proxy and asserts that retried clients still converge on
+    verdicts byte-identical to a fault-free run, with every job executed
+    exactly once. *)
+
+type kind = Delay | Torn | Reset | Garbage
+
+val all_kinds : kind list
+
+val kind_string : kind -> string
+
+val of_string : string -> (kind list, string) result
+(** Parse a [+]-separated kind list, or ["all"]. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  target_host:string ->
+  target_port:int ->
+  seed:int ->
+  ?kinds:kind list ->
+  unit ->
+  t
+(** Listen on [host:port] (default [127.0.0.1:0] — ephemeral) and forward
+    every connection to [target_host:target_port] through the fault
+    injector.  Raises [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int
+(** The bound listening port. *)
+
+val stop : t -> unit
+(** Stop accepting, cut every live connection, join every domain.
+    Idempotent. *)

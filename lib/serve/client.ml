@@ -22,23 +22,24 @@ let resolve host =
   try Unix.inet_addr_of_string host
   with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
 
-let with_conn ep f =
+let with_conn ?io_timeout_s ep f =
   try
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_INET (resolve ep.host, ep.port))
      with e ->
        (try Unix.close fd with _ -> ());
        raise e);
-    let c = Http.conn fd in
+    let c = Http.conn ?read_timeout_s:io_timeout_s ?write_timeout_s:io_timeout_s fd in
     Fun.protect ~finally:(fun () -> Http.close c) (fun () -> f c)
   with
   | Unix.Unix_error (e, _, _) -> Error (Connection (Unix.error_message e))
   | Not_found -> Error (Connection ("cannot resolve host " ^ ep.host))
   | Http.Closed -> Error (Connection "peer closed the connection")
+  | Http.Timeout dir -> Error (Connection ("i/o timeout (" ^ dir ^ ")"))
   | Http.Bad msg -> Error (Protocol msg)
 
-let get ep path =
-  with_conn ep (fun c ->
+let get ?io_timeout_s ep path =
+  with_conn ?io_timeout_s ep (fun c ->
       Http.write_request c ~meth:"GET" ~path "";
       let head = Http.read_response_head c in
       Ok (head.Http.status, Http.read_body c head))
@@ -56,9 +57,12 @@ let metrics ep =
   | Ok (status, body) -> Error (Http_error (status, String.trim body))
   | Error _ as e -> e
 
-let submit ep ?(tenant = "anon") ?(tiny = false) ?select ?ids ?on_event () =
-  with_conn ep (fun c ->
-      let body = Json.to_string (Wire.encode_submit { Wire.tiny; select; ids }) in
+let submit ep ?(tenant = "anon") ?(tiny = false) ?select ?ids ?key ?deadline_s
+    ?io_timeout_s ?on_event () =
+  with_conn ?io_timeout_s ep (fun c ->
+      let body =
+        Json.to_string (Wire.encode_submit (Wire.submit ~tiny ?select ?ids ?key ?deadline_s ()))
+      in
       Http.write_request c ~meth:"POST" ~path:"/v1/campaign"
         ~headers:[ ("content-type", "application/json"); ("x-tenant", tenant) ]
         body;
@@ -131,3 +135,60 @@ let submit ep ?(tenant = "anon") ?(tiny = false) ?select ?ids ?on_event () =
             collect (n - 1) []
           end
       end)
+
+(* -- idempotent retry ------------------------------------------------------- *)
+
+let job_status ?io_timeout_s ep key =
+  match get ?io_timeout_s ep ("/v1/jobs/" ^ key) with
+  | Ok (200, body) -> (
+    match Result.bind (Json.parse (String.trim body)) Wire.decode_status with
+    | Ok st -> Ok (Some st)
+    | Error e -> Error (Protocol ("bad job status: " ^ e)))
+  | Ok (404, _) -> Ok None
+  | Ok (status, body) -> Error (Http_error (status, String.trim body))
+  | Error _ as e -> e
+
+(* Index-ordered outcomes from a finished status body — the same shape
+   [submit] returns from a live stream. *)
+let outcomes_of_status (st : Wire.job_status) =
+  let arr = Array.make st.Wire.jobs None in
+  List.iter
+    (fun (i, o) -> if i >= 0 && i < st.Wire.jobs then arr.(i) <- Some o)
+    st.Wire.verdicts;
+  let rec collect i acc =
+    if i < 0 then Ok acc
+    else
+      match arr.(i) with
+      | Some o -> collect (i - 1) (o :: acc)
+      | None -> Error (Protocol (Printf.sprintf "missing verdict %d of %d" i st.Wire.jobs))
+  in
+  collect (st.Wire.jobs - 1) []
+
+let retryable = function
+  | Busy _ | Connection _ | Protocol _ -> true
+  | Http_error ((408 | 500 | 502 | 503 | 504), _) -> true
+  | Http_error _ -> false
+
+let submit_with_retry ep ?(attempts = 10) ?(tenant = "anon") ?(tiny = false) ?select ?ids
+    ~key ?deadline_s ?(io_timeout_s = 30.) ?on_event () =
+  let rec go attempt backoff =
+    let retry e backoff_floor =
+      if attempt >= attempts then Error e
+      else begin
+        Unix.sleepf (Float.min 10. (Float.max backoff_floor backoff));
+        go (attempt + 1) (Float.min 10. (backoff *. 2.))
+      end
+    in
+    match submit ep ~tenant ~tiny ?select ?ids ~key ?deadline_s ~io_timeout_s ?on_event () with
+    | Ok _ as ok -> ok
+    | Error (Busy retry_after) -> retry (Busy retry_after) retry_after
+    | Error e when not (retryable e) -> Error e
+    | Error e -> (
+      (* the stream died, but the daemon may still hold (or be computing)
+         the verdicts under our key: poll before resubmitting, so a retry
+         never re-runs work *)
+      match job_status ~io_timeout_s ep key with
+      | Ok (Some st) when st.Wire.finished -> outcomes_of_status st
+      | _ -> retry e 0.05)
+  in
+  go 1 0.05

@@ -26,17 +26,48 @@ val submit :
   ?tiny:bool ->
   ?select:string ->
   ?ids:string list ->
+  ?key:string ->
+  ?deadline_s:float ->
+  ?io_timeout_s:float ->
   ?on_event:(Wire.event -> unit) ->
   unit ->
   (Mechaml_engine.Campaign.outcome list, error) result
-(** Submit a campaign over the bundled matrix ([tiny], [select], [ids] as in
-    {!Wire.submit}; tenant default ["anon"]) and block until every verdict
-    streamed back.  [on_event] sees each {!Wire.event} as it arrives
-    (progress reporting); the returned outcomes are in matrix order, exactly
-    what {!Mechaml_engine.Campaign.run} would have produced for the same
-    specs. *)
+(** Submit a campaign over the bundled matrix ([tiny], [select], [ids],
+    [key], [deadline_s] as in {!Wire.submit}; tenant default ["anon"]) and
+    block until every verdict streamed back.  [io_timeout_s] bounds each
+    socket read/write (a dead daemon surfaces as [Connection], not a hang).
+    [on_event] sees each {!Wire.event} as it arrives (progress reporting);
+    the returned outcomes are in matrix order, exactly what
+    {!Mechaml_engine.Campaign.run} would have produced for the same specs. *)
 
-val get : endpoint -> string -> (int * string, error) result
+val submit_with_retry :
+  endpoint ->
+  ?attempts:int ->
+  ?tenant:string ->
+  ?tiny:bool ->
+  ?select:string ->
+  ?ids:string list ->
+  key:string ->
+  ?deadline_s:float ->
+  ?io_timeout_s:float ->
+  ?on_event:(Wire.event -> unit) ->
+  unit ->
+  (Mechaml_engine.Campaign.outcome list, error) result
+(** {!submit} hardened for lossy networks: up to [attempts] (default 10)
+    tries with exponential backoff, honouring 429 [Retry-After].  The
+    mandatory idempotency [key] is what makes retrying safe — after a torn
+    stream the client first polls [GET /v1/jobs/<key>] and assembles the
+    verdicts the daemon already holds; a resubmission with the same key
+    attaches to the original jobs instead of re-running them, so the work
+    executes exactly once no matter how many times the connection dies.
+    Non-retryable errors (4xx other than 408/429) are returned as-is. *)
+
+val job_status :
+  ?io_timeout_s:float -> endpoint -> string -> (Wire.job_status option, error) result
+(** [GET /v1/jobs/<key>]: [Ok None] when the daemon knows nothing about the
+    key, [Ok (Some status)] otherwise. *)
+
+val get : ?io_timeout_s:float -> endpoint -> string -> (int * string, error) result
 (** One [GET] request; returns status and body.  For [/v1/stats] and tests. *)
 
 val metrics : endpoint -> (string, error) result

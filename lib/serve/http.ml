@@ -2,6 +2,8 @@ exception Closed
 
 exception Bad of string
 
+exception Timeout of string
+
 let max_header_bytes = 16 * 1024
 
 let max_headers = 100
@@ -11,9 +13,19 @@ type conn = {
   rbuf : Bytes.t;
   mutable rstart : int;
   mutable rlen : int;
+  read_timeout : float option;
+  write_timeout : float option;
 }
 
-let conn fd = { cfd = fd; rbuf = Bytes.create 8192; rstart = 0; rlen = 0 }
+let conn ?read_timeout_s ?write_timeout_s fd =
+  {
+    cfd = fd;
+    rbuf = Bytes.create 8192;
+    rstart = 0;
+    rlen = 0;
+    read_timeout = read_timeout_s;
+    write_timeout = write_timeout_s;
+  }
 
 let fd c = c.cfd
 
@@ -21,11 +33,36 @@ let close c = try Unix.close c.cfd with Unix.Unix_error _ -> ()
 
 (* -- buffered reading ------------------------------------------------------ *)
 
+(* Wait until [fd] is ready in the given direction or the per-connection
+   deadline expires.  Select-based — no extra dependencies, and a blocking
+   descriptor is fine because readiness is established before the syscall —
+   so a slow-loris peer trickling header bytes, or a dead peer that stopped
+   ACKing a verdict stream, costs a handler domain at most the timeout. *)
+let await_ready c ~dir timeout =
+  match timeout with
+  | None -> ()
+  | Some t ->
+    let deadline = Unix.gettimeofday () +. t in
+    let rec wait () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        raise (Timeout (match dir with `Read -> "read" | `Write -> "write"))
+      else begin
+        let r, w = match dir with `Read -> ([ c.cfd ], []) | `Write -> ([], [ c.cfd ]) in
+        match Unix.select r w [] remaining with
+        | [], [], _ -> wait ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      end
+    in
+    wait ()
+
 let refill c =
   if c.rlen = 0 then begin
     c.rstart <- 0;
     let n =
       let rec read () =
+        await_ready c ~dir:`Read c.read_timeout;
         match Unix.read c.cfd c.rbuf 0 (Bytes.length c.rbuf) with
         | n -> n
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> read ()
@@ -78,6 +115,7 @@ let write_all c s =
   let len = String.length s in
   let sent = ref 0 in
   while !sent < len do
+    await_ready c ~dir:`Write c.write_timeout;
     match Unix.write_substring c.cfd s !sent (len - !sent) with
     | n -> sent := !sent + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -149,6 +187,7 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Payload Too Large"
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"

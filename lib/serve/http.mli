@@ -18,10 +18,19 @@ exception Bad of string
 (** Malformed or over-limit HTTP — the handler answers 400 and drops the
     connection. *)
 
+exception Timeout of string
+(** A per-connection I/O deadline expired (payload ["read"] or ["write"]).
+    The server answers 408 where possible and drops the connection, so a
+    slow-loris or dead peer cannot pin a handler domain. *)
+
 type conn
 (** A buffered connection wrapper around a socket. *)
 
-val conn : Unix.file_descr -> conn
+val conn : ?read_timeout_s:float -> ?write_timeout_s:float -> Unix.file_descr -> conn
+(** Wrap a socket.  With [read_timeout_s] ([write_timeout_s]) every read
+    (write) first waits for readiness with [select] and raises {!Timeout}
+    when the peer produces (accepts) nothing for that long; without them
+    I/O blocks indefinitely (the pre-daemon behaviour). *)
 
 val fd : conn -> Unix.file_descr
 

@@ -1,0 +1,79 @@
+module Log = Mechaml_obs.Log
+module Metrics = Mechaml_obs.Metrics
+
+let m_quarantined =
+  Metrics.counter "serve_quarantined_total"
+    ~help:"Submissions refused because their spec digest is quarantined."
+
+type entry = {
+  mutable strikes : int;
+  mutable until : float;  (** 0. while below the strike threshold *)
+  mutable reason : string;
+}
+
+type t = {
+  mutex : Mutex.t;
+  strikes : int;
+  ttl_s : float;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ?(strikes = 2) ?(ttl_s = 300.) () =
+  if strikes < 1 then invalid_arg "Quarantine.create: strikes must be positive";
+  if ttl_s <= 0. then invalid_arg "Quarantine.create: ttl_s must be positive";
+  { mutex = Mutex.create (); strikes; ttl_s; entries = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Called under the lock.  Strike records older than the TTL are forgiven
+   wholesale: a spec that struck once and then behaved for [ttl_s] starts
+   from a clean slate rather than sitting one strike from the door. *)
+let purge t key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some e when e.until > 0. && e.until <= Unix.gettimeofday () ->
+    Log.info (fun m -> m "quarantine: released %s (%s)" key e.reason);
+    Hashtbl.remove t.entries key;
+    None
+  | Some e -> Some e
+
+let check t ~key =
+  locked t (fun () ->
+      match purge t key with
+      | Some e when e.until > 0. ->
+        Metrics.incr m_quarantined;
+        Some e.reason
+      | _ -> None)
+
+let strike t ~key ~reason =
+  locked t (fun () ->
+      let e =
+        match purge t key with
+        | Some e -> e
+        | None ->
+          let e = { strikes = 0; until = 0.; reason } in
+          Hashtbl.replace t.entries key e;
+          e
+      in
+      if e.until > 0. then true
+      else begin
+        e.strikes <- e.strikes + 1;
+        e.reason <- reason;
+        if e.strikes >= t.strikes then begin
+          e.until <- Unix.gettimeofday () +. t.ttl_s;
+          Log.warn (fun m ->
+              m "quarantine: %s quarantined for %.0fs after %d strikes (%s)" key t.ttl_s
+                e.strikes reason);
+          true
+        end
+        else false
+      end)
+
+let active t =
+  locked t (fun () ->
+      let now = Unix.gettimeofday () in
+      Hashtbl.fold
+        (fun key e acc -> if e.until > now then (key, e.reason) :: acc else acc)
+        t.entries [])

@@ -1,0 +1,33 @@
+(** A strike-based poison-job registry with a time-to-live.
+
+    A "poison" spec is one that reliably hangs or times out: every
+    resubmission burns a worker for the full deadline, and a client retrying
+    in a loop can starve every other tenant.  The registry counts watchdog
+    kills and timeouts per {e structural digest} of the spec (id, family,
+    fault injection, seed — everything that determines behaviour); after
+    [strikes] of them the digest is quarantined for [ttl_s] seconds and
+    submissions matching it are refused up front with an immediate [Failed]
+    stand-in verdict instead of occupying a worker.
+
+    The TTL bounds the damage of a false positive (a spec that timed out
+    twice under transient load is runnable again after [ttl_s]); strike
+    records older than the TTL are forgiven wholesale. *)
+
+type t
+
+val create : ?strikes:int -> ?ttl_s:float -> unit -> t
+(** [strikes] (default 2) kills/timeouts before a digest is quarantined;
+    [ttl_s] (default 300) seconds a quarantine lasts.  Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+val check : t -> key:string -> string option
+(** [Some reason] when [key] is actively quarantined (and counts the refusal
+    in [serve_quarantined_total]); [None] otherwise.  Expired entries are
+    released on the way. *)
+
+val strike : t -> key:string -> reason:string -> bool
+(** Record one poison signal for [key]; [true] when the key is (now or
+    already) quarantined. *)
+
+val active : t -> (string * string) list
+(** Currently quarantined digests with their reasons (for diagnostics). *)

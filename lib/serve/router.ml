@@ -27,6 +27,7 @@ let m_uptime = Metrics.gauge "serve_uptime_seconds" ~help:"Seconds since daemon 
 type ctx = {
   cache : Cache.t;
   sched : Scheduler.t;
+  store : Store.t;
   started_at : float;
 }
 
@@ -80,100 +81,59 @@ let stats_body ctx =
             ("evictions", Json.Num (float_of_int c.Cache.evictions));
             ("hit_rate", Json.Num (Cache.hit_rate c));
           ] );
+      ( "quarantined",
+        Json.List
+          (List.map
+             (fun (key, reason) ->
+               Json.Obj [ ("digest", Json.Str key); ("reason", Json.Str reason) ])
+             (Quarantine.active (Store.quarantine ctx.store))) );
     ]
 
 (* -- POST /v1/campaign ------------------------------------------------------ *)
 
-(* A drain deadline may drop a queued job without running it; the stream
-   still owes the client one verdict per accepted job, so the discard hook
-   pushes this stand-in. *)
-let discarded_outcome (spec : Campaign.spec) =
-  {
-    Campaign.spec_id = spec.Campaign.id;
-    family = spec.Campaign.family;
-    verdict = Campaign.Failed "discarded: daemon drained before the job ran";
-    iterations = 0;
-    states_learned = 0;
-    knowledge = 0;
-    tests_executed = 0;
-    test_steps = 0;
-    attempts = 0;
-    duration_s = 0.;
-    closure_seconds = 0.;
-    check_seconds = 0.;
-    test_seconds = 0.;
-    max_closure_states = 0;
-    max_product_states = 0;
-    closure_delta_edges = 0;
-    product_states_reused = 0;
-    sat_seed_hit_rate = 0.;
-    cache = { closure_hits = 0; closure_misses = 0; check_hits = 0; check_misses = 0 };
-    fault = spec.Campaign.inject;
-    supervision = None;
-  }
-
-(* The streaming loop: jobs land on the scheduler, workers push outcomes
-   into a request-local queue, and this (connection-handler) domain drains
-   the queue into chunked ndjson events as they arrive.  If the client goes
-   away mid-stream the write raises; the jobs keep running — their results
-   land in a queue nobody reads, which is garbage-collected once the last
-   job finished.  The shared cache keeps everything they computed. *)
+(* The streaming loop: the store owns every verdict, this (connection
+   handler) domain just pages through the entry's completion order into
+   chunked ndjson events as they land.  If the client goes away mid-stream
+   the write raises; the jobs keep running and their verdicts stay in the
+   store — a reconnect with the same idempotency key attaches to the entry
+   and replays everything from the start without re-running a single job. *)
 let campaign ctx conn (req : Http.request) =
   match Json.parse req.Http.body with
   | Error e -> error_response conn ~status:400 ("invalid JSON body: " ^ e)
   | Ok body -> (
-    match Result.bind (Wire.decode_submit body) Wire.resolve with
+    match Wire.decode_submit body with
     | Error e -> error_response conn ~status:400 e
-    | Ok specs ->
+    | Ok sub -> (
       let tenant = Option.value (Http.header req "x-tenant") ~default:"anon" in
-      let n = List.length specs in
-      let results = Queue.create () in
-      let rmutex = Mutex.create () in
-      let rcond = Condition.create () in
-      let push i o =
-        Mutex.lock rmutex;
-        Queue.add (i, o) results;
-        Condition.signal rcond;
-        Mutex.unlock rmutex
-      in
-      let jobs =
-        List.mapi
-          (fun i spec ->
-            Scheduler.job
-              ~on_discard:(fun () -> push i (discarded_outcome spec))
-              (fun () -> push i (Campaign.run_spec ~cache:ctx.cache spec)))
-          specs
-      in
-      (match Scheduler.submit ctx.sched ~tenant jobs with
-      | Error (Scheduler.Busy { retry_after_s }) ->
+      match Store.submit ctx.store ~tenant sub with
+      | Error (Store.Invalid e) -> error_response conn ~status:400 e
+      | Error (Store.Rejected (Scheduler.Busy { retry_after_s })) ->
         error_response conn ~status:429
           ~headers:
             [ ("retry-after", string_of_int (int_of_float (Float.ceil retry_after_s))) ]
           (Printf.sprintf "queue full, retry after %.2fs" retry_after_s)
-      | Error Scheduler.Draining ->
+      | Error (Store.Rejected Scheduler.Draining) ->
         error_response conn ~status:503 "daemon is draining"
-      | Ok () ->
+      | Ok (entry, how) ->
+        let n = Store.size entry in
         Metrics.incr m_campaigns;
-        Log.info (fun m -> m "serve: accepted %d jobs from tenant %s" n tenant);
+        Log.info (fun m ->
+            m "serve: %s %d jobs from tenant %s (key %s)"
+              (match how with `Fresh -> "accepted" | `Attached -> "re-attached")
+              n tenant (Store.key entry));
         let send ev = Http.chunk conn (Json.to_string (Wire.encode_event ev) ^ "\n") in
         Http.start_chunked conn ~status:200
           ~headers:[ ("content-type", "application/x-ndjson") ]
           ();
         send (Wire.Accepted { jobs = n });
-        let received = ref 0 in
-        while !received < n do
-          let i, o =
-            Mutex.lock rmutex;
-            while Queue.is_empty results do
-              Condition.wait rcond rmutex
-            done;
-            let x = Queue.pop results in
-            Mutex.unlock rmutex;
-            x
-          in
-          incr received;
-          send (Wire.Verdict { index = i; outcome = o })
-        done;
+        let rec stream pos =
+          match Store.await ctx.store entry ~pos with
+          | Store.Next (i, o) ->
+            send (Wire.Verdict { index = i; outcome = o });
+            stream (pos + 1)
+          | Store.Finished -> ()
+        in
+        stream 0;
         let cs = Cache.stats ctx.cache in
         send
           (Wire.Done
@@ -184,13 +144,23 @@ let campaign ctx conn (req : Http.request) =
              });
         Http.finish_chunked conn))
 
+(* -- GET /v1/jobs/<key> ----------------------------------------------------- *)
+
+let job_status ctx conn key =
+  match Store.status ctx.store ~key with
+  | None -> error_response conn ~status:404 "unknown job key"
+  | Some st -> json_response conn ~status:200 (Wire.encode_status st)
+
 (* -- dispatch --------------------------------------------------------------- *)
+
+let jobs_prefix = "/v1/jobs/"
 
 let handle ctx conn (req : Http.request) =
   Metrics.incr m_requests;
   Trace.with_span ~name:"serve.request"
     ~args:[ ("method", Trace.Str req.Http.meth); ("path", Trace.Str req.Http.path) ]
     (fun () ->
+      let p = String.length jobs_prefix in
       match (req.Http.meth, req.Http.path) with
       | "GET", "/healthz" ->
         Http.respond conn ~status:200 ~headers:[ ("content-type", "text/plain") ] "ok\n"
@@ -201,6 +171,11 @@ let handle ctx conn (req : Http.request) =
           (Metrics.to_prometheus ())
       | "GET", "/v1/stats" -> json_response conn ~status:200 (stats_body ctx)
       | "POST", "/v1/campaign" -> campaign ctx conn req
-      | _, ("/healthz" | "/metrics" | "/v1/stats" | "/v1/campaign") ->
+      | "GET", path when String.length path > p && String.sub path 0 p = jobs_prefix ->
+        job_status ctx conn (String.sub path p (String.length path - p))
+      | _, path
+        when path = "/healthz" || path = "/metrics" || path = "/v1/stats"
+             || path = "/v1/campaign"
+             || (String.length path > p && String.sub path 0 p = jobs_prefix) ->
         error_response conn ~status:405 "method not allowed"
       | _ -> error_response conn ~status:404 "no such endpoint")

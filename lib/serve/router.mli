@@ -6,17 +6,23 @@
     - [GET /metrics] — the process {!Mechaml_obs.Metrics} registry in
       Prometheus text exposition format (server gauges refreshed on
       scrape);
-    - [GET /v1/stats] — queue/tenant/cache stats as JSON;
+    - [GET /v1/stats] — queue/tenant/cache/quarantine stats as JSON;
     - [POST /v1/campaign] — submit a campaign ({!Wire.submit} body, tenant
       from the [x-tenant] header, default ["anon"]); streams
       newline-delimited {!Wire.event} JSON as a chunked response while jobs
       run, or answers [429 + Retry-After] / [503] under admission control.
+      A known idempotency key re-attaches to the original submission and
+      replays its verdicts instead of re-running anything;
+    - [GET /v1/jobs/<key>] — the {!Wire.job_status} of a submission by
+      idempotency key ([404] when unknown): how a reconnecting client
+      collects verdicts without holding a stream open.
 
     Anything else is [404]; a known path with the wrong verb is [405]. *)
 
 type ctx = {
   cache : Mechaml_engine.Cache.t;  (** shared across every request *)
   sched : Scheduler.t;
+  store : Store.t;
   started_at : float;
 }
 

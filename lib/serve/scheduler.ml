@@ -14,12 +14,39 @@ let m_queue_depth =
 
 let m_running = Metrics.gauge "serve_jobs_running" ~help:"Jobs currently on a worker."
 
+let m_deadline_kills =
+  Metrics.counter "serve_deadline_kills_total"
+    ~help:"In-flight jobs abandoned by the watchdog after their deadline."
+
+let m_discard_errors =
+  Metrics.counter "serve_discard_errors_total"
+    ~help:"Exceptions raised by job discard/deadline callbacks."
+
 type job = {
   run : unit -> unit;
   on_discard : unit -> unit;
+  on_deadline : unit -> unit;
+  deadline_s : float option;
+  abandoned : bool Atomic.t;
 }
 
-let job ?(on_discard = Fun.id) run = { run; on_discard }
+let job ?deadline_s ?(on_discard = Fun.id) ?on_deadline run =
+  {
+    run;
+    on_discard;
+    on_deadline = Option.value on_deadline ~default:on_discard;
+    deadline_s;
+    abandoned = Atomic.make false;
+  }
+
+(* Discard/deadline callbacks unblock a client stream; one raising must
+   neither kill its caller (worker, watchdog or drain) nor pass silently —
+   it means a stream is now missing a stand-in verdict. *)
+let guarded_callback ~what f =
+  try f ()
+  with e ->
+    Metrics.incr m_discard_errors;
+    Log.err (fun m -> m "scheduler: %s callback raised %s" what (Printexc.to_string e))
 
 type tenant = {
   name : string;
@@ -46,6 +73,9 @@ type t = {
   mutable draining : bool;
   mutable stopped : bool;
   mutable ewma_job_s : float;  (** 0. until the first job completes *)
+  mutable next_job : int;  (** ticket for the watchdog registry *)
+  watched : (int, string * job * float) Hashtbl.t;
+      (** running jobs with a deadline: id -> (tenant, job, absolute deadline) *)
   mutable domains : unit Domain.t list;
 }
 
@@ -83,7 +113,17 @@ let take_next t =
       t.queued <- t.queued - 1;
       tnt.inflight <- tnt.inflight + 1;
       t.running <- t.running + 1;
-      Some (tnt, Queue.pop tnt.jobs)
+      let j = Queue.pop tnt.jobs in
+      let ticket =
+        match j.deadline_s with
+        | None -> None
+        | Some d ->
+          let id = t.next_job in
+          t.next_job <- id + 1;
+          Hashtbl.add t.watched id (tnt.name, j, Unix.gettimeofday () +. d);
+          Some id
+      in
+      Some (tnt, j, ticket)
     in
     let scan ~spend_credits =
       let rec go k =
@@ -125,7 +165,10 @@ let worker t w () =
     in
     match job with
     | None -> ()
-    | Some (tnt, j) ->
+    | Some (tnt, j, ticket) ->
+      (* counted at dispatch: verdicts are pushed from inside [run], so by the
+         time a client observes one the counter already covers its job *)
+      Metrics.incr m_jobs;
       let t0 = Unix.gettimeofday () in
       (try
          Trace.with_span ~name:"serve.job"
@@ -135,8 +178,11 @@ let worker t w () =
          Log.warn (fun m ->
              m "scheduler: job for tenant %s raised %s" tnt.name (Printexc.to_string e)));
       let dt = Unix.gettimeofday () -. t0 in
-      Metrics.incr m_jobs;
+      if Atomic.get j.abandoned then
+        Log.info (fun m ->
+            m "scheduler: abandoned job for tenant %s completed after %.1fs" tnt.name dt);
       locked t (fun () ->
+          Option.iter (Hashtbl.remove t.watched) ticket;
           tnt.inflight <- tnt.inflight - 1;
           tnt.busy_s <- tnt.busy_s +. dt;
           t.running <- t.running - 1;
@@ -152,6 +198,46 @@ let worker t w () =
           Condition.broadcast t.work;
           Condition.broadcast t.idle);
       loop ()
+  in
+  loop ()
+
+(* The watchdog abandons, it cannot cancel: OCaml domains have no
+   asynchronous interruption, so an overdue job's worker slot stays occupied
+   until the computation returns.  Abandoning fires [on_deadline] exactly
+   once (the submitter's chance to push stand-in verdicts); when the real
+   result eventually arrives the caller's first-write-wins discipline drops
+   it.  Callbacks run outside the scheduler lock — they take locks of their
+   own. *)
+let watchdog t () =
+  let rec loop () =
+    let stop, overdue =
+      locked t (fun () ->
+          if t.stopped then (true, [])
+          else begin
+            let now = Unix.gettimeofday () in
+            let hit =
+              Hashtbl.fold
+                (fun id (tenant, j, dl) acc ->
+                  if dl <= now then (id, tenant, j) :: acc else acc)
+                t.watched []
+            in
+            List.iter (fun (id, _, _) -> Hashtbl.remove t.watched id) hit;
+            (false, hit)
+          end)
+    in
+    List.iter
+      (fun (_, tenant, j) ->
+        if Atomic.compare_and_set j.abandoned false true then begin
+          Metrics.incr m_deadline_kills;
+          Log.warn (fun m ->
+              m "scheduler: job for tenant %s missed its deadline, abandoned" tenant);
+          guarded_callback ~what:"deadline" j.on_deadline
+        end)
+      overdue;
+    if not stop then begin
+      Unix.sleepf 0.05;
+      loop ()
+    end
   in
   loop ()
 
@@ -181,10 +267,13 @@ let create ?(workers = 4) ?(queue_bound = 256) ?(inflight_cap = 64) ?(weights = 
       draining = false;
       stopped = false;
       ewma_job_s = 0.;
+      next_job = 0;
+      watched = Hashtbl.create 16;
       domains = [];
     }
   in
-  t.domains <- List.init workers (fun w -> Domain.spawn (worker t w));
+  t.domains <-
+    Domain.spawn (watchdog t) :: List.init workers (fun w -> Domain.spawn (worker t w));
   t
 
 type rejection = Busy of { retry_after_s : float } | Draining
@@ -236,38 +325,45 @@ let stats t =
 
 let drain ?deadline_s t =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
-  let domains =
-    locked t (fun () ->
-        t.draining <- true;
-        Condition.broadcast t.work;
-        let rec wait () =
-          if t.queued > 0 || t.running > 0 then begin
-            (match deadline with
-            | Some d when Unix.gettimeofday () >= d && t.queued > 0 ->
-              (* deadline passed: abandon what never started; running jobs
-                 still finish below *)
-              Log.warn (fun m ->
-                  m "scheduler: drain deadline hit, discarding %d queued jobs" t.queued);
-              Array.iter
-                (fun tnt ->
-                  Queue.iter
-                    (fun j -> try j.on_discard () with _ -> ())
-                    tnt.jobs;
-                  Queue.clear tnt.jobs)
-                t.tenants;
-              t.queued <- 0
-            | _ -> ());
-            if t.queued > 0 || t.running > 0 then begin
-              Condition.wait t.idle t.mutex;
-              wait ()
-            end
-          end
-        in
-        wait ();
-        t.stopped <- true;
-        Condition.broadcast t.work;
-        let ds = t.domains in
-        t.domains <- [];
-        ds)
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  Condition.broadcast t.work;
+  let rec wait () =
+    if t.queued > 0 || t.running > 0 then begin
+      (match deadline with
+      | Some d when Unix.gettimeofday () >= d && t.queued > 0 ->
+        (* deadline passed: abandon what never started; running jobs still
+           finish below *)
+        Log.warn (fun m ->
+            m "scheduler: drain deadline hit, discarding %d queued jobs" t.queued);
+        let discarded = ref [] in
+        Array.iter
+          (fun tnt ->
+            Queue.iter (fun j -> discarded := j :: !discarded) tnt.jobs;
+            Queue.clear tnt.jobs)
+          t.tenants;
+        t.queued <- 0;
+        Metrics.set m_queue_depth 0.;
+        (* discard callbacks push stand-in verdicts into stores with locks of
+           their own — never invoke them under the scheduler lock *)
+        Mutex.unlock t.mutex;
+        List.iter
+          (fun j ->
+            if Atomic.compare_and_set j.abandoned false true then
+              guarded_callback ~what:"discard" j.on_discard)
+          (List.rev !discarded);
+        Mutex.lock t.mutex
+      | _ -> ());
+      if t.queued > 0 || t.running > 0 then begin
+        Condition.wait t.idle t.mutex;
+        wait ()
+      end
+    end
   in
-  List.iter Domain.join domains
+  wait ();
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  let ds = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ds

@@ -40,10 +40,21 @@ val create :
 
 type job
 
-val job : ?on_discard:(unit -> unit) -> (unit -> unit) -> job
+val job :
+  ?deadline_s:float ->
+  ?on_discard:(unit -> unit) ->
+  ?on_deadline:(unit -> unit) ->
+  (unit -> unit) ->
+  job
 (** A unit of work.  [on_discard] (default a no-op) fires if the job is
     dropped unrun by a {!drain} deadline — the submitter's chance to unblock
-    anything waiting on the job's result. *)
+    anything waiting on the job's result.  With [deadline_s], a watchdog
+    domain abandons the job once it has been running that long:
+    [on_deadline] (default [on_discard]) fires exactly once, while the
+    computation itself keeps its worker until it returns — OCaml domains
+    cannot be interrupted, so the submitter must treat the eventual real
+    result as stale (first-write-wins).  A callback that raises is logged
+    and counted ([serve_discard_errors_total]), never fatal. *)
 
 type rejection =
   | Busy of { retry_after_s : float }  (** queue bound hit *)

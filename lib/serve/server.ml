@@ -16,6 +16,12 @@ type config = {
   cache_capacity : int option;
   snapshot : string option;
   snapshot_every_s : float option;
+  job_deadline_s : float option;
+  wal : string option;
+  io_timeout_s : float option;
+  max_pending : int;
+  quarantine_strikes : int option;
+  quarantine_ttl_s : float option;
 }
 
 let default =
@@ -30,14 +36,27 @@ let default =
     cache_capacity = None;
     snapshot = None;
     snapshot_every_s = None;
+    job_deadline_s = None;
+    wal = None;
+    io_timeout_s = Some 30.;
+    max_pending = 128;
+    quarantine_strikes = None;
+    quarantine_ttl_s = None;
   }
+
+let m_overload_closed =
+  Metrics.counter "serve_overload_closed_total"
+    ~help:"Connections closed unserved because the pending-connection queue was full."
 
 type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   cache : Cache.t;
   sched : Scheduler.t;
+  store : Store.t;
   snapshot : string option;
+  io_timeout_s : float option;
+  max_pending : int;
   stopping : bool Atomic.t;
   cmutex : Mutex.t;
   cready : Condition.t;
@@ -64,9 +83,19 @@ let acceptor srv () =
         Unix.clear_nonblock c;
         Metrics.incr m_connections;
         Mutex.lock srv.cmutex;
-        Queue.add c srv.conns;
-        Condition.signal srv.cready;
-        Mutex.unlock srv.cmutex
+        if Queue.length srv.conns >= srv.max_pending then begin
+          (* every handler is busy and the backlog is full: shedding the
+             connection now beats letting the peer wait on a queue that
+             cannot drain in time *)
+          Mutex.unlock srv.cmutex;
+          Metrics.incr m_overload_closed;
+          try Unix.close c with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Queue.add c srv.conns;
+          Condition.signal srv.cready;
+          Mutex.unlock srv.cmutex
+        end
       with
       | Unix.Unix_error
           ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
@@ -75,14 +104,19 @@ let acceptor srv () =
       | Unix.Unix_error _ when Atomic.get srv.stopping -> ()
   done
 
-let serve_conn ctx fd =
-  let c = Http.conn fd in
+let serve_conn ?io_timeout_s ctx fd =
+  let c = Http.conn ?read_timeout_s:io_timeout_s ?write_timeout_s:io_timeout_s fd in
   (try
      let req = Http.read_request c in
      Router.handle ctx c req
    with
   | Http.Closed -> ()
   | Http.Bad msg -> ( try Http.respond c ~status:400 (msg ^ "\n") with _ -> ())
+  | Http.Timeout dir ->
+    (* a stalled peer: answer 408 if the socket still accepts bytes, then
+       close — the handler domain is free again within one timeout *)
+    Log.info (fun m -> m "serve: connection %s timeout, dropping peer" dir);
+    (try Http.respond c ~status:408 "request timeout\n" with _ -> ())
   | Unix.Unix_error _ -> ()
   | e ->
     Log.warn (fun m -> m "serve: handler raised %s" (Printexc.to_string e));
@@ -108,7 +142,7 @@ let handler srv ctx () =
     match next with
     | None -> ()
     | Some fd ->
-      serve_conn ctx fd;
+      serve_conn ?io_timeout_s:srv.io_timeout_s ctx fd;
       loop ()
   in
   loop ()
@@ -141,6 +175,13 @@ let start cfg =
     Scheduler.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound
       ~inflight_cap:cfg.inflight_cap ~weights:cfg.weights ()
   in
+  (* replays the write-ahead log (rescheduling interrupted jobs) before the
+     listener exists, so no client can observe a half-replayed store *)
+  let store =
+    Store.create ?wal:cfg.wal ?default_deadline_s:cfg.job_deadline_s
+      ?quarantine_strikes:cfg.quarantine_strikes ?quarantine_ttl_s:cfg.quarantine_ttl_s
+      ~sched ~cache ()
+  in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   (try
@@ -159,7 +200,10 @@ let start cfg =
       bound_port;
       cache;
       sched;
+      store;
       snapshot = cfg.snapshot;
+      io_timeout_s = cfg.io_timeout_s;
+      max_pending = max 1 cfg.max_pending;
       stopping = Atomic.make false;
       cmutex = Mutex.create ();
       cready = Condition.create ();
@@ -169,7 +213,7 @@ let start cfg =
       snapshot_d = None;
     }
   in
-  let ctx = { Router.cache; sched; started_at = Unix.gettimeofday () } in
+  let ctx = { Router.cache; sched; store; started_at = Unix.gettimeofday () } in
   srv.acceptor_d <- Some (Domain.spawn (acceptor srv));
   srv.handler_ds <- List.init (max 1 cfg.handlers) (fun _ -> Domain.spawn (handler srv ctx));
   (match (cfg.snapshot, cfg.snapshot_every_s) with
@@ -182,6 +226,8 @@ let start cfg =
 let port srv = srv.bound_port
 
 let cache srv = srv.cache
+
+let store srv = srv.store
 
 let stop ?drain_deadline_s srv =
   if not (Atomic.exchange srv.stopping true) then begin

@@ -22,11 +22,30 @@ type config = {
       (** cache snapshot path: loaded (if present) at {!start}, written by
           {!stop} and every [snapshot_every_s] *)
   snapshot_every_s : float option;  (** periodic snapshot interval *)
+  job_deadline_s : float option;
+      (** default per-job execution deadline: the spec's wall-clock budget is
+          clamped to it and a watchdog abandons jobs that overrun it anyway
+          (stand-in [Failed] verdict, poison strike); submissions can
+          override it per request *)
+  wal : string option;
+      (** write-ahead log path ({!Store}): accepted submissions and verdicts
+          are journaled, and a restarted daemon re-runs only the jobs that
+          had no verdict yet *)
+  io_timeout_s : float option;
+      (** per-connection socket read/write deadline; a slow-loris or dead
+          peer costs a handler domain at most this long (default 30s) *)
+  max_pending : int;
+      (** accepted-but-unserved connection cap; excess connections are closed
+          immediately ([serve_overload_closed_total]) instead of queueing
+          behind handlers that cannot reach them in time *)
+  quarantine_strikes : int option;  (** timeouts before a spec is quarantined *)
+  quarantine_ttl_s : float option;  (** how long a quarantine lasts *)
 }
 
 val default : config
 (** [127.0.0.1:0], 4 workers, 4 handlers, queue bound 256, in-flight cap 64,
-    no weights, unbounded cache, no snapshot. *)
+    no weights, unbounded cache, no snapshot, no job deadline, no WAL, 30s
+    I/O timeout, 128 pending connections, {!Quarantine} defaults. *)
 
 type t
 
@@ -41,6 +60,9 @@ val port : t -> int
 (** The bound port (resolves [port = 0]). *)
 
 val cache : t -> Mechaml_engine.Cache.t
+
+val store : t -> Store.t
+(** The submission ledger (for tests and diagnostics). *)
 
 val stop : ?drain_deadline_s:float -> t -> unit
 (** Graceful drain, in order: stop accepting, {!Scheduler.drain} (with the

@@ -1,0 +1,80 @@
+(** The daemon's submission ledger: idempotency keys, verdict bookkeeping and
+    a write-ahead log — the layer that turns "a stream of verdicts over one
+    TCP connection" into "a durable job whose results survive torn streams,
+    client retries and daemon crashes".
+
+    Every submission becomes an {e entry} keyed by its idempotency key
+    (client-supplied or generated).  Workers push outcomes through
+    {!complete}-style callbacks wired up at scheduling time; the first write
+    per job index wins, so a watchdog stand-in followed by the abandoned
+    computation's late real result stays a single verdict.  Resubmitting a
+    key {e attaches} to the existing entry — the jobs run exactly once no
+    matter how many times the client retries.
+
+    With a [wal] path every accepted submission and every verdict is
+    journaled through {!Mechaml_core.Journal.Lines} before the client can
+    observe it.  On startup the log is replayed: finished entries are
+    restored for [GET /v1/jobs] lookups, unfinished entries re-run {e only}
+    the jobs that have no recorded verdict ([serve_wal_replays_total]),
+    keeping everything already computed ([serve_wal_restored_total]).
+
+    Specs that keep timing out are poison: each natural timeout and each
+    watchdog kill strikes the spec's structural digest in a {!Quarantine}
+    registry, and a quarantined spec is answered with an immediate [Failed]
+    stand-in instead of burning another worker. *)
+
+type t
+
+type entry
+(** One accepted submission (a handle — all state lives in [t]). *)
+
+val create :
+  ?wal:string ->
+  ?default_deadline_s:float ->
+  ?quarantine_strikes:int ->
+  ?quarantine_ttl_s:float ->
+  sched:Scheduler.t ->
+  cache:Mechaml_engine.Cache.t ->
+  unit ->
+  t
+(** Create the store and, when [wal] is given, replay it (scheduling the
+    unfinished remainder onto [sched]) before returning — callers start the
+    listener only after the store exists, so clients never observe a
+    half-replayed state.  [default_deadline_s] applies to submissions that
+    carry no [deadline_s] of their own. *)
+
+type error =
+  | Invalid of string  (** unresolvable selection — a 400 *)
+  | Rejected of Scheduler.rejection  (** admission control said no — 429/503 *)
+
+val submit :
+  t -> tenant:string -> Wire.submit -> (entry * [ `Fresh | `Attached ], error) result
+(** Admit a submission.  A known idempotency key returns its existing entry
+    as [`Attached] without scheduling anything; otherwise the resolved specs
+    are scheduled ([`Fresh]) — except quarantined ones, which complete
+    immediately with a [Failed "quarantined: ..."] stand-in.  The WAL accept
+    record is written only after the scheduler admits the batch, so a
+    rejected submission leaves no trace to replay. *)
+
+val key : entry -> string
+
+val size : entry -> int
+(** Resolved specs in the submission (the number of verdicts owed). *)
+
+type progress = Next of int * Mechaml_engine.Campaign.outcome | Finished
+
+val await : t -> entry -> pos:int -> progress
+(** Block until the entry has more than [pos] verdicts (returning the
+    [pos]-th in completion order) or is finished.  The streaming loop calls
+    this with [pos = 0, 1, 2, ...]; an [`Attached] reconnect naturally
+    replays the verdicts that landed while it was away. *)
+
+val complete : t -> key:string -> index:int -> Mechaml_engine.Campaign.outcome -> unit
+(** Record a verdict (first write per index wins; unknown keys are dropped).
+    Exposed for the scheduler-callback plumbing and for tests. *)
+
+val status : t -> key:string -> Wire.job_status option
+(** The [GET /v1/jobs/<key>] view; [None] for unknown keys. *)
+
+val quarantine : t -> Quarantine.t
+(** The poison registry (for stats and tests). *)

@@ -8,14 +8,19 @@ type submit = {
   tiny : bool;
   select : string option;
   ids : string list option;
+  key : string option;  (** idempotency key; the server generates one if absent *)
+  deadline_s : float option;  (** per-job execution deadline, overrides the server default *)
 }
 
-let submit ?(tiny = false) ?select ?ids () = { tiny; select; ids }
+let submit ?(tiny = false) ?select ?ids ?key ?deadline_s () =
+  { tiny; select; ids; key; deadline_s }
 
 let encode_submit s =
   Json.Obj
     ([ ("matrix", Json.Str (if s.tiny then "tiny" else "bundled")) ]
     @ (match s.select with None -> [] | Some sub -> [ ("select", Json.Str sub) ])
+    @ (match s.key with None -> [] | Some k -> [ ("key", Json.Str k) ])
+    @ (match s.deadline_s with None -> [] | Some d -> [ ("deadline_s", Json.Num d) ])
     @
     match s.ids with
     | None -> []
@@ -29,9 +34,18 @@ let str_field obj k =
   | Some (Json.Str s) -> Ok (Some s)
   | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
 
+(* Idempotency keys travel in URLs ([GET /v1/jobs/<key>]) and in the
+   write-ahead log, so the accepted alphabet is deliberately narrow. *)
+let valid_key k =
+  let n = String.length k in
+  n > 0 && n <= 128
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       k
+
 let decode_submit obj =
   match obj with
-  | Json.Obj _ -> (
+  | Json.Obj _ ->
     Result.bind (str_field obj "matrix") (fun matrix ->
         Result.bind
           (match matrix with
@@ -40,18 +54,33 @@ let decode_submit obj =
           | Some m -> Error (Printf.sprintf "unknown matrix %S (bundled|tiny)" m))
           (fun tiny ->
             Result.bind (str_field obj "select") (fun select ->
-                match Json.member "ids" obj with
-                | None -> Ok { tiny; select; ids = None }
-                | Some (Json.List l) ->
-                  let rec strings acc = function
-                    | [] -> Ok (Some (List.rev acc))
-                    | Json.Str s :: rest -> strings (s :: acc) rest
-                    | _ -> Error "field \"ids\" must be a list of strings"
-                  in
-                  Result.map
-                    (fun ids -> { tiny; select; ids })
-                    (strings [] l)
-                | Some _ -> Error "field \"ids\" must be a list of strings"))))
+                Result.bind
+                  (match str_field obj "key" with
+                  | Ok (Some k) when not (valid_key k) ->
+                    Error "field \"key\" must be 1-128 chars of [A-Za-z0-9._-]"
+                  | r -> r)
+                  (fun key ->
+                    Result.bind
+                      (match Json.member "deadline_s" obj with
+                      | None -> Ok None
+                      | Some v -> (
+                        match Json.to_float v with
+                        | Some d when d > 0. -> Ok (Some d)
+                        | Some _ -> Error "field \"deadline_s\" must be positive"
+                        | None -> Error "field \"deadline_s\" must be a number"))
+                      (fun deadline_s ->
+                        match Json.member "ids" obj with
+                        | None -> Ok { tiny; select; ids = None; key; deadline_s }
+                        | Some (Json.List l) ->
+                          let rec strings acc = function
+                            | [] -> Ok (Some (List.rev acc))
+                            | Json.Str s :: rest -> strings (s :: acc) rest
+                            | _ -> Error "field \"ids\" must be a list of strings"
+                          in
+                          Result.map
+                            (fun ids -> { tiny; select; ids; key; deadline_s })
+                            (strings [] l)
+                        | Some _ -> Error "field \"ids\" must be a list of strings")))))
   | _ -> Error "submission must be a JSON object"
 
 let contains ~sub s =
@@ -324,3 +353,54 @@ let decode_event obj =
     let* cache_hit_rate = float_field "cache_hit_rate" obj in
     Ok (Done { jobs; cache_entries; cache_hit_rate })
   | t -> Error (Printf.sprintf "unknown event %S" t)
+
+(* -- job status (GET /v1/jobs/<key>) ---------------------------------------- *)
+
+type job_status = {
+  job_key : string;
+  jobs : int;
+  completed : int;
+  finished : bool;
+  verdicts : (int * Campaign.outcome) list;  (** completion order *)
+}
+
+let status_schema = "mechaml-serve-job/1"
+
+let encode_status st =
+  Json.Obj
+    [
+      ("schema", Json.Str status_schema);
+      ("key", Json.Str st.job_key);
+      ("jobs", num st.jobs);
+      ("completed", num st.completed);
+      ("done", Json.Bool st.finished);
+      ( "verdicts",
+        Json.List
+          (List.map
+             (fun (i, o) -> Json.Obj [ ("index", num i); ("outcome", encode_outcome o) ])
+             st.verdicts) );
+    ]
+
+let decode_status obj =
+  let* schema = string_field "schema" obj in
+  if schema <> status_schema then Error (Printf.sprintf "unknown schema %S" schema)
+  else
+    let* job_key = string_field "key" obj in
+    let* jobs = int_field "jobs" obj in
+    let* completed = int_field "completed" obj in
+    let* finished = bool_field ~default:false "done" obj in
+    let* verdicts =
+      match Json.member "verdicts" obj with
+      | Some (Json.List l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | v :: rest ->
+            let* index = int_field "index" v in
+            let* outcome_obj = require "outcome" v in
+            let* outcome = decode_outcome outcome_obj in
+            go ((index, outcome) :: acc) rest
+        in
+        go [] l
+      | _ -> Error "field \"verdicts\" must be a list"
+    in
+    Ok { job_key; jobs; completed; finished; verdicts }

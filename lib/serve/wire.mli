@@ -17,9 +17,23 @@ type submit = {
   tiny : bool;  (** select the four-job smoke matrix *)
   select : string option;  (** keep only job ids containing this substring *)
   ids : string list option;  (** explicit job ids (matrix order preserved) *)
+  key : string option;
+      (** idempotency key — resubmitting the same key attaches to the
+          original submission instead of re-running it; the server generates
+          a key when absent.  1-128 chars of [A-Za-z0-9._-]. *)
+  deadline_s : float option;
+      (** per-job execution deadline in seconds, overriding the server
+          default; an overrun job is abandoned with a [Failed] stand-in *)
 }
 
-val submit : ?tiny:bool -> ?select:string -> ?ids:string list -> unit -> submit
+val submit :
+  ?tiny:bool ->
+  ?select:string ->
+  ?ids:string list ->
+  ?key:string ->
+  ?deadline_s:float ->
+  unit ->
+  submit
 
 val encode_submit : submit -> Json.t
 
@@ -50,3 +64,18 @@ type event =
 val encode_event : event -> Json.t
 
 val decode_event : Json.t -> (event, string) result
+
+(** The [GET /v1/jobs/<key>] body — how a reconnecting client discovers what
+    a previous (possibly interrupted) submission already produced without
+    re-running anything. *)
+type job_status = {
+  job_key : string;
+  jobs : int;  (** resolved specs in the submission *)
+  completed : int;
+  finished : bool;  (** every verdict is present *)
+  verdicts : (int * Mechaml_engine.Campaign.outcome) list;  (** completion order *)
+}
+
+val encode_status : job_status -> Json.t
+
+val decode_status : Json.t -> (job_status, string) result

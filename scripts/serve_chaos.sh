@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# Chaos equivalence gate for the mechaserve daemon (make serve-chaos):
+#
+#   1. compute the fault-free reference: a local `campaign --tiny` canonical
+#      digest;
+#   2. start a daemon with a write-ahead log and job deadlines;
+#   3. for each fixed seed, park a `chaos-proxy` (delays, torn writes,
+#      resets, response garbage — all deterministically derived from the
+#      seed) in front of the daemon and drive a retrying, idempotency-keyed
+#      `submit` through it: the client must converge and its canonical
+#      digest must be byte-identical to the fault-free reference;
+#   4. require `serve_jobs_total` to equal the number of distinct jobs —
+#      retries attached, they never duplicated work;
+#   5. SIGKILL the daemon mid-campaign, restart it on the same WAL, and
+#      require the restart to restore exactly the verdicts the log holds,
+#      re-run only the missing ones, and answer the retried client with the
+#      reference digest;
+#   6. SIGTERM-drain clean; a daemon surviving its teardown fails the gate.
+#
+# Deterministic on purpose: fixed seeds, a stateless fault schedule, and
+# canonical digests that omit measured fields.  Artifacts (daemon logs, WAL,
+# canonicals) stay in $DIR for CI upload on failure.
+set -euo pipefail
+
+BIN=${BIN:-./_build/default/bin/mechaverify.exe}
+DIR=${DIR:-_build/serve-chaos}
+SEEDS=${SEEDS:-3 7 11}
+DRAIN_DEADLINE_S=${DRAIN_DEADLINE_S:-15}
+STEP_TIMEOUT_S=${STEP_TIMEOUT_S:-120}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+WAL="$DIR/serve.wal"
+DAEMON_PID=
+DAEMON_LOG="$DIR/daemon.log"
+PROXY_PID=
+EXPECT_DEAD=0
+
+cleanup() {
+  status=$?
+  [ -n "$PROXY_PID" ] && kill -9 "$PROXY_PID" 2>/dev/null || true
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+    if [ "$EXPECT_DEAD" = 1 ]; then
+      echo "serve-chaos: daemon $DAEMON_PID survived its teardown" >&2
+      exit 1
+    fi
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-chaos: $1" >&2
+  echo "--- daemon log ($DAEMON_LOG) ---" >&2
+  cat "$DAEMON_LOG" >&2 || true
+  exit 1
+}
+
+wait_port() { # <logfile> <marker> <pid> -> PORT
+  PORT=
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n "s/^$2 listening on [^:]*:\([0-9][0-9]*\)$/\1/p" "$1" | head -n 1)
+    [ -n "$PORT" ] && break
+    kill -0 "$3" 2>/dev/null || fail "$2 died before listening (log: $1)"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "$2 never reported a listening port (log: $1)"
+}
+
+start_daemon() { # <logname>
+  DAEMON_LOG="$DIR/$1.log"
+  "$BIN" serve --port 0 --workers 2 --handlers 4 \
+    --wal "$WAL" --job-deadline 60 --io-timeout 10 \
+    >"$DAEMON_LOG" 2>&1 &
+  DAEMON_PID=$!
+  wait_port "$DAEMON_LOG" mechaserve "$DAEMON_PID"
+  DAEMON_PORT=$PORT
+}
+
+metric() { # <metrics-file> <name>
+  awk -v n="$2" '$1 == n { print $2 }' "$1" | head -n 1
+}
+
+# complete (";end"-terminated) WAL records matching a pattern — a SIGKILL can
+# tear the final line, which the replayer drops, so the gate must too
+wal_count() { # <pattern>
+  grep -c "$1.*;end\$" "$WAL" || true
+}
+
+# -- the fault-free reference -------------------------------------------------
+
+timeout "$STEP_TIMEOUT_S" "$BIN" campaign --tiny --jobs 2 \
+  --canonical "$DIR/ref.canonical" >"$DIR/ref.out" 2>&1 \
+  || fail "reference campaign failed: $(cat "$DIR/ref.out")"
+test -s "$DIR/ref.canonical" || fail "reference canonical is empty"
+
+# -- seeded chaos runs --------------------------------------------------------
+
+start_daemon daemon1
+
+njobs=0
+for seed in $SEEDS; do
+  "$BIN" chaos-proxy --port 0 --target-port "$DAEMON_PORT" --seed "$seed" \
+    >"$DIR/proxy$seed.log" 2>&1 &
+  PROXY_PID=$!
+  wait_port "$DIR/proxy$seed.log" mechachaos "$PROXY_PID"
+  PROXY_PORT=$PORT
+
+  timeout "$STEP_TIMEOUT_S" "$BIN" submit --port "$PROXY_PORT" --tiny \
+    --key "chaos-$seed" --retry 14 --io-timeout 5 \
+    --canonical "$DIR/chaos$seed.canonical" >"$DIR/chaos$seed.out" 2>&1 \
+    || fail "seed $seed: client never converged: $(tail -5 "$DIR/chaos$seed.out")"
+  cmp -s "$DIR/ref.canonical" "$DIR/chaos$seed.canonical" \
+    || fail "seed $seed: verdicts differ from the fault-free reference"
+
+  kill -TERM "$PROXY_PID" 2>/dev/null || true
+  wait "$PROXY_PID" 2>/dev/null || true
+  PROXY_PID=
+  njobs=$((njobs + 4))
+done
+
+# exactly-once: every retry attached to the original submission
+"$BIN" probe --port "$DAEMON_PORT" --metrics >"$DIR/metrics1.prom"
+jobs=$(metric "$DIR/metrics1.prom" serve_jobs_total)
+[ "$jobs" = "$njobs" ] \
+  || fail "expected exactly $njobs jobs executed under chaos, daemon ran ${jobs:-none}"
+
+# -- SIGKILL mid-campaign, recover from the WAL -------------------------------
+
+timeout "$STEP_TIMEOUT_S" "$BIN" submit --port "$DAEMON_PORT" --tiny \
+  --key crash --canonical "$DIR/crash0.canonical" >"$DIR/crash0.out" 2>&1 &
+CRASH_CLIENT=$!
+# kill as soon as the WAL holds two verdicts for the crash key — with two
+# more jobs still in flight the entry is (almost always) unfinished
+for _ in $(seq 1 500); do
+  [ "$(wal_count '"rec":"verdict","key":"crash"')" -ge 2 ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before the crash point"
+  sleep 0.02
+done
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+wait "$CRASH_CLIENT" 2>/dev/null || true  # its stream just died with the daemon
+
+# what the log actually holds decides what the restart must do
+recorded=$(wal_count '"rec":"verdict","key":"crash"')
+finished=$(wal_count '"rec":"done","key":"crash"')
+[ "$recorded" -ge 2 ] || fail "WAL recorded only $recorded crash verdicts before SIGKILL"
+
+start_daemon daemon2
+"$BIN" probe --port "$DAEMON_PORT" --metrics >"$DIR/metrics2.prom"
+restored=$(metric "$DIR/metrics2.prom" serve_wal_restored_total)
+replayed=$(metric "$DIR/metrics2.prom" serve_wal_replays_total)
+if [ "$finished" -ge 1 ]; then
+  # the campaign beat the SIGKILL: nothing to restore, nothing to re-run
+  [ "$restored" = 0 ] && [ "$replayed" = 0 ] \
+    || fail "finished entry triggered replay (restored $restored, replayed $replayed)"
+else
+  [ "$restored" = "$recorded" ] \
+    || fail "expected $recorded restored verdicts, daemon restored ${restored:-none}"
+  [ "$replayed" = $((4 - recorded)) ] \
+    || fail "expected $((4 - recorded)) replayed jobs, daemon replayed ${replayed:-none}"
+fi
+
+# the retried client attaches to the recovered entry and still gets the
+# reference verdicts
+timeout "$STEP_TIMEOUT_S" "$BIN" submit --port "$DAEMON_PORT" --tiny \
+  --key crash --retry 5 --canonical "$DIR/crash1.canonical" >"$DIR/crash1.out" 2>&1 \
+  || fail "post-crash client failed: $(tail -5 "$DIR/crash1.out")"
+cmp -s "$DIR/ref.canonical" "$DIR/crash1.canonical" \
+  || fail "verdicts changed across the SIGKILL recovery"
+
+# -- clean drain --------------------------------------------------------------
+
+kill -TERM "$DAEMON_PID"
+deadline=$((DRAIN_DEADLINE_S * 10))
+for _ in $(seq 1 "$deadline"); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null \
+  && fail "daemon did not drain within ${DRAIN_DEADLINE_S}s"
+wait "$DAEMON_PID" || fail "daemon exited nonzero after SIGTERM"
+EXPECT_DEAD=1
+kill -0 "$DAEMON_PID" 2>/dev/null && fail "daemon survived its own drain"
+EXPECT_DEAD=0
+DAEMON_PID=
+
+echo "serve-chaos: OK (seeds: $SEEDS; $njobs jobs exactly once; SIGKILL recovered)"

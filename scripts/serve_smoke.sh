@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the mechaserve daemon (make serve-smoke):
 #
-#   1. start `mechaverify serve` on an ephemeral port with a cache snapshot;
+#   1. start `mechaverify serve` on an ephemeral port with a cache snapshot
+#      and a write-ahead log;
 #   2. run two concurrent `mechaverify submit` clients under distinct
 #      tenants and require byte-identical canonical digests from both;
-#   3. scrape /v1/stats and /metrics and require the serve_* series;
+#   3. scrape /v1/stats and /metrics and require the serve_* series
+#      (including the resilience counters);
 #   4. SIGTERM the daemon and require a clean drain within a deadline,
-#      a zero exit status and a non-empty cache snapshot on disk.
+#      a zero exit status and a non-empty cache snapshot on disk;
+#   5. restart, require the cache to come back warm from the snapshot,
+#      then SIGKILL the daemon mid-life;
+#   6. restart once more and require both a warm cache and verdicts
+#      byte-identical to the first life — a SIGKILL must never corrupt
+#      what the next daemon recovers.
+#
+# Every daemon life is tracked: the EXIT trap kills whatever survived, and
+# a daemon still alive after the script believed it stopped one is itself a
+# failure (a drain that leaks a process is a bug, not an inconvenience).
 #
 # The daemon binary is the dune-built mechaverify; override BIN/DIR to point
 # elsewhere.  Any failing step fails the script (set -e) with the daemon log
@@ -20,35 +31,83 @@ DRAIN_DEADLINE_S=${DRAIN_DEADLINE_S:-10}
 rm -rf "$DIR"
 mkdir -p "$DIR"
 
+DAEMON_PID=
+DAEMON_LOG="$DIR/daemon.log"
+EXPECT_DEAD=0
+
+cleanup() {
+  status=$?
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+    if [ "$EXPECT_DEAD" = 1 ]; then
+      echo "serve-smoke: daemon $DAEMON_PID survived its teardown" >&2
+      exit 1
+    fi
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
 fail() {
   echo "serve-smoke: $1" >&2
-  echo "--- daemon log ---" >&2
-  cat "$DIR/daemon.log" >&2 || true
+  echo "--- daemon log ($DAEMON_LOG) ---" >&2
+  cat "$DAEMON_LOG" >&2 || true
   exit 1
 }
 
-"$BIN" serve --port 0 --workers 2 --handlers 2 \
-  --snapshot "$DIR/cache.snap" >"$DIR/daemon.log" 2>&1 &
-PID=$!
-trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+# start_daemon <logname> [extra serve args...]: sets DAEMON_PID/DAEMON_LOG
+# and PORT once the daemon reports its ephemeral listener.
+start_daemon() {
+  DAEMON_LOG="$DIR/$1.log"
+  shift
+  "$BIN" serve --port 0 --workers 2 --handlers 2 \
+    --snapshot "$DIR/cache.snap" --wal "$DIR/serve.wal" --job-deadline 60 \
+    "$@" >"$DAEMON_LOG" 2>&1 &
+  DAEMON_PID=$!
+  PORT=
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^mechaserve listening on [^:]*:\([0-9][0-9]*\)$/\1/p' \
+      "$DAEMON_LOG" | head -n 1)
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before listening"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "daemon never reported a listening port"
+}
 
-# the daemon prints its ephemeral port once the listener is up
-PORT=
-for _ in $(seq 1 100); do
-  PORT=$(sed -n 's/^mechaserve listening on [^:]*:\([0-9][0-9]*\)$/\1/p' \
-    "$DIR/daemon.log" | head -n 1)
-  [ -n "$PORT" ] && break
-  kill -0 "$PID" 2>/dev/null || fail "daemon died before listening"
-  sleep 0.1
-done
-[ -n "$PORT" ] || fail "daemon never reported a listening port"
+# stop_daemon_term: SIGTERM, require a clean exit within the drain deadline,
+# and require the process to actually be gone.
+stop_daemon_term() {
+  kill -TERM "$DAEMON_PID"
+  deadline=$((DRAIN_DEADLINE_S * 10))
+  for _ in $(seq 1 "$deadline"); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -0 "$DAEMON_PID" 2>/dev/null \
+    && fail "daemon did not drain within ${DRAIN_DEADLINE_S}s"
+  wait "$DAEMON_PID" || fail "daemon exited nonzero after SIGTERM"
+  EXPECT_DEAD=1
+  kill -0 "$DAEMON_PID" 2>/dev/null && fail "daemon survived its own drain"
+  EXPECT_DEAD=0
+  DAEMON_PID=
+}
+
+# cache_entries <stats.json>: the restored-cache size the daemon reports.
+cache_entries() {
+  sed -n 's/.*"entries":\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+# -- life 1: cold start, concurrent tenants, metrics, clean drain -------------
+
+start_daemon daemon1
 
 "$BIN" probe --port "$PORT" >"$DIR/stats.json"
 grep -q '"schema":"mechaml-serve-stats/1"' "$DIR/stats.json" \
   || fail "/v1/stats did not return the stats schema"
 
 # two concurrent clients under distinct tenants; both must finish and agree
-"$BIN" submit --port "$PORT" --tiny --tenant smoke-a \
+"$BIN" submit --port "$PORT" --tiny --tenant smoke-a --key smoke-a --retry 2 \
   --canonical "$DIR/a.canonical" >"$DIR/a.out" 2>&1 &
 CA=$!
 "$BIN" submit --port "$PORT" --tiny --tenant smoke-b \
@@ -62,22 +121,47 @@ cmp -s "$DIR/a.canonical" "$DIR/b.canonical" \
 
 "$BIN" probe --port "$PORT" --metrics >"$DIR/metrics.prom"
 for series in serve_requests_total serve_connections_total serve_jobs_total \
-  serve_queue_depth serve_cache_hit_rate; do
+  serve_queue_depth serve_cache_hit_rate serve_deadline_kills_total \
+  serve_discard_errors_total serve_quarantined_total serve_wal_restored_total \
+  serve_wal_replays_total serve_overload_closed_total; do
   grep -q "^$series" "$DIR/metrics.prom" || fail "/metrics lacks $series"
 done
 
 # clean SIGTERM drain: daemon must exit 0 within the deadline and leave a
 # cache snapshot behind for the next (warm) life
-kill -TERM "$PID"
-deadline=$((DRAIN_DEADLINE_S * 10))
-for _ in $(seq 1 "$deadline"); do
-  kill -0 "$PID" 2>/dev/null || break
-  sleep 0.1
-done
-kill -0 "$PID" 2>/dev/null && fail "daemon did not drain within ${DRAIN_DEADLINE_S}s"
-wait "$PID" || fail "daemon exited nonzero after SIGTERM"
-trap - EXIT
-grep -q "mechaserve stopped" "$DIR/daemon.log" || fail "daemon log lacks clean stop line"
+stop_daemon_term
+grep -q "mechaserve stopped" "$DAEMON_LOG" || fail "daemon log lacks clean stop line"
 test -s "$DIR/cache.snap" || fail "no cache snapshot written on shutdown"
 
-echo "serve-smoke: OK (port $PORT, 2 concurrent tenants, drained clean)"
+# -- life 2: warm start from the snapshot, then die without warning -----------
+
+start_daemon daemon2
+"$BIN" probe --port "$PORT" >"$DIR/stats2.json"
+entries=$(cache_entries "$DIR/stats2.json")
+[ -n "$entries" ] && [ "$entries" -gt 0 ] \
+  || fail "restarted daemon did not restore the cache snapshot (entries: ${entries:-none})"
+"$BIN" submit --port "$PORT" --tiny --tenant smoke-c --key smoke-crash \
+  --canonical "$DIR/c.canonical" >"$DIR/c.out" 2>&1 \
+  || fail "client smoke-c failed: $(cat "$DIR/c.out")"
+cmp -s "$DIR/a.canonical" "$DIR/c.canonical" \
+  || fail "warm verdicts differ from the cold run"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+
+# -- life 3: a SIGKILL must not poison the recovery path ----------------------
+
+start_daemon daemon3
+"$BIN" probe --port "$PORT" >"$DIR/stats3.json"
+entries=$(cache_entries "$DIR/stats3.json")
+[ -n "$entries" ] && [ "$entries" -gt 0 ] \
+  || fail "daemon after SIGKILL did not restore the cache snapshot"
+# the same idempotency key attaches to the WAL-recovered submission
+"$BIN" submit --port "$PORT" --tiny --tenant smoke-c --key smoke-crash --retry 2 \
+  --canonical "$DIR/d.canonical" >"$DIR/d.out" 2>&1 \
+  || fail "post-SIGKILL client failed: $(cat "$DIR/d.out")"
+cmp -s "$DIR/a.canonical" "$DIR/d.canonical" \
+  || fail "verdicts changed across a SIGKILL restart"
+stop_daemon_term
+
+echo "serve-smoke: OK (2 tenants, warm restart, SIGKILL recovery, drained clean)"

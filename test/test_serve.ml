@@ -6,13 +6,22 @@
 module Server = Mechaml_serve.Server
 module Client = Mechaml_serve.Client
 module Scheduler = Mechaml_serve.Scheduler
+module Store = Mechaml_serve.Store
+module Quarantine = Mechaml_serve.Quarantine
+module Chaosproxy = Mechaml_serve.Chaosproxy
 module Wire = Mechaml_serve.Wire
 module Http = Mechaml_serve.Http
 module Json = Mechaml_obs.Json
+module Metrics = Mechaml_obs.Metrics
+module Prng = Mechaml_util.Prng
 module Campaign = Mechaml_engine.Campaign
 module Report = Mechaml_engine.Report
 module Cache = Mechaml_engine.Cache
 open Helpers
+
+(* Registration is idempotent, so this returns the daemon's own counter —
+   the way tests read metric deltas without exporting every counter. *)
+let counter_value name = Metrics.counter_value (Metrics.counter name ~help:"test handle")
 
 let contains ~sub text =
   let n = String.length sub and m = String.length text in
@@ -221,6 +230,237 @@ let scheduler_tests =
         check_int "healthy job still ran" 1 (Atomic.get ran));
   ]
 
+(* -- hostile bytes against the HTTP layer ----------------------------------- *)
+
+(* Feed [bytes] into [Http.read_request] over a socketpair (a domain plays
+   the peer, so large payloads cannot deadlock on the kernel buffer) and
+   classify what the parser did.  The contract under attack: any byte
+   sequence ends in a parsed request, [Bad], [Closed] or [Timeout] — never a
+   hang and never another exception. *)
+let hostile_request ?(read_timeout_s = 2.) ?(close_writer = true) bytes =
+  let wr, rd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      quiet_close wr;
+      quiet_close rd)
+    (fun () ->
+      let peer =
+        Domain.spawn (fun () ->
+            (try
+               let b = Bytes.of_string bytes in
+               let n = Bytes.length b in
+               let sent = ref 0 in
+               while !sent < n do
+                 match Unix.write wr b !sent (n - !sent) with
+                 | k -> sent := !sent + k
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+               done
+             with Unix.Unix_error _ -> ());
+            if close_writer then
+              try Unix.shutdown wr Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+      in
+      let c = Http.conn ~read_timeout_s rd in
+      let verdict =
+        match Http.read_request c with
+        | _ -> `Parsed
+        | exception Http.Bad _ -> `Bad
+        | exception Http.Closed -> `Closed
+        | exception Http.Timeout _ -> `Timeout
+      in
+      Domain.join peer;
+      verdict)
+
+let garbage_of_seed seed =
+  let len = Prng.mix_int ~seed 0 4096 in
+  String.init len (fun i -> Char.chr (Prng.mix_int ~seed (i + 1) 256))
+
+let hostile_seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let hostile_tests =
+  [
+    qcheck ~count:60 "arbitrary bytes end in Parsed/Bad/Closed, never a hang"
+      hostile_seed_arb
+      (fun seed -> hostile_request (garbage_of_seed seed) <> `Timeout);
+    test "a truncated body is Closed, not a hang" (fun () ->
+        check_bool "closed" true
+          (hostile_request "POST /v1/campaign HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort"
+          = `Closed));
+    test "an oversized header section is rejected as Bad" (fun () ->
+        let headers =
+          String.concat ""
+            (List.init 40 (fun i -> Printf.sprintf "x-pad%d: %s\r\n" i (String.make 500 'a')))
+        in
+        check_bool "bad" true
+          (hostile_request ("GET /healthz HTTP/1.1\r\n" ^ headers ^ "\r\n") = `Bad));
+    test "a body over the limit is rejected before it is read" (fun () ->
+        check_bool "bad" true
+          (hostile_request "POST /v1/campaign HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n"
+          = `Bad));
+    test "a slow-loris peer is dropped by the read deadline" (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let verdict =
+          hostile_request ~read_timeout_s:0.2 ~close_writer:false "GET /heal"
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        check_bool "timeout" true (verdict = `Timeout);
+        check_bool "within one deadline, not a hang" true (dt < 2.));
+  ]
+
+(* -- watchdog --------------------------------------------------------------- *)
+
+let watchdog_tests =
+  [
+    test "the watchdog abandons an overdue job exactly once" (fun () ->
+        Metrics.set_enabled true;
+        let kills0 = counter_value "serve_deadline_kills_total" in
+        let sched = Scheduler.create ~workers:1 () in
+        let fired = Atomic.make 0 in
+        let j =
+          Scheduler.job ~deadline_s:0.1
+            ~on_deadline:(fun () -> Atomic.incr fired)
+            (fun () -> Unix.sleepf 0.4)
+        in
+        (match Scheduler.submit sched ~tenant:"slow" [ j ] with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "rejected");
+        Scheduler.drain sched;
+        check_int "on_deadline fired exactly once" 1 (Atomic.get fired);
+        check_int "kill counted" 1 (counter_value "serve_deadline_kills_total" - kills0));
+    test "a job inside its deadline is never abandoned" (fun () ->
+        Metrics.set_enabled true;
+        let kills0 = counter_value "serve_deadline_kills_total" in
+        let sched = Scheduler.create ~workers:1 () in
+        let fired = Atomic.make 0 in
+        let j =
+          Scheduler.job ~deadline_s:5.
+            ~on_deadline:(fun () -> Atomic.incr fired)
+            (fun () -> Unix.sleepf 0.01)
+        in
+        (match Scheduler.submit sched ~tenant:"fast" [ j ] with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "rejected");
+        Scheduler.drain sched;
+        check_int "no abandonment" 0 (Atomic.get fired);
+        check_int "no kill counted" 0
+          (counter_value "serve_deadline_kills_total" - kills0));
+    test "a raising deadline callback is contained and counted" (fun () ->
+        Metrics.set_enabled true;
+        let errs0 = counter_value "serve_discard_errors_total" in
+        let sched = Scheduler.create ~workers:1 () in
+        let j =
+          Scheduler.job ~deadline_s:0.05
+            ~on_deadline:(fun () -> failwith "callback boom")
+            (fun () -> Unix.sleepf 0.3)
+        in
+        (match Scheduler.submit sched ~tenant:"boom" [ j ] with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "rejected");
+        Scheduler.drain sched;
+        check_int "callback failure counted" 1
+          (counter_value "serve_discard_errors_total" - errs0));
+  ]
+
+(* -- quarantine ------------------------------------------------------------- *)
+
+let quarantine_tests =
+  [
+    test "strikes accumulate, the TTL releases and forgives" (fun () ->
+        let q = Quarantine.create ~strikes:2 ~ttl_s:0.2 () in
+        check_bool "one strike is not enough" false
+          (Quarantine.strike q ~key:"d1" ~reason:"t1");
+        check_bool "not quarantined yet" true (Quarantine.check q ~key:"d1" = None);
+        check_bool "second strike trips" true
+          (Quarantine.strike q ~key:"d1" ~reason:"t2");
+        (match Quarantine.check q ~key:"d1" with
+        | Some _ -> ()
+        | None -> Alcotest.fail "quarantine not active");
+        check_int "listed" 1 (List.length (Quarantine.active q));
+        Unix.sleepf 0.3;
+        check_bool "released after the TTL" true (Quarantine.check q ~key:"d1" = None);
+        check_bool "strikes forgiven wholesale" false
+          (Quarantine.strike q ~key:"d1" ~reason:"t3"));
+    test "independent keys do not share strikes" (fun () ->
+        let q = Quarantine.create ~strikes:1 ~ttl_s:60. () in
+        ignore (Quarantine.strike q ~key:"a" ~reason:"r");
+        check_bool "a quarantined" true (Quarantine.check q ~key:"a" <> None);
+        check_bool "b untouched" true (Quarantine.check q ~key:"b" = None));
+  ]
+
+(* -- store: quarantine stand-ins and deadline clamping ---------------------- *)
+
+let spec_digest (s : Campaign.spec) =
+  Cache.digest (s.Campaign.id, s.Campaign.family, s.Campaign.inject, s.Campaign.seed)
+
+let stream_all store e =
+  let rec go pos acc =
+    match Store.await store e ~pos with
+    | Store.Next (i, o) -> go (pos + 1) ((i, o) :: acc)
+    | Store.Finished -> List.rev acc
+  in
+  go 0 []
+
+let store_tests =
+  [
+    test "a quarantined spec answers an immediate Failed stand-in" (fun () ->
+        Metrics.set_enabled true;
+        let sched = Scheduler.create ~workers:2 () in
+        let cache = Cache.create () in
+        let store = Store.create ~quarantine_strikes:1 ~sched ~cache () in
+        let specs =
+          match Wire.resolve (Wire.submit ~tiny:true ()) with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        let victim = List.hd specs in
+        ignore
+          (Quarantine.strike (Store.quarantine store) ~key:(spec_digest victim)
+             ~reason:"test poison");
+        (match Store.submit store ~tenant:"t" (Wire.submit ~tiny:true ~key:"q-1" ()) with
+        | Error _ -> Alcotest.fail "submission rejected"
+        | Ok (e, _) ->
+          let all = stream_all store e in
+          check_int "every verdict present" (List.length specs) (List.length all);
+          let _, vo =
+            List.find (fun (_, o) -> o.Campaign.spec_id = victim.Campaign.id) all
+          in
+          (match vo.Campaign.verdict with
+          | Campaign.Failed msg ->
+            check_bool "stand-in names the quarantine" true
+              (contains ~sub:"quarantined" msg)
+          | _ -> Alcotest.fail "quarantined spec was run");
+          (* the other jobs ran normally despite the poisoned sibling *)
+          List.iter
+            (fun (_, o) ->
+              if o.Campaign.spec_id <> victim.Campaign.id then
+                match o.Campaign.verdict with
+                | Campaign.Failed _ -> Alcotest.fail "healthy sibling failed"
+                | _ -> ())
+            all);
+        Scheduler.drain sched);
+    test "a tiny deadline times out every job and strikes the registry" (fun () ->
+        Metrics.set_enabled true;
+        let sched = Scheduler.create ~workers:2 () in
+        let cache = Cache.create () in
+        let store = Store.create ~quarantine_strikes:1 ~sched ~cache () in
+        let sub = { (Wire.submit ~tiny:true ~key:"dl-1" ()) with Wire.deadline_s = Some 1e-6 } in
+        (match Store.submit store ~tenant:"t" sub with
+        | Error _ -> Alcotest.fail "submission rejected"
+        | Ok (e, _) ->
+          let all = stream_all store e in
+          check_int "every verdict present" 4 (List.length all);
+          List.iter
+            (fun (_, o) ->
+              match o.Campaign.verdict with
+              | Campaign.Timed_out | Campaign.Failed _ -> ()
+              | _ ->
+                Alcotest.failf "%s beat a microsecond budget" o.Campaign.spec_id)
+            all;
+          check_bool "poison recorded" true
+            (Quarantine.active (Store.quarantine store) <> []));
+        Scheduler.drain sched);
+  ]
+
 (* -- HTTP server ----------------------------------------------------------- *)
 
 let with_server ?(cfg = Server.default) f =
@@ -365,11 +605,195 @@ let persistence_tests =
                   check_bool "warm hits after restart" true (Cache.hits s > 0))))
   ]
 
+(* -- idempotent submissions and job status ---------------------------------- *)
+
+let idempotency_tests =
+  [
+    test "resubmitting an idempotency key attaches instead of re-running" (fun () ->
+        with_server (fun srv ->
+            let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+            match Client.submit ep ~key:"idem-1" ~tiny:true () with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok a -> (
+              let after_first = counter_value "serve_jobs_total" in
+              match Client.submit ep ~key:"idem-1" ~tiny:true () with
+              | Error e -> Alcotest.fail (Client.error_string e)
+              | Ok b ->
+                check_string "identical verdicts on replay" (Report.canonical a)
+                  (Report.canonical b);
+                check_int "not a single job re-ran" 0
+                  (counter_value "serve_jobs_total" - after_first))));
+    test "GET /v1/jobs replays a finished submission" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            let ep = { Client.host = "127.0.0.1"; port } in
+            match Client.submit ep ~key:"status-1" ~tiny:true () with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok a ->
+              (match Client.job_status ep "status-1" with
+              | Error e -> Alcotest.fail (Client.error_string e)
+              | Ok None -> Alcotest.fail "daemon forgot the key"
+              | Ok (Some st) ->
+                check_bool "finished" true st.Wire.finished;
+                check_int "jobs" 4 st.Wire.jobs;
+                check_int "completed" 4 st.Wire.completed;
+                let in_matrix_order =
+                  List.sort (fun (i, _) (j, _) -> compare i j) st.Wire.verdicts
+                  |> List.map snd
+                in
+                check_string "status equals the stream" (Report.canonical a)
+                  (Report.canonical in_matrix_order));
+              (match Client.job_status ep "no-such-key" with
+              | Ok None -> ()
+              | Ok (Some _) -> Alcotest.fail "invented a job"
+              | Error e -> Alcotest.fail (Client.error_string e));
+              check_int "an invalid key is a 400" 400
+                (fst
+                   (raw_request ~port ~meth:"POST" ~path:"/v1/campaign"
+                      {|{"matrix": "tiny", "key": "bad key!"}|}))));
+  ]
+
+(* -- durability across a crash ---------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* The record tag of one WAL line ([None] for the header). *)
+let wal_rec line =
+  let s = String.trim line in
+  let sentinel = ";end" in
+  let n = String.length s and sn = String.length sentinel in
+  if n >= sn && String.sub s (n - sn) sn = sentinel then
+    match Json.parse (String.trim (String.sub s 0 (n - sn))) with
+    | Ok v -> ( match Json.member "rec" v with Some (Json.Str r) -> Some r | _ -> None)
+    | Error _ -> None
+  else None
+
+let durability_tests =
+  [
+    test "a crashed daemon re-runs only the verdicts the WAL lost" (fun () ->
+        let wal = Filename.temp_file "mechaserve" ".wal" in
+        Sys.remove wal;
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists wal then Sys.remove wal)
+          (fun () ->
+            let cfg = { Server.default with Server.wal = Some wal } in
+            (* first life: run the campaign, journal everything *)
+            let expected =
+              with_server ~cfg (fun srv ->
+                  let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+                  match Client.submit ep ~key:"crash-1" ~tiny:true () with
+                  | Ok outcomes -> Report.canonical outcomes
+                  | Error e -> Alcotest.fail (Client.error_string e))
+            in
+            (* simulate the crash: the tail of the log — the done marker, the
+               last verdict and a half-written record — never hit the disk *)
+            let lines =
+              String.split_on_char '\n' (read_file wal)
+              |> List.filter (fun l -> String.trim l <> "")
+            in
+            let header, records =
+              match lines with h :: r -> (h, r) | [] -> Alcotest.fail "empty WAL"
+            in
+            check_bool "WAL recorded the campaign" true
+              (List.exists (fun l -> wal_rec l = Some "done") records);
+            let records = List.filter (fun l -> wal_rec l <> Some "done") records in
+            let records =
+              (* drop the last verdict record *)
+              let rec go dropped acc = function
+                | [] -> List.rev acc
+                | l :: rest when (not dropped) && wal_rec l = Some "verdict" ->
+                  go true acc rest
+                | l :: rest -> go dropped (l :: acc) rest
+              in
+              go false [] (List.rev records) |> List.rev
+            in
+            write_file wal
+              (String.concat "\n" (header :: records)
+              ^ "\n" ^ {|{"rec": "verdict", "key": "crash-|});
+            let restored0 = counter_value "serve_wal_restored_total" in
+            let replays0 = counter_value "serve_wal_replays_total" in
+            let jobs0 = counter_value "serve_jobs_total" in
+            (* second life: replay restores three verdicts, re-runs one, and a
+               client attaching to the same key gets the full set back *)
+            with_server ~cfg (fun srv ->
+                let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+                match Client.submit ep ~key:"crash-1" ~tiny:true () with
+                | Error e -> Alcotest.fail (Client.error_string e)
+                | Ok outcomes ->
+                  check_string "verdicts identical across the crash" expected
+                    (Report.canonical outcomes);
+                  check_int "three verdicts restored, not re-run" 3
+                    (counter_value "serve_wal_restored_total" - restored0);
+                  check_int "exactly one job replayed" 1
+                    (counter_value "serve_wal_replays_total" - replays0);
+                  check_int "exactly one job executed" 1
+                    (counter_value "serve_jobs_total" - jobs0))));
+  ]
+
+(* -- chaos: the daemon behind a faulty network ------------------------------ *)
+
+let chaos_tests =
+  [
+    test "a delay-only proxy is transparent" (fun () ->
+        with_server (fun srv ->
+            let proxy =
+              Chaosproxy.start ~target_host:"127.0.0.1" ~target_port:(Server.port srv)
+                ~seed:7 ~kinds:[ Chaosproxy.Delay ] ()
+            in
+            Fun.protect
+              ~finally:(fun () -> Chaosproxy.stop proxy)
+              (fun () ->
+                let ep = { Client.host = "127.0.0.1"; port = Chaosproxy.port proxy } in
+                match Client.submit ep ~tiny:true ~select:"watchdog" () with
+                | Ok [ _ ] -> ()
+                | Ok outcomes ->
+                  Alcotest.failf "expected one verdict, got %d" (List.length outcomes)
+                | Error e -> Alcotest.fail (Client.error_string e))));
+    test "a retrying client converges through resets and garbage, exactly once"
+      (fun () ->
+        with_server (fun srv ->
+            let jobs0 = counter_value "serve_jobs_total" in
+            let proxy =
+              Chaosproxy.start ~target_host:"127.0.0.1" ~target_port:(Server.port srv)
+                ~seed:3 ()
+            in
+            Fun.protect
+              ~finally:(fun () -> Chaosproxy.stop proxy)
+              (fun () ->
+                let ep = { Client.host = "127.0.0.1"; port = Chaosproxy.port proxy } in
+                match
+                  Client.submit_with_retry ep ~attempts:15 ~key:"chaos-1" ~tiny:true
+                    ~io_timeout_s:5. ()
+                with
+                | Error e -> Alcotest.fail (Client.error_string e)
+                | Ok outcomes ->
+                  check_string "verdicts untouched by the faults"
+                    (Report.canonical (Campaign.run (Campaign.bundled ~tiny:true ())))
+                    (Report.canonical outcomes);
+                  check_int "every job executed exactly once" 4
+                    (counter_value "serve_jobs_total" - jobs0))));
+  ]
+
 let () =
   Alcotest.run "serve"
     [
       ("wire", wire_tests);
       ("scheduler", scheduler_tests);
+      ("hostile-http", hostile_tests);
+      ("watchdog", watchdog_tests);
+      ("quarantine", quarantine_tests);
+      ("store", store_tests);
       ("server", server_tests);
+      ("idempotency", idempotency_tests);
+      ("durability", durability_tests);
+      ("chaos", chaos_tests);
       ("persistence", persistence_tests);
     ]
