@@ -812,29 +812,74 @@ let serve_cmd =
             "How long a quarantined spec is refused (stand-in failed verdicts) before it \
              may run again (default 300).")
   in
+  let slo_t =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "slo" ] ~docv:"STAGE=SEC"
+          ~doc:
+            "SLO latency threshold for a stage (repeatable; stages: $(b,admission), \
+             $(b,queue), $(b,closure), $(b,check), $(b,stream)).  Observations over the \
+             threshold count as breaches in $(b,/v1/slo).")
+  in
+  let slo_objective_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-objective" ] ~docv:"FRAC"
+          ~doc:
+            "SLO objective in (0,1), default 0.99: the burn rate in $(b,/v1/slo) is the \
+             breach fraction divided by the allowed error budget (1 - $(docv)).")
+  in
+  let flight_size_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flight-size" ] ~docv:"N"
+          ~doc:"Flight-recorder ring slots (default 512); newest events win.")
+  in
+  let flight_dump_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Install a $(b,SIGQUIT) handler that dumps the flight recorder to $(docv) as \
+             ndjson — a post-mortem of the last $(b,--flight-size) events with no \
+             restart needed.")
+  in
   let run () host port workers handlers queue_bound inflight_cap weights cache_capacity
       snapshot snapshot_every drain_deadline job_deadline wal io_timeout max_pending
-      quarantine_strikes quarantine_ttl =
+      quarantine_strikes quarantine_ttl slo_thresholds slo_objective flight_size
+      flight_dump =
     let srv =
-      Server.start
-        {
-          Server.host;
-          port;
-          workers;
-          handlers;
-          queue_bound;
-          inflight_cap;
-          weights;
-          cache_capacity;
-          snapshot;
-          snapshot_every_s = snapshot_every;
-          job_deadline_s = job_deadline;
-          wal;
-          io_timeout_s = (if io_timeout <= 0. then None else Some io_timeout);
-          max_pending;
-          quarantine_strikes;
-          quarantine_ttl_s = quarantine_ttl;
-        }
+      try
+        Server.start
+          {
+            Server.host;
+            port;
+            workers;
+            handlers;
+            queue_bound;
+            inflight_cap;
+            weights;
+            cache_capacity;
+            snapshot;
+            snapshot_every_s = snapshot_every;
+            job_deadline_s = job_deadline;
+            wal;
+            io_timeout_s = (if io_timeout <= 0. then None else Some io_timeout);
+            max_pending;
+            quarantine_strikes;
+            quarantine_ttl_s = quarantine_ttl;
+            slo_thresholds;
+            slo_objective;
+            flight_size;
+            flight_dump;
+          }
+      with Invalid_argument msg ->
+        Format.eprintf "mechaverify: %s@." msg;
+        exit 3
     in
     Format.printf "mechaserve listening on %s:%d@." host (Server.port srv);
     let stop_requested = Atomic.make false in
@@ -861,7 +906,7 @@ let serve_cmd =
       $ workers_t $ handlers_t $ queue_bound_t $ inflight_cap_t $ weight_t
       $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t
       $ job_deadline_t $ wal_t $ io_timeout_t $ max_pending_t $ quarantine_strikes_t
-      $ quarantine_ttl_t)
+      $ quarantine_ttl_t $ slo_t $ slo_objective_t $ flight_size_t $ flight_dump_t)
 
 (* -- submit: client for a running daemon -- *)
 
@@ -947,10 +992,23 @@ let submit_cmd =
       & info [ "io-timeout" ] ~docv:"SEC"
           ~doc:"Socket read/write deadline per connection ($(b,0) disables).")
   in
+  let request_id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-id" ] ~docv:"ID"
+          ~doc:
+            "Trace id for the submission (1-128 chars of [A-Za-z0-9._-]; minted when \
+             absent).  The daemon echoes it on the response, stamps it onto every \
+             streamed event, its WAL record and its trace spans — quote it when \
+             reporting a problem.")
+  in
   let run () host port tenant tiny select ids report csv canonical key deadline retry
-      io_timeout =
+      io_timeout request_id =
     let ids = match ids with [] -> None | l -> Some l in
     let ep = { Client.host; port } in
+    (* printed to stderr so it never pollutes piped report output *)
+    let on_request_id rid = Format.eprintf "request id: %s@." rid in
     let on_event = function
       | Wire.Accepted { jobs } -> Format.printf "accepted %d jobs@." jobs
       | Wire.Verdict { outcome; _ } ->
@@ -969,13 +1027,13 @@ let submit_cmd =
           exit 3
         | Some key ->
           Client.submit_with_retry ep ~attempts:(retry + 1) ~tenant ~tiny ?select ?ids
-            ~key ?deadline_s:deadline
+            ~key ?deadline_s:deadline ?request_id ~on_request_id
             ~io_timeout_s:(Option.value io_timeout_s ~default:30.)
             ~on_event ()
       end
       else
         Client.submit ep ~tenant ~tiny ?select ?ids ?key ?deadline_s:deadline
-          ?io_timeout_s ~on_event ()
+          ?request_id ~on_request_id ?io_timeout_s ~on_event ()
     in
     match result with
     | Error e ->
@@ -1011,7 +1069,7 @@ let submit_cmd =
       const run $ obs_t $ host_t
       $ port_t ~default:8484 ~doc:"Daemon port."
       $ tenant_t $ tiny_t $ select_t $ id_t $ report_t $ csv_t $ canonical_t $ key_t
-      $ deadline_t $ retry_t $ io_timeout_t)
+      $ deadline_t $ retry_t $ io_timeout_t $ request_id_t)
 
 (* -- chaos-proxy: seeded fault injection between client and daemon -- *)
 
@@ -1086,24 +1144,217 @@ let probe_cmd =
     let doc = "Print the Prometheus /metrics scrape instead of /v1/stats." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run () host port metrics =
+  let get_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "get" ] ~docv:"PATH"
+          ~doc:
+            "Fetch an arbitrary daemon path instead of /v1/stats (e.g. $(b,/v1/slo) or \
+             $(b,/v1/debug/flight)) and print its body.")
+  in
+  let request_id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-id" ] ~docv:"ID"
+          ~doc:
+            "Trace id to send on the probe request (minted when absent); the id the \
+             daemon echoed back is printed to stderr.")
+  in
+  let run () host port metrics get request_id =
     match Mechaml_serve.Client.connect ~host ~port () with
     | Error e ->
       Format.eprintf "mechaverify: %s@." (Client.error_string e);
       exit 4
     | Ok ep -> (
-      let fetched = if metrics then Client.metrics ep else Result.map snd (Client.get ep "/v1/stats") in
-      match fetched with
-      | Ok body ->
+      let path =
+        match (get, metrics) with
+        | Some p, _ -> p
+        | None, true -> "/metrics"
+        | None, false -> "/v1/stats"
+      in
+      match Client.get_traced ?request_id ep path with
+      | Ok (status, body, echoed) ->
+        Option.iter (fun rid -> Format.eprintf "request id: %s@." rid) echoed;
         print_string body;
-        exit 0
+        exit (if status = 200 then 0 else 4)
       | Error e ->
         Format.eprintf "mechaverify: %s@." (Client.error_string e);
         exit 4)
   in
-  let doc = "Check a running daemon: liveness probe, then its stats (or metrics) body." in
+  let doc =
+    "Check a running daemon: liveness probe, then its stats (or metrics, or any $(b,--get) \
+     path) body; the echoed trace id goes to stderr."
+  in
   Cmd.v (Cmd.info "probe" ~doc)
-    Term.(const run $ obs_t $ host_t $ port_t ~default:8484 ~doc:"Daemon port." $ metrics_t)
+    Term.(
+      const run $ obs_t $ host_t
+      $ port_t ~default:8484 ~doc:"Daemon port."
+      $ metrics_t $ get_t $ request_id_t)
+
+(* -- top: live terminal dashboard for a running daemon -- *)
+
+let top_cmd =
+  let module Client = Mechaml_serve.Client in
+  let module Json = Mechaml_obs.Json in
+  let fnum k j = Option.value (Option.bind (Json.member k j) Json.to_float) ~default:0. in
+  let fstr k j = Option.value (Option.bind (Json.member k j) Json.to_str) ~default:"" in
+  let flist k j = match Json.member k j with Some (Json.List l) -> l | _ -> [] in
+  (* first sample of an unlabelled series in a Prometheus text body *)
+  let prom_value body name =
+    let pfx = name ^ " " in
+    let n = String.length pfx in
+    List.find_map
+      (fun line ->
+        if String.length line > n && String.sub line 0 n = pfx then
+          float_of_string_opt (String.sub line n (String.length line - n))
+        else None)
+      (String.split_on_char '\n' body)
+  in
+  let render buf ep =
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    match Result.bind (Client.get ep "/v1/stats") (fun (_, stats) ->
+              Result.bind (Client.get ep "/v1/slo") (fun (_, slo) ->
+                  Result.map (fun m -> (stats, slo, m)) (Client.metrics ep)))
+    with
+    | Error e -> line "mechaserve %s:%d — %s" ep.Client.host ep.Client.port
+                   (Client.error_string e)
+    | Ok (stats_body, slo_body, metrics_body) -> (
+      match (Json.parse (String.trim stats_body), Json.parse (String.trim slo_body)) with
+      | Error e, _ | _, Error e ->
+        line "mechaserve %s:%d — bad body: %s" ep.Client.host ep.Client.port e
+      | Ok stats, Ok slo ->
+        let mv name = Option.value (prom_value metrics_body name) ~default:0. in
+        line "mechaserve %s:%d — up %.0fs   requests %.0f   campaigns %.0f   http errors %.0f"
+          ep.Client.host ep.Client.port (fnum "uptime_s" stats)
+          (mv "serve_requests_total") (mv "serve_campaigns_total")
+          (mv "serve_http_errors_total");
+        line "queue: %.0f queued, %.0f running" (fnum "queued" stats)
+          (fnum "running" stats);
+        line "";
+        line "  %-16s %8s %9s" "TENANT" "QUEUED" "INFLIGHT";
+        let tenants = flist "tenants" stats in
+        if tenants = [] then line "  (no tenants yet)"
+        else
+          List.iter
+            (fun t ->
+              line "  %-16s %8.0f %9.0f" (fstr "name" t) (fnum "queued" t)
+                (fnum "inflight" t))
+            tenants;
+        line "";
+        (match Json.member "cache" stats with
+        | Some c ->
+          line "cache: %.0f entries, %.0f%% hit rate, %.0f evictions" (fnum "entries" c)
+            (100. *. fnum "hit_rate" c) (fnum "evictions" c)
+        | None -> ());
+        line "";
+        line "slo (objective %.2f%%)" (100. *. fnum "objective" slo);
+        line "  %-16s %-10s %7s %7s %7s %9s %9s %9s" "TENANT" "STAGE" "COUNT" "BREACH"
+          "BURN" "P50" "P95" "P99";
+        let cells = flist "cells" slo in
+        if cells = [] then line "  (no observations yet)"
+        else
+          List.iter
+            (fun c ->
+              line "  %-16s %-10s %7.0f %7.0f %7.2f %8.3fs %8.3fs %8.3fs" (fstr "tenant" c)
+                (fstr "stage" c) (fnum "count" c) (fnum "breaches" c)
+                (fnum "burn_rate" c) (fnum "p50_s" c) (fnum "p95_s" c) (fnum "p99_s" c))
+            cells;
+        line "";
+        let quarantined = flist "quarantined" stats in
+        if quarantined = [] then line "quarantine: none"
+        else begin
+          line "quarantine:";
+          List.iter
+            (fun q -> line "  %s (%s)" (fstr "digest" q) (fstr "reason" q))
+            quarantined
+        end)
+  in
+  let with_raw_stdin f =
+    if Unix.isatty Unix.stdin then begin
+      let saved = Unix.tcgetattr Unix.stdin in
+      let raw = { saved with Unix.c_icanon = false; c_echo = false; c_vmin = 0; c_vtime = 0 } in
+      Unix.tcsetattr Unix.stdin Unix.TCSANOW raw;
+      Fun.protect ~finally:(fun () -> Unix.tcsetattr Unix.stdin Unix.TCSANOW saved) f
+    end
+    else f ()
+  in
+  (* block until the next frame is due; [`Quit] on q, early [`Tick] on space *)
+  let wait_key interval =
+    if Unix.isatty Unix.stdin then begin
+      let deadline = Unix.gettimeofday () +. interval in
+      let rec poll () =
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0. then `Tick
+        else
+          match Unix.select [ Unix.stdin ] [] [] left with
+          | [], _, _ -> `Tick
+          | _ -> (
+            let b = Bytes.create 1 in
+            match Unix.read Unix.stdin b 0 1 with
+            | 0 -> `Tick
+            | _ -> (
+              match Bytes.get b 0 with
+              | 'q' | 'Q' -> `Quit
+              | ' ' -> `Tick
+              | _ -> poll ()))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
+      in
+      poll ()
+    end
+    else begin
+      Unix.sleepf interval;
+      `Tick
+    end
+  in
+  let interval_t =
+    Arg.(
+      value
+      & opt float 1.
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between refreshes (default 1).")
+  in
+  let frames_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) frames and exit ($(b,0), the default, runs until $(b,q) or \
+             interrupt) — what the smoke tests use on a non-TTY.")
+  in
+  let run () host port interval frames =
+    match Client.connect ~host ~port () with
+    | Error e ->
+      Format.eprintf "mechaverify: %s@." (Client.error_string e);
+      exit 4
+    | Ok ep ->
+      let tty = Unix.isatty Unix.stdout in
+      with_raw_stdin (fun () ->
+          let rec loop n =
+            let buf = Buffer.create 2048 in
+            (* clear-and-home on a TTY, plain appended frames otherwise *)
+            if tty then Buffer.add_string buf "\x1b[2J\x1b[H";
+            render buf ep;
+            if tty then Buffer.add_string buf "\n[q] quit   [space] refresh now\n";
+            print_string (Buffer.contents buf);
+            flush stdout;
+            if frames > 0 && n >= frames then ()
+            else match wait_key interval with `Quit -> () | `Tick -> loop (n + 1)
+          in
+          loop 1);
+      exit 0
+  in
+  let doc =
+    "Live terminal dashboard for a running daemon: tenant queues, in-flight jobs, cache \
+     hit rate, per-stage SLO burn and quarantine, refreshed from $(b,/v1/stats), \
+     $(b,/v1/slo) and $(b,/metrics).  Keys: $(b,q) quits, $(b,space) refreshes now."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ obs_t $ host_t
+      $ port_t ~default:8484 ~doc:"Daemon port."
+      $ interval_t $ frames_t)
 
 let main_cmd =
   let doc =
@@ -1112,7 +1363,7 @@ let main_cmd =
   Cmd.group (Cmd.info "mechaverify" ~version:"1.0.0" ~doc)
     [
       railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd;
-      export_cmd; serve_cmd; submit_cmd; probe_cmd; chaos_proxy_cmd;
+      export_cmd; serve_cmd; submit_cmd; probe_cmd; top_cmd; chaos_proxy_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

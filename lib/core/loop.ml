@@ -334,7 +334,9 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
      [`Continue] with the enriched model. *)
   let step model index records =
     let closure =
-      timed closure_seconds ~name:"loop.closure" (fun () ->
+      timed closure_seconds ~name:"loop.closure"
+        ~args:[ ("iteration", Trace.Int index) ]
+        (fun () ->
           on_closure ~model
             ~compute:(fun () ->
               if not (incremental && !inc_live) then
@@ -374,7 +376,9 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
        one of the deadlocks the chaotic closure also induces. *)
     let formulas = [ weakened; Ctl.deadlock_free ] in
     let product, outcome =
-      timed check_seconds ~name:"loop.check" (fun () ->
+      timed check_seconds ~name:"loop.check"
+        ~args:[ ("iteration", Trace.Int index) ]
+        (fun () ->
           let product, prod_stats =
             match (incremental && !inc_live, !chaos_inc) with
             | true, Some inc ->

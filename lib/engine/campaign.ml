@@ -255,7 +255,14 @@ let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false
     }
 
 let run_spec ?cache ?incremental ?incremental_debug (spec : spec) : outcome =
-  Trace.with_span ~name:"campaign.job" ~args:[ ("id", Trace.Str spec.id) ] (fun () ->
+  Trace.with_span ~name:"campaign.job"
+    ~args:
+      [
+        ("id", Trace.Str spec.id);
+        ("family", Trace.Str spec.family);
+        ("seed", Trace.Int spec.seed);
+      ]
+    (fun () ->
       run_spec_unobserved ?cache ?incremental ?incremental_debug spec)
 
 let run ?(jobs = 1) ?cache ?(memo = true) ?incremental ?incremental_debug specs =

@@ -1,0 +1,39 @@
+(* The current request id is domain-local: a handler domain serves one
+   request at a time and a worker domain runs one job at a time, so "the
+   request this domain is working for" is exactly a DLS slot.  Crossing a
+   domain boundary (handler -> scheduler queue -> worker) is explicit: the
+   id travels in the job record and the worker re-establishes it. *)
+let key : string option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get key)
+
+let set id = Domain.DLS.get key := id
+
+let with_current id f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := id;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let with_id id f = with_current (Some id) f
+
+(* -- minting ---------------------------------------------------------------- *)
+
+let serial = Atomic.make 0
+
+(* splitmix64-style finalizer: cheap, and the inputs (wall clock, pid,
+   domain, a process-wide serial) already make collisions implausible *)
+let mix x =
+  let open Int64 in
+  let x = mul x 0xff51afd7ed558ccdL in
+  let x = logxor x (shift_right_logical x 33) in
+  let x = mul x 0xc4ceb9fe1a85ec53L in
+  logxor x (shift_right_logical x 33)
+
+let fresh () =
+  let c = Atomic.fetch_and_add serial 1 in
+  let salt =
+    (Unix.getpid () lsl 24) lxor (c lsl 4) lxor (Domain.self () :> int)
+  in
+  let seed = Int64.logxor (Int64.bits_of_float (Unix.gettimeofday ())) (Int64.of_int salt) in
+  Printf.sprintf "%016Lx" (mix seed)

@@ -1,0 +1,33 @@
+(** The trace context: which request the current domain is working for.
+
+    A request id is minted at the client or at admission, carried across the
+    service explicitly (HTTP header, wire field, scheduler job), and
+    re-established per domain through this module.  While set, {!Trace}
+    stamps every span and instant with a [trace] argument and {!Flight}
+    stamps every recorded event, so one submission's whole causal chain —
+    request handling, scheduling, verification stages, verdicts — can be
+    filtered out of a trace or a flight dump by one id.
+
+    The context is domain-local ([Domain.DLS]): setting it in a handler
+    domain does not leak into workers, and a worker re-establishing it for a
+    job cannot clobber another domain's request. *)
+
+val fresh : unit -> string
+(** Mint a new id: 16 lowercase hex characters, unique across domains and
+    (practically) across processes.  The alphabet is WAL- and URL-safe. *)
+
+val current : unit -> string option
+(** The calling domain's current request id, if any. *)
+
+val set : string option -> unit
+(** Set (or clear, with [None]) the calling domain's request id.  Prefer
+    {!with_id}/{!with_current}, which restore the previous value. *)
+
+val with_id : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the given id as the domain's context; the previous
+    context is restored afterwards, whether the thunk returns or raises. *)
+
+val with_current : string option -> (unit -> 'a) -> 'a
+(** Like {!with_id} but also able to run with an explicitly empty context
+    ([None]) — how a worker keeps an untraced job from inheriting the id of
+    whatever job it ran before. *)

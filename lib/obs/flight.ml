@@ -1,0 +1,115 @@
+(* A fixed-size lock-free flight recorder.
+
+   Writers claim a global ticket with [Atomic.fetch_and_add], render the
+   event to its final JSON line immediately (so a dump never has to chase
+   live pointers), and publish it into slot [ticket mod size] with a CAS
+   loop that refuses to replace a younger ticket.  Each slot holds one
+   immutable [(ticket, line)] pair behind one [Atomic.t], so readers can
+   never observe a torn event, and the ring is bounded by construction:
+   at any instant the surviving tickets are exactly the newest ones. *)
+
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let is_enabled () = Atomic.get on
+
+let default_size = 512
+
+type ring = { slots : (int * string) option Atomic.t array; next : int Atomic.t }
+
+let make_ring size =
+  { slots = Array.init (max 1 size) (fun _ -> Atomic.make None); next = Atomic.make 0 }
+
+let ring = Atomic.make (make_ring default_size)
+
+let configure ~size = Atomic.set ring (make_ring size)
+
+let size () = Array.length (Atomic.get ring).slots
+
+let recorded () = Atomic.get (Atomic.get ring).next
+
+let reset () = configure ~size:(size ())
+
+(* Fixed six-decimal seconds without Printf: format interpretation would
+   dominate the whole event.  The [1_000_000 + frac] trick yields the
+   zero-padded fraction as digits 1..6 of a seven-digit integer. *)
+let add_ts b t =
+  let us = int_of_float ((t *. 1e6) +. 0.5) in
+  Buffer.add_string b (string_of_int (us / 1_000_000));
+  Buffer.add_char b '.';
+  Buffer.add_substring b (string_of_int (1_000_000 + (us mod 1_000_000))) 1 6
+
+(* Events are rendered straight into a buffer — one pass, no intermediate
+   [Json.t] — because recording happens on the request path; [Json] is still
+   the reader's contract (every line parses). *)
+let render ~seq ~kind ~trace fields =
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{\"ts\":";
+  add_ts b (Clock.wall ());
+  Buffer.add_string b ",\"seq\":";
+  Buffer.add_string b (string_of_int seq);
+  Buffer.add_string b ",\"kind\":\"";
+  Json.escape_into b kind;
+  Buffer.add_char b '"';
+  (match trace with
+  | Some id ->
+    Buffer.add_string b ",\"trace\":\"";
+    Json.escape_into b id;
+    Buffer.add_char b '"'
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      Json.escape_into b k;
+      Buffer.add_string b "\":";
+      Buffer.add_string b (Json.to_string v))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let event ~kind ?trace ?(fields = []) () =
+  if Atomic.get on then begin
+    let r = Atomic.get ring in
+    let seq = Atomic.fetch_and_add r.next 1 in
+    let trace = match trace with Some _ as t -> t | None -> Context.current () in
+    let line = render ~seq ~kind ~trace fields in
+    let slot = r.slots.(seq mod Array.length r.slots) in
+    let rec publish () =
+      match Atomic.get slot with
+      | Some (seq', _) when seq' > seq -> ()
+      | cur -> if not (Atomic.compare_and_set slot cur (Some (seq, line))) then publish ()
+    in
+    publish ()
+  end
+
+let entries () =
+  let r = Atomic.get ring in
+  Array.to_list r.slots
+  |> List.filter_map Atomic.get
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let dump () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (_, line) ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    (entries ());
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write ~path =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (dump ());
+  close_out oc;
+  Sys.rename tmp path
+
+let install_signal_dump ?(signal = Sys.sigquit) ~path () =
+  Sys.set_signal signal (Sys.Signal_handle (fun _ -> try write ~path with _ -> ()))

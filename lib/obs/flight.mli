@@ -1,0 +1,57 @@
+(** A crash-safe flight recorder: a fixed-size lock-free ring of recent
+    structured events, dumped as ndjson.
+
+    The service records the events a post-mortem needs — admissions,
+    verdicts, watchdog kills, quarantine strikes, HTTP errors — into the
+    ring as pre-rendered JSON lines.  Recording is wait-free apart from one
+    bounded CAS loop, allocation-light, and safe from any domain; reading
+    the ring back never blocks writers.  Because events are rendered at
+    record time, a dump taken from a signal handler or a panic path sees
+    only immutable strings.
+
+    Each line carries [ts] (wall seconds), [seq] (a global, strictly
+    increasing ticket — the total order of recording), [kind], the current
+    {!Context} trace id when one is set, and the caller's fields. *)
+
+val default_size : int
+(** Ring slots before any {!configure}: 512. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+(** Recording is off by default; [event] is a single atomic load when
+    disabled. *)
+
+val configure : size:int -> unit
+(** Replace the ring with a fresh one of [size] slots (clamped to ≥ 1).
+    Clears previously recorded events.  Default size is 512. *)
+
+val size : unit -> int
+
+val event : kind:string -> ?trace:string -> ?fields:(string * Json.t) list -> unit -> unit
+(** Record one event.  [trace] overrides the ambient {!Context.current}
+    (needed when recording on behalf of a job from another domain, e.g. a
+    watchdog kill).  No-op while disabled. *)
+
+val recorded : unit -> int
+(** Total events recorded into the current ring since it was configured —
+    may exceed {!size}; only the newest {!size} survive. *)
+
+val entries : unit -> (int * string) list
+(** The surviving events, oldest first: [(seq, ndjson line)] pairs. *)
+
+val dump : unit -> string
+(** The surviving events as ndjson, oldest first, one event per line. *)
+
+val write : path:string -> unit
+(** Atomically write {!dump} to [path] (via a temp file + rename), creating
+    parent directories as needed. *)
+
+val install_signal_dump : ?signal:int -> path:string -> unit -> unit
+(** Install a signal handler (default [SIGQUIT]) that writes the flight
+    dump to [path].  Errors during the dump are swallowed — the recorder
+    must never turn a diagnostic signal into a crash. *)
+
+val reset : unit -> unit
+(** Clear the ring, keeping its size. *)

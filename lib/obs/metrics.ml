@@ -166,6 +166,35 @@ let histogram_sum h = with_hist h (fun () -> h.sum)
 
 let histogram_count h = with_hist h (fun () -> h.total)
 
+(* Prometheus [histogram_quantile] semantics: find the first bucket whose
+   cumulative count reaches q*total and interpolate linearly inside it.  The
+   first bucket's lower bound is taken as 0; a quantile landing in the +Inf
+   overflow bucket reports the highest finite bound — the histogram cannot
+   say more. *)
+let quantile h q =
+  let q = Float.max 0. (Float.min 1. q) in
+  with_hist h (fun () ->
+      let nb = Array.length h.bounds in
+      if h.total = 0 then 0.
+      else begin
+        let target = q *. float_of_int h.total in
+        let rec go i cum =
+          if i >= nb then h.bounds.(nb - 1)
+          else begin
+            let cum' = cum + h.counts.(i) in
+            if float_of_int cum' >= target then begin
+              let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+              let hi = h.bounds.(i) in
+              if h.counts.(i) = 0 then hi
+              else
+                lo +. ((hi -. lo) *. ((target -. float_of_int cum) /. float_of_int h.counts.(i)))
+            end
+            else go (i + 1) cum'
+          end
+        in
+        go 0 0
+      end)
+
 let bucket_counts h =
   with_hist h (fun () ->
       List.init

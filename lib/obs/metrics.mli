@@ -69,6 +69,13 @@ val bucket_counts : histogram -> (float * int) list
 (** Per-bucket (non-cumulative) counts, one pair per upper bound, the
     [+Inf] overflow bucket last as [(infinity, n)]. *)
 
+val quantile : histogram -> float -> float
+(** Estimate the [q]-quantile ([q] clamped to [0,1]) with the Prometheus
+    [histogram_quantile] rule: linear interpolation within the bucket where
+    the cumulative count crosses [q*total], the first bucket starting at 0.
+    A quantile in the [+Inf] overflow bucket reports the highest finite
+    bound; an empty histogram reports 0. *)
+
 (** {1 Export} *)
 
 val to_prometheus : unit -> string

@@ -14,10 +14,27 @@ let disable () = Atomic.set enabled false
 
 let is_enabled () = Atomic.get enabled
 
+(* Events are recorded as compact structures — name, phase, timestamps and
+   the argument list as given — and rendered to JSON only at export time.
+   Rendering at record time costs microseconds per span (buffer churn,
+   number formatting); deferring it leaves the hot path at two clock reads
+   and a couple of small allocations, which is what lets instrumentation
+   stay on per-iteration paths.  Timestamps and durations are kept as
+   tenths of microseconds in plain ints — the clock's own resolution, and
+   unboxed in the record where floats would not be.  [ev_dur] is meaningful
+   only for complete ("X") events; instant events render without it. *)
+type event = {
+  ev_name : string;
+  ev_ph : string;
+  ev_ts : int;
+  ev_dur : int;
+  ev_args : (string * arg) list;
+}
+
 (* One buffer per domain.  A domain only ever appends to its own buffer
    (reached through domain-local storage), so recording takes no lock; the
    global registry is locked only when a domain records its first span. *)
-type buffer = { tid : int; mutable events : string list; mutable count : int }
+type buffer = { tid : int; mutable events : event list; mutable count : int }
 
 let registry_mutex = Mutex.create ()
 
@@ -32,6 +49,8 @@ let key =
       b)
 
 let now_us () = (Clock.wall () -. Atomic.get epoch) *. 1e6
+
+let tenths_of_us us = int_of_float ((us *. 10.) +. 0.5)
 
 let render_arg b (k, v) =
   Buffer.add_char b '"';
@@ -53,53 +72,60 @@ let render_arg b (k, v) =
 (* Timestamps carry one decimal digit of microseconds — the clock's own
    resolution — rendered without going through Printf: format
    interpretation costs more than the rest of the event put together. *)
-let add_us b us =
-  let tenths = int_of_float ((us *. 10.) +. 0.5) in
+let add_tenths b tenths =
   Buffer.add_string b (string_of_int (tenths / 10));
   Buffer.add_char b '.';
   Buffer.add_string b (string_of_int (tenths mod 10))
 
-(* Events are rendered to their final JSON at record time: no retained
-   structure, and export is a concatenation. *)
-let render ~name ~ph ~tid ~ts_us ~dur_us ~args =
-  let b = Buffer.create 128 in
+let render_into b ~tid ev =
   Buffer.add_string b "{\"name\":\"";
-  Json.escape_into b name;
+  Json.escape_into b ev.ev_name;
   Buffer.add_string b "\",\"ph\":\"";
-  Buffer.add_string b ph;
+  Buffer.add_string b ev.ev_ph;
   Buffer.add_string b "\",\"pid\":1,\"tid\":";
   Buffer.add_string b (string_of_int tid);
   Buffer.add_string b ",\"ts\":";
-  add_us b ts_us;
-  (match dur_us with
-  | Some d ->
+  add_tenths b ev.ev_ts;
+  if ev.ev_ph = "X" then begin
     Buffer.add_string b ",\"dur\":";
-    add_us b d
-  | None -> ());
-  if args <> [] then begin
+    add_tenths b ev.ev_dur
+  end;
+  if ev.ev_args <> [] then begin
     Buffer.add_string b ",\"args\":{";
     List.iteri
       (fun i kv ->
         if i > 0 then Buffer.add_char b ',';
         render_arg b kv)
-      args;
+      ev.ev_args;
     Buffer.add_char b '}'
   end;
-  Buffer.add_char b '}';
-  Buffer.contents b
+  Buffer.add_char b '}'
 
 let record buf ev =
   buf.events <- ev :: buf.events;
   buf.count <- buf.count + 1
 
+(* Every event recorded while a request context is set carries the request
+   id, so one submission's spans can be filtered out of a trace without any
+   caller plumbing the id through explicitly. *)
+let stamp args =
+  match Context.current () with Some id -> ("trace", Str id) :: args | None -> args
+
 let with_span ?(args = []) ~name f =
   if not (Atomic.get enabled) then f ()
   else begin
+    let args = stamp args in
     let buf = Domain.DLS.get key in
     let t0 = now_us () in
     let close () =
       record buf
-        (render ~name ~ph:"X" ~tid:buf.tid ~ts_us:t0 ~dur_us:(Some (now_us () -. t0)) ~args)
+        {
+          ev_name = name;
+          ev_ph = "X";
+          ev_ts = tenths_of_us t0;
+          ev_dur = tenths_of_us (now_us () -. t0);
+          ev_args = args;
+        }
     in
     match f () with
     | v ->
@@ -113,17 +139,24 @@ let with_span ?(args = []) ~name f =
 
 let complete ?(args = []) ~name ~start_us () =
   if Atomic.get enabled then begin
+    let args = stamp args in
     let buf = Domain.DLS.get key in
     record buf
-      (render ~name ~ph:"X" ~tid:buf.tid ~ts_us:start_us
-         ~dur_us:(Some (now_us () -. start_us))
-         ~args)
+      {
+        ev_name = name;
+        ev_ph = "X";
+        ev_ts = tenths_of_us start_us;
+        ev_dur = tenths_of_us (now_us () -. start_us);
+        ev_args = args;
+      }
   end
 
 let instant ?(args = []) ~name () =
   if Atomic.get enabled then begin
+    let args = stamp args in
     let buf = Domain.DLS.get key in
-    record buf (render ~name ~ph:"i" ~tid:buf.tid ~ts_us:(now_us ()) ~dur_us:None ~args)
+    record buf
+      { ev_name = name; ev_ph = "i"; ev_ts = tenths_of_us (now_us ()); ev_dur = 0; ev_args = args }
   end
 
 let snapshot () =
@@ -135,16 +168,18 @@ let snapshot () =
 let span_count () = List.fold_left (fun acc b -> acc + b.count) 0 (snapshot ())
 
 let export () =
-  let events =
-    List.concat_map (fun b -> List.rev b.events) (List.rev (snapshot ()))
-  in
   let out = Buffer.create 4096 in
   Buffer.add_string out "[";
-  List.iteri
-    (fun i ev ->
-      Buffer.add_string out (if i = 0 then "\n" else ",\n");
-      Buffer.add_string out ev)
-    events;
+  let first = ref true in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ev ->
+          Buffer.add_string out (if !first then "\n" else ",\n");
+          first := false;
+          render_into out ~tid:b.tid ev)
+        (List.rev b.events))
+    (List.rev (snapshot ()));
   Buffer.add_string out "\n]\n";
   Buffer.contents out
 

@@ -29,7 +29,11 @@ val with_span : ?args:(string * arg) list -> name:string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  The span closes (and is recorded) whether
     the thunk returns or raises.  Nesting is expressed by containment of the
     [ts, ts+dur] intervals on one thread id, exactly how the Chrome viewers
-    reconstruct it. *)
+    reconstruct it.
+
+    When the recording domain has a {!Context} request id set, the span (and
+    likewise [instant] and [complete] events) automatically carries a
+    ["trace"] argument with that id. *)
 
 val instant : ?args:(string * arg) list -> name:string -> unit -> unit
 (** Record a zero-duration instant event (a point-in-time marker). *)

@@ -1,3 +1,4 @@
+module Context = Mechaml_obs.Context
 module Json = Mechaml_obs.Json
 module Campaign = Mechaml_engine.Campaign
 
@@ -44,6 +45,14 @@ let get ?io_timeout_s ep path =
       let head = Http.read_response_head c in
       Ok (head.Http.status, Http.read_body c head))
 
+let get_traced ?io_timeout_s ?request_id ep path =
+  let rid = match request_id with Some r -> r | None -> Context.fresh () in
+  with_conn ?io_timeout_s ep (fun c ->
+      Http.write_request c ~meth:"GET" ~path ~headers:[ ("x-request-id", rid) ] "";
+      let head = Http.read_response_head c in
+      let echoed = Http.resp_header head "x-request-id" in
+      Ok (head.Http.status, Http.read_body c head, echoed))
+
 let connect ?(host = "127.0.0.1") ~port () =
   let ep = { host; port } in
   match get ep "/healthz" with
@@ -58,15 +67,29 @@ let metrics ep =
   | Error _ as e -> e
 
 let submit ep ?(tenant = "anon") ?(tiny = false) ?select ?ids ?key ?deadline_s
-    ?io_timeout_s ?on_event () =
+    ?request_id ?on_request_id ?io_timeout_s ?on_event () =
+  (* the trace id is minted here, at the client, unless the caller brings
+     one; it travels both as a header (echoed on the response, even on
+     errors) and as a wire field (into the WAL accept record) *)
+  let rid = match request_id with Some r -> r | None -> Context.fresh () in
   with_conn ?io_timeout_s ep (fun c ->
       let body =
-        Json.to_string (Wire.encode_submit (Wire.submit ~tiny ?select ?ids ?key ?deadline_s ()))
+        Json.to_string
+          (Wire.encode_submit
+             (Wire.submit ~tiny ?select ?ids ?key ?deadline_s ~request_id:rid ()))
       in
       Http.write_request c ~meth:"POST" ~path:"/v1/campaign"
-        ~headers:[ ("content-type", "application/json"); ("x-tenant", tenant) ]
+        ~headers:
+          [
+            ("content-type", "application/json");
+            ("x-tenant", tenant);
+            ("x-request-id", rid);
+          ]
         body;
       let head = Http.read_response_head c in
+      Option.iter
+        (fun f -> f (Option.value (Http.resp_header head "x-request-id") ~default:rid))
+        on_request_id;
       if head.Http.status = 429 then begin
         let retry =
           match Http.resp_header head "retry-after" with
@@ -170,7 +193,11 @@ let retryable = function
   | Http_error _ -> false
 
 let submit_with_retry ep ?(attempts = 10) ?(tenant = "anon") ?(tiny = false) ?select ?ids
-    ~key ?deadline_s ?(io_timeout_s = 30.) ?on_event () =
+    ~key ?deadline_s ?request_id ?on_request_id ?(io_timeout_s = 30.) ?on_event () =
+  (* mint the trace id once, outside the retry loop: every attempt of the
+     same logical request carries the same id, so the daemon's WAL and
+     flight recorder show retries as one correlated story *)
+  let rid = match request_id with Some r -> r | None -> Context.fresh () in
   let rec go attempt backoff =
     let retry e backoff_floor =
       if attempt >= attempts then Error e
@@ -179,7 +206,10 @@ let submit_with_retry ep ?(attempts = 10) ?(tenant = "anon") ?(tiny = false) ?se
         go (attempt + 1) (Float.min 10. (backoff *. 2.))
       end
     in
-    match submit ep ~tenant ~tiny ?select ?ids ~key ?deadline_s ~io_timeout_s ?on_event () with
+    match
+      submit ep ~tenant ~tiny ?select ?ids ~key ?deadline_s ~request_id:rid
+        ?on_request_id ~io_timeout_s ?on_event ()
+    with
     | Ok _ as ok -> ok
     | Error (Busy retry_after) -> retry (Busy retry_after) retry_after
     | Error e when not (retryable e) -> Error e

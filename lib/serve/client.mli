@@ -28,6 +28,8 @@ val submit :
   ?ids:string list ->
   ?key:string ->
   ?deadline_s:float ->
+  ?request_id:string ->
+  ?on_request_id:(string -> unit) ->
   ?io_timeout_s:float ->
   ?on_event:(Wire.event -> unit) ->
   unit ->
@@ -38,7 +40,13 @@ val submit :
     socket read/write (a dead daemon surfaces as [Connection], not a hang).
     [on_event] sees each {!Wire.event} as it arrives (progress reporting);
     the returned outcomes are in matrix order, exactly what
-    {!Mechaml_engine.Campaign.run} would have produced for the same specs. *)
+    {!Mechaml_engine.Campaign.run} would have produced for the same specs.
+
+    The submission's trace id is [request_id] when given (must satisfy
+    {!Wire.valid_key}), otherwise minted via {!Mechaml_obs.Context.fresh}.
+    It is sent both as the [X-Request-Id] header and as the wire-level
+    [request_id] field, and [on_request_id] (if any) receives the id the
+    daemon echoed back — quote it when reporting a problem. *)
 
 val submit_with_retry :
   endpoint ->
@@ -49,6 +57,8 @@ val submit_with_retry :
   ?ids:string list ->
   key:string ->
   ?deadline_s:float ->
+  ?request_id:string ->
+  ?on_request_id:(string -> unit) ->
   ?io_timeout_s:float ->
   ?on_event:(Wire.event -> unit) ->
   unit ->
@@ -60,7 +70,9 @@ val submit_with_retry :
     verdicts the daemon already holds; a resubmission with the same key
     attaches to the original jobs instead of re-running them, so the work
     executes exactly once no matter how many times the connection dies.
-    Non-retryable errors (4xx other than 408/429) are returned as-is. *)
+    Non-retryable errors (4xx other than 408/429) are returned as-is.
+    The trace id is minted once, before the first attempt, so every retry
+    of the same logical request correlates under one id. *)
 
 val job_status :
   ?io_timeout_s:float -> endpoint -> string -> (Wire.job_status option, error) result
@@ -69,6 +81,17 @@ val job_status :
 
 val get : ?io_timeout_s:float -> endpoint -> string -> (int * string, error) result
 (** One [GET] request; returns status and body.  For [/v1/stats] and tests. *)
+
+val get_traced :
+  ?io_timeout_s:float ->
+  ?request_id:string ->
+  endpoint ->
+  string ->
+  (int * string * string option, error) result
+(** Like {!get}, but sends an [X-Request-Id] header ([request_id] when
+    given, minted otherwise) and additionally returns the id the daemon
+    echoed back on the response — [None] only if the peer is not this
+    daemon.  Used by [mechaverify probe --get]. *)
 
 val metrics : endpoint -> (string, error) result
 (** Scrape [GET /metrics]; [Ok] is the Prometheus text body. *)

@@ -15,6 +15,10 @@ type conn = {
   mutable rlen : int;
   read_timeout : float option;
   write_timeout : float option;
+  (* server-side headers stamped on whatever response this connection ends
+     up sending — set before the request is even parsed, so error responses
+     (400/408/500) carry them too *)
+  mutable stamped : (string * string) list;
 }
 
 let conn ?read_timeout_s ?write_timeout_s fd =
@@ -25,7 +29,12 @@ let conn ?read_timeout_s ?write_timeout_s fd =
     rlen = 0;
     read_timeout = read_timeout_s;
     write_timeout = write_timeout_s;
+    stamped = [];
   }
+
+let set_response_header c name value =
+  let name = String.lowercase_ascii name in
+  c.stamped <- (name, value) :: List.remove_assoc name c.stamped
 
 let fd c = c.cfd
 
@@ -201,16 +210,22 @@ let head ~status headers =
   Buffer.add_string b "\r\n";
   Buffer.contents b
 
+(* caller-supplied headers win over stamped ones of the same name *)
+let with_stamped c headers =
+  List.filter (fun (k, _) -> not (List.mem_assoc k headers)) (List.rev c.stamped) @ headers
+
 let respond c ~status ?(headers = []) body =
   let headers =
-    headers
+    with_stamped c headers
     @ [ ("content-length", string_of_int (String.length body)); ("connection", "close") ]
   in
   write_all c (head ~status headers);
   write_all c body
 
 let start_chunked c ~status ?(headers = []) () =
-  let headers = headers @ [ ("transfer-encoding", "chunked"); ("connection", "close") ] in
+  let headers =
+    with_stamped c headers @ [ ("transfer-encoding", "chunked"); ("connection", "close") ]
+  in
   write_all c (head ~status headers)
 
 let chunk c s =

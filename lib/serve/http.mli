@@ -37,6 +37,14 @@ val fd : conn -> Unix.file_descr
 val close : conn -> unit
 (** Close the underlying descriptor (idempotent; errors ignored). *)
 
+val set_response_header : conn -> string -> string -> unit
+(** Stamp a header (name lowercased; last value per name wins) onto every
+    response this connection subsequently sends via {!respond} or
+    {!start_chunked} — including error responses written by catch-all
+    handlers that never saw the request.  How [X-Request-Id] reaches 400,
+    408 and 500 replies.  Headers passed explicitly to {!respond} /
+    {!start_chunked} win over stamped ones of the same name. *)
+
 (** {1 Requests (server side)} *)
 
 type request = {

@@ -1,3 +1,5 @@
+module Context = Mechaml_obs.Context
+module Flight = Mechaml_obs.Flight
 module Json = Mechaml_obs.Json
 module Metrics = Mechaml_obs.Metrics
 module Trace = Mechaml_obs.Trace
@@ -28,6 +30,7 @@ type ctx = {
   cache : Cache.t;
   sched : Scheduler.t;
   store : Store.t;
+  slo : Slo.t;
   started_at : float;
 }
 
@@ -44,6 +47,9 @@ let json_response conn ~status v =
 
 let error_response conn ~status ?(headers = []) msg =
   Metrics.incr m_http_errors;
+  Flight.event ~kind:"http_error"
+    ~fields:[ ("status", Json.Num (float_of_int status)); ("error", Json.Str msg) ]
+    ();
   Http.respond conn ~status
     ~headers:(("content-type", "application/json") :: headers)
     (Json.to_string (Json.Obj [ ("error", Json.Str msg) ]) ^ "\n")
@@ -97,7 +103,8 @@ let stats_body ctx =
    the write raises; the jobs keep running and their verdicts stay in the
    store — a reconnect with the same idempotency key attaches to the entry
    and replays everything from the start without re-running a single job. *)
-let campaign ctx conn (req : Http.request) =
+let campaign ctx conn (req : Http.request) ~request_id =
+  let t_admit = Unix.gettimeofday () in
   match Json.parse req.Http.body with
   | Error e -> error_response conn ~status:400 ("invalid JSON body: " ^ e)
   | Ok body -> (
@@ -105,6 +112,9 @@ let campaign ctx conn (req : Http.request) =
     | Error e -> error_response conn ~status:400 e
     | Ok sub -> (
       let tenant = Option.value (Http.header req "x-tenant") ~default:"anon" in
+      (* the header id (or the minted one already echoed to the client) is
+         the submission's trace id; it rides into the WAL accept record *)
+      let sub = { sub with Wire.request_id = Some request_id } in
       match Store.submit ctx.store ~tenant sub with
       | Error (Store.Invalid e) -> error_response conn ~status:400 e
       | Error (Store.Rejected (Scheduler.Busy { retry_after_s })) ->
@@ -117,11 +127,26 @@ let campaign ctx conn (req : Http.request) =
       | Ok (entry, how) ->
         let n = Store.size entry in
         Metrics.incr m_campaigns;
+        Slo.observe ctx.slo ~tenant ~stage:"admission" (Unix.gettimeofday () -. t_admit);
+        Flight.event ~kind:"admission"
+          ~fields:
+            [
+              ("key", Json.Str (Store.key entry));
+              ("tenant", Json.Str tenant);
+              ("jobs", Json.Num (float_of_int n));
+              ( "how",
+                Json.Str (match how with `Fresh -> "fresh" | `Attached -> "attached") );
+            ]
+          ();
         Log.info (fun m ->
             m "serve: %s %d jobs from tenant %s (key %s)"
               (match how with `Fresh -> "accepted" | `Attached -> "re-attached")
               n tenant (Store.key entry));
-        let send ev = Http.chunk conn (Json.to_string (Wire.encode_event ev) ^ "\n") in
+        let send ev =
+          Http.chunk conn
+            (Json.to_string (Wire.encode_event ~request_id ev) ^ "\n")
+        in
+        let t_stream = Unix.gettimeofday () in
         Http.start_chunked conn ~status:200
           ~headers:[ ("content-type", "application/x-ndjson") ]
           ();
@@ -142,7 +167,8 @@ let campaign ctx conn (req : Http.request) =
                cache_entries = cs.Cache.entries;
                cache_hit_rate = Cache.hit_rate cs;
              });
-        Http.finish_chunked conn))
+        Http.finish_chunked conn;
+        Slo.observe ctx.slo ~tenant ~stage:"stream" (Unix.gettimeofday () -. t_stream)))
 
 (* -- GET /v1/jobs/<key> ----------------------------------------------------- *)
 
@@ -155,27 +181,48 @@ let job_status ctx conn key =
 
 let jobs_prefix = "/v1/jobs/"
 
+let known_path p path =
+  path = "/healthz" || path = "/metrics" || path = "/v1/stats" || path = "/v1/slo"
+  || path = "/v1/debug/flight" || path = "/v1/campaign"
+  || (String.length path > p && String.sub path 0 p = jobs_prefix)
+
 let handle ctx conn (req : Http.request) =
   Metrics.incr m_requests;
-  Trace.with_span ~name:"serve.request"
-    ~args:[ ("method", Trace.Str req.Http.meth); ("path", Trace.Str req.Http.path) ]
-    (fun () ->
-      let p = String.length jobs_prefix in
-      match (req.Http.meth, req.Http.path) with
-      | "GET", "/healthz" ->
-        Http.respond conn ~status:200 ~headers:[ ("content-type", "text/plain") ] "ok\n"
-      | "GET", "/metrics" ->
-        refresh_gauges ctx;
-        Http.respond conn ~status:200
-          ~headers:[ ("content-type", "text/plain; version=0.0.4") ]
-          (Metrics.to_prometheus ())
-      | "GET", "/v1/stats" -> json_response conn ~status:200 (stats_body ctx)
-      | "POST", "/v1/campaign" -> campaign ctx conn req
-      | "GET", path when String.length path > p && String.sub path 0 p = jobs_prefix ->
-        job_status ctx conn (String.sub path p (String.length path - p))
-      | _, path
-        when path = "/healthz" || path = "/metrics" || path = "/v1/stats"
-             || path = "/v1/campaign"
-             || (String.length path > p && String.sub path 0 p = jobs_prefix) ->
-        error_response conn ~status:405 "method not allowed"
-      | _ -> error_response conn ~status:404 "no such endpoint")
+  (* A client-supplied X-Request-Id (validated: it travels into WAL lines
+     and log output) is adopted as the trace id; otherwise one is minted
+     here, at admission.  Either way it is stamped onto the response before
+     any routing, so even a 4xx carries it. *)
+  let request_id =
+    match Http.header req "x-request-id" with
+    | Some r when Wire.valid_key r -> r
+    | _ -> Context.fresh ()
+  in
+  Http.set_response_header conn "x-request-id" request_id;
+  Context.with_id request_id (fun () ->
+      Trace.with_span ~name:"serve.request"
+        ~args:[ ("method", Trace.Str req.Http.meth); ("path", Trace.Str req.Http.path) ]
+        (fun () ->
+          let p = String.length jobs_prefix in
+          match (req.Http.meth, req.Http.path) with
+          | "GET", "/healthz" ->
+            Http.respond conn ~status:200
+              ~headers:[ ("content-type", "text/plain") ]
+              "ok\n"
+          | "GET", "/metrics" ->
+            refresh_gauges ctx;
+            Http.respond conn ~status:200
+              ~headers:[ ("content-type", "text/plain; version=0.0.4") ]
+              (Metrics.to_prometheus ())
+          | "GET", "/v1/stats" -> json_response conn ~status:200 (stats_body ctx)
+          | "GET", "/v1/slo" -> json_response conn ~status:200 (Slo.view ctx.slo)
+          | "GET", "/v1/debug/flight" ->
+            Http.respond conn ~status:200
+              ~headers:[ ("content-type", "application/x-ndjson") ]
+              (Flight.dump ())
+          | "POST", "/v1/campaign" -> campaign ctx conn req ~request_id
+          | "GET", path when String.length path > p && String.sub path 0 p = jobs_prefix
+            ->
+            job_status ctx conn (String.sub path p (String.length path - p))
+          | _, path when known_path p path ->
+            error_response conn ~status:405 "method not allowed"
+          | _ -> error_response conn ~status:404 "no such endpoint"))

@@ -1,3 +1,6 @@
+module Context = Mechaml_obs.Context
+module Flight = Mechaml_obs.Flight
+module Json = Mechaml_obs.Json
 module Log = Mechaml_obs.Log
 module Metrics = Mechaml_obs.Metrics
 module Trace = Mechaml_obs.Trace
@@ -28,15 +31,23 @@ type job = {
   on_deadline : unit -> unit;
   deadline_s : float option;
   abandoned : bool Atomic.t;
+  request_id : string option;
+      (** trace context re-established on the worker domain around [run] *)
+  on_dequeue : (float -> unit) option;
+      (** called with the queue wait (seconds) when the job is dispatched *)
+  mutable enqueued_at : float;  (** set at submission, under the lock *)
 }
 
-let job ?deadline_s ?(on_discard = Fun.id) ?on_deadline run =
+let job ?deadline_s ?(on_discard = Fun.id) ?on_deadline ?request_id ?on_dequeue run =
   {
     run;
     on_discard;
     on_deadline = Option.value on_deadline ~default:on_discard;
     deadline_s;
     abandoned = Atomic.make false;
+    request_id;
+    on_dequeue;
+    enqueued_at = 0.;
   }
 
 (* Discard/deadline callbacks unblock a client stream; one raising must
@@ -170,10 +181,16 @@ let worker t w () =
          time a client observes one the counter already covers its job *)
       Metrics.incr m_jobs;
       let t0 = Unix.gettimeofday () in
+      Option.iter
+        (fun f -> guarded_callback ~what:"dequeue" (fun () -> f (t0 -. j.enqueued_at)))
+        j.on_dequeue;
       (try
-         Trace.with_span ~name:"serve.job"
-           ~args:[ ("tenant", Trace.Str tnt.name); ("worker", Trace.Int w) ]
-           j.run
+         (* re-establish the submission's trace context on this domain, so
+            the job span and everything under it carry the request id *)
+         Context.with_current j.request_id (fun () ->
+             Trace.with_span ~name:"serve.job"
+               ~args:[ ("tenant", Trace.Str tnt.name); ("worker", Trace.Int w) ]
+               j.run)
        with e ->
          Log.warn (fun m ->
              m "scheduler: job for tenant %s raised %s" tnt.name (Printexc.to_string e)));
@@ -229,6 +246,9 @@ let watchdog t () =
       (fun (_, tenant, j) ->
         if Atomic.compare_and_set j.abandoned false true then begin
           Metrics.incr m_deadline_kills;
+          Flight.event ~kind:"watchdog_kill" ?trace:j.request_id
+            ~fields:[ ("tenant", Json.Str tenant) ]
+            ();
           Log.warn (fun m ->
               m "scheduler: job for tenant %s missed its deadline, abandoned" tenant);
           guarded_callback ~what:"deadline" j.on_deadline
@@ -295,7 +315,12 @@ let submit t ~tenant jobs =
         end
         else begin
           let tnt = tenant_of t tenant in
-          List.iter (fun job -> Queue.add job tnt.jobs) jobs;
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun job ->
+              job.enqueued_at <- now;
+              Queue.add job tnt.jobs)
+            jobs;
           t.queued <- t.queued + n;
           Metrics.set m_queue_depth (float_of_int t.queued);
           Condition.broadcast t.work;

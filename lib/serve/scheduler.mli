@@ -44,6 +44,8 @@ val job :
   ?deadline_s:float ->
   ?on_discard:(unit -> unit) ->
   ?on_deadline:(unit -> unit) ->
+  ?request_id:string ->
+  ?on_dequeue:(float -> unit) ->
   (unit -> unit) ->
   job
 (** A unit of work.  [on_discard] (default a no-op) fires if the job is
@@ -54,7 +56,14 @@ val job :
     computation itself keeps its worker until it returns — OCaml domains
     cannot be interrupted, so the submitter must treat the eventual real
     result as stale (first-write-wins).  A callback that raises is logged
-    and counted ([serve_discard_errors_total]), never fatal. *)
+    and counted ([serve_discard_errors_total]), never fatal.
+
+    [request_id] is the submission's trace id: the worker re-establishes it
+    as the domain's {!Mechaml_obs.Context} around the run, so the job span
+    and everything recorded beneath it carries the id, and a watchdog kill
+    is flight-recorded against it.  [on_dequeue] receives the queue wait in
+    seconds at dispatch — the hook the store uses to observe the [queue]
+    SLO stage. *)
 
 type rejection =
   | Busy of { retry_after_s : float }  (** queue bound hit *)

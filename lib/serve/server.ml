@@ -1,3 +1,6 @@
+module Context = Mechaml_obs.Context
+module Flight = Mechaml_obs.Flight
+module Json = Mechaml_obs.Json
 module Log = Mechaml_obs.Log
 module Metrics = Mechaml_obs.Metrics
 module Cache = Mechaml_engine.Cache
@@ -22,6 +25,10 @@ type config = {
   max_pending : int;
   quarantine_strikes : int option;
   quarantine_ttl_s : float option;
+  slo_thresholds : (string * float) list;
+  slo_objective : float option;
+  flight_size : int option;
+  flight_dump : string option;
 }
 
 let default =
@@ -42,6 +49,10 @@ let default =
     max_pending = 128;
     quarantine_strikes = None;
     quarantine_ttl_s = None;
+    slo_thresholds = [];
+    slo_objective = None;
+    flight_size = None;
+    flight_dump = None;
   }
 
 let m_overload_closed =
@@ -106,19 +117,35 @@ let acceptor srv () =
 
 let serve_conn ?io_timeout_s ctx fd =
   let c = Http.conn ?read_timeout_s:io_timeout_s ?write_timeout_s:io_timeout_s fd in
+  (* a provisional request id, stamped before the request is even parsed:
+     400/408/500 replies for requests that never reached the router still
+     echo an id the peer can report.  The router replaces it with the
+     client's own X-Request-Id when the request parses and carries one. *)
+  let rid = Context.fresh () in
+  Http.set_response_header c "x-request-id" rid;
   (try
      let req = Http.read_request c in
      Router.handle ctx c req
    with
   | Http.Closed -> ()
-  | Http.Bad msg -> ( try Http.respond c ~status:400 (msg ^ "\n") with _ -> ())
+  | Http.Bad msg ->
+    Flight.event ~kind:"http_error" ~trace:rid
+      ~fields:[ ("status", Json.Num 400.); ("error", Json.Str msg) ]
+      ();
+    (try Http.respond c ~status:400 (msg ^ "\n") with _ -> ())
   | Http.Timeout dir ->
     (* a stalled peer: answer 408 if the socket still accepts bytes, then
        close — the handler domain is free again within one timeout *)
+    Flight.event ~kind:"http_error" ~trace:rid
+      ~fields:[ ("status", Json.Num 408.); ("error", Json.Str (dir ^ " timeout")) ]
+      ();
     Log.info (fun m -> m "serve: connection %s timeout, dropping peer" dir);
     (try Http.respond c ~status:408 "request timeout\n" with _ -> ())
   | Unix.Unix_error _ -> ()
   | e ->
+    Flight.event ~kind:"panic" ~trace:rid
+      ~fields:[ ("error", Json.Str (Printexc.to_string e)) ]
+      ();
     Log.warn (fun m -> m "serve: handler raised %s" (Printexc.to_string e));
     ( try Http.respond c ~status:500 "internal error\n" with _ -> ()));
   Http.close c
@@ -162,8 +189,14 @@ let snapshotter srv ~every ~path () =
   loop 0.
 
 let start cfg =
-  (* a daemon that exposes /metrics collects them, no opt-in flag needed *)
+  (* a daemon that exposes /metrics collects them, no opt-in flag needed;
+     same deal for the flight recorder behind /v1/debug/flight — post-mortems
+     must need no prior configuration *)
   Metrics.set_enabled true;
+  Option.iter (fun size -> Flight.configure ~size) cfg.flight_size;
+  Flight.enable ();
+  Option.iter (fun path -> Flight.install_signal_dump ~path ()) cfg.flight_dump;
+  let slo = Slo.create ?objective:cfg.slo_objective ~thresholds:cfg.slo_thresholds () in
   let cache = Cache.create ?capacity:cfg.cache_capacity () in
   (match cfg.snapshot with
   | Some path when Sys.file_exists path -> (
@@ -180,7 +213,7 @@ let start cfg =
   let store =
     Store.create ?wal:cfg.wal ?default_deadline_s:cfg.job_deadline_s
       ?quarantine_strikes:cfg.quarantine_strikes ?quarantine_ttl_s:cfg.quarantine_ttl_s
-      ~sched ~cache ()
+      ~slo ~sched ~cache ()
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -213,7 +246,7 @@ let start cfg =
       snapshot_d = None;
     }
   in
-  let ctx = { Router.cache; sched; store; started_at = Unix.gettimeofday () } in
+  let ctx = { Router.cache; sched; store; slo; started_at = Unix.gettimeofday () } in
   srv.acceptor_d <- Some (Domain.spawn (acceptor srv));
   srv.handler_ds <- List.init (max 1 cfg.handlers) (fun _ -> Domain.spawn (handler srv ctx));
   (match (cfg.snapshot, cfg.snapshot_every_s) with

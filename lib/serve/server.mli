@@ -40,12 +40,21 @@ type config = {
           behind handlers that cannot reach them in time *)
   quarantine_strikes : int option;  (** timeouts before a spec is quarantined *)
   quarantine_ttl_s : float option;  (** how long a quarantine lasts *)
+  slo_thresholds : (string * float) list;
+      (** per-stage SLO threshold overrides ({!Slo.create}); empty keeps the
+          defaults *)
+  slo_objective : float option;  (** SLO objective in (0,1), default 0.99 *)
+  flight_size : int option;  (** flight-recorder ring slots, default 512 *)
+  flight_dump : string option;
+      (** install a [SIGQUIT] handler that dumps the flight recorder to this
+          path ({!Mechaml_obs.Flight.install_signal_dump}) *)
 }
 
 val default : config
 (** [127.0.0.1:0], 4 workers, 4 handlers, queue bound 256, in-flight cap 64,
     no weights, unbounded cache, no snapshot, no job deadline, no WAL, 30s
-    I/O timeout, 128 pending connections, {!Quarantine} defaults. *)
+    I/O timeout, 128 pending connections, {!Quarantine} defaults, default
+    SLO thresholds, no SIGQUIT dump path. *)
 
 type t
 
@@ -53,8 +62,9 @@ val start : config -> t
 (** Bind, listen, spawn the domains.  Raises [Unix.Unix_error] when the
     address cannot be bound.  A snapshot that exists but fails to load is
     logged and ignored (the daemon starts cold).  Enables
-    {!Mechaml_obs.Metrics} collection process-wide — a daemon that exposes
-    [/metrics] always collects. *)
+    {!Mechaml_obs.Metrics} collection and the {!Mechaml_obs.Flight} recorder
+    process-wide — a daemon that exposes [/metrics] and [/v1/debug/flight]
+    always collects. *)
 
 val port : t -> int
 (** The bound port (resolves [port = 0]). *)

@@ -1,0 +1,131 @@
+module Json = Mechaml_obs.Json
+module Metrics = Mechaml_obs.Metrics
+
+(* Per-tenant × per-stage latency objectives.
+
+   Every observation lands in one shared Prometheus histogram family,
+   [serve_stage_seconds{tenant,stage}], so quantiles are scrapeable, plus a
+   breach counter against the stage's threshold.  The [/v1/slo] view and
+   [mechaverify top] read the same cells back: one source of truth. *)
+
+let stages = [ "admission"; "queue"; "closure"; "check"; "stream" ]
+
+let default_thresholds =
+  [
+    (* admission is pure parsing + scheduling: anything slower than 50ms
+       means the daemon itself is degraded, not the workload *)
+    ("admission", 0.05);
+    (* queue wait is workload-dependent; 5s of queueing on a healthy daemon
+       means tenants are outrunning the worker pool *)
+    ("queue", 5.0);
+    ("closure", 30.0);
+    ("check", 30.0);
+    (* a stream spans the whole submission: all verdicts plus slow-reader
+       time on the socket *)
+    ("stream", 60.0);
+  ]
+
+type cell = {
+  threshold : float;
+  hist : Metrics.histogram;
+  breaches : Metrics.counter;
+}
+
+type t = {
+  objective : float;
+  thresholds : (string * float) list;  (* complete: one entry per stage *)
+  cells : (string * string, cell) Hashtbl.t;  (* (tenant, stage) *)
+  mutex : Mutex.t;
+}
+
+let create ?(objective = 0.99) ?(thresholds = []) () =
+  List.iter
+    (fun (stage, v) ->
+      if not (List.mem stage stages) then
+        invalid_arg
+          (Printf.sprintf "Slo.create: unknown stage %S (expected %s)" stage
+             (String.concat "|" stages));
+      if not (v > 0.) then invalid_arg "Slo.create: thresholds must be positive")
+    thresholds;
+  if not (objective > 0. && objective < 1.) then
+    invalid_arg "Slo.create: objective must be in (0,1)";
+  let merged =
+    List.map
+      (fun (stage, dflt) ->
+        (stage, match List.assoc_opt stage thresholds with Some v -> v | None -> dflt))
+      default_thresholds
+  in
+  { objective; thresholds = merged; cells = Hashtbl.create 16; mutex = Mutex.create () }
+
+let threshold t ~stage =
+  match List.assoc_opt stage t.thresholds with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Slo.threshold: unknown stage %S" stage)
+
+let cell t ~tenant ~stage =
+  let k = (tenant, stage) in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.cells k with
+      | Some c -> c
+      | None ->
+        let labels = [ ("stage", stage); ("tenant", tenant) ] in
+        let c =
+          {
+            threshold = threshold t ~stage;
+            hist =
+              Metrics.histogram ~labels ~help:"Per-tenant per-stage latency (seconds)"
+                "serve_stage_seconds";
+            breaches =
+              Metrics.counter ~labels
+                ~help:"Observations over the stage's SLO threshold"
+                "serve_slo_breaches_total";
+          }
+        in
+        Hashtbl.replace t.cells k c;
+        c)
+
+let observe t ~tenant ~stage seconds =
+  let c = cell t ~tenant ~stage in
+  Metrics.observe c.hist seconds;
+  if seconds > c.threshold then Metrics.incr c.breaches
+
+(* Burn rate: the fraction of the error budget (1 - objective) consumed by
+   breaches.  1.0 = breaching exactly as fast as the objective allows;
+   above it the budget is burning down. *)
+let burn t ~count ~breaches =
+  if count = 0 then 0.
+  else float_of_int breaches /. float_of_int count /. (1. -. t.objective)
+
+let view t =
+  Mutex.lock t.mutex;
+  let cells = Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.cells [] in
+  Mutex.unlock t.mutex;
+  let cells = List.sort compare cells in
+  let num i = Json.Num (float_of_int i) in
+  let entry ((tenant, stage), c) =
+    let count = Metrics.histogram_count c.hist in
+    let breaches = Metrics.counter_value c.breaches in
+    Json.Obj
+      [
+        ("tenant", Json.Str tenant);
+        ("stage", Json.Str stage);
+        ("threshold_s", Json.Num c.threshold);
+        ("count", num count);
+        ("breaches", num breaches);
+        ("burn_rate", Json.Num (burn t ~count ~breaches));
+        ("p50_s", Json.Num (Metrics.quantile c.hist 0.5));
+        ("p95_s", Json.Num (Metrics.quantile c.hist 0.95));
+        ("p99_s", Json.Num (Metrics.quantile c.hist 0.99));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "mechaml-serve-slo/1");
+      ("objective", Json.Num t.objective);
+      ( "thresholds",
+        Json.Obj (List.map (fun (stage, v) -> (stage, Json.Num v)) t.thresholds) );
+      ("cells", Json.List (List.map entry cells));
+    ]

@@ -1,0 +1,39 @@
+(** Per-tenant × per-stage latency SLOs for the verification daemon.
+
+    A submission crosses five stages — [admission] (parse + resolve +
+    schedule), [queue] (enqueue to dispatch), [closure] and [check] (the
+    verification phases of each job), and [stream] (first byte to last
+    verdict byte on the socket).  Each observation lands in a scrapeable
+    histogram family [serve_stage_seconds{tenant,stage}] (cumulative
+    [_bucket]/[_sum]/[_count] on [/metrics]) and is compared against the
+    stage's threshold; breaches count into
+    [serve_slo_breaches_total{tenant,stage}].
+
+    [GET /v1/slo] renders the same cells as a burn-rate view: the fraction
+    of the error budget ([1 - objective], default objective 0.99) consumed
+    by breaches, plus p50/p95/p99 estimates ({!Mechaml_obs.Metrics.quantile}). *)
+
+type t
+
+val stages : string list
+(** The five stage names, in pipeline order. *)
+
+val default_thresholds : (string * float) list
+(** Stage → default threshold in seconds. *)
+
+val create : ?objective:float -> ?thresholds:(string * float) list -> unit -> t
+(** [thresholds] overrides defaults per stage.  Raises [Invalid_argument]
+    on an unknown stage name, a non-positive threshold, or an objective
+    outside (0,1).  Note the underlying metrics registry is process-global:
+    two live [t]s observe into the same histogram cells. *)
+
+val threshold : t -> stage:string -> float
+
+val observe : t -> tenant:string -> stage:string -> float -> unit
+(** Record one latency observation (seconds).  Cheap when the metrics layer
+    is disabled.  Raises [Invalid_argument] on an unknown stage. *)
+
+val view : t -> Mechaml_obs.Json.t
+(** The [/v1/slo] body: schema ["mechaml-serve-slo/1"], the objective, the
+    effective thresholds, and one cell per seen (tenant, stage) with count,
+    breaches, burn rate and quantile estimates. *)

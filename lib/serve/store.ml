@@ -1,3 +1,4 @@
+module Flight = Mechaml_obs.Flight
 module Log = Mechaml_obs.Log
 module Metrics = Mechaml_obs.Metrics
 module Json = Mechaml_obs.Json
@@ -41,6 +42,7 @@ type t = {
   sched : Scheduler.t;
   cache : Cache.t;
   quarantine : Quarantine.t;
+  slo : Slo.t option;  (** stage-latency objectives (queue/closure/check) *)
   default_deadline_s : float option;
   mutable serial : int;  (** uniquifies generated keys *)
 }
@@ -121,6 +123,17 @@ let done_line ekey =
 
 (* -- completion ------------------------------------------------------------- *)
 
+let verdict_tag = function
+  | Campaign.Proved -> "proved"
+  | Campaign.Real_deadlock _ -> "real_deadlock"
+  | Campaign.Real_property _ -> "real_property"
+  | Campaign.Exhausted -> "exhausted"
+  | Campaign.Degraded _ -> "degraded"
+  | Campaign.Timed_out -> "timed_out"
+  | Campaign.Failed _ -> "failed"
+
+let request_id e = e.submit.Wire.request_id
+
 (* Called under the lock.  First write per index wins: a watchdog stand-in
    followed by the abandoned computation's real (stale) result records the
    stand-in; whoever loses the race is dropped here. *)
@@ -130,6 +143,15 @@ let complete_locked t e i outcome =
     e.order <- (i, outcome) :: e.order;
     e.completed <- e.completed + 1;
     wal_append t (verdict_line e.key i outcome);
+    Flight.event ~kind:"verdict" ?trace:(request_id e)
+      ~fields:
+        [
+          ("key", Json.Str e.key);
+          ("index", Json.Num (float_of_int i));
+          ("id", Json.Str outcome.Campaign.spec_id);
+          ("verdict", Json.Str (verdict_tag outcome.Campaign.verdict));
+        ]
+      ();
     if e.completed = e.n then begin
       e.finished <- true;
       wal_append t (done_line e.key)
@@ -152,6 +174,18 @@ let complete t ~key ~index outcome =
    watchdog at [deadline + grace] for stages that hang outright.  Both the
    natural timeout and a watchdog kill count as a poison strike. *)
 let schedule t e ~deadline_s indexed =
+  let rid = request_id e in
+  let strike ~dkey reason =
+    Flight.event ~kind:"quarantine_strike" ?trace:rid
+      ~fields:[ ("digest", Json.Str dkey); ("reason", Json.Str reason) ]
+      ();
+    ignore (Quarantine.strike t.quarantine ~key:dkey ~reason)
+  in
+  let on_dequeue =
+    Option.map
+      (fun slo wait -> Slo.observe slo ~tenant:e.tenant ~stage:"queue" wait)
+      t.slo
+  in
   let jobs =
     List.map
       (fun (i, (spec : Campaign.spec)) ->
@@ -171,28 +205,30 @@ let schedule t e ~deadline_s indexed =
         in
         let run () =
           let o = Campaign.run_spec ~cache:t.cache spec in
+          Option.iter
+            (fun slo ->
+              (* stage latencies of jobs that actually ran; stand-ins never
+                 reach here, so zeros don't dilute the distribution *)
+              Slo.observe slo ~tenant:e.tenant ~stage:"closure" o.Campaign.closure_seconds;
+              Slo.observe slo ~tenant:e.tenant ~stage:"check" o.Campaign.check_seconds)
+            t.slo;
           (match o.Campaign.verdict with
-          | Campaign.Timed_out ->
-            ignore
-              (Quarantine.strike t.quarantine ~key:dkey
-                 ~reason:(spec.Campaign.id ^ ": timed out"))
+          | Campaign.Timed_out -> strike ~dkey (spec.Campaign.id ^ ": timed out")
           | _ -> ());
           complete t ~key:e.key ~index:i o
         in
         match deadline_s with
-        | None -> Scheduler.job ~on_discard:discard run
+        | None -> Scheduler.job ~on_discard:discard ?request_id:rid ?on_dequeue run
         | Some d ->
           let kill () =
-            ignore
-              (Quarantine.strike t.quarantine ~key:dkey
-                 ~reason:(spec.Campaign.id ^ ": watchdog deadline"));
+            strike ~dkey (spec.Campaign.id ^ ": watchdog deadline");
             complete t ~key:e.key ~index:i
               (standin spec
                  (Campaign.Failed
                     (Printf.sprintf "deadline: abandoned after %.1fs" d)))
           in
           Scheduler.job ~deadline_s:(d +. deadline_grace) ~on_discard:discard
-            ~on_deadline:kill run)
+            ~on_deadline:kill ?request_id:rid ?on_dequeue run)
       indexed
   in
   Scheduler.submit t.sched ~tenant:e.tenant jobs
@@ -419,8 +455,8 @@ let replay t path =
             missing)
       unfinished
 
-let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ~sched ~cache
-    () =
+let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ?slo ~sched
+    ~cache () =
   let t =
     {
       mutex = Mutex.create ();
@@ -434,6 +470,7 @@ let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ~sched
       cache;
       quarantine =
         Quarantine.create ?strikes:quarantine_strikes ?ttl_s:quarantine_ttl_s ();
+      slo;
       default_deadline_s;
       serial = 0;
     }

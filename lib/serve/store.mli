@@ -33,6 +33,7 @@ val create :
   ?default_deadline_s:float ->
   ?quarantine_strikes:int ->
   ?quarantine_ttl_s:float ->
+  ?slo:Slo.t ->
   sched:Scheduler.t ->
   cache:Mechaml_engine.Cache.t ->
   unit ->
@@ -41,7 +42,9 @@ val create :
     unfinished remainder onto [sched]) before returning — callers start the
     listener only after the store exists, so clients never observe a
     half-replayed state.  [default_deadline_s] applies to submissions that
-    carry no [deadline_s] of their own. *)
+    carry no [deadline_s] of their own.  With [slo], the store observes the
+    [queue] stage at dispatch and the [closure]/[check] stages from each
+    completed job's measured phase times. *)
 
 type error =
   | Invalid of string  (** unresolvable selection — a 400 *)

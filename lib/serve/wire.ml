@@ -10,10 +10,12 @@ type submit = {
   ids : string list option;
   key : string option;  (** idempotency key; the server generates one if absent *)
   deadline_s : float option;  (** per-job execution deadline, overrides the server default *)
+  request_id : string option;
+      (** trace id for the submission; carried into WAL records and spans *)
 }
 
-let submit ?(tiny = false) ?select ?ids ?key ?deadline_s () =
-  { tiny; select; ids; key; deadline_s }
+let submit ?(tiny = false) ?select ?ids ?key ?deadline_s ?request_id () =
+  { tiny; select; ids; key; deadline_s; request_id }
 
 let encode_submit s =
   Json.Obj
@@ -21,6 +23,7 @@ let encode_submit s =
     @ (match s.select with None -> [] | Some sub -> [ ("select", Json.Str sub) ])
     @ (match s.key with None -> [] | Some k -> [ ("key", Json.Str k) ])
     @ (match s.deadline_s with None -> [] | Some d -> [ ("deadline_s", Json.Num d) ])
+    @ (match s.request_id with None -> [] | Some r -> [ ("request_id", Json.Str r) ])
     @
     match s.ids with
     | None -> []
@@ -61,26 +64,32 @@ let decode_submit obj =
                   | r -> r)
                   (fun key ->
                     Result.bind
-                      (match Json.member "deadline_s" obj with
-                      | None -> Ok None
-                      | Some v -> (
-                        match Json.to_float v with
-                        | Some d when d > 0. -> Ok (Some d)
-                        | Some _ -> Error "field \"deadline_s\" must be positive"
-                        | None -> Error "field \"deadline_s\" must be a number"))
-                      (fun deadline_s ->
-                        match Json.member "ids" obj with
-                        | None -> Ok { tiny; select; ids = None; key; deadline_s }
-                        | Some (Json.List l) ->
-                          let rec strings acc = function
-                            | [] -> Ok (Some (List.rev acc))
-                            | Json.Str s :: rest -> strings (s :: acc) rest
-                            | _ -> Error "field \"ids\" must be a list of strings"
-                          in
-                          Result.map
-                            (fun ids -> { tiny; select; ids; key; deadline_s })
-                            (strings [] l)
-                        | Some _ -> Error "field \"ids\" must be a list of strings")))))
+                      (match str_field obj "request_id" with
+                      | Ok (Some r) when not (valid_key r) ->
+                        Error "field \"request_id\" must be 1-128 chars of [A-Za-z0-9._-]"
+                      | r -> r)
+                      (fun request_id ->
+                        Result.bind
+                          (match Json.member "deadline_s" obj with
+                          | None -> Ok None
+                          | Some v -> (
+                            match Json.to_float v with
+                            | Some d when d > 0. -> Ok (Some d)
+                            | Some _ -> Error "field \"deadline_s\" must be positive"
+                            | None -> Error "field \"deadline_s\" must be a number"))
+                          (fun deadline_s ->
+                            match Json.member "ids" obj with
+                            | None -> Ok { tiny; select; ids = None; key; deadline_s; request_id }
+                            | Some (Json.List l) ->
+                              let rec strings acc = function
+                                | [] -> Ok (Some (List.rev acc))
+                                | Json.Str s :: rest -> strings (s :: acc) rest
+                                | _ -> Error "field \"ids\" must be a list of strings"
+                              in
+                              Result.map
+                                (fun ids -> { tiny; select; ids; key; deadline_s; request_id })
+                                (strings [] l)
+                            | Some _ -> Error "field \"ids\" must be a list of strings"))))))
   | _ -> Error "submission must be a JSON object"
 
 let contains ~sub s =
@@ -322,19 +331,25 @@ type event =
   | Verdict of { index : int; outcome : Campaign.outcome }
   | Done of { jobs : int; cache_entries : int; cache_hit_rate : float }
 
-let encode_event = function
-  | Accepted { jobs } -> Json.Obj [ ("event", Json.Str "accepted"); ("jobs", num jobs) ]
+let encode_event ?request_id ev =
+  (* the trace id rides on every streamed event so an operator can grep a
+     saved ndjson stream by request; decoders ignore unknown fields *)
+  let rid = match request_id with None -> [] | Some r -> [ ("request_id", Json.Str r) ] in
+  match ev with
+  | Accepted { jobs } -> Json.Obj ([ ("event", Json.Str "accepted"); ("jobs", num jobs) ] @ rid)
   | Verdict { index; outcome } ->
     Json.Obj
-      [ ("event", Json.Str "verdict"); ("index", num index); ("outcome", encode_outcome outcome) ]
+      ([ ("event", Json.Str "verdict"); ("index", num index); ("outcome", encode_outcome outcome) ]
+      @ rid)
   | Done { jobs; cache_entries; cache_hit_rate } ->
     Json.Obj
-      [
-        ("event", Json.Str "done");
-        ("jobs", num jobs);
-        ("cache_entries", num cache_entries);
-        ("cache_hit_rate", Json.Num cache_hit_rate);
-      ]
+      ([
+         ("event", Json.Str "done");
+         ("jobs", num jobs);
+         ("cache_entries", num cache_entries);
+         ("cache_hit_rate", Json.Num cache_hit_rate);
+       ]
+      @ rid)
 
 let decode_event obj =
   let* tag = string_field "event" obj in

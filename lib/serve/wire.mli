@@ -24,6 +24,10 @@ type submit = {
   deadline_s : float option;
       (** per-job execution deadline in seconds, overriding the server
           default; an overrun job is abandoned with a [Failed] stand-in *)
+  request_id : string option;
+      (** trace id of the submission ({!Mechaml_obs.Context}); the server
+          stores it in the WAL accept record and stamps it on spans, flight
+          events and streamed events.  Same alphabet as [key]. *)
 }
 
 val submit :
@@ -32,8 +36,13 @@ val submit :
   ?ids:string list ->
   ?key:string ->
   ?deadline_s:float ->
+  ?request_id:string ->
   unit ->
   submit
+
+val valid_key : string -> bool
+(** The narrow alphabet shared by idempotency keys and request ids: 1-128
+    chars of [A-Za-z0-9._-] — safe in URLs, WAL lines and HTTP headers. *)
 
 val encode_submit : submit -> Json.t
 
@@ -61,7 +70,9 @@ type event =
   | Done of { jobs : int; cache_entries : int; cache_hit_rate : float }
       (** all verdicts delivered, with a glimpse of the shared cache *)
 
-val encode_event : event -> Json.t
+val encode_event : ?request_id:string -> event -> Json.t
+(** [request_id] is stamped on the event object as ["request_id"], so saved
+    ndjson streams can be grepped by trace id; decoders ignore it. *)
 
 val decode_event : Json.t -> (event, string) result
 

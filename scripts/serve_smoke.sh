@@ -59,9 +59,11 @@ fail() {
 # and PORT once the daemon reports its ephemeral listener.
 start_daemon() {
   DAEMON_LOG="$DIR/$1.log"
+  FLIGHT_DUMP="$DIR/$1.flight"
   shift
   "$BIN" serve --port 0 --workers 2 --handlers 2 \
     --snapshot "$DIR/cache.snap" --wal "$DIR/serve.wal" --job-deadline 60 \
+    --flight-size 256 --flight-dump "$FLIGHT_DUMP" \
     "$@" >"$DAEMON_LOG" 2>&1 &
   DAEMON_PID=$!
   PORT=
@@ -102,12 +104,17 @@ cache_entries() {
 
 start_daemon daemon1
 
-"$BIN" probe --port "$PORT" >"$DIR/stats.json"
+# a fixed trace id must be echoed back by the daemon and reported by the probe
+"$BIN" probe --port "$PORT" --request-id smoke-rid-probe \
+  >"$DIR/stats.json" 2>"$DIR/probe.err"
 grep -q '"schema":"mechaml-serve-stats/1"' "$DIR/stats.json" \
   || fail "/v1/stats did not return the stats schema"
+grep -q "request id: smoke-rid-probe" "$DIR/probe.err" \
+  || fail "probe did not report the echoed trace id"
 
 # two concurrent clients under distinct tenants; both must finish and agree
 "$BIN" submit --port "$PORT" --tiny --tenant smoke-a --key smoke-a --retry 2 \
+  --request-id smoke-rid-a \
   --canonical "$DIR/a.canonical" >"$DIR/a.out" 2>&1 &
 CA=$!
 "$BIN" submit --port "$PORT" --tiny --tenant smoke-b \
@@ -116,6 +123,8 @@ CB=$!
 wait "$CA" || fail "client smoke-a failed: $(cat "$DIR/a.out")"
 wait "$CB" || fail "client smoke-b failed: $(cat "$DIR/b.out")"
 grep -q "proved" "$DIR/a.out" || fail "client smoke-a saw no proved verdict"
+grep -q "request id: smoke-rid-a" "$DIR/a.out" \
+  || fail "client smoke-a did not report its trace id"
 cmp -s "$DIR/a.canonical" "$DIR/b.canonical" \
   || fail "concurrent clients disagree on the canonical digest"
 
@@ -126,6 +135,26 @@ for series in serve_requests_total serve_connections_total serve_jobs_total \
   serve_wal_replays_total serve_overload_closed_total; do
   grep -q "^$series" "$DIR/metrics.prom" || fail "/metrics lacks $series"
 done
+# the SLO histograms export cumulative Prometheus buckets
+grep -q 'serve_stage_seconds_bucket{.*le="' "$DIR/metrics.prom" \
+  || fail "/metrics lacks cumulative serve_stage_seconds buckets"
+
+# the SLO burn-rate view and the flight recorder answer without configuration
+"$BIN" probe --port "$PORT" --get /v1/slo >"$DIR/slo.json"
+grep -q '"schema":"mechaml-serve-slo/1"' "$DIR/slo.json" \
+  || fail "/v1/slo did not return the slo schema"
+grep -q '"stage":"admission"' "$DIR/slo.json" \
+  || fail "/v1/slo recorded no admission observations"
+"$BIN" probe --port "$PORT" --get /v1/debug/flight >"$DIR/flight.ndjson"
+grep -q '"kind":"admission"' "$DIR/flight.ndjson" \
+  || fail "flight recorder holds no admission event"
+grep -q "smoke-rid-a" "$DIR/flight.ndjson" \
+  || fail "flight events lost the submission trace id"
+
+# one dashboard frame renders on a non-TTY
+"$BIN" top --port "$PORT" --frames 1 --interval 0.1 >"$DIR/top.out"
+grep -q "TENANT" "$DIR/top.out" || fail "top rendered no tenant table"
+grep -q "slo (objective" "$DIR/top.out" || fail "top rendered no SLO section"
 
 # clean SIGTERM drain: daemon must exit 0 within the deadline and leave a
 # cache snapshot behind for the next (warm) life
@@ -145,6 +174,16 @@ entries=$(cache_entries "$DIR/stats2.json")
   || fail "client smoke-c failed: $(cat "$DIR/c.out")"
 cmp -s "$DIR/a.canonical" "$DIR/c.canonical" \
   || fail "warm verdicts differ from the cold run"
+# SIGQUIT forces a flight dump and the daemon keeps serving
+kill -QUIT "$DAEMON_PID"
+for _ in $(seq 1 50); do
+  [ -s "$FLIGHT_DUMP" ] && break
+  sleep 0.1
+done
+[ -s "$FLIGHT_DUMP" ] || fail "SIGQUIT produced no flight dump"
+grep -q '"kind":"admission"' "$FLIGHT_DUMP" \
+  || fail "flight dump holds no admission event"
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on SIGQUIT"
 kill -9 "$DAEMON_PID"
 wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=
@@ -164,4 +203,4 @@ cmp -s "$DIR/a.canonical" "$DIR/d.canonical" \
   || fail "verdicts changed across a SIGKILL restart"
 stop_daemon_term
 
-echo "serve-smoke: OK (2 tenants, warm restart, SIGKILL recovery, drained clean)"
+echo "serve-smoke: OK (2 tenants, trace ids, SLO + flight, warm restart, SIGKILL recovery, drained clean)"

@@ -226,6 +226,32 @@ let daemon_tests =
             let a = Domain.join d1 and b = Domain.join d2 in
             check_string "client 1" reference (Report.canonical a);
             check_string "client 2" reference (Report.canonical b)));
+    test "tracing and the flight recorder never change a daemon verdict" (fun () ->
+        let module Trace = Mechaml_obs.Trace in
+        let module Flight = Mechaml_obs.Flight in
+        let reference = Report.canonical (Lazy.force sequential) in
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.disable ();
+            Trace.reset ();
+            Flight.disable ();
+            Flight.configure ~size:Flight.default_size)
+          (fun () ->
+            with_daemon ~workers:4 (fun ep ->
+                (* first pass fully instrumented: spans on every stage, the
+                   recorder catching every admission and verdict *)
+                Trace.enable ();
+                Flight.configure ~size:256;
+                let traced = Report.canonical (submit_exn ~tenant:"traced" ep) in
+                Trace.disable ();
+                Trace.reset ();
+                Flight.disable ();
+                (* second pass silenced, against the same warm cache: both the
+                   instrumented and the silent path must be byte-identical to
+                   the local reference *)
+                let silent = Report.canonical (submit_exn ~tenant:"silent" ep) in
+                check_string "instrumented = reference" reference traced;
+                check_string "silenced = reference" reference silent)));
   ]
 
 let () =

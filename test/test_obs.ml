@@ -5,6 +5,7 @@
    one, sequentially and on a pool. *)
 
 module Json = Mechaml_obs.Json
+module Context = Mechaml_obs.Context
 module Trace = Mechaml_obs.Trace
 module Metrics = Mechaml_obs.Metrics
 module Prof = Mechaml_obs.Prof
@@ -154,6 +155,58 @@ let trace_tests =
         Trace.disable ();
         Trace.with_span ~name:"b" (fun () -> ());
         check_int "not recording" 0 (Trace.span_count ()));
+    obs_test "the ambient trace id is stamped onto spans, and only then" (fun () ->
+        Trace.enable ();
+        Context.with_id "rid-123" (fun () ->
+            Trace.with_span ~name:"stamped" (fun () -> ()));
+        Trace.with_span ~name:"bare" (fun () -> ());
+        let events = events_of_export () in
+        (match spans_named "stamped" events with
+        | [ e ] ->
+          let args = Option.get (Json.member "args" e) in
+          check_bool "trace arg carries the id" true
+            (Option.bind (Json.member "trace" args) Json.to_str = Some "rid-123")
+        | _ -> Alcotest.fail "stamped span lost");
+        match spans_named "bare" events with
+        | [ e ] ->
+          check_bool "no context, no trace arg" true
+            (match Json.member "args" e with
+            | None -> true
+            | Some args -> Json.member "trace" args = None)
+        | _ -> Alcotest.fail "bare span lost");
+  ]
+
+(* -- context -------------------------------------------------------------- *)
+
+let context_tests =
+  [
+    test "fresh ids are 16 lowercase hex chars and distinct" (fun () ->
+        let a = Context.fresh () and b = Context.fresh () in
+        check_int "length" 16 (String.length a);
+        String.iter
+          (fun c ->
+            check_bool (Printf.sprintf "hex char %c" c) true
+              ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+          a;
+        check_bool "distinct" true (a <> b));
+    test "with_id scopes the ambient id and restores on exit" (fun () ->
+        check_bool "initially unset" true (Context.current () = None);
+        Context.with_id "outer" (fun () ->
+            check_bool "set" true (Context.current () = Some "outer");
+            Context.with_id "inner" (fun () ->
+                check_bool "nested" true (Context.current () = Some "inner"));
+            check_bool "restored to outer" true (Context.current () = Some "outer"));
+        check_bool "restored to unset" true (Context.current () = None));
+    test "with_current restores even when the thunk raises" (fun () ->
+        (match Context.with_current (Some "doomed") (fun () -> failwith "pop") with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "exception swallowed");
+        check_bool "restored" true (Context.current () = None));
+    test "the ambient id is domain-local" (fun () ->
+        Context.with_id "main-id" (fun () ->
+            let seen = Domain.join (Domain.spawn (fun () -> Context.current ())) in
+            check_bool "spawned domain starts unset" true (seen = None);
+            check_bool "main unchanged" true (Context.current () = Some "main-id")));
   ]
 
 (* -- metrics -------------------------------------------------------------- *)
@@ -230,6 +283,35 @@ let metrics_tests =
         check_bool "both label sets exported" true
           (List.exists (fun l -> l = "obs_test_lbl_total{k=\"a\"} 1") lines
           && List.exists (fun l -> l = "obs_test_lbl_total{k=\"b\"} 1") lines));
+    obs_test "prometheus histogram buckets are cumulative with sum and count" (fun () ->
+        Metrics.set_enabled true;
+        let h =
+          Metrics.histogram ~buckets:[ 0.1; 1.; 10. ]
+            ~labels:[ ("stage", "t") ]
+            ~help:"h" "obs_test_cum_seconds"
+        in
+        List.iter (Metrics.observe h) [ 0.05; 0.5; 0.5; 5.; 50. ];
+        let lines = String.split_on_char '\n' (Metrics.to_prometheus ()) in
+        List.iter
+          (fun l -> check_bool l true (List.mem l lines))
+          [
+            "obs_test_cum_seconds_bucket{stage=\"t\",le=\"0.1\"} 1";
+            "obs_test_cum_seconds_bucket{stage=\"t\",le=\"1\"} 3";
+            "obs_test_cum_seconds_bucket{stage=\"t\",le=\"10\"} 4";
+            "obs_test_cum_seconds_bucket{stage=\"t\",le=\"+Inf\"} 5";
+            "obs_test_cum_seconds_sum{stage=\"t\"} 56.05";
+            "obs_test_cum_seconds_count{stage=\"t\"} 5";
+          ]);
+    obs_test "quantile interpolates within the crossing bucket" (fun () ->
+        Metrics.set_enabled true;
+        let h = Metrics.histogram ~buckets:[ 1.; 10.; 100. ] ~help:"h" "obs_test_quant" in
+        check_float "empty histogram" 0. (Metrics.quantile h 0.5);
+        List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 1000. ];
+        (* target 2.5 of 5 lands in (1,10] holding 2 samples after 1: 1 + 9*(1.5/2) *)
+        check_float "p50 interpolated" 7.75 (Metrics.quantile h 0.5);
+        check_float "overflow clamps to the highest finite bound" 100.
+          (Metrics.quantile h 1.);
+        check_float "q below range clamps to 0" 0. (Metrics.quantile h (-1.)));
     obs_test "json export parses and carries the samples" (fun () ->
         Metrics.set_enabled true;
         let c = Metrics.counter ~help:"h" "obs_test_json_total" in
@@ -322,6 +404,7 @@ let () =
   Alcotest.run "obs"
     [
       ("json", json_tests);
+      ("context", context_tests);
       ("trace", trace_tests);
       ("metrics", metrics_tests);
       ("prof+log", prof_log_tests);

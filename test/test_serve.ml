@@ -12,6 +12,9 @@ module Chaosproxy = Mechaml_serve.Chaosproxy
 module Wire = Mechaml_serve.Wire
 module Http = Mechaml_serve.Http
 module Json = Mechaml_obs.Json
+module Context = Mechaml_obs.Context
+module Flight = Mechaml_obs.Flight
+module Trace = Mechaml_obs.Trace
 module Metrics = Mechaml_obs.Metrics
 module Prng = Mechaml_util.Prng
 module Campaign = Mechaml_engine.Campaign
@@ -467,7 +470,7 @@ let with_server ?(cfg = Server.default) f =
   let srv = Server.start cfg in
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
 
-let raw_request ~port ~meth ~path ?headers body =
+let raw_request_full ~port ~meth ~path ?headers body =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   let c = Http.conn fd in
@@ -476,7 +479,11 @@ let raw_request ~port ~meth ~path ?headers body =
     (fun () ->
       Http.write_request c ~meth ~path ?headers body;
       let head = Http.read_response_head c in
-      (head.Http.status, Http.read_body c head))
+      (head, Http.read_body c head))
+
+let raw_request ~port ~meth ~path ?headers body =
+  let head, body = raw_request_full ~port ~meth ~path ?headers body in
+  (head.Http.status, body)
 
 let server_tests =
   [
@@ -569,6 +576,78 @@ let server_tests =
                 check_bool "schema" true
                   (Json.member "schema" v = Some (Json.Str "mechaml-serve-stats/1"));
                 check_bool "tenant listed" true (contains ~sub:"carol" body))));
+    test "every response echoes X-Request-Id, supplied or minted" (fun () ->
+        with_server (fun srv ->
+            let port = Server.port srv in
+            let head, _ =
+              raw_request_full ~port ~meth:"GET" ~path:"/healthz"
+                ~headers:[ ("x-request-id", "my-rid-1") ]
+                ""
+            in
+            check_bool "supplied id echoed" true
+              (Http.resp_header head "x-request-id" = Some "my-rid-1");
+            let head, _ = raw_request_full ~port ~meth:"GET" ~path:"/nope" "" in
+            check_int "404 still traced" 404 head.Http.status;
+            (match Http.resp_header head "x-request-id" with
+            | Some rid -> check_bool "minted id on 404" true (String.length rid > 0)
+            | None -> Alcotest.fail "404 without a request id");
+            (* an id outside [A-Za-z0-9._-]{1,128} never enters WAL lines or
+               logs: the daemon mints a clean replacement *)
+            let head, _ =
+              raw_request_full ~port ~meth:"GET" ~path:"/healthz"
+                ~headers:[ ("x-request-id", "bad id!") ]
+                ""
+            in
+            match Http.resp_header head "x-request-id" with
+            | Some rid -> check_bool "invalid id replaced" true (rid <> "bad id!")
+            | None -> Alcotest.fail "no id on the replacement path"));
+    test "even an unparseable request gets a request id on its 400" (fun () ->
+        with_server (fun srv ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+            let c = Http.conn fd in
+            Fun.protect
+              ~finally:(fun () -> Http.close c)
+              (fun () ->
+                let junk = Bytes.of_string "BROKEN\r\n\r\n" in
+                ignore (Unix.write fd junk 0 (Bytes.length junk));
+                let head = Http.read_response_head c in
+                check_int "400" 400 head.Http.status;
+                match Http.resp_header head "x-request-id" with
+                | Some rid -> check_bool "provisional id" true (String.length rid > 0)
+                | None -> Alcotest.fail "parse-failure reply without an id")));
+    test "/v1/slo and /v1/debug/flight expose the request's footprints" (fun () ->
+        with_server (fun srv ->
+            let ep = { Client.host = "127.0.0.1"; port = Server.port srv } in
+            (match Client.submit ep ~tenant:"dora" ~tiny:true ~select:"watchdog" () with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_string e));
+            (match Client.get ep "/v1/slo" with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok (status, body) ->
+              check_int "slo 200" 200 status;
+              (match Json.parse (String.trim body) with
+              | Error e -> Alcotest.failf "slo not JSON: %s" e
+              | Ok v ->
+                check_bool "slo schema" true
+                  (Json.member "schema" v = Some (Json.Str "mechaml-serve-slo/1"));
+                check_bool "admission cell for the tenant" true
+                  (contains ~sub:"dora" body && contains ~sub:"admission" body)));
+            match Client.get ep "/v1/debug/flight" with
+            | Error e -> Alcotest.fail (Client.error_string e)
+            | Ok (status, body) ->
+              check_int "flight 200" 200 status;
+              check_bool "admission event recorded" true
+                (contains ~sub:{|"kind":"admission"|} body);
+              check_bool "verdict event recorded" true
+                (contains ~sub:{|"kind":"verdict"|} body);
+              String.split_on_char '\n' body
+              |> List.filter (fun l -> String.trim l <> "")
+              |> List.iter (fun l ->
+                     match Json.parse l with
+                     | Ok _ -> ()
+                     | Error e -> Alcotest.failf "unparseable flight line %s: %s" l e)));
   ]
 
 (* -- snapshot persistence across a restart --------------------------------- *)
@@ -675,6 +754,213 @@ let wal_rec line =
     | Ok v -> ( match Json.member "rec" v with Some (Json.Str r) -> Some r | _ -> None)
     | Error _ -> None
   else None
+
+(* -- flight recorder -------------------------------------------------------- *)
+
+(* The recorder is process-global (daemons enable it), so every test here
+   installs a private ring and restores the default on the way out. *)
+let with_flight ~size f () =
+  Flight.configure ~size;
+  Flight.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disable ();
+      Flight.configure ~size:Flight.default_size)
+    f
+
+let flight_tests =
+  [
+    test "events render as ndjson with seq, kind and trace"
+      (with_flight ~size:16 (fun () ->
+           Flight.event ~kind:"a" ~trace:"rid-1" ~fields:[ ("n", Json.Num 1.) ] ();
+           Context.with_id "ambient-rid" (fun () -> Flight.event ~kind:"b" ());
+           let lines =
+             String.split_on_char '\n' (Flight.dump ())
+             |> List.filter (fun l -> String.trim l <> "")
+           in
+           check_int "two lines" 2 (List.length lines);
+           match
+             List.map
+               (fun l ->
+                 match Json.parse l with
+                 | Ok v -> v
+                 | Error e -> Alcotest.failf "bad line %s: %s" l e)
+               lines
+           with
+           | [ a; b ] ->
+             check_bool "kind" true (Json.member "kind" a = Some (Json.Str "a"));
+             check_bool "explicit trace" true
+               (Json.member "trace" a = Some (Json.Str "rid-1"));
+             check_bool "ambient trace adopted" true
+               (Json.member "trace" b = Some (Json.Str "ambient-rid"));
+             check_bool "field kept" true (Json.member "n" a = Some (Json.Num 1.));
+             check_bool "seq ordered" true
+               (Json.member "seq" a = Some (Json.Num 0.)
+               && Json.member "seq" b = Some (Json.Num 1.))
+           | _ -> Alcotest.fail "unexpected dump shape"));
+    test "a disabled recorder records nothing"
+      (with_flight ~size:8 (fun () ->
+           Flight.disable ();
+           Flight.event ~kind:"x" ();
+           check_int "empty" 0 (List.length (Flight.entries ()))));
+    qcheck ~count:30 "4-domain writers: no tears, bounded, newest tickets win"
+      QCheck.(pair (int_range 1 32) (int_range 1 128))
+      (fun (size, per_domain) ->
+        Flight.configure ~size;
+        Flight.enable ();
+        let writers =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  for i = 0 to per_domain - 1 do
+                    Flight.event ~kind:"w"
+                      ~fields:
+                        [ ("d", Json.Num (float_of_int d));
+                          ("i", Json.Num (float_of_int i)) ]
+                      ()
+                  done))
+        in
+        List.iter Domain.join writers;
+        Flight.disable ();
+        let total = 4 * per_domain in
+        let survivors = min size total in
+        let entries = Flight.entries () in
+        Flight.configure ~size:Flight.default_size;
+        (* after quiescence each slot holds the largest ticket of its residue
+           class: the ring is exactly the newest [survivors] events, every
+           line a complete JSON object (a torn write could never parse) *)
+        List.length entries = survivors
+        && List.for_all (fun (_, line) -> Result.is_ok (Json.parse line)) entries
+        && List.map fst entries = List.init survivors (fun i -> total - survivors + i));
+    test "SIGQUIT dumps the ring to the configured path" (fun () ->
+        let path = Filename.temp_file "mechaflight" ".ndjson" in
+        Sys.remove path;
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists path then Sys.remove path;
+            Sys.set_signal Sys.sigquit Sys.Signal_default;
+            Flight.disable ();
+            Flight.configure ~size:Flight.default_size)
+          (fun () ->
+            Flight.configure ~size:16;
+            Flight.enable ();
+            Flight.install_signal_dump ~path ();
+            Flight.event ~kind:"pre_crash" ~trace:"sig-rid" ();
+            Unix.kill (Unix.getpid ()) Sys.sigquit;
+            (* OCaml runs signal handlers at safepoints: poll for the file *)
+            let rec wait n =
+              if Sys.file_exists path then ()
+              else if n = 0 then Alcotest.fail "dump never appeared"
+              else begin
+                Unix.sleepf 0.05;
+                wait (n - 1)
+              end
+            in
+            wait 100;
+            let body = read_file path in
+            check_bool "event dumped" true (contains ~sub:"pre_crash" body);
+            check_bool "trace id dumped" true (contains ~sub:"sig-rid" body)));
+  ]
+
+(* -- end-to-end trace correlation ------------------------------------------- *)
+
+(* The tentpole acceptance test: one submission's trace id must be findable
+   in (1) the response header, (2) the streamed ndjson verdict events,
+   (3) the WAL accept record, (4) at least four nested spans of the Chrome
+   trace, and (5) a flight dump forced by SIGQUIT. *)
+let trace_correlation_tests =
+  [
+    test "one trace id correlates header, stream, WAL, spans and flight dump"
+      (fun () ->
+        let wal = Filename.temp_file "mechaserve" ".wal" in
+        let dump = Filename.temp_file "mechaflight" ".ndjson" in
+        Sys.remove wal;
+        Sys.remove dump;
+        let rid = "e2e-trace-1" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ wal; dump ];
+            Sys.set_signal Sys.sigquit Sys.Signal_default;
+            Trace.disable ();
+            Trace.reset ();
+            Flight.disable ();
+            Flight.configure ~size:Flight.default_size)
+          (fun () ->
+            Trace.enable ();
+            Trace.reset ();
+            let cfg =
+              {
+                Server.default with
+                Server.wal = Some wal;
+                flight_size = Some 64;
+                flight_dump = Some dump;
+              }
+            in
+            with_server ~cfg (fun srv ->
+                let port = Server.port srv in
+                let ep = { Client.host = "127.0.0.1"; port } in
+                let echoed = ref None in
+                (match
+                   Client.submit ep ~tiny:true ~select:"watchdog" ~key:"e2e-1"
+                     ~request_id:rid
+                     ~on_request_id:(fun r -> echoed := Some r)
+                     ()
+                 with
+                | Ok [ _ ] -> ()
+                | Ok outcomes ->
+                  Alcotest.failf "expected one verdict, got %d" (List.length outcomes)
+                | Error e -> Alcotest.fail (Client.error_string e));
+                (* 1: the response header *)
+                check_bool "header echoed" true (!echoed = Some rid);
+                (* 2: re-attach to the same key with the same id and read the
+                   raw chunked stream — every event line carries the id *)
+                let _, stream =
+                  raw_request_full ~port ~meth:"POST" ~path:"/v1/campaign"
+                    ~headers:
+                      [ ("content-type", "application/json");
+                        ("x-request-id", rid) ]
+                    {|{"matrix": "tiny", "select": "watchdog", "key": "e2e-1"}|}
+                in
+                check_bool "verdict event stamped" true
+                  (contains ~sub:({|"request_id":"|} ^ rid ^ {|"|}) stream
+                  && contains ~sub:{|"event":"verdict"|} stream));
+            (* 3: the WAL accept record *)
+            check_bool "WAL accept record stamped" true
+              (contains ~sub:({|"request_id":"|} ^ rid ^ {|"|}) (read_file wal));
+            (* 4: at least four distinct span names carry the trace arg *)
+            (match Json.parse (Trace.export ()) with
+            | Error e -> Alcotest.failf "trace export not JSON: %s" e
+            | Ok (Json.List events) ->
+              let named =
+                List.filter_map
+                  (fun e ->
+                    match Json.member "args" e with
+                    | Some args when Json.member "trace" args = Some (Json.Str rid) ->
+                      Option.bind (Json.member "name" e) Json.to_str
+                    | _ -> None)
+                  events
+                |> List.sort_uniq compare
+              in
+              List.iter
+                (fun expected ->
+                  check_bool ("span " ^ expected ^ " stamped") true
+                    (List.mem expected named))
+                [ "serve.request"; "serve.job"; "campaign.job"; "loop.closure";
+                  "loop.check" ]
+            | Ok _ -> Alcotest.fail "trace export is not an array");
+            (* 5: the flight dump a SIGQUIT forces *)
+            Unix.kill (Unix.getpid ()) Sys.sigquit;
+            let rec wait n =
+              if Sys.file_exists dump then ()
+              else if n = 0 then Alcotest.fail "flight dump never appeared"
+              else begin
+                Unix.sleepf 0.05;
+                wait (n - 1)
+              end
+            in
+            wait 100;
+            check_bool "flight dump stamped" true
+              (contains ~sub:rid (read_file dump))));
+  ]
 
 let durability_tests =
   [
@@ -791,7 +1077,9 @@ let () =
       ("watchdog", watchdog_tests);
       ("quarantine", quarantine_tests);
       ("store", store_tests);
+      ("flight", flight_tests);
       ("server", server_tests);
+      ("trace-correlation", trace_correlation_tests);
       ("idempotency", idempotency_tests);
       ("durability", durability_tests);
       ("chaos", chaos_tests);
