@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke serve-chaos bench bench-check bench-speedup bench-speedup-pr5 clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke serve-chaos shard-smoke bench bench-check bench-speedup bench-speedup-pr5 bench-speedup-pr9 clean
 
 all: build
 
@@ -65,6 +65,13 @@ serve-smoke: build
 serve-chaos: build
 	bash scripts/serve_chaos.sh
 
+# Sharded out-of-core smoke: the tiny campaign through --shards 4 under a
+# memory budget must produce canonical bytes identical to the unsharded
+# pipeline, engage disk spilling when the budget forces it, and leave no
+# spill scratch behind — including after a sharded daemon's SIGTERM drain.
+shard-smoke: build
+	bash scripts/shard_smoke.sh
+
 bench:
 	dune exec bench/main.exe
 
@@ -95,6 +102,18 @@ bench-speedup-pr5: build
 	test -f _build/BENCH_run.json || \
 	  dune exec bench/main.exe -- --json _build/BENCH_run.json
 	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr5.json \
+	  _build/BENCH_run.json
+
+# Sharded-exploration trajectory (report-only, never fails): speedup factors
+# against the snapshot taken just before the sharded engine landed.  The
+# hard guarantees (shards:1 overhead <= 1.05x, worker scaling on multi-core
+# machines, spill engagement) are asserted inside the t18_sharded group
+# itself, which this target always re-runs.
+bench-speedup-pr9: build
+	dune exec bench/main.exe -- t18_sharded --json _build/BENCH_t18.json
+	test -f _build/BENCH_run.json || \
+	  dune exec bench/main.exe -- --json _build/BENCH_run.json
+	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr9.json \
 	  _build/BENCH_run.json
 
 clean:

@@ -9,6 +9,7 @@ module Chaos = Mechaml_core.Chaos
 module Witness = Mechaml_mc.Witness
 module Checker = Mechaml_mc.Checker
 module Dot = Mechaml_ts.Dot
+module Shard = Mechaml_ts.Shard
 module Railcab = Mechaml_scenarios.Railcab
 module Protocol = Mechaml_scenarios.Protocol
 module Watchdog = Mechaml_scenarios.Watchdog
@@ -53,6 +54,67 @@ let incremental_debug_t =
      than both modes combined; a correctness harness, not a production setting."
   in
   Arg.(value & flag & info [ "incremental-debug" ] ~doc)
+
+(* -- sharded, out-of-core exploration (shared by run, campaign and serve) -- *)
+
+let shards_t =
+  let doc =
+    "Partition the product exploration and the model-checking fixpoints into $(docv) \
+     shards by state-key hash.  Verdicts, witnesses and canonical reports are \
+     byte-identical for every shard count; sharding only changes memory locality and \
+     enables $(b,--mem-budget) spilling."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
+let mem_budget_t =
+  let doc =
+    "Residency watermark for the sharded product, e.g. $(b,64M) or $(b,2G) (suffixes \
+     K/M/G, plain bytes otherwise).  Cold shard segments beyond the watermark spill to \
+     disk and reload on demand.  Implies sharded exploration even with $(b,--shards 1)."
+  in
+  Arg.(value & opt (some string) None & info [ "mem-budget" ] ~docv:"BYTES" ~doc)
+
+let spill_dir_t =
+  let doc =
+    "Parent directory for spill files (default: the system temp dir).  The per-run \
+     subdirectory is removed when the run completes."
+  in
+  Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+
+let parse_size s =
+  let fail () = Error (Printf.sprintf "cannot parse size %S (expected e.g. 512K, 64M, 2G)" s) in
+  let n = String.length s in
+  if n = 0 then fail ()
+  else
+    let mult, digits =
+      match s.[n - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | '0' .. '9' -> (1, s)
+      | _ -> (0, "")
+    in
+    if mult = 0 then fail ()
+    else
+      match int_of_string_opt digits with
+      | Some v when v > 0 -> Ok (v * mult)
+      | _ -> fail ()
+
+(* [None] when every flag is at its default — the standard materialized
+   pipeline; any sharding-related flag switches to the sharded one *)
+let sharding_of ~shards ~mem_budget ~spill_dir =
+  let input_error msg =
+    Format.eprintf "mechaverify: %s@." msg;
+    exit 3
+  in
+  if shards < 1 then input_error "--shards must be at least 1";
+  let budget =
+    Option.map
+      (fun s -> match parse_size s with Ok v -> v | Error msg -> input_error msg)
+      mem_budget
+  in
+  if shards = 1 && budget = None && spill_dir = None then None
+  else Some (Shard.config ~shards ?mem_budget:budget ?spill_dir ())
 
 (* -- fault injection & supervision (shared by run and campaign) -- *)
 
@@ -383,7 +445,8 @@ let run_cmd =
   in
   let run () strategy dot_dir context_path legacy_path property prefix knowledge
       save_knowledge batch inject seed deadline_ms votes quorum breaker journal resume
-      snapshot no_incremental incremental_debug =
+      snapshot no_incremental incremental_debug shards mem_budget spill_dir =
+    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
     let context = load_automaton context_path in
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
@@ -424,7 +487,7 @@ let run_cmd =
     let r =
       Loop.run ~strategy ~label_of ?initial_knowledge ~counterexamples_per_iteration:batch
         ?observe ?journal ?resume ?snapshot ~incremental:(not no_incremental)
-        ~incremental_debug ~context ~property ~legacy:box ()
+        ~incremental_debug ?sharding ~context ~property ~legacy:box ()
     in
     Option.iter
       (fun path ->
@@ -445,7 +508,7 @@ let run_cmd =
       const run $ obs_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
       $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t $ inject_t $ seed_t
       $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t
-      $ no_incremental_t $ incremental_debug_t)
+      $ no_incremental_t $ incremental_debug_t $ shards_t $ mem_budget_t $ spill_dir_t)
 
 (* -- learn: whole-component learning baseline on a file -- *)
 
@@ -558,7 +621,9 @@ let campaign_cmd =
     n = 0 || go 0
   in
   let run () jobs report csv canonical tiny select timeout retries no_cache inject seed
-      deadline_ms votes quorum breaker no_incremental incremental_debug =
+      deadline_ms votes quorum breaker no_incremental incremental_debug shards mem_budget
+      spill_dir =
+    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
       exit 3
@@ -597,7 +662,7 @@ let campaign_cmd =
     let t0 = Unix.gettimeofday () in
     let outcomes =
       Campaign.run ~jobs ~memo:(not no_cache) ~incremental:(not no_incremental)
-        ~incremental_debug specs
+        ~incremental_debug ?sharding specs
     in
     let wall = Unix.gettimeofday () -. t0 in
     print_endline (Report.table outcomes);
@@ -628,7 +693,8 @@ let campaign_cmd =
     Term.(
       const run $ obs_t $ jobs_t $ report_t $ csv_t $ canonical_t $ tiny_t $ select_t
       $ timeout_t $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t
-      $ quorum_t $ breaker_t $ no_incremental_t $ incremental_debug_t)
+      $ quorum_t $ breaker_t $ no_incremental_t $ incremental_debug_t $ shards_t
+      $ mem_budget_t $ spill_dir_t)
 
 (* -- export: bundled scenario automata as textio files -- *)
 
@@ -851,7 +917,8 @@ let serve_cmd =
   let run () host port workers handlers queue_bound inflight_cap weights cache_capacity
       snapshot snapshot_every drain_deadline job_deadline wal io_timeout max_pending
       quarantine_strikes quarantine_ttl slo_thresholds slo_objective flight_size
-      flight_dump =
+      flight_dump shards mem_budget spill_dir =
+    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
     let srv =
       try
         Server.start
@@ -876,6 +943,7 @@ let serve_cmd =
             slo_objective;
             flight_size;
             flight_dump;
+            sharding;
           }
       with Invalid_argument msg ->
         Format.eprintf "mechaverify: %s@." msg;
@@ -906,7 +974,8 @@ let serve_cmd =
       $ workers_t $ handlers_t $ queue_bound_t $ inflight_cap_t $ weight_t
       $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t
       $ job_deadline_t $ wal_t $ io_timeout_t $ max_pending_t $ quarantine_strikes_t
-      $ quarantine_ttl_t $ slo_t $ slo_objective_t $ flight_size_t $ flight_dump_t)
+      $ quarantine_ttl_t $ slo_t $ slo_objective_t $ flight_size_t $ flight_dump_t
+      $ shards_t $ mem_budget_t $ spill_dir_t)
 
 (* -- submit: client for a running daemon -- *)
 

@@ -129,6 +129,7 @@ val run :
   ?incremental:bool ->
   ?incremental_threshold:int ->
   ?incremental_debug:bool ->
+  ?sharding:Mechaml_ts.Shard.config ->
   context:Mechaml_ts.Automaton.t ->
   property:Mechaml_logic.Ctl.t ->
   legacy:Mechaml_legacy.Blackbox.t ->
@@ -191,7 +192,17 @@ val run :
     state spaces a from-scratch rebuild is cheaper than maintaining the
     caches.  Once some iteration's closure reaches the threshold the
     machinery engages for the rest of the run (the closure only grows).
-    [0] forces it on from the first iteration. *)
+    [0] forces it on from the first iteration.
+
+    [sharding] switches the check phase to the partitioned, out-of-core
+    pipeline: the product is explored as per-shard CSR segments
+    ({!Mechaml_ts.Shard}) and the verdict computed by the sharded fixpoint
+    engine ({!Mechaml_mc.Shardsat}), with cold segments spilled to disk
+    under the config's memory budget.  Verdicts, witnesses, trails and
+    canonical reports are byte-identical to the default path for any shard
+    count; the materialized product is only built when a violation needs
+    its witness.  Sharded checks skip the incremental product and
+    warm-start machinery (the report's reuse counters stay 0). *)
 
 val pp_iteration : Format.formatter -> iteration -> unit
 

@@ -91,7 +91,7 @@ exception Out_of_time
 (* Internal: unwinds Loop.run from inside a hook when the deadline passed.
    The loop holds no resources, so unwinding is safe at any stage. *)
 
-let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false)
+let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false) ?sharding
     (spec : spec) : outcome =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun budget -> start +. budget) spec.timeout in
@@ -126,7 +126,17 @@ let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false
     match cache with
     | None -> compute ()
     | Some c ->
-      let key = Cache.digest ("check", strategy_string spec.strategy, formulas, product) in
+      (* In sharded mode no product automaton exists at check time — the
+         loop hands the closure instead, so the key must also carry the
+         context (the product is a function of both) and a distinct tag
+         keeping sharded and materialized entries disjoint. *)
+      let key =
+        match sharding with
+        | None -> Cache.digest ("check", strategy_string spec.strategy, formulas, product)
+        | Some _ ->
+          Cache.digest
+            ("check-sharded", strategy_string spec.strategy, formulas, spec.context, product)
+      in
       let v, hit = Cache.check c ~key compute in
       if hit then incr check_hits else incr check_misses;
       v
@@ -164,7 +174,7 @@ let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false
         match
           Loop.run ~strategy:spec.strategy ~label_of:spec.label_of
             ?max_iterations:spec.max_iterations ~on_closure ~on_check ?observe
-            ~incremental ~incremental_debug ~context:spec.context
+            ~incremental ~incremental_debug ?sharding ~context:spec.context
             ~property:spec.property ~legacy:box ()
         with
         | r -> (k, Ok r)
@@ -254,7 +264,7 @@ let run_spec_unobserved ?cache ?(incremental = true) ?(incremental_debug = false
       supervision;
     }
 
-let run_spec ?cache ?incremental ?incremental_debug (spec : spec) : outcome =
+let run_spec ?cache ?incremental ?incremental_debug ?sharding (spec : spec) : outcome =
   Trace.with_span ~name:"campaign.job"
     ~args:
       [
@@ -263,9 +273,9 @@ let run_spec ?cache ?incremental ?incremental_debug (spec : spec) : outcome =
         ("seed", Trace.Int spec.seed);
       ]
     (fun () ->
-      run_spec_unobserved ?cache ?incremental ?incremental_debug spec)
+      run_spec_unobserved ?cache ?incremental ?incremental_debug ?sharding spec)
 
-let run ?(jobs = 1) ?cache ?(memo = true) ?incremental ?incremental_debug specs =
+let run ?(jobs = 1) ?cache ?(memo = true) ?incremental ?incremental_debug ?sharding specs =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun s ->
@@ -278,7 +288,7 @@ let run ?(jobs = 1) ?cache ?(memo = true) ?incremental ?incremental_debug specs 
     else Some (match cache with Some c -> c | None -> Cache.create ())
   in
   Pool.map ~jobs
-    ~f:(fun spec -> run_spec ?cache ?incremental ?incremental_debug spec)
+    ~f:(fun spec -> run_spec ?cache ?incremental ?incremental_debug ?sharding spec)
     (Array.of_list specs)
   |> Array.to_list
 

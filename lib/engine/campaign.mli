@@ -117,7 +117,8 @@ val verdict_string : verdict -> string
 val strategy_string : Mechaml_mc.Witness.strategy -> string
 
 val run_spec :
-  ?cache:Cache.t -> ?incremental:bool -> ?incremental_debug:bool -> spec -> outcome
+  ?cache:Cache.t -> ?incremental:bool -> ?incremental_debug:bool ->
+  ?sharding:Mechaml_ts.Shard.config -> spec -> outcome
 (** Execute one job: build the box, run the loop (memoized through [cache]
     when given), enforcing the timeout between stages and retrying crashed
     attempts up to [retries] times.  Never raises: crashes and timeouts
@@ -125,11 +126,15 @@ val run_spec :
     incremental re-verification engine; verdicts and canonical reports are
     identical either way ({!Mechaml_core.Loop.run}), so memo-cache keys and
     hits are unaffected.  [incremental_debug] recomputes every reused stage
-    from scratch and fails on divergence. *)
+    from scratch and fails on divergence.  [sharding] selects the loop's
+    partitioned, out-of-core check pipeline ({!Mechaml_core.Loop.run});
+    verdicts and canonical reports are byte-identical to the default path,
+    and memo entries for sharded checks are keyed apart from materialized
+    ones. *)
 
 val run :
   ?jobs:int -> ?cache:Cache.t -> ?memo:bool -> ?incremental:bool ->
-  ?incremental_debug:bool -> spec list -> outcome list
+  ?incremental_debug:bool -> ?sharding:Mechaml_ts.Shard.config -> spec list -> outcome list
 (** Run a campaign on [jobs] worker domains (default 1; [1] executes
     sequentially in list order).  All jobs share one cache — [cache] to
     reuse a warm one across campaigns, [memo:false] to disable memoization

@@ -36,7 +36,8 @@ type result = { verdict : verdict; pairs_explored : int }
 let dense_cap = 1 lsl 22
 
 let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
-    ?(bad = fun _ _ -> false) () =
+    ?(shards = 1) ?(bad = fun _ _ -> false) () =
+  if shards < 1 then invalid_arg "Onthefly.check_safety: shards must be >= 1";
   let join = Compose.joint_iter left right in
   let in_shift = Universe.size left.Automaton.inputs in
   let out_shift = Universe.size left.Automaton.outputs in
@@ -51,8 +52,24 @@ let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
        not stored: unwinding re-enumerates the parent's joint moves and
        takes the first one reaching the child — the same move that recorded
        the parent when the child was first visited, since visits happen in
-       enumeration order. *)
-    let seen = Mechaml_util.Bitvec.create (n_l * n_r) in
+       enumeration order.
+
+       The visited set is striped into [shards] dense per-shard bitmaps by
+       [code mod shards] — the same partition the sharded product uses —
+       so a sharded exploration's visited bits stay shard-local.  With one
+       shard the layout degenerates to the previous single flat vector;
+       membership answers are identical either way. *)
+    let total = n_l * n_r in
+    let seen =
+      Array.init shards (fun k ->
+          Mechaml_util.Bitvec.create (max ((total - k + shards - 1) / shards) 1))
+    in
+    let seen_get code =
+      Mechaml_util.Bitvec.unsafe_get seen.(code mod shards) (code / shards)
+    in
+    let seen_set code =
+      Mechaml_util.Bitvec.unsafe_set seen.(code mod shards) (code / shards)
+    in
     let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
     let queue = Queue.create () in
     let explored = ref 0 in
@@ -78,8 +95,8 @@ let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
     in
     let verdict = ref None in
     let visit ?from code =
-      if !verdict = None && not (Mechaml_util.Bitvec.unsafe_get seen code) then begin
-        Mechaml_util.Bitvec.unsafe_set seen code;
+      if !verdict = None && not (seen_get code) then begin
+        seen_set code;
         (match from with Some p -> Hashtbl.add parent code p | None -> ());
         incr explored;
         let l = code / n_r and r = code mod n_r in
@@ -141,9 +158,9 @@ let check_safety_unobserved ~(left : Automaton.t) ~(right : Automaton.t)
 
 (* The span's interesting argument (pairs explored) is only known afterwards,
    hence [complete] rather than [with_span]. *)
-let check_safety ~left ~right ?bad () =
+let check_safety ~left ~right ?shards ?bad () =
   let t0 = if Trace.is_enabled () then Some (Trace.now_us ()) else None in
-  let result = check_safety_unobserved ~left ~right ?bad () in
+  let result = check_safety_unobserved ~left ~right ?shards ?bad () in
   Metrics.add m_pairs_explored result.pairs_explored;
   (match t0 with
   | Some start_us ->
@@ -153,7 +170,7 @@ let check_safety ~left ~right ?bad () =
   | None -> ());
   result
 
-let violates_invariant ~left ~right ~invariant () =
+let violates_invariant ~left ~right ?shards ~invariant () =
   let body =
     match invariant with
     | Ctl.Ag (None, body) -> body
@@ -177,4 +194,4 @@ let violates_invariant ~left ~right ~invariant () =
     | Ctl.Au _ | Ctl.Eu _ ->
       invalid_arg "Onthefly.violates_invariant: the AG body must be a boolean state formula"
   in
-  check_safety ~left ~right ~bad:(fun ls rs -> not (eval ls rs body)) ()
+  check_safety ~left ~right ?shards ~bad:(fun ls rs -> not (eval ls rs body)) ()

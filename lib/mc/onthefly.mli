@@ -25,6 +25,7 @@ type result = { verdict : verdict; pairs_explored : int }
 val check_safety :
   left:Mechaml_ts.Automaton.t ->
   right:Mechaml_ts.Automaton.t ->
+  ?shards:int ->
   ?bad:(Mechaml_ts.Automaton.state -> Mechaml_ts.Automaton.state -> bool) ->
   unit ->
   result
@@ -32,11 +33,17 @@ val check_safety :
     violation predicate (default: never), checked before deadlock at each
     pair; the verdict therefore mirrors
     [Checker.check_conjunction [AG ¬bad; AG ¬δ]] on the materialized
-    product, at a fraction of the allocation and with early exit. *)
+    product, at a fraction of the allocation and with early exit.
+
+    [shards] (default 1) stripes the dense visited set into that many
+    per-shard bitmaps — the partition {!Mechaml_ts.Shard} uses — with
+    identical verdicts and exploration counts for any value.  Raises
+    [Invalid_argument] on [shards < 1]. *)
 
 val violates_invariant :
   left:Mechaml_ts.Automaton.t ->
   right:Mechaml_ts.Automaton.t ->
+  ?shards:int ->
   invariant:Mechaml_logic.Ctl.t ->
   unit ->
   result

@@ -93,6 +93,23 @@ let stats_body ctx =
              (fun (key, reason) ->
                Json.Obj [ ("digest", Json.Str key); ("reason", Json.Str reason) ])
              (Quarantine.active (Store.quarantine ctx.store))) );
+      ( "sharding",
+        match Store.sharding ctx.store with
+        | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+        | Some cfg ->
+          Json.Obj
+            [
+              ("enabled", Json.Bool true);
+              ("shards", Json.Num (float_of_int cfg.Mechaml_ts.Shard.shards));
+              ( "mem_budget",
+                match cfg.Mechaml_ts.Shard.mem_budget with
+                | None -> Json.Null
+                | Some b -> Json.Num (float_of_int b) );
+              ( "spills",
+                Json.Num (float_of_int (Mechaml_util.Segment.total_spills ())) );
+              ( "reloads",
+                Json.Num (float_of_int (Mechaml_util.Segment.total_reloads ())) );
+            ] );
     ]
 
 (* -- POST /v1/campaign ------------------------------------------------------ *)

@@ -29,6 +29,7 @@ type config = {
   slo_objective : float option;
   flight_size : int option;
   flight_dump : string option;
+  sharding : Mechaml_ts.Shard.config option;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     slo_objective = None;
     flight_size = None;
     flight_dump = None;
+    sharding = None;
   }
 
 let m_overload_closed =
@@ -213,7 +215,7 @@ let start cfg =
   let store =
     Store.create ?wal:cfg.wal ?default_deadline_s:cfg.job_deadline_s
       ?quarantine_strikes:cfg.quarantine_strikes ?quarantine_ttl_s:cfg.quarantine_ttl_s
-      ~slo ~sched ~cache ()
+      ?sharding:cfg.sharding ~slo ~sched ~cache ()
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;

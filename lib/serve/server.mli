@@ -48,13 +48,18 @@ type config = {
   flight_dump : string option;
       (** install a [SIGQUIT] handler that dumps the flight recorder to this
           path ({!Mechaml_obs.Flight.install_signal_dump}) *)
+  sharding : Mechaml_ts.Shard.config option;
+      (** run every job through the sharded, out-of-core check pipeline
+          ({!Mechaml_ts.Shard}); verdicts and canonical reports are
+          byte-identical to the default path, and [/v1/stats] reports the
+          daemon-wide spill/reload counters *)
 }
 
 val default : config
 (** [127.0.0.1:0], 4 workers, 4 handlers, queue bound 256, in-flight cap 64,
     no weights, unbounded cache, no snapshot, no job deadline, no WAL, 30s
     I/O timeout, 128 pending connections, {!Quarantine} defaults, default
-    SLO thresholds, no SIGQUIT dump path. *)
+    SLO thresholds, no SIGQUIT dump path, no sharding. *)
 
 type t
 

@@ -43,6 +43,8 @@ type t = {
   cache : Cache.t;
   quarantine : Quarantine.t;
   slo : Slo.t option;  (** stage-latency objectives (queue/closure/check) *)
+  sharding : Mechaml_ts.Shard.config option;
+      (** when set, every job runs through the sharded check pipeline *)
   default_deadline_s : float option;
   mutable serial : int;  (** uniquifies generated keys *)
 }
@@ -56,6 +58,8 @@ let key e = e.key
 let size e = e.n
 
 let quarantine t = t.quarantine
+
+let sharding t = t.sharding
 
 (* -- stand-in outcomes ------------------------------------------------------ *)
 
@@ -204,7 +208,7 @@ let schedule t e ~deadline_s indexed =
             (standin spec (Campaign.Failed "discarded: daemon drained before the job ran"))
         in
         let run () =
-          let o = Campaign.run_spec ~cache:t.cache spec in
+          let o = Campaign.run_spec ?sharding:t.sharding ~cache:t.cache spec in
           Option.iter
             (fun slo ->
               (* stage latencies of jobs that actually ran; stand-ins never
@@ -455,7 +459,8 @@ let replay t path =
             missing)
       unfinished
 
-let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ?slo ~sched
+let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ?slo
+    ?sharding ~sched
     ~cache () =
   let t =
     {
@@ -471,6 +476,7 @@ let create ?wal ?default_deadline_s ?quarantine_strikes ?quarantine_ttl_s ?slo ~
       quarantine =
         Quarantine.create ?strikes:quarantine_strikes ?ttl_s:quarantine_ttl_s ();
       slo;
+      sharding;
       default_deadline_s;
       serial = 0;
     }

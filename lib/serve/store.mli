@@ -34,6 +34,7 @@ val create :
   ?quarantine_strikes:int ->
   ?quarantine_ttl_s:float ->
   ?slo:Slo.t ->
+  ?sharding:Mechaml_ts.Shard.config ->
   sched:Scheduler.t ->
   cache:Mechaml_engine.Cache.t ->
   unit ->
@@ -44,7 +45,10 @@ val create :
     half-replayed state.  [default_deadline_s] applies to submissions that
     carry no [deadline_s] of their own.  With [slo], the store observes the
     [queue] stage at dispatch and the [closure]/[check] stages from each
-    completed job's measured phase times. *)
+    completed job's measured phase times.  With [sharding], every executed
+    job uses the partitioned out-of-core check pipeline
+    ({!Mechaml_engine.Campaign.run_spec}) — verdicts are byte-identical to
+    the default path. *)
 
 type error =
   | Invalid of string  (** unresolvable selection — a 400 *)
@@ -78,6 +82,9 @@ val complete : t -> key:string -> index:int -> Mechaml_engine.Campaign.outcome -
 
 val status : t -> key:string -> Wire.job_status option
 (** The [GET /v1/jobs/<key>] view; [None] for unknown keys. *)
+
+val sharding : t -> Mechaml_ts.Shard.config option
+(** The sharded-check configuration jobs run under, if any. *)
 
 val quarantine : t -> Quarantine.t
 (** The poison registry (for stats and tests). *)

@@ -1,0 +1,100 @@
+(** Sharded, out-of-core product exploration.
+
+    {!Compose.parallel} materializes the whole product as one automaton —
+    one interning table, one adjacency array, one domain's RAM.  [Shard]
+    partitions the same BFS by a hash of the packed pair key: one interning
+    table and one CSR segment per shard, shard-local frontiers expanded per
+    BFS level (on worker domains when available), and a boundary-exchange
+    merge that hands out state numbers in {e global discovery order} — so
+    state numbering, labels, adjacency order, and therefore every verdict
+    derived from them are byte-identical to the single-shard construction
+    for any shard count.
+
+    Under a memory budget the per-shard segments live in a {!Segment}
+    manager: cold shards spill to disk and reload on demand, bounding
+    resident memory by the watermark instead of the product size.  The
+    sharded product deliberately stores no state names and no transition
+    labels — just enough structure (labels, CSR in both directions,
+    blocking set) for the global model checker; witness extraction falls
+    back to the materialized product. *)
+
+module Bitset = Mechaml_util.Bitset
+module Bitvec = Mechaml_util.Bitvec
+module Segment = Mechaml_util.Segment
+
+type config = {
+  shards : int;  (** number of partitions, >= 1 *)
+  mem_budget : int option;  (** residency watermark in bytes; [None] = never spill *)
+  spill_dir : string option;  (** parent directory for spill files *)
+  workers : int option;
+      (** expansion worker domains; default [min shards (recommended_domain_count)] *)
+}
+
+val config :
+  ?shards:int -> ?mem_budget:int -> ?spill_dir:string -> ?workers:int -> unit -> config
+(** Defaults: [shards = 1], no budget, system temp dir, automatic workers.
+    Raises [Invalid_argument] on [shards < 1] or [workers < 1]. *)
+
+type t
+
+(** One shard's resident segment: [members] maps local index to global
+    state id (ascending); [row]/[dst] and [prow]/[psrc] are the forward and
+    predecessor CSR over local source indices with global neighbour ids.
+    Views borrow manager payloads — they stay valid even if the shard is
+    evicted while in use, but long-lived references defeat the budget. *)
+type view = {
+  members : int array;
+  row : int array;
+  dst : int array;
+  prow : int array;
+  psrc : int array;
+}
+
+val explore : ?config:config -> Automaton.t -> Automaton.t -> t
+(** [explore left right] builds the sharded product of the two operands.
+    Same preconditions as {!Compose.parallel} (composability, disjoint
+    proposition universes); raises [Invalid_argument] otherwise. *)
+
+val num_states : t -> int
+
+val num_transitions : t -> int
+
+val initial : t -> int list
+(** Global ids of the initial pairs, in {!Compose.parallel}'s order. *)
+
+val shards : t -> int
+
+val sizes : t -> int array
+(** States per shard. *)
+
+val owner : t -> int array
+(** Global state id -> owning shard. *)
+
+val local : t -> int array
+(** Global state id -> local index within its owning shard. *)
+
+val labels : t -> Bitset.t array
+(** Global state id -> proposition labels (left labels, then right labels
+    shifted past the left proposition universe — {!Compose.parallel}'s
+    packing). *)
+
+val props : t -> Universe.t
+(** The product's proposition universe (left ∪ right). *)
+
+val blocking : t -> Bitvec.t
+(** Global bit per state: no outgoing joint move. *)
+
+val view : t -> int -> view
+(** The shard's segment, reloading from spill files as needed; raises
+    {!Segment.Spill_error} on a damaged spill file. *)
+
+val manager : t -> Segment.t
+(** The residency manager — the checker registers its per-shard sat-set
+    bit vectors here so they share the same budget and spill tier. *)
+
+val spills : t -> int
+
+val reloads : t -> int
+
+val close : t -> unit
+(** Remove every spill file.  Idempotent. *)

@@ -100,22 +100,91 @@ let logimplies a b = mask_last (map2 (fun x y -> lnot x lor y) a b)
 
 let lognot a = mask_last { len = a.len; words = Array.map lnot a.words }
 
+let iter_word f base w0 =
+  let w = ref w0 in
+  while !w <> 0 do
+    let lsb = !w land - !w in
+    (* index of the isolated low bit: count trailing zeros by shifting *)
+    let i = ref 0 and m = ref lsb in
+    while !m land 1 = 0 do
+      m := !m lsr 1;
+      incr i
+    done;
+    f (base + !i);
+    w := !w land (!w - 1)
+  done
+
 let iter_true f v =
   for wi = 0 to Array.length v.words - 1 do
-    let w = ref v.words.(wi) in
-    let base = wi * bits in
-    while !w <> 0 do
-      let lsb = !w land - !w in
-      (* index of the isolated low bit: count trailing zeros by shifting *)
-      let i = ref 0 and m = ref lsb in
-      while !m land 1 = 0 do
-        m := !m lsr 1;
-        incr i
-      done;
-      f (base + !i);
-      w := !w land (!w - 1)
-    done
+    iter_word f (wi * bits) v.words.(wi)
   done
+
+let iter_true_range f v ~lo ~hi =
+  if lo < 0 || hi > v.len || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Bitvec.iter_true_range: bad range [%d, %d) for length %d" lo hi
+         v.len);
+  if lo < hi then begin
+    let w0 = lo / bits and w1 = (hi - 1) / bits in
+    for wi = w0 to w1 do
+      let w = ref v.words.(wi) in
+      if wi = w0 then w := !w land lnot ((1 lsl (lo mod bits)) - 1);
+      let r = hi mod bits in
+      if wi = w1 && r <> 0 then w := !w land ((1 lsl r) - 1);
+      iter_word f (wi * bits) !w
+    done
+  end
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || dst_pos < 0 || src_pos + len > src.len
+     || dst_pos + len > dst.len
+  then
+    invalid_arg
+      (Printf.sprintf "Bitvec.blit: bad range (src_pos %d dst_pos %d len %d)" src_pos
+         dst_pos len);
+  if src_pos mod bits = 0 && dst_pos mod bits = 0 then begin
+    (* word-aligned fast path: the common case for boundary-exchange buffers,
+       which slice at word-multiple offsets *)
+    let full = len / bits in
+    let tail () =
+      for i = full * bits to len - 1 do
+        if unsafe_get src (src_pos + i) then unsafe_set dst (dst_pos + i)
+        else unsafe_clear dst (dst_pos + i)
+      done
+    in
+    (* aliased right-shifting copy: the tail reads source bits the word blit
+       would overwrite, so it must run first (Array.blit itself is memmove) *)
+    if src.words == dst.words && dst_pos > src_pos then begin
+      tail ();
+      Array.blit src.words (src_pos / bits) dst.words (dst_pos / bits) full
+    end
+    else begin
+      Array.blit src.words (src_pos / bits) dst.words (dst_pos / bits) full;
+      tail ()
+    end
+  end
+  else if src.words == dst.words && dst_pos > src_pos then
+    (* overlapping self-blit shifting right: copy downwards, like Array.blit *)
+    for i = len - 1 downto 0 do
+      if unsafe_get src (src_pos + i) then unsafe_set dst (dst_pos + i)
+      else unsafe_clear dst (dst_pos + i)
+    done
+  else
+    for i = 0 to len - 1 do
+      if unsafe_get src (src_pos + i) then unsafe_set dst (dst_pos + i)
+      else unsafe_clear dst (dst_pos + i)
+    done
+
+let sub src ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > src.len then
+    invalid_arg (Printf.sprintf "Bitvec.sub: bad range (pos %d len %d)" pos len);
+  let out = create len in
+  blit ~src ~src_pos:pos ~dst:out ~dst_pos:0 ~len;
+  out
+
+let sub_into src ~pos ~len dst =
+  if len > dst.len then invalid_arg "Bitvec.sub_into: destination too short";
+  blit ~src ~src_pos:pos ~dst ~dst_pos:0 ~len
 
 let to_bool_array v = Array.init v.len (fun i -> v.words.(i / bits) land (1 lsl (i mod bits)) <> 0)
 

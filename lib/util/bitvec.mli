@@ -62,6 +62,27 @@ val logimplies : t -> t -> t
 val iter_true : (int -> unit) -> t -> unit
 (** Apply to every set index, in increasing order. *)
 
+val iter_true_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
+(** [iter_true_range f v ~lo ~hi] applies [f] to every set index in
+    [\[lo, hi)], in increasing order — the boundary-exchange primitive: a
+    shard scans only its frontier window instead of re-scanning whole words.
+    Raises [Invalid_argument] unless [0 <= lo <= hi <= length v]. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Copy [len] bits from [src] starting at [src_pos] into [dst] starting at
+    [dst_pos].  Word-aligned positions take a word-[blit] fast path;
+    overlapping self-blits behave like [Array.blit].  Raises
+    [Invalid_argument] when either range is out of bounds. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub v ~pos ~len] is a fresh vector of the bits [\[pos, pos+len)]. *)
+
+val sub_into : t -> pos:int -> len:int -> t -> unit
+(** [sub_into src ~pos ~len dst] copies [src]'s bits [\[pos, pos+len)] onto
+    [dst]'s bits [\[0, len)], leaving the rest of [dst] untouched.  Raises
+    [Invalid_argument] when [dst] is shorter than [len] or the source range
+    is out of bounds. *)
+
 val to_bool_array : t -> bool array
 
 val of_bool_array : bool array -> t

@@ -70,6 +70,56 @@ let prop_tests =
       (fun a ->
         let v = Bitvec.of_bool_array a and w = Bitvec.of_bool_array a in
         Bitvec.equal v w);
+    (* ranges are picked from the pair of arrays, so every alignment of word
+       boundaries (including len = 0 and full-width copies) gets exercised *)
+    qcheck "blit agrees with the bool-array model"
+      QCheck.(
+        pair
+          (pair (array_of_size Gen.(int_range 1 300) bool) small_nat)
+          (pair (array_of_size Gen.(int_range 1 300) bool) (pair small_nat small_nat)))
+      (fun ((a, src_pos), (b, (dst_pos, len))) ->
+        let src_pos = src_pos mod Array.length a in
+        let dst_pos = dst_pos mod Array.length b in
+        let len = len mod (1 + min (Array.length a - src_pos) (Array.length b - dst_pos)) in
+        let va = Bitvec.of_bool_array a and vb = Bitvec.of_bool_array b in
+        Bitvec.blit ~src:va ~src_pos ~dst:vb ~dst_pos ~len;
+        Array.blit a src_pos b dst_pos len;
+        Bitvec.to_bool_array vb = b && Bitvec.to_bool_array va = a);
+    qcheck "overlapping self-blit agrees with the bool-array model"
+      QCheck.(pair (array_of_size Gen.(int_range 1 300) bool) (pair small_nat (pair small_nat small_nat)))
+      (fun (a, (src_pos, (dst_pos, len))) ->
+        let src_pos = src_pos mod Array.length a in
+        let dst_pos = dst_pos mod Array.length a in
+        let len = len mod (1 + min (Array.length a - src_pos) (Array.length a - dst_pos)) in
+        let v = Bitvec.of_bool_array a in
+        Bitvec.blit ~src:v ~src_pos ~dst:v ~dst_pos ~len;
+        Array.blit a src_pos a dst_pos len;
+        Bitvec.to_bool_array v = a);
+    qcheck "sub and sub_into round-trip through the model"
+      QCheck.(pair (array_of_size Gen.(int_range 1 300) bool) (pair small_nat small_nat))
+      (fun (a, (pos, len)) ->
+        let pos = pos mod Array.length a in
+        let len = len mod (1 + (Array.length a - pos)) in
+        let v = Bitvec.of_bool_array a in
+        let s = Bitvec.sub v ~pos ~len in
+        let d = Bitvec.of_bool_array (Array.make (len + 7) true) in
+        Bitvec.sub_into v ~pos ~len d;
+        let expect = Array.sub a pos len in
+        Bitvec.to_bool_array s = expect
+        && Array.sub (Bitvec.to_bool_array d) 0 len = expect
+        && Array.sub (Bitvec.to_bool_array d) len 7 = Array.make 7 true);
+    qcheck "iter_true_range matches the filtered enumeration"
+      QCheck.(pair (array_of_size Gen.(int_range 0 300) bool) (pair small_nat small_nat))
+      (fun (a, (x, y)) ->
+        let n = Array.length a in
+        let lo = if n = 0 then 0 else x mod (n + 1) in
+        let hi = lo + if n - lo = 0 then 0 else y mod (n - lo + 1) in
+        let v = Bitvec.of_bool_array a in
+        let got = ref [] in
+        Bitvec.iter_true_range (fun i -> got := i :: !got) v ~lo ~hi;
+        let expect = ref [] in
+        Bitvec.iter_true (fun i -> if i >= lo && i < hi then expect := i :: !expect) v;
+        !got = !expect);
   ]
 
 let () = Alcotest.run "bitvec" [ ("unit", unit_tests); ("prop", prop_tests) ]

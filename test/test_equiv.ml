@@ -26,6 +26,8 @@ module Families = Mechaml_scenarios.Families
 module Blackbox = Mechaml_legacy.Blackbox
 module Ctl = Mechaml_logic.Ctl
 module Prng = Mechaml_util.Prng
+module Shard = Mechaml_ts.Shard
+module Segment = Mechaml_util.Segment
 open Helpers
 
 (* [dune runtest] runs in [_build/default/test] next to the (dep-declared)
@@ -186,6 +188,91 @@ let property_tests =
       QCheck.small_nat loop_equivalence_prop;
   ]
 
+(* -- sharding neutrality ----------------------------------------------------
+
+   The sharded, out-of-core check pipeline (--shards/--mem-budget) is the
+   third thing that must be a pure speedup: partitioned exploration,
+   per-shard fixpoints and disk-spilled segments must reproduce the default
+   pipeline's canonical reports and per-iteration trails byte for byte —
+   for every shard count, worker count, and with spilling engaged. *)
+
+let sharded_loop_equivalence_prop shards seed =
+  let inputs = [ "i0"; "i1"; "i2" ] and outputs = [ "o0"; "o1" ] in
+  let legacy =
+    Families.random_machine ~seed ~states:(4 + (seed mod 5)) ~inputs ~outputs
+  in
+  let context =
+    Families.random_context ~seed ~states:(6 + (seed mod 7)) ~legacy_inputs:inputs
+      ~legacy_outputs:outputs
+  in
+  let go sharding =
+    Loop.run ~label_of:(fun _ -> []) ~context ~property:Ctl.deadlock_free
+      ~legacy:(Blackbox.of_automaton ~port:"p" legacy) ?sharding ()
+  in
+  let plain = go None
+  and sharded = go (Some (Shard.config ~shards ~mem_budget:2048 ())) in
+  let trail r = List.map iteration_signature r.Loop.iterations in
+  if verdict_tag plain.Loop.verdict <> verdict_tag sharded.Loop.verdict then
+    QCheck.Test.fail_reportf "sharded verdict differs (seed %d, %d shards): %s vs %s"
+      seed shards
+      (verdict_tag plain.Loop.verdict)
+      (verdict_tag sharded.Loop.verdict);
+  if trail plain <> trail sharded then
+    QCheck.Test.fail_reportf "sharded iteration records differ (seed %d, %d shards)" seed
+      shards;
+  true
+
+let sharding_tests =
+  [
+    test "sharded full matrix reproduces the canonical report (shards 2, jobs 4)"
+      (fun () ->
+        check_string "sharded canonical = reference"
+          (Report.canonical (Lazy.force sequential))
+          (Report.canonical
+             (Campaign.run ~jobs:4
+                ~sharding:(Shard.config ~shards:2 ())
+                (Campaign.bundled ()))));
+    test "shards 1/2/8 x jobs 1/4, spilling on and off, agree on the tiny matrix"
+      (fun () ->
+        let reference =
+          Report.canonical (Campaign.run ~jobs:1 (Campaign.bundled ~tiny:true ()))
+        in
+        List.iter
+          (fun (shards, jobs, mem_budget) ->
+            let sharding = Shard.config ~shards ?mem_budget () in
+            check_string
+              (Printf.sprintf "shards:%d jobs:%d budget:%s" shards jobs
+                 (match mem_budget with None -> "-" | Some b -> string_of_int b))
+              reference
+              (Report.canonical
+                 (Campaign.run ~jobs ~sharding (Campaign.bundled ~tiny:true ()))))
+          [
+            (1, 1, None);
+            (2, 1, None);
+            (2, 4, None);
+            (8, 1, Some 1024);
+            (8, 4, None);
+            (1, 4, Some 1024);
+          ]);
+    test "a budgeted campaign actually spills" (fun () ->
+        let before = Segment.total_spills () in
+        ignore
+          (Campaign.run ~jobs:1
+             ~sharding:(Shard.config ~shards:4 ~mem_budget:1024 ())
+             (Campaign.bundled ~tiny:true ()));
+        check_bool "spills engaged" true (Segment.total_spills () > before));
+  ]
+
+let sharding_property_tests =
+  [
+    qcheck ~count:10 "sharded Loop.run matches the default pipeline (2 shards)"
+      QCheck.small_nat
+      (sharded_loop_equivalence_prop 2);
+    qcheck ~count:10 "sharded Loop.run matches the default pipeline (8 shards)"
+      QCheck.small_nat
+      (sharded_loop_equivalence_prop 8);
+  ]
+
 (* -- daemon neutrality ------------------------------------------------------
 
    Serving a campaign through the mechaserve daemon (wire codec, scheduler,
@@ -260,5 +347,6 @@ let () =
       ("unit", unit_tests);
       ("incremental-neutrality", neutrality_tests);
       ("incremental-properties", property_tests);
+      ("sharding-neutrality", sharding_tests @ sharding_property_tests);
       ("daemon-neutrality", daemon_tests);
     ]
