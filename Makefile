@@ -1,5 +1,5 @@
 # Tier-1 gate: build, tests, and a campaign smoke run.
-.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke serve-chaos shard-smoke bench bench-check bench-speedup bench-speedup-pr5 bench-speedup-pr9 clean
+.PHONY: all build test smoke check faults-smoke kill-resume obs-smoke serve-smoke serve-chaos shard-smoke dist-smoke bench bench-check bench-speedup bench-speedup-pr5 bench-speedup-pr9 bench-speedup-pr10 clean
 
 all: build
 
@@ -72,6 +72,12 @@ serve-chaos: build
 shard-smoke: build
 	bash scripts/shard_smoke.sh
 
+# Cross-process distributed smoke: the tiny campaign through --dist-workers 2
+# (forked shard-worker processes), byte-identical canonicals, a SIGKILLed
+# worker mid-campaign recovered invisibly, clean teardown.
+dist-smoke: build
+	bash scripts/dist_smoke.sh
+
 bench:
 	dune exec bench/main.exe
 
@@ -114,6 +120,18 @@ bench-speedup-pr9: build
 	test -f _build/BENCH_run.json || \
 	  dune exec bench/main.exe -- --json _build/BENCH_run.json
 	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr9.json \
+	  _build/BENCH_run.json
+
+# Distributed-sharding trajectory (report-only, never fails): speedup factors
+# against the snapshot taken just before the cross-process tier landed.  The
+# hard guarantees (distributed verdict identity, coordinator residency under
+# the budget, fork-worker scaling on multi-core machines) are asserted inside
+# the t19_dist group itself, which this target always re-runs.
+bench-speedup-pr10: build
+	dune exec bench/main.exe -- t19_dist --json _build/BENCH_t19.json
+	test -f _build/BENCH_run.json || \
+	  dune exec bench/main.exe -- --json _build/BENCH_run.json
+	dune exec bench/bench_check.exe -- speedup bench/BENCH_pre_pr10.json \
 	  _build/BENCH_run.json
 
 clean:

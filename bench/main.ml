@@ -33,6 +33,8 @@ module Pp = Mechaml_util.Pp
 module Shard = Mechaml_ts.Shard
 module Shardsat = Mechaml_mc.Shardsat
 module Segment = Mechaml_util.Segment
+module Distshard = Mechaml_dist.Distshard
+module Distsat = Mechaml_dist.Distsat
 
 (* -- machine-readable output --------------------------------------------- *)
 
@@ -1347,6 +1349,125 @@ let exp_t18 () =
       !min_overhead;
   assert (!min_overhead <= 1.05)
 
+(* -- EXP-T19: cross-process distributed sharding --------------------------- *)
+
+let exp_t19 () =
+  header "EXP-T19"
+    "Cross-process distributed sharding: a forked shard-worker fleet shipping \
+     digest-verified segments over the wire vs the in-process sharded pipeline";
+  (* fork-mode workers re-exec the mechaverify binary (its [shard-worker]
+     subcommand); the bench binary has no such command, so point the spawner
+     at the sibling build product unless the caller already did *)
+  (if Sys.getenv_opt "MECHAVERIFY_BIN" = None then begin
+     let guess =
+       List.fold_left Filename.concat
+         (Filename.dirname Sys.executable_name)
+         [ Filename.parent_dir_name; "bin"; "mechaverify.exe" ]
+     in
+     if Sys.file_exists guess then Unix.putenv "MECHAVERIFY_BIN" guess
+     else
+       failwith
+         "t19_dist: set MECHAVERIFY_BIN to a built mechaverify binary \
+          (fork-mode workers re-exec it as `mechaverify shard-worker`)"
+   end);
+  let w = 1153 and h = 1024 in
+  let phi = Ctl.And (Ctl.deadlock_free, Ctl.Ag (None, Ctl.Not Ctl.Deadlock)) in
+  let left, right = mesh_pair ~w ~h in
+  let time f =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sharded shards =
+    let sp = Shard.explore ~config:(Shard.config ~shards ()) left right in
+    Fun.protect
+      ~finally:(fun () -> Shard.close sp)
+      (fun () ->
+        let senv = Shardsat.create sp in
+        ( Shardsat.holds_initially senv phi,
+          Shard.num_states sp,
+          Shard.num_transitions sp ))
+  in
+  (* a distributed run returns the verdict triple plus the coordinator's
+     post-check segment residency, sampled while the manager is still live *)
+  let distributed ?mem_budget ?(pair = (left, right)) ~workers shards =
+    let config =
+      Shard.config ~shards ?mem_budget
+        ~distribution:(Shard.distribution ~deadline_s:120. (Shard.Fork workers))
+        ()
+    in
+    let l, r = pair in
+    let dp = Distshard.explore ~config l r in
+    Fun.protect
+      ~finally:(fun () -> Distshard.close dp)
+      (fun () ->
+        let denv = Distsat.create dp in
+        let holds = Distsat.holds_initially denv phi in
+        ( (holds, Distshard.num_states dp, Distshard.num_transitions dp),
+          Segment.resident_bytes (Distshard.manager dp) ))
+  in
+  let (ref_holds, ref_states, ref_trans), t_ref = time (fun () -> sharded 8) in
+  assert (ref_states = w * h);
+  assert ref_holds;
+  let rows = ref [] in
+  let row name t = rows := [ name; Printf.sprintf "%.2f s" t ] :: !rows in
+  row "in-process sharded x8" t_ref;
+  json_metric "product states" (float_of_int ref_states);
+  json_metric "in-process sharded x8 wall s" t_ref;
+  (* two forked workers reproduce the in-process verdict and sizes exactly;
+     the wire totals below are what that byte-identity costs in traffic *)
+  let rounds0 = Distshard.total_rounds () in
+  let tx0 = Distshard.total_bytes_tx () and rx0 = Distshard.total_bytes_rx () in
+  let (verdict, _), t_dist2 = time (fun () -> distributed ~workers:2 8) in
+  assert (verdict = (ref_holds, ref_states, ref_trans));
+  row "distributed, 2 fork workers, x8" t_dist2;
+  json_metric "distributed 2-worker wall s" t_dist2;
+  json_metric "wire rounds" (float_of_int (Distshard.total_rounds () - rounds0));
+  json_metric "wire MiB tx"
+    (float_of_int (Distshard.total_bytes_tx () - tx0) /. (1024. *. 1024.));
+  json_metric "wire MiB rx"
+    (float_of_int (Distshard.total_bytes_rx () - rx0) /. (1024. *. 1024.));
+  (* out of core on the coordinator: a larger mesh under an 8 MiB residency
+     budget must spill, and the coordinator's live segment bytes must stay
+     at or under the budget even though every worker streams full segment
+     generations back to be banked for crash recovery *)
+  let budget = 8 * 1024 * 1024 in
+  let wide = mesh_pair ~w:1283 ~h:1152 in
+  let spills_before = Segment.total_spills () in
+  let ((b_holds, b_states, _), resident), t_budget =
+    time (fun () -> distributed ~mem_budget:budget ~pair:wide ~workers:2 8)
+  in
+  assert (b_holds = ref_holds && b_states = 1283 * 1152);
+  let spilled = Segment.total_spills () - spills_before in
+  assert (spilled > 0);
+  assert (resident <= budget);
+  row "distributed x8, larger mesh, 8 MiB budget (spilling)" t_budget;
+  json_metric "budgeted mesh states" (float_of_int (1283 * 1152));
+  json_metric "spilled segments" (float_of_int spilled);
+  json_metric "coordinator resident MiB" (float_of_int resident /. (1024. *. 1024.));
+  json_metric "budgeted distributed wall s" t_budget;
+  (* multi-process scaling needs real cores: on a single-core runner forked
+     workers only timeshare, so the assertion gates on the machine exactly
+     like EXP-T18's in-process worker scaling *)
+  (if Domain.recommended_domain_count () >= 4 then begin
+     let _, t1 = time (fun () -> distributed ~workers:1 8) in
+     let _, t4 = time (fun () -> distributed ~workers:4 8) in
+     let speedup = t1 /. t4 in
+     rows :=
+       [ "fork workers 1 -> 4 speedup (8 shards)"; Printf.sprintf "%.2fx" speedup ]
+       :: !rows;
+     json_metric "fork workers4 speedup" speedup;
+     if speedup < 2.0 then
+       Printf.printf "\nWARNING: fork workers:4 speedup %.2fx below the 2x floor\n"
+         speedup;
+     assert (speedup >= 1.5)
+   end
+   else
+     print_endline "(multi-process scaling assertion skipped: fewer than 4 cores)");
+  assert (Distshard.total_restarts () = 0);
+  print_endline (Pp.table ~header:[ "configuration"; "result" ] (List.rev !rows))
+
 (* -- main ------------------------------------------------------------------ *)
 
 let groups =
@@ -1375,6 +1496,7 @@ let groups =
     ("t16_resilience", exp_t16);
     ("t17_obs_serve", exp_t17);
     ("t18_sharded", exp_t18);
+    ("t19_dist", exp_t19);
   ]
 
 let () =

@@ -81,6 +81,32 @@ let spill_dir_t =
   in
   Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
 
+let dist_workers_t =
+  let doc =
+    "Run the sharded build and the model-checking fixpoints on $(docv) local worker \
+     $(i,processes) (spawned as $(b,mechaverify shard-worker)) instead of in-process \
+     domains.  Shard segments live in the workers; the coordinator keeps only the \
+     interning tables, banked edge generations and the merge.  Verdicts and canonical \
+     reports are byte-identical for every worker count.  Implies sharded exploration."
+  in
+  Arg.(value & opt int 0 & info [ "dist-workers" ] ~docv:"N" ~doc)
+
+let dist_connect_t =
+  let doc =
+    "Comma-separated addresses ($(b,host:port) or Unix socket paths) of pre-started \
+     $(b,mechaverify shard-worker) processes to run the sharded exploration on.  \
+     Mutually exclusive with $(b,--dist-workers)."
+  in
+  Arg.(value & opt (some string) None & info [ "dist-connect" ] ~docv:"ADDRS" ~doc)
+
+let dist_deadline_t =
+  let doc =
+    "Per-round worker reply deadline in seconds (default 120).  A worker silent for \
+     longer is declared dead; its shards are re-dispatched and rebuilt from the \
+     coordinator's banked segment generation."
+  in
+  Arg.(value & opt float 120. & info [ "dist-deadline" ] ~docv:"SEC" ~doc)
+
 let parse_size s =
   let fail () = Error (Printf.sprintf "cannot parse size %S (expected e.g. 512K, 64M, 2G)" s) in
   let n = String.length s in
@@ -102,7 +128,8 @@ let parse_size s =
 
 (* [None] when every flag is at its default — the standard materialized
    pipeline; any sharding-related flag switches to the sharded one *)
-let sharding_of ~shards ~mem_budget ~spill_dir =
+let sharding_of ~shards ~mem_budget ~spill_dir ?(dist_workers = 0) ?dist_connect
+    ?(dist_deadline = 120.) () =
   let input_error msg =
     Format.eprintf "mechaverify: %s@." msg;
     exit 3
@@ -113,8 +140,25 @@ let sharding_of ~shards ~mem_budget ~spill_dir =
       (fun s -> match parse_size s with Ok v -> v | Error msg -> input_error msg)
       mem_budget
   in
-  if shards = 1 && budget = None && spill_dir = None then None
-  else Some (Shard.config ~shards ?mem_budget:budget ?spill_dir ())
+  if dist_deadline <= 0. then input_error "--dist-deadline must be positive";
+  let distribution =
+    match (dist_workers, dist_connect) with
+    | 0, None -> None
+    | _, Some _ when dist_workers <> 0 ->
+      input_error "--dist-workers and --dist-connect are mutually exclusive"
+    | n, None ->
+      if n < 1 then input_error "--dist-workers must be at least 1";
+      Some (Shard.distribution ~deadline_s:dist_deadline (Shard.Fork n))
+    | _, Some s ->
+      let addrs =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+      in
+      if addrs = [] then input_error "--dist-connect needs at least one address";
+      Some (Shard.distribution ~deadline_s:dist_deadline (Shard.Connect addrs))
+  in
+  if shards = 1 && budget = None && spill_dir = None && distribution = None then None
+  else Some (Shard.config ~shards ?mem_budget:budget ?spill_dir ?distribution ())
 
 (* -- fault injection & supervision (shared by run and campaign) -- *)
 
@@ -445,8 +489,12 @@ let run_cmd =
   in
   let run () strategy dot_dir context_path legacy_path property prefix knowledge
       save_knowledge batch inject seed deadline_ms votes quorum breaker journal resume
-      snapshot no_incremental incremental_debug shards mem_budget spill_dir =
-    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
+      snapshot no_incremental incremental_debug shards mem_budget spill_dir dist_workers
+      dist_connect dist_deadline =
+    let sharding =
+      sharding_of ~shards ~mem_budget ~spill_dir ~dist_workers ?dist_connect ~dist_deadline
+        ()
+    in
     let context = load_automaton context_path in
     let legacy_auto = load_automaton legacy_path in
     let box = Mechaml_legacy.Blackbox.of_automaton legacy_auto in
@@ -508,7 +556,8 @@ let run_cmd =
       const run $ obs_t $ strategy_t $ dot_dir_t $ context_t $ legacy_t $ property_t
       $ prefix_t $ knowledge_t $ save_knowledge_t $ batch_t $ inject_t $ seed_t
       $ deadline_ms_t $ votes_t $ quorum_t $ breaker_t $ journal_t $ resume_t $ snapshot_t
-      $ no_incremental_t $ incremental_debug_t $ shards_t $ mem_budget_t $ spill_dir_t)
+      $ no_incremental_t $ incremental_debug_t $ shards_t $ mem_budget_t $ spill_dir_t
+      $ dist_workers_t $ dist_connect_t $ dist_deadline_t)
 
 (* -- learn: whole-component learning baseline on a file -- *)
 
@@ -622,8 +671,11 @@ let campaign_cmd =
   in
   let run () jobs report csv canonical tiny select timeout retries no_cache inject seed
       deadline_ms votes quorum breaker no_incremental incremental_debug shards mem_budget
-      spill_dir =
-    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
+      spill_dir dist_workers dist_connect dist_deadline =
+    let sharding =
+      sharding_of ~shards ~mem_budget ~spill_dir ~dist_workers ?dist_connect ~dist_deadline
+        ()
+    in
     let input_error msg =
       Format.eprintf "mechaverify: %s@." msg;
       exit 3
@@ -694,7 +746,7 @@ let campaign_cmd =
       const run $ obs_t $ jobs_t $ report_t $ csv_t $ canonical_t $ tiny_t $ select_t
       $ timeout_t $ retries_t $ no_cache_t $ inject_t $ seed_t $ deadline_ms_t $ votes_t
       $ quorum_t $ breaker_t $ no_incremental_t $ incremental_debug_t $ shards_t
-      $ mem_budget_t $ spill_dir_t)
+      $ mem_budget_t $ spill_dir_t $ dist_workers_t $ dist_connect_t $ dist_deadline_t)
 
 (* -- export: bundled scenario automata as textio files -- *)
 
@@ -917,8 +969,11 @@ let serve_cmd =
   let run () host port workers handlers queue_bound inflight_cap weights cache_capacity
       snapshot snapshot_every drain_deadline job_deadline wal io_timeout max_pending
       quarantine_strikes quarantine_ttl slo_thresholds slo_objective flight_size
-      flight_dump shards mem_budget spill_dir =
-    let sharding = sharding_of ~shards ~mem_budget ~spill_dir in
+      flight_dump shards mem_budget spill_dir dist_workers dist_connect dist_deadline =
+    let sharding =
+      sharding_of ~shards ~mem_budget ~spill_dir ~dist_workers ?dist_connect ~dist_deadline
+        ()
+    in
     let srv =
       try
         Server.start
@@ -975,7 +1030,8 @@ let serve_cmd =
       $ cache_capacity_t $ snapshot_t $ snapshot_every_t $ drain_deadline_t
       $ job_deadline_t $ wal_t $ io_timeout_t $ max_pending_t $ quarantine_strikes_t
       $ quarantine_ttl_t $ slo_t $ slo_objective_t $ flight_size_t $ flight_dump_t
-      $ shards_t $ mem_budget_t $ spill_dir_t)
+      $ shards_t $ mem_budget_t $ spill_dir_t $ dist_workers_t $ dist_connect_t
+      $ dist_deadline_t)
 
 (* -- submit: client for a running daemon -- *)
 
@@ -1425,6 +1481,50 @@ let top_cmd =
       $ port_t ~default:8484 ~doc:"Daemon port."
       $ interval_t $ frames_t)
 
+(* -- shard-worker: one process of the distributed exploration fleet -------- *)
+
+let shard_worker_cmd =
+  let addr_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Address to listen on: $(b,host:port) or a Unix socket path.")
+  in
+  let ppid_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ppid" ] ~docv:"PID"
+          ~doc:
+            "Coordinator process id.  The worker exits when that process disappears, so \
+             a crashed coordinator never leaks its fleet.")
+  in
+  let run () addr ppid =
+    let a = Mechaml_wire.Shardwire.addr_of_string addr in
+    let fd =
+      try Mechaml_wire.Shardwire.listen a
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "mechaverify: cannot listen on %s: %s@." addr (Unix.error_message e);
+        exit 4
+    in
+    let w = Mechaml_dist.Distworker.create ?ppid fd in
+    Mechaml_dist.Distworker.serve w;
+    (match a with
+    | Mechaml_wire.Shardwire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Mechaml_wire.Shardwire.Tcp _ -> ());
+    exit 0
+  in
+  let doc =
+    "Run one worker process of the distributed sharded exploration.  Started \
+     automatically by $(b,--dist-workers); start by hand (one per host) and point \
+     $(b,--dist-connect) at the addresses to spread a product across machines.  Owns a \
+     subset of shards: expands frontiers, spills cold segments under its own \
+     $(b,--mem-budget) share, answers fixpoint boundary exchanges.  Exits on the \
+     coordinator's $(b,shutdown), or when $(b,--ppid) dies."
+  in
+  Cmd.v (Cmd.info "shard-worker" ~doc) Term.(const run $ obs_t $ addr_t $ ppid_t)
+
 let main_cmd =
   let doc =
     "combined formal verification and testing for correct legacy component integration"
@@ -1433,6 +1533,7 @@ let main_cmd =
     [
       railcab_cmd; protocol_cmd; lock_cmd; run_cmd; learn_cmd; pattern_cmd; campaign_cmd;
       export_cmd; serve_cmd; submit_cmd; probe_cmd; top_cmd; chaos_proxy_cmd;
+      shard_worker_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

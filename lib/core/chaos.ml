@@ -30,7 +30,7 @@ let origin name =
   then Core (String.sub name 0 (String.length name - 2))
   else Core name
 
-let max_alphabet = 20
+let max_alphabet = 30
 
 let check_alphabet inputs outputs =
   let width = List.length inputs + List.length outputs in

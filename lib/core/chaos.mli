@@ -32,7 +32,7 @@ val closed_suffix : string
     original state name. *)
 
 val max_alphabet : int
-(** Largest supported [|I| + |O|] (currently 20): the closure materializes
+(** Largest supported [|I| + |O|] (currently 30): the closure materializes
     [℘(I) × ℘(O)] transitions out of every chaotic state, so the alphabet
     width is capped to bound that blow-up.  Interactions are generated
     directly as bit patterns against the interned interaction table, which

@@ -396,18 +396,37 @@ let run ?(strategy = Witness.Bfs_shortest) ?(label_of = fun _ -> []) ?max_iterat
             let outcome =
               on_check ~product:closure ~formulas
                 ~compute:(fun () ->
-                  let sp = Mechaml_ts.Shard.explore ~config:scfg context closure in
-                  Fun.protect
-                    ~finally:(fun () -> Mechaml_ts.Shard.close sp)
-                    (fun () ->
-                      counted := Some (Mechaml_ts.Shard.num_states sp);
-                      let senv = Mechaml_mc.Shardsat.create sp in
-                      if List.for_all (Mechaml_mc.Shardsat.holds_initially senv) formulas
-                      then Checker.Holds
-                      else
-                        Checker.check_conjunction_env ~strategy
-                          (Sat.create (Lazy.force product_lazy).Compose.auto)
-                          formulas))
+                  match scfg.Mechaml_ts.Shard.distribution with
+                  | Some _ ->
+                    (* Distributed: shard segments live in worker processes;
+                       the coordinator's discovery-order merge keeps every
+                       verdict byte-identical to the in-process engines. *)
+                    let dp = Mechaml_dist.Distshard.explore ~config:scfg context closure in
+                    Fun.protect
+                      ~finally:(fun () -> Mechaml_dist.Distshard.close dp)
+                      (fun () ->
+                        counted := Some (Mechaml_dist.Distshard.num_states dp);
+                        let senv = Mechaml_dist.Distsat.create dp in
+                        if
+                          List.for_all (Mechaml_dist.Distsat.holds_initially senv) formulas
+                        then Checker.Holds
+                        else
+                          Checker.check_conjunction_env ~strategy
+                            (Sat.create (Lazy.force product_lazy).Compose.auto)
+                            formulas)
+                  | None ->
+                    let sp = Mechaml_ts.Shard.explore ~config:scfg context closure in
+                    Fun.protect
+                      ~finally:(fun () -> Mechaml_ts.Shard.close sp)
+                      (fun () ->
+                        counted := Some (Mechaml_ts.Shard.num_states sp);
+                        let senv = Mechaml_mc.Shardsat.create sp in
+                        if List.for_all (Mechaml_mc.Shardsat.holds_initially senv) formulas
+                        then Checker.Holds
+                        else
+                          Checker.check_conjunction_env ~strategy
+                            (Sat.create (Lazy.force product_lazy).Compose.auto)
+                            formulas))
             in
             let states =
               match !counted with

@@ -1,0 +1,25 @@
+(** Global CTL satisfaction over a distributed product ({!Distshard}).
+
+    Mirrors {!Mechaml_mc.Shardsat} — same fixpoints, same bounded dynamic
+    programs — with satisfaction sets as global bit vectors on the
+    coordinator, and successor sweeps / unbounded fixpoints running on the
+    worker fleet.  The fixpoints are confluent, so the distributed schedule
+    (including mid-operator worker restarts) converges to bit-for-bit the
+    same sets as {!Mechaml_mc.Sat} and {!Mechaml_mc.Shardsat}, for any
+    worker and shard count. *)
+
+module Ctl = Mechaml_logic.Ctl
+
+type env
+
+val create : Distshard.t -> env
+(** The product must stay open (not {!Distshard.close}d) while the env is
+    in use. *)
+
+val holds_initially : env -> Ctl.t -> bool
+(** Whether every initial product state satisfies the formula — identical
+    to {!Mechaml_mc.Sat.holds_initially} on the materialized product.
+    Raises {!Distshard.Dist_error} if the fleet cannot be kept alive. *)
+
+val failing_initial : env -> Ctl.t -> int option
+(** First initial state (in initial-list order) violating the formula. *)

@@ -1,0 +1,40 @@
+(** The worker half of the distributed shard tier.
+
+    A worker owns a subset of shards for each open session: it expands
+    frontiers with {!Mechaml_ts.Compose.joint_iter}, holds the per-shard
+    forward and predecessor CSR segments under its own {!Segment} budget,
+    and runs the shard-local part of the global fixpoints.  The coordinator
+    ({!Distshard}) keeps all discovery-order interning and verdict-bearing
+    state, so a worker can die at any point and be replaced from the
+    coordinator's banked generation.
+
+    One worker process serves any number of sessions (keyed by [sid]), so a
+    pre-started fleet ([--dist-connect]) is shared infrastructure: closing a
+    session never shuts the worker down. *)
+
+type t
+
+val create : ?ppid:int -> Unix.file_descr -> t
+(** A worker over a bound, listening socket.  With [ppid] the accept loop
+    also exits when the parent changes — a forked worker orphaned by a
+    coordinator crash reaps itself instead of leaking. *)
+
+val serve : t -> unit
+(** Blocking accept loop; returns after a [shutdown] op, a simulated crash
+    ([die_after_rounds]), or (with [ppid]) coordinator death.  Closes the
+    listening socket and every session's segment manager on the way out. *)
+
+(** {1 In-process worker}
+
+    For tests and the distribution-neutrality suites: the same [serve] loop
+    on a fresh domain, reachable over a real socket. *)
+
+type handle
+
+val start : Mechaml_wire.Shardwire.addr -> handle
+(** Bind, listen and serve on a new domain. *)
+
+val addr : handle -> Mechaml_wire.Shardwire.addr
+
+val stop : handle -> unit
+(** Stop the loop, join the domain, unlink a Unix socket path. *)

@@ -110,6 +110,28 @@ let stats_body ctx =
               ( "reloads",
                 Json.Num (float_of_int (Mechaml_util.Segment.total_reloads ())) );
             ] );
+      ( "distribution",
+        match Store.sharding ctx.store with
+        | Some { Mechaml_ts.Shard.distribution = Some d; _ } ->
+          Json.Obj
+            [
+              ("enabled", Json.Bool true);
+              ( "mode",
+                match d.Mechaml_ts.Shard.dist_mode with
+                | Mechaml_ts.Shard.Fork n -> Json.Str (Printf.sprintf "fork:%d" n)
+                | Mechaml_ts.Shard.Connect addrs ->
+                  Json.Str ("connect:" ^ String.concat "," addrs) );
+              ("deadline_s", Json.Num d.Mechaml_ts.Shard.dist_deadline_s);
+              ( "rounds",
+                Json.Num (float_of_int (Mechaml_dist.Distshard.total_rounds ())) );
+              ( "bytes_tx",
+                Json.Num (float_of_int (Mechaml_dist.Distshard.total_bytes_tx ())) );
+              ( "bytes_rx",
+                Json.Num (float_of_int (Mechaml_dist.Distshard.total_bytes_rx ())) );
+              ( "worker_restarts",
+                Json.Num (float_of_int (Mechaml_dist.Distshard.total_restarts ())) );
+            ]
+        | _ -> Json.Obj [ ("enabled", Json.Bool false) ] );
     ]
 
 (* -- POST /v1/campaign ------------------------------------------------------ *)

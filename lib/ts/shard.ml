@@ -20,19 +20,37 @@ let m_build_rounds =
   Metrics.counter "mc_shard_build_rounds_total"
     ~help:"Level-synchronized BFS rounds across sharded product constructions."
 
+type dist_mode =
+  | Fork of int
+  | Connect of string list
+
+type distribution = {
+  dist_mode : dist_mode;
+  dist_deadline_s : float;
+}
+
+let distribution ?(deadline_s = 120.) dist_mode =
+  (match dist_mode with
+  | Fork n when n < 1 -> invalid_arg "Shard.distribution: Fork needs >= 1 worker"
+  | Connect [] -> invalid_arg "Shard.distribution: Connect needs >= 1 address"
+  | _ -> ());
+  if deadline_s <= 0. then invalid_arg "Shard.distribution: deadline must be positive";
+  { dist_mode; dist_deadline_s = deadline_s }
+
 type config = {
   shards : int;
   mem_budget : int option;
   spill_dir : string option;
   workers : int option;
+  distribution : distribution option;
 }
 
-let config ?(shards = 1) ?mem_budget ?spill_dir ?workers () =
+let config ?(shards = 1) ?mem_budget ?spill_dir ?workers ?distribution () =
   if shards < 1 then invalid_arg "Shard.config: shards must be >= 1";
   (match workers with
   | Some w when w < 1 -> invalid_arg "Shard.config: workers must be >= 1"
   | _ -> ());
-  { shards; mem_budget; spill_dir; workers }
+  { shards; mem_budget; spill_dir; workers; distribution }
 
 type view = {
   members : int array;

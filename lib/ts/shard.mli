@@ -22,18 +22,49 @@ module Bitset = Mechaml_util.Bitset
 module Bitvec = Mechaml_util.Bitvec
 module Segment = Mechaml_util.Segment
 
+(** How the shards are placed across {e processes}.  Plain data — the
+    distributed engine itself lives in [Mechaml_dist] so that this library
+    carries no wire dependency; [Shard.explore] ignores the field and the
+    pipeline ({!Mechaml_core}[.Loop]) dispatches on it. *)
+type dist_mode =
+  | Fork of int  (** spawn N local [mechaverify shard-worker] processes *)
+  | Connect of string list
+      (** attach to pre-started workers at these addresses
+          ([host:port] or Unix socket paths) *)
+
+type distribution = {
+  dist_mode : dist_mode;
+  dist_deadline_s : float;
+      (** per-round reply deadline; a worker silent for longer is treated as
+          crashed and its shards are re-dispatched *)
+}
+
+val distribution : ?deadline_s:float -> dist_mode -> distribution
+(** Default deadline: 120 s.  Raises [Invalid_argument] on [Fork n] with
+    [n < 1], an empty [Connect] list, or a non-positive deadline. *)
+
 type config = {
   shards : int;  (** number of partitions, >= 1 *)
   mem_budget : int option;  (** residency watermark in bytes; [None] = never spill *)
   spill_dir : string option;  (** parent directory for spill files *)
   workers : int option;
       (** expansion worker domains; default [min shards (recommended_domain_count)] *)
+  distribution : distribution option;
+      (** when set, the pipeline runs the build and the fixpoints on a
+          worker-process fleet instead of in-process worker domains *)
 }
 
 val config :
-  ?shards:int -> ?mem_budget:int -> ?spill_dir:string -> ?workers:int -> unit -> config
-(** Defaults: [shards = 1], no budget, system temp dir, automatic workers.
-    Raises [Invalid_argument] on [shards < 1] or [workers < 1]. *)
+  ?shards:int ->
+  ?mem_budget:int ->
+  ?spill_dir:string ->
+  ?workers:int ->
+  ?distribution:distribution ->
+  unit ->
+  config
+(** Defaults: [shards = 1], no budget, system temp dir, automatic workers,
+    no distribution.  Raises [Invalid_argument] on [shards < 1] or
+    [workers < 1]. *)
 
 type t
 
@@ -98,3 +129,23 @@ val reloads : t -> int
 
 val close : t -> unit
 (** Remove every spill file.  Idempotent. *)
+
+val mix : int -> int
+(** The partition hash over packed pair keys — exposed so the distributed
+    coordinator places states on exactly the same shards. *)
+
+(** The persistent, round-synchronized domain crew behind [explore]'s
+    parallel expansion — reused by the distributed coordinator to overlap
+    its per-worker round trips. *)
+module Crew : sig
+  type t
+
+  val create : int -> t
+  (** Spawn a crew of N domains. *)
+
+  val round : t -> (int -> unit) -> unit
+  (** Run [fn w] on every crew member [w] in parallel; returns when all are
+      done, re-raising the first exception. *)
+
+  val stop : t -> unit
+end

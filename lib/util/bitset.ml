@@ -65,7 +65,7 @@ let full n =
   if n = 0 then 0 else (1 lsl n) - 1
 
 let all_subsets n =
-  if n < 0 || n > 20 then invalid_arg "Bitset.all_subsets: universe too large";
+  if n < 0 || n > 30 then invalid_arg "Bitset.all_subsets: universe too large";
   List.init (1 lsl n) (fun i -> i)
 
 let shift k s =

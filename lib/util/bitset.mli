@@ -60,7 +60,7 @@ val full : int -> t
 
 val all_subsets : int -> t list
 (** [all_subsets n] enumerates ℘({0, …, n-1}) in increasing bit-pattern
-    order; [2^n] elements.  Raises [Invalid_argument] if [n > 20] to guard
+    order; [2^n] elements.  Raises [Invalid_argument] if [n > 30] to guard
     against accidental blow-ups. *)
 
 val shift : int -> t -> t

@@ -23,14 +23,42 @@ let payload_bytes p = List.fold_left (fun acc (_, f) -> acc + field_bytes f) 0 p
 
 let version = 1
 
-let save ~path p =
+let to_string p =
   let body = Marshal.to_string (p : payload) [] in
   let digest = Digest.to_hex (Digest.string body) in
+  Printf.sprintf "mechaseg %d %d %s\n%s" version (String.length body) digest body
+
+(* [of_string] is the whole-buffer twin of [load]: the same header, length
+   and digest checks, against an in-memory segment (a spill file slurped
+   whole, or a segment payload received over the wire). *)
+let of_string ?(what = "segment") s =
+  match String.index_opt s '\n' with
+  | None -> Error (what ^ ": not a mechaseg segment")
+  | Some nl -> (
+    let header = String.sub s 0 nl in
+    match String.split_on_char ' ' header with
+    | [ "mechaseg"; v; len; digest ] -> (
+      match (int_of_string_opt v, int_of_string_opt len) with
+      | Some v, _ when v <> version ->
+        Error (Printf.sprintf "%s: segment version %d, expected %d" what v version)
+      | Some _, Some len ->
+        if String.length s - nl - 1 < len then Error (what ^ ": truncated segment")
+        else
+          let body = String.sub s (nl + 1) len in
+          if Digest.to_hex (Digest.string body) <> digest then
+            Error (what ^ ": segment digest mismatch (corrupt payload)")
+          else (
+            try Ok (Marshal.from_string body 0 : payload)
+            with Failure m -> Error (Printf.sprintf "%s: %s" what m))
+      | _ -> Error (what ^ ": malformed segment header"))
+    | _ -> Error (what ^ ": not a mechaseg segment"))
+
+let save ~path p =
+  let s = to_string p in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     Printf.fprintf oc "mechaseg %d %d %s\n" version (String.length body) digest;
-     output_string oc body;
+     output_string oc s;
      close_out oc
    with e ->
      close_out_noerr oc;
@@ -45,25 +73,10 @@ let load ~path =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        match input_line ic with
-        | exception End_of_file -> Error (path ^ ": empty spill file")
-        | header -> (
-          match String.split_on_char ' ' header with
-          | [ "mechaseg"; v; len; digest ] -> (
-            match (int_of_string_opt v, int_of_string_opt len) with
-            | Some v, _ when v <> version ->
-              Error (Printf.sprintf "%s: spill version %d, expected %d" path v version)
-            | Some _, Some len -> (
-              match really_input_string ic len with
-              | exception End_of_file -> Error (path ^ ": truncated spill file")
-              | body ->
-                if Digest.to_hex (Digest.string body) <> digest then
-                  Error (path ^ ": spill digest mismatch (corrupt file)")
-                else (
-                  try Ok (Marshal.from_string body 0 : payload)
-                  with Failure m -> Error (Printf.sprintf "%s: %s" path m)))
-            | _ -> Error (path ^ ": malformed spill header"))
-          | _ -> Error (path ^ ": not a mechaseg spill file")))
+        match In_channel.input_all ic with
+        | exception Sys_error m -> Error (path ^ ": " ^ m)
+        | "" -> Error (path ^ ": empty spill file")
+        | s -> of_string ~what:path s)
 
 (* -- residency manager ----------------------------------------------------- *)
 

@@ -30,6 +30,17 @@ val payload_bytes : payload -> int
 
 (** {1 Spill-file codec} *)
 
+val to_string : payload -> string
+(** Serialize a payload to the self-describing [mechaseg] wire/file format:
+    a versioned header carrying the body length and an MD5 digest, then the
+    body.  This exact byte string is what {!save} writes and what the
+    distributed tier ships between processes. *)
+
+val of_string : ?what:string -> string -> (payload, string) result
+(** Decode a [mechaseg] byte string, verifying header, length, and digest
+    ([what] names the source in error messages).  Trailing bytes beyond the
+    declared body length are ignored, mirroring {!load}. *)
+
 val save : path:string -> payload -> unit
 (** Serialize atomically: write [path ^ ".tmp"], then rename onto [path].
     The file carries a versioned header and an MD5 digest of the payload. *)

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Distributed sharding smoke test (make dist-smoke):
+#
+#   1. run the tiny bundled campaign through the cross-process tier
+#      (--shards 4 --dist-workers 2: two forked shard-worker processes per
+#      product build) and require its canonical report to be byte-identical
+#      to the in-process sharded run;
+#   2. rerun with MECHAVERIFY_DIST_THROTTLE_MS slowing worker rounds down,
+#      SIGKILL one shard-worker mid-campaign, and require the campaign to
+#      recover (mc_dist_worker_restarts_total >= 1 in --metrics-out) with
+#      the same canonical bytes;
+#   3. require clean teardown: no shard-worker processes left running, and
+#      the spill directory (which also hosts the worker sockets) empty.
+#
+# The binary is the dune-built mechaverify; override BIN/DIR to point
+# elsewhere.  Any failing step fails the script (set -e).
+set -euo pipefail
+
+BIN=${BIN:-./_build/default/bin/mechaverify.exe}
+DIR=${DIR:-_build/dist-smoke}
+
+rm -rf "$DIR"
+mkdir -p "$DIR/spill"
+
+CAMPAIGN_PID=
+
+cleanup() {
+  status=$?
+  if [ -n "$CAMPAIGN_PID" ] && kill -0 "$CAMPAIGN_PID" 2>/dev/null; then
+    kill -9 "$CAMPAIGN_PID" 2>/dev/null || true
+  fi
+  pkill -9 -f 'shard-worker' 2>/dev/null || true
+  exit "$status"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "dist-smoke: $1" >&2
+  exit 1
+}
+
+spill_leftovers() {
+  find "$DIR/spill" -mindepth 1 2>/dev/null | head -n 5
+}
+
+# -- 1: canonical equality vs the in-process sharded pipeline -----------------
+
+"$BIN" campaign --tiny --jobs 1 --log-level quiet \
+  --shards 4 --spill-dir "$DIR/spill" \
+  --canonical "$DIR/inproc.canonical" >"$DIR/inproc.out" 2>&1 \
+  || fail "in-process sharded campaign failed: $(cat "$DIR/inproc.out")"
+
+"$BIN" campaign --tiny --jobs 1 --log-level quiet \
+  --shards 4 --dist-workers 2 --spill-dir "$DIR/spill" \
+  --canonical "$DIR/dist.canonical" >"$DIR/dist.out" 2>&1 \
+  || fail "--dist-workers 2 campaign failed: $(cat "$DIR/dist.out")"
+
+cmp -s "$DIR/inproc.canonical" "$DIR/dist.canonical" \
+  || fail "--dist-workers 2 canonical differs from the in-process sharded run"
+
+left=$(spill_leftovers)
+[ -z "$left" ] || fail "distributed campaign left scratch or sockets behind: $left"
+
+# -- 2: SIGKILL one worker mid-campaign; recovery must be invisible -----------
+
+# The throttle stretches every build round so the kill window is wide; a
+# worker is only alive while a product is being built, so hitting one is a
+# mid-build kill by construction.  If the build still slips through before
+# the signal lands (restarts = 0), retry the whole run.
+recovered=0
+for attempt in 1 2 3; do
+  rm -f "$DIR/killed.canonical" "$DIR/metrics.txt"
+  MECHAVERIFY_DIST_THROTTLE_MS=40 "$BIN" campaign --tiny --jobs 1 --log-level quiet \
+    --shards 4 --dist-workers 2 --spill-dir "$DIR/spill" \
+    --metrics-out "$DIR/metrics.txt" \
+    --canonical "$DIR/killed.canonical" >"$DIR/killed.out" 2>&1 &
+  CAMPAIGN_PID=$!
+
+  victim=
+  for _ in $(seq 1 100); do
+    victim=$(pgrep -f 'shard-worker' | head -n 1 || true)
+    [ -n "$victim" ] && break
+    kill -0 "$CAMPAIGN_PID" 2>/dev/null || fail "campaign died before spawning workers: $(cat "$DIR/killed.out")"
+    sleep 0.1
+  done
+  [ -n "$victim" ] || fail "no shard-worker process ever appeared"
+  kill -9 "$victim" 2>/dev/null || true
+
+  wait "$CAMPAIGN_PID" || fail "campaign failed after the worker kill: $(cat "$DIR/killed.out")"
+  CAMPAIGN_PID=
+
+  cmp -s "$DIR/inproc.canonical" "$DIR/killed.canonical" \
+    || fail "canonical differs after a worker was SIGKILLed mid-campaign"
+
+  restarts=$(sed -n 's/^mc_dist_worker_restarts_total[^0-9]*\([0-9][0-9]*\).*/\1/p' \
+    "$DIR/metrics.txt" | head -n 1)
+  if [ -n "$restarts" ] && [ "$restarts" -ge 1 ]; then
+    recovered=1
+    break
+  fi
+  echo "dist-smoke: kill landed between builds (attempt $attempt), retrying" >&2
+done
+[ "$recovered" -eq 1 ] \
+  || fail "worker kill never hit a live build (mc_dist_worker_restarts_total stayed 0)"
+
+# -- 3: clean teardown --------------------------------------------------------
+
+pgrep -f 'shard-worker' >/dev/null 2>&1 \
+  && fail "shard-worker processes left running after the campaign"
+
+left=$(spill_leftovers)
+[ -z "$left" ] || fail "kill-recovery run left scratch or sockets behind: $left"
+
+echo "dist-smoke: OK (distributed canonicals identical, worker kill recovered, teardown clean)"

@@ -48,7 +48,7 @@ let unit_tests =
           subs);
     test "all_subsets rejects huge universes" (fun () ->
         Alcotest.check_raises "too big" (Invalid_argument "Bitset.all_subsets: universe too large")
-          (fun () -> ignore (Bitset.all_subsets 21)));
+          (fun () -> ignore (Bitset.all_subsets 31)));
     test "shift translates elements" (fun () ->
         Alcotest.(check (list int)) "shifted" [ 4; 6 ] (elems (Bitset.shift 3 (set [ 1; 3 ]))));
     test "map" (fun () ->

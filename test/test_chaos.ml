@@ -32,6 +32,12 @@ let unit_tests =
         let m = Chaos.chaotic_automaton ~name:"c" ~inputs:many ~outputs:[] in
         check_int "one transition per interaction and chaos target" (2 * (1 lsl 17))
           (Automaton.num_transitions m));
+    test "21-wide alphabets fit under the 30-signal cap" (fun () ->
+        (* 21 signals used to exceed the previous |I| + |O| <= 20 limit *)
+        let many = List.init 21 (Printf.sprintf "s%d") in
+        let m = Chaos.chaotic_automaton ~name:"c" ~inputs:many ~outputs:[] in
+        check_int "one transition per interaction and chaos target" (2 * (1 lsl 21))
+          (Automaton.num_transitions m));
     test "closure of the trivial model matches Fig. 4(b)" (fun () ->
         let m = Incomplete.create ~name:"m" ~inputs:[ "x" ] ~outputs:[ "o" ] ~initial_state:"s0" in
         let c = Chaos.closure m in

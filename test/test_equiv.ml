@@ -296,6 +296,82 @@ let submit_exn ?tenant ep =
   | Ok outcomes -> outcomes
   | Error e -> Alcotest.fail (Client.error_string e)
 
+(* -- distribution neutrality ------------------------------------------------
+
+   The cross-process tier (--dist-workers/--dist-connect) is the fourth thing
+   that must be a pure speedup: shipping shard segments to a worker-process
+   fleet over the wire — including losing a worker mid-campaign — must
+   reproduce the canonical reports byte for byte for every worker count. *)
+
+module Distworker = Mechaml_dist.Distworker
+module Dwire = Mechaml_wire.Shardwire
+
+let dist_sock =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mechaequiv-%d-%d.sock" (Unix.getpid ()) !c)
+
+let with_dist_fleet n f =
+  let handles = List.init n (fun _ -> Distworker.start (Dwire.Unix_sock (dist_sock ()))) in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun h -> try Distworker.stop h with _ -> ()) handles)
+    (fun () ->
+      f handles
+        (List.map (fun h -> Dwire.addr_to_string (Distworker.addr h)) handles))
+
+let dist_canonical ~workers ~shards =
+  with_dist_fleet workers (fun _ addrs ->
+      Report.canonical
+        (Campaign.run ~jobs:1
+           ~sharding:
+             (Shard.config ~shards
+                ~distribution:(Shard.distribution ~deadline_s:60. (Shard.Connect addrs))
+                ())
+           (Campaign.bundled ~tiny:true ())))
+
+let distribution_tests =
+  [
+    test "dist-workers 1/2/4 x shards 2/8 reproduce the tiny canonical report" (fun () ->
+        let reference =
+          Report.canonical (Campaign.run ~jobs:1 (Campaign.bundled ~tiny:true ()))
+        in
+        List.iter
+          (fun (workers, shards) ->
+            check_string
+              (Printf.sprintf "dist-workers:%d shards:%d" workers shards)
+              reference
+              (dist_canonical ~workers ~shards))
+          [ (1, 2); (2, 2); (4, 2); (1, 8); (2, 8); (4, 8) ]);
+    test "a worker killed mid-campaign still reproduces the canonical report" (fun () ->
+        let reference =
+          Report.canonical (Campaign.run ~jobs:1 (Campaign.bundled ~tiny:true ()))
+        in
+        with_dist_fleet 2 (fun handles addrs ->
+            (* stop one worker while the campaign is in flight; whichever
+               phase the loss lands in, recovery must keep the output
+               byte-identical *)
+            let killer =
+              Domain.spawn (fun () ->
+                  Unix.sleepf 0.02;
+                  try Distworker.stop (List.hd handles) with _ -> ())
+            in
+            let got =
+              Report.canonical
+                (Campaign.run ~jobs:1
+                   ~sharding:
+                     (Shard.config ~shards:4
+                        ~distribution:
+                          (Shard.distribution ~deadline_s:60. (Shard.Connect addrs))
+                        ())
+                   (Campaign.bundled ~tiny:true ()))
+            in
+            Domain.join killer;
+            check_string "kill-one-worker canonical = reference" reference got));
+  ]
+
 let daemon_tests =
   [
     test "daemon-served full matrix matches the local canonical report (workers 1 and 4)"
@@ -348,5 +424,6 @@ let () =
       ("incremental-neutrality", neutrality_tests);
       ("incremental-properties", property_tests);
       ("sharding-neutrality", sharding_tests @ sharding_property_tests);
+      ("distribution-neutrality", distribution_tests);
       ("daemon-neutrality", daemon_tests);
     ]
